@@ -1,0 +1,139 @@
+// Ablation (paper §3.4): run-time filter ordering.
+//
+// A workload whose PART predicate is extremely selective while the other
+// dimensions barely filter. With adaptive ordering OFF the pipeline
+// probes filters in schema order (date, customer, supplier, part), so
+// most tuples survive three probes before dying at the part filter; with
+// adaptive ordering ON the Pipeline Manager floats the part filter to
+// the front (rank ordering by observed drop rate = the optimal order for
+// equal-cost filters).
+//
+// Reported: throughput and filter visits per scanned tuple.
+
+#include <cstdio>
+#include <numeric>
+
+#include "bench/harness.h"
+#include "cjoin/cjoin_operator.h"
+
+using namespace cjoin;
+using namespace cjoin::bench;
+
+namespace {
+
+struct AblationResult {
+  double qph;
+  double visits_per_tuple;
+  std::vector<size_t> final_order;
+};
+
+AblationResult RunOnce(const ssb::SsbDatabase& db,
+                       const std::vector<StarQuerySpec>& workload,
+                       bool adaptive, size_t n, size_t warmup,
+                       size_t measure) {
+  CJoinOperator::Options opts;
+  opts.max_concurrent_queries = 256;
+  opts.num_worker_threads = 3;
+  opts.adaptive_ordering = adaptive;
+  opts.reorder_interval = std::chrono::milliseconds(20);
+  CJoinOperator op(*db.star, opts);
+  if (!op.Start().ok()) std::abort();
+
+  RunningStat response;
+  Stopwatch window;
+  size_t completed = 0;
+  std::vector<std::unique_ptr<QueryHandle>> in_flight;
+  size_t next = 0;
+  double window_seconds = 0.0;
+  while (completed < warmup + measure) {
+    while (in_flight.size() < n && next < workload.size()) {
+      auto h = op.Submit(workload[next++]);
+      if (!h.ok()) std::abort();
+      in_flight.push_back(std::move(*h));
+    }
+    for (size_t i = 0; i < in_flight.size();) {
+      if (in_flight[i]->Ready()) {
+        (void)in_flight[i]->Wait();
+        ++completed;
+        if (completed == warmup) window.Restart();
+        if (completed == warmup + measure) {
+          window_seconds = window.ElapsedSeconds();
+        }
+        in_flight[i] = std::move(in_flight.back());
+        in_flight.pop_back();
+      } else {
+        ++i;
+      }
+    }
+  }
+  const CJoinOperator::Stats stats = op.GetStats();
+  op.Stop();
+
+  AblationResult r;
+  r.qph = window_seconds > 0 ? measure / window_seconds * 3600.0 : 0.0;
+  const uint64_t visits = std::accumulate(stats.filter_tuples_in.begin(),
+                                          stats.filter_tuples_in.end(),
+                                          uint64_t{0});
+  r.visits_per_tuple =
+      stats.rows_scanned > 0
+          ? static_cast<double>(visits) /
+                static_cast<double>(stats.rows_scanned)
+          : 0.0;
+  r.final_order = stats.filter_order;
+  return r;
+}
+
+}  // namespace
+
+int main() {
+  const bool full = FullScale();
+  const double sf = full ? 0.05 : 0.01;
+  const size_t n = 32;
+  const size_t warmup = 16;
+  const size_t measure = full ? 96 : 48;
+
+  PrintHeader("Ablation: adaptive filter ordering (paper §3.4)",
+              "sf=" + std::to_string(sf) +
+                  ", Q2.1 template with part-selectivity 0.1%, n=32");
+
+  ssb::GenOptions gopts;
+  gopts.scale_factor = sf;
+  auto db = ssb::Generate(gopts).value();
+  ssb::SsbQueries queries(*db);
+
+  // All queries from Q2.1 (part + supplier predicates, date group-by);
+  // very selective on part so its filter should run first.
+  Rng rng(7);
+  auto workload = queries
+                      .MakeWorkload(warmup + measure + n, 0.001, rng,
+                                    {"Q2.1"})
+                      .value();
+
+  const AblationResult fixed =
+      RunOnce(*db, workload, /*adaptive=*/false, n, warmup, measure);
+  const AblationResult adaptive =
+      RunOnce(*db, workload, /*adaptive=*/true, n, warmup, measure);
+
+  auto order_str = [&](const std::vector<size_t>& order) {
+    const char* names[] = {"date", "customer", "supplier", "part"};
+    std::string s;
+    for (size_t d : order) {
+      if (!s.empty()) s += ">";
+      s += d < 4 ? names[d] : "?";
+    }
+    return s;
+  };
+
+  std::printf("%-22s %-12s %-18s %s\n", "ordering", "qph",
+              "filter visits/tuple", "final order");
+  std::printf("%-22s %-12.0f %-18.2f %s\n", "fixed (schema order)",
+              fixed.qph, fixed.visits_per_tuple,
+              order_str(fixed.final_order).c_str());
+  std::printf("%-22s %-12.0f %-18.2f %s\n", "adaptive (A-greedy)",
+              adaptive.qph, adaptive.visits_per_tuple,
+              order_str(adaptive.final_order).c_str());
+  std::printf(
+      "\nExpected shape: adaptive ordering reduces filter visits per "
+      "tuple and places the selective part filter first.\n");
+  return 0;
+}

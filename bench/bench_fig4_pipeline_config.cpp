@@ -1,0 +1,67 @@
+// Figure 4 reproduction: "The effect of pipeline configuration on
+// performance" — query throughput of the horizontal vs vertical CJOIN
+// configuration as the number of Stage threads grows (§6.2.1).
+//
+// Expected shape (paper): the horizontal configuration consistently
+// outperforms the vertical one once it has >= 2 threads; the overhead of
+// passing tuples between per-filter stages outweighs vertical
+// parallelism.
+
+#include <cstdio>
+
+#include "bench/harness.h"
+
+using namespace cjoin;
+using namespace cjoin::bench;
+
+int main() {
+  const bool full = FullScale();
+  const double sf = full ? 0.1 : 0.01;
+  const double s = 0.01;
+  const size_t n = 32;
+  const size_t warmup = full ? 64 : 24;
+  const size_t measure = full ? 128 : 32;
+
+  PrintHeader("Figure 4: pipeline configuration (horizontal vs vertical)",
+              "sf=" + std::to_string(sf) + " s=1% n=" + std::to_string(n) +
+                  " (throughput in queries/hour)");
+
+  ssb::GenOptions gopts;
+  gopts.scale_factor = sf;
+  auto db = ssb::Generate(gopts).value();
+  ssb::SsbQueries queries(*db);
+  auto workload = MakeWorkload(queries, warmup + measure + n, s, 42);
+
+  std::printf("%-10s %-12s %-12s\n", "threads", "horizontal", "vertical");
+  for (size_t threads = 1; threads <= 5; ++threads) {
+    RunConfig cfg;
+    cfg.concurrency = n;
+    cfg.warmup = warmup;
+    cfg.measure = measure;
+    cfg.cjoin_threads = threads;
+
+    cfg.cjoin_vertical = false;
+    const double horizontal =
+        RunWorkload(SystemKind::kCJoin, *db, workload, cfg).qph;
+
+    // The vertical configuration needs at least one thread per Filter
+    // (4 dimensions in SSB), matching the paper's minimum.
+    double vertical = 0.0;
+    const size_t num_dims = db->star->num_dimensions();
+    if (threads >= num_dims) {
+      cfg.cjoin_vertical = true;
+      vertical = RunWorkload(SystemKind::kCJoin, *db, workload, cfg).qph;
+    }
+
+    if (vertical > 0) {
+      std::printf("%-10zu %-12.0f %-12.0f\n", threads, horizontal, vertical);
+    } else {
+      std::printf("%-10zu %-12.0f %-12s\n", threads, horizontal,
+                  "(needs >= 4)");
+    }
+    std::fflush(stdout);
+  }
+  std::printf("\nExpected shape: horizontal >= vertical at every thread "
+              "count where both run.\n");
+  return 0;
+}

@@ -1,0 +1,59 @@
+// Table 3 reproduction: "Influence of data scale on query submission
+// overhead" (§6.2.4) — CJOIN's submission time vs scale factor.
+//
+// Expected shape (paper): submission time grows far slower than sf
+// (date is fixed-size; customer/supplier grow sub-linearly at SSB
+// semantics), so submission overhead shrinks relative to response time
+// as the warehouse grows.
+
+#include <cstdio>
+#include <vector>
+
+#include "bench/harness.h"
+
+using namespace cjoin;
+using namespace cjoin::bench;
+
+int main() {
+  const bool full = FullScale();
+  const std::vector<double> sfs =
+      full ? std::vector<double>{0.01, 0.1, 1.0}
+           : std::vector<double>{0.002, 0.01, 0.05};
+  const double s = 0.01;
+  const size_t n = full ? 128 : 64;
+  const size_t warmup = full ? 256 : 128;   // >= 2n
+  const size_t measure = full ? 256 : 128;  // >= 2n
+
+  PrintHeader("Table 3: influence of data scale on submission overhead",
+              "s=1% n=" + std::to_string(n) + " (CJOIN; milliseconds)");
+
+  std::printf("%-24s", "scale factor");
+  for (double sf : sfs) std::printf(" %-10.3f", sf);
+  std::printf("\n");
+
+  std::vector<double> submission, response;
+  for (double sf : sfs) {
+    ssb::GenOptions gopts;
+    gopts.scale_factor = sf;
+    auto db = ssb::Generate(gopts).value();
+    ssb::SsbQueries queries(*db);
+    auto workload = MakeWorkload(queries, warmup + measure + 2 * n, s, 42);
+    SimDisk disk;
+    RunConfig cfg;
+    cfg.concurrency = n;
+    cfg.warmup = warmup;
+    cfg.measure = measure;
+    cfg.disk = &disk;
+    RunResult r = RunWorkload(SystemKind::kCJoin, *db, workload, cfg);
+    submission.push_back(r.submission_seconds.mean() * 1e3);
+    response.push_back(r.response_seconds.mean() * 1e3);
+  }
+  std::printf("%-24s", "Submission time (ms)");
+  for (double v : submission) std::printf(" %-10.2f", v);
+  std::printf("\n%-24s", "Response time (ms)");
+  for (double v : response) std::printf(" %-10.1f", v);
+  std::printf(
+      "\n\nExpected shape: response time grows ~linearly with sf while "
+      "submission time grows much slower (sub-linear dimensions).\n");
+  return 0;
+}

@@ -1,0 +1,248 @@
+#include "bench/harness.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+#include <thread>
+
+#include "baseline/qat_engine.h"
+#include "cjoin/cjoin_operator.h"
+
+namespace cjoin {
+namespace bench {
+
+const char* SystemName(SystemKind kind) {
+  switch (kind) {
+    case SystemKind::kCJoin:
+      return "CJOIN";
+    case SystemKind::kSystemX:
+      return "SystemX";
+    case SystemKind::kPostgres:
+      return "PostgreSQL";
+  }
+  return "?";
+}
+
+std::string TemplateOf(const std::string& label) {
+  const size_t pos = label.find('#');
+  return pos == std::string::npos ? label : label.substr(0, pos);
+}
+
+bool FullScale() {
+  const char* v = std::getenv("CJOIN_BENCH_FULL");
+  return v != nullptr && v[0] != '\0' && v[0] != '0';
+}
+
+void PrintHeader(const std::string& experiment, const std::string& params) {
+  std::printf("==============================================================\n");
+  std::printf("%s\n", experiment.c_str());
+  std::printf("%s\n", params.c_str());
+  std::printf("==============================================================\n");
+  std::fflush(stdout);
+}
+
+std::vector<StarQuerySpec> MakeWorkload(const ssb::SsbQueries& queries,
+                                        size_t total, double s,
+                                        uint64_t seed) {
+  Rng rng(seed);
+  auto wl = queries.MakeWorkload(total, s, rng);
+  if (!wl.ok()) {
+    std::fprintf(stderr, "workload generation failed: %s\n",
+                 wl.status().ToString().c_str());
+    std::abort();
+  }
+  return std::move(wl).value();
+}
+
+namespace {
+
+/// Shared measurement bookkeeping: completion-order windows.
+class Meter {
+ public:
+  Meter(size_t warmup, size_t measure)
+      : warmup_(warmup), measure_(measure) {}
+
+  /// Records the completion of the query with submission index `index`
+  /// taking `response_s` seconds (plus optional submission time).
+  void Complete(size_t index, const std::string& label, double response_s,
+                double submission_s) {
+    std::lock_guard<std::mutex> lk(mu_);
+    const size_t order = completions_++;
+    if (order == warmup_) window_watch_.Restart();
+    if (order >= warmup_ && order < warmup_ + measure_) {
+      (void)index;
+      result_.response_seconds.Add(response_s);
+      if (submission_s > 0) result_.submission_seconds.Add(submission_s);
+      result_.per_template_response[TemplateOf(label)].Add(response_s);
+      if (order + 1 == warmup_ + measure_) {
+        window_seconds_ = window_watch_.ElapsedSeconds();
+        done_.store(true, std::memory_order_release);
+      }
+    }
+  }
+
+  bool Done() const { return done_.load(std::memory_order_acquire); }
+
+  RunResult Finish() {
+    std::lock_guard<std::mutex> lk(mu_);
+    result_.elapsed_seconds = window_seconds_;
+    result_.qph = window_seconds_ > 0
+                      ? static_cast<double>(measure_) / window_seconds_ * 3600.0
+                      : 0.0;
+    return result_;
+  }
+
+ private:
+  size_t warmup_;
+  size_t measure_;
+  std::mutex mu_;
+  size_t completions_ = 0;
+  Stopwatch window_watch_;
+  double window_seconds_ = 0.0;
+  std::atomic<bool> done_{false};
+  RunResult result_;
+};
+
+RunResult RunCJoin(const ssb::SsbDatabase& db,
+                   const std::vector<StarQuerySpec>& workload,
+                   const RunConfig& cfg) {
+  CJoinOperator::Options opts;
+  opts.max_concurrent_queries =
+      cfg.max_concurrency_override != 0
+          ? cfg.max_concurrency_override
+          : std::min<size_t>(1024, std::max<size_t>(cfg.concurrency, 8));
+  opts.num_worker_threads = cfg.cjoin_threads;
+  opts.batch_size = cfg.cjoin_batch_size;
+  opts.queue_capacity = cfg.cjoin_queue_capacity;
+  opts.pool_capacity = cfg.cjoin_pool_capacity;
+  opts.scan_run_rows = cfg.scan_run_rows;
+  opts.disk = cfg.disk;
+  opts.disk_reader_id = 0;  // one shared reader: the continuous scan
+  opts.adaptive_ordering = cfg.adaptive_ordering;
+  opts.config = cfg.cjoin_vertical ? PipelineConfig::kVertical
+                                   : PipelineConfig::kHorizontal;
+  CJoinOperator op(*db.star, opts);
+  if (Status st = op.Start(); !st.ok()) {
+    std::fprintf(stderr, "CJOIN start failed: %s\n", st.ToString().c_str());
+    std::abort();
+  }
+
+  Meter meter(cfg.warmup, cfg.measure);
+  struct InFlight {
+    size_t index;
+    std::unique_ptr<QueryHandle> handle;
+  };
+  std::vector<InFlight> in_flight;
+  size_t next = 0;
+  const size_t total = workload.size();
+
+  auto submit_one = [&] {
+    auto h = op.Submit(workload[next]);
+    if (!h.ok()) {
+      std::fprintf(stderr, "submit failed: %s\n",
+                   h.status().ToString().c_str());
+      std::abort();
+    }
+    in_flight.push_back(InFlight{next, std::move(*h)});
+    ++next;
+  };
+
+  while (!meter.Done()) {
+    while (in_flight.size() < cfg.concurrency && next < total &&
+           !meter.Done()) {
+      submit_one();
+    }
+    bool progress = false;
+    for (size_t i = 0; i < in_flight.size();) {
+      if (in_flight[i].handle->Ready()) {
+        auto rs = in_flight[i].handle->Wait();
+        if (!rs.ok()) {
+          std::fprintf(stderr, "query failed: %s\n",
+                       rs.status().ToString().c_str());
+          std::abort();
+        }
+        meter.Complete(in_flight[i].index, in_flight[i].handle->label(),
+                       in_flight[i].handle->ResponseSeconds(),
+                       in_flight[i].handle->SubmissionSeconds());
+        in_flight[i] = std::move(in_flight.back());
+        in_flight.pop_back();
+        progress = true;
+      } else {
+        ++i;
+      }
+    }
+    if (!progress) {
+      std::this_thread::sleep_for(std::chrono::microseconds(100));
+    }
+    if (next >= total && in_flight.empty()) break;
+  }
+  op.Stop();
+  RunResult r = meter.Finish();
+  if (cfg.disk != nullptr) r.disk_seeks = cfg.disk->SeekCount();
+  return r;
+}
+
+RunResult RunQat(SystemKind kind, const ssb::SsbDatabase& db,
+                 const std::vector<StarQuerySpec>& workload,
+                 const RunConfig& cfg) {
+  (void)db;
+  Meter meter(cfg.warmup, cfg.measure);
+  std::atomic<size_t> next{0};
+  const size_t total = workload.size();
+  const bool shared_reader = kind == SystemKind::kPostgres;
+  const int overhead = kind == SystemKind::kPostgres ? cfg.postgres_overhead
+                                                     : cfg.systemx_overhead;
+
+  auto worker = [&](size_t worker_id) {
+    for (;;) {
+      if (meter.Done()) return;
+      const size_t index = next.fetch_add(1);
+      if (index >= total) return;
+      QatOptions qopts;
+      qopts.disk = cfg.disk;
+      // PostgreSQL's synchronized scans share the device position (one
+      // reader identity); System X's private scans compete (per-query
+      // identity => seeks on every interleave).
+      qopts.reader_id = shared_reader ? 1 : 1000 + index;
+      qopts.per_tuple_overhead = overhead;
+      qopts.scan_batch_rows = cfg.scan_run_rows;
+      (void)worker_id;
+      Stopwatch watch;
+      auto rs = ExecuteStarQuery(workload[index], qopts);
+      if (!rs.ok()) {
+        std::fprintf(stderr, "baseline query failed: %s\n",
+                     rs.status().ToString().c_str());
+        std::abort();
+      }
+      meter.Complete(index, workload[index].label, watch.ElapsedSeconds(),
+                     0.0);
+    }
+  };
+
+  std::vector<std::thread> threads;
+  threads.reserve(cfg.concurrency);
+  for (size_t t = 0; t < cfg.concurrency; ++t) {
+    threads.emplace_back(worker, t);
+  }
+  for (auto& t : threads) t.join();
+  RunResult r = meter.Finish();
+  if (cfg.disk != nullptr) r.disk_seeks = cfg.disk->SeekCount();
+  return r;
+}
+
+}  // namespace
+
+RunResult RunWorkload(SystemKind kind, const ssb::SsbDatabase& db,
+                      const std::vector<StarQuerySpec>& workload,
+                      const RunConfig& config) {
+  if (workload.size() < config.warmup + config.measure) {
+    std::fprintf(stderr, "workload too small for measurement window\n");
+    std::abort();
+  }
+  if (kind == SystemKind::kCJoin) return RunCJoin(db, workload, config);
+  return RunQat(kind, db, workload, config);
+}
+
+}  // namespace bench
+}  // namespace cjoin

@@ -1,0 +1,140 @@
+#include "baseline/qat_engine.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/clock.h"
+#include "exec/aggregation.h"
+#include "exec/key_row_map.h"
+#include "storage/continuous_scan.h"
+
+namespace cjoin {
+
+namespace {
+
+/// One hash join of the pipeline: the dimension's hash table plus the fact
+/// foreign-key column to probe with.
+struct JoinStage {
+  size_t dim_index = 0;
+  size_t fact_fk_col = 0;
+  KeyRowMap table;
+  double selectivity = 1.0;  // |hash table| / |dimension|
+};
+
+/// Burns `rounds` hash-mix rounds; models interpreter overhead.
+inline uint64_t BurnOverhead(uint64_t seed, int rounds) {
+  uint64_t h = seed;
+  for (int i = 0; i < rounds; ++i) h = Mix64(h);
+  return h;
+}
+
+}  // namespace
+
+Result<ResultSet> ExecuteStarQuery(const StarQuerySpec& spec,
+                                   const QatOptions& options,
+                                   QatStats* stats) {
+  CJOIN_RETURN_IF_ERROR(ValidateSpec(spec));
+  const StarSchema& star = *spec.schema;
+  QatStats local_stats;
+  Stopwatch watch;
+
+  // ---- Build phase: one private hash table per referenced dimension ----
+  std::vector<JoinStage> stages;
+  stages.reserve(spec.dim_predicates.size());
+  for (const DimensionPredicate& dp : spec.dim_predicates) {
+    const DimensionDef& def = star.dimension(dp.dim_index);
+    const Table& dim = *def.table;
+    const Schema& dschema = dim.schema();
+
+    JoinStage stage;
+    stage.dim_index = dp.dim_index;
+    stage.fact_fk_col = def.fact_fk_col;
+    stage.table = KeyRowMap(static_cast<size_t>(dim.NumRows()));
+
+    for (uint32_t p = 0; p < dim.num_partitions(); ++p) {
+      for (uint64_t i = 0; i < dim.PartitionRows(p); ++i) {
+        const RowId id{p, i};
+        if (!dim.Header(id)->VisibleAt(spec.snapshot)) continue;
+        const uint8_t* row = dim.RowPayload(id);
+        if (!dp.predicate->EvalBool(dschema, row)) continue;
+        stage.table.Insert(dschema.GetIntAny(row, def.dim_pk_col), row);
+      }
+    }
+    local_stats.dim_rows_hashed += stage.table.size();
+    stage.selectivity =
+        dim.NumRows() == 0
+            ? 1.0
+            : static_cast<double>(stage.table.size()) /
+                  static_cast<double>(dim.NumRows());
+    stages.push_back(std::move(stage));
+  }
+
+  // Probe the most selective joins first — the standard left-deep plan
+  // ordering the comparison systems' optimizers chose as well.
+  std::sort(stages.begin(), stages.end(),
+            [](const JoinStage& a, const JoinStage& b) {
+              return a.selectivity < b.selectivity;
+            });
+  local_stats.build_seconds = watch.ElapsedSeconds();
+  watch.Restart();
+
+  // ---- Probe phase: private scan of the fact table ----
+  const Schema& fschema = star.fact().schema();
+  std::unique_ptr<StarAggregator> agg = MakeHashAggregator(spec);
+
+  ContinuousScan::Options scan_opts;
+  scan_opts.max_run_rows = options.scan_batch_rows;
+  scan_opts.disk = options.disk;
+  scan_opts.reader_id = options.reader_id;
+  SinglePassScan scan(star.fact(), scan_opts, spec.partitions);
+
+  std::vector<const uint8_t*> dim_rows(star.num_dimensions(), nullptr);
+  const size_t stride = star.fact().row_stride();
+  const bool has_fact_pred =
+      spec.fact_predicate != nullptr && !IsTrueLiteral(spec.fact_predicate);
+
+  ScanEvent ev;
+  uint64_t burn_sink = 0;
+  while (scan.Next(&ev)) {
+    if (ev.kind != ScanEvent::Kind::kRows) continue;
+    for (size_t r = 0; r < ev.count; ++r) {
+      const uint8_t* slot = ev.base + r * stride;
+      const RowHeader* hdr = reinterpret_cast<const RowHeader*>(slot);
+      const uint8_t* fact_row = slot + sizeof(RowHeader);
+      ++local_stats.fact_rows_scanned;
+      if (options.per_tuple_overhead > 0) {
+        burn_sink ^=
+            BurnOverhead(local_stats.fact_rows_scanned,
+                         options.per_tuple_overhead);
+      }
+      if (!hdr->VisibleToAll() && !hdr->VisibleAt(spec.snapshot)) continue;
+      if (has_fact_pred &&
+          !spec.fact_predicate->EvalBool(fschema, fact_row)) {
+        continue;
+      }
+      bool pass = true;
+      for (const JoinStage& stage : stages) {
+        const int64_t fk = fschema.GetIntAny(fact_row, stage.fact_fk_col);
+        const uint8_t* drow = stage.table.Find(fk);
+        if (drow == nullptr) {
+          pass = false;
+          break;
+        }
+        dim_rows[stage.dim_index] = drow;
+      }
+      if (!pass) continue;
+      ++local_stats.fact_rows_output;
+      agg->Consume(fact_row, dim_rows.data());
+    }
+  }
+  // Keep the overhead loop from being optimized away.
+  if (burn_sink == 0x5a5a5a5a5a5a5a5aULL) {
+    local_stats.fact_rows_scanned += 1;
+  }
+
+  local_stats.probe_seconds = watch.ElapsedSeconds();
+  if (stats != nullptr) *stats = local_stats;
+  return agg->Finish();
+}
+
+}  // namespace cjoin

@@ -1,0 +1,85 @@
+#include "catalog/star_schema.h"
+
+namespace cjoin {
+
+namespace {
+bool IsIntegerColumn(const Schema& schema, size_t col) {
+  const DataType t = schema.column(col).type;
+  return t == DataType::kInt32 || t == DataType::kInt64;
+}
+}  // namespace
+
+Result<StarSchema> StarSchema::Make(const Table* fact,
+                                    std::vector<DimensionDef> dims) {
+  if (fact == nullptr) {
+    return Status::InvalidArgument("star schema requires a fact table");
+  }
+  for (const DimensionDef& d : dims) {
+    if (d.table == nullptr) {
+      return Status::InvalidArgument("dimension table is null");
+    }
+    if (d.fact_fk_col >= fact->schema().num_columns()) {
+      return Status::InvalidArgument("fact FK column out of range for " +
+                                     d.table->name());
+    }
+    if (d.dim_pk_col >= d.table->schema().num_columns()) {
+      return Status::InvalidArgument("dimension PK column out of range for " +
+                                     d.table->name());
+    }
+    if (!IsIntegerColumn(fact->schema(), d.fact_fk_col) ||
+        !IsIntegerColumn(d.table->schema(), d.dim_pk_col)) {
+      return Status::InvalidArgument(
+          "join columns must be integer typed (dimension " +
+          d.table->name() + ")");
+    }
+  }
+  return StarSchema(fact, std::move(dims));
+}
+
+Result<StarSchema> StarSchema::Make(
+    const Table* fact, const std::vector<DimensionByName>& dims) {
+  if (fact == nullptr) {
+    return Status::InvalidArgument("star schema requires a fact table");
+  }
+  std::vector<DimensionDef> defs;
+  defs.reserve(dims.size());
+  for (const DimensionByName& d : dims) {
+    if (d.table == nullptr) {
+      return Status::InvalidArgument("dimension table is null");
+    }
+    CJOIN_ASSIGN_OR_RETURN(const size_t fk,
+                           fact->schema().FindColumn(d.fact_fk));
+    CJOIN_ASSIGN_OR_RETURN(const size_t pk,
+                           d.table->schema().FindColumn(d.dim_pk));
+    defs.push_back(DimensionDef{d.table, fk, pk});
+  }
+  return Make(fact, std::move(defs));
+}
+
+Result<size_t> StarSchema::FindDimension(std::string_view table_name) const {
+  for (size_t i = 0; i < dims_.size(); ++i) {
+    if (dims_[i].table->name() == table_name) return i;
+  }
+  return Status::NotFound("no dimension table named '" +
+                          std::string(table_name) + "'");
+}
+
+Status Galaxy::AddStar(std::string name, StarSchema star) {
+  for (const std::string& existing : names_) {
+    if (existing == name) {
+      return Status::AlreadyExists("star '" + name + "' already registered");
+    }
+  }
+  names_.push_back(std::move(name));
+  stars_.push_back(std::move(star));
+  return Status::OK();
+}
+
+Result<const StarSchema*> Galaxy::FindStar(std::string_view name) const {
+  for (size_t i = 0; i < names_.size(); ++i) {
+    if (names_[i] == name) return &stars_[i];
+  }
+  return Status::NotFound("no star named '" + std::string(name) + "'");
+}
+
+}  // namespace cjoin

@@ -1,0 +1,80 @@
+// Star / galaxy schema catalog (paper §2.1, §5).
+//
+// A StarSchema wires one fact table to its dimension tables through
+// key/foreign-key equi-joins. A Galaxy holds several fact tables (each the
+// center of a star) that may share dimensions; fact-to-fact joins over a
+// galaxy are evaluated by pivoting two star sub-queries (§5).
+
+#ifndef CJOIN_CATALOG_STAR_SCHEMA_H_
+#define CJOIN_CATALOG_STAR_SCHEMA_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/table.h"
+
+namespace cjoin {
+
+/// One dimension of a star schema: the dimension table plus the join
+/// columns of the key/foreign-key equi-join F.fk = D.pk.
+struct DimensionDef {
+  const Table* table = nullptr;
+  /// Column index of the foreign key within the fact schema.
+  size_t fact_fk_col = 0;
+  /// Column index of the primary key within the dimension schema.
+  size_t dim_pk_col = 0;
+};
+
+/// An immutable star schema: fact table F and dimensions D1..Dd.
+class StarSchema {
+ public:
+  /// Builds and validates a star schema. Fails if a join column is missing
+  /// or its type is not integer.
+  static Result<StarSchema> Make(const Table* fact,
+                                 std::vector<DimensionDef> dims);
+
+  /// Convenience: resolves join columns by name.
+  struct DimensionByName {
+    const Table* table;
+    std::string fact_fk;
+    std::string dim_pk;
+  };
+  static Result<StarSchema> Make(const Table* fact,
+                                 const std::vector<DimensionByName>& dims);
+
+  const Table& fact() const { return *fact_; }
+  size_t num_dimensions() const { return dims_.size(); }
+  const DimensionDef& dimension(size_t i) const { return dims_[i]; }
+
+  /// Index of the dimension whose table has `table_name`.
+  Result<size_t> FindDimension(std::string_view table_name) const;
+
+ private:
+  StarSchema(const Table* fact, std::vector<DimensionDef> dims)
+      : fact_(fact), dims_(std::move(dims)) {}
+
+  const Table* fact_;
+  std::vector<DimensionDef> dims_;
+};
+
+/// A set of star schemas over (possibly shared) dimension tables.
+class Galaxy {
+ public:
+  /// Registers a star under `name`; fails on duplicates.
+  Status AddStar(std::string name, StarSchema star);
+
+  Result<const StarSchema*> FindStar(std::string_view name) const;
+
+  size_t num_stars() const { return stars_.size(); }
+  const std::string& star_name(size_t i) const { return names_[i]; }
+  const StarSchema& star(size_t i) const { return stars_[i]; }
+
+ private:
+  std::vector<std::string> names_;
+  std::vector<StarSchema> stars_;
+};
+
+}  // namespace cjoin
+
+#endif  // CJOIN_CATALOG_STAR_SCHEMA_H_

@@ -1,0 +1,381 @@
+#include "cjoin/cjoin_operator.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/bitvector.h"
+#include "common/trace.h"
+
+namespace cjoin {
+
+CJoinOperator::CJoinOperator(const StarSchema& star, Options options)
+    : star_(star),
+      opts_(options),
+      width_(bitops::WordsForBits(options.max_concurrent_queries)),
+      num_dims_(star.num_dimensions()) {
+  assert(width_ > 0 && width_ <= kMaxWidthWords &&
+         "max_concurrent_queries must be in [1, 1024]");
+  if (!opts_.aggregator_factory) {
+    opts_.aggregator_factory = [](const StarQuerySpec& spec) {
+      return MakeHashAggregator(spec);
+    };
+  }
+
+  // Query id freelist: ids [0, maxConc), lowest first (paper: "the first
+  // unused query id").
+  free_ids_.reserve(opts_.max_concurrent_queries);
+  for (size_t i = opts_.max_concurrent_queries; i > 0; --i) {
+    free_ids_.push_back(static_cast<uint32_t>(i - 1));
+  }
+  registry_.resize(opts_.max_concurrent_queries);
+
+  pool_ = std::make_unique<TuplePool>(opts_.pool_capacity,
+                                      SlotStride(num_dims_, width_));
+  epochs_ = std::make_unique<EpochTracker>();
+  cleanup_queue_ = std::make_unique<CleanupQueue>(4096);
+
+  // One Filter per dimension for the pipeline's lifetime (see filter.h).
+  filters_.reserve(num_dims_);
+  for (size_t d = 0; d < num_dims_; ++d) {
+    auto f = std::make_unique<Filter>();
+    f->dim_index = d;
+    f->fact_fk_col = star_.dimension(d).fact_fk_col;
+    f->table = std::make_unique<DimensionHashTable>(width_, 1024);
+    filters_.push_back(std::move(f));
+  }
+
+  // Queues: preprocessor -> stage0 -> ... -> distributor.
+  const size_t num_stages =
+      opts_.config == PipelineConfig::kHorizontal
+          ? 1
+          : std::max<size_t>(1, num_dims_);
+  BatchQueue::Options qopts;
+  qopts.capacity = opts_.queue_capacity;
+  qopts.consumer_wake_depth = opts_.queue_wake_depth;
+  for (size_t q = 0; q < num_stages + 1; ++q) {
+    queues_.push_back(std::make_unique<BatchQueue>(qopts));
+  }
+
+  // Stage boxing.
+  for (size_t s = 0; s < num_stages; ++s) {
+    auto order = std::make_shared<FilterOrder>();
+    if (opts_.config == PipelineConfig::kHorizontal) {
+      for (auto& f : filters_) order->push_back(f.get());
+    } else {
+      if (s < filters_.size()) order->push_back(filters_[s].get());
+    }
+    stages_.push_back(std::make_unique<Stage>(
+        "stage" + std::to_string(s), &star_.fact().schema(), num_dims_,
+        width_, std::move(order), queues_[s].get(), queues_[s + 1].get(),
+        /*owns_output=*/true, pool_.get(), epochs_.get()));
+  }
+
+  Preprocessor::Options popts;
+  popts.batch_size = opts_.batch_size;
+  popts.scan_run_rows = opts_.scan_run_rows;
+  popts.disk = opts_.disk;
+  popts.reader_id = opts_.disk_reader_id;
+  popts.snapshot_probe = opts_.snapshot_probe;
+  preprocessor_ = std::make_unique<Preprocessor>(
+      star_, width_, pool_.get(), epochs_.get(), queues_.front().get(),
+      popts);
+
+  distributor_ = std::make_unique<Distributor>(
+      num_dims_, width_, opts_.max_concurrent_queries, pool_.get(),
+      epochs_.get(), queues_.back().get(), cleanup_queue_.get());
+}
+
+CJoinOperator::~CJoinOperator() { Stop(); }
+
+Status CJoinOperator::Start() {
+  if (started_) return Status::FailedPrecondition("already started");
+  started_ = true;
+
+  preprocessor_thread_ =
+      std::thread([this] { preprocessor_->Run(stop_); });
+
+  // Distribute worker threads over stages (vertical: at least one each;
+  // any surplus goes to the first stages, following §6.2.1).
+  const size_t num_stages = stages_.size();
+  std::vector<size_t> threads_per_stage(num_stages, 0);
+  if (num_stages == 1) {
+    threads_per_stage[0] = std::max<size_t>(1, opts_.num_worker_threads);
+  } else {
+    for (size_t s = 0; s < num_stages; ++s) threads_per_stage[s] = 1;
+    size_t extra = opts_.num_worker_threads > num_stages
+                       ? opts_.num_worker_threads - num_stages
+                       : 0;
+    for (size_t s = 0; extra > 0; s = (s + 1) % num_stages, --extra) {
+      ++threads_per_stage[s];
+    }
+  }
+  for (size_t s = 0; s < num_stages; ++s) {
+    stages_[s]->Start(threads_per_stage[s]);
+  }
+
+  distributor_thread_ = std::thread([this] { distributor_->Run(); });
+  manager_thread_ = std::thread([this] { ManagerLoop(); });
+  return Status::OK();
+}
+
+void CJoinOperator::Stop() {
+  if (!started_ || stopped_) return;
+  stopped_ = true;
+  stop_.store(true);
+  submissions_.Close();
+  {
+    // Wake Submit() callers blocked on the id freelist.
+    std::lock_guard<std::mutex> lk(id_mu_);
+    id_available_.notify_all();
+  }
+
+  if (preprocessor_thread_.joinable()) preprocessor_thread_.join();
+  // Preprocessor closed queues_.front(); stages cascade-close downstream.
+  for (auto& stage : stages_) stage->Join();
+  if (distributor_thread_.joinable()) distributor_thread_.join();
+  cleanup_queue_->Close();
+  if (manager_thread_.joinable()) manager_thread_.join();
+
+  // Abort every query that did not complete.
+  std::lock_guard<std::mutex> lk(registry_mu_);
+  for (auto& rt : registry_) {
+    if (rt == nullptr) continue;
+    QueryPhase phase = rt->phase.load();
+    if (phase != QueryPhase::kCompleted && phase != QueryPhase::kAborted) {
+      rt->phase.store(QueryPhase::kAborted);
+      rt->promise.set_value(Status::Aborted("CJOIN operator stopped"));
+    }
+    rt.reset();
+  }
+}
+
+uint32_t CJoinOperator::AcquireQueryId() {
+  std::unique_lock<std::mutex> lk(id_mu_);
+  id_available_.wait(lk, [this] {
+    return !free_ids_.empty() || stop_.load();
+  });
+  if (free_ids_.empty()) return UINT32_MAX;
+  const uint32_t id = free_ids_.back();
+  free_ids_.pop_back();
+  return id;
+}
+
+void CJoinOperator::ReleaseQueryId(uint32_t qid) {
+  std::lock_guard<std::mutex> lk(id_mu_);
+  free_ids_.push_back(qid);
+  // Reuse the smallest id first (paper §3.3); keep the freelist sorted
+  // descending so back() is the minimum.
+  std::sort(free_ids_.begin(), free_ids_.end(),
+            std::greater<uint32_t>());
+  id_available_.notify_one();
+}
+
+Result<std::unique_ptr<QueryHandle>> CJoinOperator::Submit(
+    StarQuerySpec spec, AggregatorFactory aggregator_factory) {
+  if (!started_ || stopped_) {
+    return Status::FailedPrecondition("operator not running");
+  }
+  if (spec.schema != &star_) {
+    return Status::InvalidArgument(
+        "query targets a different star schema than this operator");
+  }
+  CJOIN_ASSIGN_OR_RETURN(StarQuerySpec normalized,
+                         NormalizeSpec(std::move(spec)));
+
+  const uint32_t qid = AcquireQueryId();
+  if (qid == UINT32_MAX) {
+    return Status::Aborted("operator stopped while waiting for a query id");
+  }
+
+  auto rt = std::make_shared<QueryRuntime>();
+  rt->query_id = qid;
+  rt->spec = std::move(normalized);
+  rt->custom_aggregator_factory = std::move(aggregator_factory);
+  rt->submit_ns.store(QueryRuntime::NowNs());
+  std::future<Result<ResultSet>> fut = rt->promise.get_future();
+  {
+    std::lock_guard<std::mutex> lk(registry_mu_);
+    registry_[qid] = rt;
+  }
+  auto handle = std::make_unique<QueryHandle>(rt, std::move(fut));
+  if (!submissions_.Push(rt)) {
+    std::lock_guard<std::mutex> lk(registry_mu_);
+    registry_[qid].reset();
+    ReleaseQueryId(qid);
+    return Status::Aborted("operator stopped");
+  }
+  return handle;
+}
+
+void CJoinOperator::AdmitQuery(const std::shared_ptr<QueryRuntime>& rt) {
+  if (TraceEnabled()) fprintf(stderr, "[mgr] admit qid=%u begin\n", rt->query_id);
+  rt->phase.store(QueryPhase::kLoading);
+  const uint32_t qid = rt->query_id;
+  const StarQuerySpec& spec = rt->spec;
+
+  // Which dimensions does the query reference?
+  std::vector<bool> referenced(num_dims_, false);
+  for (const DimensionPredicate& dp : spec.dim_predicates) {
+    referenced[dp.dim_index] = true;
+  }
+
+  // Algorithm 1 lines 3-10, plus the id-reuse invariant restoration
+  // (DESIGN.md §5): bit `qid` of every stored tuple must read as
+  // "selected or not referenced" for THIS query before any fact tuple
+  // carries the bit.
+  for (size_t d = 0; d < num_dims_; ++d) {
+    Filter& f = *filters_[d];
+    f.table->SetComplementBit(qid, !referenced[d]);
+    f.table->SetBitForAllEntries(qid, !referenced[d]);
+  }
+
+  // Algorithm 1 lines 11-16: load selected dimension tuples.
+  for (const DimensionPredicate& dp : spec.dim_predicates) {
+    const DimensionDef& def = star_.dimension(dp.dim_index);
+    const Table& dim = *def.table;
+    const Schema& dschema = dim.schema();
+    DimensionHashTable& ht = *filters_[dp.dim_index]->table;
+    for (uint32_t p = 0; p < dim.num_partitions(); ++p) {
+      for (uint64_t i = 0; i < dim.PartitionRows(p); ++i) {
+        const RowId id{p, i};
+        if (!dim.Header(id)->VisibleAt(spec.snapshot)) continue;
+        const uint8_t* row = dim.RowPayload(id);
+        if (!dp.predicate->EvalBool(dschema, row)) continue;
+        DimensionHashTable::Entry* e =
+            ht.InsertOrGet(dschema.GetIntAny(row, def.dim_pk_col), row);
+        DimensionHashTable::SetEntryBit(e, qid, true);
+      }
+    }
+  }
+
+  rt->aggregator = rt->custom_aggregator_factory
+                       ? rt->custom_aggregator_factory(spec)
+                       : opts_.aggregator_factory(spec);
+  bitops::SetBit(manager_active_mask_, qid);
+
+  // Algorithm 1 lines 17-22: install in the Preprocessor (which emits the
+  // query-start control tuple at an exact stream position).
+  preprocessor_->RequestAdmission(rt);
+  if (TraceEnabled()) fprintf(stderr, "[mgr] admit qid=%u requested\n", rt->query_id);
+}
+
+void CJoinOperator::CleanupQuery(uint32_t qid) {
+  if (TraceEnabled()) fprintf(stderr, "[mgr] cleanup qid=%u\n", qid);
+  std::shared_ptr<QueryRuntime> rt;
+  {
+    std::lock_guard<std::mutex> lk(registry_mu_);
+    rt = registry_[qid];
+  }
+  if (rt == nullptr) return;
+
+  bitops::ClearBit(manager_active_mask_, qid);
+
+  // Algorithm 2: complement bits revert to 1 ("does not reference"), the
+  // query's selections are cleared, and dead tuples are collected.
+  std::vector<bool> referenced(num_dims_, false);
+  for (const DimensionPredicate& dp : rt->spec.dim_predicates) {
+    referenced[dp.dim_index] = true;
+  }
+  for (size_t d = 0; d < num_dims_; ++d) {
+    Filter& f = *filters_[d];
+    f.table->SetComplementBit(qid, true);
+    if (referenced[d]) {
+      f.table->SetBitForAllEntries(qid, false);
+    }
+    if (opts_.gc_dimension_tuples) {
+      f.table->RemoveDeadEntries(manager_active_mask_);
+    }
+  }
+
+  {
+    std::lock_guard<std::mutex> lk(registry_mu_);
+    registry_[qid].reset();
+  }
+  ReleaseQueryId(qid);
+}
+
+void CJoinOperator::MaybeReorderFilters() {
+  // Adaptive ordering applies to the single-stage (horizontal) layout:
+  // rank filters by observed drop rate, most selective first (§3.4; with
+  // equal per-filter costs the rank ordering is optimal).
+  if (!opts_.adaptive_ordering || stages_.size() != 1) return;
+
+  std::shared_ptr<const FilterOrder> current = stages_[0]->filter_order();
+  FilterOrder ranked = *current;
+  std::stable_sort(ranked.begin(), ranked.end(),
+                   [](const Filter* a, const Filter* b) {
+                     return a->DropRate() > b->DropRate();
+                   });
+  if (ranked != *current) {
+    stages_[0]->SetFilterOrder(
+        std::make_shared<const FilterOrder>(std::move(ranked)));
+    reorders_.fetch_add(1, std::memory_order_relaxed);
+  }
+  for (auto& f : filters_) f->DecayStats();
+}
+
+void CJoinOperator::ManagerLoop() {
+  auto next_reorder =
+      std::chrono::steady_clock::now() + opts_.reorder_interval;
+  for (;;) {
+    manager_iterations_.fetch_add(1, std::memory_order_relaxed);
+    // Serve cleanups first (they release query ids), then submissions.
+    bool did_work = false;
+    while (auto qid = cleanup_queue_->TryPop()) {
+      CleanupQuery(*qid);
+      did_work = true;
+    }
+    if (auto rt = submissions_.TryPop()) {
+      AdmitQuery(*rt);
+      did_work = true;
+    }
+    if (!did_work) {
+      if (stop_.load() && submissions_.closed() &&
+          cleanup_queue_->closed() && cleanup_queue_->empty()) {
+        break;
+      }
+      auto rt = submissions_.PopWithTimeout(std::chrono::milliseconds(2));
+      if (rt.has_value()) AdmitQuery(*rt);
+    }
+    if (opts_.adaptive_ordering &&
+        std::chrono::steady_clock::now() >= next_reorder) {
+      MaybeReorderFilters();
+      next_reorder =
+          std::chrono::steady_clock::now() + opts_.reorder_interval;
+    }
+  }
+  // Final drain of cleanups so ids/registry end tidy.
+  while (auto qid = cleanup_queue_->TryPop()) CleanupQuery(*qid);
+}
+
+CJoinOperator::Stats CJoinOperator::GetStats() const {
+  Stats s;
+  s.rows_scanned = preprocessor_->rows_scanned();
+  s.rows_skipped_at_preprocessor = preprocessor_->rows_skipped();
+  s.tuples_routed = distributor_->tuples_routed();
+  s.queries_completed = distributor_->queries_completed();
+  s.table_laps = preprocessor_->table_laps();
+  s.active_queries = preprocessor_->active_queries();
+  s.pool_in_use = pool_->InUse();
+  s.filter_reorders = reorders_.load(std::memory_order_relaxed);
+  s.manager_iterations = manager_iterations_.load(std::memory_order_relaxed);
+  s.submissions_pending = submissions_.size();
+  s.admissions_pending = preprocessor_->admissions_pending();
+  s.cleanups_pending = cleanup_queue_->size();
+  if (!stages_.empty()) {
+    auto order = stages_[0]->filter_order();
+    for (const Filter* f : *order) s.filter_order.push_back(f->dim_index);
+  }
+  for (const auto& f : filters_) {
+    s.dim_table_sizes.push_back(f->table->size());
+    s.filter_tuples_in.push_back(
+        f->tuples_in.load(std::memory_order_relaxed));
+    s.filter_tuples_dropped.push_back(
+        f->tuples_dropped.load(std::memory_order_relaxed));
+  }
+  return s;
+}
+
+}  // namespace cjoin

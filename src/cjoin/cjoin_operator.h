@@ -1,0 +1,200 @@
+// CJOIN: the concurrent star-join operator (the paper's contribution).
+//
+// One CJoinOperator evaluates an unbounded stream of concurrent star
+// queries over a single star schema with a single "always-on" physical
+// plan:
+//
+//   continuous scan -> Preprocessor -> Filters (in Stages) -> Distributor
+//                          ^                                     |
+//                          +--------- Pipeline Manager <---------+
+//
+// Work shared across ALL in-flight queries: the fact-table I/O (one
+// continuous scan), the join computation (one dimension-hash-table probe
+// filters a tuple against every query at once), and tuple storage (one
+// copy of each selected dimension tuple, with a query bit-vector).
+//
+// Usage:
+//   CJoinOperator op(star, options);
+//   op.Start();
+//   auto handle = op.Submit(spec);          // non-blocking pipeline entry
+//   Result<ResultSet> rs = handle->Wait();  // paper: one scan wrap later
+//   op.Stop();
+
+#ifndef CJOIN_CJOIN_CJOIN_OPERATOR_H_
+#define CJOIN_CJOIN_CJOIN_OPERATOR_H_
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "catalog/query_spec.h"
+#include "cjoin/distributor.h"
+#include "cjoin/filter.h"
+#include "cjoin/preprocessor.h"
+#include "cjoin/query_runtime.h"
+#include "cjoin/stage.h"
+#include "common/status.h"
+
+namespace cjoin {
+
+/// Thread mapping of the filter pipeline (§4).
+enum class PipelineConfig {
+  kHorizontal,  ///< one Stage boxing all Filters, N threads
+  kVertical,    ///< one Stage per Filter, >=1 thread each
+};
+
+class CJoinOperator {
+ public:
+  struct Options {
+    /// maxConc: bound on concurrently registered queries; fixes the
+    /// bit-vector width at ceil(maxConc/64) words. Submit() blocks while
+    /// all ids are taken.
+    size_t max_concurrent_queries = 256;
+
+    PipelineConfig config = PipelineConfig::kHorizontal;
+    /// Stage worker threads. Horizontal: all on the single Stage.
+    /// Vertical: distributed round-robin, at least one per Stage.
+    size_t num_worker_threads = 4;
+
+    /// Data tuples per batch (queue transfer unit, §4).
+    size_t batch_size = 256;
+    /// Batches per inter-component queue.
+    size_t queue_capacity = 64;
+    /// Wakeup hysteresis for the queues (1 = always wake; §4).
+    size_t queue_wake_depth = 1;
+    /// Preallocated in-flight tuple slots (§4's specialized allocator).
+    size_t pool_capacity = 64 * 1024;
+
+    /// Rows per continuous-scan run.
+    size_t scan_run_rows = 1024;
+    SimDisk* disk = nullptr;
+    uint64_t disk_reader_id = 0;
+
+    /// Run-time filter reordering (§3.4, after Babu et al.). Only applied
+    /// in the horizontal configuration.
+    bool adaptive_ordering = true;
+    std::chrono::milliseconds reorder_interval{50};
+
+    /// Garbage-collect dimension hash entries selected by no live query
+    /// after each query cleanup (Algorithm 2's GC).
+    bool gc_dimension_tuples = true;
+
+    AggregatorFactory aggregator_factory;  // default: MakeHashAggregator
+
+    /// Optional probe of the engine's current snapshot, used to bound
+    /// append-visibility staleness (see Preprocessor::covered_snapshot).
+    std::function<SnapshotId()> snapshot_probe;
+  };
+
+  CJoinOperator(const StarSchema& star, Options options);
+  ~CJoinOperator();
+
+  CJoinOperator(const CJoinOperator&) = delete;
+  CJoinOperator& operator=(const CJoinOperator&) = delete;
+
+  /// Spawns the pipeline threads. Must be called once before Submit().
+  Status Start();
+
+  /// Stops the pipeline, aborting unfinished queries. Idempotent.
+  void Stop();
+
+  /// Registers a star query (normalizing it first). Blocks while
+  /// max_concurrent_queries are in flight. Thread-safe. When
+  /// `aggregator_factory` is provided it overrides the operator default
+  /// for this query only (used by the galaxy join, §5).
+  Result<std::unique_ptr<QueryHandle>> Submit(
+      StarQuerySpec spec, AggregatorFactory aggregator_factory = nullptr);
+
+  /// Point-in-time statistics.
+  struct Stats {
+    uint64_t rows_scanned = 0;
+    uint64_t rows_skipped_at_preprocessor = 0;
+    uint64_t tuples_routed = 0;
+    uint64_t queries_completed = 0;
+    uint64_t table_laps = 0;
+    size_t active_queries = 0;
+    size_t pool_in_use = 0;
+    uint64_t filter_reorders = 0;
+    /// Current filter order (dimension indices) of the first stage.
+    std::vector<size_t> filter_order;
+    /// Per-dimension hash table sizes.
+    std::vector<size_t> dim_table_sizes;
+    /// Per-dimension filter statistics (since the last decay window).
+    std::vector<uint64_t> filter_tuples_in;
+    std::vector<uint64_t> filter_tuples_dropped;
+    /// Liveness diagnostics.
+    uint64_t manager_iterations = 0;
+    size_t submissions_pending = 0;
+    size_t admissions_pending = 0;
+    size_t cleanups_pending = 0;
+  };
+  Stats GetStats() const;
+
+  const StarSchema& star() const { return star_; }
+  size_t width_words() const { return width_; }
+
+  /// Newest snapshot whose rows the continuous scan fully covers; callers
+  /// capping query snapshots at this value get exact snapshot semantics
+  /// under concurrent appends (kMaxSnapshot without a snapshot_probe).
+  SnapshotId covered_snapshot() const {
+    return preprocessor_->covered_snapshot();
+  }
+
+ private:
+  void ManagerLoop();
+  /// Algorithm 1 (minus the Preprocessor installation, which the
+  /// Preprocessor itself performs on RequestAdmission).
+  void AdmitQuery(const std::shared_ptr<QueryRuntime>& rt);
+  /// Algorithm 2.
+  void CleanupQuery(uint32_t qid);
+  void MaybeReorderFilters();
+
+  uint32_t AcquireQueryId();
+  void ReleaseQueryId(uint32_t qid);
+
+  const StarSchema& star_;
+  Options opts_;
+  const size_t width_;
+  const size_t num_dims_;
+
+  // Pipeline plumbing.
+  std::unique_ptr<TuplePool> pool_;
+  std::unique_ptr<EpochTracker> epochs_;
+  std::vector<std::unique_ptr<BatchQueue>> queues_;
+  std::vector<std::unique_ptr<Filter>> filters_;  // one per dimension
+  std::vector<std::unique_ptr<Stage>> stages_;
+  std::unique_ptr<Preprocessor> preprocessor_;
+  std::unique_ptr<Distributor> distributor_;
+  std::unique_ptr<CleanupQueue> cleanup_queue_;
+
+  // Manager state.
+  BoundedQueue<std::shared_ptr<QueryRuntime>> submissions_{1024};
+  uint64_t manager_active_mask_[kMaxWidthWords] = {};
+  std::atomic<uint64_t> reorders_{0};
+  std::atomic<uint64_t> manager_iterations_{0};
+
+  // Query id freelist.
+  std::mutex id_mu_;
+  std::condition_variable id_available_;
+  std::vector<uint32_t> free_ids_;
+
+  /// Keeps runtimes alive while raw pointers travel through the pipeline.
+  std::vector<std::shared_ptr<QueryRuntime>> registry_;
+  std::mutex registry_mu_;
+
+  std::thread preprocessor_thread_;
+  std::thread distributor_thread_;
+  std::thread manager_thread_;
+  std::atomic<bool> stop_{false};
+  bool started_ = false;
+  bool stopped_ = false;
+};
+
+}  // namespace cjoin
+
+#endif  // CJOIN_CJOIN_CJOIN_OPERATOR_H_

@@ -1,0 +1,168 @@
+#include "cjoin/dim_hash_table.h"
+
+#include <cassert>
+#include <mutex>
+
+#include "common/hash.h"
+
+namespace cjoin {
+
+namespace {
+size_t NextPow2(size_t v) {
+  size_t p = 16;
+  while (p < v) p <<= 1;
+  return p;
+}
+}  // namespace
+
+DimensionHashTable::DimensionHashTable(size_t width_words,
+                                       size_t expected_entries)
+    : width_(width_words) {
+  assert(width_ > 0);
+  const size_t cap = NextPow2(expected_entries * 2);
+  slots_.assign(cap, Entry{});
+  words_.reset(new uint64_t[cap * width_]());
+  for (size_t i = 0; i < cap; ++i) slots_[i].bits = &words_[i * width_];
+  complement_.reset(new uint64_t[width_]());
+}
+
+void DimensionHashTable::SetComplementBit(size_t query_id, bool value) {
+  if (value) {
+    bitops::AtomicSetBit(complement_.get(), query_id);
+  } else {
+    bitops::AtomicClearBit(complement_.get(), query_id);
+  }
+}
+
+const DimensionHashTable::Entry* DimensionHashTable::ProbeLocked(
+    int64_t key) const {
+  const size_t mask = Mask();
+  size_t idx = Mix64(static_cast<uint64_t>(key)) & mask;
+  for (;;) {
+    const Entry& e = slots_[idx];
+    if (!e.used) return nullptr;
+    if (e.key == key) return &e;
+    idx = (idx + 1) & mask;
+  }
+}
+
+DimensionHashTable::Entry* DimensionHashTable::FindSlotLocked(int64_t key) {
+  const size_t mask = Mask();
+  size_t idx = Mix64(static_cast<uint64_t>(key)) & mask;
+  for (;;) {
+    Entry& e = slots_[idx];
+    if (!e.used || e.key == key) return &e;
+    idx = (idx + 1) & mask;
+  }
+}
+
+void DimensionHashTable::RehashLocked() {
+  const size_t old_cap = slots_.size();
+  const size_t new_cap = old_cap * 2;
+  std::vector<Entry> old_slots = std::move(slots_);
+  std::unique_ptr<uint64_t[]> old_words = std::move(words_);
+
+  slots_.assign(new_cap, Entry{});
+  words_.reset(new uint64_t[new_cap * width_]());
+  for (size_t i = 0; i < new_cap; ++i) slots_[i].bits = &words_[i * width_];
+
+  const size_t mask = new_cap - 1;
+  for (const Entry& e : old_slots) {
+    if (!e.used) continue;
+    size_t idx = Mix64(static_cast<uint64_t>(e.key)) & mask;
+    while (slots_[idx].used) idx = (idx + 1) & mask;
+    Entry& dst = slots_[idx];
+    dst.key = e.key;
+    dst.row = e.row;
+    dst.used = true;
+    bitops::Copy(dst.bits, e.bits, width_);
+  }
+}
+
+DimensionHashTable::Entry* DimensionHashTable::InsertOrGet(
+    int64_t key, const uint8_t* row) {
+  std::unique_lock<std::shared_mutex> lk(mu_);
+  if ((size_ + 1) * 10 > slots_.size() * 7) RehashLocked();
+  Entry* e = FindSlotLocked(key);
+  if (e->used) return e;
+  e->key = key;
+  e->row = row;
+  e->used = true;
+  // New tuples start as "b_Dj" — not selected by any query referencing
+  // D_j, implicitly selected by every query that does not reference it.
+  for (size_t w = 0; w < width_; ++w) {
+    e->bits[w] = bitops::AtomicLoadWord(complement_.get(), w);
+  }
+  ++size_;
+  return e;
+}
+
+void DimensionHashTable::SetEntryBit(Entry* entry, size_t query_id,
+                                     bool value) {
+  if (value) {
+    bitops::AtomicSetBit(entry->bits, query_id);
+  } else {
+    bitops::AtomicClearBit(entry->bits, query_id);
+  }
+}
+
+void DimensionHashTable::SetBitForAllEntries(size_t query_id, bool value) {
+  std::shared_lock<std::shared_mutex> lk(mu_);
+  for (Entry& e : slots_) {
+    if (!e.used) continue;
+    if (value) {
+      bitops::AtomicSetBit(e.bits, query_id);
+    } else {
+      bitops::AtomicClearBit(e.bits, query_id);
+    }
+  }
+}
+
+size_t DimensionHashTable::RemoveDeadEntries(const uint64_t* active_mask) {
+  std::unique_lock<std::shared_mutex> lk(mu_);
+  size_t removed = 0;
+  // Collect surviving entries, then rebuild in place (linear probing does
+  // not support in-place deletion without tombstones).
+  std::vector<Entry> survivors;
+  std::vector<uint64_t> survivor_bits;
+  survivors.reserve(size_);
+  for (const Entry& e : slots_) {
+    if (!e.used) continue;
+    bool dead = true;
+    for (size_t w = 0; w < width_; ++w) {
+      const uint64_t relevant = e.bits[w] & active_mask[w];
+      const uint64_t comp =
+          bitops::AtomicLoadWord(complement_.get(), w) & active_mask[w];
+      if (relevant != comp) {
+        dead = false;
+        break;
+      }
+    }
+    if (dead) {
+      ++removed;
+      continue;
+    }
+    survivors.push_back(e);
+    for (size_t w = 0; w < width_; ++w) survivor_bits.push_back(e.bits[w]);
+  }
+  if (removed == 0) return 0;
+
+  for (Entry& e : slots_) {
+    e.used = false;
+  }
+  const size_t mask = Mask();
+  for (size_t i = 0; i < survivors.size(); ++i) {
+    const Entry& src = survivors[i];
+    size_t idx = Mix64(static_cast<uint64_t>(src.key)) & mask;
+    while (slots_[idx].used) idx = (idx + 1) & mask;
+    Entry& dst = slots_[idx];
+    dst.key = src.key;
+    dst.row = src.row;
+    dst.used = true;
+    bitops::Copy(dst.bits, &survivor_bits[i * width_], width_);
+  }
+  size_ = survivors.size();
+  return removed;
+}
+
+}  // namespace cjoin

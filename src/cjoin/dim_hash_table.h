@@ -1,0 +1,125 @@
+// Dimension hash tables with query bit-vectors (paper §3.2.1).
+//
+// H_Dj stores the union of dimension-j tuples selected by at least one
+// registered query. Each stored tuple carries a bit-vector b_delta
+// (bit i set iff query i selects the tuple, or does not reference D_j at
+// all), and the table carries one complementary bitmap b_Dj (bit i set
+// iff query i does not reference D_j) — the filtering vector of any tuple
+// NOT present in the table.
+//
+// Concurrency model (paper §3.3.1: registration proceeds in the Pipeline
+// Manager thread "in parallel with the processing of fact tuples"):
+//   * Filter workers take the shared lock for the duration of a probe
+//     batch and read entry bit-words with relaxed atomics.
+//   * The Pipeline Manager mutates bit-words with atomic RMWs under the
+//     shared lock, and takes the exclusive lock only for structural
+//     changes (insert/rehash/remove).
+// Mid-flight bit flips are harmless: the Preprocessor keeps the new
+// query's bit at 0 in every fact tuple until registration completes, and
+// a finished query's results were already emitted before cleanup starts.
+
+#ifndef CJOIN_CJOIN_DIM_HASH_TABLE_H_
+#define CJOIN_CJOIN_DIM_HASH_TABLE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <shared_mutex>
+#include <vector>
+
+#include "common/bitvector.h"
+
+namespace cjoin {
+
+/// Hash table from dimension primary key to (row pointer, bit-vector).
+class DimensionHashTable {
+ public:
+  /// An entry; `bits` has the table's word width. Pointers to entries are
+  /// invalidated by structural changes — callers only hold them while
+  /// holding at least the shared lock.
+  struct Entry {
+    int64_t key = 0;
+    const uint8_t* row = nullptr;
+    bool used = false;
+    /// Bit-vector words follow out-of-line in the words arena.
+    uint64_t* bits = nullptr;
+  };
+
+  /// `width_words`: bit-vector width (ceil(maxConc/64)).
+  DimensionHashTable(size_t width_words, size_t expected_entries = 64);
+
+  size_t width_words() const { return width_; }
+  size_t size() const { return size_; }
+
+  /// Lock taken shared by probing filters, exclusive by structure-changing
+  /// admission steps.
+  std::shared_mutex& mutex() { return mu_; }
+
+  /// Complementary bitmap b_Dj words; read with bitops::AtomicLoadWord,
+  /// written via SetComplementBit.
+  const uint64_t* complement() const { return complement_.get(); }
+
+  /// Sets/clears bit `query_id` of b_Dj (atomic; any lock level).
+  void SetComplementBit(size_t query_id, bool value);
+
+  // --- Probe path (caller holds shared lock) ------------------------------
+
+  /// Returns the entry for `key` or nullptr. The returned pointer is valid
+  /// while the shared lock is held.
+  const Entry* ProbeLocked(int64_t key) const;
+
+  // --- Admission / cleanup path (Pipeline Manager thread) -----------------
+
+  /// Inserts `key` if absent, initializing the new entry's bits to the
+  /// current complement b_Dj (a tuple not previously stored behaves as
+  /// "not selected" for queries that reference D_j and "selected" for
+  /// queries that don't — exactly b_Dj, paper §3.3.1). Takes the
+  /// exclusive lock internally. Returns the entry (existing or new).
+  Entry* InsertOrGet(int64_t key, const uint8_t* row);
+
+  /// Atomically sets/clears bit `query_id` of the entry's bit-vector
+  /// (caller holds shared or exclusive lock).
+  static void SetEntryBit(Entry* entry, size_t query_id, bool value);
+
+  /// Sets or clears bit `query_id` across all stored entries (shared lock
+  /// taken internally; atomic per word). Used to restore the bit-vector
+  /// invariant when a query id is (re)assigned — see DESIGN.md §5.
+  void SetBitForAllEntries(size_t query_id, bool value);
+
+  /// Removes entries whose bit-vectors are all-zero across `active_words`
+  /// mask (i.e. selected by no live query and irrelevant to all).
+  /// Exclusive lock taken internally. Returns entries removed.
+  ///
+  /// An entry is dead iff (bits & active_mask) == (complement &
+  /// active_mask): its vector carries no information beyond b_Dj, so a
+  /// probe miss yields the same filtering vector (Algorithm 2's garbage
+  /// collection, generalized).
+  size_t RemoveDeadEntries(const uint64_t* active_mask);
+
+  /// Visits every entry under the shared lock: fn(const Entry&).
+  template <typename Fn>
+  void ForEachEntry(Fn&& fn) const {
+    std::shared_lock<std::shared_mutex> lk(mu_);
+    for (const Entry& e : slots_) {
+      if (e.used) fn(e);
+    }
+  }
+
+ private:
+  size_t Mask() const { return slots_.size() - 1; }
+  void RehashLocked();
+  Entry* FindSlotLocked(int64_t key);
+
+  size_t width_;
+  mutable std::shared_mutex mu_;
+  std::vector<Entry> slots_;
+  /// Bit-vector arena: one `width_` word block per slot, same index as
+  /// slots_ (keeps Entry small and allocation-free on rehash).
+  std::unique_ptr<uint64_t[]> words_;
+  std::unique_ptr<uint64_t[]> complement_;
+  size_t size_ = 0;
+};
+
+}  // namespace cjoin
+
+#endif  // CJOIN_CJOIN_DIM_HASH_TABLE_H_

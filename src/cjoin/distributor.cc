@@ -1,0 +1,126 @@
+#include "cjoin/distributor.h"
+
+#include <cassert>
+
+#include "common/bitvector.h"
+
+namespace cjoin {
+
+Distributor::Distributor(size_t num_dims, size_t width_words,
+                         size_t max_queries, TuplePool* pool,
+                         EpochTracker* epochs, BatchQueue* in,
+                         CleanupQueue* cleanup)
+    : num_dims_(num_dims),
+      width_(width_words),
+      pool_(pool),
+      epochs_(epochs),
+      in_(in),
+      cleanup_(cleanup) {
+  live_.assign(max_queries, nullptr);
+}
+
+void Distributor::ProcessDataBatch(TupleBatch& batch) {
+  for (TupleSlot* slot : batch.slots) {
+    const uint64_t* bits = slot->bits(num_dims_);
+    const uint8_t* const* dim_rows = slot->dim_rows();
+    bitops::ForEachSetBit(bits, width_, [&](size_t qid) {
+      QueryRuntime* rt = live_[qid];
+      // A set bit with no live query can only mean a protocol violation;
+      // epoch ordering guarantees the start tuple was processed first.
+      assert(rt != nullptr && "tuple routed to unregistered query");
+      if (rt != nullptr && rt->aggregator != nullptr) {
+        rt->aggregator->Consume(slot->fact_row, dim_rows);
+      }
+    });
+    routed_.fetch_add(1, std::memory_order_relaxed);
+    pool_->Release(slot);
+  }
+  epochs_->AddRetired(batch.epoch, batch.slots.size());
+  batch.slots.clear();
+}
+
+void Distributor::ProcessControl(TupleSlot* slot) {
+  QueryRuntime* rt = slot->runtime;
+  if (slot->kind == SlotKind::kQueryStart) {
+    assert(rt->aggregator != nullptr &&
+           "admission must create the aggregation operator");
+    live_[rt->query_id] = rt;
+  } else {
+    assert(slot->kind == SlotKind::kQueryEnd);
+    live_[rt->query_id] = nullptr;
+    ResultSet rs = rt->aggregator->Finish();
+    rt->completed_ns.store(QueryRuntime::NowNs());
+    rt->phase.store(QueryPhase::kCompleted);
+    rt->promise.set_value(std::move(rs));
+    completed_.fetch_add(1, std::memory_order_relaxed);
+    cleanup_->Push(rt->query_id);
+  }
+  pool_->Release(slot);
+}
+
+void Distributor::TryAdvance() {
+  for (;;) {
+    // The control closing the current epoch may fire only once every data
+    // slot of that epoch has been consumed or dropped.
+    auto ctrl = pending_controls_.find(current_epoch_);
+    if (ctrl == pending_controls_.end() ||
+        !epochs_->Complete(current_epoch_)) {
+      return;
+    }
+    ProcessControl(ctrl->second.slots[0]);
+    pending_controls_.erase(ctrl);
+    epochs_->Recycle(current_epoch_);
+    ++current_epoch_;
+    // Release any data of the newly opened epoch that arrived early.
+    auto it = pending_data_.find(current_epoch_);
+    if (it != pending_data_.end()) {
+      for (TupleBatch& b : it->second) ProcessDataBatch(b);
+      pending_data_.erase(it);
+    }
+  }
+}
+
+void Distributor::HandleBatch(TupleBatch batch) {
+  if (batch.control) {
+    const uint64_t e = batch.epoch;
+    pending_controls_.emplace(e, std::move(batch));
+  } else if (batch.epoch == current_epoch_) {
+    ProcessDataBatch(batch);
+  } else {
+    assert(batch.epoch > current_epoch_);
+    pending_data_[batch.epoch].push_back(std::move(batch));
+  }
+  TryAdvance();
+}
+
+void Distributor::Run() {
+  for (;;) {
+    // A timed pop, not a blocking one: the epoch that a held-back control
+    // tuple is waiting on can complete via a Filter *dropping* the last
+    // outstanding tuples, which produces no downstream batch to wake us.
+    // Re-checking TryAdvance on timeout guarantees progress.
+    std::optional<TupleBatch> popped =
+        in_->PopWithTimeout(std::chrono::microseconds(500));
+    if (!popped.has_value()) {
+      TryAdvance();
+      if (in_->closed() && in_->empty()) break;  // closed and drained
+      continue;
+    }
+    HandleBatch(std::move(*popped));
+  }
+  // Shutdown: release anything left unprocessed.
+  for (auto& [epoch, batches] : pending_data_) {
+    for (TupleBatch& b : batches) {
+      epochs_->AddRetired(b.epoch, b.slots.size());
+      for (TupleSlot* s : b.slots) pool_->Release(s);
+      b.slots.clear();
+    }
+  }
+  pending_data_.clear();
+  for (auto& [epoch, b] : pending_controls_) {
+    for (TupleSlot* s : b.slots) pool_->Release(s);
+  }
+  pending_controls_.clear();
+}
+
+}  // namespace cjoin

@@ -1,0 +1,109 @@
+// Per-query runtime state shared across the pipeline components.
+
+#ifndef CJOIN_CJOIN_QUERY_RUNTIME_H_
+#define CJOIN_CJOIN_QUERY_RUNTIME_H_
+
+#include <atomic>
+#include <chrono>
+#include <functional>
+#include <future>
+#include <memory>
+
+#include "catalog/query_spec.h"
+#include "common/status.h"
+#include "exec/aggregation.h"
+#include "exec/result_set.h"
+
+namespace cjoin {
+
+/// Factory for per-query aggregation operators. The operator-wide default
+/// is hash aggregation; individual queries may override it (e.g. the
+/// galaxy join collects raw joined tuples instead of aggregating, §5).
+using AggregatorFactory =
+    std::function<std::unique_ptr<StarAggregator>(const StarQuerySpec&)>;
+
+/// Lifecycle of a query inside the CJOIN operator.
+enum class QueryPhase : int {
+  kSubmitted = 0,   ///< handed to the Pipeline Manager
+  kLoading = 1,     ///< dimension hash tables being updated (Algorithm 1)
+  kRegistered = 2,  ///< query-start control tuple emitted; filtering live
+  kCompleted = 3,   ///< results delivered
+  kAborted = 4,     ///< operator shut down before completion
+};
+
+/// All state of one in-flight query. Created by Submit(); owned jointly by
+/// the operator and the caller's QueryHandle.
+struct QueryRuntime {
+  uint32_t query_id = 0;
+  StarQuerySpec spec;  ///< normalized
+
+  /// Aggregation operator; created by the Pipeline Manager during
+  /// admission, consumed by the Distributor thread exclusively between
+  /// the query-start and query-end control tuples.
+  std::unique_ptr<StarAggregator> aggregator;
+
+  /// Per-query override of the operator's aggregator factory (optional).
+  AggregatorFactory custom_aggregator_factory;
+
+  std::promise<Result<ResultSet>> promise;
+  std::atomic<QueryPhase> phase{QueryPhase::kSubmitted};
+
+  // Timing (steady-clock nanos) for the paper's submission/response-time
+  // metrics (§6.2.2 Table 1: submission time = Submit() until the
+  // query-start control tuple enters the pipeline).
+  std::atomic<int64_t> submit_ns{0};
+  std::atomic<int64_t> registered_ns{0};
+  std::atomic<int64_t> completed_ns{0};
+
+  static int64_t NowNs() {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+  }
+};
+
+/// Caller-facing handle to a submitted query.
+class QueryHandle {
+ public:
+  QueryHandle(std::shared_ptr<QueryRuntime> rt,
+              std::future<Result<ResultSet>> fut)
+      : runtime_(std::move(rt)), future_(std::move(fut)) {}
+
+  uint32_t query_id() const { return runtime_->query_id; }
+  const std::string& label() const { return runtime_->spec.label; }
+  /// The snapshot this query actually reads (after any engine capping).
+  SnapshotId snapshot() const { return runtime_->spec.snapshot; }
+
+  /// Blocks until the result is available.
+  Result<ResultSet> Wait() { return future_.get(); }
+
+  bool Ready() const {
+    return future_.wait_for(std::chrono::seconds(0)) ==
+           std::future_status::ready;
+  }
+
+  /// Seconds from Submit() to query-start control tuple insertion
+  /// (valid once the query is registered; 0 before).
+  double SubmissionSeconds() const {
+    const int64_t reg = runtime_->registered_ns.load();
+    const int64_t sub = runtime_->submit_ns.load();
+    return reg > sub ? static_cast<double>(reg - sub) * 1e-9 : 0.0;
+  }
+
+  /// Seconds from Submit() to result delivery (valid once completed).
+  double ResponseSeconds() const {
+    const int64_t done = runtime_->completed_ns.load();
+    const int64_t sub = runtime_->submit_ns.load();
+    return done > sub ? static_cast<double>(done - sub) * 1e-9 : 0.0;
+  }
+
+  QueryPhase phase() const { return runtime_->phase.load(); }
+
+ private:
+  std::shared_ptr<QueryRuntime> runtime_;
+  std::future<Result<ResultSet>> future_;
+};
+
+}  // namespace cjoin
+
+#endif  // CJOIN_CJOIN_QUERY_RUNTIME_H_

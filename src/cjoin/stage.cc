@@ -1,0 +1,129 @@
+#include "cjoin/stage.h"
+
+#include <shared_mutex>
+
+#include "common/bitvector.h"
+
+namespace cjoin {
+
+Stage::Stage(std::string name, const Schema* fact_schema, size_t num_dims,
+             size_t width_words, std::shared_ptr<const FilterOrder> filters,
+             BatchQueue* in, BatchQueue* out, bool owns_output,
+             TuplePool* pool, EpochTracker* epochs)
+    : name_(std::move(name)),
+      fact_schema_(fact_schema),
+      num_dims_(num_dims),
+      width_(width_words),
+      order_(std::move(filters)),
+      in_(in),
+      out_(out),
+      owns_output_(owns_output),
+      pool_(pool),
+      epochs_(epochs) {}
+
+void Stage::Start(size_t num_threads) {
+  live_workers_.store(num_threads);
+  threads_.reserve(num_threads);
+  for (size_t i = 0; i < num_threads; ++i) {
+    threads_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+void Stage::Join() {
+  for (std::thread& t : threads_) {
+    if (t.joinable()) t.join();
+  }
+  threads_.clear();
+}
+
+size_t Stage::FilterBatch(TupleBatch* batch, const FilterOrder& filters) {
+  size_t live = batch->slots.size();
+  TupleSlot** slots = batch->slots.data();
+
+  for (Filter* f : filters) {
+    if (live == 0) break;
+    const size_t in_before = live;
+    DimensionHashTable* table = f->table.get();
+    const uint64_t* comp = table->complement();
+    const size_t fk_col = f->fact_fk_col;
+    const size_t dim_index = f->dim_index;
+
+    // Hold the shared lock for the whole batch: entry pointers stay valid
+    // and the per-probe cost is one uncontended atomic in the common case.
+    std::shared_lock<std::shared_mutex> lk(table->mutex());
+    size_t i = 0;
+    while (i < live) {
+      TupleSlot* slot = slots[i];
+      uint64_t* bits = slot->bits(num_dims_);
+
+      // Probe-skipping optimization (§3.2.2): if every query this tuple is
+      // still relevant to ignores D_j, the filtering vector is all-ones on
+      // those bits — skip the probe.
+      uint64_t relevant = 0;
+      for (size_t w = 0; w < width_; ++w) {
+        relevant |= bits[w] & ~bitops::AtomicLoadWord(comp, w);
+      }
+      if (relevant == 0) {
+        ++i;
+        continue;
+      }
+
+      const int64_t key = fact_schema_->GetIntAny(slot->fact_row, fk_col);
+      const DimensionHashTable::Entry* entry = table->ProbeLocked(key);
+      const uint64_t* filter_vec = entry != nullptr ? entry->bits : comp;
+      const bool alive =
+          bitops::AndIntoAtomicSrc(bits, filter_vec, width_);
+      if (entry != nullptr) {
+        slot->dim_rows()[dim_index] = entry->row;
+      }
+      if (alive) {
+        ++i;
+      } else {
+        // Dead tuple: release and compact.
+        pool_->Release(slot);
+        slots[i] = slots[live - 1];
+        --live;
+      }
+    }
+    f->tuples_in.fetch_add(in_before, std::memory_order_relaxed);
+    f->tuples_dropped.fetch_add(in_before - live,
+                                std::memory_order_relaxed);
+  }
+
+  const size_t dropped = batch->slots.size() - live;
+  batch->slots.resize(live);
+  return dropped;
+}
+
+void Stage::WorkerLoop() {
+  for (;;) {
+    std::optional<TupleBatch> popped = in_->Pop();
+    if (!popped.has_value()) break;  // closed and drained
+    TupleBatch batch = std::move(*popped);
+    batches_.fetch_add(1, std::memory_order_relaxed);
+
+    if (batch.control) {
+      // Control tuples pass through unfiltered (§3.3.1).
+      if (!out_->Push(std::move(batch))) break;
+      continue;
+    }
+
+    std::shared_ptr<const FilterOrder> order = order_.Acquire();
+    const size_t dropped = FilterBatch(&batch, *order);
+    if (dropped > 0) epochs_->AddRetired(batch.epoch, dropped);
+    if (!batch.slots.empty()) {
+      const uint64_t epoch = batch.epoch;
+      const size_t n = batch.slots.size();
+      if (!out_->Push(std::move(batch))) {
+        // Downstream closed during shutdown; balance the accounting.
+        epochs_->AddRetired(epoch, n);
+        break;
+      }
+    }
+  }
+  if (live_workers_.fetch_sub(1) == 1 && owns_output_) {
+    out_->Close();
+  }
+}
+
+}  // namespace cjoin

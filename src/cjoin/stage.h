@@ -1,0 +1,87 @@
+// Stages: the thread mapping of Filters (paper §4).
+//
+// "Our implementation allows for a flexible mapping of Filters to threads
+//  by collapsing multiple adjacent Filters to a Stage (to reduce the
+//  overhead of passing tuples between the threads) and assigning multiple
+//  threads to each Stage (to increase parallelism)."
+//
+// A Stage owns an ordered subset of the pipeline's Filters, an input
+// queue, and an output sink (the next Stage's queue, or the Distributor's
+// queue for the last Stage). Each worker thread pops a batch, runs it
+// through the Stage's filters (probing dimension hash tables and ANDing
+// bit-vectors, §3.2.2), drops dead tuples, and pushes survivors on.
+//
+//   * horizontal configuration: one Stage boxing all Filters, N threads;
+//   * vertical configuration: one Stage per Filter;
+//   * hybrid: arbitrary boxing.
+
+#ifndef CJOIN_CJOIN_STAGE_H_
+#define CJOIN_CJOIN_STAGE_H_
+
+#include <atomic>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "cjoin/epoch_tracker.h"
+#include "cjoin/filter.h"
+#include "cjoin/tuple_slot.h"
+#include "common/tuple_pool.h"
+#include "storage/schema.h"
+
+namespace cjoin {
+
+/// One stage of the filter pipeline. Start() spawns the worker threads;
+/// they exit when the input queue closes and drains, closing the output
+/// queue when the last worker leaves (if `owns_output`).
+class Stage {
+ public:
+  Stage(std::string name, const Schema* fact_schema, size_t num_dims,
+        size_t width_words, std::shared_ptr<const FilterOrder> filters,
+        BatchQueue* in, BatchQueue* out, bool owns_output, TuplePool* pool,
+        EpochTracker* epochs);
+
+  /// Publishes a new filter order for this stage (manager thread; §3.4).
+  void SetFilterOrder(std::shared_ptr<const FilterOrder> order) {
+    order_.Publish(std::move(order));
+  }
+
+  std::shared_ptr<const FilterOrder> filter_order() const {
+    return order_.Acquire();
+  }
+
+  void Start(size_t num_threads);
+  void Join();
+
+  /// Batches processed (for tests/metrics).
+  uint64_t batches_processed() const {
+    return batches_.load(std::memory_order_relaxed);
+  }
+
+  const std::string& name() const { return name_; }
+
+ private:
+  void WorkerLoop();
+  /// Filters `batch` in place; returns the number of dropped slots.
+  size_t FilterBatch(TupleBatch* batch,
+                     const FilterOrder& filters);
+
+  std::string name_;
+  const Schema* fact_schema_;
+  size_t num_dims_;
+  size_t width_;
+  FilterOrderRef order_;
+  BatchQueue* in_;
+  BatchQueue* out_;
+  bool owns_output_;
+  TuplePool* pool_;
+  EpochTracker* epochs_;
+
+  std::vector<std::thread> threads_;
+  std::atomic<size_t> live_workers_{0};
+  std::atomic<uint64_t> batches_{0};
+};
+
+}  // namespace cjoin
+
+#endif  // CJOIN_CJOIN_STAGE_H_

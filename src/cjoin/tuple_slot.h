@@ -1,0 +1,80 @@
+// In-flight tuple representation (paper §3.2.2, §4).
+//
+// Every fact tuple moving through the pipeline is a pool-allocated slot
+// holding: the fact row pointer, the epoch tag (for control/data ordering,
+// see EpochTracker), attached dimension-row pointers (§3.2.2 "attach to
+// tau memory pointers to the joining dimension tuples"), and the query
+// bit-vector b_tau inline. Control tuples (query start/end, §3.3) travel
+// through the same queues as data so their relative order is preserved.
+//
+// The slot is a variable-size structure: layout depends on the number of
+// dimensions and the bit-vector width, both fixed per pipeline, so slots
+// come from a TuplePool with stride SlotStride(dims, words).
+
+#ifndef CJOIN_CJOIN_TUPLE_SLOT_H_
+#define CJOIN_CJOIN_TUPLE_SLOT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/queue.h"
+
+namespace cjoin {
+
+struct QueryRuntime;
+
+/// What a slot carries.
+enum class SlotKind : uint32_t {
+  kData = 0,
+  kQueryStart = 1,  ///< control: query registered; payload = runtime
+  kQueryEnd = 2,    ///< control: query completed; payload = runtime
+};
+
+/// Header of a pool slot; dim pointers and bit words follow inline.
+struct TupleSlot {
+  const uint8_t* fact_row = nullptr;  ///< payload pointer (kData)
+  QueryRuntime* runtime = nullptr;    ///< control payload (kQueryStart/End)
+  uint64_t epoch = 0;
+  SlotKind kind = SlotKind::kData;
+  uint32_t pad_ = 0;
+
+  /// Attached dimension row pointers (num_dims entries).
+  const uint8_t** dim_rows() {
+    return reinterpret_cast<const uint8_t**>(this + 1);
+  }
+  const uint8_t* const* dim_rows() const {
+    return reinterpret_cast<const uint8_t* const*>(this + 1);
+  }
+
+  /// Query bit-vector words (width_words entries), after the dim rows.
+  uint64_t* bits(size_t num_dims) {
+    return reinterpret_cast<uint64_t*>(dim_rows() + num_dims);
+  }
+  const uint64_t* bits(size_t num_dims) const {
+    return reinterpret_cast<const uint64_t*>(dim_rows() + num_dims);
+  }
+};
+
+/// Pool stride for a pipeline with `num_dims` dimensions and
+/// `width_words` bit-vector words.
+inline size_t SlotStride(size_t num_dims, size_t width_words) {
+  return sizeof(TupleSlot) + num_dims * sizeof(const uint8_t*) +
+         width_words * sizeof(uint64_t);
+}
+
+/// Unit of queue transfer: a batch of slots from one epoch. Control slots
+/// travel alone in their own batch.
+struct TupleBatch {
+  uint64_t epoch = 0;
+  bool control = false;
+  std::vector<TupleSlot*> slots;
+
+  bool empty() const { return slots.empty(); }
+  size_t size() const { return slots.size(); }
+};
+
+using BatchQueue = BoundedQueue<TupleBatch>;
+
+}  // namespace cjoin
+
+#endif  // CJOIN_CJOIN_TUPLE_SLOT_H_

@@ -1,0 +1,80 @@
+#include "common/bitvector.h"
+
+#include <algorithm>
+
+namespace cjoin {
+
+BitVector::BitVector(size_t nbits)
+    : nbits_(nbits), nwords_(bitops::WordsForBits(nbits)) {
+  if (nwords_ > kInlineWords) {
+    heap_ = new uint64_t[nwords_];
+  }
+  bitops::Zero(words(), nwords_);
+}
+
+void BitVector::AllocFrom(const BitVector& other) {
+  nbits_ = other.nbits_;
+  nwords_ = other.nwords_;
+  if (nwords_ > kInlineWords) {
+    heap_ = new uint64_t[nwords_];
+  } else {
+    heap_ = nullptr;
+  }
+  bitops::Copy(words(), other.words(), nwords_);
+}
+
+BitVector::BitVector(const BitVector& other) { AllocFrom(other); }
+
+BitVector& BitVector::operator=(const BitVector& other) {
+  if (this == &other) return *this;
+  delete[] heap_;
+  AllocFrom(other);
+  return *this;
+}
+
+BitVector::BitVector(BitVector&& other) noexcept
+    : nbits_(other.nbits_), nwords_(other.nwords_), heap_(other.heap_) {
+  std::copy(other.inline_, other.inline_ + kInlineWords, inline_);
+  other.heap_ = nullptr;
+  other.nbits_ = 0;
+  other.nwords_ = 0;
+}
+
+BitVector& BitVector::operator=(BitVector&& other) noexcept {
+  if (this == &other) return *this;
+  delete[] heap_;
+  nbits_ = other.nbits_;
+  nwords_ = other.nwords_;
+  heap_ = other.heap_;
+  std::copy(other.inline_, other.inline_ + kInlineWords, inline_);
+  other.heap_ = nullptr;
+  other.nbits_ = 0;
+  other.nwords_ = 0;
+  return *this;
+}
+
+BitVector::~BitVector() { delete[] heap_; }
+
+void BitVector::SetAll() {
+  if (nbits_ == 0) return;
+  bitops::Fill(words(), nwords_, ~uint64_t{0});
+  // Clear the bits beyond nbits_ in the last word so popcount stays exact.
+  const size_t used = nbits_ % bitops::kBitsPerWord;
+  if (used != 0) {
+    words()[nwords_ - 1] &= (uint64_t{1} << used) - 1;
+  }
+}
+
+bool BitVector::operator==(const BitVector& other) const {
+  if (nbits_ != other.nbits_) return false;
+  return std::equal(words(), words() + nwords_, other.words());
+}
+
+std::string BitVector::ToString() const {
+  std::string out;
+  out.reserve(nbits_);
+  for (size_t i = 0; i < nbits_; ++i) out.push_back(Test(i) ? '1' : '0');
+  return out;
+}
+
+}  // namespace cjoin

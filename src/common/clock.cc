@@ -1,0 +1,9 @@
+#include "common/clock.h"
+
+#include <cmath>
+
+namespace cjoin {
+
+double RunningStat::stddev() const { return std::sqrt(variance()); }
+
+}  // namespace cjoin

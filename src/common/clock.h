@@ -1,0 +1,65 @@
+// Timing utilities for the benchmark harness and pipeline statistics.
+
+#ifndef CJOIN_COMMON_CLOCK_H_
+#define CJOIN_COMMON_CLOCK_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace cjoin {
+
+/// Monotonic stopwatch measuring wall-clock time.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Now()) {}
+
+  void Restart() { start_ = Now(); }
+
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Now() - start_).count();
+  }
+
+  int64_t ElapsedMicros() const {
+    return std::chrono::duration_cast<std::chrono::microseconds>(Now() -
+                                                                 start_)
+        .count();
+  }
+
+ private:
+  using ClockT = std::chrono::steady_clock;
+  static ClockT::time_point Now() { return ClockT::now(); }
+  ClockT::time_point start_;
+};
+
+/// Simple online mean / standard deviation accumulator (Welford).
+class RunningStat {
+ public:
+  void Add(double x) {
+    ++n_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+    if (x < min_ || n_ == 1) min_ = x;
+    if (x > max_ || n_ == 1) max_ = x;
+  }
+
+  int64_t count() const { return n_; }
+  double mean() const { return mean_; }
+  double variance() const {
+    return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+  }
+  double stddev() const;
+  double min() const { return min_; }
+  double max() const { return max_; }
+
+ private:
+  int64_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+}  // namespace cjoin
+
+#endif  // CJOIN_COMMON_CLOCK_H_

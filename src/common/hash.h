@@ -1,0 +1,46 @@
+// Hashing primitives shared by the dimension hash tables, aggregation hash
+// tables, and the baseline engine's join hash tables.
+
+#ifndef CJOIN_COMMON_HASH_H_
+#define CJOIN_COMMON_HASH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <string_view>
+
+namespace cjoin {
+
+/// Finalizer from splitmix64; a strong 64->64 bit mixer suitable for
+/// hashing integer join keys.
+inline uint64_t Mix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// FNV-1a over raw bytes; used for group-by keys and string columns.
+inline uint64_t HashBytes(const void* data, size_t len,
+                          uint64_t seed = 0xcbf29ce484222325ULL) {
+  const uint8_t* p = static_cast<const uint8_t*>(data);
+  uint64_t h = seed;
+  for (size_t i = 0; i < len; ++i) {
+    h ^= p[i];
+    h *= 0x100000001b3ULL;
+  }
+  // Final avalanche so low bits are usable as table indices.
+  return Mix64(h);
+}
+
+inline uint64_t HashString(std::string_view s) {
+  return HashBytes(s.data(), s.size());
+}
+
+inline uint64_t HashCombine(uint64_t a, uint64_t b) {
+  return Mix64(a ^ (b + 0x9e3779b97f4a7c15ULL + (a << 6) + (a >> 2)));
+}
+
+}  // namespace cjoin
+
+#endif  // CJOIN_COMMON_HASH_H_

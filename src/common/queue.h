@@ -1,0 +1,209 @@
+// Bounded multi-producer / multi-consumer queue with batch transfer and
+// wakeup hysteresis (paper §4).
+//
+// The CJOIN pipeline links its components (Preprocessor -> Stage(s) ->
+// Distributor) with these queues. Two of the paper's implementation
+// principles live here:
+//
+//  * "reduce the overhead of queue synchronization by having each thread
+//    retrieve or deposit tuples in batches" — PushBatch/PopBatch move many
+//    items under one lock acquisition;
+//  * "wake up a consumer thread only when its input queue is almost full
+//    [and] resume the producer only when its output queue is almost empty"
+//    — the wake watermarks are configurable (Options::consumer_wake_depth /
+//    producer_wake_space). To keep the queue live when a producer goes
+//    quiet below the watermark, blocked waiters use a bounded timed wait
+//    and re-check, so hysteresis is a throughput optimization, never a
+//    correctness hazard.
+
+#ifndef CJOIN_COMMON_QUEUE_H_
+#define CJOIN_COMMON_QUEUE_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <vector>
+
+namespace cjoin {
+
+/// Bounded blocking FIFO queue. All methods are thread-safe.
+template <typename T>
+class BoundedQueue {
+ public:
+  struct Options {
+    /// Maximum number of items held.
+    size_t capacity = 1024;
+    /// A sleeping consumer is signalled once at least this many items are
+    /// queued (or the queue is flushed/closed). 1 disables hysteresis.
+    size_t consumer_wake_depth = 1;
+    /// A sleeping producer is signalled once at least this much free space
+    /// exists. 1 disables hysteresis.
+    size_t producer_wake_space = 1;
+    /// Upper bound on a single sleep; waiters re-check after this long even
+    /// without a signal so watermarks cannot strand the last items.
+    std::chrono::microseconds wait_slice = std::chrono::microseconds(500);
+  };
+
+  BoundedQueue() : BoundedQueue(Options{}) {}
+  explicit BoundedQueue(Options opts) : opts_(opts) {
+    if (opts_.capacity == 0) opts_.capacity = 1;
+    if (opts_.consumer_wake_depth == 0) opts_.consumer_wake_depth = 1;
+    if (opts_.producer_wake_space == 0) opts_.producer_wake_space = 1;
+  }
+  explicit BoundedQueue(size_t capacity)
+      : BoundedQueue(Options{.capacity = capacity}) {}
+
+  BoundedQueue(const BoundedQueue&) = delete;
+  BoundedQueue& operator=(const BoundedQueue&) = delete;
+
+  /// Blocks until there is space, then enqueues. Returns false iff the
+  /// queue was closed (the item is dropped).
+  bool Push(T item) {
+    std::unique_lock<std::mutex> lk(mu_);
+    while (items_.size() >= opts_.capacity && !closed_) {
+      not_full_.wait_for(lk, opts_.wait_slice);
+    }
+    if (closed_) return false;
+    items_.push_back(std::move(item));
+    MaybeWakeConsumer(lk);
+    return true;
+  }
+
+  /// Enqueues all of `batch` (blocking as needed, possibly in chunks).
+  /// Returns the number of items accepted; fewer than batch.size() only if
+  /// the queue was closed mid-way.
+  size_t PushBatch(std::vector<T>& batch) {
+    size_t pushed = 0;
+    std::unique_lock<std::mutex> lk(mu_);
+    while (pushed < batch.size()) {
+      while (items_.size() >= opts_.capacity && !closed_) {
+        not_full_.wait_for(lk, opts_.wait_slice);
+      }
+      if (closed_) break;
+      while (pushed < batch.size() && items_.size() < opts_.capacity) {
+        items_.push_back(std::move(batch[pushed]));
+        ++pushed;
+      }
+      MaybeWakeConsumer(lk);
+    }
+    return pushed;
+  }
+
+  /// Blocks until an item is available or the queue is closed-and-drained.
+  /// Returns nullopt in the latter case.
+  std::optional<T> Pop() {
+    std::unique_lock<std::mutex> lk(mu_);
+    while (items_.empty() && !closed_) {
+      not_empty_.wait_for(lk, opts_.wait_slice);
+    }
+    if (items_.empty()) return std::nullopt;
+    T out = std::move(items_.front());
+    items_.pop_front();
+    MaybeWakeProducer(lk);
+    return out;
+  }
+
+  /// Pops up to `max_items` items into `out` (appending). Blocks until at
+  /// least one item is available or the queue is closed-and-drained.
+  /// Returns the number of items popped (0 means closed and empty).
+  size_t PopBatch(std::vector<T>& out, size_t max_items) {
+    std::unique_lock<std::mutex> lk(mu_);
+    while (items_.empty() && !closed_) {
+      not_empty_.wait_for(lk, opts_.wait_slice);
+    }
+    size_t n = 0;
+    while (n < max_items && !items_.empty()) {
+      out.push_back(std::move(items_.front()));
+      items_.pop_front();
+      ++n;
+    }
+    if (n > 0) MaybeWakeProducer(lk);
+    return n;
+  }
+
+  /// Pop that waits at most `timeout`; nullopt on timeout, close, or
+  /// empty-after-timeout.
+  template <typename Rep, typename Period>
+  std::optional<T> PopWithTimeout(std::chrono::duration<Rep, Period> timeout) {
+    const auto deadline = std::chrono::steady_clock::now() + timeout;
+    std::unique_lock<std::mutex> lk(mu_);
+    while (items_.empty() && !closed_) {
+      if (not_empty_.wait_until(lk, deadline) == std::cv_status::timeout &&
+          items_.empty()) {
+        return std::nullopt;
+      }
+    }
+    if (items_.empty()) return std::nullopt;
+    T out = std::move(items_.front());
+    items_.pop_front();
+    MaybeWakeProducer(lk);
+    return out;
+  }
+
+  /// Non-blocking pop; nullopt if empty (even when open).
+  std::optional<T> TryPop() {
+    std::unique_lock<std::mutex> lk(mu_);
+    if (items_.empty()) return std::nullopt;
+    T out = std::move(items_.front());
+    items_.pop_front();
+    MaybeWakeProducer(lk);
+    return out;
+  }
+
+  /// Wakes all waiters regardless of watermarks. Producers call this after
+  /// their final Push when running with hysteresis enabled.
+  void Flush() {
+    std::lock_guard<std::mutex> lk(mu_);
+    not_empty_.notify_all();
+    not_full_.notify_all();
+  }
+
+  /// Closes the queue: subsequent pushes fail, pops drain remaining items
+  /// then return empty. Idempotent.
+  void Close() {
+    std::lock_guard<std::mutex> lk(mu_);
+    closed_ = true;
+    not_empty_.notify_all();
+    not_full_.notify_all();
+  }
+
+  bool closed() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    return closed_;
+  }
+
+  size_t size() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    return items_.size();
+  }
+
+  bool empty() const { return size() == 0; }
+
+ private:
+  void MaybeWakeConsumer(std::unique_lock<std::mutex>&) {
+    if (items_.size() >= opts_.consumer_wake_depth ||
+        items_.size() >= opts_.capacity) {
+      not_empty_.notify_all();
+    }
+  }
+  void MaybeWakeProducer(std::unique_lock<std::mutex>&) {
+    const size_t space = opts_.capacity - items_.size();
+    if (space >= opts_.producer_wake_space || items_.empty()) {
+      not_full_.notify_all();
+    }
+  }
+
+  Options opts_;
+  mutable std::mutex mu_;
+  std::condition_variable not_empty_;
+  std::condition_variable not_full_;
+  std::deque<T> items_;
+  bool closed_ = false;
+};
+
+}  // namespace cjoin
+
+#endif  // CJOIN_COMMON_QUEUE_H_

@@ -1,0 +1,78 @@
+// Deterministic pseudo-random number generation.
+//
+// The SSB data generator and the workload generator must be reproducible
+// across runs for the benchmark harness to be comparable, so everything
+// randomized in this repository draws from this seeded generator rather
+// than std::random_device.
+
+#ifndef CJOIN_COMMON_RNG_H_
+#define CJOIN_COMMON_RNG_H_
+
+#include <cassert>
+#include <cstdint>
+#include <vector>
+
+namespace cjoin {
+
+/// xoshiro256**-style generator seeded via splitmix64. Deterministic for a
+/// given seed; not cryptographic.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 42) {
+    // splitmix64 seeding, as recommended by the xoshiro authors.
+    uint64_t x = seed;
+    for (auto& si : s_) {
+      x += 0x9e3779b97f4a7c15ULL;
+      uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+      si = z ^ (z >> 31);
+    }
+  }
+
+  uint64_t Next() {
+    const uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+    const uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = Rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  int64_t UniformInt(int64_t lo, int64_t hi) {
+    assert(lo <= hi);
+    const uint64_t span = static_cast<uint64_t>(hi - lo) + 1;
+    if (span == 0) return static_cast<int64_t>(Next());  // full 64-bit range
+    return lo + static_cast<int64_t>(Next() % span);
+  }
+
+  /// Uniform double in [0, 1).
+  double UniformDouble() {
+    return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+  }
+
+  /// True with probability p.
+  bool Bernoulli(double p) { return UniformDouble() < p; }
+
+  /// Uniformly chosen element of a non-empty vector.
+  template <typename T>
+  const T& Choice(const std::vector<T>& v) {
+    assert(!v.empty());
+    return v[static_cast<size_t>(UniformInt(0, static_cast<int64_t>(v.size()) - 1))];
+  }
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  uint64_t s_[4];
+};
+
+}  // namespace cjoin
+
+#endif  // CJOIN_COMMON_RNG_H_

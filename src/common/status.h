@@ -1,0 +1,158 @@
+// Status / Result error-handling primitives.
+//
+// The library does not throw exceptions on expected failure paths (bad user
+// input, resource exhaustion, closed pipelines). Fallible operations return
+// a Status, or a Result<T> when they also produce a value. This mirrors the
+// convention of production storage engines (e.g. RocksDB, Arrow).
+
+#ifndef CJOIN_COMMON_STATUS_H_
+#define CJOIN_COMMON_STATUS_H_
+
+#include <cassert>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace cjoin {
+
+/// Machine-readable category of a failure.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kResourceExhausted,
+  kFailedPrecondition,
+  kOutOfRange,
+  kUnimplemented,
+  kInternal,
+  kAborted,
+  kIOError,
+};
+
+/// Returns a stable human-readable name for a status code.
+const char* StatusCodeName(StatusCode code);
+
+/// The outcome of a fallible operation: a code plus an optional message.
+///
+/// An OK status carries no allocation; error statuses carry a message that
+/// should name the operation and the offending value.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  Status(StatusCode code, std::string msg)
+      : code_(code), msg_(std::move(msg)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Aborted(std::string msg) {
+    return Status(StatusCode::kAborted, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return msg_; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && msg_ == other.msg_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string msg_;
+};
+
+/// Either a value of type T or an error Status. Accessing the value of an
+/// errored Result is a programming error (asserts in debug builds).
+template <typename T>
+class Result {
+ public:
+  /*implicit*/ Result(T value) : var_(std::move(value)) {}
+  /*implicit*/ Result(Status status) : var_(std::move(status)) {
+    assert(!std::get<Status>(var_).ok() && "Result from OK status");
+  }
+
+  bool ok() const { return std::holds_alternative<T>(var_); }
+
+  /// Returns the error status, or OK if this result holds a value.
+  Status status() const {
+    if (ok()) return Status::OK();
+    return std::get<Status>(var_);
+  }
+
+  const T& value() const& {
+    assert(ok());
+    return std::get<T>(var_);
+  }
+  T& value() & {
+    assert(ok());
+    return std::get<T>(var_);
+  }
+  T&& value() && {
+    assert(ok());
+    return std::get<T>(std::move(var_));
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  std::variant<T, Status> var_;
+};
+
+/// Propagates a non-OK Status from the current function.
+#define CJOIN_RETURN_IF_ERROR(expr)              \
+  do {                                           \
+    ::cjoin::Status _st = (expr);                \
+    if (!_st.ok()) return _st;                   \
+  } while (0)
+
+/// Assigns the value of a Result<T> expression to `lhs`, or propagates its
+/// error Status from the current function.
+#define CJOIN_ASSIGN_OR_RETURN(lhs, expr)        \
+  CJOIN_ASSIGN_OR_RETURN_IMPL(                   \
+      CJOIN_SR_CONCAT(_result_, __LINE__), lhs, expr)
+
+#define CJOIN_SR_CONCAT_INNER(a, b) a##b
+#define CJOIN_SR_CONCAT(a, b) CJOIN_SR_CONCAT_INNER(a, b)
+#define CJOIN_ASSIGN_OR_RETURN_IMPL(tmp, lhs, expr) \
+  auto tmp = (expr);                                \
+  if (!tmp.ok()) return tmp.status();               \
+  lhs = std::move(tmp).value();
+
+}  // namespace cjoin
+
+#endif  // CJOIN_COMMON_STATUS_H_

@@ -1,0 +1,22 @@
+// Opt-in diagnostic tracing (CJOIN_DEBUG=1 in the environment).
+
+#ifndef CJOIN_COMMON_TRACE_H_
+#define CJOIN_COMMON_TRACE_H_
+
+#include <cstdlib>
+
+namespace cjoin {
+
+/// True iff CJOIN_DEBUG is set; cached after the first call. Used to gate
+/// per-query lifecycle traces on stderr.
+inline bool TraceEnabled() {
+  static const bool enabled = []() {
+    const char* v = std::getenv("CJOIN_DEBUG");
+    return v != nullptr && v[0] != '\0' && v[0] != '0';
+  }();
+  return enabled;
+}
+
+}  // namespace cjoin
+
+#endif  // CJOIN_COMMON_TRACE_H_

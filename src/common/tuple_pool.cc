@@ -1,0 +1,100 @@
+#include "common/tuple_pool.h"
+
+#include <cassert>
+#include <chrono>
+
+namespace cjoin {
+
+namespace {
+constexpr size_t kBitsPerWord = 64;
+
+size_t RoundUp8(size_t v) { return (v + 7) & ~size_t{7}; }
+}  // namespace
+
+TuplePool::TuplePool(size_t capacity, size_t stride)
+    : capacity_(capacity),
+      stride_(RoundUp8(stride)),
+      nwords_((capacity + kBitsPerWord - 1) / kBitsPerWord),
+      bitmap_(new std::atomic<uint64_t>[nwords_]),
+      arena_(new uint8_t[capacity_ * stride_]),
+      free_count_(capacity) {
+  assert(capacity_ > 0);
+  for (size_t w = 0; w < nwords_; ++w) {
+    bitmap_[w].store(~uint64_t{0}, std::memory_order_relaxed);
+  }
+  // Mark the tail bits of the last word as "allocated" so they are never
+  // handed out.
+  const size_t used = capacity_ % kBitsPerWord;
+  if (used != 0) {
+    bitmap_[nwords_ - 1].store((uint64_t{1} << used) - 1,
+                               std::memory_order_relaxed);
+  }
+}
+
+void* TuplePool::TryAcquire() {
+  const size_t start = search_hint_.load(std::memory_order_relaxed);
+  for (size_t probe = 0; probe < nwords_; ++probe) {
+    const size_t w = (start + probe) % nwords_;
+    uint64_t word = bitmap_[w].load(std::memory_order_relaxed);
+    while (word != 0) {
+      const int bit = std::countr_zero(word);
+      const uint64_t mask = uint64_t{1} << bit;
+      // Claim the bit; on failure re-read and retry within this word.
+      const uint64_t prev =
+          bitmap_[w].fetch_and(~mask, std::memory_order_acquire);
+      if (prev & mask) {
+        free_count_.fetch_sub(1, std::memory_order_relaxed);
+        search_hint_.store(w, std::memory_order_relaxed);
+        return arena_.get() + (w * kBitsPerWord + bit) * stride_;
+      }
+      word = bitmap_[w].load(std::memory_order_relaxed);
+    }
+  }
+  return nullptr;
+}
+
+void* TuplePool::Acquire() {
+  void* slot = TryAcquire();
+  if (slot != nullptr) return slot;
+  std::unique_lock<std::mutex> lk(mu_);
+  for (;;) {
+    slot = TryAcquire();
+    if (slot != nullptr) return slot;
+    freed_.wait_for(lk, std::chrono::microseconds(200));
+  }
+}
+
+void TuplePool::Release(void* slot) {
+  assert(Owns(slot));
+  const size_t idx = SlotIndex(slot);
+  const size_t w = idx / kBitsPerWord;
+  const uint64_t mask = uint64_t{1} << (idx % kBitsPerWord);
+#ifndef NDEBUG
+  const uint64_t prev = bitmap_[w].fetch_or(mask, std::memory_order_release);
+  assert((prev & mask) == 0 && "double release");
+#else
+  bitmap_[w].fetch_or(mask, std::memory_order_release);
+#endif
+  const size_t prior = free_count_.fetch_add(1, std::memory_order_relaxed);
+  if (prior == 0) {
+    // Pool was exhausted; there may be blocked acquirers.
+    std::lock_guard<std::mutex> lk(mu_);
+    freed_.notify_all();
+  }
+}
+
+bool TuplePool::Owns(const void* ptr) const {
+  const uint8_t* p = static_cast<const uint8_t*>(ptr);
+  if (p < arena_.get() || p >= arena_.get() + capacity_ * stride_) {
+    return false;
+  }
+  return (static_cast<size_t>(p - arena_.get()) % stride_) == 0;
+}
+
+size_t TuplePool::SlotIndex(const void* ptr) const {
+  return static_cast<size_t>(static_cast<const uint8_t*>(ptr) -
+                             arena_.get()) /
+         stride_;
+}
+
+}  // namespace cjoin

@@ -1,0 +1,353 @@
+#include "engine/query_engine.h"
+
+#include <algorithm>
+#include <map>
+#include <cassert>
+
+#include "exec/group_table.h"
+
+namespace cjoin {
+
+namespace {
+
+/// Reads a ColumnSource value given a fact row and attached dim rows.
+Value ReadSource(const StarSchema& star, const ColumnSource& src,
+                 const uint8_t* fact_row, const uint8_t* const* dim_rows) {
+  const Schema* schema;
+  const uint8_t* row;
+  if (src.from == ColumnSource::From::kFact) {
+    schema = &star.fact().schema();
+    row = fact_row;
+  } else {
+    schema = &star.dimension(src.dim_index).table->schema();
+    row = dim_rows[src.dim_index];
+  }
+  if (row == nullptr) return Value();
+  const Column& c = schema->column(src.column);
+  switch (c.type) {
+    case DataType::kInt32:
+      return Value(static_cast<int64_t>(schema->GetInt32(row, src.column)));
+    case DataType::kInt64:
+      return Value(schema->GetInt64(row, src.column));
+    case DataType::kDouble:
+      return Value(schema->GetDouble(row, src.column));
+    case DataType::kChar:
+      return Value(schema->GetChar(row, src.column));
+  }
+  return Value();
+}
+
+/// Rows collected from one side of a galaxy join: the fact-to-fact join
+/// key plus the projected output values.
+struct CollectedSide {
+  std::vector<int64_t> keys;
+  std::vector<std::vector<Value>> values;
+};
+
+/// Aggregator that materializes joined tuples instead of aggregating;
+/// the Distributor thread is its only writer.
+class CollectorAggregator final : public StarAggregator {
+ public:
+  CollectorAggregator(const StarSchema& star, size_t join_col,
+                      std::vector<ColumnSource> projection,
+                      CollectedSide* out)
+      : star_(star),
+        join_col_(join_col),
+        projection_(std::move(projection)),
+        out_(out) {}
+
+  void Consume(const uint8_t* fact_row,
+               const uint8_t* const* dim_rows) override {
+    ++consumed_;
+    out_->keys.push_back(
+        star_.fact().schema().GetIntAny(fact_row, join_col_));
+    std::vector<Value> vals;
+    vals.reserve(projection_.size());
+    for (const ColumnSource& src : projection_) {
+      vals.push_back(ReadSource(star_, src, fact_row, dim_rows));
+    }
+    out_->values.push_back(std::move(vals));
+  }
+
+  ResultSet Finish() override {
+    ResultSet rs;
+    rs.tuples_consumed = consumed_;
+    return rs;
+  }
+
+  uint64_t tuples_consumed() const override { return consumed_; }
+
+ private:
+  const StarSchema& star_;
+  size_t join_col_;
+  std::vector<ColumnSource> projection_;
+  CollectedSide* out_;
+  uint64_t consumed_ = 0;
+};
+
+}  // namespace
+
+QueryEngine::QueryEngine(Options options) : opts_(std::move(options)) {}
+
+QueryEngine::~QueryEngine() { Shutdown(); }
+
+void QueryEngine::Shutdown() {
+  if (shut_down_) return;
+  shut_down_ = true;
+  for (auto& entry : stars_) {
+    if (entry->op != nullptr) entry->op->Stop();
+  }
+}
+
+Status QueryEngine::RegisterStar(std::string name, StarSchema star) {
+  for (const auto& entry : stars_) {
+    if (entry->name == name) {
+      return Status::AlreadyExists("star '" + name + "' already registered");
+    }
+  }
+  auto entry = std::make_unique<StarEntry>();
+  entry->name = std::move(name);
+  entry->star = std::make_unique<StarSchema>(std::move(star));
+  CJoinOperator::Options op_opts = opts_.cjoin;
+  op_opts.disk_reader_id = stars_.size();  // distinct scan identity per star
+  op_opts.snapshot_probe = [this] {
+    return snapshot_.load(std::memory_order_acquire);
+  };
+  entry->op = std::make_unique<CJoinOperator>(*entry->star, op_opts);
+  CJOIN_RETURN_IF_ERROR(entry->op->Start());
+  stars_.push_back(std::move(entry));
+  return Status::OK();
+}
+
+Result<const StarSchema*> QueryEngine::FindStar(
+    std::string_view name) const {
+  for (const auto& entry : stars_) {
+    if (entry->name == name) return const_cast<const StarSchema*>(
+        entry->star.get());
+  }
+  return Status::NotFound("no star named '" + std::string(name) + "'");
+}
+
+Result<QueryEngine::StarEntry*> QueryEngine::EntryByName(
+    std::string_view name) {
+  for (auto& entry : stars_) {
+    if (entry->name == name) return entry.get();
+  }
+  return Status::NotFound("no star named '" + std::string(name) + "'");
+}
+
+Result<QueryEngine::StarEntry*> QueryEngine::EntryFor(
+    const StarSchema* schema) {
+  for (auto& entry : stars_) {
+    if (entry->star.get() == schema) return entry.get();
+  }
+  return Status::NotFound("query's star schema is not registered");
+}
+
+Result<std::unique_ptr<QueryHandle>> QueryEngine::Submit(
+    StarQuerySpec spec) {
+  CJOIN_ASSIGN_OR_RETURN(StarEntry * entry, EntryFor(spec.schema));
+  if (spec.snapshot == kReadLatestSnapshot) {
+    spec.snapshot = CurrentSnapshot();
+  }
+  // Exact snapshot semantics under concurrent appends: the continuous
+  // scan covers rows up to its last freeze, so while appends beyond that
+  // bound exist, cap the query's snapshot at it (the Preprocessor
+  // re-freezes eagerly when idle, so this costs at most one in-flight lap
+  // of staleness). Deletes never need capping — deleted rows stay inside
+  // the scanned ranges and are filtered per row by xmax.
+  const SnapshotId covered = entry->op->covered_snapshot();
+  if (entry->last_append_snapshot.load(std::memory_order_acquire) >
+      covered) {
+    spec.snapshot = std::min(spec.snapshot, covered);
+  }
+  return entry->op->Submit(std::move(spec));
+}
+
+Result<std::unique_ptr<QueryHandle>> QueryEngine::SubmitSql(
+    std::string_view star_name, std::string_view sql) {
+  CJOIN_ASSIGN_OR_RETURN(StarEntry * entry, EntryByName(star_name));
+  CJOIN_ASSIGN_OR_RETURN(StarQuerySpec spec,
+                         ParseStarQuery(*entry->star, sql));
+  return Submit(std::move(spec));
+}
+
+Result<ResultSet> QueryEngine::ExecuteBaseline(StarQuerySpec spec) {
+  CJOIN_ASSIGN_OR_RETURN(StarQuerySpec normalized,
+                         NormalizeSpec(std::move(spec)));
+  if (normalized.snapshot == kReadLatestSnapshot) {
+    normalized.snapshot = CurrentSnapshot();
+  }
+  return ExecuteStarQuery(normalized, opts_.baseline);
+}
+
+Result<ResultSet> QueryEngine::ExecuteBaselineSql(
+    std::string_view star_name, std::string_view sql) {
+  CJOIN_ASSIGN_OR_RETURN(StarEntry * entry, EntryByName(star_name));
+  CJOIN_ASSIGN_OR_RETURN(StarQuerySpec spec,
+                         ParseStarQuery(*entry->star, sql));
+  return ExecuteBaseline(std::move(spec));
+}
+
+Result<ResultSet> QueryEngine::ExecuteGalaxyJoin(const GalaxyJoinSpec& spec) {
+  CJOIN_ASSIGN_OR_RETURN(StarEntry * lentry, EntryFor(spec.left.schema));
+  CJOIN_ASSIGN_OR_RETURN(StarEntry * rentry, EntryFor(spec.right.schema));
+  if (spec.left_join_col >= lentry->star->fact().schema().num_columns() ||
+      spec.right_join_col >= rentry->star->fact().schema().num_columns()) {
+    return Status::InvalidArgument("galaxy join column out of range");
+  }
+
+  // Projections per side, deduplicated; remember where each output lands.
+  std::vector<ColumnSource> proj[2];
+  auto project = [&](int side, const ColumnSource& src) -> size_t {
+    auto& p = proj[side];
+    for (size_t i = 0; i < p.size(); ++i) {
+      if (p[i] == src) return i;
+    }
+    p.push_back(src);
+    return p.size() - 1;
+  };
+  struct OutRef {
+    int side;
+    size_t index;
+  };
+  std::vector<OutRef> key_refs;
+  for (const auto& g : spec.group_by) {
+    if (g.side != 0 && g.side != 1) {
+      return Status::InvalidArgument("galaxy output side must be 0 or 1");
+    }
+    key_refs.push_back({g.side, project(g.side, g.source)});
+  }
+  std::vector<OutRef> agg_refs;
+  std::vector<AggFn> fns;
+  for (const auto& a : spec.aggregates) {
+    if (a.side != 0 && a.side != 1) {
+      return Status::InvalidArgument("galaxy output side must be 0 or 1");
+    }
+    fns.push_back(a.fn);
+    if (a.input.has_value()) {
+      agg_refs.push_back({a.side, project(a.side, *a.input)});
+    } else {
+      agg_refs.push_back({a.side, SIZE_MAX});  // COUNT(*)
+    }
+  }
+
+  // Run both star sub-queries concurrently through their CJOIN operators
+  // with collector sinks (§5: "the Distributor pipes the results of Qi to
+  // a fact-to-fact join operator instead of an aggregation operator").
+  CollectedSide sides[2];
+  const StarSchema* schemas[2] = {lentry->star.get(), rentry->star.get()};
+  const size_t join_cols[2] = {spec.left_join_col, spec.right_join_col};
+  StarQuerySpec sub[2] = {spec.left, spec.right};
+  std::unique_ptr<QueryHandle> handles[2];
+  for (int s = 0; s < 2; ++s) {
+    if (sub[s].snapshot == kReadLatestSnapshot) {
+      sub[s].snapshot = CurrentSnapshot();
+    }
+    CollectedSide* out = &sides[s];
+    const StarSchema* star = schemas[s];
+    const size_t jcol = join_cols[s];
+    std::vector<ColumnSource> projection = proj[s];
+    auto factory = [star, jcol, projection,
+                    out](const StarQuerySpec&) {
+      return std::make_unique<CollectorAggregator>(*star, jcol, projection,
+                                                   out);
+    };
+    StarEntry* entry = s == 0 ? lentry : rentry;
+    CJOIN_ASSIGN_OR_RETURN(handles[s],
+                           entry->op->Submit(sub[s], factory));
+  }
+  for (int s = 0; s < 2; ++s) {
+    Result<ResultSet> rs = handles[s]->Wait();
+    CJOIN_RETURN_IF_ERROR(rs.status());
+  }
+
+  // Hash join: build on the smaller side.
+  const int build = sides[0].keys.size() <= sides[1].keys.size() ? 0 : 1;
+  const int probe = 1 - build;
+  std::multimap<int64_t, size_t> index;
+  for (size_t i = 0; i < sides[build].keys.size(); ++i) {
+    index.emplace(sides[build].keys[i], i);
+  }
+
+  GroupTable table(fns);
+  std::vector<Value> inputs(fns.size());
+  for (size_t pi = 0; pi < sides[probe].keys.size(); ++pi) {
+    auto [lo, hi] = index.equal_range(sides[probe].keys[pi]);
+    for (auto it = lo; it != hi; ++it) {
+      const size_t bi = it->second;
+      auto value_of = [&](const OutRef& ref) -> Value {
+        const size_t row = ref.side == probe ? pi : bi;
+        return sides[ref.side].values[row][ref.index];
+      };
+      std::vector<Value> key;
+      key.reserve(key_refs.size());
+      for (const OutRef& ref : key_refs) key.push_back(value_of(ref));
+      for (size_t a = 0; a < fns.size(); ++a) {
+        inputs[a] =
+            agg_refs[a].index == SIZE_MAX ? Value() : value_of(agg_refs[a]);
+      }
+      table.Fold(std::move(key), inputs);
+    }
+  }
+
+  std::vector<std::string> columns;
+  for (const auto& g : spec.group_by) columns.push_back(g.label);
+  for (const auto& a : spec.aggregates) columns.push_back(a.label);
+  ResultSet rs =
+      table.Finish(std::move(columns),
+                   /*global_row_when_empty=*/spec.group_by.empty());
+  rs.tuples_consumed = sides[0].keys.size() + sides[1].keys.size();
+  return rs;
+}
+
+Result<SnapshotId> QueryEngine::AppendFacts(
+    std::string_view star_name, const std::vector<std::vector<uint8_t>>& rows,
+    uint32_t partition) {
+  CJOIN_ASSIGN_OR_RETURN(StarEntry * entry, EntryByName(star_name));
+  Table& fact = *const_cast<Table*>(&entry->star->fact());
+  std::lock_guard<std::mutex> lk(update_mu_);
+  const SnapshotId commit = snapshot_.load(std::memory_order_relaxed) + 1;
+  if (partition >= fact.num_partitions()) {
+    return Status::InvalidArgument("partition out of range");
+  }
+  for (const auto& payload : rows) {
+    if (payload.size() != fact.schema().row_size()) {
+      return Status::InvalidArgument("row payload size mismatch");
+    }
+    fact.AppendRow(payload.data(), partition, commit);
+  }
+  snapshot_.store(commit, std::memory_order_release);
+  entry->last_append_snapshot.store(commit, std::memory_order_release);
+  return commit;
+}
+
+Result<SnapshotId> QueryEngine::DeleteFacts(std::string_view star_name,
+                                            const ExprPtr& predicate) {
+  if (predicate == nullptr) {
+    return Status::InvalidArgument("delete predicate is null");
+  }
+  CJOIN_ASSIGN_OR_RETURN(StarEntry * entry, EntryByName(star_name));
+  Table& fact = *const_cast<Table*>(&entry->star->fact());
+  const Schema& fs = fact.schema();
+  std::lock_guard<std::mutex> lk(update_mu_);
+  const SnapshotId commit = snapshot_.load(std::memory_order_relaxed) + 1;
+  for (uint32_t p = 0; p < fact.num_partitions(); ++p) {
+    const uint64_t n = fact.PartitionRows(p);
+    for (uint64_t i = 0; i < n; ++i) {
+      const RowId id{p, i};
+      if (fact.Header(id)->LoadXmax() != kMaxSnapshot) continue;
+      if (!predicate->EvalBool(fs, fact.RowPayload(id))) continue;
+      CJOIN_RETURN_IF_ERROR(fact.MarkDeleted(id, commit));
+    }
+  }
+  snapshot_.store(commit, std::memory_order_release);
+  return commit;
+}
+
+Result<CJoinOperator*> QueryEngine::OperatorFor(std::string_view star_name) {
+  CJOIN_ASSIGN_OR_RETURN(StarEntry * entry, EntryByName(star_name));
+  return entry->op.get();
+}
+
+}  // namespace cjoin

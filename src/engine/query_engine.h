@@ -1,0 +1,145 @@
+// QueryEngine: the system facade around the CJOIN operator.
+//
+// Owns the galaxy of star schemas, one always-on CJoinOperator per fact
+// table, the snapshot counter for snapshot-isolated updates (§3.5), and
+// the conventional (query-at-a-time) executor used when a query is
+// explicitly routed to the baseline — "CJOIN becomes yet one more choice
+// for the database query optimizer" (§3.2.3).
+//
+// Mirrors the architecture of §2.1's problem statement: concurrent star
+// queries are diverted to the specialized CJOIN processor; updates and
+// baseline executions are handled by conventional code paths.
+
+#ifndef CJOIN_ENGINE_QUERY_ENGINE_H_
+#define CJOIN_ENGINE_QUERY_ENGINE_H_
+
+#include <atomic>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "baseline/qat_engine.h"
+#include "catalog/star_schema.h"
+#include "cjoin/cjoin_operator.h"
+#include "engine/sql_parser.h"
+
+namespace cjoin {
+
+class QueryEngine {
+ public:
+  struct Options {
+    CJoinOperator::Options cjoin;
+    QatOptions baseline;
+  };
+
+  explicit QueryEngine(Options options);
+  QueryEngine() : QueryEngine(Options{}) {}
+  ~QueryEngine();
+
+  /// Registers a star schema under `name` and starts its CJOIN operator.
+  Status RegisterStar(std::string name, StarSchema star);
+
+  Result<const StarSchema*> FindStar(std::string_view name) const;
+
+  // --- Query paths ---------------------------------------------------------
+
+  /// Submits a star query to the CJOIN operator of its star. The spec's
+  /// snapshot defaults to the engine's current snapshot.
+  Result<std::unique_ptr<QueryHandle>> Submit(StarQuerySpec spec);
+
+  /// Parses SQL against the named star and submits it.
+  Result<std::unique_ptr<QueryHandle>> SubmitSql(std::string_view star_name,
+                                                 std::string_view sql);
+
+  /// Evaluates a star query with the conventional one-plan-per-query
+  /// executor (blocking).
+  Result<ResultSet> ExecuteBaseline(StarQuerySpec spec);
+
+  /// Parses and evaluates SQL on the baseline path (blocking).
+  Result<ResultSet> ExecuteBaselineSql(std::string_view star_name,
+                                       std::string_view sql);
+
+  // --- Galaxy queries (§5) ---------------------------------------------------
+
+  /// A fact-to-fact join query over two stars, expressed as two star
+  /// sub-queries pivoted on one fact column from each side.
+  struct GalaxyJoinSpec {
+    StarQuerySpec left;
+    StarQuerySpec right;
+    /// Fact-table columns equated by the fact-to-fact join.
+    size_t left_join_col = 0;
+    size_t right_join_col = 0;
+
+    /// Output column: side 0 = left star, 1 = right star.
+    struct OutputColumn {
+      int side = 0;
+      ColumnSource source;
+      std::string label;
+    };
+    std::vector<OutputColumn> group_by;
+    struct OutputAggregate {
+      AggFn fn = AggFn::kCount;
+      int side = 0;
+      std::optional<ColumnSource> input;  // nullopt = COUNT(*)
+      std::string label;
+    };
+    std::vector<OutputAggregate> aggregates;
+  };
+
+  /// Evaluates a galaxy join: both star sub-queries run concurrently in
+  /// their stars' CJOIN operators (sharing work with any other in-flight
+  /// queries); their result streams meet in a hash join, then aggregate.
+  Result<ResultSet> ExecuteGalaxyJoin(const GalaxyJoinSpec& spec);
+
+  // --- Updates (§3.5) --------------------------------------------------------
+
+  /// Current snapshot id; queries submitted without an explicit snapshot
+  /// read this snapshot.
+  SnapshotId CurrentSnapshot() const {
+    return snapshot_.load(std::memory_order_acquire);
+  }
+
+  /// Appends fact rows (payload vectors of the fact schema's row size) to
+  /// the named star's fact table as one transaction; returns the snapshot
+  /// at which they became visible. New rows are observed by the
+  /// continuous scan from its next lap (storage freezes sizes per lap).
+  Result<SnapshotId> AppendFacts(std::string_view star_name,
+                                 const std::vector<std::vector<uint8_t>>& rows,
+                                 uint32_t partition = 0);
+
+  /// Deletes fact rows matching `predicate` (over the fact schema) as one
+  /// transaction; returns the first snapshot that no longer sees them.
+  Result<SnapshotId> DeleteFacts(std::string_view star_name,
+                                 const ExprPtr& predicate);
+
+  /// The CJOIN operator of a registered star (for stats and tests).
+  Result<CJoinOperator*> OperatorFor(std::string_view star_name);
+
+  void Shutdown();
+
+ private:
+  struct StarEntry {
+    std::string name;
+    std::unique_ptr<StarSchema> star;
+    std::unique_ptr<CJoinOperator> op;
+    /// Snapshot of the newest committed append to this star's fact table.
+    /// Queries are snapshot-capped only while appends beyond the scan's
+    /// covered bound exist (deletes are always within scanned ranges).
+    std::atomic<SnapshotId> last_append_snapshot{0};
+  };
+
+  Result<StarEntry*> EntryFor(const StarSchema* schema);
+  Result<StarEntry*> EntryByName(std::string_view name);
+
+  Options opts_;
+  std::vector<std::unique_ptr<StarEntry>> stars_;
+  std::atomic<SnapshotId> snapshot_{1};
+  std::mutex update_mu_;  // serializes writers (single-writer storage)
+  bool shut_down_ = false;
+};
+
+}  // namespace cjoin
+
+#endif  // CJOIN_ENGINE_QUERY_ENGINE_H_

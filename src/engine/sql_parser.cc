@@ -1,0 +1,929 @@
+#include "engine/sql_parser.h"
+
+#include <algorithm>
+#include <cctype>
+#include <memory>
+#include <optional>
+#include <set>
+#include <vector>
+
+namespace cjoin {
+
+namespace {
+
+// ----------------------------- Lexer ----------------------------------------
+
+enum class Tok {
+  kEnd,
+  kIdent,
+  kNumber,
+  kString,
+  kComma,
+  kLParen,
+  kRParen,
+  kStar,     // '*'
+  kPlus,
+  kMinus,
+  kSlash,
+  kEq,
+  kNe,
+  kLt,
+  kLe,
+  kGt,
+  kGe,
+  kSemicolon,
+};
+
+struct Token {
+  Tok kind = Tok::kEnd;
+  std::string text;   // identifier (upper-cased keyword check uses this)
+  double num = 0;
+  bool num_is_int = false;
+  int64_t inum = 0;
+  size_t pos = 0;
+};
+
+class Lexer {
+ public:
+  explicit Lexer(std::string_view sql) : sql_(sql) {}
+
+  Result<std::vector<Token>> Tokenize() {
+    std::vector<Token> out;
+    size_t i = 0;
+    const size_t n = sql_.size();
+    while (i < n) {
+      const char c = sql_[i];
+      if (std::isspace(static_cast<unsigned char>(c))) {
+        ++i;
+        continue;
+      }
+      Token t;
+      t.pos = i;
+      if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+        size_t j = i;
+        while (j < n && (std::isalnum(static_cast<unsigned char>(sql_[j])) ||
+                         sql_[j] == '_' || sql_[j] == '.')) {
+          ++j;
+        }
+        t.kind = Tok::kIdent;
+        t.text = std::string(sql_.substr(i, j - i));
+        i = j;
+      } else if (std::isdigit(static_cast<unsigned char>(c)) ||
+                 (c == '.' && i + 1 < n &&
+                  std::isdigit(static_cast<unsigned char>(sql_[i + 1])))) {
+        size_t j = i;
+        bool is_double = false;
+        while (j < n && (std::isdigit(static_cast<unsigned char>(sql_[j])) ||
+                         sql_[j] == '.')) {
+          if (sql_[j] == '.') is_double = true;
+          ++j;
+        }
+        t.kind = Tok::kNumber;
+        const std::string text(sql_.substr(i, j - i));
+        if (is_double) {
+          t.num = std::stod(text);
+          t.num_is_int = false;
+        } else {
+          t.inum = std::stoll(text);
+          t.num_is_int = true;
+        }
+        i = j;
+      } else if (c == '\'') {
+        size_t j = i + 1;
+        std::string s;
+        while (j < n && sql_[j] != '\'') {
+          s.push_back(sql_[j]);
+          ++j;
+        }
+        if (j >= n) {
+          return Status::InvalidArgument("unterminated string literal");
+        }
+        t.kind = Tok::kString;
+        t.text = std::move(s);
+        i = j + 1;
+      } else {
+        switch (c) {
+          case ',':
+            t.kind = Tok::kComma;
+            ++i;
+            break;
+          case '(':
+            t.kind = Tok::kLParen;
+            ++i;
+            break;
+          case ')':
+            t.kind = Tok::kRParen;
+            ++i;
+            break;
+          case '*':
+            t.kind = Tok::kStar;
+            ++i;
+            break;
+          case '+':
+            t.kind = Tok::kPlus;
+            ++i;
+            break;
+          case '-':
+            t.kind = Tok::kMinus;
+            ++i;
+            break;
+          case '/':
+            t.kind = Tok::kSlash;
+            ++i;
+            break;
+          case ';':
+            t.kind = Tok::kSemicolon;
+            ++i;
+            break;
+          case '=':
+            t.kind = Tok::kEq;
+            ++i;
+            break;
+          case '<':
+            if (i + 1 < n && sql_[i + 1] == '=') {
+              t.kind = Tok::kLe;
+              i += 2;
+            } else if (i + 1 < n && sql_[i + 1] == '>') {
+              t.kind = Tok::kNe;
+              i += 2;
+            } else {
+              t.kind = Tok::kLt;
+              ++i;
+            }
+            break;
+          case '>':
+            if (i + 1 < n && sql_[i + 1] == '=') {
+              t.kind = Tok::kGe;
+              i += 2;
+            } else {
+              t.kind = Tok::kGt;
+              ++i;
+            }
+            break;
+          case '!':
+            if (i + 1 < n && sql_[i + 1] == '=') {
+              t.kind = Tok::kNe;
+              i += 2;
+              break;
+            }
+            [[fallthrough]];
+          default:
+            return Status::InvalidArgument(
+                std::string("unexpected character '") + c + "' at offset " +
+                std::to_string(i));
+        }
+      }
+      out.push_back(std::move(t));
+    }
+    Token end;
+    end.kind = Tok::kEnd;
+    end.pos = n;
+    out.push_back(end);
+    return out;
+  }
+
+ private:
+  std::string_view sql_;
+};
+
+std::string Upper(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(),
+                 [](unsigned char c) { return std::toupper(c); });
+  return s;
+}
+
+// ------------------------- Parser AST ---------------------------------------
+
+/// Untyped predicate / scalar AST; lowered to ExprPtr per table after the
+/// referenced table is determined.
+struct PNode {
+  enum class Kind {
+    kColumn,
+    kLiteral,
+    kCmp,
+    kBetween,
+    kIn,
+    kLike,
+    kAnd,
+    kOr,
+    kNot,
+    kArith,
+  };
+  Kind kind;
+  // kColumn
+  std::string column;
+  // kLiteral
+  Value literal;
+  // kCmp / kArith
+  CmpOp cmp = CmpOp::kEq;
+  ArithOp arith = ArithOp::kAdd;
+  // children
+  std::shared_ptr<PNode> a, b, c;
+  // kIn
+  std::vector<Value> in_values;
+  // kLike
+  std::string like_pattern;
+};
+using PNodePtr = std::shared_ptr<PNode>;
+
+PNodePtr MakeNode(PNode::Kind k) {
+  auto n = std::make_shared<PNode>();
+  n->kind = k;
+  return n;
+}
+
+/// One parsed SELECT item.
+struct SelectItem {
+  bool is_aggregate = false;
+  AggFn fn = AggFn::kCount;
+  bool count_star = false;
+  PNodePtr expr;  // aggregate input or plain column expression
+  std::string alias;
+};
+
+struct ParsedQuery {
+  std::vector<SelectItem> select;
+  std::vector<std::string> tables;
+  PNodePtr where;  // may be null
+  std::vector<std::string> group_by;
+};
+
+// ------------------------------ Parser --------------------------------------
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : toks_(std::move(tokens)) {}
+
+  Result<ParsedQuery> Parse() {
+    ParsedQuery q;
+    CJOIN_RETURN_IF_ERROR(ExpectKeyword("SELECT"));
+    CJOIN_RETURN_IF_ERROR(ParseSelectList(&q));
+    CJOIN_RETURN_IF_ERROR(ExpectKeyword("FROM"));
+    CJOIN_RETURN_IF_ERROR(ParseTableList(&q));
+    if (IsKeyword("WHERE")) {
+      Advance();
+      CJOIN_ASSIGN_OR_RETURN(q.where, ParseOr());
+    }
+    if (IsKeyword("GROUP")) {
+      Advance();
+      CJOIN_RETURN_IF_ERROR(ExpectKeyword("BY"));
+      for (;;) {
+        if (Cur().kind != Tok::kIdent) {
+          return Error("expected column name in GROUP BY");
+        }
+        q.group_by.push_back(Cur().text);
+        Advance();
+        if (Cur().kind != Tok::kComma) break;
+        Advance();
+      }
+    }
+    if (IsKeyword("ORDER")) {
+      // ORDER BY is accepted and ignored (result order is unspecified).
+      Advance();
+      CJOIN_RETURN_IF_ERROR(ExpectKeyword("BY"));
+      while (Cur().kind == Tok::kIdent || Cur().kind == Tok::kComma) {
+        Advance();
+        if (IsKeyword("ASC") || IsKeyword("DESC")) Advance();
+      }
+    }
+    if (Cur().kind == Tok::kSemicolon) Advance();
+    if (Cur().kind != Tok::kEnd) {
+      return Error("unexpected trailing tokens");
+    }
+    return q;
+  }
+
+ private:
+  const Token& Cur() const { return toks_[pos_]; }
+  void Advance() { ++pos_; }
+
+  bool IsKeyword(const char* kw) const {
+    return Cur().kind == Tok::kIdent && Upper(Cur().text) == kw;
+  }
+
+  Status ExpectKeyword(const char* kw) {
+    if (!IsKeyword(kw)) {
+      return Error(std::string("expected ") + kw);
+    }
+    Advance();
+    return Status::OK();
+  }
+
+  Status Error(const std::string& msg) const {
+    return Status::InvalidArgument(msg + " at offset " +
+                                   std::to_string(Cur().pos));
+  }
+
+  static std::optional<AggFn> AggFromName(const std::string& upper) {
+    if (upper == "COUNT") return AggFn::kCount;
+    if (upper == "SUM") return AggFn::kSum;
+    if (upper == "MIN") return AggFn::kMin;
+    if (upper == "MAX") return AggFn::kMax;
+    if (upper == "AVG") return AggFn::kAvg;
+    return std::nullopt;
+  }
+
+  Status ParseSelectList(ParsedQuery* q) {
+    for (;;) {
+      SelectItem item;
+      if (Cur().kind == Tok::kIdent) {
+        const std::string upper = Upper(Cur().text);
+        auto fn = AggFromName(upper);
+        if (fn.has_value() && toks_[pos_ + 1].kind == Tok::kLParen) {
+          item.is_aggregate = true;
+          item.fn = *fn;
+          Advance();  // fn name
+          Advance();  // '('
+          if (Cur().kind == Tok::kStar) {
+            if (*fn != AggFn::kCount) {
+              return Error("only COUNT accepts *");
+            }
+            item.count_star = true;
+            Advance();
+          } else {
+            CJOIN_ASSIGN_OR_RETURN(item.expr, ParseArith());
+          }
+          if (Cur().kind != Tok::kRParen) return Error("expected )");
+          Advance();
+        } else {
+          CJOIN_ASSIGN_OR_RETURN(item.expr, ParseArith());
+        }
+      } else {
+        return Error("expected select item");
+      }
+      if (IsKeyword("AS")) {
+        Advance();
+        if (Cur().kind != Tok::kIdent) return Error("expected alias");
+        item.alias = Cur().text;
+        Advance();
+      }
+      q->select.push_back(std::move(item));
+      if (Cur().kind != Tok::kComma) break;
+      Advance();
+    }
+    return Status::OK();
+  }
+
+  Status ParseTableList(ParsedQuery* q) {
+    for (;;) {
+      if (Cur().kind != Tok::kIdent) return Error("expected table name");
+      q->tables.push_back(Cur().text);
+      Advance();
+      // Optional alias (ignored; columns are resolved globally).
+      if (Cur().kind == Tok::kIdent && !IsKeyword("WHERE") &&
+          !IsKeyword("GROUP") && !IsKeyword("ORDER")) {
+        Advance();
+      }
+      if (Cur().kind != Tok::kComma) break;
+      Advance();
+    }
+    return Status::OK();
+  }
+
+  // Boolean grammar: or := and (OR and)* ; and := unary (AND unary)* ;
+  // unary := NOT unary | '(' or ')' | predicate.
+  Result<PNodePtr> ParseOr() {
+    CJOIN_ASSIGN_OR_RETURN(PNodePtr left, ParseAnd());
+    while (IsKeyword("OR")) {
+      Advance();
+      CJOIN_ASSIGN_OR_RETURN(PNodePtr right, ParseAnd());
+      auto n = MakeNode(PNode::Kind::kOr);
+      n->a = left;
+      n->b = right;
+      left = n;
+    }
+    return left;
+  }
+
+  Result<PNodePtr> ParseAnd() {
+    CJOIN_ASSIGN_OR_RETURN(PNodePtr left, ParseBoolUnary());
+    while (IsKeyword("AND")) {
+      Advance();
+      CJOIN_ASSIGN_OR_RETURN(PNodePtr right, ParseBoolUnary());
+      auto n = MakeNode(PNode::Kind::kAnd);
+      n->a = left;
+      n->b = right;
+      left = n;
+    }
+    return left;
+  }
+
+  Result<PNodePtr> ParseBoolUnary() {
+    if (IsKeyword("NOT")) {
+      Advance();
+      CJOIN_ASSIGN_OR_RETURN(PNodePtr inner, ParseBoolUnary());
+      auto n = MakeNode(PNode::Kind::kNot);
+      n->a = inner;
+      return n;
+    }
+    if (Cur().kind == Tok::kLParen) {
+      // Could be a parenthesized boolean or the start of an arithmetic
+      // expression; try boolean first by scanning for a comparison at
+      // depth 0 after the paren — simpler: parse as boolean, which
+      // subsumes comparisons of parenthesized arithmetic.
+      Advance();
+      CJOIN_ASSIGN_OR_RETURN(PNodePtr inner, ParseOr());
+      if (Cur().kind != Tok::kRParen) return Error("expected )");
+      Advance();
+      return inner;
+    }
+    return ParsePredicate();
+  }
+
+  Result<PNodePtr> ParsePredicate() {
+    CJOIN_ASSIGN_OR_RETURN(PNodePtr lhs, ParseArith());
+    if (IsKeyword("BETWEEN")) {
+      Advance();
+      CJOIN_ASSIGN_OR_RETURN(Value lo, ParseLiteralValue());
+      CJOIN_RETURN_IF_ERROR(ExpectKeyword("AND"));
+      CJOIN_ASSIGN_OR_RETURN(Value hi, ParseLiteralValue());
+      auto n = MakeNode(PNode::Kind::kBetween);
+      n->a = lhs;
+      n->literal = lo;
+      n->in_values = {hi};  // stash hi in in_values[0]
+      return n;
+    }
+    if (IsKeyword("IN")) {
+      Advance();
+      if (Cur().kind != Tok::kLParen) return Error("expected ( after IN");
+      Advance();
+      auto n = MakeNode(PNode::Kind::kIn);
+      n->a = lhs;
+      for (;;) {
+        CJOIN_ASSIGN_OR_RETURN(Value v, ParseLiteralValue());
+        n->in_values.push_back(std::move(v));
+        if (Cur().kind != Tok::kComma) break;
+        Advance();
+      }
+      if (Cur().kind != Tok::kRParen) return Error("expected )");
+      Advance();
+      return n;
+    }
+    if (IsKeyword("LIKE")) {
+      Advance();
+      if (Cur().kind != Tok::kString) {
+        return Error("LIKE requires a string literal");
+      }
+      std::string pattern = Cur().text;
+      Advance();
+      if (pattern.empty() || pattern.back() != '%' ||
+          pattern.find('%') != pattern.size() - 1 ||
+          pattern.find('_') != std::string::npos) {
+        return Error("only prefix LIKE patterns ('abc%') are supported");
+      }
+      auto n = MakeNode(PNode::Kind::kLike);
+      n->a = lhs;
+      n->like_pattern = pattern.substr(0, pattern.size() - 1);
+      return n;
+    }
+    CmpOp op;
+    switch (Cur().kind) {
+      case Tok::kEq:
+        op = CmpOp::kEq;
+        break;
+      case Tok::kNe:
+        op = CmpOp::kNe;
+        break;
+      case Tok::kLt:
+        op = CmpOp::kLt;
+        break;
+      case Tok::kLe:
+        op = CmpOp::kLe;
+        break;
+      case Tok::kGt:
+        op = CmpOp::kGt;
+        break;
+      case Tok::kGe:
+        op = CmpOp::kGe;
+        break;
+      default:
+        return Error("expected comparison operator");
+    }
+    Advance();
+    CJOIN_ASSIGN_OR_RETURN(PNodePtr rhs, ParseArith());
+    auto n = MakeNode(PNode::Kind::kCmp);
+    n->cmp = op;
+    n->a = lhs;
+    n->b = rhs;
+    return n;
+  }
+
+  Result<Value> ParseLiteralValue() {
+    if (Cur().kind == Tok::kNumber) {
+      Value v = Cur().num_is_int ? Value(Cur().inum) : Value(Cur().num);
+      Advance();
+      return v;
+    }
+    if (Cur().kind == Tok::kString) {
+      Value v(Cur().text);
+      Advance();
+      return v;
+    }
+    if (Cur().kind == Tok::kMinus) {
+      Advance();
+      if (Cur().kind != Tok::kNumber) return Error("expected number");
+      Value v = Cur().num_is_int ? Value(-Cur().inum) : Value(-Cur().num);
+      Advance();
+      return v;
+    }
+    return Error("expected literal");
+  }
+
+  Result<PNodePtr> ParseArith() {
+    CJOIN_ASSIGN_OR_RETURN(PNodePtr left, ParseTerm());
+    while (Cur().kind == Tok::kPlus || Cur().kind == Tok::kMinus) {
+      const ArithOp op =
+          Cur().kind == Tok::kPlus ? ArithOp::kAdd : ArithOp::kSub;
+      Advance();
+      CJOIN_ASSIGN_OR_RETURN(PNodePtr right, ParseTerm());
+      auto n = MakeNode(PNode::Kind::kArith);
+      n->arith = op;
+      n->a = left;
+      n->b = right;
+      left = n;
+    }
+    return left;
+  }
+
+  Result<PNodePtr> ParseTerm() {
+    CJOIN_ASSIGN_OR_RETURN(PNodePtr left, ParseFactor());
+    while (Cur().kind == Tok::kStar || Cur().kind == Tok::kSlash) {
+      const ArithOp op =
+          Cur().kind == Tok::kStar ? ArithOp::kMul : ArithOp::kDiv;
+      Advance();
+      CJOIN_ASSIGN_OR_RETURN(PNodePtr right, ParseFactor());
+      auto n = MakeNode(PNode::Kind::kArith);
+      n->arith = op;
+      n->a = left;
+      n->b = right;
+      left = n;
+    }
+    return left;
+  }
+
+  Result<PNodePtr> ParseFactor() {
+    if (Cur().kind == Tok::kLParen) {
+      Advance();
+      CJOIN_ASSIGN_OR_RETURN(PNodePtr inner, ParseArith());
+      if (Cur().kind != Tok::kRParen) return Error("expected )");
+      Advance();
+      return inner;
+    }
+    if (Cur().kind == Tok::kNumber) {
+      auto n = MakeNode(PNode::Kind::kLiteral);
+      n->literal = Cur().num_is_int ? Value(Cur().inum) : Value(Cur().num);
+      Advance();
+      return n;
+    }
+    if (Cur().kind == Tok::kString) {
+      auto n = MakeNode(PNode::Kind::kLiteral);
+      n->literal = Value(Cur().text);
+      Advance();
+      return n;
+    }
+    if (Cur().kind == Tok::kMinus) {
+      Advance();
+      if (Cur().kind != Tok::kNumber) return Error("expected number");
+      auto n = MakeNode(PNode::Kind::kLiteral);
+      n->literal = Cur().num_is_int ? Value(-Cur().inum) : Value(-Cur().num);
+      Advance();
+      return n;
+    }
+    if (Cur().kind == Tok::kIdent) {
+      auto n = MakeNode(PNode::Kind::kColumn);
+      // Strip an optional table qualifier ("t.col" -> "col").
+      const std::string& text = Cur().text;
+      const size_t dot = text.find('.');
+      n->column = dot == std::string::npos ? text : text.substr(dot + 1);
+      Advance();
+      return n;
+    }
+    return Error("expected expression");
+  }
+
+  std::vector<Token> toks_;
+  size_t pos_ = 0;
+};
+
+// --------------------------- Semantic analysis ------------------------------
+
+/// Which table a column belongs to: -1 = fact, >= 0 = dimension index,
+/// -2 = not found.
+struct Resolver {
+  const StarSchema& star;
+  std::set<std::string> from_tables;  // lower bound: tables listed in FROM
+
+  int TableOf(const std::string& column, size_t* col_idx) const {
+    const int fact_col = star.fact().schema().ColumnIndex(column);
+    if (fact_col >= 0) {
+      *col_idx = static_cast<size_t>(fact_col);
+      return -1;
+    }
+    for (size_t d = 0; d < star.num_dimensions(); ++d) {
+      const int c = star.dimension(d).table->schema().ColumnIndex(column);
+      if (c >= 0) {
+        *col_idx = static_cast<size_t>(c);
+        return static_cast<int>(d);
+      }
+    }
+    *col_idx = 0;
+    return -2;
+  }
+
+  const Schema& SchemaOf(int table) const {
+    return table < 0 ? star.fact().schema()
+                     : star.dimension(static_cast<size_t>(table))
+                           .table->schema();
+  }
+};
+
+/// Collects the tables referenced by a PNode tree. Returns false on
+/// unknown column (sets *bad_column).
+bool CollectTables(const Resolver& r, const PNodePtr& n,
+                   std::set<int>* tables, std::string* bad_column) {
+  if (n == nullptr) return true;
+  if (n->kind == PNode::Kind::kColumn) {
+    size_t idx;
+    const int t = r.TableOf(n->column, &idx);
+    if (t == -2) {
+      *bad_column = n->column;
+      return false;
+    }
+    tables->insert(t);
+    return true;
+  }
+  return CollectTables(r, n->a, tables, bad_column) &&
+         CollectTables(r, n->b, tables, bad_column) &&
+         CollectTables(r, n->c, tables, bad_column);
+}
+
+/// Lowers a PNode tree to an ExprPtr over `table`'s schema. All columns
+/// in the tree must belong to that table.
+Result<ExprPtr> Lower(const Resolver& r, int table, const PNodePtr& n) {
+  const Schema& schema = r.SchemaOf(table);
+  switch (n->kind) {
+    case PNode::Kind::kColumn: {
+      size_t idx;
+      const int t = r.TableOf(n->column, &idx);
+      if (t != table) {
+        return Status::InvalidArgument(
+            "predicate mixes tables (column " + n->column + ")");
+      }
+      (void)schema;
+      return MakeColumnRef(idx);
+    }
+    case PNode::Kind::kLiteral:
+      return MakeLiteral(n->literal);
+    case PNode::Kind::kCmp: {
+      CJOIN_ASSIGN_OR_RETURN(ExprPtr a, Lower(r, table, n->a));
+      CJOIN_ASSIGN_OR_RETURN(ExprPtr b, Lower(r, table, n->b));
+      return MakeCompare(n->cmp, std::move(a), std::move(b));
+    }
+    case PNode::Kind::kBetween: {
+      CJOIN_ASSIGN_OR_RETURN(ExprPtr a, Lower(r, table, n->a));
+      return MakeBetween(std::move(a), n->literal, n->in_values[0]);
+    }
+    case PNode::Kind::kIn: {
+      CJOIN_ASSIGN_OR_RETURN(ExprPtr a, Lower(r, table, n->a));
+      return MakeInList(std::move(a), n->in_values);
+    }
+    case PNode::Kind::kLike: {
+      CJOIN_ASSIGN_OR_RETURN(ExprPtr a, Lower(r, table, n->a));
+      return MakePrefixMatch(std::move(a), n->like_pattern);
+    }
+    case PNode::Kind::kAnd: {
+      CJOIN_ASSIGN_OR_RETURN(ExprPtr a, Lower(r, table, n->a));
+      CJOIN_ASSIGN_OR_RETURN(ExprPtr b, Lower(r, table, n->b));
+      return MakeAnd(std::move(a), std::move(b));
+    }
+    case PNode::Kind::kOr: {
+      CJOIN_ASSIGN_OR_RETURN(ExprPtr a, Lower(r, table, n->a));
+      CJOIN_ASSIGN_OR_RETURN(ExprPtr b, Lower(r, table, n->b));
+      return MakeOr(std::move(a), std::move(b));
+    }
+    case PNode::Kind::kNot: {
+      CJOIN_ASSIGN_OR_RETURN(ExprPtr a, Lower(r, table, n->a));
+      return MakeNot(std::move(a));
+    }
+    case PNode::Kind::kArith: {
+      CJOIN_ASSIGN_OR_RETURN(ExprPtr a, Lower(r, table, n->a));
+      CJOIN_ASSIGN_OR_RETURN(ExprPtr b, Lower(r, table, n->b));
+      return MakeArith(n->arith, std::move(a), std::move(b));
+    }
+  }
+  return Status::Internal("unhandled node kind");
+}
+
+/// Splits the WHERE tree into top-level AND conjuncts.
+void SplitConjuncts(const PNodePtr& n, std::vector<PNodePtr>* out) {
+  if (n == nullptr) return;
+  if (n->kind == PNode::Kind::kAnd) {
+    SplitConjuncts(n->a, out);
+    SplitConjuncts(n->b, out);
+  } else {
+    out->push_back(n);
+  }
+}
+
+/// True if the conjunct is a fact-FK = dim-PK equi-join of `star`.
+/// Sets *dim_index on success.
+bool IsJoinConjunct(const Resolver& r, const PNodePtr& n,
+                    size_t* dim_index) {
+  if (n->kind != PNode::Kind::kCmp || n->cmp != CmpOp::kEq) return false;
+  if (n->a->kind != PNode::Kind::kColumn ||
+      n->b->kind != PNode::Kind::kColumn) {
+    return false;
+  }
+  size_t ca, cb;
+  const int ta = r.TableOf(n->a->column, &ca);
+  const int tb = r.TableOf(n->b->column, &cb);
+  // One side fact, one side dimension.
+  int dim;
+  size_t fact_col, dim_col;
+  if (ta == -1 && tb >= 0) {
+    dim = tb;
+    fact_col = ca;
+    dim_col = cb;
+  } else if (tb == -1 && ta >= 0) {
+    dim = ta;
+    fact_col = cb;
+    dim_col = ca;
+  } else {
+    return false;
+  }
+  const DimensionDef& def = r.star.dimension(static_cast<size_t>(dim));
+  if (def.fact_fk_col != fact_col || def.dim_pk_col != dim_col) {
+    return false;
+  }
+  *dim_index = static_cast<size_t>(dim);
+  return true;
+}
+
+}  // namespace
+
+Result<StarQuerySpec> ParseStarQuery(const StarSchema& star,
+                                     std::string_view sql) {
+  CJOIN_ASSIGN_OR_RETURN(std::vector<Token> tokens, Lexer(sql).Tokenize());
+  Parser parser(std::move(tokens));
+  CJOIN_ASSIGN_OR_RETURN(ParsedQuery pq, parser.Parse());
+
+  Resolver r{star, {}};
+
+  // Check the FROM list: every table must be the fact or a dimension.
+  bool fact_listed = false;
+  std::set<size_t> dims_listed;
+  for (const std::string& t : pq.tables) {
+    if (t == star.fact().name()) {
+      fact_listed = true;
+      continue;
+    }
+    auto d = star.FindDimension(t);
+    if (!d.ok()) {
+      return Status::InvalidArgument("unknown table '" + t +
+                                     "' in FROM clause");
+    }
+    dims_listed.insert(*d);
+  }
+  if (!fact_listed) {
+    return Status::InvalidArgument("FROM clause must include the fact table " +
+                                   star.fact().name());
+  }
+
+  StarQuerySpec spec;
+  spec.schema = &star;
+
+  // Classify WHERE conjuncts.
+  std::vector<PNodePtr> conjuncts;
+  SplitConjuncts(pq.where, &conjuncts);
+  std::vector<ExprPtr> fact_conjuncts;
+  std::set<size_t> joined_dims;
+  for (const PNodePtr& c : conjuncts) {
+    size_t dim_index;
+    if (IsJoinConjunct(r, c, &dim_index)) {
+      if (dims_listed.count(dim_index) == 0) {
+        return Status::InvalidArgument(
+            "join references a table missing from FROM");
+      }
+      joined_dims.insert(dim_index);
+      continue;
+    }
+    std::set<int> tables;
+    std::string bad;
+    if (!CollectTables(r, c, &tables, &bad)) {
+      return Status::InvalidArgument("unknown column '" + bad + "'");
+    }
+    if (tables.size() > 1) {
+      return Status::InvalidArgument(
+          "predicate references more than one table (star queries allow "
+          "per-table predicates only)");
+    }
+    const int table = tables.empty() ? -1 : *tables.begin();
+    CJOIN_ASSIGN_OR_RETURN(ExprPtr e, Lower(r, table, c));
+    if (table == -1) {
+      fact_conjuncts.push_back(std::move(e));
+    } else {
+      spec.dim_predicates.push_back(
+          DimensionPredicate{static_cast<size_t>(table), std::move(e)});
+    }
+  }
+  if (!fact_conjuncts.empty()) {
+    spec.fact_predicate = MakeConjunction(std::move(fact_conjuncts));
+  }
+  // Every listed dimension must be joined to the fact table (no cross
+  // products in the star template).
+  for (size_t d : dims_listed) {
+    if (joined_dims.count(d) == 0) {
+      return Status::InvalidArgument(
+          "dimension '" + star.dimension(d).table->name() +
+          "' listed in FROM without a join predicate");
+    }
+  }
+  // Predicates on dimensions that were never listed/joined are errors.
+  for (const DimensionPredicate& dp : spec.dim_predicates) {
+    if (dims_listed.count(dp.dim_index) == 0) {
+      return Status::InvalidArgument(
+          "predicate on table missing from FROM: " +
+          star.dimension(dp.dim_index).table->name());
+    }
+  }
+
+  // SELECT list: plain columns must appear in GROUP BY (checked below);
+  // aggregates lower to AggregateSpec.
+  std::set<std::string> group_cols(pq.group_by.begin(), pq.group_by.end());
+  for (const SelectItem& item : pq.select) {
+    if (item.is_aggregate) {
+      AggregateSpec agg;
+      agg.fn = item.fn;
+      agg.label = item.alias;
+      if (!item.count_star) {
+        std::set<int> tables;
+        std::string bad;
+        if (!CollectTables(r, item.expr, &tables, &bad)) {
+          return Status::InvalidArgument("unknown column '" + bad + "'");
+        }
+        if (tables.size() != 1) {
+          return Status::InvalidArgument(
+              "aggregate input must reference exactly one table");
+        }
+        const int table = *tables.begin();
+        if (item.expr->kind == PNode::Kind::kColumn) {
+          size_t idx;
+          r.TableOf(item.expr->column, &idx);
+          agg.input = table == -1
+                          ? ColumnSource::Fact(idx)
+                          : ColumnSource::Dim(static_cast<size_t>(table), idx);
+        } else if (table == -1) {
+          CJOIN_ASSIGN_OR_RETURN(agg.fact_expr, Lower(r, -1, item.expr));
+        } else {
+          return Status::InvalidArgument(
+              "aggregate expressions over dimension columns are not "
+              "supported (use a plain dimension column)");
+        }
+      }
+      spec.aggregates.push_back(std::move(agg));
+    } else {
+      if (item.expr->kind != PNode::Kind::kColumn) {
+        return Status::InvalidArgument(
+            "non-aggregate select items must be plain columns");
+      }
+      const std::string& col = item.expr->column;
+      if (group_cols.count(col) == 0) {
+        return Status::InvalidArgument("column '" + col +
+                                       "' must appear in GROUP BY");
+      }
+    }
+  }
+
+  // GROUP BY columns.
+  for (const std::string& col : pq.group_by) {
+    size_t idx;
+    const int t = r.TableOf(col, &idx);
+    if (t == -2) {
+      return Status::InvalidArgument("unknown GROUP BY column '" + col + "'");
+    }
+    spec.group_by.push_back(t == -1 ? ColumnSource::Fact(idx)
+                                    : ColumnSource::Dim(
+                                          static_cast<size_t>(t), idx));
+    spec.group_by_labels.push_back(col);
+    if (t >= 0) dims_listed.insert(static_cast<size_t>(t));
+  }
+
+  // Ensure every dimension referenced by outputs was listed in FROM.
+  for (const ColumnSource& src : spec.group_by) {
+    if (src.from == ColumnSource::From::kDimension &&
+        joined_dims.count(src.dim_index) == 0) {
+      return Status::InvalidArgument(
+          "GROUP BY references unjoined dimension " +
+          star.dimension(src.dim_index).table->name());
+    }
+  }
+
+  // Make sure joined-but-unfiltered dimensions appear as TRUE entries so
+  // NormalizeSpec keeps them referenced only when outputs need them; a
+  // dimension joined in WHERE but never filtered or projected is a no-op
+  // for key/FK joins and may be dropped.
+  spec.label = "sql";
+  return NormalizeSpec(std::move(spec));
+}
+
+}  // namespace cjoin

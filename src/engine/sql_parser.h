@@ -1,0 +1,43 @@
+// SQL-subset parser for star queries (the template of paper §2.1).
+//
+// Parses the star-query dialect used throughout the paper and the SSB
+// benchmark into a bound StarQuerySpec:
+//
+//   SELECT [cols and aggregates] FROM fact, dim, ...
+//   WHERE <fk = pk joins> AND <per-table predicates> [GROUP BY cols]
+//
+// Supported predicate forms: comparisons (=, <>, <, <=, >, >=) between
+// column/literal arithmetic expressions, BETWEEN, IN (...), LIKE
+// 'prefix%', AND/OR/NOT with parentheses. Each non-join conjunct must
+// reference columns of exactly one table (the star-query restriction:
+// sigma_cj references solely D_dj's tuple variable).
+//
+// Example:
+//   SELECT d_year, SUM(lo_revenue - lo_supplycost) AS profit
+//   FROM lineorder, date, customer
+//   WHERE lo_orderdate = d_datekey AND lo_custkey = c_custkey
+//     AND c_region = 'AMERICA' AND d_year >= 1997
+//   GROUP BY d_year
+
+#ifndef CJOIN_ENGINE_SQL_PARSER_H_
+#define CJOIN_ENGINE_SQL_PARSER_H_
+
+#include <string>
+#include <string_view>
+
+#include "catalog/query_spec.h"
+#include "catalog/star_schema.h"
+#include "common/status.h"
+
+namespace cjoin {
+
+/// Parses `sql` against `star`, returning a normalized StarQuerySpec.
+/// Table names in FROM must be the fact table and/or dimension tables of
+/// `star`; column names must be unambiguous across the referenced tables
+/// (true for SSB's prefixed names).
+Result<StarQuerySpec> ParseStarQuery(const StarSchema& star,
+                                     std::string_view sql);
+
+}  // namespace cjoin
+
+#endif  // CJOIN_ENGINE_SQL_PARSER_H_

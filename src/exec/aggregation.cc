@@ -1,0 +1,219 @@
+#include "exec/aggregation.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "exec/group_table.h"
+
+namespace cjoin {
+
+namespace {
+
+/// Pre-resolved column source: which schema to read through and whether
+/// the value is read from the fact row or an attached dimension row.
+struct BoundSource {
+  bool from_fact = true;
+  size_t dim_index = 0;
+  const Schema* schema = nullptr;
+  size_t column = 0;
+
+  Value Read(const uint8_t* fact_row, const uint8_t* const* dim_rows) const {
+    const uint8_t* row = from_fact ? fact_row : dim_rows[dim_index];
+    if (row == nullptr) return Value();
+    const Column& c = schema->column(column);
+    switch (c.type) {
+      case DataType::kInt32:
+        return Value(static_cast<int64_t>(schema->GetInt32(row, column)));
+      case DataType::kInt64:
+        return Value(schema->GetInt64(row, column));
+      case DataType::kDouble:
+        return Value(schema->GetDouble(row, column));
+      case DataType::kChar:
+        return Value(schema->GetChar(row, column));
+    }
+    return Value();
+  }
+};
+
+BoundSource Bind(const StarQuerySpec& spec, const ColumnSource& src) {
+  BoundSource b;
+  if (src.from == ColumnSource::From::kFact) {
+    b.from_fact = true;
+    b.schema = &spec.schema->fact().schema();
+  } else {
+    b.from_fact = false;
+    b.dim_index = src.dim_index;
+    b.schema = &spec.schema->dimension(src.dim_index).table->schema();
+  }
+  b.column = src.column;
+  return b;
+}
+
+/// Shared plumbing for both aggregator implementations.
+class AggregatorBase : public StarAggregator {
+ public:
+  explicit AggregatorBase(const StarQuerySpec& spec) {
+    fact_schema_ = &spec.schema->fact().schema();
+    for (const ColumnSource& src : spec.group_by) {
+      key_sources_.push_back(Bind(spec, src));
+    }
+    for (const AggregateSpec& agg : spec.aggregates) {
+      fns_.push_back(agg.fn);
+      exprs_.push_back(agg.fact_expr);
+      if (agg.input.has_value()) {
+        inputs_.push_back(Bind(spec, *agg.input));
+        has_input_.push_back(true);
+      } else {
+        inputs_.push_back(BoundSource{});
+        has_input_.push_back(false);
+      }
+    }
+    columns_ = spec.group_by_labels;
+    for (const AggregateSpec& agg : spec.aggregates) {
+      columns_.push_back(agg.label);
+    }
+  }
+
+  uint64_t tuples_consumed() const override { return consumed_; }
+
+ protected:
+  std::vector<Value> ReadKey(const uint8_t* fact_row,
+                             const uint8_t* const* dim_rows) const {
+    std::vector<Value> key;
+    key.reserve(key_sources_.size());
+    for (const BoundSource& src : key_sources_) {
+      key.push_back(src.Read(fact_row, dim_rows));
+    }
+    return key;
+  }
+
+  /// Input value of aggregate i for this tuple (NULL for COUNT(*)).
+  Value ReadInput(size_t i, const uint8_t* fact_row,
+                  const uint8_t* const* dim_rows) const {
+    if (has_input_[i]) return inputs_[i].Read(fact_row, dim_rows);
+    if (exprs_[i] != nullptr) return exprs_[i]->Eval(*fact_schema_, fact_row);
+    return Value();
+  }
+
+  std::vector<Value> ReadInputs(const uint8_t* fact_row,
+                                const uint8_t* const* dim_rows) const {
+    std::vector<Value> in(fns_.size());
+    for (size_t i = 0; i < fns_.size(); ++i) {
+      in[i] = ReadInput(i, fact_row, dim_rows);
+    }
+    return in;
+  }
+
+  std::vector<BoundSource> key_sources_;
+  std::vector<AggFn> fns_;
+  std::vector<BoundSource> inputs_;
+  std::vector<ExprPtr> exprs_;
+  std::vector<bool> has_input_;
+  const Schema* fact_schema_ = nullptr;
+  std::vector<std::string> columns_;
+  uint64_t consumed_ = 0;
+};
+
+/// Hash group-by over the shared GroupTable kernel.
+class HashStarAggregator final : public AggregatorBase {
+ public:
+  explicit HashStarAggregator(const StarQuerySpec& spec)
+      : AggregatorBase(spec), table_(fns_) {}
+
+  void Consume(const uint8_t* fact_row,
+               const uint8_t* const* dim_rows) override {
+    ++consumed_;
+    table_.Fold(ReadKey(fact_row, dim_rows),
+                ReadInputs(fact_row, dim_rows));
+  }
+
+  ResultSet Finish() override {
+    ResultSet rs = table_.Finish(
+        columns_, /*global_row_when_empty=*/key_sources_.empty());
+    rs.tuples_consumed = consumed_;
+    return rs;
+  }
+
+ private:
+  GroupTable table_;
+};
+
+/// Sort group-by: buffers rows, sorts by key at Finish, folds runs.
+class SortStarAggregator final : public AggregatorBase {
+ public:
+  explicit SortStarAggregator(const StarQuerySpec& spec)
+      : AggregatorBase(spec) {}
+
+  void Consume(const uint8_t* fact_row,
+               const uint8_t* const* dim_rows) override {
+    ++consumed_;
+    buffered_.push_back(
+        {ReadKey(fact_row, dim_rows), ReadInputs(fact_row, dim_rows)});
+  }
+
+  ResultSet Finish() override {
+    ResultSet rs;
+    rs.columns = columns_;
+    rs.tuples_consumed = consumed_;
+    if (buffered_.empty()) {
+      if (key_sources_.empty() && !fns_.empty()) {
+        std::vector<Value> row;
+        AggState empty;
+        for (AggFn fn : fns_) row.push_back(empty.Final(fn));
+        rs.rows.push_back(std::move(row));
+      }
+      return rs;
+    }
+    std::sort(buffered_.begin(), buffered_.end(),
+              [](const Row& a, const Row& b) {
+                const size_t n = a.key.size();
+                for (size_t i = 0; i < n; ++i) {
+                  const int c = a.key[i].Compare(b.key[i]);
+                  if (c != 0) return c < 0;
+                }
+                return false;
+              });
+    size_t run_start = 0;
+    std::vector<AggState> states(fns_.size());
+    auto flush = [&](size_t run_end) {
+      std::vector<Value> row = std::move(buffered_[run_start].key);
+      for (size_t i = 0; i < fns_.size(); ++i) {
+        row.push_back(states[i].Final(fns_[i]));
+      }
+      rs.rows.push_back(std::move(row));
+      states.assign(fns_.size(), AggState{});
+      run_start = run_end;
+    };
+    for (size_t i = 0; i < buffered_.size(); ++i) {
+      if (i > run_start &&
+          !ValueKeysEqual(buffered_[i].key, buffered_[run_start].key)) {
+        flush(i);
+      }
+      for (size_t a = 0; a < fns_.size(); ++a) {
+        states[a].Fold(fns_[a], buffered_[i].inputs[a]);
+      }
+    }
+    flush(buffered_.size());
+    buffered_.clear();
+    return rs;
+  }
+
+ private:
+  struct Row {
+    std::vector<Value> key;
+    std::vector<Value> inputs;
+  };
+  std::vector<Row> buffered_;
+};
+
+}  // namespace
+
+std::unique_ptr<StarAggregator> MakeHashAggregator(const StarQuerySpec& spec) {
+  return std::make_unique<HashStarAggregator>(spec);
+}
+
+std::unique_ptr<StarAggregator> MakeSortAggregator(const StarQuerySpec& spec) {
+  return std::make_unique<SortStarAggregator>(spec);
+}
+
+}  // namespace cjoin

@@ -1,0 +1,148 @@
+#include "exec/group_table.h"
+
+#include <limits>
+
+#include "common/hash.h"
+
+namespace cjoin {
+
+namespace {
+constexpr uint32_t kEmpty = std::numeric_limits<uint32_t>::max();
+constexpr size_t kInitialSlots = 64;
+}  // namespace
+
+void AggState::Fold(AggFn fn, const Value& v) {
+  switch (fn) {
+    case AggFn::kCount:
+      ++count;
+      return;
+    case AggFn::kSum:
+    case AggFn::kAvg:
+      if (v.is_null()) return;
+      ++count;
+      if (v.is_double()) {
+        any_double = true;
+        dsum += v.AsDouble();
+      } else {
+        isum += v.AsInt();
+      }
+      return;
+    case AggFn::kMin:
+      if (v.is_null()) return;
+      if (min_v.is_null() || v.Compare(min_v) < 0) min_v = v;
+      return;
+    case AggFn::kMax:
+      if (v.is_null()) return;
+      if (max_v.is_null() || v.Compare(max_v) > 0) max_v = v;
+      return;
+  }
+}
+
+Value AggState::Final(AggFn fn) const {
+  switch (fn) {
+    case AggFn::kCount:
+      return Value(count);
+    case AggFn::kSum:
+      if (count == 0) return Value();
+      if (any_double) return Value(dsum + static_cast<double>(isum));
+      return Value(isum);
+    case AggFn::kAvg:
+      if (count == 0) return Value();
+      return Value((dsum + static_cast<double>(isum)) /
+                   static_cast<double>(count));
+    case AggFn::kMin:
+      return min_v;
+    case AggFn::kMax:
+      return max_v;
+  }
+  return Value();
+}
+
+uint64_t HashValueKey(const std::vector<Value>& key) {
+  uint64_t h = 0x2545f4914f6cdd1dULL;
+  for (const Value& v : key) h = HashCombine(h, v.Hash());
+  return h;
+}
+
+bool ValueKeysEqual(const std::vector<Value>& a,
+                    const std::vector<Value>& b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (a[i].Compare(b[i]) != 0) return false;
+  }
+  return true;
+}
+
+GroupTable::GroupTable(std::vector<AggFn> fns) : fns_(std::move(fns)) {
+  slots_.assign(kInitialSlots, kEmpty);
+}
+
+GroupTable::Group& GroupTable::FindOrCreate(std::vector<Value> key) {
+  const uint64_t h = HashValueKey(key);
+  size_t mask = slots_.size() - 1;
+  size_t idx = h & mask;
+  for (;;) {
+    const uint32_t slot = slots_[idx];
+    if (slot == kEmpty) break;
+    Group& g = groups_[slot];
+    if (g.hash == h && ValueKeysEqual(g.key, key)) return g;
+    idx = (idx + 1) & mask;
+  }
+  if (groups_.size() + 1 > slots_.size() * 7 / 10) {
+    Rehash();
+    mask = slots_.size() - 1;
+    idx = h & mask;
+    while (slots_[idx] != kEmpty) idx = (idx + 1) & mask;
+  }
+  Group g;
+  g.key = std::move(key);
+  g.hash = h;
+  g.states.assign(fns_.size(), AggState{});
+  groups_.push_back(std::move(g));
+  slots_[idx] = static_cast<uint32_t>(groups_.size() - 1);
+  return groups_.back();
+}
+
+void GroupTable::Rehash() {
+  slots_.assign(slots_.size() * 2, kEmpty);
+  const size_t mask = slots_.size() - 1;
+  for (size_t i = 0; i < groups_.size(); ++i) {
+    size_t idx = groups_[i].hash & mask;
+    while (slots_[idx] != kEmpty) idx = (idx + 1) & mask;
+    slots_[idx] = static_cast<uint32_t>(i);
+  }
+}
+
+void GroupTable::Fold(std::vector<Value> key,
+                      const std::vector<Value>& inputs) {
+  Group& g = FindOrCreate(std::move(key));
+  for (size_t i = 0; i < fns_.size(); ++i) {
+    g.states[i].Fold(fns_[i], inputs[i]);
+  }
+}
+
+ResultSet GroupTable::Finish(std::vector<std::string> columns,
+                             bool global_row_when_empty) {
+  ResultSet rs;
+  rs.columns = std::move(columns);
+  if (groups_.empty() && global_row_when_empty && !fns_.empty()) {
+    std::vector<Value> row;
+    AggState empty;
+    for (AggFn fn : fns_) row.push_back(empty.Final(fn));
+    rs.rows.push_back(std::move(row));
+    return rs;
+  }
+  rs.rows.reserve(groups_.size());
+  for (Group& g : groups_) {
+    std::vector<Value> row = std::move(g.key);
+    for (size_t i = 0; i < fns_.size(); ++i) {
+      row.push_back(g.states[i].Final(fns_[i]));
+    }
+    rs.rows.push_back(std::move(row));
+  }
+  groups_.clear();
+  slots_.assign(kInitialSlots, kEmpty);
+  return rs;
+}
+
+}  // namespace cjoin

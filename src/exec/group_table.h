@@ -1,0 +1,80 @@
+// Reusable grouping / aggregate-folding kernel.
+//
+// GroupTable is the engine under hash aggregation: an open-addressing
+// index over dense groups keyed by Value tuples, folding a fixed list of
+// aggregate functions. It is shared by the per-query star aggregators and
+// by the fact-to-fact galaxy join operator (§5), which aggregates joined
+// row pairs outside any single star pipeline.
+
+#ifndef CJOIN_EXEC_GROUP_TABLE_H_
+#define CJOIN_EXEC_GROUP_TABLE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "catalog/query_spec.h"
+#include "exec/result_set.h"
+#include "expr/value.h"
+
+namespace cjoin {
+
+/// Running state of one aggregate within one group.
+struct AggState {
+  int64_t count = 0;
+  int64_t isum = 0;
+  double dsum = 0.0;
+  bool any_double = false;
+  Value min_v;
+  Value max_v;
+
+  /// Folds one input value under `fn` (NULLs ignored per SQL semantics;
+  /// COUNT counts every call).
+  void Fold(AggFn fn, const Value& v);
+
+  /// Final value of the aggregate.
+  Value Final(AggFn fn) const;
+};
+
+/// Hash group-by over Value keys. Not thread-safe.
+class GroupTable {
+ public:
+  explicit GroupTable(std::vector<AggFn> fns);
+
+  /// Folds `inputs[i]` into aggregate i of the group keyed by `key`
+  /// (consumes the key on first sight). `inputs` must have one entry per
+  /// aggregate function (NULL Value for COUNT(*)).
+  void Fold(std::vector<Value> key, const std::vector<Value>& inputs);
+
+  size_t num_groups() const { return groups_.size(); }
+
+  /// Materializes (key columns..., aggregate columns...) rows under the
+  /// given header. When `global_row_when_empty` is set and no group was
+  /// folded, emits the SQL global-aggregate row (COUNT=0, SUM=NULL).
+  /// The table resets afterwards.
+  ResultSet Finish(std::vector<std::string> columns,
+                   bool global_row_when_empty);
+
+ private:
+  struct Group {
+    std::vector<Value> key;
+    uint64_t hash = 0;
+    std::vector<AggState> states;
+  };
+
+  Group& FindOrCreate(std::vector<Value> key);
+  void Rehash();
+
+  std::vector<AggFn> fns_;
+  std::vector<uint32_t> slots_;
+  std::vector<Group> groups_;
+};
+
+/// Hash of a Value tuple (shared with tests).
+uint64_t HashValueKey(const std::vector<Value>& key);
+/// Deep equality of Value tuples (Compare()==0 per element).
+bool ValueKeysEqual(const std::vector<Value>& a, const std::vector<Value>& b);
+
+}  // namespace cjoin
+
+#endif  // CJOIN_EXEC_GROUP_TABLE_H_

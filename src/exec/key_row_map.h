@@ -1,0 +1,76 @@
+// Open-addressing hash map from integer join keys to row pointers.
+//
+// Used by the query-at-a-time baseline for its per-query join hash tables
+// (a pipeline of hash joins filtering a fact scan — the plan shape the
+// paper verified for both comparison systems, §6.1.1).
+
+#ifndef CJOIN_EXEC_KEY_ROW_MAP_H_
+#define CJOIN_EXEC_KEY_ROW_MAP_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/hash.h"
+
+namespace cjoin {
+
+/// Linear-probing map int64 key -> const uint8_t* row. Keys must be
+/// unique (primary keys). Not thread-safe; single-query state.
+class KeyRowMap {
+ public:
+  explicit KeyRowMap(size_t expected = 16) {
+    size_t cap = 16;
+    while (cap < expected * 2) cap <<= 1;
+    slots_.assign(cap, Slot{});
+  }
+
+  void Insert(int64_t key, const uint8_t* row) {
+    if ((size_ + 1) * 10 > slots_.size() * 7) Rehash();
+    InsertNoGrow(key, row);
+    ++size_;
+  }
+
+  /// Returns the row for `key`, or nullptr.
+  const uint8_t* Find(int64_t key) const {
+    const size_t mask = slots_.size() - 1;
+    size_t idx = Mix64(static_cast<uint64_t>(key)) & mask;
+    for (;;) {
+      const Slot& s = slots_[idx];
+      if (!s.used) return nullptr;
+      if (s.key == key) return s.row;
+      idx = (idx + 1) & mask;
+    }
+  }
+
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+ private:
+  struct Slot {
+    int64_t key = 0;
+    const uint8_t* row = nullptr;
+    bool used = false;
+  };
+
+  void InsertNoGrow(int64_t key, const uint8_t* row) {
+    const size_t mask = slots_.size() - 1;
+    size_t idx = Mix64(static_cast<uint64_t>(key)) & mask;
+    while (slots_[idx].used) idx = (idx + 1) & mask;
+    slots_[idx] = Slot{key, row, true};
+  }
+
+  void Rehash() {
+    std::vector<Slot> old = std::move(slots_);
+    slots_.assign(old.size() * 2, Slot{});
+    for (const Slot& s : old) {
+      if (s.used) InsertNoGrow(s.key, s.row);
+    }
+  }
+
+  std::vector<Slot> slots_;
+  size_t size_ = 0;
+};
+
+}  // namespace cjoin
+
+#endif  // CJOIN_EXEC_KEY_ROW_MAP_H_

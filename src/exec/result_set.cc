@@ -1,0 +1,61 @@
+#include "exec/result_set.h"
+
+#include <algorithm>
+
+namespace cjoin {
+
+namespace {
+bool RowLess(const std::vector<Value>& a, const std::vector<Value>& b) {
+  const size_t n = std::min(a.size(), b.size());
+  for (size_t i = 0; i < n; ++i) {
+    const int c = a[i].Compare(b[i]);
+    if (c != 0) return c < 0;
+  }
+  return a.size() < b.size();
+}
+}  // namespace
+
+void ResultSet::SortRows() {
+  std::sort(rows.begin(), rows.end(), RowLess);
+}
+
+std::string ResultSet::ToString(size_t max_rows) const {
+  std::string out;
+  for (size_t i = 0; i < columns.size(); ++i) {
+    if (i > 0) out += '\t';
+    out += columns[i];
+  }
+  out += '\n';
+  size_t shown = 0;
+  for (const auto& row : rows) {
+    if (max_rows != 0 && shown >= max_rows) {
+      out += "... (" + std::to_string(rows.size() - shown) + " more)\n";
+      break;
+    }
+    for (size_t i = 0; i < row.size(); ++i) {
+      if (i > 0) out += '\t';
+      out += row[i].ToString();
+    }
+    out += '\n';
+    ++shown;
+  }
+  return out;
+}
+
+bool ResultSet::SameContents(const ResultSet& other) const {
+  if (columns != other.columns) return false;
+  if (rows.size() != other.rows.size()) return false;
+  std::vector<std::vector<Value>> a = rows;
+  std::vector<std::vector<Value>> b = other.rows;
+  std::sort(a.begin(), a.end(), RowLess);
+  std::sort(b.begin(), b.end(), RowLess);
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (a[i].size() != b[i].size()) return false;
+    for (size_t j = 0; j < a[i].size(); ++j) {
+      if (a[i][j].Compare(b[i][j]) != 0) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace cjoin

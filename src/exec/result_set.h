@@ -1,0 +1,41 @@
+// Materialized query results.
+
+#ifndef CJOIN_EXEC_RESULT_SET_H_
+#define CJOIN_EXEC_RESULT_SET_H_
+
+#include <string>
+#include <vector>
+
+#include "expr/value.h"
+
+namespace cjoin {
+
+/// A small materialized table of Values: the output of a star query
+/// (group-by columns followed by aggregate columns).
+struct ResultSet {
+  std::vector<std::string> columns;
+  std::vector<std::vector<Value>> rows;
+
+  /// Fact tuples that reached this query's aggregation operator. Useful
+  /// for sanity checks and progress accounting.
+  uint64_t tuples_consumed = 0;
+
+  size_t num_rows() const { return rows.size(); }
+  size_t num_columns() const { return columns.size(); }
+
+  /// Sorts rows lexicographically — results of hash aggregation have no
+  /// deterministic order, so tests and diffing canonicalize first.
+  void SortRows();
+
+  /// Tab-separated rendering with a header line; at most `max_rows` rows
+  /// (0 = all).
+  std::string ToString(size_t max_rows = 0) const;
+
+  /// True iff both sets have the same columns and the same multiset of
+  /// rows (order-insensitive).
+  bool SameContents(const ResultSet& other) const;
+};
+
+}  // namespace cjoin
+
+#endif  // CJOIN_EXEC_RESULT_SET_H_

@@ -1,0 +1,448 @@
+#include "expr/expr.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace cjoin {
+
+const char* CmpOpName(CmpOp op) {
+  switch (op) {
+    case CmpOp::kEq:
+      return "=";
+    case CmpOp::kNe:
+      return "<>";
+    case CmpOp::kLt:
+      return "<";
+    case CmpOp::kLe:
+      return "<=";
+    case CmpOp::kGt:
+      return ">";
+    case CmpOp::kGe:
+      return ">=";
+  }
+  return "?";
+}
+
+const char* ArithOpName(ArithOp op) {
+  switch (op) {
+    case ArithOp::kAdd:
+      return "+";
+    case ArithOp::kSub:
+      return "-";
+    case ArithOp::kMul:
+      return "*";
+    case ArithOp::kDiv:
+      return "/";
+  }
+  return "?";
+}
+
+bool Expr::EvalBool(const Schema& schema, const uint8_t* row) const {
+  const Value v = Eval(schema, row);
+  if (v.is_null()) return false;
+  if (v.is_int()) return v.AsInt() != 0;
+  if (v.is_double()) return v.AsDouble() != 0.0;
+  return !v.AsString().empty();
+}
+
+namespace {
+
+bool ApplyCmp(CmpOp op, int cmp) {
+  switch (op) {
+    case CmpOp::kEq:
+      return cmp == 0;
+    case CmpOp::kNe:
+      return cmp != 0;
+    case CmpOp::kLt:
+      return cmp < 0;
+    case CmpOp::kLe:
+      return cmp <= 0;
+    case CmpOp::kGt:
+      return cmp > 0;
+    case CmpOp::kGe:
+      return cmp >= 0;
+  }
+  return false;
+}
+
+class ColumnRefExpr final : public Expr {
+ public:
+  explicit ColumnRefExpr(size_t col) : col_(col) {}
+
+  Value Eval(const Schema& schema, const uint8_t* row) const override {
+    const Column& c = schema.column(col_);
+    switch (c.type) {
+      case DataType::kInt32:
+        return Value(static_cast<int64_t>(schema.GetInt32(row, col_)));
+      case DataType::kInt64:
+        return Value(schema.GetInt64(row, col_));
+      case DataType::kDouble:
+        return Value(schema.GetDouble(row, col_));
+      case DataType::kChar:
+        return Value(schema.GetChar(row, col_));
+    }
+    return Value();
+  }
+
+  std::string ToString(const Schema& schema) const override {
+    return col_ < schema.num_columns() ? schema.column(col_).name
+                                       : "col#" + std::to_string(col_);
+  }
+
+  size_t column() const { return col_; }
+
+ private:
+  size_t col_;
+};
+
+class LiteralExpr final : public Expr {
+ public:
+  explicit LiteralExpr(Value v) : v_(std::move(v)) {}
+
+  Value Eval(const Schema&, const uint8_t*) const override { return v_; }
+
+  bool EvalBool(const Schema&, const uint8_t*) const override {
+    if (v_.is_int()) return v_.AsInt() != 0;
+    if (v_.is_double()) return v_.AsDouble() != 0.0;
+    if (v_.is_string()) return !v_.AsString().empty();
+    return false;
+  }
+
+  std::string ToString(const Schema&) const override { return v_.ToString(); }
+
+  const Value& value() const { return v_; }
+
+ private:
+  Value v_;
+};
+
+class CompareExpr final : public Expr {
+ public:
+  CompareExpr(CmpOp op, ExprPtr lhs, ExprPtr rhs)
+      : op_(op), lhs_(std::move(lhs)), rhs_(std::move(rhs)) {}
+
+  Value Eval(const Schema& schema, const uint8_t* row) const override {
+    return Value(static_cast<int64_t>(EvalBool(schema, row)));
+  }
+
+  bool EvalBool(const Schema& schema, const uint8_t* row) const override {
+    const Value l = lhs_->Eval(schema, row);
+    const Value r = rhs_->Eval(schema, row);
+    if (l.is_null() || r.is_null()) return false;
+    return ApplyCmp(op_, l.Compare(r));
+  }
+
+  std::string ToString(const Schema& schema) const override {
+    std::string out = "(";
+    out += lhs_->ToString(schema);
+    out += ' ';
+    out += CmpOpName(op_);
+    out += ' ';
+    out += rhs_->ToString(schema);
+    out += ')';
+    return out;
+  }
+
+ private:
+  CmpOp op_;
+  ExprPtr lhs_, rhs_;
+};
+
+class BetweenExpr final : public Expr {
+ public:
+  BetweenExpr(ExprPtr x, Value lo, Value hi)
+      : x_(std::move(x)), lo_(std::move(lo)), hi_(std::move(hi)) {}
+
+  Value Eval(const Schema& schema, const uint8_t* row) const override {
+    return Value(static_cast<int64_t>(EvalBool(schema, row)));
+  }
+
+  bool EvalBool(const Schema& schema, const uint8_t* row) const override {
+    const Value v = x_->Eval(schema, row);
+    if (v.is_null()) return false;
+    return v.Compare(lo_) >= 0 && v.Compare(hi_) <= 0;
+  }
+
+  std::string ToString(const Schema& schema) const override {
+    std::string out = "(";
+    out += x_->ToString(schema);
+    out += " BETWEEN ";
+    out += lo_.ToString();
+    out += " AND ";
+    out += hi_.ToString();
+    out += ')';
+    return out;
+  }
+
+ private:
+  ExprPtr x_;
+  Value lo_, hi_;
+};
+
+class InListExpr final : public Expr {
+ public:
+  InListExpr(ExprPtr x, std::vector<Value> values)
+      : x_(std::move(x)), values_(std::move(values)) {}
+
+  Value Eval(const Schema& schema, const uint8_t* row) const override {
+    return Value(static_cast<int64_t>(EvalBool(schema, row)));
+  }
+
+  bool EvalBool(const Schema& schema, const uint8_t* row) const override {
+    const Value v = x_->Eval(schema, row);
+    if (v.is_null()) return false;
+    for (const Value& cand : values_) {
+      if (v.Compare(cand) == 0) return true;
+    }
+    return false;
+  }
+
+  std::string ToString(const Schema& schema) const override {
+    std::string out = "(";
+    out += x_->ToString(schema);
+    out += " IN (";
+    for (size_t i = 0; i < values_.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += values_[i].ToString();
+    }
+    out += "))";
+    return out;
+  }
+
+ private:
+  ExprPtr x_;
+  std::vector<Value> values_;
+};
+
+class PrefixMatchExpr final : public Expr {
+ public:
+  PrefixMatchExpr(ExprPtr x, std::string prefix)
+      : x_(std::move(x)), prefix_(std::move(prefix)) {}
+
+  Value Eval(const Schema& schema, const uint8_t* row) const override {
+    return Value(static_cast<int64_t>(EvalBool(schema, row)));
+  }
+
+  bool EvalBool(const Schema& schema, const uint8_t* row) const override {
+    const Value v = x_->Eval(schema, row);
+    if (!v.is_string()) return false;
+    const std::string& s = v.AsString();
+    return s.size() >= prefix_.size() &&
+           s.compare(0, prefix_.size(), prefix_) == 0;
+  }
+
+  std::string ToString(const Schema& schema) const override {
+    std::string out = "(";
+    out += x_->ToString(schema);
+    out += " LIKE '";
+    out += prefix_;
+    out += "%')";
+    return out;
+  }
+
+ private:
+  ExprPtr x_;
+  std::string prefix_;
+};
+
+class AndExpr final : public Expr {
+ public:
+  AndExpr(ExprPtr lhs, ExprPtr rhs)
+      : lhs_(std::move(lhs)), rhs_(std::move(rhs)) {}
+
+  Value Eval(const Schema& schema, const uint8_t* row) const override {
+    return Value(static_cast<int64_t>(EvalBool(schema, row)));
+  }
+
+  bool EvalBool(const Schema& schema, const uint8_t* row) const override {
+    return lhs_->EvalBool(schema, row) && rhs_->EvalBool(schema, row);
+  }
+
+  std::string ToString(const Schema& schema) const override {
+    std::string out = "(";
+    out += lhs_->ToString(schema);
+    out += " AND ";
+    out += rhs_->ToString(schema);
+    out += ')';
+    return out;
+  }
+
+ private:
+  ExprPtr lhs_, rhs_;
+};
+
+class OrExpr final : public Expr {
+ public:
+  OrExpr(ExprPtr lhs, ExprPtr rhs)
+      : lhs_(std::move(lhs)), rhs_(std::move(rhs)) {}
+
+  Value Eval(const Schema& schema, const uint8_t* row) const override {
+    return Value(static_cast<int64_t>(EvalBool(schema, row)));
+  }
+
+  bool EvalBool(const Schema& schema, const uint8_t* row) const override {
+    return lhs_->EvalBool(schema, row) || rhs_->EvalBool(schema, row);
+  }
+
+  std::string ToString(const Schema& schema) const override {
+    std::string out = "(";
+    out += lhs_->ToString(schema);
+    out += " OR ";
+    out += rhs_->ToString(schema);
+    out += ')';
+    return out;
+  }
+
+ private:
+  ExprPtr lhs_, rhs_;
+};
+
+class NotExpr final : public Expr {
+ public:
+  explicit NotExpr(ExprPtr x) : x_(std::move(x)) {}
+
+  Value Eval(const Schema& schema, const uint8_t* row) const override {
+    return Value(static_cast<int64_t>(EvalBool(schema, row)));
+  }
+
+  bool EvalBool(const Schema& schema, const uint8_t* row) const override {
+    return !x_->EvalBool(schema, row);
+  }
+
+  std::string ToString(const Schema& schema) const override {
+    std::string out = "(NOT ";
+    out += x_->ToString(schema);
+    out += ')';
+    return out;
+  }
+
+ private:
+  ExprPtr x_;
+};
+
+class ArithExpr final : public Expr {
+ public:
+  ArithExpr(ArithOp op, ExprPtr lhs, ExprPtr rhs)
+      : op_(op), lhs_(std::move(lhs)), rhs_(std::move(rhs)) {}
+
+  Value Eval(const Schema& schema, const uint8_t* row) const override {
+    const Value l = lhs_->Eval(schema, row);
+    const Value r = rhs_->Eval(schema, row);
+    if (l.is_null() || r.is_null()) return Value();
+    if (l.is_int() && r.is_int() && op_ != ArithOp::kDiv) {
+      const int64_t a = l.AsInt(), b = r.AsInt();
+      switch (op_) {
+        case ArithOp::kAdd:
+          return Value(a + b);
+        case ArithOp::kSub:
+          return Value(a - b);
+        case ArithOp::kMul:
+          return Value(a * b);
+        case ArithOp::kDiv:
+          break;
+      }
+    }
+    const double a = l.AsDouble(), b = r.AsDouble();
+    switch (op_) {
+      case ArithOp::kAdd:
+        return Value(a + b);
+      case ArithOp::kSub:
+        return Value(a - b);
+      case ArithOp::kMul:
+        return Value(a * b);
+      case ArithOp::kDiv:
+        return b == 0.0 ? Value() : Value(a / b);
+    }
+    return Value();
+  }
+
+  std::string ToString(const Schema& schema) const override {
+    std::string out = "(";
+    out += lhs_->ToString(schema);
+    out += ' ';
+    out += ArithOpName(op_);
+    out += ' ';
+    out += rhs_->ToString(schema);
+    out += ')';
+    return out;
+  }
+
+ private:
+  ArithOp op_;
+  ExprPtr lhs_, rhs_;
+};
+
+const ExprPtr& TrueSingleton() {
+  static const ExprPtr kTrue = std::make_shared<LiteralExpr>(Value(int64_t{1}));
+  return kTrue;
+}
+
+}  // namespace
+
+ExprPtr MakeColumnRef(size_t column_index) {
+  return std::make_shared<ColumnRefExpr>(column_index);
+}
+
+Result<ExprPtr> MakeColumnRef(const Schema& schema, std::string_view name) {
+  CJOIN_ASSIGN_OR_RETURN(const size_t idx, schema.FindColumn(name));
+  return ExprPtr(std::make_shared<ColumnRefExpr>(idx));
+}
+
+ExprPtr MakeLiteral(Value v) {
+  return std::make_shared<LiteralExpr>(std::move(v));
+}
+
+ExprPtr MakeCompare(CmpOp op, ExprPtr lhs, ExprPtr rhs) {
+  return std::make_shared<CompareExpr>(op, std::move(lhs), std::move(rhs));
+}
+
+ExprPtr MakeBetween(ExprPtr x, Value lo, Value hi) {
+  return std::make_shared<BetweenExpr>(std::move(x), std::move(lo),
+                                       std::move(hi));
+}
+
+ExprPtr MakeInList(ExprPtr x, std::vector<Value> values) {
+  return std::make_shared<InListExpr>(std::move(x), std::move(values));
+}
+
+ExprPtr MakePrefixMatch(ExprPtr x, std::string prefix) {
+  return std::make_shared<PrefixMatchExpr>(std::move(x), std::move(prefix));
+}
+
+ExprPtr MakeAnd(ExprPtr lhs, ExprPtr rhs) {
+  return std::make_shared<AndExpr>(std::move(lhs), std::move(rhs));
+}
+
+ExprPtr MakeOr(ExprPtr lhs, ExprPtr rhs) {
+  return std::make_shared<OrExpr>(std::move(lhs), std::move(rhs));
+}
+
+ExprPtr MakeNot(ExprPtr x) { return std::make_shared<NotExpr>(std::move(x)); }
+
+ExprPtr MakeArith(ArithOp op, ExprPtr lhs, ExprPtr rhs) {
+  return std::make_shared<ArithExpr>(op, std::move(lhs), std::move(rhs));
+}
+
+ExprPtr MakeTrue() { return TrueSingleton(); }
+
+ExprPtr MakeConjunction(std::vector<ExprPtr> conjuncts) {
+  if (conjuncts.empty()) return MakeTrue();
+  ExprPtr acc = std::move(conjuncts[0]);
+  for (size_t i = 1; i < conjuncts.size(); ++i) {
+    acc = MakeAnd(std::move(acc), std::move(conjuncts[i]));
+  }
+  return acc;
+}
+
+bool IsTrueLiteral(const ExprPtr& e) { return e == TrueSingleton(); }
+
+uint64_t CountMatches(const Expr& pred, const Schema& schema,
+                      const uint8_t* begin, size_t stride, size_t nrows) {
+  uint64_t n = 0;
+  for (size_t i = 0; i < nrows; ++i) {
+    if (pred.EvalBool(schema, begin + i * stride)) ++n;
+  }
+  return n;
+}
+
+}  // namespace cjoin

@@ -1,0 +1,103 @@
+// Expression trees evaluated over raw rows.
+//
+// The star-query template (paper §2.1) allows arbitrarily complex selection
+// predicates on each dimension table and on the fact table. These trees are
+// evaluated in two places with very different temperatures:
+//   * dimension predicates run once per dimension row during query
+//     admission (Algorithm 1, line 12) — cold;
+//   * fact-table predicates run in the Preprocessor for every scanned
+//     tuple — hot. EvalBool short-circuits AND/OR and avoids Value
+//     allocation for the common comparison shapes.
+//
+// Expressions are immutable and shared (ExprPtr = shared_ptr<const Expr>),
+// so hundreds of concurrent queries can reference common sub-predicates.
+
+#ifndef CJOIN_EXPR_EXPR_H_
+#define CJOIN_EXPR_EXPR_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "expr/value.h"
+#include "storage/schema.h"
+
+namespace cjoin {
+
+class Expr;
+using ExprPtr = std::shared_ptr<const Expr>;
+
+/// Comparison operators.
+enum class CmpOp { kEq, kNe, kLt, kLe, kGt, kGe };
+
+/// Arithmetic operators.
+enum class ArithOp { kAdd, kSub, kMul, kDiv };
+
+const char* CmpOpName(CmpOp op);
+const char* ArithOpName(ArithOp op);
+
+/// Abstract immutable expression node. An Expr is bound to a specific
+/// schema: column references hold resolved column indices.
+class Expr {
+ public:
+  virtual ~Expr() = default;
+
+  /// Evaluates the expression over a row of the bound schema.
+  virtual Value Eval(const Schema& schema, const uint8_t* row) const = 0;
+
+  /// Evaluates as a predicate (non-zero numeric / non-empty semantics are
+  /// NOT applied: only boolean-producing nodes return meaningful values;
+  /// the default converts via truthiness of the Value).
+  virtual bool EvalBool(const Schema& schema, const uint8_t* row) const;
+
+  /// SQL-ish rendering for debugging and plan display.
+  virtual std::string ToString(const Schema& schema) const = 0;
+};
+
+// --- Construction helpers (all return shared immutable nodes) -------------
+
+/// Column reference by index (must be valid for the schema the expression
+/// will be evaluated against).
+ExprPtr MakeColumnRef(size_t column_index);
+
+/// Column reference resolved by name.
+Result<ExprPtr> MakeColumnRef(const Schema& schema, std::string_view name);
+
+ExprPtr MakeLiteral(Value v);
+
+ExprPtr MakeCompare(CmpOp op, ExprPtr lhs, ExprPtr rhs);
+
+/// lo <= x AND x <= hi.
+ExprPtr MakeBetween(ExprPtr x, Value lo, Value hi);
+
+/// x IN (v1, v2, ...).
+ExprPtr MakeInList(ExprPtr x, std::vector<Value> values);
+
+/// String prefix match: x LIKE 'prefix%'.
+ExprPtr MakePrefixMatch(ExprPtr x, std::string prefix);
+
+ExprPtr MakeAnd(ExprPtr lhs, ExprPtr rhs);
+ExprPtr MakeOr(ExprPtr lhs, ExprPtr rhs);
+ExprPtr MakeNot(ExprPtr x);
+
+ExprPtr MakeArith(ArithOp op, ExprPtr lhs, ExprPtr rhs);
+
+/// Constant TRUE — the implicit predicate c_ij for a table the query does
+/// not restrict (paper §2.1 "we set c_j to TRUE").
+ExprPtr MakeTrue();
+
+/// Builds the conjunction of `conjuncts` (TRUE when empty).
+ExprPtr MakeConjunction(std::vector<ExprPtr> conjuncts);
+
+/// True iff `e` is the constant TRUE literal.
+bool IsTrueLiteral(const ExprPtr& e);
+
+/// Number of rows of `schema` in [begin, end) (stride bytes apart) that
+/// satisfy `pred`. Utility for selectivity measurement in tests/benches.
+uint64_t CountMatches(const Expr& pred, const Schema& schema,
+                      const uint8_t* begin, size_t stride, size_t nrows);
+
+}  // namespace cjoin
+
+#endif  // CJOIN_EXPR_EXPR_H_

@@ -1,0 +1,110 @@
+// Runtime values for the expression engine and query results.
+
+#ifndef CJOIN_EXPR_VALUE_H_
+#define CJOIN_EXPR_VALUE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <variant>
+
+#include "common/hash.h"
+
+namespace cjoin {
+
+/// A dynamically typed scalar: NULL, INT (64-bit), DOUBLE, or STRING.
+/// INT32 columns widen to INT on read.
+class Value {
+ public:
+  enum class Kind { kNull = 0, kInt, kDouble, kString };
+
+  Value() : var_(std::monostate{}) {}
+  /*implicit*/ Value(int64_t v) : var_(v) {}
+  /*implicit*/ Value(int v) : var_(static_cast<int64_t>(v)) {}
+  /*implicit*/ Value(double v) : var_(v) {}
+  /*implicit*/ Value(std::string v) : var_(std::move(v)) {}
+  /*implicit*/ Value(std::string_view v) : var_(std::string(v)) {}
+  /*implicit*/ Value(const char* v) : var_(std::string(v)) {}
+
+  Kind kind() const { return static_cast<Kind>(var_.index()); }
+  bool is_null() const { return kind() == Kind::kNull; }
+  bool is_int() const { return kind() == Kind::kInt; }
+  bool is_double() const { return kind() == Kind::kDouble; }
+  bool is_string() const { return kind() == Kind::kString; }
+  bool is_numeric() const { return is_int() || is_double(); }
+
+  int64_t AsInt() const { return std::get<int64_t>(var_); }
+  double AsDouble() const {
+    return is_int() ? static_cast<double>(AsInt())
+                    : std::get<double>(var_);
+  }
+  const std::string& AsString() const { return std::get<std::string>(var_); }
+
+  /// Three-way comparison with numeric coercion (int vs double compares as
+  /// double). Comparing incompatible kinds orders by kind (stable but
+  /// arbitrary); NULL sorts first. Returns <0, 0, >0.
+  int Compare(const Value& other) const {
+    if (is_numeric() && other.is_numeric()) {
+      if (is_int() && other.is_int()) {
+        const int64_t a = AsInt(), b = other.AsInt();
+        return a < b ? -1 : (a > b ? 1 : 0);
+      }
+      const double a = AsDouble(), b = other.AsDouble();
+      return a < b ? -1 : (a > b ? 1 : 0);
+    }
+    if (is_string() && other.is_string()) {
+      return AsString().compare(other.AsString());
+    }
+    const int a = static_cast<int>(kind()), b = static_cast<int>(other.kind());
+    return a - b;
+  }
+
+  bool operator==(const Value& other) const { return Compare(other) == 0; }
+  bool operator<(const Value& other) const { return Compare(other) < 0; }
+
+  uint64_t Hash() const {
+    switch (kind()) {
+      case Kind::kNull:
+        return 0x9ae16a3b2f90404fULL;
+      case Kind::kInt:
+        return Mix64(static_cast<uint64_t>(AsInt()));
+      case Kind::kDouble: {
+        // Hash doubles by integer value when exact so 1 and 1.0 collide
+        // (they compare equal).
+        const double d = std::get<double>(var_);
+        const int64_t i = static_cast<int64_t>(d);
+        if (static_cast<double>(i) == d) {
+          return Mix64(static_cast<uint64_t>(i));
+        }
+        uint64_t bits;
+        static_assert(sizeof(bits) == sizeof(d));
+        __builtin_memcpy(&bits, &d, sizeof(bits));
+        return Mix64(bits);
+      }
+      case Kind::kString:
+        return HashString(AsString());
+    }
+    return 0;
+  }
+
+  std::string ToString() const {
+    switch (kind()) {
+      case Kind::kNull:
+        return "NULL";
+      case Kind::kInt:
+        return std::to_string(AsInt());
+      case Kind::kDouble:
+        return std::to_string(std::get<double>(var_));
+      case Kind::kString:
+        return "'" + AsString() + "'";
+    }
+    return "?";
+  }
+
+ private:
+  std::variant<std::monostate, int64_t, double, std::string> var_;
+};
+
+}  // namespace cjoin
+
+#endif  // CJOIN_EXPR_VALUE_H_

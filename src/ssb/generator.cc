@@ -1,0 +1,439 @@
+#include "ssb/generator.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "common/rng.h"
+#include "ssb/ssb_schema.h"
+
+namespace cjoin {
+namespace ssb {
+
+namespace {
+
+const char* kMonthNames[12] = {"January", "February", "March",    "April",
+                               "May",     "June",     "July",     "August",
+                               "September", "October", "November", "December"};
+const char* kDayNames[7] = {"Sunday",   "Monday", "Tuesday", "Wednesday",
+                            "Thursday", "Friday", "Saturday"};
+const char* kSeasons[5] = {"Winter", "Spring", "Summer", "Fall", "Christmas"};
+const char* kMktSegments[5] = {"AUTOMOBILE", "BUILDING", "FURNITURE",
+                               "HOUSEHOLD", "MACHINERY"};
+const char* kPriorities[5] = {"1-URGENT", "2-HIGH", "3-MEDIUM",
+                              "4-NOT SPECI", "5-LOW"};
+const char* kShipModes[7] = {"REG AIR", "AIR",  "RAIL", "SHIP",
+                             "TRUCK",   "MAIL", "FOB"};
+const char* kColors[16] = {"almond",  "antique", "aquamarine", "azure",
+                           "beige",   "bisque",  "black",      "blanched",
+                           "blue",    "blush",   "brown",      "burlywood",
+                           "chiffon", "coral",   "cornflower", "cream"};
+const char* kTypes[6] = {"ECONOMY ANODIZED", "LARGE BRUSHED",
+                         "MEDIUM BURNISHED", "PROMO PLATED",
+                         "SMALL POLISHED",   "STANDARD BURNISHED"};
+const char* kContainers[8] = {"SM CASE", "SM BOX",  "MED BAG", "MED BOX",
+                              "LG CASE", "LG BOX",  "JUMBO",   "WRAP"};
+
+}  // namespace
+
+const std::vector<NationInfo>& Nations() {
+  static const std::vector<NationInfo> kNations = {
+      {"ALGERIA", "AFRICA"},        {"ARGENTINA", "AMERICA"},
+      {"BRAZIL", "AMERICA"},        {"CANADA", "AMERICA"},
+      {"EGYPT", "MIDDLE EAST"},     {"ETHIOPIA", "AFRICA"},
+      {"FRANCE", "EUROPE"},         {"GERMANY", "EUROPE"},
+      {"INDIA", "ASIA"},            {"INDONESIA", "ASIA"},
+      {"IRAN", "MIDDLE EAST"},      {"IRAQ", "MIDDLE EAST"},
+      {"JAPAN", "ASIA"},            {"JORDAN", "MIDDLE EAST"},
+      {"KENYA", "AFRICA"},          {"MOROCCO", "AFRICA"},
+      {"MOZAMBIQUE", "AFRICA"},     {"PERU", "AMERICA"},
+      {"CHINA", "ASIA"},            {"ROMANIA", "EUROPE"},
+      {"SAUDI ARABIA", "MIDDLE EAST"}, {"VIETNAM", "ASIA"},
+      {"RUSSIA", "EUROPE"},         {"UNITED KINGDOM", "EUROPE"},
+      {"UNITED STATES", "AMERICA"},
+  };
+  return kNations;
+}
+
+int64_t DaysFromCivil(int y, unsigned m, unsigned d) {
+  // Howard Hinnant's algorithm.
+  y -= m <= 2;
+  const int era = (y >= 0 ? y : y - 399) / 400;
+  const unsigned yoe = static_cast<unsigned>(y - era * 400);
+  const unsigned doy = (153 * (m + (m > 2 ? -3 : 9)) + 2) / 5 + d - 1;
+  const unsigned doe = yoe * 365 + yoe / 4 - yoe / 100 + doy;
+  return era * 146097LL + static_cast<int64_t>(doe) - 719468;
+}
+
+void CivilFromDays(int64_t z, int* y, unsigned* m, unsigned* d) {
+  z += 719468;
+  const int64_t era = (z >= 0 ? z : z - 146096) / 146097;
+  const unsigned doe = static_cast<unsigned>(z - era * 146097);
+  const unsigned yoe = (doe - doe / 1460 + doe / 36524 - doe / 146096) / 365;
+  const int64_t yy = static_cast<int64_t>(yoe) + era * 400;
+  const unsigned doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+  const unsigned mp = (5 * doy + 2) / 153;
+  *d = doy - (153 * mp + 2) / 5 + 1;
+  *m = mp + (mp < 10 ? 3 : -9);
+  *y = static_cast<int>(yy + (*m <= 2));
+}
+
+int WeekNumInYear(int day_of_year, int weekday_jan1) {
+  // Weeks start on Sunday; week 1 contains Jan 1 (SSB's simplified rule).
+  return (day_of_year - 1 + weekday_jan1) / 7 + 1;
+}
+
+SsbCardinalities CardinalitiesFor(double sf) {
+  SsbCardinalities c;
+  // The SSB spec quotes 2556 rows, but 1992-01-01..1998-12-31 inclusive is
+  // 2557 days (1992 and 1996 are both leap years); we generate the real
+  // calendar.
+  c.dates = static_cast<uint64_t>(DaysFromCivil(1998, 12, 31) -
+                                  DaysFromCivil(1992, 1, 1) + 1);
+  auto scaled = [&](double base, uint64_t floor_rows) {
+    const double v = base * sf;
+    return std::max<uint64_t>(floor_rows, static_cast<uint64_t>(v + 0.5));
+  };
+  c.customers = scaled(30000.0, 100);
+  c.suppliers = scaled(2000.0, 20);
+  if (sf >= 1.0) {
+    c.parts = 200000ULL *
+              (1 + static_cast<uint64_t>(std::floor(std::log2(sf))));
+  } else {
+    c.parts = scaled(200000.0, 200);
+  }
+  c.lineorders = scaled(6000000.0, 1000);
+  return c;
+}
+
+uint64_t SsbDatabase::TotalBytes() const {
+  auto bytes = [](const Table& t) { return t.NumRows() * t.row_stride(); };
+  return bytes(*date) + bytes(*customer) + bytes(*supplier) + bytes(*part) +
+         bytes(*lineorder);
+}
+
+namespace {
+
+std::string CityName(const char* nation, int suffix) {
+  // SSB cities: the nation name padded/truncated to 9 chars + one digit,
+  // e.g. "UNITED KI1".
+  std::string c(nation);
+  c.resize(9, ' ');
+  c.push_back(static_cast<char>('0' + suffix));
+  return c;
+}
+
+std::string Phone(Rng& rng) {
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "%02d-%03d-%03d-%04d",
+                static_cast<int>(rng.UniformInt(10, 34)),
+                static_cast<int>(rng.UniformInt(100, 999)),
+                static_cast<int>(rng.UniformInt(100, 999)),
+                static_cast<int>(rng.UniformInt(1000, 9999)));
+  return buf;
+}
+
+void GenerateDate(Table* t) {
+  const Schema& s = t->schema();
+  const int64_t start = DaysFromCivil(1992, 1, 1);
+  const int64_t end = DaysFromCivil(1998, 12, 31);
+  // 1992-01-01 was a Wednesday; day-of-week index with Sunday=0 -> 3.
+  int prev_year = 0;
+  int weekday_jan1 = 0;
+  for (int64_t z = start; z <= end; ++z) {
+    int y;
+    unsigned m, d;
+    CivilFromDays(z, &y, &m, &d);
+    const int weekday = static_cast<int>(((z % 7) + 7 + 4) % 7);  // Sun=0
+    if (y != prev_year) {
+      prev_year = y;
+      const int64_t jan1 = DaysFromCivil(y, 1, 1);
+      weekday_jan1 = static_cast<int>(((jan1 % 7) + 7 + 4) % 7);
+    }
+    const int doy = static_cast<int>(z - DaysFromCivil(y, 1, 1)) + 1;
+    const int datekey = y * 10000 + static_cast<int>(m) * 100 +
+                        static_cast<int>(d);
+
+    uint8_t* row = t->AppendUninitialized();
+    size_t c = 0;
+    s.SetInt32(row, c++, datekey);
+    {
+      char buf[20];
+      std::snprintf(buf, sizeof(buf), "%s %u, %d", kMonthNames[m - 1], d, y);
+      s.SetChar(row, c++, buf);
+    }
+    s.SetChar(row, c++, kDayNames[weekday]);
+    s.SetChar(row, c++, kMonthNames[m - 1]);
+    s.SetInt32(row, c++, y);
+    s.SetInt32(row, c++, y * 100 + static_cast<int>(m));
+    {
+      char buf[8];
+      std::snprintf(buf, sizeof(buf), "%.3s%d", kMonthNames[m - 1], y);
+      s.SetChar(row, c++, buf);
+    }
+    s.SetInt32(row, c++, weekday + 1);
+    s.SetInt32(row, c++, static_cast<int>(d));
+    s.SetInt32(row, c++, doy);
+    s.SetInt32(row, c++, static_cast<int>(m));
+    s.SetInt32(row, c++, WeekNumInYear(doy, weekday_jan1));
+    {
+      const char* season = (m == 12) ? kSeasons[4] : kSeasons[(m % 12) / 3];
+      s.SetChar(row, c++, season);
+    }
+    s.SetInt32(row, c++, weekday == 6 ? 1 : 0);
+    {
+      // Last day in month: peek at tomorrow.
+      int y2;
+      unsigned m2, d2;
+      CivilFromDays(z + 1, &y2, &m2, &d2);
+      s.SetInt32(row, c++, m2 != m ? 1 : 0);
+    }
+    {
+      const bool holiday = (m == 12 && (d == 25 || d == 26)) ||
+                           (m == 1 && d == 1) || (m == 7 && d == 4);
+      s.SetInt32(row, c++, holiday ? 1 : 0);
+    }
+    s.SetInt32(row, c++, (weekday >= 1 && weekday <= 5) ? 1 : 0);
+  }
+}
+
+void GenerateCustomer(Table* t, uint64_t n, Rng& rng) {
+  const Schema& s = t->schema();
+  const auto& nations = Nations();
+  for (uint64_t i = 1; i <= n; ++i) {
+    const NationInfo& nat = nations[static_cast<size_t>(
+        rng.UniformInt(0, static_cast<int64_t>(nations.size()) - 1))];
+    uint8_t* row = t->AppendUninitialized();
+    size_t c = 0;
+    s.SetInt32(row, c++, static_cast<int32_t>(i));
+    {
+      char buf[26];
+      std::snprintf(buf, sizeof(buf), "Customer#%09llu",
+                    static_cast<unsigned long long>(i));
+      s.SetChar(row, c++, buf);
+    }
+    {
+      char buf[26];
+      std::snprintf(buf, sizeof(buf), "Addr%llu-%04d",
+                    static_cast<unsigned long long>(i),
+                    static_cast<int>(rng.UniformInt(0, 9999)));
+      s.SetChar(row, c++, buf);
+    }
+    s.SetChar(row, c++,
+              CityName(nat.nation,
+                       static_cast<int>(rng.UniformInt(0, 9))));
+    s.SetChar(row, c++, nat.nation);
+    s.SetChar(row, c++, nat.region);
+    s.SetChar(row, c++, Phone(rng));
+    s.SetChar(row, c++, kMktSegments[rng.UniformInt(0, 4)]);
+  }
+}
+
+void GenerateSupplier(Table* t, uint64_t n, Rng& rng) {
+  const Schema& s = t->schema();
+  const auto& nations = Nations();
+  for (uint64_t i = 1; i <= n; ++i) {
+    const NationInfo& nat = nations[static_cast<size_t>(
+        rng.UniformInt(0, static_cast<int64_t>(nations.size()) - 1))];
+    uint8_t* row = t->AppendUninitialized();
+    size_t c = 0;
+    s.SetInt32(row, c++, static_cast<int32_t>(i));
+    {
+      char buf[26];
+      std::snprintf(buf, sizeof(buf), "Supplier#%09llu",
+                    static_cast<unsigned long long>(i));
+      s.SetChar(row, c++, buf);
+    }
+    {
+      char buf[26];
+      std::snprintf(buf, sizeof(buf), "SAddr%llu",
+                    static_cast<unsigned long long>(i));
+      s.SetChar(row, c++, buf);
+    }
+    s.SetChar(row, c++,
+              CityName(nat.nation,
+                       static_cast<int>(rng.UniformInt(0, 9))));
+    s.SetChar(row, c++, nat.nation);
+    s.SetChar(row, c++, nat.region);
+    s.SetChar(row, c++, Phone(rng));
+  }
+}
+
+void GeneratePart(Table* t, uint64_t n, Rng& rng) {
+  const Schema& s = t->schema();
+  for (uint64_t i = 1; i <= n; ++i) {
+    const int mfgr = static_cast<int>(rng.UniformInt(1, 5));
+    const int cat = static_cast<int>(rng.UniformInt(1, 5));
+    const int brand = static_cast<int>(rng.UniformInt(1, 40));
+    uint8_t* row = t->AppendUninitialized();
+    size_t c = 0;
+    s.SetInt32(row, c++, static_cast<int32_t>(i));
+    {
+      const char* color = kColors[rng.UniformInt(0, 15)];
+      char buf[23];
+      std::snprintf(buf, sizeof(buf), "%s part %llu", color,
+                    static_cast<unsigned long long>(i % 100000));
+      s.SetChar(row, c++, buf);
+    }
+    {
+      char buf[7];
+      std::snprintf(buf, sizeof(buf), "MFGR#%d", mfgr);
+      s.SetChar(row, c++, buf);
+    }
+    {
+      char buf[8];
+      std::snprintf(buf, sizeof(buf), "MFGR#%d%d", mfgr, cat);
+      s.SetChar(row, c++, buf);
+    }
+    {
+      char buf[10];
+      std::snprintf(buf, sizeof(buf), "MFGR#%d%d%d", mfgr, cat, brand);
+      s.SetChar(row, c++, buf);
+    }
+    s.SetChar(row, c++, kColors[rng.UniformInt(0, 15)]);
+    s.SetChar(row, c++, kTypes[rng.UniformInt(0, 5)]);
+    s.SetInt32(row, c++, static_cast<int32_t>(rng.UniformInt(1, 50)));
+    s.SetChar(row, c++, kContainers[rng.UniformInt(0, 7)]);
+  }
+}
+
+void GenerateLineorder(Table* lo, const Table& date, uint64_t n,
+                       uint64_t num_customers, uint64_t num_suppliers,
+                       uint64_t num_parts, uint32_t num_partitions,
+                       Rng& rng) {
+  const Schema& s = lo->schema();
+  const Schema& ds = date.schema();
+  // Pre-extract date keys for uniform FK selection.
+  std::vector<int32_t> datekeys;
+  std::vector<int32_t> dateyears;
+  datekeys.reserve(date.NumRows());
+  for (uint64_t i = 0; i < date.NumRows(); ++i) {
+    const uint8_t* row = date.RowPayload(RowId{0, i});
+    datekeys.push_back(ds.GetInt32(row, 0));
+    dateyears.push_back(ds.GetInt32(row, 4));
+  }
+
+  // Sizes of the referenced dimensions; set by the caller via the tables.
+  uint64_t orderkey = 1;
+  uint64_t emitted = 0;
+  while (emitted < n) {
+    const int lines = static_cast<int>(rng.UniformInt(1, 7));
+    const size_t di = static_cast<size_t>(
+        rng.UniformInt(0, static_cast<int64_t>(datekeys.size()) - 1));
+    const int32_t odate = datekeys[di];
+    const int32_t oyear = dateyears[di];
+    const int32_t custkey = static_cast<int32_t>(
+        rng.UniformInt(1, static_cast<int64_t>(num_customers)));
+    const int32_t ordpriority = static_cast<int32_t>(rng.UniformInt(0, 4));
+    int32_t ordtotal = 0;
+    // First pass to compute order total price.
+    struct Line {
+      int32_t partkey, suppkey, quantity, extprice, discount, tax;
+      size_t commit_di;
+    };
+    std::vector<Line> pending;
+    for (int l = 0; l < lines && emitted + pending.size() < n; ++l) {
+      Line ln;
+      ln.partkey = static_cast<int32_t>(
+          rng.UniformInt(1, static_cast<int64_t>(num_parts)));
+      ln.suppkey = static_cast<int32_t>(
+          rng.UniformInt(1, static_cast<int64_t>(num_suppliers)));
+      ln.quantity = static_cast<int32_t>(rng.UniformInt(1, 50));
+      const int32_t price = static_cast<int32_t>(rng.UniformInt(90000, 200000));
+      ln.extprice = ln.quantity * price / 100;
+      ln.discount = static_cast<int32_t>(rng.UniformInt(0, 10));
+      ln.tax = static_cast<int32_t>(rng.UniformInt(0, 8));
+      ln.commit_di = std::min<size_t>(di + static_cast<size_t>(
+                                               rng.UniformInt(30, 90)),
+                                      datekeys.size() - 1);
+      ordtotal += ln.extprice;
+      pending.push_back(ln);
+    }
+    const uint32_t part_id =
+        num_partitions <= 1
+            ? 0
+            : std::min<uint32_t>(
+                  static_cast<uint32_t>((oyear - 1992) * num_partitions / 7),
+                  num_partitions - 1);
+    int lineno = 1;
+    for (const Line& ln : pending) {
+      uint8_t* row = lo->AppendUninitialized(part_id);
+      size_t c = 0;
+      s.SetInt32(row, c++, static_cast<int32_t>(orderkey));
+      s.SetInt32(row, c++, lineno++);
+      s.SetInt32(row, c++, custkey);
+      s.SetInt32(row, c++, ln.partkey);
+      s.SetInt32(row, c++, ln.suppkey);
+      s.SetInt32(row, c++, odate);
+      s.SetChar(row, c++, kPriorities[ordpriority]);
+      s.SetChar(row, c++, "0");
+      s.SetInt32(row, c++, ln.quantity);
+      s.SetInt32(row, c++, ln.extprice);
+      s.SetInt32(row, c++, ordtotal);
+      s.SetInt32(row, c++, ln.discount);
+      s.SetInt32(row, c++, ln.extprice * (100 - ln.discount) / 100);
+      s.SetInt32(row, c++, ln.extprice * 6 / 10);
+      s.SetInt32(row, c++, ln.tax);
+      s.SetInt32(row, c++, datekeys[ln.commit_di]);
+      s.SetChar(row, c++, kShipModes[rng.UniformInt(0, 6)]);
+      ++emitted;
+    }
+    ++orderkey;
+  }
+}
+
+}  // namespace
+
+Result<std::unique_ptr<SsbDatabase>> Generate(const GenOptions& options) {
+  if (options.scale_factor <= 0) {
+    return Status::InvalidArgument("scale factor must be positive");
+  }
+  if (options.num_fact_partitions == 0) {
+    return Status::InvalidArgument("num_fact_partitions must be >= 1");
+  }
+  const SsbCardinalities card = CardinalitiesFor(options.scale_factor);
+
+  auto db = std::make_unique<SsbDatabase>();
+  Table::Options topts;
+  topts.rows_per_page = options.rows_per_page;
+
+  db->date = std::make_unique<Table>("date", MakeDateSchema(), topts);
+  db->customer =
+      std::make_unique<Table>("customer", MakeCustomerSchema(), topts);
+  db->supplier =
+      std::make_unique<Table>("supplier", MakeSupplierSchema(), topts);
+  db->part = std::make_unique<Table>("part", MakePartSchema(), topts);
+
+  Table::Options lo_opts = topts;
+  lo_opts.num_partitions = options.num_fact_partitions;
+  db->lineorder =
+      std::make_unique<Table>("lineorder", MakeLineorderSchema(), lo_opts);
+
+  Rng rng(options.seed);
+  GenerateDate(db->date.get());
+  GenerateCustomer(db->customer.get(), card.customers, rng);
+  GenerateSupplier(db->supplier.get(), card.suppliers, rng);
+  GeneratePart(db->part.get(), card.parts, rng);
+  GenerateLineorder(db->lineorder.get(), *db->date, card.lineorders,
+                    card.customers, card.suppliers, card.parts,
+                    options.num_fact_partitions, rng);
+
+  CJOIN_ASSIGN_OR_RETURN(
+      StarSchema star,
+      StarSchema::Make(
+          db->lineorder.get(),
+          std::vector<StarSchema::DimensionByName>{
+              {db->date.get(), "lo_orderdate", "d_datekey"},
+              {db->customer.get(), "lo_custkey", "c_custkey"},
+              {db->supplier.get(), "lo_suppkey", "s_suppkey"},
+              {db->part.get(), "lo_partkey", "p_partkey"},
+          }));
+  db->star = std::make_unique<StarSchema>(std::move(star));
+  return db;
+}
+
+}  // namespace ssb
+}  // namespace cjoin

@@ -1,0 +1,92 @@
+// Star Schema Benchmark data generator (paper §6.1.2).
+//
+// Generates the five SSB tables at a given scale factor `sf`, following
+// the benchmark's cardinalities and value distributions:
+//
+//   DATE       2556 rows (fixed: 1992-01-01 .. 1998-12-31)
+//   CUSTOMER   30,000 x sf
+//   SUPPLIER   2,000 x sf
+//   PART       200,000 x (1 + floor(log2(sf))) for sf >= 1
+//   LINEORDER  6,000,000 x sf  (the fact table; ~94% of the data)
+//
+// For sub-unit scale factors (used at reproduction scale) cardinalities
+// scale linearly with sensible floors; EXPERIMENTS.md documents this.
+// Generation is deterministic for a given seed.
+
+#ifndef CJOIN_SSB_GENERATOR_H_
+#define CJOIN_SSB_GENERATOR_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "catalog/star_schema.h"
+#include "common/status.h"
+#include "storage/table.h"
+
+namespace cjoin {
+namespace ssb {
+
+/// Generation knobs.
+struct GenOptions {
+  double scale_factor = 0.01;
+  uint64_t seed = 42;
+  size_t rows_per_page = 4096;
+  /// When > 1, LINEORDER is range-partitioned by order year into this many
+  /// partitions (§5 "Fact Table Partitioning"); year y goes to partition
+  /// (y - 1992) * num_fact_partitions / 7.
+  uint32_t num_fact_partitions = 1;
+};
+
+/// The generated database: five tables plus the wired star schema.
+struct SsbDatabase {
+  std::unique_ptr<Table> date;
+  std::unique_ptr<Table> customer;
+  std::unique_ptr<Table> supplier;
+  std::unique_ptr<Table> part;
+  std::unique_ptr<Table> lineorder;
+  std::unique_ptr<StarSchema> star;
+
+  uint64_t TotalRows() const {
+    return date->NumRows() + customer->NumRows() + supplier->NumRows() +
+           part->NumRows() + lineorder->NumRows();
+  }
+  /// Total stored bytes across all tables (row slots only).
+  uint64_t TotalBytes() const;
+};
+
+/// SSB cardinalities for a scale factor.
+struct SsbCardinalities {
+  uint64_t dates;
+  uint64_t customers;
+  uint64_t suppliers;
+  uint64_t parts;
+  uint64_t lineorders;
+};
+SsbCardinalities CardinalitiesFor(double scale_factor);
+
+/// Generates the full database. The returned StarSchema points into the
+/// returned tables; keep the SsbDatabase alive while using it.
+Result<std::unique_ptr<SsbDatabase>> Generate(const GenOptions& options);
+
+// --- Calendar helpers (shared with tests) ----------------------------------
+
+/// Days since 1970-01-01 for a civil date (proleptic Gregorian).
+int64_t DaysFromCivil(int y, unsigned m, unsigned d);
+/// Inverse of DaysFromCivil.
+void CivilFromDays(int64_t z, int* y, unsigned* m, unsigned* d);
+/// ISO-ish week number within the year (1..53), from day-of-year and
+/// weekday of Jan 1 — simplified per SSB (weeks start on Sunday).
+int WeekNumInYear(int day_of_year, int weekday_jan1);
+
+/// The 25 TPC-H nations and their regions, as used by SSB.
+struct NationInfo {
+  const char* nation;
+  const char* region;
+};
+const std::vector<NationInfo>& Nations();
+
+}  // namespace ssb
+}  // namespace cjoin
+
+#endif  // CJOIN_SSB_GENERATOR_H_

@@ -1,0 +1,277 @@
+#include "ssb/queries.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "ssb/ssb_schema.h"
+
+namespace cjoin {
+namespace ssb {
+
+namespace {
+
+/// Shorthand for column-ref-by-name that asserts success (SSB schemas are
+/// fixed; a miss is a programming error caught by tests).
+ExprPtr ColRef(const Schema& schema, std::string_view name) {
+  auto r = MakeColumnRef(schema, name);
+  assert(r.ok());
+  return std::move(r).value();
+}
+
+ExprPtr StrEq(const Schema& schema, std::string_view col,
+              std::string_view val) {
+  return MakeCompare(CmpOp::kEq, ColRef(schema, col),
+                     MakeLiteral(Value(std::string(val))));
+}
+
+ExprPtr IntEq(const Schema& schema, std::string_view col, int64_t val) {
+  return MakeCompare(CmpOp::kEq, ColRef(schema, col), MakeLiteral(Value(val)));
+}
+
+ExprPtr IntBetween(const Schema& schema, std::string_view col, int64_t lo,
+                   int64_t hi) {
+  return MakeBetween(ColRef(schema, col), Value(lo), Value(hi));
+}
+
+ColumnSource DimCol(const StarSchema& star, size_t dim,
+                    std::string_view name) {
+  auto idx = star.dimension(dim).table->schema().FindColumn(name);
+  assert(idx.ok());
+  return ColumnSource::Dim(dim, idx.value());
+}
+
+}  // namespace
+
+SsbQueries::SsbQueries(const SsbDatabase& db) : db_(db) {
+  dim_keys_.resize(kNumSsbDims);
+  const StarSchema& star = *db_.star;
+  for (size_t d = 0; d < kNumSsbDims; ++d) {
+    const DimensionDef& def = star.dimension(d);
+    const Table& t = *def.table;
+    auto& keys = dim_keys_[d];
+    keys.reserve(t.NumRows());
+    for (uint64_t i = 0; i < t.NumRows(); ++i) {
+      keys.push_back(static_cast<int32_t>(t.schema().GetIntAny(
+          t.RowPayload(RowId{0, i}), def.dim_pk_col)));
+    }
+    std::sort(keys.begin(), keys.end());
+  }
+}
+
+const std::vector<std::string>& SsbQueries::AllNames() {
+  static const std::vector<std::string> kNames = {
+      "Q1.1", "Q1.2", "Q1.3", "Q2.1", "Q2.2", "Q2.3", "Q3.1",
+      "Q3.2", "Q3.3", "Q3.4", "Q4.1", "Q4.2", "Q4.3"};
+  return kNames;
+}
+
+const std::vector<std::string>& SsbQueries::PaperTemplateNames() {
+  static const std::vector<std::string> kNames = {
+      "Q2.1", "Q2.2", "Q2.3", "Q3.1", "Q3.2",
+      "Q3.3", "Q3.4", "Q4.1", "Q4.2", "Q4.3"};
+  return kNames;
+}
+
+Result<StarQuerySpec> SsbQueries::Canonical(const std::string& name) const {
+  const StarSchema& star = *db_.star;
+  const Schema& lo = star.fact().schema();
+  const Schema& d = star.dimension(kDimDate).table->schema();
+  const Schema& c = star.dimension(kDimCustomer).table->schema();
+  const Schema& s = star.dimension(kDimSupplier).table->schema();
+  const Schema& p = star.dimension(kDimPart).table->schema();
+
+  StarQuerySpec q;
+  q.schema = &star;
+  q.label = name;
+
+  auto dim_pred = [&](size_t dim, ExprPtr pred) {
+    q.dim_predicates.push_back(DimensionPredicate{dim, std::move(pred)});
+  };
+  auto sum_expr = [&](ExprPtr e, std::string label) {
+    q.aggregates.push_back(
+        AggregateSpec{AggFn::kSum, std::nullopt, std::move(e),
+                      std::move(label)});
+  };
+  auto sum_col = [&](const ColumnSource& src, std::string label) {
+    q.aggregates.push_back(
+        AggregateSpec{AggFn::kSum, src, nullptr, std::move(label)});
+  };
+  auto group = [&](const ColumnSource& src) { q.group_by.push_back(src); };
+
+  const ExprPtr lo_revenue_expr = ColRef(lo, "lo_revenue");
+  const ExprPtr profit_expr =
+      MakeArith(ArithOp::kSub, ColRef(lo, "lo_revenue"),
+                ColRef(lo, "lo_supplycost"));
+  const ExprPtr discount_revenue_expr =
+      MakeArith(ArithOp::kMul, ColRef(lo, "lo_extendedprice"),
+                ColRef(lo, "lo_discount"));
+
+  if (name == "Q1.1") {
+    dim_pred(kDimDate, IntEq(d, "d_year", 1993));
+    q.fact_predicate =
+        MakeAnd(IntBetween(lo, "lo_discount", 1, 3),
+                MakeCompare(CmpOp::kLt, ColRef(lo, "lo_quantity"),
+                            MakeLiteral(Value(int64_t{25}))));
+    sum_expr(discount_revenue_expr, "revenue");
+  } else if (name == "Q1.2") {
+    dim_pred(kDimDate, IntEq(d, "d_yearmonthnum", 199401));
+    q.fact_predicate = MakeAnd(IntBetween(lo, "lo_discount", 4, 6),
+                               IntBetween(lo, "lo_quantity", 26, 35));
+    sum_expr(discount_revenue_expr, "revenue");
+  } else if (name == "Q1.3") {
+    dim_pred(kDimDate, MakeAnd(IntEq(d, "d_weeknuminyear", 6),
+                               IntEq(d, "d_year", 1994)));
+    q.fact_predicate = MakeAnd(IntBetween(lo, "lo_discount", 5, 7),
+                               IntBetween(lo, "lo_quantity", 26, 35));
+    sum_expr(discount_revenue_expr, "revenue");
+  } else if (name == "Q2.1") {
+    dim_pred(kDimPart, StrEq(p, "p_category", "MFGR#12"));
+    dim_pred(kDimSupplier, StrEq(s, "s_region", "AMERICA"));
+    group(DimCol(star, kDimDate, "d_year"));
+    group(DimCol(star, kDimPart, "p_brand1"));
+    sum_col(ColumnSource::Fact(
+                static_cast<size_t>(lo.ColumnIndex("lo_revenue"))),
+            "lo_revenue");
+  } else if (name == "Q2.2") {
+    dim_pred(kDimPart,
+             MakeAnd(MakeCompare(CmpOp::kGe, ColRef(p, "p_brand1"),
+                                 MakeLiteral(Value("MFGR#2221"))),
+                     MakeCompare(CmpOp::kLe, ColRef(p, "p_brand1"),
+                                 MakeLiteral(Value("MFGR#2228")))));
+    dim_pred(kDimSupplier, StrEq(s, "s_region", "ASIA"));
+    group(DimCol(star, kDimDate, "d_year"));
+    group(DimCol(star, kDimPart, "p_brand1"));
+    sum_col(ColumnSource::Fact(
+                static_cast<size_t>(lo.ColumnIndex("lo_revenue"))),
+            "lo_revenue");
+  } else if (name == "Q2.3") {
+    dim_pred(kDimPart, StrEq(p, "p_brand1", "MFGR#2239"));
+    dim_pred(kDimSupplier, StrEq(s, "s_region", "EUROPE"));
+    group(DimCol(star, kDimDate, "d_year"));
+    group(DimCol(star, kDimPart, "p_brand1"));
+    sum_col(ColumnSource::Fact(
+                static_cast<size_t>(lo.ColumnIndex("lo_revenue"))),
+            "lo_revenue");
+  } else if (name == "Q3.1") {
+    dim_pred(kDimCustomer, StrEq(c, "c_region", "ASIA"));
+    dim_pred(kDimSupplier, StrEq(s, "s_region", "ASIA"));
+    dim_pred(kDimDate, IntBetween(d, "d_year", 1992, 1997));
+    group(DimCol(star, kDimCustomer, "c_nation"));
+    group(DimCol(star, kDimSupplier, "s_nation"));
+    group(DimCol(star, kDimDate, "d_year"));
+    sum_expr(lo_revenue_expr, "lo_revenue");
+  } else if (name == "Q3.2") {
+    dim_pred(kDimCustomer, StrEq(c, "c_nation", "UNITED STATES"));
+    dim_pred(kDimSupplier, StrEq(s, "s_nation", "UNITED STATES"));
+    dim_pred(kDimDate, IntBetween(d, "d_year", 1992, 1997));
+    group(DimCol(star, kDimCustomer, "c_city"));
+    group(DimCol(star, kDimSupplier, "s_city"));
+    group(DimCol(star, kDimDate, "d_year"));
+    sum_expr(lo_revenue_expr, "lo_revenue");
+  } else if (name == "Q3.3" || name == "Q3.4") {
+    // SSB cities derive from the nation name: "UNITED KI1", "UNITED KI5".
+    auto city_pred = [&](const Schema& schema, std::string_view col) {
+      return MakeInList(ColRef(schema, col),
+                        {Value("UNITED KI1"), Value("UNITED KI5")});
+    };
+    dim_pred(kDimCustomer, city_pred(c, "c_city"));
+    dim_pred(kDimSupplier, city_pred(s, "s_city"));
+    if (name == "Q3.3") {
+      dim_pred(kDimDate, IntBetween(d, "d_year", 1992, 1997));
+    } else {
+      dim_pred(kDimDate, StrEq(d, "d_yearmonth", "Dec1997"));
+    }
+    group(DimCol(star, kDimCustomer, "c_city"));
+    group(DimCol(star, kDimSupplier, "s_city"));
+    group(DimCol(star, kDimDate, "d_year"));
+    sum_expr(lo_revenue_expr, "lo_revenue");
+  } else if (name == "Q4.1") {
+    dim_pred(kDimCustomer, StrEq(c, "c_region", "AMERICA"));
+    dim_pred(kDimSupplier, StrEq(s, "s_region", "AMERICA"));
+    dim_pred(kDimPart, MakeOr(StrEq(p, "p_mfgr", "MFGR#1"),
+                              StrEq(p, "p_mfgr", "MFGR#2")));
+    group(DimCol(star, kDimDate, "d_year"));
+    group(DimCol(star, kDimCustomer, "c_nation"));
+    sum_expr(profit_expr, "profit");
+  } else if (name == "Q4.2") {
+    dim_pred(kDimCustomer, StrEq(c, "c_region", "AMERICA"));
+    dim_pred(kDimSupplier, StrEq(s, "s_region", "AMERICA"));
+    dim_pred(kDimDate, MakeOr(IntEq(d, "d_year", 1997),
+                              IntEq(d, "d_year", 1998)));
+    dim_pred(kDimPart, MakeOr(StrEq(p, "p_mfgr", "MFGR#1"),
+                              StrEq(p, "p_mfgr", "MFGR#2")));
+    group(DimCol(star, kDimDate, "d_year"));
+    group(DimCol(star, kDimSupplier, "s_nation"));
+    group(DimCol(star, kDimPart, "p_category"));
+    sum_expr(profit_expr, "profit");
+  } else if (name == "Q4.3") {
+    dim_pred(kDimCustomer, StrEq(c, "c_region", "AMERICA"));
+    dim_pred(kDimSupplier, StrEq(s, "s_nation", "UNITED STATES"));
+    dim_pred(kDimDate, MakeOr(IntEq(d, "d_year", 1997),
+                              IntEq(d, "d_year", 1998)));
+    dim_pred(kDimPart, StrEq(p, "p_category", "MFGR#14"));
+    group(DimCol(star, kDimDate, "d_year"));
+    group(DimCol(star, kDimSupplier, "s_city"));
+    group(DimCol(star, kDimPart, "p_brand1"));
+    sum_expr(profit_expr, "profit");
+  } else {
+    return Status::NotFound("unknown SSB query '" + name + "'");
+  }
+
+  return NormalizeSpec(std::move(q));
+}
+
+ExprPtr SsbQueries::KeyRangePredicate(size_t dim_index, double selectivity,
+                                      Rng& rng) const {
+  const auto& keys = dim_keys_[dim_index];
+  const size_t n = keys.size();
+  size_t width = static_cast<size_t>(
+      std::llround(selectivity * static_cast<double>(n)));
+  width = std::clamp<size_t>(width, 1, n);
+  const size_t start = static_cast<size_t>(
+      rng.UniformInt(0, static_cast<int64_t>(n - width)));
+  const DimensionDef& def = db_.star->dimension(dim_index);
+  return MakeBetween(MakeColumnRef(def.dim_pk_col),
+                     Value(static_cast<int64_t>(keys[start])),
+                     Value(static_cast<int64_t>(keys[start + width - 1])));
+}
+
+Result<StarQuerySpec> SsbQueries::FromTemplate(const std::string& name,
+                                               double selectivity,
+                                               Rng& rng) const {
+  if (!(selectivity > 0.0) || selectivity > 1.0) {
+    return Status::InvalidArgument("selectivity must be in (0, 1]");
+  }
+  CJOIN_ASSIGN_OR_RETURN(StarQuerySpec spec, Canonical(name));
+  // Replace each referenced dimension's predicate by a key-range predicate
+  // of the requested selectivity (the template's group-by and aggregates
+  // are preserved; dimensions referenced only for grouping keep TRUE).
+  for (DimensionPredicate& dp : spec.dim_predicates) {
+    if (IsTrueLiteral(dp.predicate)) continue;
+    dp.predicate = KeyRangePredicate(dp.dim_index, selectivity, rng);
+  }
+  spec.label = name;
+  return spec;
+}
+
+Result<std::vector<StarQuerySpec>> SsbQueries::MakeWorkload(
+    size_t n, double selectivity, Rng& rng,
+    const std::vector<std::string>& templates) const {
+  const std::vector<std::string>& pool =
+      templates.empty() ? PaperTemplateNames() : templates;
+  std::vector<StarQuerySpec> out;
+  out.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    const std::string& name = pool[static_cast<size_t>(
+        rng.UniformInt(0, static_cast<int64_t>(pool.size()) - 1))];
+    CJOIN_ASSIGN_OR_RETURN(StarQuerySpec spec,
+                           FromTemplate(name, selectivity, rng));
+    spec.label = name + "#" + std::to_string(i);
+    out.push_back(std::move(spec));
+  }
+  return out;
+}
+
+}  // namespace ssb
+}  // namespace cjoin

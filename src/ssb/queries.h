@@ -1,0 +1,75 @@
+// SSB query suite and workload generation (paper §6.1.2).
+//
+// Two layers:
+//  * Canonical(name) — the 13 SSB queries Q1.1..Q4.3 with their literal
+//    predicates, used for correctness tests and examples.
+//  * FromTemplate(name, s, rng) — the paper's workload generator: each
+//    benchmark query becomes a template whose range predicates are
+//    abstracted; concrete instances substitute ranges whose *dimension
+//    selectivity* is `s` (the fraction of each referenced dimension's
+//    rows selected), at a random position. "s allows us to control the
+//    number of dimension tuples that are loaded by CJOIN per query, as
+//    well as the size of the hash tables" (§6.1.2).
+//
+// Following the paper, the default template set excludes Q1.1-Q1.3
+// (fact-table-predicate-only queries); this implementation *does* support
+// fact predicates, so the Q1.x templates can be included on request.
+
+#ifndef CJOIN_SSB_QUERIES_H_
+#define CJOIN_SSB_QUERIES_H_
+
+#include <string>
+#include <vector>
+
+#include "catalog/query_spec.h"
+#include "common/rng.h"
+#include "ssb/generator.h"
+
+namespace cjoin {
+namespace ssb {
+
+/// Builds SSB query specs against a generated database.
+class SsbQueries {
+ public:
+  explicit SsbQueries(const SsbDatabase& db);
+
+  /// All 13 benchmark query names: "Q1.1" .. "Q4.3".
+  static const std::vector<std::string>& AllNames();
+
+  /// The 10 template names used for workload generation in the paper
+  /// (Q2.1..Q4.3 — the queries with group-by clauses).
+  static const std::vector<std::string>& PaperTemplateNames();
+
+  /// The named benchmark query with its literal predicates, normalized.
+  Result<StarQuerySpec> Canonical(const std::string& name) const;
+
+  /// A randomized instance of the named template where every referenced
+  /// dimension gets a primary-key range predicate of selectivity
+  /// `selectivity` (0 < s <= 1) at an rng-chosen offset. Group-by and
+  /// aggregates follow the template.
+  Result<StarQuerySpec> FromTemplate(const std::string& name,
+                                     double selectivity, Rng& rng) const;
+
+  /// A workload of `n` queries sampled uniformly from `templates`
+  /// (defaults to PaperTemplateNames()) at selectivity `s`.
+  Result<std::vector<StarQuerySpec>> MakeWorkload(
+      size_t n, double selectivity, Rng& rng,
+      const std::vector<std::string>& templates = {}) const;
+
+  const SsbDatabase& db() const { return db_; }
+
+ private:
+  /// BETWEEN predicate on the dimension's primary key selecting exactly
+  /// ~s of its rows, placed uniformly at random.
+  ExprPtr KeyRangePredicate(size_t dim_index, double selectivity,
+                            Rng& rng) const;
+
+  const SsbDatabase& db_;
+  /// Sorted primary keys of each dimension (for exact-selectivity ranges).
+  std::vector<std::vector<int32_t>> dim_keys_;
+};
+
+}  // namespace ssb
+}  // namespace cjoin
+
+#endif  // CJOIN_SSB_QUERIES_H_

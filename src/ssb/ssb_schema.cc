@@ -1,0 +1,90 @@
+#include "ssb/ssb_schema.h"
+
+namespace cjoin {
+namespace ssb {
+
+Schema MakeDateSchema() {
+  Schema s;
+  s.AddInt32("d_datekey")
+      .AddChar("d_date", 18)
+      .AddChar("d_dayofweek", 9)
+      .AddChar("d_month", 9)
+      .AddInt32("d_year")
+      .AddInt32("d_yearmonthnum")
+      .AddChar("d_yearmonth", 7)
+      .AddInt32("d_daynuminweek")
+      .AddInt32("d_daynuminmonth")
+      .AddInt32("d_daynuminyear")
+      .AddInt32("d_monthnuminyear")
+      .AddInt32("d_weeknuminyear")
+      .AddChar("d_sellingseason", 12)
+      .AddInt32("d_lastdayinweekfl")
+      .AddInt32("d_lastdayinmonthfl")
+      .AddInt32("d_holidayfl")
+      .AddInt32("d_weekdayfl");
+  return s;
+}
+
+Schema MakeCustomerSchema() {
+  Schema s;
+  s.AddInt32("c_custkey")
+      .AddChar("c_name", 25)
+      .AddChar("c_address", 25)
+      .AddChar("c_city", 10)
+      .AddChar("c_nation", 15)
+      .AddChar("c_region", 12)
+      .AddChar("c_phone", 15)
+      .AddChar("c_mktsegment", 10);
+  return s;
+}
+
+Schema MakeSupplierSchema() {
+  Schema s;
+  s.AddInt32("s_suppkey")
+      .AddChar("s_name", 25)
+      .AddChar("s_address", 25)
+      .AddChar("s_city", 10)
+      .AddChar("s_nation", 15)
+      .AddChar("s_region", 12)
+      .AddChar("s_phone", 15);
+  return s;
+}
+
+Schema MakePartSchema() {
+  Schema s;
+  s.AddInt32("p_partkey")
+      .AddChar("p_name", 22)
+      .AddChar("p_mfgr", 6)
+      .AddChar("p_category", 7)
+      .AddChar("p_brand1", 9)
+      .AddChar("p_color", 11)
+      .AddChar("p_type", 25)
+      .AddInt32("p_size")
+      .AddChar("p_container", 10);
+  return s;
+}
+
+Schema MakeLineorderSchema() {
+  Schema s;
+  s.AddInt32("lo_orderkey")
+      .AddInt32("lo_linenumber")
+      .AddInt32("lo_custkey")
+      .AddInt32("lo_partkey")
+      .AddInt32("lo_suppkey")
+      .AddInt32("lo_orderdate")
+      .AddChar("lo_orderpriority", 15)
+      .AddChar("lo_shippriority", 1)
+      .AddInt32("lo_quantity")
+      .AddInt32("lo_extendedprice")
+      .AddInt32("lo_ordtotalprice")
+      .AddInt32("lo_discount")
+      .AddInt32("lo_revenue")
+      .AddInt32("lo_supplycost")
+      .AddInt32("lo_tax")
+      .AddInt32("lo_commitdate")
+      .AddChar("lo_shipmode", 10);
+  return s;
+}
+
+}  // namespace ssb
+}  // namespace cjoin

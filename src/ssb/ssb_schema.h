@@ -1,0 +1,34 @@
+// Star Schema Benchmark table schemas (O'Neil et al. [17]; paper §6.1.2).
+//
+// The five tables: LINEORDER (fact) plus DATE, CUSTOMER, SUPPLIER, PART.
+// Column sets follow the SSB specification; fixed-width CHAR fields use
+// the benchmark's declared lengths.
+
+#ifndef CJOIN_SSB_SSB_SCHEMA_H_
+#define CJOIN_SSB_SSB_SCHEMA_H_
+
+#include "storage/schema.h"
+
+namespace cjoin {
+namespace ssb {
+
+Schema MakeDateSchema();
+Schema MakeCustomerSchema();
+Schema MakeSupplierSchema();
+Schema MakePartSchema();
+Schema MakeLineorderSchema();
+
+/// Dimension indices within the SSB StarSchema, in registration order.
+/// (Also the filter order before run-time optimization kicks in.)
+enum SsbDim : size_t {
+  kDimDate = 0,
+  kDimCustomer = 1,
+  kDimSupplier = 2,
+  kDimPart = 3,
+  kNumSsbDims = 4,
+};
+
+}  // namespace ssb
+}  // namespace cjoin
+
+#endif  // CJOIN_SSB_SSB_SCHEMA_H_

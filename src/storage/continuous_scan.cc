@@ -1,0 +1,145 @@
+#include "storage/continuous_scan.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace cjoin {
+
+ContinuousScan::ContinuousScan(const Table& table, Options options)
+    : table_(table), opts_(options) {
+  if (opts_.max_run_rows == 0) opts_.max_run_rows = 1;
+  laps_.assign(table_.num_partitions(), 0);
+  frozen_sizes_.assign(table_.num_partitions(), 0);
+  FreezeSizes();
+}
+
+void ContinuousScan::FreezeSizes() {
+  frozen_total_ = 0;
+  for (uint32_t p = 0; p < table_.num_partitions(); ++p) {
+    frozen_sizes_[p] = table_.PartitionRows(p);
+    frozen_total_ += frozen_sizes_[p];
+  }
+}
+
+bool ContinuousScan::SkipEmptyPartitions() {
+  // At most one full sweep; if every partition is frozen-empty, re-freeze
+  // (the table may have grown) and give up if still empty.
+  for (int sweep = 0; sweep < 2; ++sweep) {
+    for (uint32_t hops = 0; hops < table_.num_partitions(); ++hops) {
+      if (frozen_sizes_[part_] > 0) return true;
+      ++part_;
+      if (part_ >= table_.num_partitions()) {
+        part_ = 0;
+        ++table_laps_;
+        FreezeSizes();
+      }
+    }
+    FreezeSizes();
+  }
+  return frozen_total_ > 0;
+}
+
+bool ContinuousScan::Next(ScanEvent* event) {
+  if (index_ == 0 && need_pass_start_) {
+    if (!SkipEmptyPartitions()) return false;
+    need_pass_start_ = false;
+    ++laps_[part_];
+    event->kind = ScanEvent::Kind::kPassStart;
+    event->partition = part_;
+    event->lap = laps_[part_];
+    event->count = 0;
+    return true;
+  }
+
+  const uint64_t size = frozen_sizes_[part_];
+  if (index_ >= size) {
+    // Partition pass complete.
+    event->kind = ScanEvent::Kind::kPassEnd;
+    event->partition = part_;
+    event->lap = laps_[part_];
+    event->count = 0;
+    index_ = 0;
+    ++part_;
+    if (part_ >= table_.num_partitions()) {
+      part_ = 0;
+      ++table_laps_;
+      FreezeSizes();
+    }
+    need_pass_start_ = true;
+    return true;
+  }
+
+  // Deliver the next run: stay within one page and one partition.
+  const size_t rows_per_page = table_.rows_per_page();
+  const size_t page = index_ / rows_per_page;
+  const size_t in_page = index_ % rows_per_page;
+  size_t run = std::min<uint64_t>(opts_.max_run_rows, size - index_);
+  run = std::min(run, rows_per_page - in_page);
+
+  const size_t stride = table_.row_stride();
+  event->kind = ScanEvent::Kind::kRows;
+  event->partition = part_;
+  event->lap = laps_[part_];
+  event->base = table_.PageData(part_, page) + in_page * stride;
+  event->count = run;
+  event->first_index = index_;
+  event->partition_size = size;
+  event->first_tick = tick_;
+
+  if (opts_.disk != nullptr) {
+    opts_.disk->Acquire(opts_.reader_id,
+                        static_cast<uint64_t>(run) * stride);
+  }
+
+  index_ += run;
+  tick_ += run;
+  return true;
+}
+
+SinglePassScan::SinglePassScan(const Table& table,
+                               ContinuousScan::Options options,
+                               std::vector<uint32_t> partitions)
+    : table_(table), opts_(options), parts_(std::move(partitions)) {
+  if (opts_.max_run_rows == 0) opts_.max_run_rows = 1;
+  if (parts_.empty()) {
+    for (uint32_t p = 0; p < table_.num_partitions(); ++p) {
+      parts_.push_back(p);
+    }
+  }
+}
+
+bool SinglePassScan::Next(ScanEvent* event) {
+  while (part_cursor_ < parts_.size() &&
+         index_ >= table_.PartitionRows(parts_[part_cursor_])) {
+    ++part_cursor_;
+    index_ = 0;
+  }
+  if (part_cursor_ >= parts_.size()) return false;
+
+  const uint32_t part = parts_[part_cursor_];
+  const uint64_t size = table_.PartitionRows(part);
+  const size_t rows_per_page = table_.rows_per_page();
+  const size_t page = index_ / rows_per_page;
+  const size_t in_page = index_ % rows_per_page;
+  size_t run = std::min<uint64_t>(opts_.max_run_rows, size - index_);
+  run = std::min(run, rows_per_page - in_page);
+
+  const size_t stride = table_.row_stride();
+  event->kind = ScanEvent::Kind::kRows;
+  event->partition = part;
+  event->lap = 1;
+  event->base = table_.PageData(part, page) + in_page * stride;
+  event->count = run;
+  event->first_index = index_;
+  event->partition_size = size;
+  event->first_tick = index_;
+
+  if (opts_.disk != nullptr) {
+    opts_.disk->Acquire(opts_.reader_id,
+                        static_cast<uint64_t>(run) * stride);
+  }
+  index_ += run;
+  return true;
+}
+
+}  // namespace cjoin

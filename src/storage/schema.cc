@@ -1,0 +1,96 @@
+#include "storage/schema.h"
+
+namespace cjoin {
+
+namespace {
+size_t AlignUp(size_t v, size_t a) { return (v + a - 1) & ~(a - 1); }
+
+size_t TypeAlignment(DataType type) {
+  switch (type) {
+    case DataType::kInt32:
+      return 4;
+    case DataType::kInt64:
+    case DataType::kDouble:
+      return 8;
+    case DataType::kChar:
+      return 1;
+  }
+  return 1;
+}
+}  // namespace
+
+void Schema::Append(Column col) {
+  const size_t align = TypeAlignment(col.type);
+  // row_size_ currently holds the rounded size; compute the raw end first.
+  size_t cursor = columns_.empty()
+                      ? 0
+                      : columns_.back().offset + columns_.back().width();
+  cursor = AlignUp(cursor, align);
+  col.offset = static_cast<uint32_t>(cursor);
+  cursor += col.width();
+  columns_.push_back(std::move(col));
+  row_size_ = AlignUp(cursor, 8);
+}
+
+Schema& Schema::AddInt32(std::string name) {
+  Append(Column{std::move(name), DataType::kInt32, 0, 0});
+  return *this;
+}
+Schema& Schema::AddInt64(std::string name) {
+  Append(Column{std::move(name), DataType::kInt64, 0, 0});
+  return *this;
+}
+Schema& Schema::AddDouble(std::string name) {
+  Append(Column{std::move(name), DataType::kDouble, 0, 0});
+  return *this;
+}
+Schema& Schema::AddChar(std::string name, uint32_t len) {
+  Append(Column{std::move(name), DataType::kChar, len, 0});
+  return *this;
+}
+
+int Schema::ColumnIndex(std::string_view name) const {
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (columns_[i].name == name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+Result<size_t> Schema::FindColumn(std::string_view name) const {
+  const int idx = ColumnIndex(name);
+  if (idx < 0) {
+    return Status::NotFound("no column named '" + std::string(name) + "'");
+  }
+  return static_cast<size_t>(idx);
+}
+
+std::string Schema::ToString() const {
+  std::string out = "(";
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += columns_[i].name;
+    out += ' ';
+    out += TypeName(columns_[i].type);
+    if (columns_[i].type == DataType::kChar) {
+      out += '(';
+      out += std::to_string(columns_[i].char_len);
+      out += ')';
+    }
+  }
+  out += ')';
+  return out;
+}
+
+bool Schema::operator==(const Schema& other) const {
+  if (columns_.size() != other.columns_.size()) return false;
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    const Column& a = columns_[i];
+    const Column& b = other.columns_[i];
+    if (a.name != b.name || a.type != b.type || a.char_len != b.char_len) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace cjoin

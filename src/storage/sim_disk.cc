@@ -1,0 +1,46 @@
+#include "storage/sim_disk.h"
+
+#include <algorithm>
+#include <thread>
+
+namespace cjoin {
+
+void SimDisk::Acquire(uint64_t reader_id, uint64_t bytes) {
+  if (!opts_.enabled) return;
+  Clock::time_point wake;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    const Clock::time_point now = Clock::now();
+    if (!started_) {
+      device_free_ = now;
+      started_ = true;
+    }
+    // The transfer starts when the device is free and the request has
+    // arrived, whichever is later.
+    Clock::time_point start = std::max(device_free_, now);
+    std::chrono::nanoseconds service(static_cast<int64_t>(
+        1e9 * static_cast<double>(bytes) / opts_.bandwidth_bytes_per_sec));
+    if (reader_id != last_reader_) {
+      service += std::chrono::duration_cast<std::chrono::nanoseconds>(
+          opts_.seek_time);
+      ++seeks_;
+      last_reader_ = reader_id;
+    }
+    device_free_ = start + service;
+    busy_seconds_ += std::chrono::duration<double>(service).count();
+    wake = device_free_;
+  }
+  std::this_thread::sleep_until(wake);
+}
+
+double SimDisk::BusySeconds() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return busy_seconds_;
+}
+
+uint64_t SimDisk::SeekCount() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return seeks_;
+}
+
+}  // namespace cjoin

@@ -1,0 +1,144 @@
+#include "storage/table.h"
+
+#include <cassert>
+#include <cstring>
+
+namespace cjoin {
+
+Table::Table(std::string name, Schema schema, Options options)
+    : name_(std::move(name)), schema_(std::move(schema)), opts_(options) {
+  if (opts_.rows_per_page == 0) opts_.rows_per_page = 1;
+  if (opts_.num_partitions == 0) opts_.num_partitions = 1;
+  partitions_.reserve(opts_.num_partitions);
+  for (uint32_t p = 0; p < opts_.num_partitions; ++p) {
+    auto part = std::make_unique<Partition>();
+    auto dir = std::make_unique<PageDir>();
+    part->dir.store(dir.get(), std::memory_order_relaxed);
+    part->dir_history.push_back(std::move(dir));
+    partitions_.push_back(std::move(part));
+  }
+}
+
+uint64_t Table::NumRows() const {
+  uint64_t n = 0;
+  for (const auto& p : partitions_) {
+    n += p->num_rows.load(std::memory_order_acquire);
+  }
+  return n;
+}
+
+uint8_t* Table::AppendUninitialized(uint32_t p, SnapshotId xmin,
+                                    RowId* id_out) {
+  assert(p < partitions_.size());
+  Partition& part = *partitions_[p];
+  const size_t stride = row_stride();
+  const uint64_t row_index = part.num_rows.load(std::memory_order_relaxed);
+  const size_t in_page = row_index % opts_.rows_per_page;
+  if (in_page == 0) {
+    // New page: publish a copied directory (readers keep using the old
+    // one until the release store below).
+    part.pages.emplace_back(new uint8_t[stride * opts_.rows_per_page]);
+    const PageDir* old_dir = part.dir.load(std::memory_order_relaxed);
+    auto new_dir = std::make_unique<PageDir>();
+    new_dir->pages = old_dir->pages;
+    new_dir->pages.push_back(part.pages.back().get());
+    part.dir.store(new_dir.get(), std::memory_order_release);
+    part.dir_history.push_back(std::move(new_dir));
+  }
+  uint8_t* slot = part.dir.load(std::memory_order_relaxed)->pages.back() +
+                  in_page * stride;
+  RowHeader hdr;
+  hdr.xmin = xmin;
+  hdr.xmax = kMaxSnapshot;
+  std::memcpy(slot, &hdr, sizeof(hdr));
+  if (id_out != nullptr) {
+    id_out->partition = p;
+    id_out->index = row_index;
+  }
+  // Publish the row count; rows below this index are fully headered.
+  part.num_rows.store(row_index + 1, std::memory_order_release);
+  return slot + sizeof(RowHeader);
+}
+
+RowId Table::AppendRow(const void* payload, uint32_t p, SnapshotId xmin) {
+  assert(p < partitions_.size());
+  Partition& part = *partitions_[p];
+  const size_t stride = row_stride();
+  const uint64_t row_index = part.num_rows.load(std::memory_order_relaxed);
+  const size_t in_page = row_index % opts_.rows_per_page;
+  if (in_page == 0) {
+    part.pages.emplace_back(new uint8_t[stride * opts_.rows_per_page]);
+    const PageDir* old_dir = part.dir.load(std::memory_order_relaxed);
+    auto new_dir = std::make_unique<PageDir>();
+    new_dir->pages = old_dir->pages;
+    new_dir->pages.push_back(part.pages.back().get());
+    part.dir.store(new_dir.get(), std::memory_order_release);
+    part.dir_history.push_back(std::move(new_dir));
+  }
+  uint8_t* slot = part.dir.load(std::memory_order_relaxed)->pages.back() +
+                  in_page * stride;
+  RowHeader hdr;
+  hdr.xmin = xmin;
+  hdr.xmax = kMaxSnapshot;
+  std::memcpy(slot, &hdr, sizeof(hdr));
+  std::memcpy(slot + sizeof(RowHeader), payload, schema_.row_size());
+  // The row is fully written before the count release: readers that see
+  // the new count see complete bytes.
+  part.num_rows.store(row_index + 1, std::memory_order_release);
+  return RowId{p, row_index};
+}
+
+uint8_t* Table::RowSlot(RowId id) const {
+  assert(id.partition < partitions_.size());
+  const Partition& part = *partitions_[id.partition];
+  assert(id.index < part.num_rows.load(std::memory_order_acquire));
+  const size_t page = id.index / opts_.rows_per_page;
+  const size_t in_page = id.index % opts_.rows_per_page;
+  const PageDir* dir = part.dir.load(std::memory_order_acquire);
+  return dir->pages[page] + in_page * row_stride();
+}
+
+const uint8_t* Table::RowPayload(RowId id) const {
+  return RowSlot(id) + sizeof(RowHeader);
+}
+
+uint8_t* Table::MutableRowPayload(RowId id) {
+  return RowSlot(id) + sizeof(RowHeader);
+}
+
+const RowHeader* Table::Header(RowId id) const {
+  return reinterpret_cast<const RowHeader*>(RowSlot(id));
+}
+
+Status Table::MarkDeleted(RowId id, SnapshotId xmax) {
+  RowHeader* hdr = reinterpret_cast<RowHeader*>(RowSlot(id));
+  if (xmax <= hdr->xmin) {
+    return Status::InvalidArgument("xmax must be greater than xmin");
+  }
+  std::atomic_ref<SnapshotId> x(hdr->xmax);
+  SnapshotId expected = kMaxSnapshot;
+  if (!x.compare_exchange_strong(expected, xmax,
+                                 std::memory_order_release)) {
+    return Status::FailedPrecondition("row already deleted");
+  }
+  return Status::OK();
+}
+
+size_t Table::NumPages(uint32_t p) const {
+  const uint64_t rows =
+      partitions_[p]->num_rows.load(std::memory_order_acquire);
+  return static_cast<size_t>((rows + opts_.rows_per_page - 1) /
+                             opts_.rows_per_page);
+}
+
+size_t Table::PageRows(uint32_t p, size_t page) const {
+  const uint64_t rows =
+      partitions_[p]->num_rows.load(std::memory_order_acquire);
+  const size_t pages = NumPages(p);
+  assert(page < pages);
+  if (page + 1 < pages) return opts_.rows_per_page;
+  const size_t rem = rows % opts_.rows_per_page;
+  return rem == 0 ? opts_.rows_per_page : rem;
+}
+
+}  // namespace cjoin

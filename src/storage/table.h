@@ -1,0 +1,164 @@
+// Paged, partitioned, multi-versioned row store.
+//
+// A Table stores fixed-width rows in pages, optionally divided into range
+// partitions (paper §5 "Fact Table Partitioning"). Every row carries an
+// 8-byte MVCC header (xmin/xmax snapshot ids) so a mixed query/update
+// workload under snapshot isolation can share one continuous scan
+// (paper §3.5): the scan exposes the version information and per-query
+// visibility is evaluated as a virtual fact-table predicate.
+//
+// Concurrency contract: ONE writer (the engine serializes updates) and
+// any number of readers. Readers never block: the page directory is
+// copy-on-grow (RCU-style — a new immutable directory is published
+// atomically when a page is added), row counts are released after the row
+// bytes are written, and xmax deletion marks are atomic stores. A reader
+// that captured row count N sees fully-written rows for all indices < N.
+
+#ifndef CJOIN_STORAGE_TABLE_H_
+#define CJOIN_STORAGE_TABLE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <limits>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/schema.h"
+
+namespace cjoin {
+
+/// Snapshot identifier. Snapshot 0 is "the beginning of time"; rows loaded
+/// in bulk are created at snapshot 0 and visible to everyone.
+using SnapshotId = uint32_t;
+inline constexpr SnapshotId kMaxSnapshot =
+    std::numeric_limits<SnapshotId>::max();
+
+/// Per-row version header preceding the payload. xmax may be written
+/// concurrently with readers, so accessors go through std::atomic_ref.
+struct RowHeader {
+  SnapshotId xmin = 0;            ///< snapshot that created the row
+  SnapshotId xmax = kMaxSnapshot; ///< snapshot that deleted it (exclusive)
+
+  SnapshotId LoadXmax() const {
+    std::atomic_ref<const SnapshotId> r(xmax);
+    return r.load(std::memory_order_acquire);
+  }
+
+  /// True iff the row is visible to a reader at `snap`.
+  bool VisibleAt(SnapshotId snap) const {
+    return xmin <= snap && snap < LoadXmax();
+  }
+  /// True iff the row is visible to every possible reader (fast path).
+  bool VisibleToAll() const {
+    return xmin == 0 && LoadXmax() == kMaxSnapshot;
+  }
+};
+static_assert(sizeof(RowHeader) == 8);
+
+/// Location of a row: partition index and row index within the partition.
+struct RowId {
+  uint32_t partition = 0;
+  uint64_t index = 0;
+
+  bool operator==(const RowId&) const = default;
+};
+
+/// Fixed-width row store with pages, partitions, and MVCC headers.
+class Table {
+ public:
+  struct Options {
+    /// Rows per page; pages are the unit of file I/O and scan batching.
+    size_t rows_per_page = 4096;
+    /// Number of range partitions (>= 1).
+    uint32_t num_partitions = 1;
+  };
+
+  Table(std::string name, Schema schema, Options options);
+  Table(std::string name, Schema schema)
+      : Table(std::move(name), std::move(schema), Options{}) {}
+
+  const std::string& name() const { return name_; }
+  const Schema& schema() const { return schema_; }
+  size_t rows_per_page() const { return opts_.rows_per_page; }
+  uint32_t num_partitions() const {
+    return static_cast<uint32_t>(partitions_.size());
+  }
+
+  /// Bytes per stored row: header + payload.
+  size_t row_stride() const { return sizeof(RowHeader) + schema_.row_size(); }
+
+  uint64_t NumRows() const;
+  uint64_t PartitionRows(uint32_t p) const {
+    return partitions_[p]->num_rows.load(std::memory_order_acquire);
+  }
+
+  /// Appends a row whose payload bytes are `payload` (schema().row_size()
+  /// bytes) into partition `p`, created at snapshot `xmin`.
+  /// Returns its RowId. Single writer at a time.
+  RowId AppendRow(const void* payload, uint32_t p = 0, SnapshotId xmin = 0);
+
+  /// Reserves space for a row and returns a writable payload pointer; the
+  /// caller fills the fields through the schema setters. The row becomes
+  /// visible to readers (counted in PartitionRows) immediately; callers
+  /// that interleave appends with concurrent scans should fill the
+  /// payload in a scratch buffer and use AppendRow instead.
+  uint8_t* AppendUninitialized(uint32_t p = 0, SnapshotId xmin = 0,
+                               RowId* id_out = nullptr);
+
+  /// Payload pointer of a row.
+  const uint8_t* RowPayload(RowId id) const;
+  uint8_t* MutableRowPayload(RowId id);
+
+  /// MVCC header of a row.
+  const RowHeader* Header(RowId id) const;
+
+  /// Marks the row deleted as of snapshot `xmax` (it stays visible to
+  /// snapshots < xmax). Atomic with respect to concurrent readers.
+  /// Fails if the row was already deleted earlier.
+  Status MarkDeleted(RowId id, SnapshotId xmax);
+
+  // --- Page-level access (used by scans and file persistence) -------------
+
+  /// Number of pages in partition p (consistent with PartitionRows when
+  /// the caller reads PartitionRows first).
+  size_t NumPages(uint32_t p) const;
+
+  /// Number of rows stored in page `page` of partition `p`.
+  size_t PageRows(uint32_t p, size_t page) const;
+
+  /// Pointer to the first stored row (header) of the page. Safe against
+  /// concurrent appends (RCU page directory).
+  const uint8_t* PageData(uint32_t p, size_t page) const {
+    const PageDir* dir =
+        partitions_[p]->dir.load(std::memory_order_acquire);
+    return dir->pages[page];
+  }
+
+ private:
+  /// Immutable snapshot of a partition's page pointers.
+  struct PageDir {
+    std::vector<uint8_t*> pages;
+  };
+
+  struct Partition {
+    /// Current directory (grows by copy; old ones kept in `dir_history`).
+    std::atomic<PageDir*> dir{nullptr};
+    std::vector<std::unique_ptr<PageDir>> dir_history;
+    /// Owns the page storage.
+    std::vector<std::unique_ptr<uint8_t[]>> pages;
+    std::atomic<uint64_t> num_rows{0};
+  };
+
+  uint8_t* RowSlot(RowId id) const;
+
+  std::string name_;
+  Schema schema_;
+  Options opts_;
+  std::vector<std::unique_ptr<Partition>> partitions_;
+};
+
+}  // namespace cjoin
+
+#endif  // CJOIN_STORAGE_TABLE_H_

@@ -1,0 +1,176 @@
+#include "storage/table_file.h"
+
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <vector>
+
+namespace cjoin {
+
+namespace {
+
+constexpr char kMagic[4] = {'C', 'J', 'T', 'B'};
+constexpr uint32_t kVersion = 1;
+
+class FileWriter {
+ public:
+  explicit FileWriter(FILE* f) : f_(f) {}
+
+  bool Write(const void* data, size_t n) {
+    return fwrite(data, 1, n, f_) == n;
+  }
+  bool WriteU32(uint32_t v) { return Write(&v, sizeof(v)); }
+  bool WriteU64(uint64_t v) { return Write(&v, sizeof(v)); }
+  bool WriteString(const std::string& s) {
+    return WriteU32(static_cast<uint32_t>(s.size())) &&
+           Write(s.data(), s.size());
+  }
+
+ private:
+  FILE* f_;
+};
+
+class FileReader {
+ public:
+  explicit FileReader(FILE* f) : f_(f) {}
+
+  bool Read(void* data, size_t n) { return fread(data, 1, n, f_) == n; }
+  bool ReadU32(uint32_t* v) { return Read(v, sizeof(*v)); }
+  bool ReadU64(uint64_t* v) { return Read(v, sizeof(*v)); }
+  bool ReadString(std::string* s) {
+    uint32_t n;
+    if (!ReadU32(&n)) return false;
+    if (n > (1u << 20)) return false;  // sanity bound on string length
+    s->resize(n);
+    return n == 0 || Read(s->data(), n);
+  }
+
+ private:
+  FILE* f_;
+};
+
+struct FileCloser {
+  void operator()(FILE* f) const {
+    if (f != nullptr) fclose(f);
+  }
+};
+using UniqueFile = std::unique_ptr<FILE, FileCloser>;
+
+}  // namespace
+
+Status SaveTable(const Table& table, const std::string& path) {
+  UniqueFile file(fopen(path.c_str(), "wb"));
+  if (file == nullptr) {
+    return Status::IOError("cannot open for writing: " + path);
+  }
+  FileWriter w(file.get());
+  bool ok = w.Write(kMagic, 4) && w.WriteU32(kVersion) &&
+            w.WriteString(table.name());
+
+  const Schema& schema = table.schema();
+  ok = ok && w.WriteU32(static_cast<uint32_t>(schema.num_columns()));
+  for (size_t c = 0; ok && c < schema.num_columns(); ++c) {
+    const Column& col = schema.column(c);
+    ok = w.WriteString(col.name) &&
+         w.WriteU32(static_cast<uint32_t>(col.type)) &&
+         w.WriteU32(col.char_len);
+  }
+
+  ok = ok && w.WriteU32(table.num_partitions()) &&
+       w.WriteU64(table.rows_per_page());
+
+  const size_t stride = table.row_stride();
+  for (uint32_t p = 0; ok && p < table.num_partitions(); ++p) {
+    ok = w.WriteU64(table.PartitionRows(p));
+    for (size_t page = 0; ok && page < table.NumPages(p); ++page) {
+      ok = w.Write(table.PageData(p, page), table.PageRows(p, page) * stride);
+    }
+  }
+  if (!ok) return Status::IOError("short write to " + path);
+  return Status::OK();
+}
+
+Result<std::unique_ptr<Table>> LoadTable(const std::string& path) {
+  UniqueFile file(fopen(path.c_str(), "rb"));
+  if (file == nullptr) {
+    return Status::IOError("cannot open for reading: " + path);
+  }
+  FileReader r(file.get());
+
+  char magic[4];
+  uint32_t version;
+  std::string name;
+  if (!r.Read(magic, 4) || std::memcmp(magic, kMagic, 4) != 0) {
+    return Status::IOError("bad magic in " + path);
+  }
+  if (!r.ReadU32(&version) || version != kVersion) {
+    return Status::IOError("unsupported table file version in " + path);
+  }
+  if (!r.ReadString(&name)) return Status::IOError("truncated header");
+
+  uint32_t ncols;
+  if (!r.ReadU32(&ncols) || ncols > 4096) {
+    return Status::IOError("bad column count");
+  }
+  Schema schema;
+  for (uint32_t c = 0; c < ncols; ++c) {
+    std::string col_name;
+    uint32_t type_raw, char_len;
+    if (!r.ReadString(&col_name) || !r.ReadU32(&type_raw) ||
+        !r.ReadU32(&char_len)) {
+      return Status::IOError("truncated schema");
+    }
+    switch (static_cast<DataType>(type_raw)) {
+      case DataType::kInt32:
+        schema.AddInt32(std::move(col_name));
+        break;
+      case DataType::kInt64:
+        schema.AddInt64(std::move(col_name));
+        break;
+      case DataType::kDouble:
+        schema.AddDouble(std::move(col_name));
+        break;
+      case DataType::kChar:
+        schema.AddChar(std::move(col_name), char_len);
+        break;
+      default:
+        return Status::IOError("unknown column type");
+    }
+  }
+
+  uint32_t nparts;
+  uint64_t rows_per_page;
+  if (!r.ReadU32(&nparts) || !r.ReadU64(&rows_per_page) || nparts == 0 ||
+      rows_per_page == 0) {
+    return Status::IOError("bad partition header");
+  }
+
+  Table::Options opts;
+  opts.rows_per_page = rows_per_page;
+  opts.num_partitions = nparts;
+  auto table = std::make_unique<Table>(name, std::move(schema), opts);
+
+  const size_t stride = table->row_stride();
+  std::vector<uint8_t> slot(stride);
+  for (uint32_t p = 0; p < nparts; ++p) {
+    uint64_t nrows;
+    if (!r.ReadU64(&nrows)) return Status::IOError("truncated partition");
+    for (uint64_t i = 0; i < nrows; ++i) {
+      if (!r.Read(slot.data(), stride)) {
+        return Status::IOError("truncated rows");
+      }
+      RowHeader hdr;
+      std::memcpy(&hdr, slot.data(), sizeof(hdr));
+      RowId id;
+      uint8_t* dst = table->AppendUninitialized(p, hdr.xmin, &id);
+      std::memcpy(dst, slot.data() + sizeof(RowHeader),
+                  stride - sizeof(RowHeader));
+      if (hdr.xmax != kMaxSnapshot) {
+        CJOIN_RETURN_IF_ERROR(table->MarkDeleted(id, hdr.xmax));
+      }
+    }
+  }
+  return table;
+}
+
+}  // namespace cjoin

@@ -1,0 +1,31 @@
+// Binary persistence for tables.
+//
+// Format (little-endian):
+//   magic "CJTB" | version u32 | name | schema | num_partitions u32 |
+//   rows_per_page u64 | per partition: row count u64 followed by raw row
+//   slots (header + payload), page-packed.
+//
+// Strings are length-prefixed (u32). This is a utility substrate for the
+// examples (generate SSB data once, reuse across runs); the engine itself
+// operates on in-memory Tables.
+
+#ifndef CJOIN_STORAGE_TABLE_FILE_H_
+#define CJOIN_STORAGE_TABLE_FILE_H_
+
+#include <memory>
+#include <string>
+
+#include "common/status.h"
+#include "storage/table.h"
+
+namespace cjoin {
+
+/// Writes `table` to `path`, overwriting any existing file.
+Status SaveTable(const Table& table, const std::string& path);
+
+/// Reads a table previously written by SaveTable.
+Result<std::unique_ptr<Table>> LoadTable(const std::string& path);
+
+}  // namespace cjoin
+
+#endif  // CJOIN_STORAGE_TABLE_FILE_H_

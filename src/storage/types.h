@@ -1,0 +1,53 @@
+// Physical column types for the row store.
+
+#ifndef CJOIN_STORAGE_TYPES_H_
+#define CJOIN_STORAGE_TYPES_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace cjoin {
+
+/// Fixed-width physical column types. CHAR(n) is a fixed-length,
+/// NUL-padded byte field — the classic row-store layout the paper assumes
+/// (§2.1 "conventional row-store").
+enum class DataType : uint8_t {
+  kInt32 = 0,
+  kInt64 = 1,
+  kDouble = 2,
+  kChar = 3,
+};
+
+/// Size in bytes of a value of `type`; CHAR columns pass their declared
+/// length.
+inline size_t TypeSize(DataType type, size_t char_len = 0) {
+  switch (type) {
+    case DataType::kInt32:
+      return 4;
+    case DataType::kInt64:
+      return 8;
+    case DataType::kDouble:
+      return 8;
+    case DataType::kChar:
+      return char_len;
+  }
+  return 0;
+}
+
+inline const char* TypeName(DataType type) {
+  switch (type) {
+    case DataType::kInt32:
+      return "INT32";
+    case DataType::kInt64:
+      return "INT64";
+    case DataType::kDouble:
+      return "DOUBLE";
+    case DataType::kChar:
+      return "CHAR";
+  }
+  return "?";
+}
+
+}  // namespace cjoin
+
+#endif  // CJOIN_STORAGE_TYPES_H_

@@ -1,0 +1,295 @@
+// Unit tests for CJOIN's internal components: dimension hash tables with
+// bit-vectors, the epoch tracker, tuple slot layout, filter ordering, and
+// the bit-vector invariants of §3.2.1 under query id reuse.
+
+#include <atomic>
+#include <thread>
+
+#include <gtest/gtest.h>
+
+#include "cjoin/dim_hash_table.h"
+#include "cjoin/epoch_tracker.h"
+#include "cjoin/filter.h"
+#include "cjoin/tuple_slot.h"
+#include "common/tuple_pool.h"
+
+namespace cjoin {
+namespace {
+
+// --------------------------- DimensionHashTable ------------------------------
+
+class DimHashTableTest : public ::testing::Test {
+ protected:
+  static constexpr size_t kWidth = 2;  // 128 query ids
+  DimensionHashTable ht_{kWidth, 16};
+  uint8_t rows_[64] = {};
+};
+
+TEST_F(DimHashTableTest, InsertAndProbe) {
+  auto* e = ht_.InsertOrGet(42, &rows_[0]);
+  ASSERT_NE(e, nullptr);
+  EXPECT_EQ(e->key, 42);
+  EXPECT_EQ(e->row, &rows_[0]);
+  EXPECT_EQ(ht_.size(), 1u);
+
+  std::shared_lock<std::shared_mutex> lk(ht_.mutex());
+  const auto* found = ht_.ProbeLocked(42);
+  ASSERT_NE(found, nullptr);
+  EXPECT_EQ(found->row, &rows_[0]);
+  EXPECT_EQ(ht_.ProbeLocked(43), nullptr);
+}
+
+TEST_F(DimHashTableTest, InsertIsIdempotentPerKey) {
+  auto* a = ht_.InsertOrGet(7, &rows_[0]);
+  DimensionHashTable::SetEntryBit(a, 3, true);
+  auto* b = ht_.InsertOrGet(7, &rows_[1]);  // same key: existing entry
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(b->row, &rows_[0]) << "row pointer of first insert wins";
+  EXPECT_TRUE(bitops::TestBit(b->bits, 3));
+  EXPECT_EQ(ht_.size(), 1u);
+}
+
+TEST_F(DimHashTableTest, NewEntriesInheritComplement) {
+  // b_Dj semantics (§3.2.1): a tuple not in the table behaves as selected
+  // by queries that do NOT reference this dimension. New entries must
+  // start from that vector.
+  ht_.SetComplementBit(5, true);   // query 5 does not reference this dim
+  ht_.SetComplementBit(9, false);  // query 9 references it
+  auto* e = ht_.InsertOrGet(1, &rows_[0]);
+  EXPECT_TRUE(bitops::TestBit(e->bits, 5));
+  EXPECT_FALSE(bitops::TestBit(e->bits, 9));
+}
+
+TEST_F(DimHashTableTest, GrowsAndKeepsEntries) {
+  for (int64_t k = 0; k < 1000; ++k) {
+    auto* e = ht_.InsertOrGet(k, &rows_[k % 64]);
+    DimensionHashTable::SetEntryBit(e, static_cast<size_t>(k % 128), true);
+  }
+  EXPECT_EQ(ht_.size(), 1000u);
+  std::shared_lock<std::shared_mutex> lk(ht_.mutex());
+  for (int64_t k = 0; k < 1000; ++k) {
+    const auto* e = ht_.ProbeLocked(k);
+    ASSERT_NE(e, nullptr) << k;
+    EXPECT_TRUE(bitops::TestBit(e->bits, static_cast<size_t>(k % 128)));
+  }
+}
+
+TEST_F(DimHashTableTest, SetBitForAllEntries) {
+  for (int64_t k = 0; k < 50; ++k) ht_.InsertOrGet(k, &rows_[0]);
+  ht_.SetBitForAllEntries(17, true);
+  size_t set_count = 0;
+  ht_.ForEachEntry([&](const DimensionHashTable::Entry& e) {
+    if (bitops::TestBit(e.bits, 17)) ++set_count;
+  });
+  EXPECT_EQ(set_count, 50u);
+  ht_.SetBitForAllEntries(17, false);
+  ht_.ForEachEntry([&](const DimensionHashTable::Entry& e) {
+    EXPECT_FALSE(bitops::TestBit(e.bits, 17));
+  });
+}
+
+TEST_F(DimHashTableTest, RemoveDeadEntriesKeepsLiveOnes) {
+  // Query 2 references the dim and selects keys 0..9; query 4 does not
+  // reference it (complement bit set).
+  ht_.SetComplementBit(2, false);
+  ht_.SetComplementBit(4, true);
+  for (int64_t k = 0; k < 20; ++k) {
+    auto* e = ht_.InsertOrGet(k, &rows_[0]);
+    if (k < 10) DimensionHashTable::SetEntryBit(e, 2, true);
+  }
+  uint64_t active[2] = {};
+  bitops::SetBit(active, 2);
+  bitops::SetBit(active, 4);
+  // Entries 10..19 carry only the complement pattern => dead.
+  const size_t removed = ht_.RemoveDeadEntries(active);
+  EXPECT_EQ(removed, 10u);
+  EXPECT_EQ(ht_.size(), 10u);
+  std::shared_lock<std::shared_mutex> lk(ht_.mutex());
+  for (int64_t k = 0; k < 10; ++k) {
+    EXPECT_NE(ht_.ProbeLocked(k), nullptr) << k;
+  }
+  for (int64_t k = 10; k < 20; ++k) {
+    EXPECT_EQ(ht_.ProbeLocked(k), nullptr) << k;
+  }
+}
+
+TEST_F(DimHashTableTest, ConcurrentProbesDuringBitUpdates) {
+  // Admission updates bits while filters probe (§3.3.1).
+  for (int64_t k = 0; k < 256; ++k) ht_.InsertOrGet(k, &rows_[0]);
+  std::atomic<bool> stop{false};
+  std::thread prober([&] {
+    uint64_t acc[kWidth];
+    while (!stop.load()) {
+      std::shared_lock<std::shared_mutex> lk(ht_.mutex());
+      for (int64_t k = 0; k < 256; k += 7) {
+        const auto* e = ht_.ProbeLocked(k);
+        ASSERT_NE(e, nullptr);
+        bitops::Fill(acc, kWidth, ~uint64_t{0});
+        bitops::AndIntoAtomicSrc(acc, e->bits, kWidth);
+      }
+    }
+  });
+  for (int round = 0; round < 200; ++round) {
+    const size_t qid = static_cast<size_t>(round % 128);
+    ht_.SetBitForAllEntries(qid, round % 2 == 0);
+    ht_.SetComplementBit(qid, round % 2 == 1);
+  }
+  // Structural change under probes too.
+  for (int64_t k = 256; k < 512; ++k) ht_.InsertOrGet(k, &rows_[0]);
+  stop.store(true);
+  prober.join();
+  EXPECT_EQ(ht_.size(), 512u);
+}
+
+// ------------------------------ EpochTracker ---------------------------------
+
+TEST(EpochTrackerTest, CompleteRequiresCloseAndBalance) {
+  EpochTracker t(64);
+  t.AddProduced(0, 10);
+  EXPECT_FALSE(t.Complete(0)) << "not closed yet";
+  t.Close(0);
+  EXPECT_FALSE(t.Complete(0)) << "nothing retired";
+  t.AddRetired(0, 4);
+  t.AddRetired(0, 6);
+  EXPECT_TRUE(t.Complete(0));
+}
+
+TEST(EpochTrackerTest, EmptyEpochCompletesOnClose) {
+  EpochTracker t(64);
+  t.Close(3);
+  EXPECT_TRUE(t.Complete(3));
+}
+
+TEST(EpochTrackerTest, RecycleResetsRingCell) {
+  EpochTracker t(4);  // tiny ring: epoch 5 shares a cell with epoch 1
+  t.AddProduced(1, 2);
+  t.Close(1);
+  t.AddRetired(1, 2);
+  EXPECT_TRUE(t.Complete(1));
+  t.Recycle(1);
+  EXPECT_FALSE(t.Complete(5)) << "recycled cell must start fresh";
+  t.Close(5);
+  EXPECT_TRUE(t.Complete(5));
+}
+
+TEST(EpochTrackerTest, ConcurrentRetiresBalance) {
+  EpochTracker t(16);
+  constexpr uint64_t kPerThread = 10000;
+  t.AddProduced(7, 4 * kPerThread);
+  t.Close(7);
+  std::vector<std::thread> threads;
+  for (int i = 0; i < 4; ++i) {
+    threads.emplace_back([&t] {
+      for (uint64_t n = 0; n < kPerThread; ++n) t.AddRetired(7, 1);
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_TRUE(t.Complete(7));
+}
+
+// ------------------------------- TupleSlot -----------------------------------
+
+TEST(TupleSlotTest, LayoutAccessorsDoNotOverlap) {
+  constexpr size_t kDims = 4, kWords = 4;
+  TuplePool pool(16, SlotStride(kDims, kWords));
+  auto* slot = static_cast<TupleSlot*>(pool.Acquire());
+  slot->fact_row = reinterpret_cast<const uint8_t*>(0x1234);
+  slot->epoch = 99;
+  slot->kind = SlotKind::kData;
+  for (size_t d = 0; d < kDims; ++d) {
+    slot->dim_rows()[d] = reinterpret_cast<const uint8_t*>(0x1000 + d);
+  }
+  uint64_t* bits = slot->bits(kDims);
+  bitops::Zero(bits, kWords);
+  bitops::SetBit(bits, 0);
+  bitops::SetBit(bits, 255);
+
+  // Nothing clobbered anything else.
+  EXPECT_EQ(slot->fact_row, reinterpret_cast<const uint8_t*>(0x1234));
+  EXPECT_EQ(slot->epoch, 99u);
+  for (size_t d = 0; d < kDims; ++d) {
+    EXPECT_EQ(slot->dim_rows()[d],
+              reinterpret_cast<const uint8_t*>(0x1000 + d));
+  }
+  EXPECT_TRUE(bitops::TestBit(bits, 0));
+  EXPECT_TRUE(bitops::TestBit(bits, 255));
+  EXPECT_EQ(bitops::PopCount(bits, kWords), 2u);
+  // The bits region ends exactly at the stride.
+  const uint8_t* end = reinterpret_cast<const uint8_t*>(bits + kWords);
+  EXPECT_LE(end, reinterpret_cast<const uint8_t*>(slot) +
+                     SlotStride(kDims, kWords));
+  pool.Release(slot);
+}
+
+/// Stride parameterized over (dims, words) combinations.
+class SlotStrideTest
+    : public ::testing::TestWithParam<std::pair<size_t, size_t>> {};
+
+TEST_P(SlotStrideTest, StrideCoversAllFields) {
+  const auto [dims, words] = GetParam();
+  EXPECT_EQ(SlotStride(dims, words),
+            sizeof(TupleSlot) + dims * sizeof(const uint8_t*) +
+                words * sizeof(uint64_t));
+  EXPECT_EQ(SlotStride(dims, words) % 8, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Combos, SlotStrideTest,
+    ::testing::Values(std::pair<size_t, size_t>{0, 1},
+                      std::pair<size_t, size_t>{1, 1},
+                      std::pair<size_t, size_t>{4, 4},
+                      std::pair<size_t, size_t>{8, 16}));
+
+// ----------------------------- FilterOrderRef --------------------------------
+
+TEST(FilterOrderTest, PublishIsVisibleToReaders) {
+  Filter f1, f2;
+  f1.dim_index = 0;
+  f2.dim_index = 1;
+  FilterOrderRef ref(std::make_shared<const FilterOrder>(
+      FilterOrder{&f1, &f2}));
+  EXPECT_EQ((*ref.Acquire())[0], &f1);
+  ref.Publish(std::make_shared<const FilterOrder>(FilterOrder{&f2, &f1}));
+  EXPECT_EQ((*ref.Acquire())[0], &f2);
+}
+
+TEST(FilterOrderTest, DropRateAndDecay) {
+  Filter f;
+  f.tuples_in.store(1000);
+  f.tuples_dropped.store(250);
+  EXPECT_DOUBLE_EQ(f.DropRate(), 0.25);
+  f.DecayStats();
+  EXPECT_EQ(f.tuples_in.load(), 500u);
+  EXPECT_EQ(f.tuples_dropped.load(), 125u);
+  Filter empty;
+  EXPECT_DOUBLE_EQ(empty.DropRate(), 0.0);
+}
+
+TEST(FilterOrderTest, ConcurrentAcquirePublish) {
+  Filter f1, f2, f3;
+  FilterOrderRef ref(
+      std::make_shared<const FilterOrder>(FilterOrder{&f1, &f2, &f3}));
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> readers;
+  for (int i = 0; i < 3; ++i) {
+    readers.emplace_back([&] {
+      while (!stop.load()) {
+        auto order = ref.Acquire();
+        ASSERT_EQ(order->size(), 3u);
+        size_t sum = 0;
+        for (const Filter* f : *order) sum += f->dim_index;
+        ASSERT_EQ(sum, f1.dim_index + f2.dim_index + f3.dim_index);
+      }
+    });
+  }
+  for (int i = 0; i < 2000; ++i) {
+    FilterOrder next = {&f3, &f1, &f2};
+    if (i % 2 == 0) std::swap(next[0], next[2]);
+    ref.Publish(std::make_shared<const FilterOrder>(std::move(next)));
+  }
+  stop.store(true);
+  for (auto& t : readers) t.join();
+}
+
+}  // namespace
+}  // namespace cjoin

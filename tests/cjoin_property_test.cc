@@ -1,0 +1,262 @@
+// Property-based tests of the CJOIN operator (TEST_P sweeps).
+//
+// Core invariants checked across randomized query mixes, pipeline
+// configurations and fact-table partitionings:
+//   P1 (exactly-one-lap): every query consumes each relevant fact tuple
+//       exactly once — results equal the independent reference evaluator
+//       regardless of when the query latched onto the continuous scan.
+//   P2 (isolation): concurrent queries never contaminate each other —
+//       a query's result is independent of the surrounding mix.
+//   P3 (churn): query ids can be reused indefinitely under load.
+
+#include <thread>
+
+#include <gtest/gtest.h>
+
+#include "cjoin/cjoin_operator.h"
+#include "common/rng.h"
+#include "tests/test_util.h"
+
+namespace cjoin {
+namespace {
+
+using testing::MakeTinyStar;
+using testing::ReferenceEvaluate;
+using testing::TinyStar;
+
+/// Builds a randomized star query over the TinyStar schema.
+StarQuerySpec RandomSpec(const TinyStar& ts, Rng& rng) {
+  const Schema& ps = ts.product->schema();
+  const Schema& ss = ts.store->schema();
+  const Schema& fs = ts.sales->schema();
+
+  StarQuerySpec spec;
+  spec.schema = ts.star.get();
+
+  // Random dimension predicates.
+  if (rng.Bernoulli(0.7)) {
+    const int64_t lo = rng.UniformInt(1, 15);
+    spec.dim_predicates.push_back(DimensionPredicate{
+        0, MakeBetween(MakeColumnRef(ps, "p_id").value(), Value(lo),
+                       Value(lo + rng.UniformInt(0, 5)))});
+  }
+  if (rng.Bernoulli(0.6)) {
+    spec.dim_predicates.push_back(DimensionPredicate{
+        1, MakeCompare(CmpOp::kEq, MakeColumnRef(ss, "s_region").value(),
+                       MakeLiteral(Value(
+                           "R" + std::to_string(rng.UniformInt(0, 2)))))});
+  }
+  // Random fact predicate.
+  if (rng.Bernoulli(0.4)) {
+    spec.fact_predicate =
+        MakeCompare(CmpOp::kGe, MakeColumnRef(fs, "f_qty").value(),
+                    MakeLiteral(Value(rng.UniformInt(1, 9))));
+  }
+  // Random group-by shape.
+  switch (rng.UniformInt(0, 2)) {
+    case 0:
+      break;  // global aggregate
+    case 1:
+      spec.group_by.push_back(ColumnSource::Dim(1, 1));  // s_region
+      break;
+    case 2:
+      spec.group_by.push_back(ColumnSource::Dim(0, 1));  // p_cat
+      spec.group_by.push_back(ColumnSource::Dim(1, 1));
+      break;
+  }
+  spec.aggregates.push_back(
+      AggregateSpec{AggFn::kCount, std::nullopt, nullptr, "n"});
+  spec.aggregates.push_back(
+      AggregateSpec{AggFn::kSum, ColumnSource::Fact(3), nullptr, "amt"});
+  if (rng.Bernoulli(0.5)) {
+    spec.aggregates.push_back(
+        AggregateSpec{AggFn::kMax, ColumnSource::Fact(2), nullptr, "maxq"});
+  }
+  return spec;
+}
+
+struct PropertyParams {
+  uint64_t seed;
+  uint32_t partitions;
+  bool vertical;
+  size_t threads;
+};
+
+class CJoinPropertyTest : public ::testing::TestWithParam<PropertyParams> {};
+
+TEST_P(CJoinPropertyTest, RandomMixMatchesReference) {
+  const PropertyParams p = GetParam();
+  auto ts = MakeTinyStar(3000, 30, 6, p.partitions);
+  Rng rng(p.seed);
+
+  CJoinOperator::Options opts;
+  opts.max_concurrent_queries = 16;
+  opts.num_worker_threads = p.threads;
+  opts.batch_size = 64;
+  opts.pool_capacity = 4096;
+  opts.scan_run_rows = 128;
+  opts.config =
+      p.vertical ? PipelineConfig::kVertical : PipelineConfig::kHorizontal;
+  CJoinOperator op(*ts->star, opts);
+  ASSERT_TRUE(op.Start().ok());
+
+  // Waves of random queries with random stagger; P1/P2: every result must
+  // match the reference, independent of the mix.
+  std::vector<StarQuerySpec> specs;
+  std::vector<std::unique_ptr<QueryHandle>> handles;
+  for (int wave = 0; wave < 3; ++wave) {
+    for (int q = 0; q < 6; ++q) {
+      StarQuerySpec spec = RandomSpec(*ts, rng);
+      if (p.partitions > 1 && rng.Bernoulli(0.4)) {
+        // Random partition subset (P1 must hold with early termination).
+        for (uint32_t part = 0; part < p.partitions; ++part) {
+          if (rng.Bernoulli(0.6)) spec.partitions.push_back(part);
+        }
+        if (spec.partitions.empty()) spec.partitions.push_back(0);
+      }
+      spec.label = "w" + std::to_string(wave) + "q" + std::to_string(q);
+      auto h = op.Submit(spec);
+      ASSERT_TRUE(h.ok()) << h.status().ToString();
+      specs.push_back(std::move(spec));
+      handles.push_back(std::move(*h));
+      if (rng.Bernoulli(0.3)) {
+        std::this_thread::sleep_for(std::chrono::microseconds(
+            rng.UniformInt(50, 500)));
+      }
+    }
+  }
+  for (size_t i = 0; i < handles.size(); ++i) {
+    auto rs = handles[i]->Wait();
+    ASSERT_TRUE(rs.ok()) << specs[i].label;
+    ResultSet ref =
+        ReferenceEvaluate(NormalizeSpec(StarQuerySpec(specs[i])).value());
+    EXPECT_TRUE(rs->SameContents(ref))
+        << specs[i].label << "\ngot:\n" << rs->ToString() << "want:\n"
+        << ref.ToString();
+    EXPECT_EQ(rs->tuples_consumed, ref.tuples_consumed) << specs[i].label;
+  }
+  op.Stop();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweeps, CJoinPropertyTest,
+    ::testing::Values(PropertyParams{1, 1, false, 1},
+                      PropertyParams{2, 1, false, 3},
+                      PropertyParams{3, 4, false, 2},
+                      PropertyParams{4, 1, true, 2},
+                      PropertyParams{5, 4, true, 4},
+                      PropertyParams{6, 7, false, 4},
+                      PropertyParams{7, 2, false, 2},
+                      PropertyParams{8, 3, true, 3}),
+    [](const ::testing::TestParamInfo<PropertyParams>& info) {
+      const PropertyParams& p = info.param;
+      return "seed" + std::to_string(p.seed) + "_parts" +
+             std::to_string(p.partitions) +
+             (p.vertical ? "_vertical" : "_horizontal") + "_t" +
+             std::to_string(p.threads);
+    });
+
+TEST(CJoinChurnTest, HundredsOfQueriesThroughFewIds) {
+  // P3: sustained id reuse with tiny maxConc; every result correct.
+  auto ts = MakeTinyStar(800, 20, 6);
+  Rng rng(99);
+  CJoinOperator::Options opts;
+  opts.max_concurrent_queries = 4;
+  opts.num_worker_threads = 2;
+  opts.pool_capacity = 2048;
+  opts.scan_run_rows = 64;
+  CJoinOperator op(*ts->star, opts);
+  ASSERT_TRUE(op.Start().ok());
+
+  std::vector<StarQuerySpec> specs;
+  std::vector<std::unique_ptr<QueryHandle>> handles;
+  for (int i = 0; i < 120; ++i) {
+    StarQuerySpec spec = RandomSpec(*ts, rng);
+    spec.label = "churn" + std::to_string(i);
+    auto h = op.Submit(spec);  // blocks while all 4 ids are taken
+    ASSERT_TRUE(h.ok());
+    specs.push_back(std::move(spec));
+    handles.push_back(std::move(*h));
+    // Keep a small window in flight.
+    while (handles.size() > 4) {
+      auto rs = handles.front()->Wait();
+      ASSERT_TRUE(rs.ok());
+      const size_t idx = specs.size() - handles.size();
+      EXPECT_TRUE(rs->SameContents(ReferenceEvaluate(
+          NormalizeSpec(StarQuerySpec(specs[idx])).value())))
+          << specs[idx].label;
+      handles.erase(handles.begin());
+    }
+  }
+  while (!handles.empty()) {
+    auto rs = handles.front()->Wait();
+    ASSERT_TRUE(rs.ok());
+    const size_t idx = specs.size() - handles.size();
+    EXPECT_TRUE(rs->SameContents(ReferenceEvaluate(
+        NormalizeSpec(StarQuerySpec(specs[idx])).value())))
+        << specs[idx].label;
+    handles.erase(handles.begin());
+  }
+  const auto stats = op.GetStats();
+  EXPECT_EQ(stats.queries_completed, 120u);
+  op.Stop();
+}
+
+TEST(CJoinStressTest, ParallelSubmittersAndUpdatesViaSnapshots) {
+  // Multiple submitter threads race Submit() while rows are deleted at
+  // increasing snapshots; each query pins the snapshot current at its
+  // submission, so its count must match the reference at that snapshot.
+  auto ts = MakeTinyStar(2000, 20, 6);
+  CJoinOperator::Options opts;
+  opts.max_concurrent_queries = 32;
+  opts.num_worker_threads = 3;
+  opts.pool_capacity = 8192;
+  CJoinOperator op(*ts->star, opts);
+  ASSERT_TRUE(op.Start().ok());
+
+  std::atomic<SnapshotId> snapshot{1};
+  std::atomic<bool> fail{false};
+  std::vector<std::thread> submitters;
+  for (int t = 0; t < 4; ++t) {
+    submitters.emplace_back([&, t] {
+      Rng rng(1000 + t);
+      for (int i = 0; i < 15 && !fail.load(); ++i) {
+        StarQuerySpec spec;
+        spec.schema = ts->star.get();
+        spec.aggregates.push_back(
+            AggregateSpec{AggFn::kCount, std::nullopt, nullptr, "n"});
+        spec.snapshot = snapshot.load();
+        auto h = op.Submit(spec);
+        if (!h.ok()) {
+          fail.store(true);
+          return;
+        }
+        auto rs = (*h)->Wait();
+        if (!rs.ok()) {
+          fail.store(true);
+          return;
+        }
+        StarQuerySpec ref_spec = spec;
+        ResultSet ref = ReferenceEvaluate(
+            NormalizeSpec(std::move(ref_spec)).value());
+        if (!rs->SameContents(ref)) fail.store(true);
+      }
+    });
+  }
+  // Concurrent deleter: each round removes rows at a fresh snapshot.
+  std::thread deleter([&] {
+    for (uint64_t i = 0; i < 200; ++i) {
+      const SnapshotId next = snapshot.load() + 1;
+      ASSERT_TRUE(ts->sales->MarkDeleted(RowId{0, i}, next).ok());
+      snapshot.store(next);
+      std::this_thread::sleep_for(std::chrono::microseconds(300));
+    }
+  });
+  for (auto& t : submitters) t.join();
+  deleter.join();
+  EXPECT_FALSE(fail.load());
+  op.Stop();
+}
+
+}  // namespace
+}  // namespace cjoin

@@ -1,0 +1,256 @@
+// Unit tests for aggregation operators and result sets, including the
+// hash-vs-sort aggregator equivalence property.
+
+#include <gtest/gtest.h>
+
+#include "exec/aggregation.h"
+#include "exec/key_row_map.h"
+#include "exec/result_set.h"
+#include "tests/test_util.h"
+
+namespace cjoin {
+namespace {
+
+using testing::MakeTinyStar;
+using testing::TinyStar;
+
+// ------------------------------ ResultSet -----------------------------------
+
+TEST(ResultSetTest, SortAndRender) {
+  ResultSet rs;
+  rs.columns = {"k", "v"};
+  rs.rows = {{Value("b"), Value(int64_t{2})}, {Value("a"), Value(int64_t{1})}};
+  rs.SortRows();
+  EXPECT_EQ(rs.rows[0][0].AsString(), "a");
+  const std::string rendered = rs.ToString();
+  EXPECT_NE(rendered.find("k\tv"), std::string::npos);
+  EXPECT_NE(rendered.find("'a'\t1"), std::string::npos);
+}
+
+TEST(ResultSetTest, SameContentsIsOrderInsensitive) {
+  ResultSet a, b;
+  a.columns = b.columns = {"x"};
+  a.rows = {{Value(1)}, {Value(2)}};
+  b.rows = {{Value(2)}, {Value(1)}};
+  EXPECT_TRUE(a.SameContents(b));
+  b.rows.push_back({Value(3)});
+  EXPECT_FALSE(a.SameContents(b));
+  ResultSet c;
+  c.columns = {"y"};
+  c.rows = a.rows;
+  EXPECT_FALSE(a.SameContents(c));
+}
+
+TEST(ResultSetTest, ToStringTruncates) {
+  ResultSet rs;
+  rs.columns = {"x"};
+  for (int i = 0; i < 10; ++i) rs.rows.push_back({Value(i)});
+  const std::string s = rs.ToString(3);
+  EXPECT_NE(s.find("7 more"), std::string::npos);
+}
+
+// ------------------------------ KeyRowMap -----------------------------------
+
+TEST(KeyRowMapTest, InsertFindGrow) {
+  KeyRowMap m(4);
+  std::vector<uint8_t> arena(1000);
+  for (int64_t k = 0; k < 500; ++k) {
+    m.Insert(k * 7, arena.data() + k);
+  }
+  EXPECT_EQ(m.size(), 500u);
+  for (int64_t k = 0; k < 500; ++k) {
+    EXPECT_EQ(m.Find(k * 7), arena.data() + k);
+  }
+  EXPECT_EQ(m.Find(3), nullptr);
+  EXPECT_EQ(m.Find(-1), nullptr);
+}
+
+TEST(KeyRowMapTest, NegativeKeys) {
+  KeyRowMap m;
+  uint8_t x;
+  m.Insert(-42, &x);
+  EXPECT_EQ(m.Find(-42), &x);
+}
+
+// ----------------------------- Aggregation ----------------------------------
+
+class AggregationTest : public ::testing::Test {
+ protected:
+  void SetUp() override { ts_ = MakeTinyStar(1000); }
+
+  StarQuerySpec SpecWith(std::vector<ColumnSource> group_by,
+                         std::vector<AggregateSpec> aggs) {
+    StarQuerySpec spec;
+    spec.schema = ts_->star.get();
+    spec.group_by = std::move(group_by);
+    spec.aggregates = std::move(aggs);
+    auto norm = NormalizeSpec(std::move(spec));
+    EXPECT_TRUE(norm.ok()) << norm.status().ToString();
+    return std::move(norm).value();
+  }
+
+  /// Feeds every fact row (with joined dim rows) to the aggregator.
+  void FeedAll(const StarQuerySpec& spec, StarAggregator* agg) {
+    const StarSchema& star = *spec.schema;
+    const Table& fact = star.fact();
+    const Schema& fs = fact.schema();
+    // Build key->row maps for both dimensions.
+    std::vector<KeyRowMap> maps;
+    for (size_t d = 0; d < star.num_dimensions(); ++d) {
+      const Table& dim = *star.dimension(d).table;
+      KeyRowMap m(dim.NumRows());
+      for (uint64_t i = 0; i < dim.NumRows(); ++i) {
+        const uint8_t* row = dim.RowPayload(RowId{0, i});
+        m.Insert(dim.schema().GetIntAny(row, star.dimension(d).dim_pk_col),
+                 row);
+      }
+      maps.push_back(std::move(m));
+    }
+    std::vector<const uint8_t*> dims(star.num_dimensions());
+    for (uint64_t i = 0; i < fact.NumRows(); ++i) {
+      const uint8_t* row = fact.RowPayload(RowId{0, i});
+      for (size_t d = 0; d < star.num_dimensions(); ++d) {
+        dims[d] = maps[d].Find(
+            fs.GetIntAny(row, star.dimension(d).fact_fk_col));
+      }
+      agg->Consume(row, dims.data());
+    }
+  }
+
+  std::unique_ptr<TinyStar> ts_;
+};
+
+TEST_F(AggregationTest, GlobalCount) {
+  StarQuerySpec spec = SpecWith(
+      {}, {AggregateSpec{AggFn::kCount, std::nullopt, nullptr, "n"}});
+  auto agg = MakeHashAggregator(spec);
+  FeedAll(spec, agg.get());
+  ResultSet rs = agg->Finish();
+  ASSERT_EQ(rs.num_rows(), 1u);
+  EXPECT_EQ(rs.rows[0][0].AsInt(), 1000);
+  EXPECT_EQ(rs.tuples_consumed, 1000u);
+}
+
+TEST_F(AggregationTest, EmptyInputGlobalAggregates) {
+  StarQuerySpec spec = SpecWith(
+      {},
+      {AggregateSpec{AggFn::kCount, std::nullopt, nullptr, "n"},
+       AggregateSpec{AggFn::kSum, ColumnSource::Fact(3), nullptr, "s"}});
+  auto agg = MakeHashAggregator(spec);
+  ResultSet rs = agg->Finish();
+  ASSERT_EQ(rs.num_rows(), 1u);  // SQL: one row for global aggregates
+  EXPECT_EQ(rs.rows[0][0].AsInt(), 0);
+  EXPECT_TRUE(rs.rows[0][1].is_null());  // SUM of nothing is NULL
+}
+
+TEST_F(AggregationTest, EmptyInputGroupByYieldsNoRows) {
+  StarQuerySpec spec = SpecWith(
+      {ColumnSource::Dim(1, 1)},
+      {AggregateSpec{AggFn::kCount, std::nullopt, nullptr, "n"}});
+  auto agg = MakeHashAggregator(spec);
+  ResultSet rs = agg->Finish();
+  EXPECT_EQ(rs.num_rows(), 0u);
+}
+
+TEST_F(AggregationTest, SumMinMaxAvgOverFactColumn) {
+  // f_amount = (i % 100) * 10 over 1000 rows: each residue appears 10x.
+  StarQuerySpec spec = SpecWith(
+      {},
+      {AggregateSpec{AggFn::kSum, ColumnSource::Fact(3), nullptr, "sum"},
+       AggregateSpec{AggFn::kMin, ColumnSource::Fact(3), nullptr, "min"},
+       AggregateSpec{AggFn::kMax, ColumnSource::Fact(3), nullptr, "max"},
+       AggregateSpec{AggFn::kAvg, ColumnSource::Fact(3), nullptr, "avg"}});
+  auto agg = MakeHashAggregator(spec);
+  FeedAll(spec, agg.get());
+  ResultSet rs = agg->Finish();
+  ASSERT_EQ(rs.num_rows(), 1u);
+  const int64_t expected_sum = 10 * (99 * 100 / 2) * 10;  // 10*sum(0..99)*10
+  EXPECT_EQ(rs.rows[0][0].AsInt(), expected_sum);
+  EXPECT_EQ(rs.rows[0][1].AsInt(), 0);
+  EXPECT_EQ(rs.rows[0][2].AsInt(), 990);
+  EXPECT_DOUBLE_EQ(rs.rows[0][3].AsDouble(),
+                   static_cast<double>(expected_sum) / 1000.0);
+}
+
+TEST_F(AggregationTest, GroupByDimensionColumn) {
+  // Group by s_region ("R0","R1","R2"); stores 1..6 cycle regions 1,2,0,...
+  StarQuerySpec spec = SpecWith(
+      {ColumnSource::Dim(1, 1)},
+      {AggregateSpec{AggFn::kCount, std::nullopt, nullptr, "n"}});
+  auto agg = MakeHashAggregator(spec);
+  FeedAll(spec, agg.get());
+  ResultSet rs = agg->Finish();
+  ASSERT_EQ(rs.num_rows(), 3u);
+  rs.SortRows();
+  int64_t total = 0;
+  for (const auto& row : rs.rows) total += row[1].AsInt();
+  EXPECT_EQ(total, 1000);
+  EXPECT_EQ(rs.rows[0][0].AsString(), "R0");
+}
+
+TEST_F(AggregationTest, FactExpressionInput) {
+  const Schema& fs = ts_->sales->schema();
+  ExprPtr profit = MakeArith(
+      ArithOp::kMul, MakeColumnRef(fs, "f_qty").value(),
+      MakeColumnRef(fs, "f_amount").value());
+  StarQuerySpec spec = SpecWith(
+      {}, {AggregateSpec{AggFn::kSum, std::nullopt, profit, "s"}});
+  auto agg = MakeHashAggregator(spec);
+  FeedAll(spec, agg.get());
+  ResultSet rs = agg->Finish();
+  int64_t expected = 0;
+  for (int i = 0; i < 1000; ++i) {
+    expected += static_cast<int64_t>(i % 10 + 1) * ((i % 100) * 10);
+  }
+  ASSERT_EQ(rs.num_rows(), 1u);
+  EXPECT_EQ(rs.rows[0][0].AsInt(), expected);
+}
+
+TEST_F(AggregationTest, HashAndSortAggregatorsAgree) {
+  // Property: both implementations produce identical contents on a
+  // multi-column group-by with several aggregate kinds.
+  StarQuerySpec spec = SpecWith(
+      {ColumnSource::Dim(0, 1), ColumnSource::Dim(1, 1)},  // p_cat, s_region
+      {AggregateSpec{AggFn::kCount, std::nullopt, nullptr, "n"},
+       AggregateSpec{AggFn::kSum, ColumnSource::Fact(3), nullptr, "sum"},
+       AggregateSpec{AggFn::kMin, ColumnSource::Fact(2), nullptr, "min"},
+       AggregateSpec{AggFn::kMax, ColumnSource::Dim(0, 2), nullptr, "max"},
+       AggregateSpec{AggFn::kAvg, ColumnSource::Fact(3), nullptr, "avg"}});
+  auto hash_agg = MakeHashAggregator(spec);
+  auto sort_agg = MakeSortAggregator(spec);
+  FeedAll(spec, hash_agg.get());
+  FeedAll(spec, sort_agg.get());
+  ResultSet h = hash_agg->Finish();
+  ResultSet s = sort_agg->Finish();
+  EXPECT_GT(h.num_rows(), 1u);
+  EXPECT_TRUE(h.SameContents(s))
+      << "hash:\n" << h.ToString() << "sort:\n" << s.ToString();
+}
+
+TEST_F(AggregationTest, ManyGroupsForceRehash) {
+  // Group by a fact column with 100 distinct values and verify totals.
+  StarQuerySpec spec = SpecWith(
+      {ColumnSource::Fact(3)},
+      {AggregateSpec{AggFn::kCount, std::nullopt, nullptr, "n"}});
+  auto agg = MakeHashAggregator(spec);
+  FeedAll(spec, agg.get());
+  ResultSet rs = agg->Finish();
+  EXPECT_EQ(rs.num_rows(), 100u);
+  for (const auto& row : rs.rows) EXPECT_EQ(row[1].AsInt(), 10);
+}
+
+TEST_F(AggregationTest, NullDimRowContributesNull) {
+  StarQuerySpec spec = SpecWith(
+      {}, {AggregateSpec{AggFn::kMax, ColumnSource::Dim(0, 2), nullptr,
+                         "maxp"}});
+  auto agg = MakeHashAggregator(spec);
+  const uint8_t* dims[2] = {nullptr, nullptr};
+  const uint8_t* fact = ts_->sales->RowPayload(RowId{0, 0});
+  agg->Consume(fact, dims);
+  ResultSet rs = agg->Finish();
+  ASSERT_EQ(rs.num_rows(), 1u);
+  EXPECT_TRUE(rs.rows[0][0].is_null());
+}
+
+}  // namespace
+}  // namespace cjoin

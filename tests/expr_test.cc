@@ -1,0 +1,200 @@
+// Unit tests for the expression engine.
+
+#include <gtest/gtest.h>
+
+#include "expr/expr.h"
+#include "expr/value.h"
+#include "storage/schema.h"
+
+namespace cjoin {
+namespace {
+
+class ExprTest : public ::testing::Test {
+ protected:
+  ExprTest() {
+    schema_.AddInt32("qty").AddDouble("price").AddChar("city", 10).AddInt64(
+        "key");
+    row_.resize(schema_.row_size());
+    schema_.SetInt32(row_.data(), 0, 7);
+    schema_.SetDouble(row_.data(), 1, 19.5);
+    schema_.SetChar(row_.data(), 2, "LYON");
+    schema_.SetInt64(row_.data(), 3, 1234567890123LL);
+  }
+
+  ExprPtr Col(const char* name) {
+    auto r = MakeColumnRef(schema_, name);
+    EXPECT_TRUE(r.ok());
+    return std::move(r).value();
+  }
+
+  Schema schema_;
+  std::vector<uint8_t> row_;
+};
+
+// ------------------------------- Value --------------------------------------
+
+TEST(ValueTest, Kinds) {
+  EXPECT_TRUE(Value().is_null());
+  EXPECT_TRUE(Value(int64_t{5}).is_int());
+  EXPECT_TRUE(Value(2.5).is_double());
+  EXPECT_TRUE(Value("x").is_string());
+  EXPECT_TRUE(Value(int64_t{5}).is_numeric());
+  EXPECT_TRUE(Value(2.5).is_numeric());
+}
+
+TEST(ValueTest, NumericCoercedCompare) {
+  EXPECT_EQ(Value(int64_t{2}).Compare(Value(2.0)), 0);
+  EXPECT_LT(Value(int64_t{1}).Compare(Value(1.5)), 0);
+  EXPECT_GT(Value(3.5).Compare(Value(int64_t{3})), 0);
+}
+
+TEST(ValueTest, StringCompare) {
+  EXPECT_LT(Value("abc").Compare(Value("abd")), 0);
+  EXPECT_EQ(Value("abc"), Value("abc"));
+}
+
+TEST(ValueTest, HashConsistentWithEquality) {
+  EXPECT_EQ(Value(int64_t{7}).Hash(), Value(7.0).Hash());
+  EXPECT_EQ(Value("x").Hash(), Value(std::string("x")).Hash());
+  EXPECT_NE(Value("x").Hash(), Value("y").Hash());
+}
+
+TEST(ValueTest, ToString) {
+  EXPECT_EQ(Value().ToString(), "NULL");
+  EXPECT_EQ(Value(int64_t{42}).ToString(), "42");
+  EXPECT_EQ(Value("hi").ToString(), "'hi'");
+}
+
+// ----------------------------- Expressions ----------------------------------
+
+TEST_F(ExprTest, ColumnRefReadsTypedValues) {
+  EXPECT_EQ(Col("qty")->Eval(schema_, row_.data()).AsInt(), 7);
+  EXPECT_DOUBLE_EQ(Col("price")->Eval(schema_, row_.data()).AsDouble(), 19.5);
+  EXPECT_EQ(Col("city")->Eval(schema_, row_.data()).AsString(), "LYON");
+  EXPECT_EQ(Col("key")->Eval(schema_, row_.data()).AsInt(), 1234567890123LL);
+}
+
+TEST_F(ExprTest, ColumnRefByMissingNameFails) {
+  EXPECT_FALSE(MakeColumnRef(schema_, "nope").ok());
+}
+
+TEST_F(ExprTest, Comparisons) {
+  auto check = [&](CmpOp op, int64_t rhs, bool expected) {
+    ExprPtr e = MakeCompare(op, Col("qty"), MakeLiteral(Value(rhs)));
+    EXPECT_EQ(e->EvalBool(schema_, row_.data()), expected)
+        << CmpOpName(op) << " " << rhs;
+  };
+  check(CmpOp::kEq, 7, true);
+  check(CmpOp::kEq, 8, false);
+  check(CmpOp::kNe, 8, true);
+  check(CmpOp::kLt, 8, true);
+  check(CmpOp::kLt, 7, false);
+  check(CmpOp::kLe, 7, true);
+  check(CmpOp::kGt, 6, true);
+  check(CmpOp::kGe, 7, true);
+  check(CmpOp::kGe, 8, false);
+}
+
+TEST_F(ExprTest, MixedTypeComparison) {
+  // qty(int32=7) > 6.5 (double)
+  ExprPtr e = MakeCompare(CmpOp::kGt, Col("qty"), MakeLiteral(Value(6.5)));
+  EXPECT_TRUE(e->EvalBool(schema_, row_.data()));
+}
+
+TEST_F(ExprTest, Between) {
+  EXPECT_TRUE(MakeBetween(Col("qty"), Value(int64_t{7}), Value(int64_t{9}))
+                  ->EvalBool(schema_, row_.data()));
+  EXPECT_TRUE(MakeBetween(Col("qty"), Value(int64_t{1}), Value(int64_t{7}))
+                  ->EvalBool(schema_, row_.data()));
+  EXPECT_FALSE(MakeBetween(Col("qty"), Value(int64_t{8}), Value(int64_t{9}))
+                   ->EvalBool(schema_, row_.data()));
+  // String between.
+  EXPECT_TRUE(MakeBetween(Col("city"), Value("LA"), Value("NYC"))
+                  ->EvalBool(schema_, row_.data()));
+}
+
+TEST_F(ExprTest, InList) {
+  EXPECT_TRUE(MakeInList(Col("city"), {Value("PARIS"), Value("LYON")})
+                  ->EvalBool(schema_, row_.data()));
+  EXPECT_FALSE(MakeInList(Col("city"), {Value("PARIS"), Value("NICE")})
+                   ->EvalBool(schema_, row_.data()));
+  EXPECT_FALSE(
+      MakeInList(Col("city"), {})->EvalBool(schema_, row_.data()));
+}
+
+TEST_F(ExprTest, PrefixMatch) {
+  EXPECT_TRUE(MakePrefixMatch(Col("city"), "LY")
+                  ->EvalBool(schema_, row_.data()));
+  EXPECT_TRUE(MakePrefixMatch(Col("city"), "")
+                  ->EvalBool(schema_, row_.data()));
+  EXPECT_FALSE(MakePrefixMatch(Col("city"), "LYONS")
+                   ->EvalBool(schema_, row_.data()));
+  // Non-string input never matches.
+  EXPECT_FALSE(
+      MakePrefixMatch(Col("qty"), "7")->EvalBool(schema_, row_.data()));
+}
+
+TEST_F(ExprTest, BooleanConnectives) {
+  ExprPtr t = MakeCompare(CmpOp::kEq, Col("qty"), MakeLiteral(Value(7)));
+  ExprPtr f = MakeCompare(CmpOp::kEq, Col("qty"), MakeLiteral(Value(8)));
+  EXPECT_TRUE(MakeAnd(t, t)->EvalBool(schema_, row_.data()));
+  EXPECT_FALSE(MakeAnd(t, f)->EvalBool(schema_, row_.data()));
+  EXPECT_TRUE(MakeOr(f, t)->EvalBool(schema_, row_.data()));
+  EXPECT_FALSE(MakeOr(f, f)->EvalBool(schema_, row_.data()));
+  EXPECT_TRUE(MakeNot(f)->EvalBool(schema_, row_.data()));
+  EXPECT_FALSE(MakeNot(t)->EvalBool(schema_, row_.data()));
+}
+
+TEST_F(ExprTest, Arithmetic) {
+  ExprPtr sum = MakeArith(ArithOp::kAdd, Col("qty"), MakeLiteral(Value(3)));
+  EXPECT_EQ(sum->Eval(schema_, row_.data()).AsInt(), 10);
+  ExprPtr prod =
+      MakeArith(ArithOp::kMul, Col("qty"), Col("price"));
+  EXPECT_DOUBLE_EQ(prod->Eval(schema_, row_.data()).AsDouble(), 136.5);
+  ExprPtr diff = MakeArith(ArithOp::kSub, Col("qty"), MakeLiteral(Value(10)));
+  EXPECT_EQ(diff->Eval(schema_, row_.data()).AsInt(), -3);
+  ExprPtr quot =
+      MakeArith(ArithOp::kDiv, Col("price"), MakeLiteral(Value(2)));
+  EXPECT_DOUBLE_EQ(quot->Eval(schema_, row_.data()).AsDouble(), 9.75);
+  // Division by zero yields NULL.
+  ExprPtr div0 =
+      MakeArith(ArithOp::kDiv, Col("qty"), MakeLiteral(Value(0)));
+  EXPECT_TRUE(div0->Eval(schema_, row_.data()).is_null());
+}
+
+TEST_F(ExprTest, TrueLiteralAndConjunction) {
+  EXPECT_TRUE(IsTrueLiteral(MakeTrue()));
+  EXPECT_FALSE(IsTrueLiteral(MakeLiteral(Value(1))));
+  EXPECT_TRUE(MakeTrue()->EvalBool(schema_, row_.data()));
+  EXPECT_TRUE(IsTrueLiteral(MakeConjunction({})));
+
+  ExprPtr t = MakeCompare(CmpOp::kEq, Col("qty"), MakeLiteral(Value(7)));
+  ExprPtr f = MakeCompare(CmpOp::kEq, Col("qty"), MakeLiteral(Value(8)));
+  EXPECT_TRUE(MakeConjunction({t})->EvalBool(schema_, row_.data()));
+  EXPECT_FALSE(MakeConjunction({t, f})->EvalBool(schema_, row_.data()));
+  EXPECT_TRUE(MakeConjunction({t, t, t})->EvalBool(schema_, row_.data()));
+}
+
+TEST_F(ExprTest, ToStringRendersSql) {
+  ExprPtr e = MakeAnd(
+      MakeCompare(CmpOp::kGe, Col("qty"), MakeLiteral(Value(1))),
+      MakeBetween(Col("city"), Value("A"), Value("Z")));
+  EXPECT_EQ(e->ToString(schema_),
+            "((qty >= 1) AND (city BETWEEN 'A' AND 'Z'))");
+}
+
+TEST_F(ExprTest, CountMatchesUtility) {
+  // Three rows with qty 1, 2, 3.
+  Schema s;
+  s.AddInt32("qty");
+  std::vector<uint8_t> rows(3 * s.row_size());
+  for (int i = 0; i < 3; ++i) {
+    s.SetInt32(rows.data() + i * s.row_size(), 0, i + 1);
+  }
+  auto col = MakeColumnRef(0);
+  ExprPtr ge2 = MakeCompare(CmpOp::kGe, col, MakeLiteral(Value(2)));
+  EXPECT_EQ(CountMatches(*ge2, s, rows.data(), s.row_size(), 3), 2u);
+}
+
+}  // namespace
+}  // namespace cjoin

@@ -1,0 +1,303 @@
+// Robustness tests: storage-engine concurrency (readers during appends
+// and deletes — the RCU page directory contract), SQL parser round-trips,
+// and engine behaviour under mixed read/update load through the live
+// CJOIN pipeline.
+
+#include <atomic>
+#include <thread>
+
+#include <gtest/gtest.h>
+
+#include "engine/query_engine.h"
+#include "engine/sql_parser.h"
+#include "storage/continuous_scan.h"
+#include "storage/table.h"
+#include "tests/test_util.h"
+
+namespace cjoin {
+namespace {
+
+using testing::MakeTinyStar;
+using testing::ReferenceEvaluate;
+using testing::TinyStar;
+
+// ------------------------- Storage concurrency -------------------------------
+
+TEST(StorageConcurrencyTest, ReadersSeeConsistentRowsDuringAppends) {
+  Schema schema;
+  schema.AddInt64("a").AddInt64("b");  // invariant: b == a * 3
+  Table t("grow", schema, Table::Options{.rows_per_page = 64});
+  // Seed rows so readers have something from the start.
+  std::vector<uint8_t> payload(schema.row_size());
+  for (int64_t i = 0; i < 100; ++i) {
+    schema.SetInt64(payload.data(), 0, i);
+    schema.SetInt64(payload.data(), 1, i * 3);
+    t.AppendRow(payload.data());
+  }
+
+  std::atomic<bool> stop{false};
+  std::atomic<bool> bad{false};
+  std::vector<std::thread> readers;
+  for (int r = 0; r < 4; ++r) {
+    readers.emplace_back([&] {
+      while (!stop.load(std::memory_order_relaxed)) {
+        const uint64_t n = t.PartitionRows(0);
+        for (uint64_t i = 0; i < n; i += 17) {
+          const uint8_t* row = t.RowPayload(RowId{0, i});
+          const int64_t a = schema.GetInt64(row, 0);
+          const int64_t b = schema.GetInt64(row, 1);
+          if (b != a * 3) {
+            bad.store(true);
+            return;
+          }
+        }
+      }
+    });
+  }
+  // Single writer appends 20k rows, forcing many page-directory swaps.
+  for (int64_t i = 100; i < 20100; ++i) {
+    schema.SetInt64(payload.data(), 0, i);
+    schema.SetInt64(payload.data(), 1, i * 3);
+    t.AppendRow(payload.data());
+  }
+  stop.store(true);
+  for (auto& th : readers) th.join();
+  EXPECT_FALSE(bad.load()) << "reader observed a torn row";
+  EXPECT_EQ(t.NumRows(), 20100u);
+}
+
+TEST(StorageConcurrencyTest, ConcurrentDeletesAreExactlyOnce) {
+  Schema schema;
+  schema.AddInt64("v");
+  Table t("del", schema);
+  std::vector<uint8_t> payload(schema.row_size());
+  for (int64_t i = 0; i < 4000; ++i) {
+    schema.SetInt64(payload.data(), 0, i);
+    t.AppendRow(payload.data());
+  }
+  // Several threads race to delete the same rows; exactly one must win
+  // per row (MarkDeleted is CAS-based).
+  std::atomic<int> successes{0};
+  std::vector<std::thread> threads;
+  for (int w = 0; w < 4; ++w) {
+    threads.emplace_back([&, w] {
+      for (uint64_t i = 0; i < 4000; ++i) {
+        if (t.MarkDeleted(RowId{0, i}, static_cast<SnapshotId>(5 + w)).ok()) {
+          successes.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(successes.load(), 4000);
+  for (uint64_t i = 0; i < 4000; ++i) {
+    EXPECT_LT(t.Header(RowId{0, i})->LoadXmax(), 9u);
+  }
+}
+
+TEST(StorageConcurrencyTest, ContinuousScanDuringAppends) {
+  Schema schema;
+  schema.AddInt64("v");
+  Table t("scanned", schema, Table::Options{.rows_per_page = 32});
+  std::vector<uint8_t> payload(schema.row_size());
+  for (int64_t i = 0; i < 500; ++i) {
+    schema.SetInt64(payload.data(), 0, i);
+    t.AppendRow(payload.data());
+  }
+  std::atomic<bool> stop{false};
+  std::thread writer([&] {
+    std::vector<uint8_t> p(schema.row_size());
+    for (int64_t i = 500; i < 5500 && !stop.load(); ++i) {
+      schema.SetInt64(p.data(), 0, i);
+      t.AppendRow(p.data());
+    }
+  });
+  // Scan continuously; within a lap the frozen size must be respected and
+  // every delivered row must be fully written (values in range).
+  ContinuousScan scan(t, ContinuousScan::Options{.max_run_rows = 64});
+  ScanEvent ev;
+  uint64_t rows_seen = 0;
+  while (scan.table_laps() < 25) {
+    ASSERT_TRUE(scan.Next(&ev));
+    if (ev.kind != ScanEvent::Kind::kRows) continue;
+    ASSERT_LE(ev.first_index + ev.count, ev.partition_size);
+    for (size_t i = 0; i < ev.count; ++i) {
+      const uint8_t* payload_ptr =
+          ev.base + i * t.row_stride() + sizeof(RowHeader);
+      const int64_t v = schema.GetInt64(payload_ptr, 0);
+      ASSERT_GE(v, 0);
+      ASSERT_LT(v, 5500);
+    }
+    rows_seen += ev.count;
+  }
+  stop.store(true);
+  writer.join();
+  EXPECT_GT(rows_seen, 500u * 25u - 500u);
+}
+
+// ---------------------------- Parser round trips ------------------------------
+
+class ParserRoundTripTest : public ::testing::Test {
+ protected:
+  void SetUp() override { ts_ = MakeTinyStar(400); }
+  std::unique_ptr<TinyStar> ts_;
+};
+
+TEST_F(ParserRoundTripTest, EquivalentFormsAgree) {
+  // Pairs of differently-spelled but semantically equal queries.
+  const std::pair<const char*, const char*> pairs[] = {
+      {"SELECT COUNT(*) FROM sales, store WHERE f_sid = s_id AND "
+       "s_region = 'R1'",
+       "SELECT COUNT(*) FROM sales, store WHERE s_region = 'R1' AND "
+       "s_id = f_sid"},  // join side order flipped
+      {"SELECT COUNT(*) FROM sales WHERE f_qty >= 3 AND f_qty <= 7",
+       "SELECT COUNT(*) FROM sales WHERE f_qty BETWEEN 3 AND 7"},
+      {"SELECT COUNT(*) FROM sales, product WHERE f_pid = p_id AND "
+       "(p_cat = 'cat1' OR p_cat = 'cat2')",
+       "SELECT COUNT(*) FROM sales, product WHERE f_pid = p_id AND "
+       "p_cat IN ('cat1', 'cat2')"},
+      {"SELECT COUNT(*) FROM sales WHERE NOT (f_qty > 5)",
+       "SELECT COUNT(*) FROM sales WHERE f_qty <= 5"},
+      {"SELECT SUM(f_amount + 0) AS s FROM sales",
+       "SELECT SUM(f_amount * 1) AS s FROM sales"},
+  };
+  for (const auto& [a, b] : pairs) {
+    auto sa = ParseStarQuery(*ts_->star, a);
+    auto sb = ParseStarQuery(*ts_->star, b);
+    ASSERT_TRUE(sa.ok()) << a << ": " << sa.status().ToString();
+    ASSERT_TRUE(sb.ok()) << b << ": " << sb.status().ToString();
+    ResultSet ra = ReferenceEvaluate(*sa);
+    ResultSet rb = ReferenceEvaluate(*sb);
+    EXPECT_TRUE(ra.SameContents(rb))
+        << a << "\nvs\n" << b << "\n" << ra.ToString() << rb.ToString();
+  }
+}
+
+TEST_F(ParserRoundTripTest, WhitespaceAndCaseInsensitivity) {
+  auto a = ParseStarQuery(*ts_->star,
+                          "select count(*) from sales, store "
+                          "where f_sid = s_id group by s_region");
+  // Lowercase keywords accepted; grouping column must be selected or not —
+  // here group-by without selecting it is fine.
+  ASSERT_TRUE(a.ok()) << a.status().ToString();
+  auto b = ParseStarQuery(
+      *ts_->star,
+      "  SELECT\n\tCOUNT( * )\nFROM  sales ,  store\nWHERE f_sid=s_id\n"
+      "GROUP  BY  s_region  ;");
+  ASSERT_TRUE(b.ok()) << b.status().ToString();
+  EXPECT_TRUE(
+      ReferenceEvaluate(*a).SameContents(ReferenceEvaluate(*b)));
+}
+
+TEST_F(ParserRoundTripTest, NumericLiteralForms) {
+  auto q = ParseStarQuery(
+      *ts_->star,
+      "SELECT COUNT(*) FROM sales WHERE f_amount > -10 AND f_qty < 7.5");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  ResultSet rs = ReferenceEvaluate(*q);
+  ASSERT_EQ(rs.num_rows(), 1u);
+  EXPECT_GT(rs.rows[0][0].AsInt(), 0);
+}
+
+// ------------------------ Engine under mixed load -----------------------------
+
+TEST(EngineMixedLoadTest, QueriesDuringUpdateStorm) {
+  auto ts = MakeTinyStar(3000);
+  QueryEngine::Options opts;
+  opts.cjoin.max_concurrent_queries = 16;
+  opts.cjoin.num_worker_threads = 2;
+  QueryEngine engine(opts);
+  {
+    auto star = StarSchema::Make(
+        ts->sales.get(), std::vector<StarSchema::DimensionByName>{
+                             {ts->product.get(), "f_pid", "p_id"},
+                             {ts->store.get(), "f_sid", "s_id"}});
+    ASSERT_TRUE(star.ok());
+    ASSERT_TRUE(engine.RegisterStar("sales", std::move(*star)).ok());
+  }
+  const Schema& fs = ts->sales->schema();
+
+  std::atomic<bool> stop{false};
+  std::atomic<bool> failed{false};
+  // Update storm: alternating small appends and deletes.
+  std::thread updater([&] {
+    int round = 0;
+    while (!stop.load()) {
+      if (round % 2 == 0) {
+        std::vector<std::vector<uint8_t>> rows;
+        for (int i = 0; i < 5; ++i) {
+          std::vector<uint8_t> p(fs.row_size());
+          fs.SetInt32(p.data(), 0, 1);
+          fs.SetInt32(p.data(), 1, 1);
+          fs.SetInt32(p.data(), 2, round % 10 + 1);
+          fs.SetInt32(p.data(), 3, 10);
+          rows.push_back(std::move(p));
+        }
+        if (!engine.AppendFacts("sales", rows).ok()) failed.store(true);
+      } else {
+        // Delete a tiny slice (rows with this round's amount value).
+        auto pred = MakeCompare(
+            CmpOp::kEq, MakeColumnRef(fs, "f_amount").value(),
+            MakeLiteral(Value((round % 100) * 10)));
+        if (!engine.DeleteFacts("sales", pred).ok()) failed.store(true);
+      }
+      ++round;
+      std::this_thread::sleep_for(std::chrono::microseconds(200));
+    }
+  });
+
+  // Queries must never fail and must be exact at their effective
+  // snapshot (the engine caps the requested snapshot at the scan's
+  // covered bound; the result must then equal the reference evaluated at
+  // that same snapshot). When two queries end up on the same effective
+  // snapshot, their results must additionally be mutually consistent.
+  for (int i = 0; i < 30; ++i) {
+    const SnapshotId snap = engine.CurrentSnapshot();
+    StarQuerySpec global;
+    global.schema = engine.FindStar("sales").value();
+    global.aggregates.push_back(
+        AggregateSpec{AggFn::kCount, std::nullopt, nullptr, "n"});
+    global.snapshot = snap;
+    StarQuerySpec by_region = global;
+    by_region.group_by.push_back(ColumnSource::Dim(1, 1));
+    by_region.group_by_labels.push_back("s_region");
+
+    auto h1 = engine.Submit(global);
+    auto h2 = engine.Submit(by_region);
+    ASSERT_TRUE(h1.ok());
+    ASSERT_TRUE(h2.ok());
+    const SnapshotId eff1 = (*h1)->snapshot();
+    const SnapshotId eff2 = (*h2)->snapshot();
+    auto r1 = (*h1)->Wait();
+    auto r2 = (*h2)->Wait();
+    ASSERT_TRUE(r1.ok());
+    ASSERT_TRUE(r2.ok());
+
+    // Per-query exactness: referenced counts at the effective snapshot.
+    StarQuerySpec ref1 = global;
+    ref1.snapshot = eff1;
+    ResultSet want1 =
+        ReferenceEvaluate(NormalizeSpec(std::move(ref1)).value());
+    EXPECT_EQ(r1->rows[0][0].AsInt(), want1.rows[0][0].AsInt())
+        << "effective snapshot " << eff1;
+
+    int64_t sum = 0;
+    for (const auto& row : r2->rows) sum += row[1].AsInt();
+    StarQuerySpec ref2 = global;  // global count at q2's snapshot
+    ref2.snapshot = eff2;
+    ResultSet want2 =
+        ReferenceEvaluate(NormalizeSpec(std::move(ref2)).value());
+    EXPECT_EQ(sum, want2.rows[0][0].AsInt())
+        << "effective snapshot " << eff2;
+
+    if (eff1 == eff2) {
+      EXPECT_EQ(sum, r1->rows[0][0].AsInt()) << "snapshot " << eff1;
+    }
+  }
+  stop.store(true);
+  updater.join();
+  EXPECT_FALSE(failed.load());
+}
+
+}  // namespace
+}  // namespace cjoin

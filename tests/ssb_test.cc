@@ -1,0 +1,371 @@
+// Unit tests for the SSB substrate: calendar math, generated data shape,
+// referential integrity, query construction, and template selectivity.
+
+#include <map>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "ssb/generator.h"
+#include "ssb/queries.h"
+#include "ssb/ssb_schema.h"
+#include "tests/test_util.h"
+
+namespace cjoin {
+namespace ssb {
+namespace {
+
+// ------------------------------ Calendar ------------------------------------
+
+TEST(CalendarTest, KnownDates) {
+  EXPECT_EQ(DaysFromCivil(1970, 1, 1), 0);
+  EXPECT_EQ(DaysFromCivil(1970, 1, 2), 1);
+  EXPECT_EQ(DaysFromCivil(1969, 12, 31), -1);
+  // 1992-01-01 was a Wednesday, 8035 days after the epoch.
+  EXPECT_EQ(DaysFromCivil(1992, 1, 1), 8035);
+}
+
+TEST(CalendarTest, RoundTripAcrossRange) {
+  for (int64_t z = DaysFromCivil(1992, 1, 1); z <= DaysFromCivil(1998, 12, 31);
+       z += 13) {
+    int y;
+    unsigned m, d;
+    CivilFromDays(z, &y, &m, &d);
+    EXPECT_EQ(DaysFromCivil(y, m, d), z);
+    EXPECT_GE(m, 1u);
+    EXPECT_LE(m, 12u);
+    EXPECT_GE(d, 1u);
+    EXPECT_LE(d, 31u);
+  }
+}
+
+TEST(CalendarTest, LeapYears) {
+  // 1992 and 1996 are leap years within the SSB range.
+  EXPECT_EQ(DaysFromCivil(1992, 3, 1) - DaysFromCivil(1992, 2, 1), 29);
+  EXPECT_EQ(DaysFromCivil(1993, 3, 1) - DaysFromCivil(1993, 2, 1), 28);
+  EXPECT_EQ(DaysFromCivil(1996, 3, 1) - DaysFromCivil(1996, 2, 1), 29);
+}
+
+TEST(CalendarTest, SsbDateRangeIs2557Days) {
+  // The SSB spec says 2556, but the actual calendar span contains two
+  // leap days (1992, 1996): 5 x 365 + 2 x 366 = 2557.
+  EXPECT_EQ(DaysFromCivil(1998, 12, 31) - DaysFromCivil(1992, 1, 1) + 1,
+            2557);
+}
+
+// ----------------------------- Cardinalities ---------------------------------
+
+TEST(CardinalityTest, ScalesWithSf) {
+  const SsbCardinalities c1 = CardinalitiesFor(1.0);
+  EXPECT_EQ(c1.dates, 2557u);
+  EXPECT_EQ(c1.customers, 30000u);
+  EXPECT_EQ(c1.suppliers, 2000u);
+  EXPECT_EQ(c1.parts, 200000u);
+  EXPECT_EQ(c1.lineorders, 6000000u);
+
+  const SsbCardinalities c10 = CardinalitiesFor(10.0);
+  EXPECT_EQ(c10.customers, 300000u);
+  // PART grows logarithmically: 200000 * (1 + floor(log2(10))) = 800000.
+  EXPECT_EQ(c10.parts, 800000u);
+
+  const SsbCardinalities small = CardinalitiesFor(0.01);
+  EXPECT_EQ(small.dates, 2557u);  // fixed regardless of sf
+  EXPECT_EQ(small.customers, 300u);
+  EXPECT_EQ(small.lineorders, 60000u);
+}
+
+// ------------------------------ Generator ------------------------------------
+
+class GeneratorTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    GenOptions opts;
+    opts.scale_factor = 0.01;
+    opts.seed = 7;
+    db_ = Generate(opts).value().release();
+  }
+  static void TearDownTestSuite() {
+    delete db_;
+    db_ = nullptr;
+  }
+  static SsbDatabase* db_;
+};
+SsbDatabase* GeneratorTest::db_ = nullptr;
+
+TEST_F(GeneratorTest, TableSizesMatchCardinalities) {
+  const SsbCardinalities c = CardinalitiesFor(0.01);
+  EXPECT_EQ(db_->date->NumRows(), c.dates);
+  EXPECT_EQ(db_->customer->NumRows(), c.customers);
+  EXPECT_EQ(db_->supplier->NumRows(), c.suppliers);
+  EXPECT_EQ(db_->part->NumRows(), c.parts);
+  EXPECT_EQ(db_->lineorder->NumRows(), c.lineorders);
+  EXPECT_GT(db_->TotalBytes(), 0u);
+}
+
+TEST_F(GeneratorTest, DateDimensionIsCorrectCalendar) {
+  const Schema& s = db_->date->schema();
+  const int year_col = s.ColumnIndex("d_year");
+  const int key_col = s.ColumnIndex("d_datekey");
+  ASSERT_GE(year_col, 0);
+  // First row is 1992-01-01, a Wednesday.
+  const uint8_t* first = db_->date->RowPayload(RowId{0, 0});
+  EXPECT_EQ(s.GetInt32(first, static_cast<size_t>(key_col)), 19920101);
+  EXPECT_EQ(s.GetChar(first, static_cast<size_t>(s.ColumnIndex("d_dayofweek"))),
+            "Wednesday");
+  // Last row is 1998-12-31.
+  const uint8_t* last =
+      db_->date->RowPayload(RowId{0, db_->date->NumRows() - 1});
+  EXPECT_EQ(s.GetInt32(last, static_cast<size_t>(key_col)), 19981231);
+  // Years span 1992..1998.
+  std::set<int32_t> years;
+  for (uint64_t i = 0; i < db_->date->NumRows(); ++i) {
+    years.insert(s.GetInt32(db_->date->RowPayload(RowId{0, i}),
+                            static_cast<size_t>(year_col)));
+  }
+  EXPECT_EQ(years.size(), 7u);
+  EXPECT_EQ(*years.begin(), 1992);
+  EXPECT_EQ(*years.rbegin(), 1998);
+}
+
+TEST_F(GeneratorTest, NationsAndRegionsConsistent) {
+  std::map<std::string, std::string> nation_region;
+  for (const NationInfo& n : Nations()) {
+    nation_region[n.nation] = n.region;
+  }
+  EXPECT_EQ(nation_region.size(), 25u);
+  const Schema& s = db_->customer->schema();
+  const size_t nat = static_cast<size_t>(s.ColumnIndex("c_nation"));
+  const size_t reg = static_cast<size_t>(s.ColumnIndex("c_region"));
+  const size_t city = static_cast<size_t>(s.ColumnIndex("c_city"));
+  for (uint64_t i = 0; i < db_->customer->NumRows(); ++i) {
+    const uint8_t* row = db_->customer->RowPayload(RowId{0, i});
+    const std::string nation(s.GetChar(row, nat));
+    ASSERT_TRUE(nation_region.count(nation)) << nation;
+    EXPECT_EQ(std::string(s.GetChar(row, reg)), nation_region[nation]);
+    // City = nation truncated/padded to 9 chars + digit.
+    const std::string c(s.GetChar(row, city));
+    ASSERT_EQ(c.size(), 10u);
+    EXPECT_TRUE(isdigit(c.back()));
+  }
+}
+
+TEST_F(GeneratorTest, PartHierarchyConsistent) {
+  const Schema& s = db_->part->schema();
+  const size_t mfgr = static_cast<size_t>(s.ColumnIndex("p_mfgr"));
+  const size_t cat = static_cast<size_t>(s.ColumnIndex("p_category"));
+  const size_t brand = static_cast<size_t>(s.ColumnIndex("p_brand1"));
+  for (uint64_t i = 0; i < db_->part->NumRows(); i += 7) {
+    const uint8_t* row = db_->part->RowPayload(RowId{0, i});
+    const std::string m(s.GetChar(row, mfgr));
+    const std::string c(s.GetChar(row, cat));
+    const std::string b(s.GetChar(row, brand));
+    EXPECT_EQ(c.substr(0, m.size()), m);  // category extends mfgr
+    EXPECT_EQ(b.substr(0, c.size()), c);  // brand extends category
+  }
+}
+
+TEST_F(GeneratorTest, LineorderForeignKeysResolve) {
+  const Schema& s = db_->lineorder->schema();
+  const size_t cust = static_cast<size_t>(s.ColumnIndex("lo_custkey"));
+  const size_t part = static_cast<size_t>(s.ColumnIndex("lo_partkey"));
+  const size_t supp = static_cast<size_t>(s.ColumnIndex("lo_suppkey"));
+  const size_t date = static_cast<size_t>(s.ColumnIndex("lo_orderdate"));
+  std::set<int32_t> datekeys;
+  const Schema& ds = db_->date->schema();
+  for (uint64_t i = 0; i < db_->date->NumRows(); ++i) {
+    datekeys.insert(ds.GetInt32(db_->date->RowPayload(RowId{0, i}), 0));
+  }
+  for (uint64_t i = 0; i < db_->lineorder->NumRows(); i += 97) {
+    const uint8_t* row = db_->lineorder->RowPayload(RowId{0, i});
+    EXPECT_GE(s.GetInt32(row, cust), 1);
+    EXPECT_LE(s.GetInt32(row, cust),
+              static_cast<int32_t>(db_->customer->NumRows()));
+    EXPECT_GE(s.GetInt32(row, part), 1);
+    EXPECT_LE(s.GetInt32(row, part),
+              static_cast<int32_t>(db_->part->NumRows()));
+    EXPECT_GE(s.GetInt32(row, supp), 1);
+    EXPECT_LE(s.GetInt32(row, supp),
+              static_cast<int32_t>(db_->supplier->NumRows()));
+    EXPECT_TRUE(datekeys.count(s.GetInt32(row, date)));
+  }
+}
+
+TEST_F(GeneratorTest, RevenueFormulaHolds) {
+  const Schema& s = db_->lineorder->schema();
+  const size_t price = static_cast<size_t>(s.ColumnIndex("lo_extendedprice"));
+  const size_t disc = static_cast<size_t>(s.ColumnIndex("lo_discount"));
+  const size_t rev = static_cast<size_t>(s.ColumnIndex("lo_revenue"));
+  for (uint64_t i = 0; i < db_->lineorder->NumRows(); i += 101) {
+    const uint8_t* row = db_->lineorder->RowPayload(RowId{0, i});
+    const int32_t p = s.GetInt32(row, price);
+    const int32_t d = s.GetInt32(row, disc);
+    EXPECT_GE(d, 0);
+    EXPECT_LE(d, 10);
+    EXPECT_EQ(s.GetInt32(row, rev), p * (100 - d) / 100);
+  }
+}
+
+TEST_F(GeneratorTest, DeterministicForSeed) {
+  GenOptions opts;
+  opts.scale_factor = 0.002;
+  opts.seed = 99;
+  auto a = Generate(opts).value();
+  auto b = Generate(opts).value();
+  ASSERT_EQ(a->lineorder->NumRows(), b->lineorder->NumRows());
+  const Schema& s = a->lineorder->schema();
+  for (uint64_t i = 0; i < a->lineorder->NumRows(); i += 53) {
+    for (size_t c = 0; c < s.num_columns(); ++c) {
+      if (s.column(c).type == DataType::kChar) continue;
+      EXPECT_EQ(s.GetIntAny(a->lineorder->RowPayload(RowId{0, i}), c),
+                s.GetIntAny(b->lineorder->RowPayload(RowId{0, i}), c))
+          << "row " << i << " col " << c;
+      break;  // first numeric column suffices per row
+    }
+  }
+}
+
+TEST(GeneratorOptionsTest, RejectsBadArgs) {
+  GenOptions bad;
+  bad.scale_factor = 0;
+  EXPECT_FALSE(Generate(bad).ok());
+  bad.scale_factor = 0.01;
+  bad.num_fact_partitions = 0;
+  EXPECT_FALSE(Generate(bad).ok());
+}
+
+TEST(GeneratorPartitionTest, PartitionsByYear) {
+  GenOptions opts;
+  opts.scale_factor = 0.002;
+  opts.num_fact_partitions = 7;
+  auto db = Generate(opts).value();
+  EXPECT_EQ(db->lineorder->num_partitions(), 7u);
+  // Every partition holds only its year range (partition p = year-1992 for
+  // 7 partitions) and all partitions are non-empty at this size.
+  const Schema& s = db->lineorder->schema();
+  const size_t date_col = static_cast<size_t>(s.ColumnIndex("lo_orderdate"));
+  for (uint32_t p = 0; p < 7; ++p) {
+    EXPECT_GT(db->lineorder->PartitionRows(p), 0u);
+    for (uint64_t i = 0; i < db->lineorder->PartitionRows(p); i += 11) {
+      const int32_t dk =
+          s.GetInt32(db->lineorder->RowPayload(RowId{p, i}), date_col);
+      EXPECT_EQ((dk / 10000 - 1992), static_cast<int32_t>(p));
+    }
+  }
+}
+
+// ------------------------------- Queries -------------------------------------
+
+class SsbQueryTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    GenOptions opts;
+    opts.scale_factor = 0.005;
+    db_ = Generate(opts).value().release();
+    queries_ = new SsbQueries(*db_);
+  }
+  static void TearDownTestSuite() {
+    delete queries_;
+    delete db_;
+  }
+  static SsbDatabase* db_;
+  static SsbQueries* queries_;
+};
+SsbDatabase* SsbQueryTest::db_ = nullptr;
+SsbQueries* SsbQueryTest::queries_ = nullptr;
+
+TEST_F(SsbQueryTest, AllThirteenQueriesBuildAndValidate) {
+  for (const std::string& name : SsbQueries::AllNames()) {
+    auto q = queries_->Canonical(name);
+    ASSERT_TRUE(q.ok()) << name << ": " << q.status().ToString();
+    EXPECT_TRUE(ValidateSpec(*q).ok()) << name;
+    EXPECT_EQ(q->label, name);
+  }
+  EXPECT_FALSE(queries_->Canonical("Q9.9").ok());
+}
+
+TEST_F(SsbQueryTest, CanonicalQueriesProduceExpectedShape) {
+  auto q42 = queries_->Canonical("Q4.2").value();
+  EXPECT_EQ(q42.group_by.size(), 3u);       // d_year, s_nation, p_category
+  EXPECT_EQ(q42.dim_predicates.size(), 4u);  // all four dims referenced
+  EXPECT_EQ(q42.aggregates.size(), 1u);
+  auto q11 = queries_->Canonical("Q1.1").value();
+  EXPECT_TRUE(q11.group_by.empty());
+  EXPECT_NE(q11.fact_predicate, nullptr);
+  auto res = testing::ReferenceEvaluate(q11);
+  ASSERT_EQ(res.num_rows(), 1u);  // global aggregate
+}
+
+TEST_F(SsbQueryTest, CanonicalResultsAreNonTrivial) {
+  // Q2.1 on generated data must produce groups and a positive revenue sum.
+  auto q = queries_->Canonical("Q2.1").value();
+  ResultSet rs = testing::ReferenceEvaluate(q);
+  ASSERT_GT(rs.num_rows(), 0u);
+  int64_t total = 0;
+  for (const auto& row : rs.rows) {
+    total += row.back().AsInt();
+  }
+  EXPECT_GT(total, 0);
+}
+
+TEST_F(SsbQueryTest, TemplateSelectivityIsRespected) {
+  Rng rng(5);
+  for (double s : {0.001, 0.01, 0.1}) {
+    auto q = queries_->FromTemplate("Q3.1", s, rng);
+    ASSERT_TRUE(q.ok());
+    // Measure actual selectivity of each non-TRUE dimension predicate.
+    for (const DimensionPredicate& dp : q->dim_predicates) {
+      if (IsTrueLiteral(dp.predicate)) continue;
+      const Table& dim = *db_->star->dimension(dp.dim_index).table;
+      uint64_t hits = 0;
+      for (uint64_t i = 0; i < dim.NumRows(); ++i) {
+        if (dp.predicate->EvalBool(dim.schema(),
+                                   dim.RowPayload(RowId{0, i}))) {
+          ++hits;
+        }
+      }
+      const double actual =
+          static_cast<double>(hits) / static_cast<double>(dim.NumRows());
+      // Exact up to rounding to >= 1 row.
+      const double expected = std::max(
+          s, 1.0 / static_cast<double>(dim.NumRows()));
+      EXPECT_NEAR(actual, expected, expected * 0.5 + 1e-9)
+          << "dim " << dp.dim_index << " s=" << s;
+    }
+  }
+}
+
+TEST_F(SsbQueryTest, TemplateRejectsBadSelectivity) {
+  Rng rng(1);
+  EXPECT_FALSE(queries_->FromTemplate("Q2.1", 0.0, rng).ok());
+  EXPECT_FALSE(queries_->FromTemplate("Q2.1", 1.5, rng).ok());
+}
+
+TEST_F(SsbQueryTest, WorkloadSamplesTemplates) {
+  Rng rng(11);
+  auto wl = queries_->MakeWorkload(25, 0.01, rng);
+  ASSERT_TRUE(wl.ok());
+  ASSERT_EQ(wl->size(), 25u);
+  std::set<std::string> seen;
+  for (const StarQuerySpec& spec : *wl) {
+    EXPECT_TRUE(ValidateSpec(spec).ok());
+    seen.insert(spec.label.substr(0, spec.label.find('#')));
+  }
+  EXPECT_GT(seen.size(), 3u) << "workload should mix templates";
+  // Q1.x excluded by default (paper §6.1.2).
+  for (const auto& name : seen) {
+    EXPECT_NE(name.substr(0, 2), "Q1") << name;
+  }
+}
+
+TEST_F(SsbQueryTest, WorkloadCanIncludeQ1Templates) {
+  Rng rng(13);
+  auto wl = queries_->MakeWorkload(5, 0.01, rng, {"Q1.1", "Q1.2"});
+  ASSERT_TRUE(wl.ok());
+  for (const StarQuerySpec& spec : *wl) {
+    EXPECT_NE(spec.fact_predicate, nullptr);
+  }
+}
+
+}  // namespace
+}  // namespace ssb
+}  // namespace cjoin

@@ -1,0 +1,125 @@
+#include "tests/test_util.h"
+
+#include <cstdio>
+
+namespace cjoin {
+namespace testing {
+
+std::unique_ptr<TinyStar> MakeTinyStar(uint64_t num_facts, int num_products,
+                                       int num_stores,
+                                       uint32_t fact_partitions) {
+  auto ts = std::make_unique<TinyStar>();
+
+  Schema pschema;
+  pschema.AddInt32("p_id").AddChar("p_cat", 8).AddInt32("p_price");
+  ts->product = std::make_unique<Table>("product", pschema);
+  for (int p = 1; p <= num_products; ++p) {
+    uint8_t* row = ts->product->AppendUninitialized();
+    char cat[9];
+    std::snprintf(cat, sizeof(cat), "cat%d", p % 4);
+    pschema.SetInt32(row, 0, p);
+    pschema.SetChar(row, 1, cat);
+    pschema.SetInt32(row, 2, p * 100);
+  }
+
+  Schema sschema;
+  sschema.AddInt32("s_id").AddChar("s_region", 8);
+  ts->store = std::make_unique<Table>("store", sschema);
+  for (int s = 1; s <= num_stores; ++s) {
+    uint8_t* row = ts->store->AppendUninitialized();
+    char region[9];
+    std::snprintf(region, sizeof(region), "R%d", s % 3);
+    sschema.SetInt32(row, 0, s);
+    sschema.SetChar(row, 1, region);
+  }
+
+  Schema fschema;
+  fschema.AddInt32("f_pid").AddInt32("f_sid").AddInt32("f_qty").AddInt32(
+      "f_amount");
+  Table::Options fopts;
+  fopts.rows_per_page = 128;  // several pages even for small tables
+  fopts.num_partitions = fact_partitions;
+  ts->sales = std::make_unique<Table>("sales", fschema, fopts);
+  for (uint64_t i = 0; i < num_facts; ++i) {
+    uint8_t* row = ts->sales->AppendUninitialized(
+        static_cast<uint32_t>(i % fact_partitions));
+    fschema.SetInt32(row, 0, static_cast<int32_t>(i % num_products) + 1);
+    fschema.SetInt32(row, 1, static_cast<int32_t>(i % num_stores) + 1);
+    fschema.SetInt32(row, 2, static_cast<int32_t>(i % 10) + 1);
+    fschema.SetInt32(row, 3, static_cast<int32_t>(i % 100) * 10);
+  }
+
+  auto star = StarSchema::Make(
+      ts->sales.get(),
+      std::vector<StarSchema::DimensionByName>{
+          {ts->product.get(), "f_pid", "p_id"},
+          {ts->store.get(), "f_sid", "s_id"},
+      });
+  ts->star = std::make_unique<StarSchema>(std::move(star).value());
+  return ts;
+}
+
+ResultSet ReferenceEvaluate(const StarQuerySpec& spec) {
+  const StarSchema& star = *spec.schema;
+
+  // Selected rows of each referenced dimension, keyed by PK.
+  std::vector<std::map<int64_t, const uint8_t*>> selected(
+      star.num_dimensions());
+  std::vector<bool> referenced(star.num_dimensions(), false);
+  for (const DimensionPredicate& dp : spec.dim_predicates) {
+    referenced[dp.dim_index] = true;
+    const DimensionDef& def = star.dimension(dp.dim_index);
+    const Table& dim = *def.table;
+    for (uint32_t p = 0; p < dim.num_partitions(); ++p) {
+      for (uint64_t i = 0; i < dim.PartitionRows(p); ++i) {
+        const RowId id{p, i};
+        if (!dim.Header(id)->VisibleAt(spec.snapshot)) continue;
+        const uint8_t* row = dim.RowPayload(id);
+        if (!dp.predicate->EvalBool(dim.schema(), row)) continue;
+        selected[dp.dim_index][dim.schema().GetIntAny(row, def.dim_pk_col)] =
+            row;
+      }
+    }
+  }
+
+  std::unique_ptr<StarAggregator> agg = MakeSortAggregator(spec);
+  const Table& fact = star.fact();
+  const Schema& fschema = fact.schema();
+
+  std::vector<uint32_t> parts = spec.partitions;
+  if (parts.empty()) {
+    for (uint32_t p = 0; p < fact.num_partitions(); ++p) parts.push_back(p);
+  }
+
+  std::vector<const uint8_t*> dim_rows(star.num_dimensions(), nullptr);
+  for (uint32_t p : parts) {
+    for (uint64_t i = 0; i < fact.PartitionRows(p); ++i) {
+      const RowId id{p, i};
+      if (!fact.Header(id)->VisibleAt(spec.snapshot)) continue;
+      const uint8_t* row = fact.RowPayload(id);
+      if (spec.fact_predicate != nullptr &&
+          !spec.fact_predicate->EvalBool(fschema, row)) {
+        continue;
+      }
+      bool pass = true;
+      for (size_t d = 0; d < star.num_dimensions(); ++d) {
+        dim_rows[d] = nullptr;
+        if (!referenced[d]) continue;
+        const int64_t fk =
+            fschema.GetIntAny(row, star.dimension(d).fact_fk_col);
+        auto it = selected[d].find(fk);
+        if (it == selected[d].end()) {
+          pass = false;
+          break;
+        }
+        dim_rows[d] = it->second;
+      }
+      if (!pass) continue;
+      agg->Consume(row, dim_rows.data());
+    }
+  }
+  return agg->Finish();
+}
+
+}  // namespace testing
+}  // namespace cjoin

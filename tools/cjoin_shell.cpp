@@ -1,0 +1,181 @@
+// cjoin_shell: a small interactive / batch SQL shell over an SSB
+// database loaded from ssb_datagen output (or generated on the fly).
+//
+//   $ cjoin_shell --data /tmp/ssb            # from ssb_datagen files
+//   $ cjoin_shell --sf 0.01                  # generate in memory
+//   cjoin> SELECT d_year, SUM(lo_revenue) AS revenue
+//      ...> FROM lineorder, date WHERE lo_orderdate = d_datekey
+//      ...> GROUP BY d_year;
+//
+// Statements end with ';'. Meta commands: \baseline toggles routing to
+// the query-at-a-time executor, \stats prints pipeline statistics,
+// \q quits.
+
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <memory>
+#include <string>
+
+#include "common/clock.h"
+#include "engine/query_engine.h"
+#include "ssb/generator.h"
+#include "storage/table_file.h"
+
+using namespace cjoin;
+
+namespace {
+
+struct LoadedDb {
+  // Either generated (owns everything via SsbDatabase) or loaded from
+  // files (owns the five tables directly).
+  std::unique_ptr<ssb::SsbDatabase> generated;
+  std::vector<std::unique_ptr<Table>> loaded;
+
+  const Table* Find(const std::string& name) const {
+    if (generated != nullptr) {
+      if (name == "date") return generated->date.get();
+      if (name == "customer") return generated->customer.get();
+      if (name == "supplier") return generated->supplier.get();
+      if (name == "part") return generated->part.get();
+      if (name == "lineorder") return generated->lineorder.get();
+      return nullptr;
+    }
+    for (const auto& t : loaded) {
+      if (t->name() == name) return t.get();
+    }
+    return nullptr;
+  }
+};
+
+Result<StarSchema> WireStar(const LoadedDb& db) {
+  const Table* lo = db.Find("lineorder");
+  const Table* d = db.Find("date");
+  const Table* c = db.Find("customer");
+  const Table* s = db.Find("supplier");
+  const Table* p = db.Find("part");
+  if (!lo || !d || !c || !s || !p) {
+    return Status::NotFound("missing one of the five SSB tables");
+  }
+  return StarSchema::Make(
+      lo, std::vector<StarSchema::DimensionByName>{
+              {d, "lo_orderdate", "d_datekey"},
+              {c, "lo_custkey", "c_custkey"},
+              {s, "lo_suppkey", "s_suppkey"},
+              {p, "lo_partkey", "p_partkey"},
+          });
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  double sf = 0.01;
+  std::string data_dir;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--sf") == 0 && i + 1 < argc) {
+      sf = std::atof(argv[++i]);
+    } else if (std::strcmp(argv[i], "--data") == 0 && i + 1 < argc) {
+      data_dir = argv[++i];
+    } else {
+      std::fprintf(stderr, "usage: %s [--sf F | --data DIR]\n", argv[0]);
+      return 2;
+    }
+  }
+
+  LoadedDb db;
+  if (data_dir.empty()) {
+    std::printf("generating SSB sf=%g in memory...\n", sf);
+    ssb::GenOptions gopts;
+    gopts.scale_factor = sf;
+    auto g = ssb::Generate(gopts);
+    if (!g.ok()) {
+      std::fprintf(stderr, "%s\n", g.status().ToString().c_str());
+      return 1;
+    }
+    db.generated = std::move(g).value();
+  } else {
+    for (const char* name :
+         {"date", "customer", "supplier", "part", "lineorder"}) {
+      auto t = LoadTable(data_dir + "/" + std::string(name) + ".cjtb");
+      if (!t.ok()) {
+        std::fprintf(stderr, "load %s: %s\n", name,
+                     t.status().ToString().c_str());
+        return 1;
+      }
+      std::printf("loaded %-10s %9llu rows\n", name,
+                  static_cast<unsigned long long>((*t)->NumRows()));
+      db.loaded.push_back(std::move(*t));
+    }
+  }
+
+  auto star = WireStar(db);
+  if (!star.ok()) {
+    std::fprintf(stderr, "%s\n", star.status().ToString().c_str());
+    return 1;
+  }
+  QueryEngine engine;
+  if (Status st = engine.RegisterStar("ssb", std::move(*star)); !st.ok()) {
+    std::fprintf(stderr, "%s\n", st.ToString().c_str());
+    return 1;
+  }
+
+  std::printf(
+      "CJOIN shell — star 'ssb' ready. End statements with ';'. "
+      "\\baseline toggles executor, \\stats shows pipeline stats, \\q "
+      "quits.\n");
+  bool use_baseline = false;
+  std::string buffer;
+  std::string line;
+  while (true) {
+    std::fputs(buffer.empty() ? "cjoin> " : "   ...> ", stdout);
+    std::fflush(stdout);
+    if (!std::getline(std::cin, line)) break;
+    if (buffer.empty() && !line.empty() && line[0] == '\\') {
+      if (line == "\\q" || line == "\\quit") break;
+      if (line == "\\baseline") {
+        use_baseline = !use_baseline;
+        std::printf("executor: %s\n",
+                    use_baseline ? "query-at-a-time" : "CJOIN");
+        continue;
+      }
+      if (line == "\\stats") {
+        auto op = engine.OperatorFor("ssb");
+        if (op.ok()) {
+          const auto s = (*op)->GetStats();
+          std::printf(
+              "rows scanned %llu | laps %llu | active queries %zu | "
+              "completed %llu | routed %llu | reorders %llu\n",
+              static_cast<unsigned long long>(s.rows_scanned),
+              static_cast<unsigned long long>(s.table_laps),
+              s.active_queries,
+              static_cast<unsigned long long>(s.queries_completed),
+              static_cast<unsigned long long>(s.tuples_routed),
+              static_cast<unsigned long long>(s.filter_reorders));
+        }
+        continue;
+      }
+      std::printf("unknown meta command: %s\n", line.c_str());
+      continue;
+    }
+    buffer += line;
+    buffer += '\n';
+    if (buffer.find(';') == std::string::npos) continue;
+
+    Stopwatch watch;
+    Result<ResultSet> rs = [&]() -> Result<ResultSet> {
+      if (use_baseline) return engine.ExecuteBaselineSql("ssb", buffer);
+      CJOIN_ASSIGN_OR_RETURN(auto handle, engine.SubmitSql("ssb", buffer));
+      return handle->Wait();
+    }();
+    buffer.clear();
+    if (!rs.ok()) {
+      std::printf("error: %s\n", rs.status().ToString().c_str());
+      continue;
+    }
+    rs->SortRows();
+    std::printf("%s(%zu row%s, %.1f ms)\n", rs->ToString(40).c_str(),
+                rs->num_rows(), rs->num_rows() == 1 ? "" : "s",
+                watch.ElapsedSeconds() * 1e3);
+  }
+  return 0;
+}
