@@ -8,6 +8,7 @@
 
 #include "baseline/qat_engine.h"
 #include "cjoin/cjoin_operator.h"
+#include "engine/query_engine.h"
 
 namespace cjoin {
 namespace bench {
@@ -104,47 +105,71 @@ class Meter {
   RunResult result_;
 };
 
-RunResult RunCJoin(const ssb::SsbDatabase& db,
-                   const std::vector<StarQuerySpec>& workload,
-                   const RunConfig& cfg) {
-  CJoinOperator::Options opts;
-  opts.max_concurrent_queries =
+/// All three systems under test run through the unified
+/// QueryEngine::Execute() API; they differ only in routing policy and
+/// per-request baseline executor knobs.
+RunResult RunEngine(SystemKind kind, const ssb::SsbDatabase& db,
+                    const std::vector<StarQuerySpec>& workload,
+                    const RunConfig& cfg) {
+  QueryEngine::Options eopts;
+  eopts.cjoin.max_concurrent_queries =
       cfg.max_concurrency_override != 0
           ? cfg.max_concurrency_override
           : std::min<size_t>(1024, std::max<size_t>(cfg.concurrency, 8));
-  opts.num_worker_threads = cfg.cjoin_threads;
-  opts.batch_size = cfg.cjoin_batch_size;
-  opts.queue_capacity = cfg.cjoin_queue_capacity;
-  opts.pool_capacity = cfg.cjoin_pool_capacity;
-  opts.scan_run_rows = cfg.scan_run_rows;
-  opts.disk = cfg.disk;
-  opts.disk_reader_id = 0;  // one shared reader: the continuous scan
-  opts.adaptive_ordering = cfg.adaptive_ordering;
-  opts.config = cfg.cjoin_vertical ? PipelineConfig::kVertical
-                                   : PipelineConfig::kHorizontal;
-  CJoinOperator op(*db.star, opts);
-  if (Status st = op.Start(); !st.ok()) {
-    std::fprintf(stderr, "CJOIN start failed: %s\n", st.ToString().c_str());
+  eopts.cjoin.num_worker_threads = cfg.cjoin_threads;
+  eopts.cjoin.batch_size = cfg.cjoin_batch_size;
+  eopts.cjoin.queue_capacity = cfg.cjoin_queue_capacity;
+  eopts.cjoin.pool_capacity = cfg.cjoin_pool_capacity;
+  eopts.cjoin.scan_run_rows = cfg.scan_run_rows;
+  eopts.cjoin.disk = cfg.disk;
+  eopts.cjoin.adaptive_ordering = cfg.adaptive_ordering;
+  eopts.cjoin.config = cfg.cjoin_vertical ? PipelineConfig::kVertical
+                                          : PipelineConfig::kHorizontal;
+  // One baseline worker per concurrent query, as in the paper's testbed.
+  eopts.baseline_workers = cfg.concurrency;
+  QueryEngine engine(eopts);
+  if (Status st = engine.RegisterStar("ssb", *db.star); !st.ok()) {
+    std::fprintf(stderr, "engine start failed: %s\n", st.ToString().c_str());
     std::abort();
   }
+  // The engine's cjoin.disk_reader_id default (0) is the single shared
+  // continuous-scan identity.
+
+  const bool is_cjoin = kind == SystemKind::kCJoin;
+  const bool shared_reader = kind == SystemKind::kPostgres;
+  const int overhead = kind == SystemKind::kPostgres ? cfg.postgres_overhead
+                                                     : cfg.systemx_overhead;
 
   Meter meter(cfg.warmup, cfg.measure);
   struct InFlight {
     size_t index;
-    std::unique_ptr<QueryHandle> handle;
+    std::unique_ptr<QueryTicket> ticket;
   };
   std::vector<InFlight> in_flight;
   size_t next = 0;
   const size_t total = workload.size();
 
   auto submit_one = [&] {
-    auto h = op.Submit(workload[next]);
-    if (!h.ok()) {
-      std::fprintf(stderr, "submit failed: %s\n",
-                   h.status().ToString().c_str());
+    QueryRequest req = QueryRequest::FromSpec(workload[next]);
+    req.policy = is_cjoin ? RoutePolicy::kCJoin : RoutePolicy::kBaseline;
+    if (!is_cjoin) {
+      QatOptions qopts;
+      qopts.disk = cfg.disk;
+      // PostgreSQL's synchronized scans share the device position (one
+      // reader identity); System X's private scans compete (per-query
+      // identity => seeks on every interleave).
+      qopts.reader_id = shared_reader ? 1 : 1000 + next;
+      qopts.per_tuple_overhead = overhead;
+      qopts.scan_batch_rows = cfg.scan_run_rows;
+      req.baseline_options = qopts;
+    }
+    auto t = engine.Execute(std::move(req));
+    if (!t.ok()) {
+      std::fprintf(stderr, "execute failed: %s\n",
+                   t.status().ToString().c_str());
       std::abort();
     }
-    in_flight.push_back(InFlight{next, std::move(*h)});
+    in_flight.push_back(InFlight{next, std::move(*t)});
     ++next;
   };
 
@@ -155,16 +180,16 @@ RunResult RunCJoin(const ssb::SsbDatabase& db,
     }
     bool progress = false;
     for (size_t i = 0; i < in_flight.size();) {
-      if (in_flight[i].handle->Ready()) {
-        auto rs = in_flight[i].handle->Wait();
+      if (in_flight[i].ticket->Ready()) {
+        auto rs = in_flight[i].ticket->Wait();
         if (!rs.ok()) {
           std::fprintf(stderr, "query failed: %s\n",
                        rs.status().ToString().c_str());
           std::abort();
         }
-        meter.Complete(in_flight[i].index, in_flight[i].handle->label(),
-                       in_flight[i].handle->ResponseSeconds(),
-                       in_flight[i].handle->SubmissionSeconds());
+        meter.Complete(in_flight[i].index, in_flight[i].ticket->label(),
+                       in_flight[i].ticket->ResponseSeconds(),
+                       in_flight[i].ticket->SubmissionSeconds());
         in_flight[i] = std::move(in_flight.back());
         in_flight.pop_back();
         progress = true;
@@ -177,55 +202,7 @@ RunResult RunCJoin(const ssb::SsbDatabase& db,
     }
     if (next >= total && in_flight.empty()) break;
   }
-  op.Stop();
-  RunResult r = meter.Finish();
-  if (cfg.disk != nullptr) r.disk_seeks = cfg.disk->SeekCount();
-  return r;
-}
-
-RunResult RunQat(SystemKind kind, const ssb::SsbDatabase& db,
-                 const std::vector<StarQuerySpec>& workload,
-                 const RunConfig& cfg) {
-  (void)db;
-  Meter meter(cfg.warmup, cfg.measure);
-  std::atomic<size_t> next{0};
-  const size_t total = workload.size();
-  const bool shared_reader = kind == SystemKind::kPostgres;
-  const int overhead = kind == SystemKind::kPostgres ? cfg.postgres_overhead
-                                                     : cfg.systemx_overhead;
-
-  auto worker = [&](size_t worker_id) {
-    for (;;) {
-      if (meter.Done()) return;
-      const size_t index = next.fetch_add(1);
-      if (index >= total) return;
-      QatOptions qopts;
-      qopts.disk = cfg.disk;
-      // PostgreSQL's synchronized scans share the device position (one
-      // reader identity); System X's private scans compete (per-query
-      // identity => seeks on every interleave).
-      qopts.reader_id = shared_reader ? 1 : 1000 + index;
-      qopts.per_tuple_overhead = overhead;
-      qopts.scan_batch_rows = cfg.scan_run_rows;
-      (void)worker_id;
-      Stopwatch watch;
-      auto rs = ExecuteStarQuery(workload[index], qopts);
-      if (!rs.ok()) {
-        std::fprintf(stderr, "baseline query failed: %s\n",
-                     rs.status().ToString().c_str());
-        std::abort();
-      }
-      meter.Complete(index, workload[index].label, watch.ElapsedSeconds(),
-                     0.0);
-    }
-  };
-
-  std::vector<std::thread> threads;
-  threads.reserve(cfg.concurrency);
-  for (size_t t = 0; t < cfg.concurrency; ++t) {
-    threads.emplace_back(worker, t);
-  }
-  for (auto& t : threads) t.join();
+  engine.Shutdown();
   RunResult r = meter.Finish();
   if (cfg.disk != nullptr) r.disk_seeks = cfg.disk->SeekCount();
   return r;
@@ -240,8 +217,7 @@ RunResult RunWorkload(SystemKind kind, const ssb::SsbDatabase& db,
     std::fprintf(stderr, "workload too small for measurement window\n");
     std::abort();
   }
-  if (kind == SystemKind::kCJoin) return RunCJoin(db, workload, config);
-  return RunQat(kind, db, workload, config);
+  return RunEngine(kind, db, workload, config);
 }
 
 }  // namespace bench

@@ -68,7 +68,10 @@ int main() {
        1998, 1998},
   };
 
-  std::vector<std::unique_ptr<QueryHandle>> handles;
+  // All reports go through the unified Execute() API with a non-blocking
+  // ticket each; kCJoin pins them to the shared pipeline so the
+  // partition-pruned reports terminate early at pass boundaries (§5).
+  std::vector<std::unique_ptr<QueryTicket>> tickets;
   for (const Report& r : reports) {
     auto spec = ParseStarQuery(*engine.FindStar("ssb").value(), r.sql);
     if (!spec.ok()) {
@@ -81,23 +84,25 @@ int main() {
         spec->partitions.push_back(static_cast<uint32_t>(y - 1992));
       }
     }
-    auto h = engine.Submit(std::move(*spec));
-    if (!h.ok()) {
-      std::fprintf(stderr, "submit: %s\n", h.status().ToString().c_str());
+    QueryRequest req = QueryRequest::FromSpec(std::move(*spec));
+    req.policy = RoutePolicy::kCJoin;
+    auto t = engine.Execute(std::move(req));
+    if (!t.ok()) {
+      std::fprintf(stderr, "execute: %s\n", t.status().ToString().c_str());
       return 1;
     }
-    handles.push_back(std::move(*h));
+    tickets.push_back(std::move(*t));
   }
 
-  for (size_t i = 0; i < handles.size(); ++i) {
-    auto rs = handles[i]->Wait();
+  for (size_t i = 0; i < tickets.size(); ++i) {
+    auto rs = tickets[i]->Wait();
     if (!rs.ok()) {
       std::fprintf(stderr, "%s\n", rs.status().ToString().c_str());
       return 1;
     }
     rs->SortRows();
     std::printf("=== %s  (%.2f ms, scanned %llu fact tuples)\n",
-                reports[i].title, handles[i]->ResponseSeconds() * 1e3,
+                reports[i].title, tickets[i]->ResponseSeconds() * 1e3,
                 static_cast<unsigned long long>(rs->tuples_consumed));
     std::printf("%s\n", rs->ToString(8).c_str());
   }

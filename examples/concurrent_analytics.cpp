@@ -54,32 +54,58 @@ int main(int argc, char** argv) {
   }
   const auto workload = std::move(workload_or).value();
 
-  // ---- CJOIN: one shared always-on plan ------------------------------------
-  RunningStat cjoin_latency;
-  double cjoin_seconds = 0;
-  {
-    SimDisk disk;
-    CJoinOperator::Options opts;
-    opts.max_concurrent_queries = kConcurrency;
-    opts.num_worker_threads = 4;
-    opts.disk = &disk;
-    CJoinOperator op(*db->star, opts);
-    if (!op.Start().ok()) return 1;
+  // Both phases drive the same unified QueryEngine::Execute() API; only
+  // the routing policy differs. Each phase gets a fresh engine over a
+  // fresh simulated disk so device state doesn't leak across runs.
+  auto run_phase = [&](RoutePolicy policy, RunningStat* latency,
+                       SimDisk* disk) -> double {
+    QueryEngine::Options eopts;
+    eopts.cjoin.max_concurrent_queries = kConcurrency;
+    eopts.cjoin.num_worker_threads = 4;
+    eopts.cjoin.disk = disk;
+    eopts.baseline.disk = disk;
+    eopts.baseline_workers = kConcurrency;
+    QueryEngine engine(eopts);
+    {
+      auto star = StarSchema::Make(
+          db->lineorder.get(),
+          std::vector<StarSchema::DimensionByName>{
+              {db->date.get(), "lo_orderdate", "d_datekey"},
+              {db->customer.get(), "lo_custkey", "c_custkey"},
+              {db->supplier.get(), "lo_suppkey", "s_suppkey"},
+              {db->part.get(), "lo_partkey", "p_partkey"},
+          });
+      if (!star.ok() ||
+          !engine.RegisterStar("ssb", std::move(*star)).ok()) {
+        std::abort();
+      }
+    }
+
     Stopwatch total;
-    std::vector<std::unique_ptr<QueryHandle>> handles;
+    std::vector<std::unique_ptr<QueryTicket>> tickets;
     size_t next = 0, done = 0;
     while (done < workload.size()) {
-      while (handles.size() < kConcurrency && next < workload.size()) {
-        auto h = op.Submit(workload[next++]);
-        if (!h.ok()) return 1;
-        handles.push_back(std::move(*h));
+      while (tickets.size() < kConcurrency && next < workload.size()) {
+        QueryRequest req = QueryRequest::FromSpec(workload[next]);
+        req.policy = policy;
+        if (policy == RoutePolicy::kBaseline) {
+          // Private scans contend for the device (per-query reader id).
+          QatOptions qopts;
+          qopts.disk = disk;
+          qopts.reader_id = next;
+          req.baseline_options = qopts;
+        }
+        ++next;
+        auto t = engine.Execute(std::move(req));
+        if (!t.ok()) std::abort();
+        tickets.push_back(std::move(*t));
       }
-      for (size_t i = 0; i < handles.size();) {
-        if (handles[i]->Ready()) {
-          (void)handles[i]->Wait();
-          cjoin_latency.Add(handles[i]->ResponseSeconds());
-          handles[i] = std::move(handles.back());
-          handles.pop_back();
+      for (size_t i = 0; i < tickets.size();) {
+        if (tickets[i]->Ready()) {
+          if (!tickets[i]->Wait().ok()) std::abort();
+          latency->Add(tickets[i]->ResponseSeconds());
+          tickets[i] = std::move(tickets.back());
+          tickets.pop_back();
           ++done;
         } else {
           ++i;
@@ -87,8 +113,15 @@ int main(int argc, char** argv) {
       }
       std::this_thread::sleep_for(std::chrono::microseconds(100));
     }
-    cjoin_seconds = total.ElapsedSeconds();
-    op.Stop();
+    return total.ElapsedSeconds();
+  };
+
+  // ---- CJOIN: one shared always-on plan ------------------------------------
+  RunningStat cjoin_latency;
+  double cjoin_seconds = 0;
+  {
+    SimDisk disk;
+    cjoin_seconds = run_phase(RoutePolicy::kCJoin, &cjoin_latency, &disk);
   }
 
   // ---- Query-at-a-time: private plans ---------------------------------------
@@ -96,28 +129,7 @@ int main(int argc, char** argv) {
   double qat_seconds = 0;
   {
     SimDisk disk;
-    Stopwatch total;
-    std::atomic<size_t> next{0};
-    std::mutex mu;
-    std::vector<std::thread> threads;
-    for (size_t t = 0; t < kConcurrency; ++t) {
-      threads.emplace_back([&] {
-        for (;;) {
-          const size_t i = next.fetch_add(1);
-          if (i >= workload.size()) return;
-          Stopwatch w;
-          QatOptions qopts;
-          qopts.disk = &disk;
-          qopts.reader_id = i;  // private scans contend for the device
-          auto rs = ExecuteStarQuery(workload[i], qopts);
-          if (!rs.ok()) std::abort();
-          std::lock_guard<std::mutex> lk(mu);
-          qat_latency.Add(w.ElapsedSeconds());
-        }
-      });
-    }
-    for (auto& t : threads) t.join();
-    qat_seconds = total.ElapsedSeconds();
+    qat_seconds = run_phase(RoutePolicy::kBaseline, &qat_latency, &disk);
   }
 
   std::printf("\n%zu ad-hoc star queries, %zu concurrent:\n", kQueries,

@@ -90,6 +90,13 @@ int main() {
   spec.aggregates.push_back(
       {AggFn::kAvg, 1, ColumnSource::Fact(2), "avg_ship_days"});
 
+  // Both star sub-queries ride the unified Execute() lifecycle: give the
+  // whole fact-to-fact join a generous deadline (it would complete with
+  // kDeadlineExceeded instead of hanging if the pipeline ever stalled).
+  spec.deadline_ns =
+      QueryRuntime::NowNs() +
+      std::chrono::nanoseconds(std::chrono::seconds(30)).count();
+
   auto rs = engine.ExecuteGalaxyJoin(spec);
   if (!rs.ok()) {
     std::fprintf(stderr, "%s\n", rs.status().ToString().c_str());

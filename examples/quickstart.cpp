@@ -59,7 +59,11 @@ int main() {
     return 1;
   }
 
-  // ---- 3. Submit concurrent queries (they share one physical plan) ---------
+  // ---- 3. Execute concurrent queries through the unified API ---------------
+  // Every query goes through Execute() and returns the same non-blocking
+  // QueryTicket; RoutePolicy::kCJoin pins them to the shared pipeline so
+  // they all ride one physical plan (kAuto would let the cost-based
+  // router pick per query).
   const char* queries[] = {
       "SELECT s_region, COUNT(*) AS n, SUM(f_amount) AS total "
       "FROM sales, store WHERE f_sid = s_id GROUP BY s_region",
@@ -73,27 +77,30 @@ int main() {
       "AND s_region = 'EAST'",
   };
 
-  std::vector<std::unique_ptr<QueryHandle>> handles;
+  std::vector<std::unique_ptr<QueryTicket>> tickets;
   for (const char* sql : queries) {
-    auto h = engine.SubmitSql("sales", sql);
-    if (!h.ok()) {
-      std::fprintf(stderr, "submit: %s\n", h.status().ToString().c_str());
+    QueryRequest req = QueryRequest::Sql("sales", sql);
+    req.policy = RoutePolicy::kCJoin;
+    auto t = engine.Execute(std::move(req));
+    if (!t.ok()) {
+      std::fprintf(stderr, "execute: %s\n", t.status().ToString().c_str());
       return 1;
     }
-    handles.push_back(std::move(*h));
+    tickets.push_back(std::move(*t));
   }
 
   // ---- 4. Collect results ---------------------------------------------------
-  for (size_t i = 0; i < handles.size(); ++i) {
-    auto rs = handles[i]->Wait();
+  for (size_t i = 0; i < tickets.size(); ++i) {
+    auto rs = tickets[i]->Wait();
     if (!rs.ok()) {
       std::fprintf(stderr, "query %zu: %s\n", i,
                    rs.status().ToString().c_str());
       return 1;
     }
     rs->SortRows();
-    std::printf("--- query %zu (%.2f ms, %llu tuples consumed)\n%s\n", i + 1,
-                handles[i]->ResponseSeconds() * 1e3,
+    std::printf("--- query %zu via %s (%.2f ms, %llu tuples consumed)\n%s\n",
+                i + 1, RouteChoiceName(tickets[i]->route()),
+                tickets[i]->ResponseSeconds() * 1e3,
                 static_cast<unsigned long long>(rs->tuples_consumed),
                 rs->ToString().c_str());
   }

@@ -17,12 +17,15 @@ using namespace cjoin;
 namespace {
 
 int64_t CountAll(QueryEngine& engine) {
-  auto h = engine.SubmitSql("ssb", "SELECT COUNT(*) AS n FROM lineorder");
-  if (!h.ok()) {
-    std::fprintf(stderr, "%s\n", h.status().ToString().c_str());
+  QueryRequest req =
+      QueryRequest::Sql("ssb", "SELECT COUNT(*) AS n FROM lineorder");
+  req.policy = RoutePolicy::kCJoin;
+  auto t = engine.Execute(std::move(req));
+  if (!t.ok()) {
+    std::fprintf(stderr, "%s\n", t.status().ToString().c_str());
     std::exit(1);
   }
-  auto rs = (*h)->Wait();
+  auto rs = (*t)->Wait();
   if (!rs.ok()) std::exit(1);
   return rs->rows[0][0].AsInt();
 }
@@ -33,9 +36,11 @@ int64_t CountAtSnapshot(QueryEngine& engine, SnapshotId snap) {
   spec.aggregates.push_back(
       AggregateSpec{AggFn::kCount, std::nullopt, nullptr, "n"});
   spec.snapshot = snap;
-  auto h = engine.Submit(spec);
-  if (!h.ok()) std::exit(1);
-  auto rs = (*h)->Wait();
+  QueryRequest req = QueryRequest::FromSpec(std::move(spec));
+  req.policy = RoutePolicy::kCJoin;
+  auto t = engine.Execute(std::move(req));
+  if (!t.ok()) std::exit(1);
+  auto rs = (*t)->Wait();
   if (!rs.ok()) std::exit(1);
   return rs->rows[0][0].AsInt();
 }

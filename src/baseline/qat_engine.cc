@@ -1,6 +1,7 @@
 #include "baseline/qat_engine.h"
 
 #include <algorithm>
+#include <chrono>
 #include <vector>
 
 #include "common/clock.h"
@@ -28,6 +29,21 @@ inline uint64_t BurnOverhead(uint64_t seed, int rounds) {
   return h;
 }
 
+/// Batch-boundary interruption check (cancellation / deadline).
+Status CheckInterrupt(const QatOptions& options) {
+  if (options.cancel != nullptr &&
+      options.cancel->load(std::memory_order_acquire)) {
+    return Status::Cancelled("baseline query cancelled");
+  }
+  if (options.deadline_ns != 0 &&
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+              .count() >= options.deadline_ns) {
+    return Status::DeadlineExceeded("baseline query deadline expired");
+  }
+  return Status::OK();
+}
+
 }  // namespace
 
 Result<ResultSet> ExecuteStarQuery(const StarQuerySpec& spec,
@@ -52,6 +68,7 @@ Result<ResultSet> ExecuteStarQuery(const StarQuerySpec& spec,
     stage.table = KeyRowMap(static_cast<size_t>(dim.NumRows()));
 
     for (uint32_t p = 0; p < dim.num_partitions(); ++p) {
+      CJOIN_RETURN_IF_ERROR(CheckInterrupt(options));
       for (uint64_t i = 0; i < dim.PartitionRows(p); ++i) {
         const RowId id{p, i};
         if (!dim.Header(id)->VisibleAt(spec.snapshot)) continue;
@@ -97,6 +114,7 @@ Result<ResultSet> ExecuteStarQuery(const StarQuerySpec& spec,
   uint64_t burn_sink = 0;
   while (scan.Next(&ev)) {
     if (ev.kind != ScanEvent::Kind::kRows) continue;
+    CJOIN_RETURN_IF_ERROR(CheckInterrupt(options));
     for (size_t r = 0; r < ev.count; ++r) {
       const uint8_t* slot = ev.base + r * stride;
       const RowHeader* hdr = reinterpret_cast<const RowHeader*>(slot);

@@ -22,6 +22,7 @@
 #ifndef CJOIN_BASELINE_QAT_ENGINE_H_
 #define CJOIN_BASELINE_QAT_ENGINE_H_
 
+#include <atomic>
 #include <cstdint>
 
 #include "catalog/query_spec.h"
@@ -44,6 +45,13 @@ struct QatOptions {
   int per_tuple_overhead = 0;
   /// Rows per scan run.
   size_t scan_batch_rows = 1024;
+
+  /// Cooperative cancellation: when non-null and set to true, the
+  /// executor stops at the next batch boundary and returns kCancelled.
+  const std::atomic<bool>* cancel = nullptr;
+  /// Absolute deadline, steady-clock nanos (0 = none); checked at batch
+  /// boundaries, trips with kDeadlineExceeded.
+  int64_t deadline_ns = 0;
 };
 
 /// Execution statistics of one baseline query.

@@ -46,10 +46,6 @@ Status CheckSource(const StarQuerySpec& spec, const ColumnSource& src,
   return Status::OK();
 }
 
-bool SourceReferencesDim(const ColumnSource& src, size_t dim) {
-  return src.from == ColumnSource::From::kDimension && src.dim_index == dim;
-}
-
 }  // namespace
 
 Status ValidateSpec(const StarQuerySpec& spec) {

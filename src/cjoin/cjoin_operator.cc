@@ -143,11 +143,13 @@ void CJoinOperator::Stop() {
   for (auto& rt : registry_) {
     if (rt == nullptr) continue;
     QueryPhase phase = rt->phase.load();
-    if (phase != QueryPhase::kCompleted && phase != QueryPhase::kAborted) {
+    if (phase != QueryPhase::kCompleted && phase != QueryPhase::kAborted &&
+        phase != QueryPhase::kCancelled) {
       rt->phase.store(QueryPhase::kAborted);
       rt->promise.set_value(Status::Aborted("CJOIN operator stopped"));
     }
     rt.reset();
+    inflight_.fetch_sub(1, std::memory_order_relaxed);
   }
 }
 
@@ -173,7 +175,7 @@ void CJoinOperator::ReleaseQueryId(uint32_t qid) {
 }
 
 Result<std::unique_ptr<QueryHandle>> CJoinOperator::Submit(
-    StarQuerySpec spec, AggregatorFactory aggregator_factory) {
+    StarQuerySpec spec, SubmitOptions options) {
   if (!started_ || stopped_) {
     return Status::FailedPrecondition("operator not running");
   }
@@ -181,8 +183,14 @@ Result<std::unique_ptr<QueryHandle>> CJoinOperator::Submit(
     return Status::InvalidArgument(
         "query targets a different star schema than this operator");
   }
-  CJOIN_ASSIGN_OR_RETURN(StarQuerySpec normalized,
-                         NormalizeSpec(std::move(spec)));
+  StarQuerySpec normalized = std::move(spec);
+  if (!options.assume_normalized) {
+    CJOIN_ASSIGN_OR_RETURN(normalized, NormalizeSpec(std::move(normalized)));
+  }
+  if (options.deadline_ns != 0 &&
+      QueryRuntime::NowNs() >= options.deadline_ns) {
+    return Status::DeadlineExceeded("deadline expired before submission");
+  }
 
   const uint32_t qid = AcquireQueryId();
   if (qid == UINT32_MAX) {
@@ -192,7 +200,8 @@ Result<std::unique_ptr<QueryHandle>> CJoinOperator::Submit(
   auto rt = std::make_shared<QueryRuntime>();
   rt->query_id = qid;
   rt->spec = std::move(normalized);
-  rt->custom_aggregator_factory = std::move(aggregator_factory);
+  rt->custom_aggregator_factory = std::move(options.aggregator_factory);
+  rt->deadline_ns.store(options.deadline_ns, std::memory_order_relaxed);
   rt->submit_ns.store(QueryRuntime::NowNs());
   std::future<Result<ResultSet>> fut = rt->promise.get_future();
   {
@@ -200,7 +209,9 @@ Result<std::unique_ptr<QueryHandle>> CJoinOperator::Submit(
     registry_[qid] = rt;
   }
   auto handle = std::make_unique<QueryHandle>(rt, std::move(fut));
+  inflight_.fetch_add(1, std::memory_order_relaxed);
   if (!submissions_.Push(rt)) {
+    inflight_.fetch_sub(1, std::memory_order_relaxed);
     std::lock_guard<std::mutex> lk(registry_mu_);
     registry_[qid].reset();
     ReleaseQueryId(qid);
@@ -211,6 +222,32 @@ Result<std::unique_ptr<QueryHandle>> CJoinOperator::Submit(
 
 void CJoinOperator::AdmitQuery(const std::shared_ptr<QueryRuntime>& rt) {
   if (TraceEnabled()) fprintf(stderr, "[mgr] admit qid=%u begin\n", rt->query_id);
+
+  // A query cancelled (or expired) while still queued for admission never
+  // loaded dimension state: resolve it here and recycle its id directly.
+  TerminalReason early = TerminalReason::kNone;
+  if (rt->cancel_requested.load(std::memory_order_acquire)) {
+    early = TerminalReason::kCancelled;
+  } else if (rt->DeadlinePassed(QueryRuntime::NowNs())) {
+    early = TerminalReason::kDeadline;
+  }
+  if (early != TerminalReason::kNone) {
+    rt->phase.store(QueryPhase::kCancelled);
+    rt->promise.set_value(
+        early == TerminalReason::kDeadline
+            ? Status::DeadlineExceeded("query deadline expired before admission")
+            : Status::Cancelled("query cancelled before admission"));
+    const uint32_t qid = rt->query_id;
+    {
+      std::lock_guard<std::mutex> lk(registry_mu_);
+      registry_[qid].reset();
+    }
+    ReleaseQueryId(qid);
+    inflight_.fetch_sub(1, std::memory_order_relaxed);
+    early_cancelled_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+
   rt->phase.store(QueryPhase::kLoading);
   const uint32_t qid = rt->query_id;
   const StarQuerySpec& spec = rt->spec;
@@ -294,6 +331,7 @@ void CJoinOperator::CleanupQuery(uint32_t qid) {
     registry_[qid].reset();
   }
   ReleaseQueryId(qid);
+  inflight_.fetch_sub(1, std::memory_order_relaxed);
 }
 
 void CJoinOperator::MaybeReorderFilters() {
@@ -356,6 +394,8 @@ CJoinOperator::Stats CJoinOperator::GetStats() const {
   s.rows_skipped_at_preprocessor = preprocessor_->rows_skipped();
   s.tuples_routed = distributor_->tuples_routed();
   s.queries_completed = distributor_->queries_completed();
+  s.queries_cancelled = distributor_->queries_cancelled() +
+                        early_cancelled_.load(std::memory_order_relaxed);
   s.table_laps = preprocessor_->table_laps();
   s.active_queries = preprocessor_->active_queries();
   s.pool_in_use = pool_->InUse();

@@ -103,12 +103,29 @@ class CJoinOperator {
   /// Stops the pipeline, aborting unfinished queries. Idempotent.
   void Stop();
 
+  /// Per-submission options (beyond the spec itself).
+  struct SubmitOptions {
+    /// Overrides the operator default for this query only (used by the
+    /// galaxy join, §5).
+    AggregatorFactory aggregator_factory;
+    /// Absolute deadline, steady-clock nanos (0 = none). An expired query
+    /// is deregistered mid-lap and completes with kDeadlineExceeded.
+    int64_t deadline_ns = 0;
+    /// Skip NormalizeSpec: the caller guarantees the spec already is
+    /// (the engine normalizes during request resolution).
+    bool assume_normalized = false;
+  };
+
   /// Registers a star query (normalizing it first). Blocks while
-  /// max_concurrent_queries are in flight. Thread-safe. When
-  /// `aggregator_factory` is provided it overrides the operator default
-  /// for this query only (used by the galaxy join, §5).
+  /// max_concurrent_queries are in flight. Thread-safe.
+  Result<std::unique_ptr<QueryHandle>> Submit(StarQuerySpec spec,
+                                              SubmitOptions options);
   Result<std::unique_ptr<QueryHandle>> Submit(
-      StarQuerySpec spec, AggregatorFactory aggregator_factory = nullptr);
+      StarQuerySpec spec, AggregatorFactory aggregator_factory = nullptr) {
+    SubmitOptions so;
+    so.aggregator_factory = std::move(aggregator_factory);
+    return Submit(std::move(spec), std::move(so));
+  }
 
   /// Point-in-time statistics.
   struct Stats {
@@ -116,6 +133,7 @@ class CJoinOperator {
     uint64_t rows_skipped_at_preprocessor = 0;
     uint64_t tuples_routed = 0;
     uint64_t queries_completed = 0;
+    uint64_t queries_cancelled = 0;
     uint64_t table_laps = 0;
     size_t active_queries = 0;
     size_t pool_in_use = 0;
@@ -134,6 +152,12 @@ class CJoinOperator {
     size_t cleanups_pending = 0;
   };
   Stats GetStats() const;
+
+  /// Queries submitted but not yet cleaned up (any lifecycle stage). The
+  /// router samples this as the operator's current load (§3.2.3).
+  size_t InFlight() const {
+    return inflight_.load(std::memory_order_relaxed);
+  }
 
   const StarSchema& star() const { return star_; }
   size_t width_words() const { return width_; }
@@ -174,6 +198,10 @@ class CJoinOperator {
 
   // Manager state.
   BoundedQueue<std::shared_ptr<QueryRuntime>> submissions_{1024};
+  std::atomic<size_t> inflight_{0};
+  /// Queries cancelled/expired before admission (the Distributor only
+  /// counts mid-lap deregistrations).
+  std::atomic<uint64_t> early_cancelled_{0};
   uint64_t manager_active_mask_[kMaxWidthWords] = {};
   std::atomic<uint64_t> reorders_{0};
   std::atomic<uint64_t> manager_iterations_{0};

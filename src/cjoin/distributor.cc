@@ -48,11 +48,25 @@ void Distributor::ProcessControl(TupleSlot* slot) {
   } else {
     assert(slot->kind == SlotKind::kQueryEnd);
     live_[rt->query_id] = nullptr;
-    ResultSet rs = rt->aggregator->Finish();
     rt->completed_ns.store(QueryRuntime::NowNs());
-    rt->phase.store(QueryPhase::kCompleted);
-    rt->promise.set_value(std::move(rs));
-    completed_.fetch_add(1, std::memory_order_relaxed);
+    // A query deregistered early (cancelled / deadline-expired) delivers
+    // its terminal status instead of a (partial, meaningless) result.
+    const TerminalReason reason = rt->terminal.load(std::memory_order_acquire);
+    // Counters are bumped before the promise resolves so a caller that
+    // wakes from Wait() observes consistent stats.
+    if (reason == TerminalReason::kNone) {
+      ResultSet rs = rt->aggregator->Finish();
+      rt->phase.store(QueryPhase::kCompleted);
+      completed_.fetch_add(1, std::memory_order_relaxed);
+      rt->promise.set_value(std::move(rs));
+    } else {
+      rt->phase.store(QueryPhase::kCancelled);
+      cancelled_.fetch_add(1, std::memory_order_relaxed);
+      rt->promise.set_value(
+          reason == TerminalReason::kDeadline
+              ? Status::DeadlineExceeded("query deadline expired mid-lap")
+              : Status::Cancelled("query cancelled"));
+    }
     cleanup_->Push(rt->query_id);
   }
   pool_->Release(slot);

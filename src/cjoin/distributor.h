@@ -47,6 +47,10 @@ class Distributor {
   uint64_t queries_completed() const {
     return completed_.load(std::memory_order_relaxed);
   }
+  /// Queries terminated early (cancelled or deadline-expired).
+  uint64_t queries_cancelled() const {
+    return cancelled_.load(std::memory_order_relaxed);
+  }
 
  private:
   void HandleBatch(TupleBatch batch);
@@ -73,6 +77,7 @@ class Distributor {
 
   std::atomic<uint64_t> routed_{0};
   std::atomic<uint64_t> completed_{0};
+  std::atomic<uint64_t> cancelled_{0};
 };
 
 }  // namespace cjoin

@@ -167,6 +167,26 @@ void Preprocessor::FinalizeQuery(uint32_t qid) {
   active_count_.fetch_sub(1, std::memory_order_relaxed);
 }
 
+void Preprocessor::PollInterrupts() {
+  if (active_count_.load(std::memory_order_relaxed) == 0) return;
+  const int64_t now = QueryRuntime::NowNs();
+  std::vector<std::pair<uint32_t, TerminalReason>> due;
+  for (const auto& pr : snapshot_checks_) {
+    const ActiveQuery* aq = active_[pr.first].get();
+    if (aq == nullptr) continue;
+    QueryRuntime* rt = aq->runtime.get();
+    if (rt->cancel_requested.load(std::memory_order_acquire)) {
+      due.emplace_back(pr.first, TerminalReason::kCancelled);
+    } else if (rt->DeadlinePassed(now)) {
+      due.emplace_back(pr.first, TerminalReason::kDeadline);
+    }
+  }
+  for (const auto& [qid, reason] : due) {
+    active_[qid]->runtime->terminal.store(reason, std::memory_order_release);
+    FinalizeQuery(qid);
+  }
+}
+
 void Preprocessor::FlushBatch() {
   if (batch_.slots.empty()) return;
   batch_.epoch = cur_epoch_;
@@ -322,6 +342,7 @@ void Preprocessor::Run(const std::atomic<bool>& stop) {
   ScanEvent ev;
   while (!stop.load(std::memory_order_relaxed)) {
     HandleAdmissions();
+    PollInterrupts();
 
     if (active_count_.load(std::memory_order_relaxed) == 0) {
       // Quiescent: the "always-on" scan idles at its current position

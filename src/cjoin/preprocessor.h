@@ -108,6 +108,11 @@ class Preprocessor {
   void HandleAdmissions();
   void InstallQuery(std::shared_ptr<QueryRuntime> runtime);
   void FinalizeQuery(uint32_t qid);
+  /// Deregisters queries whose Cancel() flag is set or whose deadline has
+  /// passed: their query-end control tuple is emitted at the current
+  /// stream position (mid-lap), after which Algorithm 2 reclaims their
+  /// bit-vector slot exactly as for a naturally completed query.
+  void PollInterrupts();
   /// Computes the completion checkpoint for a query registered at the
   /// current scan position.
   void ComputeCheckpoint(const std::vector<uint32_t>& partitions,

@@ -29,6 +29,14 @@ enum class QueryPhase : int {
   kRegistered = 2,  ///< query-start control tuple emitted; filtering live
   kCompleted = 3,   ///< results delivered
   kAborted = 4,     ///< operator shut down before completion
+  kCancelled = 5,   ///< terminated early (Cancel() or deadline expiry)
+};
+
+/// Why a query was terminated before its natural completion checkpoint.
+enum class TerminalReason : int {
+  kNone = 0,
+  kCancelled = 1,
+  kDeadline = 2,
 };
 
 /// All state of one in-flight query. Created by Submit(); owned jointly by
@@ -47,6 +55,29 @@ struct QueryRuntime {
 
   std::promise<Result<ResultSet>> promise;
   std::atomic<QueryPhase> phase{QueryPhase::kSubmitted};
+
+  /// Cooperative cancellation: set by QueryHandle::Cancel(), observed by
+  /// the Pipeline Manager (pre-admission) and the Preprocessor (while
+  /// registered). A cancelled query is deregistered mid-lap — its
+  /// query-end control tuple is emitted at the current stream position —
+  /// and its bit-vector slot is reclaimed for reuse by Algorithm 2.
+  std::atomic<bool> cancel_requested{false};
+
+  /// Absolute deadline (steady-clock nanos; 0 = none). A query past its
+  /// deadline is deregistered the same way and completes with
+  /// kDeadlineExceeded.
+  std::atomic<int64_t> deadline_ns{0};
+
+  /// Set (by whichever component deregisters the query early) before the
+  /// query-end control tuple is emitted; read by the Distributor to pick
+  /// the terminal status delivered to the caller.
+  std::atomic<TerminalReason> terminal{TerminalReason::kNone};
+
+  /// True once this runtime is past its deadline (no deadline = false).
+  bool DeadlinePassed(int64_t now_ns) const {
+    const int64_t dl = deadline_ns.load(std::memory_order_relaxed);
+    return dl != 0 && now_ns >= dl;
+  }
 
   // Timing (steady-clock nanos) for the paper's submission/response-time
   // metrics (§6.2.2 Table 1: submission time = Submit() until the
@@ -76,6 +107,14 @@ class QueryHandle {
 
   /// Blocks until the result is available.
   Result<ResultSet> Wait() { return future_.get(); }
+
+  /// Requests cooperative cancellation. Non-blocking; the query is
+  /// deregistered mid-lap by the pipeline and Wait() then returns a
+  /// kCancelled status. Safe to call at any time, including after
+  /// completion (no-op) and concurrently with the pipeline.
+  void Cancel() {
+    runtime_->cancel_requested.store(true, std::memory_order_release);
+  }
 
   bool Ready() const {
     return future_.wait_for(std::chrono::seconds(0)) ==

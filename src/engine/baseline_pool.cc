@@ -1,0 +1,163 @@
+#include "engine/baseline_pool.h"
+
+#include <algorithm>
+#include <chrono>
+
+#include "cjoin/query_runtime.h"
+
+namespace cjoin {
+
+bool BaselineJob::TryResolve(Result<ResultSet> result) {
+  bool expected = false;
+  if (!resolved_.compare_exchange_strong(expected, true,
+                                         std::memory_order_acq_rel)) {
+    return false;
+  }
+  completed_ns.store(QueryRuntime::NowNs(), std::memory_order_relaxed);
+  promise.set_value(std::move(result));
+  return true;
+}
+
+BaselinePool::BaselinePool(size_t workers) {
+  const size_t n = std::max<size_t>(1, workers);
+  threads_.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    threads_.emplace_back([this] { WorkerLoop(); });
+  }
+  sweeper_ = std::thread([this] { SweeperLoop(); });
+}
+
+BaselinePool::~BaselinePool() { Shutdown(); }
+
+void BaselinePool::Enqueue(std::shared_ptr<BaselineJob> job) {
+  job->submit_ns.store(QueryRuntime::NowNs(), std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (shutdown_) {
+      job->TryResolve(Status::Aborted("baseline pool shut down"));
+      return;
+    }
+    job->seq = next_seq_++;
+    queue_.push_back(job);
+    watched_.push_back(std::move(job));
+  }
+  cv_.notify_all();
+}
+
+void BaselinePool::Shutdown() {
+  // `watched_` is the superset: queued AND running jobs. Every unresolved
+  // job resolves kAborted now, and the cancel flag interrupts running
+  // executors at their next batch boundary so the worker join below is
+  // prompt (mirroring CJoinOperator::Stop()).
+  std::vector<std::shared_ptr<BaselineJob>> unresolved;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (shutdown_) return;
+    shutdown_ = true;
+    queue_.clear();
+    unresolved.swap(watched_);
+  }
+  cv_.notify_all();
+  for (auto& job : unresolved) {
+    job->cancel.store(true, std::memory_order_release);
+    job->TryResolve(Status::Aborted("baseline pool shut down"));
+  }
+  for (auto& t : threads_) {
+    if (t.joinable()) t.join();
+  }
+  if (sweeper_.joinable()) sweeper_.join();
+}
+
+size_t BaselinePool::queued() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return queue_.size();
+}
+
+std::shared_ptr<BaselineJob> BaselinePool::PopBestLocked() {
+  size_t best = queue_.size();
+  for (size_t i = 0; i < queue_.size(); ++i) {
+    if (best == queue_.size() ||
+        queue_[i]->priority > queue_[best]->priority ||
+        (queue_[i]->priority == queue_[best]->priority &&
+         queue_[i]->seq < queue_[best]->seq)) {
+      best = i;
+    }
+  }
+  if (best == queue_.size()) return nullptr;
+  std::shared_ptr<BaselineJob> job = std::move(queue_[best]);
+  queue_.erase(queue_.begin() + static_cast<ptrdiff_t>(best));
+  return job;
+}
+
+void BaselinePool::WorkerLoop() {
+  for (;;) {
+    std::shared_ptr<BaselineJob> job;
+    {
+      std::unique_lock<std::mutex> lk(mu_);
+      cv_.wait(lk, [this] { return shutdown_ || !queue_.empty(); });
+      if (shutdown_) return;
+      job = PopBestLocked();
+      if (job == nullptr) continue;
+    }
+
+    const int64_t now = QueryRuntime::NowNs();
+    job->start_ns.store(now, std::memory_order_relaxed);
+    Result<ResultSet> result = [&]() -> Result<ResultSet> {
+      if (job->cancel.load(std::memory_order_acquire)) {
+        return Status::Cancelled("baseline query cancelled while queued");
+      }
+      if (job->deadline_ns != 0 && now >= job->deadline_ns) {
+        return Status::DeadlineExceeded(
+            "baseline query deadline expired while queued");
+      }
+      QatOptions opts = job->options;
+      opts.cancel = &job->cancel;
+      opts.deadline_ns = job->deadline_ns;
+      return ExecuteStarQuery(job->spec, opts);
+    }();
+    // The sweeper may have resolved it already (cancel/deadline); first
+    // caller wins.
+    job->TryResolve(std::move(result));
+  }
+}
+
+void BaselinePool::SweeperLoop() {
+  // Resolves cancelled / deadline-expired jobs promptly — also while they
+  // are still queued behind busy workers — at a cadence matching the
+  // CJOIN path's per-scan-run interrupt granularity.
+  constexpr auto kSweepInterval = std::chrono::milliseconds(5);
+  std::unique_lock<std::mutex> lk(mu_);
+  while (!shutdown_) {
+    cv_.wait_for(lk, kSweepInterval,
+                 [this] { return shutdown_; });
+    if (shutdown_) break;
+    const int64_t now = QueryRuntime::NowNs();
+    for (size_t i = 0; i < watched_.size();) {
+      BaselineJob& job = *watched_[i];
+      Status terminal = Status::OK();
+      if (job.cancel.load(std::memory_order_acquire)) {
+        terminal = Status::Cancelled("baseline query cancelled");
+      } else if (job.deadline_ns != 0 && now >= job.deadline_ns) {
+        terminal = Status::DeadlineExceeded(
+            "baseline query deadline expired");
+      }
+      bool done = false;
+      if (!terminal.ok()) {
+        // Signal the executor too (deadline case), then resolve.
+        job.cancel.store(true, std::memory_order_release);
+        job.TryResolve(std::move(terminal));
+        done = true;
+      } else if (job.completed_ns.load(std::memory_order_relaxed) != 0) {
+        done = true;  // worker finished it; stop watching
+      }
+      if (done) {
+        watched_[i] = std::move(watched_.back());
+        watched_.pop_back();
+      } else {
+        ++i;
+      }
+    }
+  }
+}
+
+}  // namespace cjoin

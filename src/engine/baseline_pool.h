@@ -1,0 +1,98 @@
+// Engine-owned worker pool for baseline (query-at-a-time) executions.
+//
+// The unified Execute() API returns a non-blocking QueryTicket for every
+// routing choice; baseline queries therefore run on this pool instead of
+// the caller's thread. Jobs are ordered by (priority desc, submission
+// order) and support cooperative cancellation and deadlines: a sweeper
+// thread resolves cancelled / deadline-expired jobs promptly even while
+// they sit in the queue (matching the CJOIN path's responsiveness), and
+// the executor's batch-boundary checks interrupt jobs mid-scan. Each
+// job's promise resolves exactly once.
+
+#ifndef CJOIN_ENGINE_BASELINE_POOL_H_
+#define CJOIN_ENGINE_BASELINE_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "baseline/qat_engine.h"
+#include "catalog/query_spec.h"
+#include "common/status.h"
+#include "exec/result_set.h"
+
+namespace cjoin {
+
+/// One queued/running baseline execution. Shared between the pool and the
+/// caller's QueryTicket.
+struct BaselineJob {
+  StarQuerySpec spec;   ///< normalized
+  QatOptions options;   ///< per-job executor knobs
+  int priority = 0;
+  int64_t deadline_ns = 0;  ///< steady-clock nanos; 0 = none
+  uint64_t seq = 0;         ///< submission order (set by the pool)
+
+  std::atomic<bool> cancel{false};
+  std::promise<Result<ResultSet>> promise;
+
+  // Steady-clock nanos, for the uniform ticket timing stats.
+  std::atomic<int64_t> submit_ns{0};
+  std::atomic<int64_t> start_ns{0};
+  std::atomic<int64_t> completed_ns{0};
+
+  /// Resolves the promise exactly once (first caller wins: worker result,
+  /// sweeper cancel/deadline, or pool shutdown). Returns whether this
+  /// call resolved it.
+  bool TryResolve(Result<ResultSet> result);
+
+ private:
+  std::atomic<bool> resolved_{false};
+};
+
+class BaselinePool {
+ public:
+  /// Spawns `workers` threads (at least one) plus the sweeper.
+  explicit BaselinePool(size_t workers);
+  ~BaselinePool();
+
+  BaselinePool(const BaselinePool&) = delete;
+  BaselinePool& operator=(const BaselinePool&) = delete;
+
+  /// Enqueues a job. Its promise resolves when a worker finishes it, when
+  /// the sweeper observes its cancellation / deadline expiry (also while
+  /// still queued), or with kAborted on pool shutdown.
+  void Enqueue(std::shared_ptr<BaselineJob> job);
+
+  /// Stops workers and sweeper; unresolved jobs resolve with kAborted.
+  /// Idempotent.
+  void Shutdown();
+
+  size_t queued() const;
+  size_t workers() const { return threads_.size(); }
+
+ private:
+  void WorkerLoop();
+  void SweeperLoop();
+  /// Removes and returns the best waiting job (max priority, then lowest
+  /// seq); nullptr if none. Caller holds mu_.
+  std::shared_ptr<BaselineJob> PopBestLocked();
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  /// Waiting jobs (workers pick the best; small, linear scan).
+  std::vector<std::shared_ptr<BaselineJob>> queue_;
+  /// All unresolved jobs — queued and running — watched by the sweeper.
+  std::vector<std::shared_ptr<BaselineJob>> watched_;
+  uint64_t next_seq_ = 0;
+  bool shutdown_ = false;
+  std::vector<std::thread> threads_;
+  std::thread sweeper_;
+};
+
+}  // namespace cjoin
+
+#endif  // CJOIN_ENGINE_BASELINE_POOL_H_

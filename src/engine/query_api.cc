@@ -1,0 +1,56 @@
+#include "engine/query_api.h"
+
+namespace cjoin {
+
+QueryTicket::QueryTicket(RouteDecision decision,
+                         std::unique_ptr<QueryHandle> handle)
+    : decision_(std::move(decision)), cjoin_(std::move(handle)) {}
+
+QueryTicket::QueryTicket(RouteDecision decision,
+                         std::shared_ptr<BaselineJob> job,
+                         std::future<Result<ResultSet>> future)
+    : decision_(std::move(decision)),
+      baseline_(std::move(job)),
+      baseline_future_(std::move(future)) {}
+
+QueryTicket::~QueryTicket() = default;
+
+const std::string& QueryTicket::label() const {
+  return cjoin_ != nullptr ? cjoin_->label() : baseline_->spec.label;
+}
+
+Result<ResultSet> QueryTicket::Wait() {
+  if (cjoin_ != nullptr) return cjoin_->Wait();
+  return baseline_future_.get();
+}
+
+bool QueryTicket::Ready() const {
+  if (cjoin_ != nullptr) return cjoin_->Ready();
+  return baseline_future_.wait_for(std::chrono::seconds(0)) ==
+         std::future_status::ready;
+}
+
+void QueryTicket::Cancel() {
+  if (cjoin_ != nullptr) {
+    cjoin_->Cancel();
+  } else {
+    baseline_->cancel.store(true, std::memory_order_release);
+  }
+}
+
+double QueryTicket::ResponseSeconds() const {
+  if (cjoin_ != nullptr) return cjoin_->ResponseSeconds();
+  const int64_t done = baseline_->completed_ns.load();
+  const int64_t sub = baseline_->submit_ns.load();
+  return done > sub ? static_cast<double>(done - sub) * 1e-9 : 0.0;
+}
+
+double QueryTicket::SubmissionSeconds() const {
+  return cjoin_ != nullptr ? cjoin_->SubmissionSeconds() : 0.0;
+}
+
+uint32_t QueryTicket::query_id() const {
+  return cjoin_ != nullptr ? cjoin_->query_id() : UINT32_MAX;
+}
+
+}  // namespace cjoin

@@ -1,0 +1,133 @@
+// The unified asynchronous query API.
+//
+// QueryEngine::Execute(QueryRequest) is the single submission path for
+// every query: structured StarQuerySpec or SQL text, routed to the shared
+// CJOIN pipeline or the conventional query-at-a-time executor (by policy
+// or by the §3.2.3 cost-based Router), with optional deadline and
+// priority. Every path returns the same non-blocking QueryTicket:
+//
+//   QueryRequest req = QueryRequest::Sql("ssb", "SELECT ...");
+//   req.timeout = std::chrono::seconds(5);
+//   auto ticket = engine.Execute(std::move(req));
+//   ... ticket->Cancel();                 // cooperative, any time
+//   Result<ResultSet> rs = ticket->Wait();  // kCancelled / kDeadlineExceeded
+//                                           // on early termination
+
+#ifndef CJOIN_ENGINE_QUERY_API_H_
+#define CJOIN_ENGINE_QUERY_API_H_
+
+#include <chrono>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "baseline/qat_engine.h"
+#include "catalog/query_spec.h"
+#include "cjoin/query_runtime.h"
+#include "engine/baseline_pool.h"
+#include "engine/router.h"
+
+namespace cjoin {
+
+/// One query submission: what to run, where it may run, and its SLOs.
+struct QueryRequest {
+  /// Structured form; used when `spec.schema != nullptr`.
+  StarQuerySpec spec;
+
+  /// SQL form: `sql` parsed against the star registered as `star`; used
+  /// when no structured spec is given.
+  std::string star;
+  std::string sql;
+
+  /// Routing policy (§3.2.3): kAuto consults the cost-based Router.
+  RoutePolicy policy = RoutePolicy::kAuto;
+
+  /// Relative deadline from Execute() (zero = none). Expired queries are
+  /// deregistered cooperatively and complete with kDeadlineExceeded.
+  std::chrono::nanoseconds timeout{0};
+  /// Absolute deadline, steady-clock nanos (0 = none); wins over timeout.
+  int64_t deadline_ns = 0;
+
+  /// Scheduling priority for the baseline worker pool (higher first).
+  int priority = 0;
+
+  /// Overrides the spec's / synthesized label when non-empty.
+  std::string label;
+
+  /// Per-request executor knobs for the baseline path (defaults to the
+  /// engine's QatOptions); used by the bench harness to model the
+  /// different comparison systems.
+  std::optional<QatOptions> baseline_options;
+
+  /// Per-query aggregator override on the CJOIN path (forces kCJoin);
+  /// internal — used by the galaxy join (§5) to collect joined tuples.
+  AggregatorFactory aggregator_factory;
+
+  static QueryRequest FromSpec(StarQuerySpec s) {
+    QueryRequest r;
+    r.spec = std::move(s);
+    return r;
+  }
+  static QueryRequest Sql(std::string star_name, std::string sql_text) {
+    QueryRequest r;
+    r.star = std::move(star_name);
+    r.sql = std::move(sql_text);
+    return r;
+  }
+};
+
+/// Uniform non-blocking handle to a query executing on either engine.
+class QueryTicket {
+ public:
+  /// CJOIN-routed ticket.
+  QueryTicket(RouteDecision decision, std::unique_ptr<QueryHandle> handle);
+  /// Baseline-routed ticket.
+  QueryTicket(RouteDecision decision, std::shared_ptr<BaselineJob> job,
+              std::future<Result<ResultSet>> future);
+  ~QueryTicket();
+
+  QueryTicket(const QueryTicket&) = delete;
+  QueryTicket& operator=(const QueryTicket&) = delete;
+
+  /// The engine this query was routed to.
+  RouteChoice route() const { return decision_.choice; }
+  /// The routing decision with its cost-model evidence.
+  const RouteDecision& decision() const { return decision_; }
+
+  const std::string& label() const;
+
+  /// Blocks until the result is available. Cancelled queries yield
+  /// kCancelled, deadline-expired ones kDeadlineExceeded. Single-shot.
+  Result<ResultSet> Wait();
+
+  /// True once Wait() would not block.
+  bool Ready() const;
+
+  /// Requests cooperative cancellation (non-blocking, idempotent, safe
+  /// after completion). The query's resources — including its CJOIN
+  /// bit-vector slot — are reclaimed by the owning engine.
+  void Cancel();
+
+  /// Seconds from submission to result delivery (0 until completed).
+  double ResponseSeconds() const;
+  /// CJOIN only: seconds from submission to pipeline registration.
+  double SubmissionSeconds() const;
+
+  /// CJOIN only: the query id / bit-vector slot (UINT32_MAX on baseline).
+  uint32_t query_id() const;
+
+  /// CJOIN only: underlying handle (nullptr on baseline). For stats and
+  /// tests; lifetime owned by the ticket.
+  QueryHandle* cjoin_handle() const { return cjoin_.get(); }
+
+ private:
+  RouteDecision decision_;
+  // Exactly one of the two backends is set.
+  std::unique_ptr<QueryHandle> cjoin_;
+  std::shared_ptr<BaselineJob> baseline_;
+  std::future<Result<ResultSet>> baseline_future_;
+};
+
+}  // namespace cjoin
+
+#endif  // CJOIN_ENGINE_QUERY_API_H_

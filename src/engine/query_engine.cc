@@ -85,15 +85,37 @@ class CollectorAggregator final : public StarAggregator {
   uint64_t consumed_ = 0;
 };
 
+/// True iff two star schemas describe the same star: same fact table and
+/// positionally identical dimensions (dim_index-based specs bound
+/// against one are valid against the other).
+bool SchemasEquivalent(const StarSchema& a, const StarSchema& b) {
+  if (&a.fact() != &b.fact()) return false;
+  if (a.num_dimensions() != b.num_dimensions()) return false;
+  for (size_t d = 0; d < a.num_dimensions(); ++d) {
+    const DimensionDef& da = a.dimension(d);
+    const DimensionDef& db = b.dimension(d);
+    if (da.table != db.table || da.fact_fk_col != db.fact_fk_col ||
+        da.dim_pk_col != db.dim_pk_col) {
+      return false;
+    }
+  }
+  return true;
+}
+
 }  // namespace
 
-QueryEngine::QueryEngine(Options options) : opts_(std::move(options)) {}
+QueryEngine::QueryEngine(Options options)
+    : opts_(std::move(options)),
+      router_(opts_.router),
+      baseline_pool_(
+          std::make_unique<BaselinePool>(opts_.baseline_workers)) {}
 
 QueryEngine::~QueryEngine() { Shutdown(); }
 
 void QueryEngine::Shutdown() {
   if (shut_down_) return;
   shut_down_ = true;
+  baseline_pool_->Shutdown();
   for (auto& entry : stars_) {
     if (entry->op != nullptr) entry->op->Stop();
   }
@@ -141,15 +163,42 @@ Result<QueryEngine::StarEntry*> QueryEngine::EntryFor(
   for (auto& entry : stars_) {
     if (entry->star.get() == schema) return entry.get();
   }
-  return Status::NotFound("query's star schema is not registered");
+  // RegisterStar stores a copy of the caller's StarSchema, so accept any
+  // structurally equivalent schema — same fact table AND positionally
+  // identical dimensions, since specs carry dim_index references (specs
+  // are routinely bound against the original); callers rebind
+  // spec.schema to the registered instance before submission.
+  for (auto& entry : stars_) {
+    if (SchemasEquivalent(*entry->star, *schema)) return entry.get();
+  }
+  return Status::NotFound(
+      "query's star schema is not registered (or differs structurally "
+      "from the registered star over the same fact table)");
 }
 
-Result<std::unique_ptr<QueryHandle>> QueryEngine::Submit(
-    StarQuerySpec spec) {
-  CJOIN_ASSIGN_OR_RETURN(StarEntry * entry, EntryFor(spec.schema));
-  if (spec.snapshot == kReadLatestSnapshot) {
-    spec.snapshot = CurrentSnapshot();
+Result<QueryEngine::StarEntry*> QueryEngine::ResolveRequest(
+    QueryRequest* request) {
+  StarEntry* entry;
+  if (request->spec.schema != nullptr) {
+    CJOIN_ASSIGN_OR_RETURN(entry, EntryFor(request->spec.schema));
+    request->spec.schema = entry->star.get();
+  } else {
+    CJOIN_ASSIGN_OR_RETURN(entry, EntryByName(request->star));
+    CJOIN_ASSIGN_OR_RETURN(request->spec,
+                           ParseStarQuery(*entry->star, request->sql));
   }
+  CJOIN_ASSIGN_OR_RETURN(request->spec,
+                         NormalizeSpec(std::move(request->spec)));
+  if (!request->label.empty()) request->spec.label = request->label;
+  if (request->spec.snapshot == kReadLatestSnapshot) {
+    request->spec.snapshot = CurrentSnapshot();
+  }
+  return entry;
+}
+
+Result<std::unique_ptr<QueryHandle>> QueryEngine::SubmitToCJoin(
+    StarEntry* entry, StarQuerySpec spec,
+    CJoinOperator::SubmitOptions options) {
   // Exact snapshot semantics under concurrent appends: the continuous
   // scan covers rows up to its last freeze, so while appends beyond that
   // bound exist, cap the query's snapshot at it (the Preprocessor
@@ -161,7 +210,103 @@ Result<std::unique_ptr<QueryHandle>> QueryEngine::Submit(
       covered) {
     spec.snapshot = std::min(spec.snapshot, covered);
   }
-  return entry->op->Submit(std::move(spec));
+  return entry->op->Submit(std::move(spec), std::move(options));
+}
+
+Result<std::unique_ptr<QueryTicket>> QueryEngine::Execute(
+    QueryRequest request) {
+  if (shut_down_) return Status::FailedPrecondition("engine shut down");
+  CJOIN_ASSIGN_OR_RETURN(StarEntry * entry, ResolveRequest(&request));
+
+  int64_t deadline_ns = request.deadline_ns;
+  if (deadline_ns == 0 && request.timeout.count() > 0) {
+    deadline_ns = QueryRuntime::NowNs() + request.timeout.count();
+  }
+
+  // §3.2.3: the optimizer choice. A per-query aggregator override is
+  // CJOIN machinery, so it forces that path.
+  RouteDecision decision;
+  RoutePolicy policy = request.aggregator_factory != nullptr
+                           ? RoutePolicy::kCJoin
+                           : request.policy;
+  switch (policy) {
+    case RoutePolicy::kCJoin:
+      decision.choice = RouteChoice::kCJoin;
+      decision.forced = true;
+      decision.reason = "policy";
+      break;
+    case RoutePolicy::kBaseline:
+      decision.choice = RouteChoice::kBaseline;
+      decision.forced = true;
+      decision.reason = "policy";
+      break;
+    case RoutePolicy::kAuto:
+      decision = router_.Decide(request.spec, entry->op->InFlight());
+      break;
+  }
+
+  // Uniform-ticket contract: an already-expired deadline resolves through
+  // the ticket (kDeadlineExceeded from Wait()) on BOTH routes — Execute()
+  // itself only fails on submission errors.
+  if (deadline_ns != 0 && QueryRuntime::NowNs() >= deadline_ns) {
+    auto job = std::make_shared<BaselineJob>();
+    job->spec = std::move(request.spec);
+    job->deadline_ns = deadline_ns;
+    job->submit_ns.store(QueryRuntime::NowNs(), std::memory_order_relaxed);
+    std::future<Result<ResultSet>> fut = job->promise.get_future();
+    job->TryResolve(
+        Status::DeadlineExceeded("deadline expired before submission"));
+    return std::make_unique<QueryTicket>(std::move(decision), std::move(job),
+                                         std::move(fut));
+  }
+
+  if (decision.choice == RouteChoice::kCJoin) {
+    CJoinOperator::SubmitOptions so;
+    so.aggregator_factory = std::move(request.aggregator_factory);
+    so.deadline_ns = deadline_ns;
+    so.assume_normalized = true;  // ResolveRequest normalized already
+    CJOIN_ASSIGN_OR_RETURN(
+        std::unique_ptr<QueryHandle> handle,
+        SubmitToCJoin(entry, std::move(request.spec), std::move(so)));
+    return std::make_unique<QueryTicket>(std::move(decision),
+                                         std::move(handle));
+  }
+
+  auto job = std::make_shared<BaselineJob>();
+  job->spec = std::move(request.spec);
+  job->options = request.baseline_options.value_or(opts_.baseline);
+  job->priority = request.priority;
+  job->deadline_ns = deadline_ns;
+  std::future<Result<ResultSet>> fut = job->promise.get_future();
+  baseline_pool_->Enqueue(job);
+  return std::make_unique<QueryTicket>(std::move(decision), std::move(job),
+                                       std::move(fut));
+}
+
+Result<RouteDecision> QueryEngine::ExplainRoute(StarQuerySpec spec) {
+  // Same resolution pipeline as Execute(), so the verdict is exactly the
+  // decision Execute() would make right now.
+  QueryRequest request = QueryRequest::FromSpec(std::move(spec));
+  CJOIN_ASSIGN_OR_RETURN(StarEntry * entry, ResolveRequest(&request));
+  return router_.Decide(request.spec, entry->op->InFlight());
+}
+
+Result<RouteDecision> QueryEngine::ExplainRoute(std::string_view star_name,
+                                                std::string_view sql) {
+  QueryRequest request =
+      QueryRequest::Sql(std::string(star_name), std::string(sql));
+  CJOIN_ASSIGN_OR_RETURN(StarEntry * entry, ResolveRequest(&request));
+  return router_.Decide(request.spec, entry->op->InFlight());
+}
+
+Result<std::unique_ptr<QueryHandle>> QueryEngine::Submit(
+    StarQuerySpec spec) {
+  CJOIN_ASSIGN_OR_RETURN(StarEntry * entry, EntryFor(spec.schema));
+  spec.schema = entry->star.get();
+  if (spec.snapshot == kReadLatestSnapshot) {
+    spec.snapshot = CurrentSnapshot();
+  }
+  return SubmitToCJoin(entry, std::move(spec), {});
 }
 
 Result<std::unique_ptr<QueryHandle>> QueryEngine::SubmitSql(
@@ -173,20 +318,21 @@ Result<std::unique_ptr<QueryHandle>> QueryEngine::SubmitSql(
 }
 
 Result<ResultSet> QueryEngine::ExecuteBaseline(StarQuerySpec spec) {
-  CJOIN_ASSIGN_OR_RETURN(StarQuerySpec normalized,
-                         NormalizeSpec(std::move(spec)));
-  if (normalized.snapshot == kReadLatestSnapshot) {
-    normalized.snapshot = CurrentSnapshot();
-  }
-  return ExecuteStarQuery(normalized, opts_.baseline);
+  QueryRequest request = QueryRequest::FromSpec(std::move(spec));
+  request.policy = RoutePolicy::kBaseline;
+  CJOIN_ASSIGN_OR_RETURN(std::unique_ptr<QueryTicket> ticket,
+                         Execute(std::move(request)));
+  return ticket->Wait();
 }
 
 Result<ResultSet> QueryEngine::ExecuteBaselineSql(
     std::string_view star_name, std::string_view sql) {
-  CJOIN_ASSIGN_OR_RETURN(StarEntry * entry, EntryByName(star_name));
-  CJOIN_ASSIGN_OR_RETURN(StarQuerySpec spec,
-                         ParseStarQuery(*entry->star, sql));
-  return ExecuteBaseline(std::move(spec));
+  QueryRequest request =
+      QueryRequest::Sql(std::string(star_name), std::string(sql));
+  request.policy = RoutePolicy::kBaseline;
+  CJOIN_ASSIGN_OR_RETURN(std::unique_ptr<QueryTicket> ticket,
+                         Execute(std::move(request)));
+  return ticket->Wait();
 }
 
 Result<ResultSet> QueryEngine::ExecuteGalaxyJoin(const GalaxyJoinSpec& spec) {
@@ -232,35 +378,53 @@ Result<ResultSet> QueryEngine::ExecuteGalaxyJoin(const GalaxyJoinSpec& spec) {
     }
   }
 
-  // Run both star sub-queries concurrently through their CJOIN operators
-  // with collector sinks (§5: "the Distributor pipes the results of Qi to
-  // a fact-to-fact join operator instead of an aggregation operator").
+  // Run both star sub-queries concurrently through the unified Execute()
+  // path with collector sinks (§5: "the Distributor pipes the results of
+  // Qi to a fact-to-fact join operator instead of an aggregation
+  // operator"). Both sides read the same snapshot and share the request
+  // deadline; if one side fails, the other is cancelled.
   CollectedSide sides[2];
   const StarSchema* schemas[2] = {lentry->star.get(), rentry->star.get()};
   const size_t join_cols[2] = {spec.left_join_col, spec.right_join_col};
   StarQuerySpec sub[2] = {spec.left, spec.right};
-  std::unique_ptr<QueryHandle> handles[2];
+  const SnapshotId snap = CurrentSnapshot();
+  std::unique_ptr<QueryTicket> tickets[2];
   for (int s = 0; s < 2; ++s) {
-    if (sub[s].snapshot == kReadLatestSnapshot) {
-      sub[s].snapshot = CurrentSnapshot();
-    }
+    if (sub[s].snapshot == kReadLatestSnapshot) sub[s].snapshot = snap;
     CollectedSide* out = &sides[s];
     const StarSchema* star = schemas[s];
     const size_t jcol = join_cols[s];
     std::vector<ColumnSource> projection = proj[s];
-    auto factory = [star, jcol, projection,
-                    out](const StarQuerySpec&) {
+    QueryRequest req = QueryRequest::FromSpec(sub[s]);
+    req.deadline_ns = spec.deadline_ns;
+    req.aggregator_factory = [star, jcol, projection,
+                              out](const StarQuerySpec&) {
       return std::make_unique<CollectorAggregator>(*star, jcol, projection,
                                                    out);
     };
-    StarEntry* entry = s == 0 ? lentry : rentry;
-    CJOIN_ASSIGN_OR_RETURN(handles[s],
-                           entry->op->Submit(sub[s], factory));
+    auto ticket = Execute(std::move(req));
+    if (!ticket.ok()) {
+      if (s == 1) {
+        // Must drain the other side before returning: its collector
+        // writes into this frame's `sides` until its query terminates.
+        tickets[0]->Cancel();
+        (void)tickets[0]->Wait();
+      }
+      return ticket.status();
+    }
+    tickets[s] = std::move(*ticket);
   }
-  for (int s = 0; s < 2; ++s) {
-    Result<ResultSet> rs = handles[s]->Wait();
-    CJOIN_RETURN_IF_ERROR(rs.status());
+  Result<ResultSet> left_rs = tickets[0]->Wait();
+  if (!left_rs.ok()) {
+    // Drain the right side before returning: its collector writes into
+    // this frame's `sides` until its query terminates. (Wait is
+    // single-shot, so the right side is only waited here, once.)
+    tickets[1]->Cancel();
+    (void)tickets[1]->Wait();
+    return left_rs.status();
   }
+  Result<ResultSet> right_rs = tickets[1]->Wait();
+  if (!right_rs.ok()) return right_rs.status();
 
   // Hash join: build on the smaller side.
   const int build = sides[0].keys.size() <= sides[1].keys.size() ? 0 : 1;

@@ -1,14 +1,16 @@
 // QueryEngine: the system facade around the CJOIN operator.
 //
 // Owns the galaxy of star schemas, one always-on CJoinOperator per fact
-// table, the snapshot counter for snapshot-isolated updates (§3.5), and
-// the conventional (query-at-a-time) executor used when a query is
-// explicitly routed to the baseline — "CJOIN becomes yet one more choice
-// for the database query optimizer" (§3.2.3).
+// table, the snapshot counter for snapshot-isolated updates (§3.5), a
+// worker pool for the conventional (query-at-a-time) executor, and the
+// cost-based Router that makes CJOIN "yet one more choice for the
+// database query optimizer" (§3.2.3).
 //
-// Mirrors the architecture of §2.1's problem statement: concurrent star
-// queries are diverted to the specialized CJOIN processor; updates and
-// baseline executions are handled by conventional code paths.
+// Execute(QueryRequest) is the single submission path: every query —
+// structured or SQL, CJOIN-routed or baseline-routed — returns the same
+// non-blocking QueryTicket with uniform wait/cancel/deadline/stats
+// semantics. The legacy Submit()/ExecuteBaseline() entry points remain as
+// thin deprecated wrappers over the same machinery.
 
 #ifndef CJOIN_ENGINE_QUERY_ENGINE_H_
 #define CJOIN_ENGINE_QUERY_ENGINE_H_
@@ -23,6 +25,9 @@
 #include "baseline/qat_engine.h"
 #include "catalog/star_schema.h"
 #include "cjoin/cjoin_operator.h"
+#include "engine/baseline_pool.h"
+#include "engine/query_api.h"
+#include "engine/router.h"
 #include "engine/sql_parser.h"
 
 namespace cjoin {
@@ -32,6 +37,10 @@ class QueryEngine {
   struct Options {
     CJoinOperator::Options cjoin;
     QatOptions baseline;
+    /// Worker threads executing baseline-routed queries.
+    size_t baseline_workers = 2;
+    /// Cost-model coefficients for kAuto routing.
+    RouterOptions router;
   };
 
   explicit QueryEngine(Options options);
@@ -43,21 +52,34 @@ class QueryEngine {
 
   Result<const StarSchema*> FindStar(std::string_view name) const;
 
-  // --- Query paths ---------------------------------------------------------
+  // --- The unified query path ----------------------------------------------
 
-  /// Submits a star query to the CJOIN operator of its star. The spec's
-  /// snapshot defaults to the engine's current snapshot.
+  /// Submits a query — structured spec or SQL — and returns a uniform
+  /// non-blocking ticket, whichever engine it is routed to. Snapshot
+  /// defaults to the engine's current snapshot; kAuto policy consults the
+  /// cost-based Router (§3.2.3).
+  Result<std::unique_ptr<QueryTicket>> Execute(QueryRequest request);
+
+  /// The routing decision Execute() would make for this SQL right now,
+  /// without running the query (the shell's EXPLAIN ROUTE).
+  Result<RouteDecision> ExplainRoute(std::string_view star_name,
+                                     std::string_view sql);
+  Result<RouteDecision> ExplainRoute(StarQuerySpec spec);
+
+  // --- Deprecated entry points (thin wrappers; to be removed) ---------------
+
+  /// DEPRECATED: use Execute() with RoutePolicy::kCJoin. Submits a star
+  /// query to the CJOIN operator of its star.
   Result<std::unique_ptr<QueryHandle>> Submit(StarQuerySpec spec);
 
-  /// Parses SQL against the named star and submits it.
+  /// DEPRECATED: use Execute(QueryRequest::Sql(...)) with kCJoin.
   Result<std::unique_ptr<QueryHandle>> SubmitSql(std::string_view star_name,
                                                  std::string_view sql);
 
-  /// Evaluates a star query with the conventional one-plan-per-query
-  /// executor (blocking).
+  /// DEPRECATED: use Execute() with RoutePolicy::kBaseline (blocking).
   Result<ResultSet> ExecuteBaseline(StarQuerySpec spec);
 
-  /// Parses and evaluates SQL on the baseline path (blocking).
+  /// DEPRECATED: use Execute() with RoutePolicy::kBaseline (blocking).
   Result<ResultSet> ExecuteBaselineSql(std::string_view star_name,
                                        std::string_view sql);
 
@@ -86,11 +108,17 @@ class QueryEngine {
       std::string label;
     };
     std::vector<OutputAggregate> aggregates;
+
+    /// Absolute deadline (steady-clock nanos; 0 = none) applied to both
+    /// star sub-queries through the unified lifecycle.
+    int64_t deadline_ns = 0;
   };
 
-  /// Evaluates a galaxy join: both star sub-queries run concurrently in
-  /// their stars' CJOIN operators (sharing work with any other in-flight
-  /// queries); their result streams meet in a hash join, then aggregate.
+  /// Evaluates a galaxy join: both star sub-queries are submitted through
+  /// Execute() (sharing the unified lifecycle — snapshot capping,
+  /// deadlines, cancellation) and run concurrently in their stars' CJOIN
+  /// operators; their result streams meet in a hash join, then aggregate.
+  /// If one side fails, the other is cancelled.
   Result<ResultSet> ExecuteGalaxyJoin(const GalaxyJoinSpec& spec);
 
   // --- Updates (§3.5) --------------------------------------------------------
@@ -133,7 +161,20 @@ class QueryEngine {
   Result<StarEntry*> EntryFor(const StarSchema* schema);
   Result<StarEntry*> EntryByName(std::string_view name);
 
+  /// Resolves a request's spec (parsing SQL if needed), normalizes it,
+  /// and defaults its snapshot; returns the owning star entry.
+  Result<StarEntry*> ResolveRequest(QueryRequest* request);
+
+  /// Submits a normalized spec to the star's CJOIN operator with exact
+  /// snapshot capping under concurrent appends. Shared by Execute() and
+  /// the deprecated Submit().
+  Result<std::unique_ptr<QueryHandle>> SubmitToCJoin(
+      StarEntry* entry, StarQuerySpec spec,
+      CJoinOperator::SubmitOptions options);
+
   Options opts_;
+  Router router_;
+  std::unique_ptr<BaselinePool> baseline_pool_;
   std::vector<std::unique_ptr<StarEntry>> stars_;
   std::atomic<SnapshotId> snapshot_{1};
   std::mutex update_mu_;  // serializes writers (single-writer storage)

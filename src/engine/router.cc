@@ -1,0 +1,124 @@
+#include "engine/router.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace cjoin {
+
+const char* RoutePolicyName(RoutePolicy policy) {
+  switch (policy) {
+    case RoutePolicy::kAuto:
+      return "auto";
+    case RoutePolicy::kCJoin:
+      return "cjoin";
+    case RoutePolicy::kBaseline:
+      return "baseline";
+  }
+  return "?";
+}
+
+const char* RouteChoiceName(RouteChoice choice) {
+  switch (choice) {
+    case RouteChoice::kCJoin:
+      return "CJOIN";
+    case RouteChoice::kBaseline:
+      return "baseline";
+  }
+  return "?";
+}
+
+std::string RouteDecision::ToString() const {
+  char buf[512];
+  std::snprintf(buf, sizeof(buf),
+                "route: %s%s\n"
+                "  selectivity     %.4f\n"
+                "  fact rows       %llu\n"
+                "  dim build rows  %llu\n"
+                "  in-flight       %zu\n"
+                "  cost(cjoin)     %.0f\n"
+                "  cost(baseline)  %.0f\n"
+                "  reason          %s",
+                RouteChoiceName(choice), forced ? " (forced by policy)" : "",
+                selectivity, static_cast<unsigned long long>(fact_rows),
+                static_cast<unsigned long long>(dim_build_rows), inflight,
+                cjoin_cost, baseline_cost, reason.c_str());
+  return buf;
+}
+
+double Router::EstimateSelectivity(const StarQuerySpec& spec,
+                                   uint64_t* dim_build_rows) const {
+  double combined = 1.0;
+  uint64_t build_rows = 0;
+  for (const DimensionPredicate& dp : spec.dim_predicates) {
+    const DimensionDef& def = spec.schema->dimension(dp.dim_index);
+    const Table& dim = *def.table;
+    const uint64_t total = dim.NumRows();
+    if (total == 0) continue;
+    double frac = 1.0;
+    if (dp.predicate != nullptr && !IsTrueLiteral(dp.predicate)) {
+      // Evenly strided sample over each partition (dimensions are small
+      // and memory-resident, so this is a handful of microseconds).
+      const Schema& dschema = dim.schema();
+      const uint64_t step =
+          std::max<uint64_t>(1, total / std::max<size_t>(
+                                            1, opts_.selectivity_sample_rows));
+      uint64_t sampled = 0, passed = 0;
+      for (uint32_t p = 0; p < dim.num_partitions(); ++p) {
+        const uint64_t n = dim.PartitionRows(p);
+        for (uint64_t i = 0; i < n; i += step) {
+          const RowId id{p, i};
+          if (!dim.Header(id)->VisibleAt(spec.snapshot)) continue;
+          ++sampled;
+          if (dp.predicate->EvalBool(dschema, dim.RowPayload(id))) ++passed;
+        }
+      }
+      frac = sampled == 0 ? 1.0
+                          : static_cast<double>(passed) /
+                                static_cast<double>(sampled);
+    }
+    combined *= frac;
+    build_rows += static_cast<uint64_t>(frac * static_cast<double>(total));
+  }
+  if (dim_build_rows != nullptr) *dim_build_rows = build_rows;
+  return combined;
+}
+
+RouteDecision Router::Decide(const StarQuerySpec& spec,
+                             size_t inflight) const {
+  RouteDecision d;
+  d.inflight = inflight;
+  d.fact_rows = spec.schema->fact().NumRows();
+  d.selectivity = EstimateSelectivity(spec, &d.dim_build_rows);
+
+  const double fact = static_cast<double>(d.fact_rows);
+  const double passing = fact * d.selectivity;
+
+  // Baseline: private dimension builds, then a private fact scan whose
+  // probe pipeline (most selective join first) rejects most tuples early
+  // when the query is selective.
+  d.baseline_cost = static_cast<double>(d.dim_build_rows) +
+                    fact * (1.0 + opts_.probe_weight * d.selectivity);
+
+  // CJOIN: joins the always-on lap. Scan + filter work is shared across
+  // every in-flight query, but a lone query pays the whole lap plus the
+  // pipeline's per-tuple overhead; routing/aggregation of the query's own
+  // output tuples is never shared.
+  d.cjoin_cost = fact * opts_.cjoin_tuple_weight /
+                     static_cast<double>(inflight + 1) +
+                 opts_.cjoin_fixed_cost + passing * opts_.route_weight;
+
+  if (d.baseline_cost < d.cjoin_cost) {
+    d.choice = RouteChoice::kBaseline;
+    d.reason = inflight == 0
+                   ? "selective query, idle operator: private plan is cheaper"
+                   : "private plan is cheaper at current load";
+  } else {
+    d.choice = RouteChoice::kCJoin;
+    d.reason = inflight > 0
+                   ? "shared scan amortized over in-flight queries"
+                   : "unselective query: shared pipeline is cheaper";
+  }
+  return d;
+}
+
+}  // namespace cjoin

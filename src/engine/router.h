@@ -1,0 +1,119 @@
+// Cost-based CJOIN / baseline routing (paper §3.2.3).
+//
+// "CJOIN becomes yet one more choice for the database query optimizer":
+// a star query can either join the always-on shared CJOIN pipeline or run
+// on the conventional query-at-a-time executor. The paper's guidance is
+// that the shared plan wins under concurrency (its scan and join work are
+// amortized over every in-flight query), while a *lone, highly selective*
+// query is better served by a private plan whose hash-join pipeline
+// short-circuits most fact tuples after one probe.
+//
+// The Router reproduces that choice with a two-input cost model:
+//   1. predicate selectivity, estimated from the dimension predicates by
+//      sampling the (memory-resident) dimension tables in the catalog;
+//   2. current operator load, the in-flight query count sampled from the
+//      star's CJoinOperator.
+// Costs are expressed in fact-tuple work units; the cheaper path wins.
+
+#ifndef CJOIN_ENGINE_ROUTER_H_
+#define CJOIN_ENGINE_ROUTER_H_
+
+#include <cstdint>
+#include <string>
+
+#include "catalog/query_spec.h"
+
+namespace cjoin {
+
+/// Caller-requested routing policy of a QueryRequest.
+enum class RoutePolicy {
+  kAuto,      ///< let the Router's cost model decide (§3.2.3)
+  kCJoin,     ///< force the shared CJOIN pipeline
+  kBaseline,  ///< force the conventional query-at-a-time executor
+};
+
+/// The engine a query was actually routed to.
+enum class RouteChoice { kCJoin, kBaseline };
+
+const char* RoutePolicyName(RoutePolicy policy);
+const char* RouteChoiceName(RouteChoice choice);
+
+/// The Router's verdict plus the evidence behind it (surfaced by the
+/// shell's EXPLAIN ROUTE and recorded on every QueryTicket).
+struct RouteDecision {
+  RouteChoice choice = RouteChoice::kCJoin;
+  /// True when a non-kAuto policy bypassed the cost model.
+  bool forced = false;
+
+  /// Estimated fraction of fact rows satisfying all dimension predicates
+  /// (product of per-dimension selectivities).
+  double selectivity = 1.0;
+  /// Fact-table cardinality used by the model.
+  uint64_t fact_rows = 0;
+  /// Estimated dimension rows a private baseline plan would hash.
+  uint64_t dim_build_rows = 0;
+  /// In-flight CJOIN queries at decision time.
+  size_t inflight = 0;
+
+  /// Costs in fact-tuple work units (lower wins).
+  double cjoin_cost = 0.0;
+  double baseline_cost = 0.0;
+
+  /// One-line human-readable rationale.
+  std::string reason;
+
+  /// Multi-line EXPLAIN ROUTE rendering.
+  std::string ToString() const;
+};
+
+/// Cost-model coefficients. The defaults encode the paper's qualitative
+/// findings (§6.2): CJOIN's pipeline overhead makes it lose to a private
+/// plan for a lone selective query, and its work sharing makes it win as
+/// soon as the scan is amortized over concurrent queries.
+struct RouterOptions {
+  /// Max dimension rows evaluated per predicate when estimating
+  /// selectivity (evenly strided sample; dimensions are memory-resident).
+  size_t selectivity_sample_rows = 2048;
+
+  /// Per-fact-tuple weight of the shared pipeline (scan + preprocessing +
+  /// bit-vector filtering), amortized over in-flight queries + 1.
+  double cjoin_tuple_weight = 1.5;
+  /// Fixed per-query CJOIN overhead (admission, control tuples, hash-table
+  /// bit maintenance), in tuple units.
+  double cjoin_fixed_cost = 4096.0;
+  /// Distributor + aggregation weight per fact tuple *passing* all
+  /// predicates (not shared; each query consumes its own output).
+  double route_weight = 1.0;
+
+  /// Baseline probe-pipeline weight per fact tuple, scaled by selectivity:
+  /// a selective plan rejects most tuples after its first (most
+  /// selective) probe, an unselective one pays every probe and the
+  /// aggregation fold.
+  double probe_weight = 2.0;
+};
+
+class Router {
+ public:
+  explicit Router(RouterOptions options) : opts_(options) {}
+  Router() : Router(RouterOptions{}) {}
+
+  /// Estimates the combined selectivity of `spec`'s dimension predicates
+  /// by sampling each referenced dimension table, and (optionally) the
+  /// total dimension rows a baseline plan would hash. `spec` must be
+  /// normalized.
+  double EstimateSelectivity(const StarQuerySpec& spec,
+                             uint64_t* dim_build_rows = nullptr) const;
+
+  /// The §3.2.3 optimizer choice for `spec` given `inflight` concurrent
+  /// CJOIN queries on the target operator.
+  RouteDecision Decide(const StarQuerySpec& spec, size_t inflight) const;
+
+  const RouterOptions& options() const { return opts_; }
+
+ private:
+  RouterOptions opts_;
+};
+
+}  // namespace cjoin
+
+#endif  // CJOIN_ENGINE_ROUTER_H_

@@ -1,0 +1,110 @@
+// Unit tests for the §3.2.3 cost-based Router: selectivity estimation
+// from the catalog's dimension tables and the CJOIN/baseline choice as a
+// function of selectivity and operator load.
+
+#include <gtest/gtest.h>
+
+#include "catalog/query_spec.h"
+#include "engine/router.h"
+#include "tests/test_util.h"
+
+namespace cjoin {
+namespace {
+
+using testing::MakeTinyStar;
+using testing::TinyStar;
+
+class RouterTest : public ::testing::Test {
+ protected:
+  void SetUp() override { ts_ = MakeTinyStar(50000); }
+
+  /// A query referencing `product` with p_price >= `min_price` (TinyStar
+  /// prices are p*100 for p in [1, 20], uniformly hit by fact rows).
+  StarQuerySpec PriceQuery(int min_price) {
+    StarQuerySpec spec;
+    spec.schema = ts_->star.get();
+    const Schema& ps = ts_->product->schema();
+    spec.dim_predicates.push_back(DimensionPredicate{
+        0, MakeCompare(CmpOp::kGe, MakeColumnRef(ps, "p_price").value(),
+                       MakeLiteral(Value(min_price)))});
+    spec.aggregates.push_back(
+        AggregateSpec{AggFn::kCount, std::nullopt, nullptr, "n"});
+    return *NormalizeSpec(std::move(spec));
+  }
+
+  StarQuerySpec CountStar() {
+    StarQuerySpec spec;
+    spec.schema = ts_->star.get();
+    spec.aggregates.push_back(
+        AggregateSpec{AggFn::kCount, std::nullopt, nullptr, "n"});
+    return *NormalizeSpec(std::move(spec));
+  }
+
+  std::unique_ptr<TinyStar> ts_;
+  Router router_;
+};
+
+TEST_F(RouterTest, EstimatesSelectivityFromDimensionPredicates) {
+  // p_price >= 2000 matches exactly 1 of 20 products.
+  StarQuerySpec spec = PriceQuery(2000);
+  uint64_t build_rows = 0;
+  const double sel = router_.EstimateSelectivity(spec, &build_rows);
+  EXPECT_NEAR(sel, 0.05, 1e-9);
+  EXPECT_EQ(build_rows, 1u);
+
+  // TRUE predicates are free and fully unselective.
+  StarQuerySpec all = CountStar();
+  EXPECT_NEAR(router_.EstimateSelectivity(all), 1.0, 1e-9);
+}
+
+TEST_F(RouterTest, MultiplePredicatesMultiply) {
+  StarQuerySpec spec = PriceQuery(1100);  // 10 of 20 products: 0.5
+  const Schema& ss = ts_->store->schema();
+  spec.dim_predicates.push_back(DimensionPredicate{
+      1, MakeCompare(CmpOp::kEq, MakeColumnRef(ss, "s_region").value(),
+                     MakeLiteral(Value("R1")))});
+  spec = *NormalizeSpec(std::move(spec));
+  // Stores 1..6 have region R<s%3>: R1 matches stores 1 and 4 → 2/6.
+  const double sel = router_.EstimateSelectivity(spec);
+  EXPECT_NEAR(sel, 0.5 * (2.0 / 6.0), 1e-9);
+}
+
+TEST_F(RouterTest, SelectiveIdleQueryRoutesToBaseline) {
+  RouteDecision d = router_.Decide(PriceQuery(2000), /*inflight=*/0);
+  EXPECT_EQ(d.choice, RouteChoice::kBaseline);
+  EXPECT_FALSE(d.forced);
+  EXPECT_EQ(d.inflight, 0u);
+  EXPECT_LT(d.baseline_cost, d.cjoin_cost);
+  EXPECT_EQ(d.fact_rows, 50000u);
+}
+
+TEST_F(RouterTest, SelectiveQueryRoutesToCJoinUnderLoad) {
+  RouteDecision d = router_.Decide(PriceQuery(2000), /*inflight=*/4);
+  EXPECT_EQ(d.choice, RouteChoice::kCJoin);
+  EXPECT_LT(d.cjoin_cost, d.baseline_cost);
+  EXPECT_EQ(d.inflight, 4u);
+}
+
+TEST_F(RouterTest, UnselectiveQueryRoutesToCJoinEvenWhenIdle) {
+  RouteDecision d = router_.Decide(CountStar(), /*inflight=*/0);
+  EXPECT_EQ(d.choice, RouteChoice::kCJoin);
+}
+
+TEST_F(RouterTest, DecisionRendersForExplain) {
+  RouteDecision d = router_.Decide(PriceQuery(2000), 0);
+  const std::string s = d.ToString();
+  EXPECT_NE(s.find("route: baseline"), std::string::npos);
+  EXPECT_NE(s.find("selectivity"), std::string::npos);
+  EXPECT_NE(s.find("cost(cjoin)"), std::string::npos);
+}
+
+TEST_F(RouterTest, RouteNames) {
+  EXPECT_STREQ(RoutePolicyName(RoutePolicy::kAuto), "auto");
+  EXPECT_STREQ(RoutePolicyName(RoutePolicy::kCJoin), "cjoin");
+  EXPECT_STREQ(RoutePolicyName(RoutePolicy::kBaseline), "baseline");
+  EXPECT_STREQ(RouteChoiceName(RouteChoice::kCJoin), "CJOIN");
+  EXPECT_STREQ(RouteChoiceName(RouteChoice::kBaseline), "baseline");
+}
+
+}  // namespace
+}  // namespace cjoin

@@ -7,10 +7,13 @@
 //      ...> FROM lineorder, date WHERE lo_orderdate = d_datekey
 //      ...> GROUP BY d_year;
 //
-// Statements end with ';'. Meta commands: \baseline toggles routing to
-// the query-at-a-time executor, \stats prints pipeline statistics,
-// \q quits.
+// Statements end with ';'. Meta commands: \route [auto|cjoin|baseline]
+// selects the routing policy (\baseline is a legacy toggle), \stats
+// prints pipeline statistics, \q quits. `EXPLAIN ROUTE <sql>` prints the
+// cost-based router's estimates and chosen path without running the
+// query.
 
+#include <cctype>
 #include <cstdio>
 #include <cstring>
 #include <iostream>
@@ -64,6 +67,31 @@ Result<StarSchema> WireStar(const LoadedDb& db) {
               {s, "lo_suppkey", "s_suppkey"},
               {p, "lo_partkey", "p_partkey"},
           });
+}
+
+/// Case-insensitive prefix match; returns the remainder after the prefix
+/// (skipping following whitespace) or nullptr.
+const char* MatchPrefix(const std::string& text, const char* prefix) {
+  size_t i = 0;
+  while (i < text.size() &&
+         std::isspace(static_cast<unsigned char>(text[i]))) {
+    ++i;
+  }
+  for (const char* p = prefix; *p != '\0'; ++p, ++i) {
+    if (i >= text.size() ||
+        std::toupper(static_cast<unsigned char>(text[i])) != *p) {
+      return nullptr;
+    }
+  }
+  if (i < text.size() &&
+      !std::isspace(static_cast<unsigned char>(text[i]))) {
+    return nullptr;
+  }
+  while (i < text.size() &&
+         std::isspace(static_cast<unsigned char>(text[i]))) {
+    ++i;
+  }
+  return text.c_str() + i;
 }
 
 }  // namespace
@@ -121,9 +149,10 @@ int main(int argc, char** argv) {
 
   std::printf(
       "CJOIN shell — star 'ssb' ready. End statements with ';'. "
-      "\\baseline toggles executor, \\stats shows pipeline stats, \\q "
-      "quits.\n");
-  bool use_baseline = false;
+      "\\route [auto|cjoin|baseline] selects the routing policy, "
+      "EXPLAIN ROUTE <sql> shows the optimizer choice, \\stats shows "
+      "pipeline stats, \\q quits.\n");
+  RoutePolicy policy = RoutePolicy::kAuto;
   std::string buffer;
   std::string line;
   while (true) {
@@ -132,10 +161,24 @@ int main(int argc, char** argv) {
     if (!std::getline(std::cin, line)) break;
     if (buffer.empty() && !line.empty() && line[0] == '\\') {
       if (line == "\\q" || line == "\\quit") break;
-      if (line == "\\baseline") {
-        use_baseline = !use_baseline;
-        std::printf("executor: %s\n",
-                    use_baseline ? "query-at-a-time" : "CJOIN");
+      if (line == "\\baseline") {  // legacy toggle
+        policy = policy == RoutePolicy::kBaseline ? RoutePolicy::kCJoin
+                                                  : RoutePolicy::kBaseline;
+        std::printf("routing policy: %s\n", RoutePolicyName(policy));
+        continue;
+      }
+      if (const char* arg = MatchPrefix(line, "\\ROUTE")) {
+        if (std::strcmp(arg, "auto") == 0) {
+          policy = RoutePolicy::kAuto;
+        } else if (std::strcmp(arg, "cjoin") == 0) {
+          policy = RoutePolicy::kCJoin;
+        } else if (std::strcmp(arg, "baseline") == 0) {
+          policy = RoutePolicy::kBaseline;
+        } else if (*arg != '\0') {
+          std::printf("usage: \\route [auto|cjoin|baseline]\n");
+          continue;
+        }
+        std::printf("routing policy: %s\n", RoutePolicyName(policy));
         continue;
       }
       if (line == "\\stats") {
@@ -144,11 +187,13 @@ int main(int argc, char** argv) {
           const auto s = (*op)->GetStats();
           std::printf(
               "rows scanned %llu | laps %llu | active queries %zu | "
-              "completed %llu | routed %llu | reorders %llu\n",
+              "completed %llu | cancelled %llu | routed %llu | "
+              "reorders %llu\n",
               static_cast<unsigned long long>(s.rows_scanned),
               static_cast<unsigned long long>(s.table_laps),
               s.active_queries,
               static_cast<unsigned long long>(s.queries_completed),
+              static_cast<unsigned long long>(s.queries_cancelled),
               static_cast<unsigned long long>(s.tuples_routed),
               static_cast<unsigned long long>(s.filter_reorders));
         }
@@ -161,13 +206,34 @@ int main(int argc, char** argv) {
     buffer += '\n';
     if (buffer.find(';') == std::string::npos) continue;
 
-    Stopwatch watch;
-    Result<ResultSet> rs = [&]() -> Result<ResultSet> {
-      if (use_baseline) return engine.ExecuteBaselineSql("ssb", buffer);
-      CJOIN_ASSIGN_OR_RETURN(auto handle, engine.SubmitSql("ssb", buffer));
-      return handle->Wait();
-    }();
+    std::string stmt = std::move(buffer);
     buffer.clear();
+    if (const size_t semi = stmt.find(';'); semi != std::string::npos) {
+      stmt.resize(semi);
+    }
+
+    // EXPLAIN ROUTE <sql>: print the router's verdict, don't run.
+    if (const char* sql = MatchPrefix(stmt, "EXPLAIN ROUTE")) {
+      auto decision = engine.ExplainRoute("ssb", sql);
+      if (!decision.ok()) {
+        std::printf("error: %s\n", decision.status().ToString().c_str());
+      } else {
+        std::printf("%s\n", decision->ToString().c_str());
+      }
+      continue;
+    }
+
+    Stopwatch watch;
+    QueryRequest req = QueryRequest::Sql("ssb", stmt);
+    req.policy = policy;
+    Result<ResultSet> rs = [&]() -> Result<ResultSet> {
+      CJOIN_ASSIGN_OR_RETURN(auto ticket, engine.Execute(std::move(req)));
+      Result<ResultSet> result = ticket->Wait();
+      if (result.ok()) {
+        std::printf("[%s]\n", RouteChoiceName(ticket->route()));
+      }
+      return result;
+    }();
     if (!rs.ok()) {
       std::printf("error: %s\n", rs.status().ToString().c_str());
       continue;
