@@ -51,6 +51,13 @@ struct RunConfig {
   /// Overrides the operator's maxConc (0 = derive from concurrency).
   /// Fixes the bit-vector width at ceil(value/64) words.
   size_t max_concurrency_override = 0;
+  /// Fact-table shards, each driving its own CJOIN pipeline instance.
+  size_t cjoin_shards = 1;
+  /// Give each shard its own simulated volume (fresh SimDisk with
+  /// `disk`'s parameters, or the defaults when disk == nullptr): models a
+  /// striped array where shard scans proceed in parallel. false = all
+  /// shards contend for the single shared `disk`.
+  bool disk_per_shard = false;
   size_t cjoin_threads = 4;
   size_t cjoin_batch_size = 256;
   size_t cjoin_queue_capacity = 64;
@@ -72,6 +79,9 @@ struct RunResult {
   RunningStat submission_seconds;          ///< CJOIN only
   std::map<std::string, RunningStat> per_template_response;  ///< by "Qx.y"
   uint64_t disk_seeks = 0;
+  /// CJOIN only: fact tuples scanned per second, summed across the pool's
+  /// shards over the whole run (the shard-scaling metric).
+  double fact_tuples_per_sec = 0.0;
 };
 
 /// Runs `workload` on the given system at concurrency config.concurrency,

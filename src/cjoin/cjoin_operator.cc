@@ -146,7 +146,7 @@ void CJoinOperator::Stop() {
     if (phase != QueryPhase::kCompleted && phase != QueryPhase::kAborted &&
         phase != QueryPhase::kCancelled) {
       rt->phase.store(QueryPhase::kAborted);
-      rt->promise.set_value(Status::Aborted("CJOIN operator stopped"));
+      rt->Deliver(Status::Aborted("CJOIN operator stopped"));
     }
     rt.reset();
     inflight_.fetch_sub(1, std::memory_order_relaxed);
@@ -201,6 +201,7 @@ Result<std::unique_ptr<QueryHandle>> CJoinOperator::Submit(
   rt->query_id = qid;
   rt->spec = std::move(normalized);
   rt->custom_aggregator_factory = std::move(options.aggregator_factory);
+  rt->completion_observer = std::move(options.completion_observer);
   rt->deadline_ns.store(options.deadline_ns, std::memory_order_relaxed);
   rt->submit_ns.store(QueryRuntime::NowNs());
   std::future<Result<ResultSet>> fut = rt->promise.get_future();
@@ -233,7 +234,7 @@ void CJoinOperator::AdmitQuery(const std::shared_ptr<QueryRuntime>& rt) {
   }
   if (early != TerminalReason::kNone) {
     rt->phase.store(QueryPhase::kCancelled);
-    rt->promise.set_value(
+    rt->Deliver(
         early == TerminalReason::kDeadline
             ? Status::DeadlineExceeded("query deadline expired before admission")
             : Status::Cancelled("query cancelled before admission"));

@@ -114,6 +114,10 @@ class CJoinOperator {
     /// Skip NormalizeSpec: the caller guarantees the spec already is
     /// (the engine normalizes during request resolution).
     bool assume_normalized = false;
+    /// Invoked with the query's terminal result right before its promise
+    /// resolves (see QueryRuntime::completion_observer). Installed before
+    /// the submission enters the pipeline, so no completion is missed.
+    std::function<void(const Result<ResultSet>&)> completion_observer;
   };
 
   /// Registers a star query (normalizing it first). Blocks while

@@ -58,11 +58,11 @@ void Distributor::ProcessControl(TupleSlot* slot) {
       ResultSet rs = rt->aggregator->Finish();
       rt->phase.store(QueryPhase::kCompleted);
       completed_.fetch_add(1, std::memory_order_relaxed);
-      rt->promise.set_value(std::move(rs));
+      rt->Deliver(std::move(rs));
     } else {
       rt->phase.store(QueryPhase::kCancelled);
       cancelled_.fetch_add(1, std::memory_order_relaxed);
-      rt->promise.set_value(
+      rt->Deliver(
           reason == TerminalReason::kDeadline
               ? Status::DeadlineExceeded("query deadline expired mid-lap")
               : Status::Cancelled("query cancelled"));

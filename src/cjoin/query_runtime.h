@@ -56,6 +56,28 @@ struct QueryRuntime {
   std::promise<Result<ResultSet>> promise;
   std::atomic<QueryPhase> phase{QueryPhase::kSubmitted};
 
+  /// Optional hook invoked with the query's terminal result immediately
+  /// before the promise resolves, on whichever pipeline thread terminates
+  /// the query (Distributor, Pipeline Manager, or Stop()). Installed at
+  /// submission via SubmitOptions; the sharded operator uses it to collect
+  /// per-shard completions without dedicating a waiter thread per query.
+  std::function<void(const Result<ResultSet>&)> completion_observer;
+
+  /// Optional cancellation fan-out invoked by QueryHandle::Cancel() after
+  /// cancel_requested is set. The sharded operator's merge handle forwards
+  /// the cancel to every shard's sub-query through this hook. Must be
+  /// installed before the handle is exposed to callers.
+  std::function<void()> cancel_hook;
+
+  /// Resolves the promise with `result`, notifying the completion observer
+  /// first so any cross-query bookkeeping is recorded before a waiter can
+  /// observe the result. Each runtime is delivered exactly once (callers
+  /// coordinate via phase, as before).
+  void Deliver(Result<ResultSet> result) {
+    if (completion_observer) completion_observer(result);
+    promise.set_value(std::move(result));
+  }
+
   /// Cooperative cancellation: set by QueryHandle::Cancel(), observed by
   /// the Pipeline Manager (pre-admission) and the Preprocessor (while
   /// registered). A cancelled query is deregistered mid-lap — its
@@ -114,6 +136,7 @@ class QueryHandle {
   /// completion (no-op) and concurrently with the pipeline.
   void Cancel() {
     runtime_->cancel_requested.store(true, std::memory_order_release);
+    if (runtime_->cancel_hook) runtime_->cancel_hook();
   }
 
   bool Ready() const {

@@ -19,6 +19,10 @@ const std::string& QueryTicket::label() const {
   return cjoin_ != nullptr ? cjoin_->label() : baseline_->spec.label;
 }
 
+SnapshotId QueryTicket::snapshot() const {
+  return cjoin_ != nullptr ? cjoin_->snapshot() : baseline_->spec.snapshot;
+}
+
 Result<ResultSet> QueryTicket::Wait() {
   if (cjoin_ != nullptr) return cjoin_->Wait();
   return baseline_future_.get();

@@ -96,6 +96,9 @@ class QueryTicket {
 
   const std::string& label() const;
 
+  /// The snapshot this query actually reads (after any engine capping).
+  SnapshotId snapshot() const;
+
   /// Blocks until the result is available. Cancelled queries yield
   /// kCancelled, deadline-expired ones kDeadlineExceeded. Single-shot.
   Result<ResultSet> Wait();

@@ -44,8 +44,10 @@ struct CollectedSide {
   std::vector<std::vector<Value>> values;
 };
 
-/// Aggregator that materializes joined tuples instead of aggregating;
-/// the Distributor thread is its only writer.
+/// Aggregator that materializes joined tuples instead of aggregating. On a
+/// sharded pool the operator wraps it in a serializing proxy, so exactly
+/// one thread writes at a time even with one instance shared by N
+/// Distributors.
 class CollectorAggregator final : public StarAggregator {
  public:
   CollectorAggregator(const StarSchema& star, size_t join_col,
@@ -102,6 +104,10 @@ bool SchemasEquivalent(const StarSchema& a, const StarSchema& b) {
   return true;
 }
 
+/// Spacing of disk reader identities between stars, leaving room for one
+/// identity per shard within a star's pool.
+constexpr uint64_t kReaderIdStride = 64;
+
 }  // namespace
 
 QueryEngine::QueryEngine(Options options)
@@ -113,45 +119,83 @@ QueryEngine::QueryEngine(Options options)
 QueryEngine::~QueryEngine() { Shutdown(); }
 
 void QueryEngine::Shutdown() {
-  if (shut_down_) return;
-  shut_down_ = true;
+  {
+    // Serialized with SetShardCount (which holds update_mu_ end to end):
+    // once the flag is up, no new pool can be built and swapped in.
+    std::lock_guard<std::mutex> ulk(update_mu_);
+    if (shut_down_.exchange(true, std::memory_order_acq_rel)) return;
+  }
   baseline_pool_->Shutdown();
-  for (auto& entry : stars_) {
-    if (entry->op != nullptr) entry->op->Stop();
+  std::vector<std::shared_ptr<ExecPool>> pools;
+  {
+    std::shared_lock<std::shared_mutex> lk(ops_mu_);
+    for (auto& entry : stars_) pools.push_back(entry->pool);
+  }
+  for (auto& pool : pools) {
+    if (pool != nullptr && pool->op != nullptr) pool->op->Stop();
   }
 }
 
+Result<std::shared_ptr<QueryEngine::ExecPool>> QueryEngine::MakePool(
+    const StarSchema& star, size_t shards, uint64_t disk_reader_base) {
+  auto pool = std::make_shared<ExecPool>();
+  CJOIN_ASSIGN_OR_RETURN(pool->shards, ShardManager::Make(star, shards));
+  ShardedCJoinOperator::Options sopts;
+  sopts.op = opts_.cjoin;
+  sopts.op.disk_reader_id = disk_reader_base;
+  sopts.shard_disks = opts_.cjoin_shard_disks;
+  sopts.op.snapshot_probe = [this] {
+    return snapshot_.load(std::memory_order_acquire);
+  };
+  pool->op = std::make_unique<ShardedCJoinOperator>(
+      star, pool->shards->shard_stars(), sopts);
+  CJOIN_RETURN_IF_ERROR(pool->op->Start());
+  return pool;
+}
+
 Status QueryEngine::RegisterStar(std::string name, StarSchema star) {
-  for (const auto& entry : stars_) {
-    if (entry->name == name) {
-      return Status::AlreadyExists("star '" + name + "' already registered");
-    }
-  }
   auto entry = std::make_unique<StarEntry>();
   entry->name = std::move(name);
   entry->star = std::make_unique<StarSchema>(std::move(star));
-  CJoinOperator::Options op_opts = opts_.cjoin;
-  op_opts.disk_reader_id = stars_.size();  // distinct scan identity per star
-  op_opts.snapshot_probe = [this] {
-    return snapshot_.load(std::memory_order_acquire);
-  };
-  entry->op = std::make_unique<CJoinOperator>(*entry->star, op_opts);
-  CJOIN_RETURN_IF_ERROR(entry->op->Start());
+  // Duplicate check and insert under one exclusive section, so two
+  // concurrent registrations of the same name cannot both succeed.
+  std::unique_lock<std::shared_mutex> lk(ops_mu_);
+  for (const auto& existing : stars_) {
+    if (existing->name == entry->name) {
+      return Status::AlreadyExists("star '" + entry->name +
+                                   "' already registered");
+    }
+  }
+  CJOIN_ASSIGN_OR_RETURN(
+      entry->pool,
+      MakePool(*entry->star,
+               std::clamp<size_t>(opts_.cjoin_shards, 1, kReaderIdStride),
+               stars_.size() * kReaderIdStride));
   stars_.push_back(std::move(entry));
   return Status::OK();
 }
 
 Result<const StarSchema*> QueryEngine::FindStar(
     std::string_view name) const {
-  for (const auto& entry : stars_) {
-    if (entry->name == name) return const_cast<const StarSchema*>(
-        entry->star.get());
+  const StarEntry* entry = EntryByNameConst(name);
+  if (entry == nullptr) {
+    return Status::NotFound("no star named '" + std::string(name) + "'");
   }
-  return Status::NotFound("no star named '" + std::string(name) + "'");
+  return const_cast<const StarSchema*>(entry->star.get());
+}
+
+const QueryEngine::StarEntry* QueryEngine::EntryByNameConst(
+    std::string_view name) const {
+  std::shared_lock<std::shared_mutex> lk(ops_mu_);
+  for (const auto& entry : stars_) {
+    if (entry->name == name) return entry.get();
+  }
+  return nullptr;
 }
 
 Result<QueryEngine::StarEntry*> QueryEngine::EntryByName(
     std::string_view name) {
+  std::shared_lock<std::shared_mutex> lk(ops_mu_);
   for (auto& entry : stars_) {
     if (entry->name == name) return entry.get();
   }
@@ -160,6 +204,7 @@ Result<QueryEngine::StarEntry*> QueryEngine::EntryByName(
 
 Result<QueryEngine::StarEntry*> QueryEngine::EntryFor(
     const StarSchema* schema) {
+  std::shared_lock<std::shared_mutex> lk(ops_mu_);
   for (auto& entry : stars_) {
     if (entry->star.get() == schema) return entry.get();
   }
@@ -174,6 +219,68 @@ Result<QueryEngine::StarEntry*> QueryEngine::EntryFor(
   return Status::NotFound(
       "query's star schema is not registered (or differs structurally "
       "from the registered star over the same fact table)");
+}
+
+std::shared_ptr<QueryEngine::ExecPool> QueryEngine::PoolFor(
+    StarEntry* entry) const {
+  std::shared_lock<std::shared_mutex> lk(ops_mu_);
+  return entry->pool;
+}
+
+RouteInputs QueryEngine::SampleRouteInputs(const ExecPool& pool) const {
+  RouteInputs inputs;
+  inputs.inflight = pool.op->InFlight();
+  inputs.shards = pool.op->num_shards();
+  inputs.baseline_queued = baseline_pool_->queued();
+  inputs.baseline_workers = baseline_pool_->workers();
+  return inputs;
+}
+
+Status QueryEngine::SetShardCount(std::string_view star_name,
+                                  size_t shards) {
+  if (shards == 0) return Status::InvalidArgument("shard count must be >= 1");
+  if (shards > kReaderIdStride) {
+    // Each star's pool owns a block of kReaderIdStride disk-reader
+    // identities; more shards would collide with the next star's scans
+    // on a shared SimDisk.
+    return Status::InvalidArgument("shard count must be <= " +
+                                   std::to_string(kReaderIdStride));
+  }
+  // Freeze writers: the replica build must see one consistent committed
+  // state, and mirrored updates must never straddle two shard sets. The
+  // shutdown check lives under the same lock, so a pool can never be
+  // built and started after Shutdown swept the existing ones.
+  std::lock_guard<std::mutex> ulk(update_mu_);
+  if (shut_down_.load(std::memory_order_acquire)) {
+    return Status::FailedPrecondition("engine shut down");
+  }
+  CJOIN_ASSIGN_OR_RETURN(StarEntry * entry, EntryByName(star_name));
+  uint64_t reader_base = 0;
+  {
+    std::shared_lock<std::shared_mutex> lk(ops_mu_);
+    for (size_t i = 0; i < stars_.size(); ++i) {
+      if (stars_[i].get() == entry) reader_base = i * kReaderIdStride;
+    }
+  }
+  // Build and start the replacement pool first; swap, then stop the old
+  // pool (its in-flight CJOIN queries resolve with kAborted). Concurrent
+  // Execute() calls hold the pool by shared_ptr, so the old shard tables
+  // stay alive until the last ticket lets go.
+  CJOIN_ASSIGN_OR_RETURN(std::shared_ptr<ExecPool> fresh,
+                         MakePool(*entry->star, shards, reader_base));
+  std::shared_ptr<ExecPool> old;
+  {
+    std::unique_lock<std::shared_mutex> lk(ops_mu_);
+    old = std::move(entry->pool);
+    entry->pool = std::move(fresh);
+  }
+  if (old != nullptr && old->op != nullptr) old->op->Stop();
+  return Status::OK();
+}
+
+Result<size_t> QueryEngine::ShardCount(std::string_view star_name) {
+  CJOIN_ASSIGN_OR_RETURN(StarEntry * entry, EntryByName(star_name));
+  return PoolFor(entry)->op->num_shards();
 }
 
 Result<QueryEngine::StarEntry*> QueryEngine::ResolveRequest(
@@ -197,26 +304,27 @@ Result<QueryEngine::StarEntry*> QueryEngine::ResolveRequest(
 }
 
 Result<std::unique_ptr<QueryHandle>> QueryEngine::SubmitToCJoin(
-    StarEntry* entry, StarQuerySpec spec,
-    CJoinOperator::SubmitOptions options) {
-  // Exact snapshot semantics under concurrent appends: the continuous
-  // scan covers rows up to its last freeze, so while appends beyond that
-  // bound exist, cap the query's snapshot at it (the Preprocessor
-  // re-freezes eagerly when idle, so this costs at most one in-flight lap
-  // of staleness). Deletes never need capping — deleted rows stay inside
+    StarEntry* entry, const std::shared_ptr<ExecPool>& pool,
+    StarQuerySpec spec, CJoinOperator::SubmitOptions options) {
+  // Exact snapshot semantics under concurrent appends: every shard's
+  // continuous scan covers rows up to its last freeze, so while appends
+  // beyond the pool-wide covered bound exist, cap the query's snapshot at
+  // it (the min over shards — the snapshot then reads identical data on
+  // every shard). Deletes never need capping — deleted rows stay inside
   // the scanned ranges and are filtered per row by xmax.
-  const SnapshotId covered = entry->op->covered_snapshot();
+  const SnapshotId covered = pool->op->covered_snapshot();
   if (entry->last_append_snapshot.load(std::memory_order_acquire) >
       covered) {
     spec.snapshot = std::min(spec.snapshot, covered);
   }
-  return entry->op->Submit(std::move(spec), std::move(options));
+  return pool->op->Submit(std::move(spec), std::move(options));
 }
 
 Result<std::unique_ptr<QueryTicket>> QueryEngine::Execute(
     QueryRequest request) {
   if (shut_down_) return Status::FailedPrecondition("engine shut down");
   CJOIN_ASSIGN_OR_RETURN(StarEntry * entry, ResolveRequest(&request));
+  std::shared_ptr<ExecPool> pool = PoolFor(entry);
 
   int64_t deadline_ns = request.deadline_ns;
   if (deadline_ns == 0 && request.timeout.count() > 0) {
@@ -241,7 +349,7 @@ Result<std::unique_ptr<QueryTicket>> QueryEngine::Execute(
       decision.reason = "policy";
       break;
     case RoutePolicy::kAuto:
-      decision = router_.Decide(request.spec, entry->op->InFlight());
+      decision = router_.Decide(request.spec, SampleRouteInputs(*pool));
       break;
   }
 
@@ -267,7 +375,7 @@ Result<std::unique_ptr<QueryTicket>> QueryEngine::Execute(
     so.assume_normalized = true;  // ResolveRequest normalized already
     CJOIN_ASSIGN_OR_RETURN(
         std::unique_ptr<QueryHandle> handle,
-        SubmitToCJoin(entry, std::move(request.spec), std::move(so)));
+        SubmitToCJoin(entry, pool, std::move(request.spec), std::move(so)));
     return std::make_unique<QueryTicket>(std::move(decision),
                                          std::move(handle));
   }
@@ -288,7 +396,8 @@ Result<RouteDecision> QueryEngine::ExplainRoute(StarQuerySpec spec) {
   // decision Execute() would make right now.
   QueryRequest request = QueryRequest::FromSpec(std::move(spec));
   CJOIN_ASSIGN_OR_RETURN(StarEntry * entry, ResolveRequest(&request));
-  return router_.Decide(request.spec, entry->op->InFlight());
+  std::shared_ptr<ExecPool> pool = PoolFor(entry);
+  return router_.Decide(request.spec, SampleRouteInputs(*pool));
 }
 
 Result<RouteDecision> QueryEngine::ExplainRoute(std::string_view star_name,
@@ -296,43 +405,8 @@ Result<RouteDecision> QueryEngine::ExplainRoute(std::string_view star_name,
   QueryRequest request =
       QueryRequest::Sql(std::string(star_name), std::string(sql));
   CJOIN_ASSIGN_OR_RETURN(StarEntry * entry, ResolveRequest(&request));
-  return router_.Decide(request.spec, entry->op->InFlight());
-}
-
-Result<std::unique_ptr<QueryHandle>> QueryEngine::Submit(
-    StarQuerySpec spec) {
-  CJOIN_ASSIGN_OR_RETURN(StarEntry * entry, EntryFor(spec.schema));
-  spec.schema = entry->star.get();
-  if (spec.snapshot == kReadLatestSnapshot) {
-    spec.snapshot = CurrentSnapshot();
-  }
-  return SubmitToCJoin(entry, std::move(spec), {});
-}
-
-Result<std::unique_ptr<QueryHandle>> QueryEngine::SubmitSql(
-    std::string_view star_name, std::string_view sql) {
-  CJOIN_ASSIGN_OR_RETURN(StarEntry * entry, EntryByName(star_name));
-  CJOIN_ASSIGN_OR_RETURN(StarQuerySpec spec,
-                         ParseStarQuery(*entry->star, sql));
-  return Submit(std::move(spec));
-}
-
-Result<ResultSet> QueryEngine::ExecuteBaseline(StarQuerySpec spec) {
-  QueryRequest request = QueryRequest::FromSpec(std::move(spec));
-  request.policy = RoutePolicy::kBaseline;
-  CJOIN_ASSIGN_OR_RETURN(std::unique_ptr<QueryTicket> ticket,
-                         Execute(std::move(request)));
-  return ticket->Wait();
-}
-
-Result<ResultSet> QueryEngine::ExecuteBaselineSql(
-    std::string_view star_name, std::string_view sql) {
-  QueryRequest request =
-      QueryRequest::Sql(std::string(star_name), std::string(sql));
-  request.policy = RoutePolicy::kBaseline;
-  CJOIN_ASSIGN_OR_RETURN(std::unique_ptr<QueryTicket> ticket,
-                         Execute(std::move(request)));
-  return ticket->Wait();
+  std::shared_ptr<ExecPool> pool = PoolFor(entry);
+  return router_.Decide(request.spec, SampleRouteInputs(*pool));
 }
 
 Result<ResultSet> QueryEngine::ExecuteGalaxyJoin(const GalaxyJoinSpec& spec) {
@@ -471,6 +545,7 @@ Result<SnapshotId> QueryEngine::AppendFacts(
   CJOIN_ASSIGN_OR_RETURN(StarEntry * entry, EntryByName(star_name));
   Table& fact = *const_cast<Table*>(&entry->star->fact());
   std::lock_guard<std::mutex> lk(update_mu_);
+  std::shared_ptr<ExecPool> pool = PoolFor(entry);
   const SnapshotId commit = snapshot_.load(std::memory_order_relaxed) + 1;
   if (partition >= fact.num_partitions()) {
     return Status::InvalidArgument("partition out of range");
@@ -480,6 +555,9 @@ Result<SnapshotId> QueryEngine::AppendFacts(
       return Status::InvalidArgument("row payload size mismatch");
     }
     fact.AppendRow(payload.data(), partition, commit);
+    // Mirror into the owning shard replica under the same commit, so
+    // every shard's next lap freeze exposes the row at one snapshot.
+    pool->shards->MirrorAppend(payload.data(), partition, commit);
   }
   snapshot_.store(commit, std::memory_order_release);
   entry->last_append_snapshot.store(commit, std::memory_order_release);
@@ -495,6 +573,7 @@ Result<SnapshotId> QueryEngine::DeleteFacts(std::string_view star_name,
   Table& fact = *const_cast<Table*>(&entry->star->fact());
   const Schema& fs = fact.schema();
   std::lock_guard<std::mutex> lk(update_mu_);
+  std::shared_ptr<ExecPool> pool = PoolFor(entry);
   const SnapshotId commit = snapshot_.load(std::memory_order_relaxed) + 1;
   for (uint32_t p = 0; p < fact.num_partitions(); ++p) {
     const uint64_t n = fact.PartitionRows(p);
@@ -505,13 +584,15 @@ Result<SnapshotId> QueryEngine::DeleteFacts(std::string_view star_name,
       CJOIN_RETURN_IF_ERROR(fact.MarkDeleted(id, commit));
     }
   }
+  CJOIN_RETURN_IF_ERROR(pool->shards->MirrorDelete(*predicate, commit));
   snapshot_.store(commit, std::memory_order_release);
   return commit;
 }
 
-Result<CJoinOperator*> QueryEngine::OperatorFor(std::string_view star_name) {
+Result<ShardedCJoinOperator*> QueryEngine::OperatorFor(
+    std::string_view star_name) {
   CJOIN_ASSIGN_OR_RETURN(StarEntry * entry, EntryByName(star_name));
-  return entry->op.get();
+  return PoolFor(entry)->op.get();
 }
 
 }  // namespace cjoin

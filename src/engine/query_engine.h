@@ -1,16 +1,18 @@
-// QueryEngine: the system facade around the CJOIN operator.
+// QueryEngine: the system facade around the CJOIN operator pool.
 //
-// Owns the galaxy of star schemas, one always-on CJoinOperator per fact
-// table, the snapshot counter for snapshot-isolated updates (§3.5), a
-// worker pool for the conventional (query-at-a-time) executor, and the
+// Owns the galaxy of star schemas, one always-on pool of CJOIN pipeline
+// instances per fact table (a ShardManager hash-partitions the fact table
+// and a ShardedCJoinOperator drives one full pipeline per shard; one shard
+// — the default — degenerates to exactly the paper's single operator),
+// the snapshot counter for snapshot-isolated updates (§3.5), a worker
+// pool for the conventional (query-at-a-time) executor, and the
 // cost-based Router that makes CJOIN "yet one more choice for the
 // database query optimizer" (§3.2.3).
 //
 // Execute(QueryRequest) is the single submission path: every query —
 // structured or SQL, CJOIN-routed or baseline-routed — returns the same
 // non-blocking QueryTicket with uniform wait/cancel/deadline/stats
-// semantics. The legacy Submit()/ExecuteBaseline() entry points remain as
-// thin deprecated wrappers over the same machinery.
+// semantics.
 
 #ifndef CJOIN_ENGINE_QUERY_ENGINE_H_
 #define CJOIN_ENGINE_QUERY_ENGINE_H_
@@ -19,15 +21,18 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <shared_mutex>
 #include <string>
 #include <vector>
 
 #include "baseline/qat_engine.h"
 #include "catalog/star_schema.h"
 #include "cjoin/cjoin_operator.h"
+#include "cjoin/sharded_operator.h"
 #include "engine/baseline_pool.h"
 #include "engine/query_api.h"
 #include "engine/router.h"
+#include "engine/shard_manager.h"
 #include "engine/sql_parser.h"
 
 namespace cjoin {
@@ -36,6 +41,15 @@ class QueryEngine {
  public:
   struct Options {
     CJoinOperator::Options cjoin;
+    /// Parallel CJOIN pipeline instances per star: the fact table is
+    /// hash-partitioned into this many shards, each with its own
+    /// continuous scan. 1 (the default) is the classic single operator;
+    /// clamped to 64 (each star owns a 64-wide disk-reader-id block).
+    size_t cjoin_shards = 1;
+    /// Per-shard disk devices (shard s uses entry s % size): models shard
+    /// placement on independent volumes. Empty = all shards share
+    /// cjoin.disk.
+    std::vector<SimDisk*> cjoin_shard_disks;
     QatOptions baseline;
     /// Worker threads executing baseline-routed queries.
     size_t baseline_workers = 2;
@@ -47,7 +61,8 @@ class QueryEngine {
   QueryEngine() : QueryEngine(Options{}) {}
   ~QueryEngine();
 
-  /// Registers a star schema under `name` and starts its CJOIN operator.
+  /// Registers a star schema under `name`, shards its fact table
+  /// (Options::cjoin_shards ways), and starts its CJOIN pipeline pool.
   Status RegisterStar(std::string name, StarSchema star);
 
   Result<const StarSchema*> FindStar(std::string_view name) const;
@@ -66,22 +81,18 @@ class QueryEngine {
                                      std::string_view sql);
   Result<RouteDecision> ExplainRoute(StarQuerySpec spec);
 
-  // --- Deprecated entry points (thin wrappers; to be removed) ---------------
+  // --- Sharding (runtime elasticity) ----------------------------------------
 
-  /// DEPRECATED: use Execute() with RoutePolicy::kCJoin. Submits a star
-  /// query to the CJOIN operator of its star.
-  Result<std::unique_ptr<QueryHandle>> Submit(StarQuerySpec spec);
+  /// Re-shards the named star's fact table into `shards` parallel CJOIN
+  /// pipelines. The replacement pool is built and started from the current
+  /// committed table state before the old pool is stopped; CJOIN queries
+  /// still in flight on the old pool complete with kAborted (callers see
+  /// it through their tickets). Updates are serialized against the
+  /// rebuild, so no committed row is lost.
+  Status SetShardCount(std::string_view star_name, size_t shards);
 
-  /// DEPRECATED: use Execute(QueryRequest::Sql(...)) with kCJoin.
-  Result<std::unique_ptr<QueryHandle>> SubmitSql(std::string_view star_name,
-                                                 std::string_view sql);
-
-  /// DEPRECATED: use Execute() with RoutePolicy::kBaseline (blocking).
-  Result<ResultSet> ExecuteBaseline(StarQuerySpec spec);
-
-  /// DEPRECATED: use Execute() with RoutePolicy::kBaseline (blocking).
-  Result<ResultSet> ExecuteBaselineSql(std::string_view star_name,
-                                       std::string_view sql);
+  /// Current shard count of the named star's pipeline pool.
+  Result<size_t> ShardCount(std::string_view star_name);
 
   // --- Galaxy queries (§5) ---------------------------------------------------
 
@@ -117,7 +128,7 @@ class QueryEngine {
   /// Evaluates a galaxy join: both star sub-queries are submitted through
   /// Execute() (sharing the unified lifecycle — snapshot capping,
   /// deadlines, cancellation) and run concurrently in their stars' CJOIN
-  /// operators; their result streams meet in a hash join, then aggregate.
+  /// pools; their result streams meet in a hash join, then aggregate.
   /// If one side fails, the other is cancelled.
   Result<ResultSet> ExecuteGalaxyJoin(const GalaxyJoinSpec& spec);
 
@@ -130,28 +141,41 @@ class QueryEngine {
   }
 
   /// Appends fact rows (payload vectors of the fact schema's row size) to
-  /// the named star's fact table as one transaction; returns the snapshot
-  /// at which they became visible. New rows are observed by the
-  /// continuous scan from its next lap (storage freezes sizes per lap).
+  /// the named star's fact table as one transaction — mirrored into every
+  /// shard replica under the same commit snapshot — and returns the
+  /// snapshot at which they became visible. New rows are observed by each
+  /// shard's continuous scan from its next lap (storage freezes sizes per
+  /// lap).
   Result<SnapshotId> AppendFacts(std::string_view star_name,
                                  const std::vector<std::vector<uint8_t>>& rows,
                                  uint32_t partition = 0);
 
   /// Deletes fact rows matching `predicate` (over the fact schema) as one
-  /// transaction; returns the first snapshot that no longer sees them.
+  /// transaction, mirrored into every shard replica; returns the first
+  /// snapshot that no longer sees them.
   Result<SnapshotId> DeleteFacts(std::string_view star_name,
                                  const ExprPtr& predicate);
 
-  /// The CJOIN operator of a registered star (for stats and tests).
-  Result<CJoinOperator*> OperatorFor(std::string_view star_name);
+  /// The CJOIN pipeline pool of a registered star (for stats and tests).
+  /// The pointer is invalidated by SetShardCount on the same star.
+  Result<ShardedCJoinOperator*> OperatorFor(std::string_view star_name);
 
   void Shutdown();
 
  private:
+  /// One star's execution pool: the shard set and the operator pool over
+  /// it. Swapped wholesale (shared_ptr) by SetShardCount so concurrent
+  /// Execute() calls holding the old pool stay memory-safe; `op` is
+  /// declared after `shards` because it references the shard stars.
+  struct ExecPool {
+    std::unique_ptr<ShardManager> shards;
+    std::unique_ptr<ShardedCJoinOperator> op;
+  };
+
   struct StarEntry {
     std::string name;
     std::unique_ptr<StarSchema> star;
-    std::unique_ptr<CJoinOperator> op;
+    std::shared_ptr<ExecPool> pool;  // guarded by ops_mu_
     /// Snapshot of the newest committed append to this star's fact table.
     /// Queries are snapshot-capped only while appends beyond the scan's
     /// covered bound exist (deletes are always within scanned ranges).
@@ -160,25 +184,42 @@ class QueryEngine {
 
   Result<StarEntry*> EntryFor(const StarSchema* schema);
   Result<StarEntry*> EntryByName(std::string_view name);
+  const StarEntry* EntryByNameConst(std::string_view name) const;
+
+  /// Snapshot of the star's current pool (safe against SetShardCount).
+  std::shared_ptr<ExecPool> PoolFor(StarEntry* entry) const;
+
+  /// Load inputs the Router prices: one sampling point shared by
+  /// Execute() and ExplainRoute(), so their verdicts cannot diverge.
+  RouteInputs SampleRouteInputs(const ExecPool& pool) const;
+
+  /// Builds and starts a shard set + operator pool for `star`.
+  Result<std::shared_ptr<ExecPool>> MakePool(const StarSchema& star,
+                                             size_t shards,
+                                             uint64_t disk_reader_base);
 
   /// Resolves a request's spec (parsing SQL if needed), normalizes it,
   /// and defaults its snapshot; returns the owning star entry.
   Result<StarEntry*> ResolveRequest(QueryRequest* request);
 
-  /// Submits a normalized spec to the star's CJOIN operator with exact
-  /// snapshot capping under concurrent appends. Shared by Execute() and
-  /// the deprecated Submit().
+  /// Submits a normalized spec to the star's CJOIN pool with exact
+  /// snapshot capping under concurrent appends.
   Result<std::unique_ptr<QueryHandle>> SubmitToCJoin(
-      StarEntry* entry, StarQuerySpec spec,
-      CJoinOperator::SubmitOptions options);
+      StarEntry* entry, const std::shared_ptr<ExecPool>& pool,
+      StarQuerySpec spec, CJoinOperator::SubmitOptions options);
 
   Options opts_;
   Router router_;
   std::unique_ptr<BaselinePool> baseline_pool_;
   std::vector<std::unique_ptr<StarEntry>> stars_;
+  /// Guards the stars_ vector structure and each entry's pool pointer.
+  mutable std::shared_mutex ops_mu_;
   std::atomic<SnapshotId> snapshot_{1};
   std::mutex update_mu_;  // serializes writers (single-writer storage)
-  bool shut_down_ = false;
+  /// Set under update_mu_ (so SetShardCount, which holds update_mu_ for
+  /// its whole body, cannot start a fresh pool after Shutdown swept the
+  /// existing ones); read lock-free on the query paths.
+  std::atomic<bool> shut_down_{false};
 };
 
 }  // namespace cjoin

@@ -28,20 +28,23 @@ const char* RouteChoiceName(RouteChoice choice) {
 }
 
 std::string RouteDecision::ToString() const {
-  char buf[512];
+  char buf[640];
   std::snprintf(buf, sizeof(buf),
                 "route: %s%s\n"
                 "  selectivity     %.4f\n"
                 "  fact rows       %llu\n"
                 "  dim build rows  %llu\n"
                 "  in-flight       %zu\n"
+                "  shards          %zu\n"
+                "  baseline queue  %zu\n"
                 "  cost(cjoin)     %.0f\n"
                 "  cost(baseline)  %.0f\n"
                 "  reason          %s",
                 RouteChoiceName(choice), forced ? " (forced by policy)" : "",
                 selectivity, static_cast<unsigned long long>(fact_rows),
                 static_cast<unsigned long long>(dim_build_rows), inflight,
-                cjoin_cost, baseline_cost, reason.c_str());
+                shards, baseline_queued, cjoin_cost, baseline_cost,
+                reason.c_str());
   return buf;
 }
 
@@ -84,9 +87,11 @@ double Router::EstimateSelectivity(const StarQuerySpec& spec,
 }
 
 RouteDecision Router::Decide(const StarQuerySpec& spec,
-                             size_t inflight) const {
+                             const RouteInputs& inputs) const {
   RouteDecision d;
-  d.inflight = inflight;
+  d.inflight = inputs.inflight;
+  d.shards = std::max<size_t>(1, inputs.shards);
+  d.baseline_queued = inputs.baseline_queued;
   d.fact_rows = spec.schema->fact().NumRows();
   d.selectivity = EstimateSelectivity(spec, &d.dim_build_rows);
 
@@ -95,28 +100,45 @@ RouteDecision Router::Decide(const StarQuerySpec& spec,
 
   // Baseline: private dimension builds, then a private fact scan whose
   // probe pipeline (most selective join first) rejects most tuples early
-  // when the query is selective.
-  d.baseline_cost = static_cast<double>(d.dim_build_rows) +
-                    fact * (1.0 + opts_.probe_weight * d.selectivity);
+  // when the query is selective. A backlog in the pool delays the start by
+  // roughly queued/workers job-lengths, which the queue penalty models as
+  // a multiplicative inflation.
+  const double queue_factor =
+      1.0 + opts_.baseline_queue_penalty *
+                static_cast<double>(inputs.baseline_queued) /
+                static_cast<double>(std::max<size_t>(1,
+                                                     inputs.baseline_workers));
+  d.baseline_cost = (static_cast<double>(d.dim_build_rows) +
+                     fact * (1.0 + opts_.probe_weight * d.selectivity)) *
+                    queue_factor;
 
-  // CJOIN: joins the always-on lap. Scan + filter work is shared across
-  // every in-flight query, but a lone query pays the whole lap plus the
-  // pipeline's per-tuple overhead; routing/aggregation of the query's own
-  // output tuples is never shared.
-  d.cjoin_cost = fact * opts_.cjoin_tuple_weight /
-                     static_cast<double>(inflight + 1) +
+  // CJOIN: joins the always-on lap of every pipeline instance. Each of the
+  // N shards scans only ~1/N of the fact table, and every shard's scan +
+  // filter work is shared across the same in-flight queries (a query
+  // registers on all shards, so the per-shard load equals the logical
+  // load); routing/aggregation of the query's own output tuples is never
+  // shared.
+  d.cjoin_cost = (fact / static_cast<double>(d.shards)) *
+                     opts_.cjoin_tuple_weight /
+                     static_cast<double>(inputs.inflight + 1) +
                  opts_.cjoin_fixed_cost + passing * opts_.route_weight;
 
   if (d.baseline_cost < d.cjoin_cost) {
     d.choice = RouteChoice::kBaseline;
-    d.reason = inflight == 0
+    d.reason = inputs.inflight == 0
                    ? "selective query, idle operator: private plan is cheaper"
                    : "private plan is cheaper at current load";
   } else {
     d.choice = RouteChoice::kCJoin;
-    d.reason = inflight > 0
-                   ? "shared scan amortized over in-flight queries"
-                   : "unselective query: shared pipeline is cheaper";
+    if (inputs.baseline_queued > 0) {
+      d.reason = "baseline pool backlogged: shared pipeline is cheaper";
+    } else if (inputs.inflight > 0) {
+      d.reason = "shared scan amortized over in-flight queries";
+    } else if (d.shards > 1) {
+      d.reason = "sharded scan divides the lap: shared pipeline is cheaper";
+    } else {
+      d.reason = "unselective query: shared pipeline is cheaper";
+    }
   }
   return d;
 }

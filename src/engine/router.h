@@ -54,6 +54,11 @@ struct RouteDecision {
   uint64_t dim_build_rows = 0;
   /// In-flight CJOIN queries at decision time.
   size_t inflight = 0;
+  /// Parallel CJOIN pipeline instances (fact-table shards) at decision
+  /// time: each shard scans ~fact_rows/shards per lap.
+  size_t shards = 1;
+  /// Jobs waiting in the baseline pool at decision time.
+  size_t baseline_queued = 0;
 
   /// Costs in fact-tuple work units (lower wins).
   double cjoin_cost = 0.0;
@@ -90,6 +95,23 @@ struct RouterOptions {
   /// selective) probe, an unselective one pays every probe and the
   /// aggregation fold.
   double probe_weight = 2.0;
+
+  /// Queueing penalty of the baseline pool: each job already waiting per
+  /// worker inflates the baseline cost by this fraction of the query's own
+  /// cost (a new job waits roughly queued/workers job-lengths before it
+  /// starts).
+  double baseline_queue_penalty = 1.0;
+};
+
+/// Load inputs sampled at decision time. inflight is the logical in-flight
+/// CJOIN query count of the target (sharded) operator; shards is its
+/// pipeline-instance count; baseline_queued/baseline_workers describe the
+/// baseline pool's backlog.
+struct RouteInputs {
+  size_t inflight = 0;
+  size_t shards = 1;
+  size_t baseline_queued = 0;
+  size_t baseline_workers = 1;
 };
 
 class Router {
@@ -104,9 +126,19 @@ class Router {
   double EstimateSelectivity(const StarQuerySpec& spec,
                              uint64_t* dim_build_rows = nullptr) const;
 
-  /// The §3.2.3 optimizer choice for `spec` given `inflight` concurrent
-  /// CJOIN queries on the target operator.
-  RouteDecision Decide(const StarQuerySpec& spec, size_t inflight) const;
+  /// The §3.2.3 optimizer choice for `spec` given the sampled load: the
+  /// shared-scan cost divides by the shard count (each pipeline instance
+  /// laps only its shard) and amortizes over in-flight queries; the
+  /// baseline cost inflates with the pool's queue backlog.
+  RouteDecision Decide(const StarQuerySpec& spec,
+                       const RouteInputs& inputs) const;
+
+  /// Convenience: unsharded operator, idle baseline pool.
+  RouteDecision Decide(const StarQuerySpec& spec, size_t inflight) const {
+    RouteInputs in;
+    in.inflight = inflight;
+    return Decide(spec, in);
+  }
 
   const RouterOptions& options() const { return opts_; }
 

@@ -1,0 +1,108 @@
+#include "engine/shard_manager.h"
+
+#include <string>
+
+#include "common/hash.h"
+
+namespace cjoin {
+
+Result<std::unique_ptr<ShardManager>> ShardManager::Make(
+    const StarSchema& source, size_t num_shards) {
+  if (num_shards == 0) {
+    return Status::InvalidArgument("shard count must be >= 1");
+  }
+  auto mgr = std::unique_ptr<ShardManager>(new ShardManager());
+  mgr->source_ = &source;
+
+  if (num_shards == 1) {
+    // Pass-through: the sole shard is the source star itself.
+    mgr->stars_.push_back(source);
+    return mgr;
+  }
+
+  const Table& fact = source.fact();
+  const Schema& schema = fact.schema();
+  const size_t row_size = schema.row_size();
+
+  // One replica table per shard: same schema and partition layout, so
+  // partition-limited queries (§5) behave identically per shard.
+  Table::Options topts;
+  topts.rows_per_page = fact.rows_per_page();
+  topts.num_partitions = fact.num_partitions();
+  std::vector<DimensionDef> dims;
+  for (size_t d = 0; d < source.num_dimensions(); ++d) {
+    dims.push_back(source.dimension(d));
+  }
+  for (size_t s = 0; s < num_shards; ++s) {
+    mgr->replicas_.push_back(std::make_unique<Table>(
+        fact.name() + ".shard" + std::to_string(s), schema, topts));
+  }
+
+  // Hash-partition the current contents, preserving MVCC headers so old
+  // snapshots read exactly what they would from the source table.
+  for (uint32_t p = 0; p < fact.num_partitions(); ++p) {
+    const uint64_t n = fact.PartitionRows(p);
+    for (uint64_t i = 0; i < n; ++i) {
+      const RowId id{p, i};
+      const uint8_t* payload = fact.RowPayload(id);
+      const RowHeader* hdr = fact.Header(id);
+      Table& shard = *mgr->replicas_[HashBytes(payload, row_size) % num_shards];
+      const RowId out = shard.AppendRow(payload, p, hdr->xmin);
+      const SnapshotId xmax = hdr->LoadXmax();
+      if (xmax != kMaxSnapshot) {
+        CJOIN_RETURN_IF_ERROR(shard.MarkDeleted(out, xmax));
+      }
+    }
+  }
+
+  for (size_t s = 0; s < num_shards; ++s) {
+    CJOIN_ASSIGN_OR_RETURN(
+        StarSchema star, StarSchema::Make(mgr->replicas_[s].get(), dims));
+    mgr->stars_.push_back(std::move(star));
+  }
+  return mgr;
+}
+
+std::vector<const StarSchema*> ShardManager::shard_stars() const {
+  std::vector<const StarSchema*> out;
+  out.reserve(stars_.size());
+  for (const StarSchema& s : stars_) out.push_back(&s);
+  return out;
+}
+
+size_t ShardManager::ShardOfRow(const uint8_t* payload) const {
+  return HashBytes(payload, source_->fact().schema().row_size()) %
+         stars_.size();
+}
+
+void ShardManager::MirrorAppend(const uint8_t* payload, uint32_t partition,
+                                SnapshotId xmin) {
+  if (!replicated()) return;
+  replicas_[ShardOfRow(payload)]->AppendRow(payload, partition, xmin);
+}
+
+Status ShardManager::MirrorDelete(const Expr& predicate, SnapshotId xmax) {
+  if (!replicated()) return Status::OK();
+  const Schema& schema = source_->fact().schema();
+  for (auto& shard : replicas_) {
+    for (uint32_t p = 0; p < shard->num_partitions(); ++p) {
+      const uint64_t n = shard->PartitionRows(p);
+      for (uint64_t i = 0; i < n; ++i) {
+        const RowId id{p, i};
+        if (shard->Header(id)->LoadXmax() != kMaxSnapshot) continue;
+        if (!predicate.EvalBool(schema, shard->RowPayload(id))) continue;
+        CJOIN_RETURN_IF_ERROR(shard->MarkDeleted(id, xmax));
+      }
+    }
+  }
+  return Status::OK();
+}
+
+uint64_t ShardManager::TotalShardRows() const {
+  if (!replicated()) return source_->fact().NumRows();
+  uint64_t total = 0;
+  for (const auto& shard : replicas_) total += shard->NumRows();
+  return total;
+}
+
+}  // namespace cjoin

@@ -1,0 +1,88 @@
+// ShardManager: hash-partitioned fact-table shards for parallel CJOIN
+// pipelines.
+//
+// A single CJOIN operator is bounded by one continuous scan's fact-tuple
+// rate (paper §3.1/§6.2.3). To scale past that, the ShardManager splits a
+// star's fact table into N shards — in the spirit of partitioned,
+// independently-scanned analytics replicas (Polynesia, PAPERS.md) — and
+// wires each shard into its own StarSchema over the *shared* dimension
+// tables. The ShardedCJoinOperator then drives one full pipeline instance
+// (scan, preprocessor, filters, distributor) per shard.
+//
+// Placement is by hash of the fact row payload: deterministic, key-free
+// (works for any fact schema), and balanced. Every fact row lives in
+// exactly one shard, so per-shard partial aggregates merge into exactly
+// the single-operator answer.
+//
+// With num_shards == 1 the manager is a pass-through: shard 0 *is* the
+// source star and no bytes are copied. With N > 1 the shards are replicas
+// carved out of the source table at build time (MVCC headers preserved,
+// so old snapshots stay exact); the engine then mirrors every committed
+// append/delete into the shard replicas under its update lock, keeping the
+// source table (used by the baseline executor and the router's cost
+// model) and the shard set transactionally in step.
+
+#ifndef CJOIN_ENGINE_SHARD_MANAGER_H_
+#define CJOIN_ENGINE_SHARD_MANAGER_H_
+
+#include <memory>
+#include <vector>
+
+#include "catalog/star_schema.h"
+#include "common/status.h"
+#include "expr/expr.h"
+#include "storage/table.h"
+
+namespace cjoin {
+
+class ShardManager {
+ public:
+  /// Builds the shard set for `source`. num_shards == 1 is the
+  /// pass-through configuration; N > 1 hash-partitions the current
+  /// contents of source.fact() into N replica tables (same schema, same
+  /// partition layout, xmin/xmax copied).
+  static Result<std::unique_ptr<ShardManager>> Make(const StarSchema& source,
+                                                    size_t num_shards);
+
+  size_t num_shards() const { return stars_.size(); }
+  const StarSchema& source() const { return *source_; }
+  const StarSchema& shard_star(size_t s) const { return stars_[s]; }
+  /// The shard stars in index order (for the ShardedCJoinOperator).
+  std::vector<const StarSchema*> shard_stars() const;
+
+  /// True when shards are physical replicas (N > 1) that must be kept in
+  /// step with the source table by Mirror*().
+  bool replicated() const { return !replicas_.empty(); }
+
+  /// Deterministic shard of a fact row payload (hash of its bytes).
+  size_t ShardOfRow(const uint8_t* payload) const;
+
+  /// Mirrors one committed append into the owning shard replica. The
+  /// caller (the engine) holds its update lock and has already appended
+  /// the row to the source table at snapshot `xmin`. No-op when
+  /// pass-through.
+  void MirrorAppend(const uint8_t* payload, uint32_t partition,
+                    SnapshotId xmin);
+
+  /// Mirrors a committed predicate delete: marks every visible matching
+  /// row in every shard replica deleted as of `xmax`, exactly as the
+  /// engine did on the source table. No-op when pass-through.
+  Status MirrorDelete(const Expr& predicate, SnapshotId xmax);
+
+  /// Total rows across shards (== source fact rows; for diagnostics).
+  uint64_t TotalShardRows() const;
+
+ private:
+  ShardManager() = default;
+
+  const StarSchema* source_ = nullptr;
+  /// Physical shard fact tables; empty in the pass-through configuration.
+  std::vector<std::unique_ptr<Table>> replicas_;
+  /// One star per shard, over the shared dimension tables. In the
+  /// pass-through configuration this is a copy of the source star.
+  std::vector<StarSchema> stars_;
+};
+
+}  // namespace cjoin
+
+#endif  // CJOIN_ENGINE_SHARD_MANAGER_H_

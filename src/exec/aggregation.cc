@@ -206,6 +206,31 @@ class SortStarAggregator final : public AggregatorBase {
   std::vector<Row> buffered_;
 };
 
+/// Hash group-by that surrenders its partial GroupTable at Finish().
+class PartialHashAggregator final : public AggregatorBase {
+ public:
+  PartialHashAggregator(const StarQuerySpec& spec, PartialSink sink)
+      : AggregatorBase(spec), table_(fns_), sink_(std::move(sink)) {}
+
+  void Consume(const uint8_t* fact_row,
+               const uint8_t* const* dim_rows) override {
+    ++consumed_;
+    table_.Fold(ReadKey(fact_row, dim_rows),
+                ReadInputs(fact_row, dim_rows));
+  }
+
+  ResultSet Finish() override {
+    if (sink_) sink_(std::move(table_), consumed_);
+    ResultSet rs;
+    rs.tuples_consumed = consumed_;
+    return rs;
+  }
+
+ private:
+  GroupTable table_;
+  PartialSink sink_;
+};
+
 }  // namespace
 
 std::unique_ptr<StarAggregator> MakeHashAggregator(const StarQuerySpec& spec) {
@@ -214,6 +239,11 @@ std::unique_ptr<StarAggregator> MakeHashAggregator(const StarQuerySpec& spec) {
 
 std::unique_ptr<StarAggregator> MakeSortAggregator(const StarQuerySpec& spec) {
   return std::make_unique<SortStarAggregator>(spec);
+}
+
+std::unique_ptr<StarAggregator> MakePartialHashAggregator(
+    const StarQuerySpec& spec, PartialSink sink) {
+  return std::make_unique<PartialHashAggregator>(spec, std::move(sink));
 }
 
 }  // namespace cjoin

@@ -16,10 +16,12 @@
 #define CJOIN_EXEC_AGGREGATION_H_
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <vector>
 
 #include "catalog/query_spec.h"
+#include "exec/group_table.h"
 #include "exec/result_set.h"
 #include "expr/value.h"
 
@@ -50,6 +52,18 @@ std::unique_ptr<StarAggregator> MakeHashAggregator(const StarQuerySpec& spec);
 
 /// Creates the sort-based aggregator (for testing / comparison).
 std::unique_ptr<StarAggregator> MakeSortAggregator(const StarQuerySpec& spec);
+
+/// Receives an aggregator's *partial* group state when it finishes.
+using PartialSink = std::function<void(GroupTable&& partial, uint64_t consumed)>;
+
+/// Hash aggregator whose Finish() hands its raw GroupTable — un-finalized
+/// running states — to `sink` instead of materializing final values, and
+/// returns an empty ResultSet (tuples_consumed still set). The sharded
+/// CJOIN operator installs one per shard and merges the partials
+/// shard-wise, which is exact for every AggFn (AVG divides only after the
+/// merged counts and sums are combined).
+std::unique_ptr<StarAggregator> MakePartialHashAggregator(
+    const StarQuerySpec& spec, PartialSink sink);
 
 }  // namespace cjoin
 

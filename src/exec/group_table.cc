@@ -38,6 +38,21 @@ void AggState::Fold(AggFn fn, const Value& v) {
   }
 }
 
+void AggState::Merge(const AggState& other) {
+  count += other.count;
+  isum += other.isum;
+  dsum += other.dsum;
+  any_double |= other.any_double;
+  if (!other.min_v.is_null() &&
+      (min_v.is_null() || other.min_v.Compare(min_v) < 0)) {
+    min_v = other.min_v;
+  }
+  if (!other.max_v.is_null() &&
+      (max_v.is_null() || other.max_v.Compare(max_v) > 0)) {
+    max_v = other.max_v;
+  }
+}
+
 Value AggState::Final(AggFn fn) const {
   switch (fn) {
     case AggFn::kCount:
@@ -119,6 +134,17 @@ void GroupTable::Fold(std::vector<Value> key,
   for (size_t i = 0; i < fns_.size(); ++i) {
     g.states[i].Fold(fns_[i], inputs[i]);
   }
+}
+
+void GroupTable::MergeFrom(GroupTable&& other) {
+  for (Group& g : other.groups_) {
+    Group& dst = FindOrCreate(std::move(g.key));
+    for (size_t i = 0; i < fns_.size(); ++i) {
+      dst.states[i].Merge(g.states[i]);
+    }
+  }
+  other.groups_.clear();
+  other.slots_.assign(kInitialSlots, kEmpty);
 }
 
 ResultSet GroupTable::Finish(std::vector<std::string> columns,

@@ -32,6 +32,12 @@ struct AggState {
   /// COUNT counts every call).
   void Fold(AggFn fn, const Value& v);
 
+  /// Merges another partial state into this one. The running-state
+  /// representation is fn-agnostic (counts and sums add, min/max combine),
+  /// so one Merge is exact for every AggFn — including AVG, whose division
+  /// only happens at Final().
+  void Merge(const AggState& other);
+
   /// Final value of the aggregate.
   Value Final(AggFn fn) const;
 };
@@ -47,6 +53,12 @@ class GroupTable {
   void Fold(std::vector<Value> key, const std::vector<Value>& inputs);
 
   size_t num_groups() const { return groups_.size(); }
+
+  /// Merges `other`'s partial groups into this table (same aggregate
+  /// function list required). Used by the sharded CJOIN collector to
+  /// combine per-shard partial aggregates before finalizing. `other` is
+  /// left empty.
+  void MergeFrom(GroupTable&& other);
 
   /// Materializes (key columns..., aggregate columns...) rows under the
   /// given header. When `global_row_when_empty` is set and no group was

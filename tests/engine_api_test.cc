@@ -96,21 +96,21 @@ TEST(ExecuteTest, SqlRequestsWork) {
   EXPECT_EQ(rs->rows[0][0].AsInt(), 1000);
 }
 
-TEST(ExecuteTest, LegacyWrappersStillWork) {
+TEST(ExecuteTest, ForcedPoliciesAgreeOnSql) {
   auto ts = MakeTinyStar(1000);
   QueryEngine engine;
   ASSERT_TRUE(engine.RegisterStar("tiny", *ts->star).ok());
 
-  auto h = engine.SubmitSql("tiny", "SELECT COUNT(*) AS n FROM sales");
-  ASSERT_TRUE(h.ok()) << h.status().ToString();
-  auto rs = (*h)->Wait();
-  ASSERT_TRUE(rs.ok());
-  EXPECT_EQ(rs->rows[0][0].AsInt(), 1000);
-
-  auto brs = engine.ExecuteBaselineSql("tiny",
-                                       "SELECT COUNT(*) AS n FROM sales");
-  ASSERT_TRUE(brs.ok()) << brs.status().ToString();
-  EXPECT_EQ(brs->rows[0][0].AsInt(), 1000);
+  for (RoutePolicy policy : {RoutePolicy::kCJoin, RoutePolicy::kBaseline}) {
+    QueryRequest req =
+        QueryRequest::Sql("tiny", "SELECT COUNT(*) AS n FROM sales");
+    req.policy = policy;
+    auto t = engine.Execute(std::move(req));
+    ASSERT_TRUE(t.ok()) << t.status().ToString();
+    auto rs = (*t)->Wait();
+    ASSERT_TRUE(rs.ok()) << rs.status().ToString();
+    EXPECT_EQ(rs->rows[0][0].AsInt(), 1000);
+  }
 }
 
 // --------------------------- Cancellation -----------------------------------

@@ -116,9 +116,12 @@ TEST_F(EngineEdgeTest, AppendVisibilityIsImmediateWhenIdle) {
   // admission, so a query submitted after AppendFacts sees the new rows
   // right away (no lap-staleness polling needed).
   auto count = [&]() -> int64_t {
-    auto h = engine_->SubmitSql("sales", "SELECT COUNT(*) AS n FROM sales");
-    EXPECT_TRUE(h.ok());
-    auto rs = (*h)->Wait();
+    QueryRequest req =
+        QueryRequest::Sql("sales", "SELECT COUNT(*) AS n FROM sales");
+    req.policy = RoutePolicy::kCJoin;
+    auto t = engine_->Execute(std::move(req));
+    EXPECT_TRUE(t.ok());
+    auto rs = (*t)->Wait();
     EXPECT_TRUE(rs.ok());
     return rs->rows[0][0].AsInt();
   };
@@ -149,10 +152,12 @@ TEST_F(EngineEdgeTest, AppendVisibilityIsImmediateWhenIdle) {
 TEST_F(EngineEdgeTest, OperatorStatsReflectActivity) {
   auto op = engine_->OperatorFor("sales");
   ASSERT_TRUE(op.ok());
-  auto h = engine_->SubmitSql(
+  QueryRequest req = QueryRequest::Sql(
       "sales",
       "SELECT COUNT(*) FROM sales, store WHERE f_sid = s_id AND "
       "s_region = 'R1'");
+  req.policy = RoutePolicy::kCJoin;
+  auto h = engine_->Execute(std::move(req));
   ASSERT_TRUE(h.ok());
   ASSERT_TRUE((*h)->Wait().ok());
   const CJoinOperator::Stats stats = (*op)->GetStats();
@@ -176,9 +181,15 @@ TEST_F(EngineEdgeTest, BaselineAndCJoinAgreeAfterUpdates) {
   const char* sql =
       "SELECT s_region, COUNT(*) AS n FROM sales, store "
       "WHERE f_sid = s_id GROUP BY s_region";
-  auto baseline = engine_->ExecuteBaselineSql("sales", sql);
+  QueryRequest breq = QueryRequest::Sql("sales", sql);
+  breq.policy = RoutePolicy::kBaseline;
+  auto bt = engine_->Execute(std::move(breq));
+  ASSERT_TRUE(bt.ok());
+  auto baseline = (*bt)->Wait();
   ASSERT_TRUE(baseline.ok());
-  auto h = engine_->SubmitSql("sales", sql);
+  QueryRequest creq = QueryRequest::Sql("sales", sql);
+  creq.policy = RoutePolicy::kCJoin;
+  auto h = engine_->Execute(std::move(creq));
   ASSERT_TRUE(h.ok());
   auto rs = (*h)->Wait();
   ASSERT_TRUE(rs.ok());

@@ -162,11 +162,17 @@ TEST_F(QueryEngineTest, SqlThroughCJoinMatchesBaseline) {
       "SELECT s_region, COUNT(*) AS n, SUM(f_amount) AS amt "
       "FROM sales, store WHERE f_sid = s_id AND s_region <> 'R1' "
       "GROUP BY s_region";
-  auto handle = engine_->SubmitSql("sales", sql);
-  ASSERT_TRUE(handle.ok()) << handle.status().ToString();
-  auto rs = (*handle)->Wait();
+  QueryRequest creq = QueryRequest::Sql("sales", sql);
+  creq.policy = RoutePolicy::kCJoin;
+  auto ticket = engine_->Execute(std::move(creq));
+  ASSERT_TRUE(ticket.ok()) << ticket.status().ToString();
+  auto rs = (*ticket)->Wait();
   ASSERT_TRUE(rs.ok());
-  auto baseline = engine_->ExecuteBaselineSql("sales", sql);
+  QueryRequest breq = QueryRequest::Sql("sales", sql);
+  breq.policy = RoutePolicy::kBaseline;
+  auto bticket = engine_->Execute(std::move(breq));
+  ASSERT_TRUE(bticket.ok()) << bticket.status().ToString();
+  auto baseline = (*bticket)->Wait();
   ASSERT_TRUE(baseline.ok());
   EXPECT_TRUE(rs->SameContents(*baseline))
       << "cjoin:\n" << rs->ToString() << "baseline:\n"
@@ -187,7 +193,7 @@ TEST_F(QueryEngineTest, SubmitUnregisteredSchemaFails) {
   spec.schema = other->star.get();
   spec.aggregates.push_back(
       AggregateSpec{AggFn::kCount, std::nullopt, nullptr, "n"});
-  EXPECT_FALSE(engine_->Submit(spec).ok());
+  EXPECT_FALSE(engine_->Execute(QueryRequest::FromSpec(spec)).ok());
 }
 
 TEST_F(QueryEngineTest, UpdatesAreSnapshotIsolated) {
@@ -195,9 +201,11 @@ TEST_F(QueryEngineTest, UpdatesAreSnapshotIsolated) {
   // snapshot queries disagree exactly by the visible changes.
   const char* sql = "SELECT COUNT(*) AS n FROM sales";
   auto count_now = [&]() -> int64_t {
-    auto h = engine_->SubmitSql("sales", sql);
-    EXPECT_TRUE(h.ok());
-    auto rs = (*h)->Wait();
+    QueryRequest req = QueryRequest::Sql("sales", sql);
+    req.policy = RoutePolicy::kCJoin;
+    auto t = engine_->Execute(std::move(req));
+    EXPECT_TRUE(t.ok());
+    auto rs = (*t)->Wait();
     EXPECT_TRUE(rs.ok());
     return rs->rows[0][0].AsInt();
   };
@@ -218,7 +226,9 @@ TEST_F(QueryEngineTest, UpdatesAreSnapshotIsolated) {
   old_spec.aggregates.push_back(
       AggregateSpec{AggFn::kCount, std::nullopt, nullptr, "n"});
   old_spec.snapshot = *del_snap - 1;
-  auto h_old = engine_->Submit(old_spec);
+  QueryRequest old_req = QueryRequest::FromSpec(old_spec);
+  old_req.policy = RoutePolicy::kCJoin;
+  auto h_old = engine_->Execute(std::move(old_req));
   ASSERT_TRUE(h_old.ok());
   auto rs_old = (*h_old)->Wait();
   ASSERT_TRUE(rs_old.ok());

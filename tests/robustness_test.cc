@@ -262,8 +262,12 @@ TEST(EngineMixedLoadTest, QueriesDuringUpdateStorm) {
     by_region.group_by.push_back(ColumnSource::Dim(1, 1));
     by_region.group_by_labels.push_back("s_region");
 
-    auto h1 = engine.Submit(global);
-    auto h2 = engine.Submit(by_region);
+    QueryRequest req1 = QueryRequest::FromSpec(global);
+    req1.policy = RoutePolicy::kCJoin;
+    QueryRequest req2 = QueryRequest::FromSpec(by_region);
+    req2.policy = RoutePolicy::kCJoin;
+    auto h1 = engine.Execute(std::move(req1));
+    auto h2 = engine.Execute(std::move(req2));
     ASSERT_TRUE(h1.ok());
     ASSERT_TRUE(h2.ok());
     const SnapshotId eff1 = (*h1)->snapshot();

@@ -90,6 +90,36 @@ TEST_F(RouterTest, UnselectiveQueryRoutesToCJoinEvenWhenIdle) {
   EXPECT_EQ(d.choice, RouteChoice::kCJoin);
 }
 
+TEST_F(RouterTest, ShardsDivideTheSharedScanCost) {
+  // Each of N pipeline instances laps only ~1/N of the fact table, so the
+  // CJOIN cost shrinks with the shard count (same query, same load).
+  const RouteDecision d1 = router_.Decide(PriceQuery(2000), RouteInputs{});
+  RouteInputs four;
+  four.shards = 4;
+  const RouteDecision d4 = router_.Decide(PriceQuery(2000), four);
+  EXPECT_EQ(d4.shards, 4u);
+  EXPECT_LT(d4.cjoin_cost, d1.cjoin_cost);
+  // At 4 shards the shared pipeline beats the private plan even when the
+  // operator is idle and the query is selective.
+  EXPECT_EQ(d1.choice, RouteChoice::kBaseline);
+  EXPECT_EQ(d4.choice, RouteChoice::kCJoin);
+}
+
+TEST_F(RouterTest, BaselineQueueDepthPenalizesBaselineRoute) {
+  // A lone selective query prefers the private plan on an idle pool...
+  const RouteDecision idle = router_.Decide(PriceQuery(2000), 0);
+  ASSERT_EQ(idle.choice, RouteChoice::kBaseline);
+  // ...but a deep baseline backlog (the static part of the ROADMAP's
+  // router-feedback item) inflates the wait and flips the choice.
+  RouteInputs busy;
+  busy.baseline_queued = 64;
+  busy.baseline_workers = 2;
+  const RouteDecision backlogged = router_.Decide(PriceQuery(2000), busy);
+  EXPECT_EQ(backlogged.baseline_queued, 64u);
+  EXPECT_GT(backlogged.baseline_cost, idle.baseline_cost);
+  EXPECT_EQ(backlogged.choice, RouteChoice::kCJoin);
+}
+
 TEST_F(RouterTest, DecisionRendersForExplain) {
   RouteDecision d = router_.Decide(PriceQuery(2000), 0);
   const std::string s = d.ToString();

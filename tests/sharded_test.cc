@@ -1,0 +1,411 @@
+// Tests for the sharded CJOIN execution subsystem: ShardManager
+// hash-partitioning, cross-shard result equivalence against the
+// single-operator path (byte-identical at one shard, multiset-identical
+// at N), cancellation mid-lap on a sharded pool, update/snapshot
+// visibility across shards, runtime re-sharding, and concurrent
+// registration/cancellation at shards in {1, 2, 4}.
+
+#include <atomic>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "cjoin/sharded_operator.h"
+#include "engine/query_engine.h"
+#include "engine/shard_manager.h"
+#include "ssb/generator.h"
+#include "ssb/queries.h"
+#include "storage/sim_disk.h"
+#include "tests/test_util.h"
+
+namespace cjoin {
+namespace {
+
+using testing::MakeTinyStar;
+using testing::ReferenceEvaluate;
+using testing::TinyStar;
+
+StarQuerySpec CountStar(const TinyStar& ts) {
+  StarQuerySpec spec;
+  spec.schema = ts.star.get();
+  spec.aggregates.push_back(
+      AggregateSpec{AggFn::kCount, std::nullopt, nullptr, "n"});
+  return spec;
+}
+
+StarQuerySpec RegionGroup(const TinyStar& ts) {
+  StarQuerySpec spec;
+  spec.schema = ts.star.get();
+  spec.group_by.push_back(ColumnSource::Dim(1, 1));
+  spec.group_by_labels.push_back("s_region");
+  spec.aggregates.push_back(
+      AggregateSpec{AggFn::kCount, std::nullopt, nullptr, "n"});
+  spec.aggregates.push_back(AggregateSpec{
+      AggFn::kSum, ColumnSource::Fact(3), nullptr, "amt"});
+  spec.aggregates.push_back(AggregateSpec{
+      AggFn::kAvg, ColumnSource::Fact(3), nullptr, "avg_amt"});
+  return spec;
+}
+
+QueryEngine::Options EngineOptions(size_t shards) {
+  QueryEngine::Options opts;
+  opts.cjoin.max_concurrent_queries = 32;
+  opts.cjoin.num_worker_threads = 2;
+  opts.cjoin.pool_capacity = 8192;
+  opts.cjoin_shards = shards;
+  return opts;
+}
+
+Result<ResultSet> RunCJoin(QueryEngine& engine, StarQuerySpec spec) {
+  QueryRequest req = QueryRequest::FromSpec(std::move(spec));
+  req.policy = RoutePolicy::kCJoin;
+  CJOIN_ASSIGN_OR_RETURN(auto ticket, engine.Execute(std::move(req)));
+  return ticket->Wait();
+}
+
+// --------------------------- ShardManager -----------------------------------
+
+TEST(ShardManagerTest, HashPartitionsEveryRowExactlyOnce) {
+  auto ts = MakeTinyStar(2000);
+  auto mgr = ShardManager::Make(*ts->star, 4);
+  ASSERT_TRUE(mgr.ok()) << mgr.status().ToString();
+  EXPECT_EQ((*mgr)->num_shards(), 4u);
+  EXPECT_TRUE((*mgr)->replicated());
+  EXPECT_EQ((*mgr)->TotalShardRows(), 2000u);
+  // Hash placement is balanced enough that no shard is empty or hoards
+  // the table at this size.
+  for (size_t s = 0; s < 4; ++s) {
+    const uint64_t rows = (*mgr)->shard_star(s).fact().NumRows();
+    EXPECT_GT(rows, 100u) << "shard " << s;
+    EXPECT_LT(rows, 1500u) << "shard " << s;
+  }
+}
+
+TEST(ShardManagerTest, SingleShardIsPassThrough) {
+  auto ts = MakeTinyStar(100);
+  auto mgr = ShardManager::Make(*ts->star, 1);
+  ASSERT_TRUE(mgr.ok());
+  EXPECT_FALSE((*mgr)->replicated());
+  // No copy: the sole shard reads the source fact table itself.
+  EXPECT_EQ(&(*mgr)->shard_star(0).fact(), ts->sales.get());
+}
+
+TEST(ShardManagerTest, PreservesMvccHeaders) {
+  auto ts = MakeTinyStar(500);
+  // Delete some rows and commit an append before sharding.
+  const Schema& fs = ts->sales->schema();
+  for (uint64_t i = 0; i < 50; ++i) {
+    ASSERT_TRUE(ts->sales->MarkDeleted(RowId{0, i}, 7).ok());
+  }
+  auto mgr = ShardManager::Make(*ts->star, 3);
+  ASSERT_TRUE(mgr.ok());
+  // Visible-row count at snapshot 6 (before the delete) and at 7 must
+  // match the source on the union of shards.
+  for (SnapshotId snap : {SnapshotId{6}, SnapshotId{7}}) {
+    uint64_t source_visible = 0;
+    for (uint64_t i = 0; i < 500; ++i) {
+      if (ts->sales->Header(RowId{0, i})->VisibleAt(snap)) ++source_visible;
+    }
+    uint64_t shard_visible = 0;
+    for (size_t s = 0; s < 3; ++s) {
+      const Table& t = (*mgr)->shard_star(s).fact();
+      for (uint64_t i = 0; i < t.PartitionRows(0); ++i) {
+        if (t.Header(RowId{0, i})->VisibleAt(snap)) ++shard_visible;
+      }
+    }
+    EXPECT_EQ(shard_visible, source_visible) << "snapshot " << snap;
+  }
+  (void)fs;
+}
+
+// ------------------- Merge path vs single operator --------------------------
+
+// The merging collector at one shard must be byte-identical to the plain
+// single-operator path (same fold order, same finalization math).
+TEST(ShardedOperatorTest, MergePathByteIdenticalAtOneShard) {
+  auto ts = MakeTinyStar(3000);
+  auto mgr = ShardManager::Make(*ts->star, 1);
+  ASSERT_TRUE(mgr.ok());
+
+  CJoinOperator::Options op_opts;
+  op_opts.max_concurrent_queries = 8;
+  op_opts.num_worker_threads = 2;
+  op_opts.pool_capacity = 4096;
+
+  CJoinOperator single(*ts->star, op_opts);
+  ASSERT_TRUE(single.Start().ok());
+
+  ShardedCJoinOperator::Options sopts;
+  sopts.op = op_opts;
+  sopts.force_merge_path = true;  // exercise the collector at N=1
+  ShardedCJoinOperator sharded(*ts->star, (*mgr)->shard_stars(), sopts);
+  ASSERT_TRUE(sharded.Start().ok());
+
+  for (StarQuerySpec spec : {CountStar(*ts), RegionGroup(*ts)}) {
+    auto h1 = single.Submit(spec);
+    ASSERT_TRUE(h1.ok()) << h1.status().ToString();
+    auto r1 = (*h1)->Wait();
+    ASSERT_TRUE(r1.ok());
+
+    auto h2 = sharded.Submit(spec, {});
+    ASSERT_TRUE(h2.ok()) << h2.status().ToString();
+    auto r2 = (*h2)->Wait();
+    ASSERT_TRUE(r2.ok());
+
+    r1->SortRows();
+    r2->SortRows();
+    EXPECT_EQ(r1->ToString(), r2->ToString());  // byte-identical
+    EXPECT_EQ(r1->tuples_consumed, r2->tuples_consumed);
+  }
+  sharded.Stop();
+  single.Stop();
+}
+
+// ---------------- Cross-shard equivalence on SSB Q1-Q4 -----------------------
+
+TEST(ShardedEquivalenceTest, SsbQueriesAgreeAcrossShardCounts) {
+  ssb::GenOptions gopts;
+  gopts.scale_factor = 0.003;
+  auto db = ssb::Generate(gopts).value();
+  ssb::SsbQueries queries(*db);
+
+  for (size_t shards : {size_t{1}, size_t{2}, size_t{4}}) {
+    QueryEngine engine(EngineOptions(shards));
+    ASSERT_TRUE(engine.RegisterStar("ssb", *db->star).ok());
+    ASSERT_EQ(engine.ShardCount("ssb").value(), shards);
+    for (const std::string& name : ssb::SsbQueries::AllNames()) {
+      StarQuerySpec spec = queries.Canonical(name).value();
+      const ResultSet ref = ReferenceEvaluate(spec);
+      auto rs = RunCJoin(engine, spec);
+      ASSERT_TRUE(rs.ok()) << name << " shards=" << shards << ": "
+                           << rs.status().ToString();
+      EXPECT_TRUE(rs->SameContents(ref))
+          << name << " shards=" << shards << "\ngot:\n"
+          << rs->ToString() << "want:\n"
+          << ref.ToString();
+    }
+    engine.Shutdown();
+  }
+}
+
+// --------------------------- Cancellation -----------------------------------
+
+TEST(ShardedCancelTest, CancelMidLapOnOneShardTerminatesTheQuery) {
+  auto ts = MakeTinyStar(50000);
+  // A slow shared disk keeps every shard's lap long enough that the
+  // cancel lands mid-lap on all of them.
+  SimDisk::Options dopts;
+  dopts.bandwidth_bytes_per_sec = 2.0 * 1024 * 1024;
+  SimDisk disk(dopts);
+  QueryEngine::Options eopts = EngineOptions(2);
+  eopts.cjoin.disk = &disk;
+  QueryEngine engine(eopts);
+  ASSERT_TRUE(engine.RegisterStar("tiny", *ts->star).ok());
+
+  QueryRequest req = QueryRequest::FromSpec(CountStar(*ts));
+  req.policy = RoutePolicy::kCJoin;
+  auto t = engine.Execute(std::move(req));
+  ASSERT_TRUE(t.ok()) << t.status().ToString();
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  (*t)->Cancel();
+  auto rs = (*t)->Wait();
+  ASSERT_FALSE(rs.ok());
+  EXPECT_EQ(rs.status().code(), StatusCode::kCancelled);
+
+  // Every shard reclaimed its slot: the next query registers on all
+  // shards and completes correctly.
+  QueryRequest req2 = QueryRequest::FromSpec(CountStar(*ts));
+  req2.policy = RoutePolicy::kCJoin;
+  auto t2 = engine.Execute(std::move(req2));
+  ASSERT_TRUE(t2.ok());
+  auto rs2 = (*t2)->Wait();
+  ASSERT_TRUE(rs2.ok()) << rs2.status().ToString();
+  EXPECT_EQ(rs2->rows[0][0].AsInt(), 50000);
+}
+
+TEST(ShardedCancelTest, DeadlineExpiresAcrossShards) {
+  auto ts = MakeTinyStar(50000);
+  SimDisk::Options dopts;
+  dopts.bandwidth_bytes_per_sec = 1.0 * 1024 * 1024;
+  SimDisk disk(dopts);
+  QueryEngine::Options eopts = EngineOptions(2);
+  eopts.cjoin.disk = &disk;
+  QueryEngine engine(eopts);
+  ASSERT_TRUE(engine.RegisterStar("tiny", *ts->star).ok());
+
+  QueryRequest req = QueryRequest::FromSpec(CountStar(*ts));
+  req.policy = RoutePolicy::kCJoin;
+  req.timeout = std::chrono::milliseconds(100);
+  auto t = engine.Execute(std::move(req));
+  ASSERT_TRUE(t.ok());
+  auto rs = (*t)->Wait();
+  ASSERT_FALSE(rs.ok());
+  EXPECT_EQ(rs.status().code(), StatusCode::kDeadlineExceeded);
+}
+
+// --------------------- Updates & snapshot visibility -------------------------
+
+TEST(ShardedUpdateTest, SnapshotSeesIdenticalDataOnEveryShard) {
+  auto ts = MakeTinyStar(2000);
+  QueryEngine engine(EngineOptions(2));
+  ASSERT_TRUE(engine.RegisterStar("sales", *ts->star).ok());
+
+  auto count_at = [&](SnapshotId snap) -> int64_t {
+    StarQuerySpec spec = CountStar(*ts);
+    spec.snapshot = snap;
+    auto rs = RunCJoin(engine, spec);
+    EXPECT_TRUE(rs.ok()) << rs.status().ToString();
+    return rs.ok() ? rs->rows[0][0].AsInt() : -1;
+  };
+  auto count_now = [&]() -> int64_t {
+    return count_at(kReadLatestSnapshot);
+  };
+  EXPECT_EQ(count_now(), 2000);
+
+  // Delete rows with f_qty == 10 (200 of 2000); mirrored to both shards
+  // at one commit snapshot.
+  const Schema& fs = ts->sales->schema();
+  auto qty10 = MakeCompare(CmpOp::kEq, MakeColumnRef(fs, "f_qty").value(),
+                           MakeLiteral(Value(10)));
+  auto del_snap = engine.DeleteFacts("sales", qty10);
+  ASSERT_TRUE(del_snap.ok());
+  EXPECT_EQ(count_now(), 1800);
+  // A query registered at the pre-delete epoch reads the pre-delete data
+  // on every shard: the counts (shard-wise sums) reproduce it exactly.
+  EXPECT_EQ(count_at(*del_snap - 1), 2000);
+
+  // Appends route to their hash shard under one commit; the count (sum
+  // over both shards' laps) converges to include all of them.
+  std::vector<std::vector<uint8_t>> rows;
+  for (int i = 0; i < 7; ++i) {
+    std::vector<uint8_t> p(fs.row_size());
+    fs.SetInt32(p.data(), 0, i % 20 + 1);
+    fs.SetInt32(p.data(), 1, i % 6 + 1);
+    fs.SetInt32(p.data(), 2, 3);
+    fs.SetInt32(p.data(), 3, 50);
+    rows.push_back(std::move(p));
+  }
+  ASSERT_TRUE(engine.AppendFacts("sales", rows).ok());
+  int64_t n = 0;
+  for (int attempt = 0; attempt < 200; ++attempt) {
+    n = count_now();
+    if (n == 1807) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_EQ(n, 1807);
+  // The old snapshot still reads the pre-delete, pre-append universe.
+  EXPECT_EQ(count_at(*del_snap - 1), 2000);
+}
+
+// --------------------------- Re-sharding ------------------------------------
+
+TEST(ShardedReshardTest, SetShardCountRebuildsThePool) {
+  auto ts = MakeTinyStar(3000);
+  QueryEngine engine(EngineOptions(1));
+  ASSERT_TRUE(engine.RegisterStar("sales", *ts->star).ok());
+  const ResultSet ref =
+      ReferenceEvaluate(*NormalizeSpec(RegionGroup(*ts)));
+
+  for (size_t shards : {size_t{3}, size_t{1}, size_t{4}}) {
+    ASSERT_TRUE(engine.SetShardCount("sales", shards).ok());
+    EXPECT_EQ(engine.ShardCount("sales").value(), shards);
+    auto rs = RunCJoin(engine, RegionGroup(*ts));
+    ASSERT_TRUE(rs.ok()) << rs.status().ToString();
+    EXPECT_TRUE(rs->SameContents(ref)) << "shards=" << shards;
+  }
+  EXPECT_FALSE(engine.SetShardCount("sales", 0).ok());
+  EXPECT_FALSE(engine.SetShardCount("nope", 2).ok());
+}
+
+// ------------------- Galaxy join over a sharded pool -------------------------
+
+TEST(ShardedGalaxyTest, CustomAggregatorPathIsSerialized) {
+  auto ts = MakeTinyStar(2000);
+  QueryEngine engine(EngineOptions(2));
+  ASSERT_TRUE(engine.RegisterStar("sales", *ts->star).ok());
+
+  Schema rschema;
+  rschema.AddInt32("r_pid").AddInt32("r_qty");
+  auto returns = std::make_unique<Table>("returns", rschema);
+  for (int i = 0; i < 600; ++i) {
+    uint8_t* row = returns->AppendUninitialized();
+    rschema.SetInt32(row, 0, i % 20 + 1);
+    rschema.SetInt32(row, 1, i % 3 + 1);
+  }
+  auto star2 = StarSchema::Make(
+      returns.get(), std::vector<StarSchema::DimensionByName>{
+                         {ts->product.get(), "r_pid", "p_id"}});
+  ASSERT_TRUE(star2.ok());
+  ASSERT_TRUE(engine.RegisterStar("returns", std::move(*star2)).ok());
+
+  QueryEngine::GalaxyJoinSpec gspec;
+  gspec.left.schema = engine.FindStar("sales").value();
+  gspec.left.dim_predicates.push_back(DimensionPredicate{0, MakeTrue()});
+  gspec.right.schema = engine.FindStar("returns").value();
+  gspec.left_join_col = 0;
+  gspec.right_join_col = 0;
+  gspec.group_by.push_back(
+      {0, ColumnSource::Dim(0, 1), "p_cat"});
+  gspec.aggregates.push_back({AggFn::kCount, 0, std::nullopt, "pairs"});
+
+  auto rs = engine.ExecuteGalaxyJoin(gspec);
+  ASSERT_TRUE(rs.ok()) << rs.status().ToString();
+  EXPECT_EQ(rs->num_rows(), 4u);  // cat0..cat3
+  int64_t pairs = 0;
+  for (const auto& row : rs->rows) pairs += row[1].AsInt();
+  // Brute-force pair count: each product key joins (sales rows with pid)
+  // x (returns rows with pid). 2000/20=100 sales, 600/20=30 returns per
+  // key, 20 keys.
+  EXPECT_EQ(pairs, 20 * 100 * 30);
+}
+
+// --------------- Concurrent registration / cancellation ----------------------
+
+TEST(ShardedConcurrencyTest, ConcurrentSubmitAndCancelAcrossShardCounts) {
+  auto ts = MakeTinyStar(5000);
+  const ResultSet count_ref =
+      ReferenceEvaluate(*NormalizeSpec(CountStar(*ts)));
+  const ResultSet group_ref =
+      ReferenceEvaluate(*NormalizeSpec(RegionGroup(*ts)));
+
+  for (size_t shards : {size_t{1}, size_t{2}, size_t{4}}) {
+    QueryEngine engine(EngineOptions(shards));
+    ASSERT_TRUE(engine.RegisterStar("sales", *ts->star).ok());
+    std::atomic<bool> failed{false};
+    std::vector<std::thread> workers;
+    for (int w = 0; w < 4; ++w) {
+      workers.emplace_back([&, w] {
+        for (int i = 0; i < 12; ++i) {
+          const bool grouped = (w + i) % 2 == 0;
+          QueryRequest req = QueryRequest::FromSpec(
+              grouped ? RegionGroup(*ts) : CountStar(*ts));
+          req.policy = RoutePolicy::kCJoin;
+          auto t = engine.Execute(std::move(req));
+          if (!t.ok()) {
+            failed.store(true);
+            continue;
+          }
+          if (i % 3 == w % 3) (*t)->Cancel();
+          auto rs = (*t)->Wait();
+          if (rs.ok()) {
+            // Completed queries must be exact regardless of the races.
+            if (!rs->SameContents(grouped ? group_ref : count_ref)) {
+              failed.store(true);
+            }
+          } else if (rs.status().code() != StatusCode::kCancelled) {
+            failed.store(true);
+          }
+        }
+      });
+    }
+    for (auto& th : workers) th.join();
+    EXPECT_FALSE(failed.load()) << "shards=" << shards;
+    engine.Shutdown();
+  }
+}
+
+}  // namespace
+}  // namespace cjoin

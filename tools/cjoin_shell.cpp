@@ -8,13 +8,16 @@
 //      ...> GROUP BY d_year;
 //
 // Statements end with ';'. Meta commands: \route [auto|cjoin|baseline]
-// selects the routing policy (\baseline is a legacy toggle), \stats
-// prints pipeline statistics, \q quits. `EXPLAIN ROUTE <sql>` prints the
-// cost-based router's estimates and chosen path without running the
-// query.
+// selects the routing policy (\baseline is a legacy toggle), \shards [N]
+// shows or re-shards the fact table across N parallel CJOIN pipelines,
+// \stats prints pipeline statistics (per shard), \q quits. `EXPLAIN
+// ROUTE <sql>` prints the cost-based router's estimates — including the
+// shard count and baseline queue backlog — and the chosen path without
+// running the query.
 
 #include <cctype>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <iostream>
 #include <memory>
@@ -150,8 +153,10 @@ int main(int argc, char** argv) {
   std::printf(
       "CJOIN shell — star 'ssb' ready. End statements with ';'. "
       "\\route [auto|cjoin|baseline] selects the routing policy, "
-      "EXPLAIN ROUTE <sql> shows the optimizer choice, \\stats shows "
-      "pipeline stats, \\q quits.\n");
+      "\\shards [N] shows or re-shards the fact table across N parallel "
+      "CJOIN pipelines (in-flight CJOIN queries abort), EXPLAIN ROUTE "
+      "<sql> shows the optimizer choice (shard-aware costs), \\stats "
+      "shows per-shard pipeline stats, \\q quits.\n");
   RoutePolicy policy = RoutePolicy::kAuto;
   std::string buffer;
   std::string line;
@@ -181,14 +186,32 @@ int main(int argc, char** argv) {
         std::printf("routing policy: %s\n", RoutePolicyName(policy));
         continue;
       }
+      if (const char* arg = MatchPrefix(line, "\\SHARDS")) {
+        if (*arg != '\0') {
+          const long n = std::atol(arg);
+          if (n < 1) {
+            std::printf("usage: \\shards [N>=1]\n");
+            continue;
+          }
+          if (Status st =
+                  engine.SetShardCount("ssb", static_cast<size_t>(n));
+              !st.ok()) {
+            std::printf("error: %s\n", st.ToString().c_str());
+            continue;
+          }
+        }
+        std::printf("shards: %zu\n", engine.ShardCount("ssb").value());
+        continue;
+      }
       if (line == "\\stats") {
         auto op = engine.OperatorFor("ssb");
         if (op.ok()) {
           const auto s = (*op)->GetStats();
           std::printf(
-              "rows scanned %llu | laps %llu | active queries %zu | "
-              "completed %llu | cancelled %llu | routed %llu | "
-              "reorders %llu\n",
+              "shards %zu | rows scanned %llu | full-pool laps %llu | "
+              "active queries %zu | completed %llu | cancelled %llu | "
+              "routed %llu | reorders %llu\n",
+              (*op)->num_shards(),
               static_cast<unsigned long long>(s.rows_scanned),
               static_cast<unsigned long long>(s.table_laps),
               s.active_queries,
@@ -196,6 +219,17 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(s.queries_cancelled),
               static_cast<unsigned long long>(s.tuples_routed),
               static_cast<unsigned long long>(s.filter_reorders));
+          const auto per_shard = (*op)->PerShardStats();
+          if (per_shard.size() > 1) {
+            for (size_t i = 0; i < per_shard.size(); ++i) {
+              std::printf(
+                  "  shard %zu: rows %llu | laps %llu | routed %llu\n", i,
+                  static_cast<unsigned long long>(per_shard[i].rows_scanned),
+                  static_cast<unsigned long long>(per_shard[i].table_laps),
+                  static_cast<unsigned long long>(
+                      per_shard[i].tuples_routed));
+            }
+          }
         }
         continue;
       }
