@@ -164,6 +164,19 @@ uint32_t CJoinOperator::AcquireQueryId() {
   return id;
 }
 
+uint32_t CJoinOperator::TryAcquireQueryId(int64_t grace_ns) {
+  std::unique_lock<std::mutex> lk(id_mu_);
+  if (free_ids_.empty() && grace_ns > 0) {
+    id_available_.wait_for(lk, std::chrono::nanoseconds(grace_ns), [this] {
+      return !free_ids_.empty() || stop_.load();
+    });
+  }
+  if (free_ids_.empty() || stop_.load()) return UINT32_MAX;
+  const uint32_t id = free_ids_.back();
+  free_ids_.pop_back();
+  return id;
+}
+
 void CJoinOperator::ReleaseQueryId(uint32_t qid) {
   std::lock_guard<std::mutex> lk(id_mu_);
   free_ids_.push_back(qid);
@@ -192,8 +205,15 @@ Result<std::unique_ptr<QueryHandle>> CJoinOperator::Submit(
     return Status::DeadlineExceeded("deadline expired before submission");
   }
 
-  const uint32_t qid = AcquireQueryId();
+  const uint32_t qid = options.reject_when_full
+                           ? TryAcquireQueryId(options.id_acquire_grace_ns)
+                           : AcquireQueryId();
   if (qid == UINT32_MAX) {
+    if (options.reject_when_full && !stop_.load()) {
+      return Status::ResourceExhausted(
+          "all " + std::to_string(opts_.max_concurrent_queries) +
+          " CJOIN query ids are in flight");
+    }
     return Status::Aborted("operator stopped while waiting for a query id");
   }
 

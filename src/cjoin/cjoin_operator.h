@@ -114,6 +114,17 @@ class CJoinOperator {
     /// Skip NormalizeSpec: the caller guarantees the spec already is
     /// (the engine normalizes during request resolution).
     bool assume_normalized = false;
+    /// Overload behavior when all max_concurrent_queries bit-vector ids
+    /// are taken: false (legacy) blocks the submitting thread until one
+    /// frees; true returns kResourceExhausted instead — the overload
+    /// collapse the admission controller degrades into rejections.
+    bool reject_when_full = false;
+    /// With reject_when_full: bounded wait for an id whose query already
+    /// delivered but whose (prompt) pipeline cleanup hasn't recycled the
+    /// id yet. Bridges that recycling window — an admitted back-to-back
+    /// resubmission into a just-freed slot — without reintroducing
+    /// unbounded blocking. 0 = reject immediately.
+    int64_t id_acquire_grace_ns = 250'000'000;
     /// Invoked with the query's terminal result right before its promise
     /// resolves (see QueryRuntime::completion_observer). Installed before
     /// the submission enters the pipeline, so no completion is missed.
@@ -182,7 +193,11 @@ class CJoinOperator {
   void CleanupQuery(uint32_t qid);
   void MaybeReorderFilters();
 
+  /// Blocking acquisition (legacy Submit contract); UINT32_MAX on stop.
   uint32_t AcquireQueryId();
+  /// Bounded acquisition: waits at most `grace_ns` (0 = not at all);
+  /// UINT32_MAX when none freed in time or the operator stopped.
+  uint32_t TryAcquireQueryId(int64_t grace_ns = 0);
   void ReleaseQueryId(uint32_t qid);
 
   const StarSchema& star_;

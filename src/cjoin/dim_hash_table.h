@@ -49,7 +49,9 @@ class DimensionHashTable {
   DimensionHashTable(size_t width_words, size_t expected_entries = 64);
 
   size_t width_words() const { return width_; }
-  size_t size() const { return size_; }
+  /// Entry count. Readable without the lock (stats paths sample it while
+  /// the Pipeline Manager mutates the table), hence atomic.
+  size_t size() const { return size_.load(std::memory_order_relaxed); }
 
   /// Lock taken shared by probing filters, exclusive by structure-changing
   /// admission steps.
@@ -117,7 +119,8 @@ class DimensionHashTable {
   /// slots_ (keeps Entry small and allocation-free on rehash).
   std::unique_ptr<uint64_t[]> words_;
   std::unique_ptr<uint64_t[]> complement_;
-  size_t size_ = 0;
+  /// Mutated under the exclusive lock; read lock-free by size().
+  std::atomic<size_t> size_{0};
 };
 
 }  // namespace cjoin

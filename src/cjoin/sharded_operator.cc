@@ -229,6 +229,8 @@ Result<std::unique_ptr<QueryHandle>> ShardedCJoinOperator::Submit(
     CJoinOperator::SubmitOptions so;
     so.deadline_ns = options.deadline_ns;
     so.assume_normalized = true;
+    so.reject_when_full = options.reject_when_full;
+    so.id_acquire_grace_ns = options.id_acquire_grace_ns;
     if (box->shared_agg != nullptr) {
       so.aggregator_factory = [box](const StarQuerySpec&) {
         return std::make_unique<LockedProxyAggregator>(box);

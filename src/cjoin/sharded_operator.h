@@ -79,8 +79,9 @@ class ShardedCJoinOperator {
 
   /// Registers a star query once across all shards and returns a single
   /// handle whose result is the shard-merged aggregate. Semantics match
-  /// CJoinOperator::Submit (blocking while ids are exhausted, cooperative
-  /// cancellation, deadlines).
+  /// CJoinOperator::Submit (cooperative cancellation, deadlines, and the
+  /// SubmitOptions overload contract: blocking on id exhaustion by
+  /// default, kResourceExhausted with reject_when_full).
   Result<std::unique_ptr<QueryHandle>> Submit(
       StarQuerySpec spec, CJoinOperator::SubmitOptions options);
 

@@ -1,0 +1,515 @@
+#include "engine/admission.h"
+
+#include <algorithm>
+#include <chrono>
+
+#include "cjoin/query_runtime.h"
+
+namespace cjoin {
+
+const char* AdmissionOutcomeName(AdmissionOutcome outcome) {
+  switch (outcome) {
+    case AdmissionOutcome::kAdmitted:
+      return "admitted";
+    case AdmissionOutcome::kQueued:
+      return "queued";
+    case AdmissionOutcome::kShed:
+      return "shed";
+  }
+  return "?";
+}
+
+AdmissionController::AdmissionController(Options options)
+    : opts_(std::move(options)) {
+  if (opts_.default_quota.weight <= 0.0) opts_.default_quota.weight = 1.0;
+  service_thread_ = std::thread([this] { ServiceLoop(); });
+}
+
+AdmissionController::~AdmissionController() { Shutdown(); }
+
+void AdmissionController::Shutdown() {
+  std::vector<GrantAction> failed;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (shutdown_) return;
+    shutdown_ = true;
+    for (Waiter& w : wait_queue_) {
+      tenants_[w.tenant].waiting--;
+      failed.push_back({std::move(w.grant),
+                        Status::Aborted("admission controller shut down")});
+    }
+    wait_queue_.clear();
+  }
+  service_cv_.notify_all();
+  for (GrantAction& a : failed) a.grant(a.status);
+  if (service_thread_.joinable()) service_thread_.join();
+}
+
+/// Idle implicit tenant states are pruned once the map exceeds this many
+/// entries (hostile clients can mint unique tenant strings per request).
+constexpr size_t kMaxIdleTenantStates = 1024;
+
+void AdmissionController::PruneIdleTenantsLocked() {
+  if (tenants_.size() <= kMaxIdleTenantStates) return;
+  for (auto it = tenants_.begin(); it != tenants_.end();) {
+    const TenantState& s = it->second;
+    if (!s.explicit_quota && s.inflight_cjoin == 0 &&
+        s.baseline_in_system == 0 && s.waiting == 0) {
+      it = tenants_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+AdmissionController::TenantState& AdmissionController::StateFor(
+    const std::string& tenant) {
+  auto it = tenants_.find(tenant);
+  if (it == tenants_.end()) {
+    PruneIdleTenantsLocked();
+    TenantState fresh;
+    fresh.quota = opts_.default_quota;
+    fresh.last_refill_ns = QueryRuntime::NowNs();
+    fresh.tokens = fresh.quota.burst > 0.0
+                       ? fresh.quota.burst
+                       : std::max(fresh.quota.rate_per_sec, 1.0);
+    it = tenants_.emplace(tenant, std::move(fresh)).first;
+  }
+  return it->second;
+}
+
+bool AdmissionController::RefillAndCheck(TenantState& state,
+                                         int64_t now_ns) {
+  const TenantQuota& q = state.quota;
+  if (q.rate_per_sec <= 0.0) return true;
+  const double cap = q.burst > 0.0 ? q.burst : std::max(q.rate_per_sec, 1.0);
+  const double elapsed =
+      static_cast<double>(now_ns - state.last_refill_ns) * 1e-9;
+  if (elapsed > 0.0) {
+    state.tokens = std::min(cap, state.tokens + elapsed * q.rate_per_sec);
+    state.last_refill_ns = now_ns;
+  }
+  return state.tokens >= 1.0;
+}
+
+bool AdmissionController::CJoinSlotAvailableLocked(
+    const TenantState& state) const {
+  if (opts_.max_total_cjoin != 0 && total_cjoin_ >= opts_.max_total_cjoin) {
+    return false;
+  }
+  const size_t cap = state.quota.max_inflight_cjoin;
+  return cap == 0 || state.inflight_cjoin < cap;
+}
+
+AdmissionDecision AdmissionController::TryAdmit(const std::string& tenant,
+                                                RouteChoice route,
+                                                int64_t deadline_ns,
+                                                GrantFactory make_grant) {
+  const int64_t now = QueryRuntime::NowNs();
+  AdmissionDecision d;
+  std::lock_guard<std::mutex> lk(mu_);
+  if (shutdown_) {
+    d.outcome = AdmissionOutcome::kShed;
+    d.status = Status::FailedPrecondition("engine shut down");
+    d.reason = "engine shut down";
+    return d;
+  }
+  TenantState& state = StateFor(tenant);
+
+  if (!RefillAndCheck(state, now)) {
+    state.shed++;
+    d.outcome = AdmissionOutcome::kShed;
+    d.reason = "tenant rate limit";
+    d.status = Status::ResourceExhausted(
+        "tenant '" + tenant + "' over its admission rate (" +
+        std::to_string(state.quota.rate_per_sec) + "/s)");
+    return d;
+  }
+
+  if (route == RouteChoice::kBaseline) {
+    if (opts_.max_total_baseline != 0 &&
+        total_baseline_ >= opts_.max_total_baseline) {
+      state.shed++;
+      d.outcome = AdmissionOutcome::kShed;
+      d.reason = "engine baseline queue full";
+      d.status = Status::ResourceExhausted(
+          "engine-wide baseline queue limit (" +
+          std::to_string(opts_.max_total_baseline) + ") reached");
+      return d;
+    }
+    const size_t cap = state.quota.max_queued_baseline;
+    if (cap != 0 && state.baseline_in_system >= cap) {
+      state.shed++;
+      d.outcome = AdmissionOutcome::kShed;
+      d.reason = "tenant baseline queue full";
+      d.status = Status::ResourceExhausted(
+          "tenant '" + tenant + "' already has " +
+          std::to_string(state.baseline_in_system) +
+          " baseline jobs in the system (limit " + std::to_string(cap) +
+          ")");
+      return d;
+    }
+    if (state.quota.rate_per_sec > 0.0) state.tokens -= 1.0;
+    state.baseline_in_system++;
+    total_baseline_++;
+    state.admitted++;
+    d.outcome = AdmissionOutcome::kAdmitted;
+    d.reason = "within quota";
+    return d;
+  }
+
+  // CJOIN route.
+  if (CJoinSlotAvailableLocked(state)) {
+    if (state.quota.rate_per_sec > 0.0) state.tokens -= 1.0;
+    state.inflight_cjoin++;
+    total_cjoin_++;
+    state.admitted++;
+    d.outcome = AdmissionOutcome::kAdmitted;
+    d.reason = "within quota";
+    return d;
+  }
+
+  const bool total_full =
+      opts_.max_total_cjoin != 0 && total_cjoin_ >= opts_.max_total_cjoin;
+  const char* bound =
+      total_full ? "engine CJOIN registrations" : "tenant CJOIN slots";
+
+  if (make_grant != nullptr && state.quota.max_wait_queue != 0 &&
+      state.waiting < state.quota.max_wait_queue) {
+    Waiter w;
+    w.id = next_waiter_id_++;
+    w.tenant = tenant;
+    if (deadline_ns != 0) {
+      w.expire_ns = deadline_ns;
+      w.expire_is_deadline = true;
+    }
+    if (state.quota.max_wait_ns > 0) {
+      const int64_t wait_limit = now + state.quota.max_wait_ns;
+      if (w.expire_ns == 0 || wait_limit < w.expire_ns) {
+        w.expire_ns = wait_limit;
+        w.expire_is_deadline = false;
+      }
+    }
+    w.grant = make_grant();
+    if (state.quota.rate_per_sec > 0.0) state.tokens -= 1.0;
+    state.waiting++;
+    state.queued++;
+    wait_queue_.push_back(std::move(w));
+    waiters_epoch_++;
+    d.outcome = AdmissionOutcome::kQueued;
+    d.reason = std::string(bound) + " full: parked in wait queue";
+    d.waiter_id = wait_queue_.back().id;
+    service_cv_.notify_all();  // re-arm the expiry timer
+    return d;
+  }
+
+  state.shed++;
+  d.outcome = AdmissionOutcome::kShed;
+  d.reason = bound;
+  d.status = Status::ResourceExhausted(
+      total_full
+          ? "engine-wide CJOIN registration limit (" +
+                std::to_string(opts_.max_total_cjoin) + ") reached"
+          : "tenant '" + tenant + "' already holds " +
+                std::to_string(state.inflight_cjoin) +
+                " CJOIN slots (limit " +
+                std::to_string(state.quota.max_inflight_cjoin) + ")");
+  return d;
+}
+
+AdmissionDecision AdmissionController::Probe(const std::string& tenant,
+                                             RouteChoice route) const {
+  const int64_t now = QueryRuntime::NowNs();
+  AdmissionDecision d;
+  std::lock_guard<std::mutex> lk(mu_);
+  auto it = tenants_.find(tenant);
+  // Unknown tenant: judged against the default quota with a full bucket.
+  TenantState scratch;
+  scratch.quota = opts_.default_quota;
+  scratch.tokens = scratch.quota.burst > 0.0
+                       ? scratch.quota.burst
+                       : std::max(scratch.quota.rate_per_sec, 1.0);
+  scratch.last_refill_ns = now;
+  TenantState state = it == tenants_.end() ? scratch : it->second;
+
+  if (!RefillAndCheck(state, now)) {
+    d.outcome = AdmissionOutcome::kShed;
+    d.reason = "tenant rate limit";
+    d.status = Status::ResourceExhausted("tenant over its admission rate");
+    return d;
+  }
+  if (route == RouteChoice::kBaseline) {
+    const size_t cap = state.quota.max_queued_baseline;
+    const bool total_full = opts_.max_total_baseline != 0 &&
+                            total_baseline_ >= opts_.max_total_baseline;
+    if (total_full || (cap != 0 && state.baseline_in_system >= cap)) {
+      d.outcome = AdmissionOutcome::kShed;
+      d.reason = total_full ? "engine baseline queue full"
+                            : "tenant baseline queue full";
+      d.status = Status::ResourceExhausted("baseline queue limit reached");
+      return d;
+    }
+    d.outcome = AdmissionOutcome::kAdmitted;
+    d.reason = "within quota";
+    return d;
+  }
+  if (CJoinSlotAvailableLocked(state)) {
+    d.outcome = AdmissionOutcome::kAdmitted;
+    d.reason = "within quota";
+    return d;
+  }
+  const bool total_full =
+      opts_.max_total_cjoin != 0 && total_cjoin_ >= opts_.max_total_cjoin;
+  const char* bound =
+      total_full ? "engine CJOIN registrations" : "tenant CJOIN slots";
+  if (state.quota.max_wait_queue != 0 &&
+      state.waiting < state.quota.max_wait_queue) {
+    d.outcome = AdmissionOutcome::kQueued;
+    d.reason = std::string(bound) + " full: would park in wait queue";
+    return d;
+  }
+  d.outcome = AdmissionOutcome::kShed;
+  d.reason = bound;
+  d.status = Status::ResourceExhausted("CJOIN slot limit reached");
+  return d;
+}
+
+void AdmissionController::CollectGrantsLocked(
+    int64_t now_ns, std::vector<GrantAction>* out) {
+  for (auto it = wait_queue_.begin(); it != wait_queue_.end();) {
+    TenantState& state = tenants_[it->tenant];
+    if (it->expire_ns != 0 && now_ns >= it->expire_ns) {
+      state.waiting--;
+      state.shed++;
+      out->push_back(
+          {std::move(it->grant),
+           it->expire_is_deadline
+               ? Status::DeadlineExceeded(
+                     "query deadline expired in the admission wait queue")
+               : Status::ResourceExhausted(
+                     "admission wait queue timeout for tenant '" +
+                     it->tenant + "'")});
+      it = wait_queue_.erase(it);
+      continue;
+    }
+    if (CJoinSlotAvailableLocked(state)) {
+      state.waiting--;
+      state.inflight_cjoin++;
+      total_cjoin_++;
+      state.admitted++;
+      out->push_back({std::move(it->grant), Status::OK()});
+      it = wait_queue_.erase(it);
+      continue;
+    }
+    ++it;
+  }
+}
+
+void AdmissionController::Release(const std::string& tenant,
+                                  RouteChoice route) {
+  bool notify = false;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    auto it = tenants_.find(tenant);
+    if (it == tenants_.end()) return;
+    TenantState& state = it->second;
+    if (route == RouteChoice::kBaseline) {
+      if (state.baseline_in_system > 0) {
+        state.baseline_in_system--;
+        total_baseline_--;
+        state.released++;
+      }
+      return;
+    }
+    if (state.inflight_cjoin > 0) {
+      state.inflight_cjoin--;
+      total_cjoin_--;
+      state.released++;
+    }
+    // Hand grants to the service thread. Release often runs on a
+    // pipeline thread mid-delivery — before that thread has recycled the
+    // completed query's id — so an inline grant would re-submit into a
+    // freelist only this very thread can refill and stall on itself.
+    if (!wait_queue_.empty()) {
+      grants_pending_ = true;
+      notify = true;
+    }
+  }
+  if (notify) service_cv_.notify_all();
+}
+
+void AdmissionController::ReleaseAsShed(const std::string& tenant,
+                                        RouteChoice route) {
+  Release(tenant, route);
+  std::lock_guard<std::mutex> lk(mu_);
+  auto it = tenants_.find(tenant);
+  if (it == tenants_.end()) return;
+  // Rewrite the admitted+released round trip into the shed the caller
+  // actually experienced.
+  TenantState& state = it->second;
+  if (state.admitted > 0) state.admitted--;
+  if (state.released > 0) state.released--;
+  state.shed++;
+}
+
+void AdmissionController::CancelWaiter(uint64_t waiter_id) {
+  GrantFn grant;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    for (auto it = wait_queue_.begin(); it != wait_queue_.end(); ++it) {
+      if (it->id == waiter_id) {
+        tenants_[it->tenant].waiting--;
+        grant = std::move(it->grant);
+        wait_queue_.erase(it);
+        break;
+      }
+    }
+  }
+  if (grant) {
+    grant(Status::Cancelled("query cancelled in the admission wait queue"));
+  }
+}
+
+void AdmissionController::ServiceLoop() {
+  std::unique_lock<std::mutex> lk(mu_);
+  while (!shutdown_) {
+    if (!grants_pending_) {
+      int64_t nearest = 0;
+      for (const Waiter& w : wait_queue_) {
+        if (w.expire_ns != 0 && (nearest == 0 || w.expire_ns < nearest)) {
+          nearest = w.expire_ns;
+        }
+      }
+      // Wake on shutdown, pending grants, or ANY wait-queue change — a
+      // newly parked waiter may expire earlier than `nearest`, so the
+      // timer must be re-armed, not slept through.
+      const uint64_t epoch = waiters_epoch_;
+      const auto woken = [this, epoch] {
+        return shutdown_ || grants_pending_ || waiters_epoch_ != epoch;
+      };
+      if (nearest == 0) {
+        service_cv_.wait(lk, woken);
+        continue;  // recompute the nearest expiry (or drain grants)
+      }
+      const int64_t now = QueryRuntime::NowNs();
+      if (nearest > now) {
+        if (service_cv_.wait_for(
+                lk, std::chrono::nanoseconds(nearest - now), woken) &&
+            waiters_epoch_ != epoch && !grants_pending_ && !shutdown_) {
+          continue;  // woken only to re-arm: nothing due yet
+        }
+      }
+    }
+    if (shutdown_) break;
+    grants_pending_ = false;
+    // One pass covers both wakeup causes: grant whatever freed budget
+    // allows, expire whatever ran out of time.
+    std::vector<GrantAction> actions;
+    CollectGrantsLocked(QueryRuntime::NowNs(), &actions);
+    if (!actions.empty()) {
+      lk.unlock();
+      // OK grants perform the deferred pipeline submission here, on the
+      // service thread — never on a Release() caller.
+      for (GrantAction& a : actions) a.grant(a.status);
+      lk.lock();
+    }
+  }
+}
+
+Status AdmissionController::SetTenantQuota(const std::string& tenant,
+                                           TenantQuota quota) {
+  if (quota.weight <= 0.0) {
+    return Status::InvalidArgument("tenant weight must be > 0");
+  }
+  if (quota.rate_per_sec < 0.0 || quota.burst < 0.0 ||
+      quota.max_wait_ns < 0) {
+    return Status::InvalidArgument("tenant quota values must be >= 0");
+  }
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    TenantState& state = StateFor(tenant);
+    state.quota = quota;
+    state.explicit_quota = true;
+    // Refill under the new rate from now, with a full bucket so a
+    // rebalanced tenant is immediately serviceable.
+    state.last_refill_ns = QueryRuntime::NowNs();
+    state.tokens =
+        quota.burst > 0.0 ? quota.burst : std::max(quota.rate_per_sec, 1.0);
+    // A raised slot budget may unblock parked waiters; the service
+    // thread delivers those grants.
+    if (!wait_queue_.empty()) grants_pending_ = true;
+  }
+  service_cv_.notify_all();
+  return Status::OK();
+}
+
+TenantQuota AdmissionController::GetTenantQuota(
+    const std::string& tenant) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto it = tenants_.find(tenant);
+  return it == tenants_.end() ? opts_.default_quota : it->second.quota;
+}
+
+double AdmissionController::PoolShare(const std::string& tenant) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  double own = opts_.default_quota.weight;
+  double total = 0.0;
+  bool counted_self = false;
+  for (const auto& [name, state] : tenants_) {
+    if (name == tenant) {
+      own = state.quota.weight;
+      total += own;
+      counted_self = true;
+    } else if (state.baseline_in_system > 0) {
+      total += state.quota.weight;
+    }
+  }
+  if (!counted_self) total += own;
+  return total <= 0.0 ? 1.0 : own / total;
+}
+
+void AdmissionController::FillRouteInputs(const std::string& tenant,
+                                          RouteInputs* inputs) const {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    auto it = tenants_.find(tenant);
+    const TenantQuota& q =
+        it == tenants_.end() ? opts_.default_quota : it->second.quota;
+    inputs->tenant_cjoin_slots = q.max_inflight_cjoin;
+    if (opts_.max_total_cjoin != 0 &&
+        (inputs->tenant_cjoin_slots == 0 ||
+         opts_.max_total_cjoin < inputs->tenant_cjoin_slots)) {
+      inputs->tenant_cjoin_slots = opts_.max_total_cjoin;
+    }
+    if (it != tenants_.end()) {
+      inputs->tenant_inflight_cjoin = it->second.inflight_cjoin;
+      inputs->tenant_baseline_queued = it->second.baseline_in_system;
+    }
+  }
+  inputs->tenant_pool_share = PoolShare(tenant);
+}
+
+AdmissionController::Stats AdmissionController::GetStats() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  Stats s;
+  s.total_cjoin_inflight = total_cjoin_;
+  s.total_baseline_in_system = total_baseline_;
+  s.total_waiting = wait_queue_.size();
+  for (const auto& [name, state] : tenants_) {
+    TenantStats ts;
+    ts.tenant = name;
+    ts.quota = state.quota;
+    ts.inflight_cjoin = state.inflight_cjoin;
+    ts.baseline_in_system = state.baseline_in_system;
+    ts.waiting = state.waiting;
+    ts.tokens = state.tokens;
+    ts.admitted = state.admitted;
+    ts.queued = state.queued;
+    ts.shed = state.shed;
+    ts.released = state.released;
+    s.tenants.push_back(std::move(ts));
+  }
+  return s;
+}
+
+}  // namespace cjoin

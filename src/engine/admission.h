@@ -1,0 +1,274 @@
+// Admission control & multi-tenant scheduling (ROADMAP item).
+//
+// CJOIN's promise is predictable latency under hundreds of concurrent
+// analytical queries — but only if the engine degrades by *rejecting*
+// work, not by stalling it. Without admission control any client can
+// flood Execute() until the CJOIN bit-vector id freelist blocks the
+// submitting thread and the baseline pool backlog grows unboundedly.
+//
+// The AdmissionController sits between Execute() and the Router. Every
+// QueryRequest carries a tenant id; the controller tracks per-tenant
+// state and engine-wide limits, and renders one of three verdicts:
+//
+//   kAdmitted — quota consumed; the engine must call Release() exactly
+//               once when the query reaches any terminal state
+//               (completion, cancellation, deadline, abort);
+//   kQueued   — CJOIN slots exhausted but the tenant's bounded wait
+//               queue has room: the submission parks in the controller
+//               and is granted a slot (FIFO, deadline-aware) when a
+//               release frees one, or times out;
+//   kShed     — over quota: the caller's ticket completes immediately
+//               with kResourceExhausted. Nothing ever blocks.
+//
+// Per-tenant knobs (all runtime-reconfigurable via SetTenantQuota, so an
+// operator can rebalance a live engine): a token-bucket rate limit, max
+// in-flight CJOIN registrations, max in-system baseline jobs, a
+// weighted-fair share of the baseline pool, and the wait-queue bound.
+// Engine-wide: a total CJOIN registration bound kept at (or under) the
+// operator's maxConc so the id freelist never blocks a submitter.
+
+#ifndef CJOIN_ENGINE_ADMISSION_H_
+#define CJOIN_ENGINE_ADMISSION_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/status.h"
+#include "engine/router.h"
+
+namespace cjoin {
+
+/// Resource limits of one tenant. The convention throughout: 0 means
+/// "unlimited" (engine-wide limits still apply).
+struct TenantQuota {
+  /// Sustained admissions per second (token-bucket refill rate) across
+  /// both routes. 0 = no rate limit.
+  double rate_per_sec = 0.0;
+  /// Token-bucket capacity (burst size). <= 0 defaults to
+  /// max(rate_per_sec, 1).
+  double burst = 0.0;
+
+  /// Max concurrently registered CJOIN queries (bit-vector slots held
+  /// across the pipeline pool). 0 = unlimited.
+  size_t max_inflight_cjoin = 0;
+
+  /// Max baseline jobs in the system (queued + running). 0 = unlimited.
+  size_t max_queued_baseline = 0;
+
+  /// Weighted-fair share of the baseline worker pool (relative to the
+  /// other tenants with baseline work); must be > 0.
+  double weight = 1.0;
+
+  /// CJOIN submissions allowed to wait for a slot when
+  /// max_inflight_cjoin (or the engine-wide bound) is reached.
+  /// 0 = shed immediately.
+  size_t max_wait_queue = 0;
+  /// Longest a submission may sit in the wait queue, nanoseconds
+  /// (deadline-aware: the query's own deadline wins when earlier).
+  /// 0 = bounded only by the query deadline.
+  int64_t max_wait_ns = 0;
+};
+
+/// How a submission fared at the admission gate.
+enum class AdmissionOutcome {
+  kAdmitted,  ///< quota consumed; Release() owed on terminal state
+  kQueued,    ///< parked in the CJOIN wait queue (grant or timeout later)
+  kShed,      ///< rejected: ticket resolves kResourceExhausted now
+};
+
+const char* AdmissionOutcomeName(AdmissionOutcome outcome);
+
+/// The gate's verdict plus the evidence behind it (recorded on the
+/// RouteDecision so EXPLAIN ROUTE and tickets can surface it).
+struct AdmissionDecision {
+  AdmissionOutcome outcome = AdmissionOutcome::kAdmitted;
+  /// OK when admitted/queued; the rejection status when shed.
+  Status status = Status::OK();
+  /// One-line rationale ("rate limit", "tenant CJOIN slots", ...).
+  std::string reason;
+  /// Wait-queue handle when outcome == kQueued (for CancelWaiter).
+  uint64_t waiter_id = 0;
+};
+
+class AdmissionController {
+ public:
+  struct Options {
+    /// Quota applied to tenants that never had SetTenantQuota() called
+    /// (the permissive default: unlimited, weight 1).
+    TenantQuota default_quota;
+    /// Engine-wide bound on concurrently registered CJOIN queries.
+    /// Keep it <= the operator's max_concurrent_queries so the id
+    /// freelist never blocks. 0 = unlimited (the non-blocking Submit
+    /// still converts freelist exhaustion into kResourceExhausted).
+    size_t max_total_cjoin = 0;
+    /// Engine-wide bound on baseline jobs in the system. 0 = unlimited.
+    size_t max_total_baseline = 0;
+  };
+
+  /// Grant callback of a parked CJOIN submission. Invoked exactly once,
+  /// off the controller lock: with OK once a slot has been *consumed*
+  /// for the waiter (the grantee owes Release()), or with the terminal
+  /// error (kDeadlineExceeded / kResourceExhausted on wait timeout,
+  /// kCancelled, kAborted on shutdown) — in which case no slot is held.
+  /// OK grants are delivered from the controller's service thread, never
+  /// from the Release() caller: a release often runs on a pipeline
+  /// thread that has not yet recycled the completed query's id, and an
+  /// inline re-submission there would stall the pipeline on itself.
+  using GrantFn = std::function<void(Status)>;
+  /// Deferred construction of a grant callback: invoked (under the
+  /// controller lock) only when TryAdmit actually parks the submission,
+  /// so the common admitted / shed paths never pay for the closure's
+  /// captured state.
+  using GrantFactory = std::function<GrantFn()>;
+
+  explicit AdmissionController(Options options);
+  AdmissionController() : AdmissionController(Options{}) {}
+  ~AdmissionController();
+
+  AdmissionController(const AdmissionController&) = delete;
+  AdmissionController& operator=(const AdmissionController&) = delete;
+
+  /// The admission gate. Consumes one rate token and (on kAdmitted) one
+  /// slot of the route's per-tenant and engine-wide budgets. For the
+  /// CJOIN route, a submission over the slot budget is parked instead of
+  /// shed when `make_grant` is non-null and the tenant's wait queue has
+  /// room: `deadline_ns` (0 = none) bounds the wait together with the
+  /// quota's max_wait_ns. Never blocks.
+  AdmissionDecision TryAdmit(const std::string& tenant, RouteChoice route,
+                             int64_t deadline_ns = 0,
+                             GrantFactory make_grant = nullptr);
+
+  /// The verdict TryAdmit would render right now, without consuming
+  /// tokens or slots and without queueing (EXPLAIN ROUTE).
+  AdmissionDecision Probe(const std::string& tenant,
+                          RouteChoice route) const;
+
+  /// Returns the slots of a terminal query. Must be called exactly once
+  /// per kAdmitted decision (and per OK grant). A CJOIN release wakes
+  /// the service thread, which grants parked waiters FIFO (skipping
+  /// tenants still over budget) — off the releasing thread, which is
+  /// typically a pipeline thread mid-delivery.
+  void Release(const std::string& tenant, RouteChoice route);
+
+  /// Removes a parked waiter; its grant fires with kCancelled (no-op if
+  /// it was already granted or timed out).
+  void CancelWaiter(uint64_t waiter_id);
+
+  /// Like Release(), but for an admission that never actually entered
+  /// the system (e.g. the baseline pool's own queue cap rejected the
+  /// job): the slot returns AND the stats record a shed, not an
+  /// admitted+released round trip.
+  void ReleaseAsShed(const std::string& tenant, RouteChoice route);
+
+  /// Installs / replaces a tenant's quota on the live engine. Existing
+  /// in-flight work is unaffected; the next admission sees the new
+  /// limits. The token bucket refills under the new rate from now.
+  Status SetTenantQuota(const std::string& tenant, TenantQuota quota);
+  TenantQuota GetTenantQuota(const std::string& tenant) const;
+
+  /// This tenant's fraction of the baseline pool: weight over the total
+  /// weight of tenants currently holding baseline work (including this
+  /// one). 1.0 when it would have the pool to itself.
+  double PoolShare(const std::string& tenant) const;
+
+  /// Admission-state inputs the Router prices for one tenant.
+  void FillRouteInputs(const std::string& tenant, RouteInputs* inputs) const;
+
+  struct TenantStats {
+    std::string tenant;
+    TenantQuota quota;
+    size_t inflight_cjoin = 0;
+    size_t baseline_in_system = 0;  ///< queued + running
+    size_t waiting = 0;             ///< parked in the CJOIN wait queue
+    double tokens = 0.0;            ///< current bucket level (rate > 0)
+    uint64_t admitted = 0;
+    uint64_t queued = 0;
+    uint64_t shed = 0;
+    uint64_t released = 0;
+  };
+  struct Stats {
+    size_t total_cjoin_inflight = 0;
+    size_t total_baseline_in_system = 0;
+    size_t total_waiting = 0;
+    std::vector<TenantStats> tenants;  ///< sorted by tenant name
+  };
+  Stats GetStats() const;
+
+  /// Fails every parked waiter with kAborted and stops the expiry
+  /// thread. Idempotent. Admissions after shutdown are shed.
+  void Shutdown();
+
+ private:
+  struct TenantState {
+    TenantQuota quota;
+    bool explicit_quota = false;  ///< survives stats pruning
+    double tokens = 0.0;
+    int64_t last_refill_ns = 0;
+    size_t inflight_cjoin = 0;
+    size_t baseline_in_system = 0;
+    size_t waiting = 0;
+    uint64_t admitted = 0;
+    uint64_t queued = 0;
+    uint64_t shed = 0;
+    uint64_t released = 0;
+  };
+
+  struct Waiter {
+    uint64_t id = 0;
+    std::string tenant;
+    int64_t expire_ns = 0;  ///< 0 = no bound
+    bool expire_is_deadline = false;
+    GrantFn grant;
+  };
+
+  TenantState& StateFor(const std::string& tenant);
+  /// Drops idle implicit tenant states (no in-flight work, no explicit
+  /// quota) once the map outgrows a bound — unique tenant strings from a
+  /// hostile client must not grow controller memory without limit.
+  /// Caller holds mu_.
+  void PruneIdleTenantsLocked();
+  /// Refills `state`'s bucket to `now_ns` and returns whether one token
+  /// is available (always true when unlimited).
+  static bool RefillAndCheck(TenantState& state, int64_t now_ns);
+  /// True when `tenant` may take one more CJOIN slot. Caller holds mu_.
+  bool CJoinSlotAvailableLocked(const TenantState& state) const;
+  /// Pops every currently grantable / expired waiter. Caller holds mu_;
+  /// the returned actions run off the lock (on the service thread).
+  struct GrantAction {
+    GrantFn grant;
+    Status status;
+  };
+  void CollectGrantsLocked(int64_t now_ns, std::vector<GrantAction>* out);
+  /// The service thread: expires bounded waiters and delivers grants
+  /// signalled by Release() / SetTenantQuota().
+  void ServiceLoop();
+
+  Options opts_;
+  mutable std::mutex mu_;
+  std::map<std::string, TenantState> tenants_;
+  std::deque<Waiter> wait_queue_;
+  size_t total_cjoin_ = 0;
+  size_t total_baseline_ = 0;
+  uint64_t next_waiter_id_ = 1;
+  /// Bumped whenever wait_queue_ changes, so the service thread re-arms
+  /// its expiry timer (a newly parked waiter may expire earlier than the
+  /// one it is currently sleeping towards).
+  uint64_t waiters_epoch_ = 0;
+  /// Set by Release()/SetTenantQuota() when freed budget may unblock a
+  /// parked waiter; consumed by the service thread.
+  bool grants_pending_ = false;
+  bool shutdown_ = false;
+  std::condition_variable service_cv_;
+  std::thread service_thread_;
+};
+
+}  // namespace cjoin
+
+#endif  // CJOIN_ENGINE_ADMISSION_H_

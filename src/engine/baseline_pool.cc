@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <set>
 
 #include "cjoin/query_runtime.h"
 
@@ -14,11 +15,16 @@ bool BaselineJob::TryResolve(Result<ResultSet> result) {
     return false;
   }
   completed_ns.store(QueryRuntime::NowNs(), std::memory_order_relaxed);
+  // Quota release (and any other bookkeeping) strictly precedes result
+  // visibility, so a caller unblocked by Wait() can immediately resubmit
+  // into the freed slot.
+  if (on_finished) on_finished();
   promise.set_value(std::move(result));
   return true;
 }
 
-BaselinePool::BaselinePool(size_t workers) {
+BaselinePool::BaselinePool(size_t workers, size_t max_queued)
+    : max_queued_(max_queued) {
   const size_t n = std::max<size_t>(1, workers);
   threads_.reserve(n);
   for (size_t i = 0; i < n; ++i) {
@@ -29,19 +35,26 @@ BaselinePool::BaselinePool(size_t workers) {
 
 BaselinePool::~BaselinePool() { Shutdown(); }
 
-void BaselinePool::Enqueue(std::shared_ptr<BaselineJob> job) {
+Status BaselinePool::Enqueue(std::shared_ptr<BaselineJob> job) {
   job->submit_ns.store(QueryRuntime::NowNs(), std::memory_order_relaxed);
   {
     std::lock_guard<std::mutex> lk(mu_);
     if (shutdown_) {
       job->TryResolve(Status::Aborted("baseline pool shut down"));
-      return;
+      return Status::Aborted("baseline pool shut down");
+    }
+    if (max_queued_ != 0 && queue_.size() >= max_queued_) {
+      // The caller decides how to surface the rejection; the job's
+      // promise stays unresolved (it never entered the pool).
+      return Status::ResourceExhausted(
+          "baseline pool queue full (" + std::to_string(max_queued_) + ")");
     }
     job->seq = next_seq_++;
     queue_.push_back(job);
     watched_.push_back(std::move(job));
   }
   cv_.notify_all();
+  return Status::OK();
 }
 
 void BaselinePool::Shutdown() {
@@ -74,8 +87,27 @@ size_t BaselinePool::queued() const {
 }
 
 std::shared_ptr<BaselineJob> BaselinePool::PopBestLocked() {
+  if (queue_.empty()) return nullptr;
+
+  // Start-time fair queueing: pick the queued tenant with the smallest
+  // virtual time. A tenant first seen (or returning after idle) starts at
+  // the floor — the minimum vtime currently in service — so it competes
+  // fairly from now on instead of replaying banked idle credit.
+  const std::string* chosen_tenant = nullptr;
+  double chosen_vtime = 0.0;
+  for (const auto& job : queue_) {
+    auto [it, inserted] = vtimes_.try_emplace(job->tenant, vclock_floor_);
+    if (it->second < vclock_floor_) it->second = vclock_floor_;
+    if (chosen_tenant == nullptr || it->second < chosen_vtime) {
+      chosen_tenant = &job->tenant;
+      chosen_vtime = it->second;
+    }
+  }
+
+  // Within the tenant: (priority desc, seq asc) — the pre-tenancy order.
   size_t best = queue_.size();
   for (size_t i = 0; i < queue_.size(); ++i) {
+    if (queue_[i]->tenant != *chosen_tenant) continue;
     if (best == queue_.size() ||
         queue_[i]->priority > queue_[best]->priority ||
         (queue_[i]->priority == queue_[best]->priority &&
@@ -83,9 +115,33 @@ std::shared_ptr<BaselineJob> BaselinePool::PopBestLocked() {
       best = i;
     }
   }
-  if (best == queue_.size()) return nullptr;
   std::shared_ptr<BaselineJob> job = std::move(queue_[best]);
   queue_.erase(queue_.begin() + static_cast<ptrdiff_t>(best));
+
+  // Charge the tenant one job-length of virtual time, scaled by weight,
+  // and advance the floor so later arrivals cannot undercut history.
+  const double weight = job->fair_weight > 0.0 ? job->fair_weight : 1.0;
+  vtimes_[job->tenant] = chosen_vtime + 1.0 / weight;
+  vclock_floor_ = std::max(vclock_floor_, chosen_vtime);
+
+  // Every entry sits within one weighted job of the floor (each charge
+  // sets vtime = chosen + 1/w with floor >= chosen), so dropping an idle
+  // tenant's entry refunds at most one job of credit — harmless, and it
+  // keeps unique tenant strings from growing the clock map without
+  // bound. Queued tenants keep their clocks.
+  if (vtimes_.size() > 256 && vtimes_.size() > 2 * queue_.size()) {
+    std::set<std::string> queued_tenants;
+    for (const auto& queued_job : queue_) {
+      queued_tenants.insert(queued_job->tenant);
+    }
+    for (auto it = vtimes_.begin(); it != vtimes_.end();) {
+      if (queued_tenants.count(it->first) == 0) {
+        it = vtimes_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
   return job;
 }
 

@@ -2,21 +2,31 @@
 //
 // The unified Execute() API returns a non-blocking QueryTicket for every
 // routing choice; baseline queries therefore run on this pool instead of
-// the caller's thread. Jobs are ordered by (priority desc, submission
-// order) and support cooperative cancellation and deadlines: a sweeper
-// thread resolves cancelled / deadline-expired jobs promptly even while
-// they sit in the queue (matching the CJOIN path's responsiveness), and
-// the executor's batch-boundary checks interrupt jobs mid-scan. Each
-// job's promise resolves exactly once.
+// the caller's thread. Dequeue order is weighted-fair across tenants
+// (start-time fair queueing on a virtual clock: each dequeue charges the
+// tenant 1/weight, and the tenant with the smallest virtual time goes
+// next), then (priority desc, submission order) within a tenant — so one
+// tenant's backlog cannot starve another's, yet a tenant's own jobs still
+// honor priorities. Jobs support cooperative cancellation and deadlines:
+// a sweeper thread resolves cancelled / deadline-expired jobs promptly
+// even while they sit in the queue (matching the CJOIN path's
+// responsiveness), and the executor's batch-boundary checks interrupt
+// jobs mid-scan. Each job's promise resolves exactly once; an optional
+// on_finished hook (the admission controller's quota release) fires with
+// it. The queue is optionally bounded: over the cap, Enqueue rejects with
+// kResourceExhausted instead of growing without bound.
 
 #ifndef CJOIN_ENGINE_BASELINE_POOL_H_
 #define CJOIN_ENGINE_BASELINE_POOL_H_
 
 #include <atomic>
 #include <condition_variable>
+#include <functional>
 #include <future>
+#include <map>
 #include <memory>
 #include <mutex>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -35,6 +45,17 @@ struct BaselineJob {
   int priority = 0;
   int64_t deadline_ns = 0;  ///< steady-clock nanos; 0 = none
   uint64_t seq = 0;         ///< submission order (set by the pool)
+
+  /// Owner tenant (weighted-fair scheduling key) and its fair-share
+  /// weight at submission time.
+  std::string tenant;
+  double fair_weight = 1.0;
+
+  /// Invoked exactly once, just before the promise resolves, on whichever
+  /// thread resolves it (worker, sweeper, or shutdown). The engine hooks
+  /// the admission controller's quota release here, so cancel / deadline
+  /// / abort all release on every path.
+  std::function<void()> on_finished;
 
   std::atomic<bool> cancel{false};
   std::promise<Result<ResultSet>> promise;
@@ -56,7 +77,8 @@ struct BaselineJob {
 class BaselinePool {
  public:
   /// Spawns `workers` threads (at least one) plus the sweeper.
-  explicit BaselinePool(size_t workers);
+  /// `max_queued` bounds the waiting queue (0 = unbounded).
+  explicit BaselinePool(size_t workers, size_t max_queued = 0);
   ~BaselinePool();
 
   BaselinePool(const BaselinePool&) = delete;
@@ -64,8 +86,10 @@ class BaselinePool {
 
   /// Enqueues a job. Its promise resolves when a worker finishes it, when
   /// the sweeper observes its cancellation / deadline expiry (also while
-  /// still queued), or with kAborted on pool shutdown.
-  void Enqueue(std::shared_ptr<BaselineJob> job);
+  /// still queued), or with kAborted on pool shutdown. Returns
+  /// kResourceExhausted — without resolving the job's promise — when the
+  /// queue is at its cap, and kAborted after shutdown (promise resolved).
+  Status Enqueue(std::shared_ptr<BaselineJob> job);
 
   /// Stops workers and sweeper; unresolved jobs resolve with kAborted.
   /// Idempotent.
@@ -77,8 +101,11 @@ class BaselinePool {
  private:
   void WorkerLoop();
   void SweeperLoop();
-  /// Removes and returns the best waiting job (max priority, then lowest
-  /// seq); nullptr if none. Caller holds mu_.
+  /// Removes and returns the next job under weighted-fair order: the
+  /// queued tenant with the smallest virtual time goes first; within the
+  /// tenant, (max priority, then lowest seq). Advances the tenant's
+  /// virtual clock by 1/weight. nullptr if the queue is empty. Caller
+  /// holds mu_.
   std::shared_ptr<BaselineJob> PopBestLocked();
 
   mutable std::mutex mu_;
@@ -87,7 +114,12 @@ class BaselinePool {
   std::vector<std::shared_ptr<BaselineJob>> queue_;
   /// All unresolved jobs — queued and running — watched by the sweeper.
   std::vector<std::shared_ptr<BaselineJob>> watched_;
+  /// Weighted-fair virtual clocks. A tenant's entry is lazily created at
+  /// max(vclock floor) so an idle tenant cannot bank unbounded credit.
+  std::map<std::string, double> vtimes_;
+  double vclock_floor_ = 0.0;
   uint64_t next_seq_ = 0;
+  size_t max_queued_ = 0;
   bool shutdown_ = false;
   std::vector<std::thread> threads_;
   std::thread sweeper_;

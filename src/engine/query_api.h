@@ -16,8 +16,12 @@
 #ifndef CJOIN_ENGINE_QUERY_API_H_
 #define CJOIN_ENGINE_QUERY_API_H_
 
+#include <atomic>
 #include <chrono>
+#include <functional>
+#include <future>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
 
@@ -41,6 +45,12 @@ struct QueryRequest {
 
   /// Routing policy (§3.2.3): kAuto consults the cost-based Router.
   RoutePolicy policy = RoutePolicy::kAuto;
+
+  /// Owning tenant for admission control and weighted-fair scheduling
+  /// (empty = the "default" tenant). Quotas are keyed by this id; an
+  /// over-quota submission's ticket resolves with kResourceExhausted
+  /// instead of blocking.
+  std::string tenant;
 
   /// Relative deadline from Execute() (zero = none). Expired queries are
   /// deregistered cooperatively and complete with kDeadlineExceeded.
@@ -76,6 +86,46 @@ struct QueryRequest {
   }
 };
 
+/// Shared state of a CJOIN submission parked in the admission wait
+/// queue: the caller's ticket waits on `promise` while the engine binds
+/// the real pipeline handle once the admission controller grants a slot
+/// (or resolves the promise directly on timeout / cancellation).
+struct DeferredQuery {
+  std::mutex mu;
+  /// Set at grant time; guarded by mu. The completion observer installed
+  /// at the deferred submission forwards the query's terminal result into
+  /// `promise`, so the handle's own future is never consumed.
+  std::unique_ptr<QueryHandle> handle;
+  bool cancelled = false;  ///< guarded by mu
+  /// True once the controller's grant fired (with either outcome): the
+  /// waiter no longer exists, so cancel_waiter must stay unset — the
+  /// hook references the controller, which the ticket may outlive.
+  /// Guarded by mu.
+  bool waiter_done = false;
+  /// Removes the parked waiter (engine-installed); guarded by mu. Must be
+  /// invoked *after* releasing mu (the controller calls back into this
+  /// state from its grant path).
+  std::function<void()> cancel_waiter;
+
+  std::promise<Result<ResultSet>> promise;
+  std::string label;
+  SnapshotId snapshot = 0;
+  std::atomic<int64_t> submit_ns{0};
+  std::atomic<int64_t> completed_ns{0};
+
+  /// Resolves the promise exactly once; later callers are no-ops.
+  bool TryResolve(Result<ResultSet> result) {
+    bool expected = false;
+    if (!resolved_.compare_exchange_strong(expected, true)) return false;
+    completed_ns.store(QueryRuntime::NowNs(), std::memory_order_relaxed);
+    promise.set_value(std::move(result));
+    return true;
+  }
+
+ private:
+  std::atomic<bool> resolved_{false};
+};
+
 /// Uniform non-blocking handle to a query executing on either engine.
 class QueryTicket {
  public:
@@ -83,6 +133,16 @@ class QueryTicket {
   QueryTicket(RouteDecision decision, std::unique_ptr<QueryHandle> handle);
   /// Baseline-routed ticket.
   QueryTicket(RouteDecision decision, std::shared_ptr<BaselineJob> job,
+              std::future<Result<ResultSet>> future);
+  /// Immediately-resolved ticket: a submission the admission gate shed
+  /// (kResourceExhausted) or whose deadline expired before submission.
+  /// Uniform-ticket contract: Execute() only *fails* on malformed
+  /// requests; overload resolves through the ticket, without blocking.
+  QueryTicket(RouteDecision decision, std::string label,
+              SnapshotId snapshot, Result<ResultSet> immediate);
+  /// Wait-queued CJOIN ticket (admission granted a place in the bounded
+  /// wait queue instead of a slot).
+  QueryTicket(RouteDecision decision, std::shared_ptr<DeferredQuery> deferred,
               std::future<Result<ResultSet>> future);
   ~QueryTicket();
 
@@ -125,10 +185,15 @@ class QueryTicket {
 
  private:
   RouteDecision decision_;
-  // Exactly one of the two backends is set.
+  // Exactly one of the backends is set: CJOIN handle, baseline job,
+  // deferred (wait-queued) state, or an immediate result.
   std::unique_ptr<QueryHandle> cjoin_;
   std::shared_ptr<BaselineJob> baseline_;
   std::future<Result<ResultSet>> baseline_future_;
+  std::shared_ptr<DeferredQuery> deferred_;
+  std::optional<Result<ResultSet>> immediate_;
+  std::string label_;        ///< immediate/deferred tickets
+  SnapshotId snapshot_ = 0;  ///< immediate tickets
 };
 
 }  // namespace cjoin

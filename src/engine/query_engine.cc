@@ -108,13 +108,35 @@ bool SchemasEquivalent(const StarSchema& a, const StarSchema& b) {
 /// identity per shard within a star's pool.
 constexpr uint64_t kReaderIdStride = 64;
 
+/// Admission is keyed by tenant id; requests without one share the
+/// "default" tenant.
+std::string TenantOrDefault(const std::string& tenant) {
+  return tenant.empty() ? "default" : tenant;
+}
+
+/// "admitted (within quota)" / "shed (tenant CJOIN slots)" — the form
+/// RouteDecision::ToString and the shell surface.
+std::string FormatAdmission(const AdmissionDecision& ad) {
+  std::string out = AdmissionOutcomeName(ad.outcome);
+  if (!ad.reason.empty()) out += " (" + ad.reason + ")";
+  return out;
+}
+
 }  // namespace
 
 QueryEngine::QueryEngine(Options options)
-    : opts_(std::move(options)),
-      router_(opts_.router),
-      baseline_pool_(
-          std::make_unique<BaselinePool>(opts_.baseline_workers)) {}
+    : opts_(std::move(options)), router_(opts_.router) {
+  AdmissionController::Options aopts = opts_.admission;
+  if (aopts.max_total_cjoin == 0) {
+    // Bound engine-wide CJOIN registrations by the operator capacity, so
+    // the bit-vector id freelist can never block a submitter (excess
+    // load sheds with kResourceExhausted at the admission gate instead).
+    aopts.max_total_cjoin = opts_.cjoin.max_concurrent_queries;
+  }
+  admission_ = std::make_shared<AdmissionController>(aopts);
+  baseline_pool_ = std::make_unique<BaselinePool>(opts_.baseline_workers,
+                                                  opts_.baseline_max_queued);
+}
 
 QueryEngine::~QueryEngine() { Shutdown(); }
 
@@ -125,6 +147,9 @@ void QueryEngine::Shutdown() {
     std::lock_guard<std::mutex> ulk(update_mu_);
     if (shut_down_.exchange(true, std::memory_order_acq_rel)) return;
   }
+  // Fail parked admission waiters first: their grants would otherwise
+  // submit into pools that are about to stop.
+  admission_->Shutdown();
   baseline_pool_->Shutdown();
   std::vector<std::shared_ptr<ExecPool>> pools;
   {
@@ -227,12 +252,14 @@ std::shared_ptr<QueryEngine::ExecPool> QueryEngine::PoolFor(
   return entry->pool;
 }
 
-RouteInputs QueryEngine::SampleRouteInputs(const ExecPool& pool) const {
+RouteInputs QueryEngine::SampleRouteInputs(const ExecPool& pool,
+                                           const std::string& tenant) const {
   RouteInputs inputs;
   inputs.inflight = pool.op->InFlight();
   inputs.shards = pool.op->num_shards();
   inputs.baseline_queued = baseline_pool_->queued();
   inputs.baseline_workers = baseline_pool_->workers();
+  admission_->FillRouteInputs(tenant, &inputs);
   return inputs;
 }
 
@@ -325,6 +352,7 @@ Result<std::unique_ptr<QueryTicket>> QueryEngine::Execute(
   if (shut_down_) return Status::FailedPrecondition("engine shut down");
   CJOIN_ASSIGN_OR_RETURN(StarEntry * entry, ResolveRequest(&request));
   std::shared_ptr<ExecPool> pool = PoolFor(entry);
+  const std::string tenant = TenantOrDefault(request.tenant);
 
   int64_t deadline_ns = request.deadline_ns;
   if (deadline_ns == 0 && request.timeout.count() > 0) {
@@ -349,64 +377,261 @@ Result<std::unique_ptr<QueryTicket>> QueryEngine::Execute(
       decision.reason = "policy";
       break;
     case RoutePolicy::kAuto:
-      decision = router_.Decide(request.spec, SampleRouteInputs(*pool));
+      decision =
+          router_.Decide(request.spec, SampleRouteInputs(*pool, tenant));
       break;
   }
+  decision.tenant = tenant;
 
   // Uniform-ticket contract: an already-expired deadline resolves through
   // the ticket (kDeadlineExceeded from Wait()) on BOTH routes — Execute()
-  // itself only fails on submission errors.
+  // itself only fails on submission errors. No quota is consumed.
   if (deadline_ns != 0 && QueryRuntime::NowNs() >= deadline_ns) {
-    auto job = std::make_shared<BaselineJob>();
-    job->spec = std::move(request.spec);
-    job->deadline_ns = deadline_ns;
-    job->submit_ns.store(QueryRuntime::NowNs(), std::memory_order_relaxed);
-    std::future<Result<ResultSet>> fut = job->promise.get_future();
-    job->TryResolve(
-        Status::DeadlineExceeded("deadline expired before submission"));
-    return std::make_unique<QueryTicket>(std::move(decision), std::move(job),
-                                         std::move(fut));
+    return std::make_unique<QueryTicket>(
+        std::move(decision), request.spec.label, request.spec.snapshot,
+        Result<ResultSet>(
+            Status::DeadlineExceeded("deadline expired before submission")));
   }
 
   if (decision.choice == RouteChoice::kCJoin) {
-    CJoinOperator::SubmitOptions so;
-    so.aggregator_factory = std::move(request.aggregator_factory);
-    so.deadline_ns = deadline_ns;
-    so.assume_normalized = true;  // ResolveRequest normalized already
-    CJOIN_ASSIGN_OR_RETURN(
-        std::unique_ptr<QueryHandle> handle,
-        SubmitToCJoin(entry, pool, std::move(request.spec), std::move(so)));
-    return std::make_unique<QueryTicket>(std::move(decision),
-                                         std::move(handle));
+    // The grant closure (and its captured copy of the spec) is built
+    // lazily, under the gate's lock, only if the verdict is kQueued —
+    // the common admitted / shed paths never pay for it.
+    std::shared_ptr<DeferredQuery> deferred;
+    AdmissionController::GrantFactory make_grant =
+        [&]() -> AdmissionController::GrantFn {
+      deferred = std::make_shared<DeferredQuery>();
+      deferred->label = request.spec.label;
+      deferred->snapshot = request.spec.snapshot;
+      deferred->submit_ns.store(QueryRuntime::NowNs(),
+                                std::memory_order_relaxed);
+      return MakeDeferredGrant(entry, deferred, request.spec,
+                               request.aggregator_factory, tenant,
+                               deadline_ns);
+    };
+    AdmissionDecision ad = admission_->TryAdmit(
+        tenant, RouteChoice::kCJoin, deadline_ns, std::move(make_grant));
+    decision.admission = FormatAdmission(ad);
+    switch (ad.outcome) {
+      case AdmissionOutcome::kAdmitted:
+        return SubmitAdmittedCJoin(entry, pool, std::move(request),
+                                   std::move(decision), tenant, deadline_ns);
+      case AdmissionOutcome::kQueued: {
+        std::future<Result<ResultSet>> fut = deferred->promise.get_future();
+        {
+          std::lock_guard<std::mutex> lk(deferred->mu);
+          // The grant may already have fired (and with it the waiter's
+          // lifetime). The weak capture covers the remaining race: a
+          // copy of this hook taken by Cancel() can run after the
+          // engine — and the controller — are gone.
+          if (!deferred->waiter_done) {
+            deferred->cancel_waiter =
+                [weak = std::weak_ptr<AdmissionController>(admission_),
+                 id = ad.waiter_id] {
+              if (std::shared_ptr<AdmissionController> ctrl = weak.lock()) {
+                ctrl->CancelWaiter(id);
+              }
+            };
+          }
+        }
+        return std::make_unique<QueryTicket>(
+            std::move(decision), std::move(deferred), std::move(fut));
+      }
+      case AdmissionOutcome::kShed:
+        return std::make_unique<QueryTicket>(
+            std::move(decision), request.spec.label, request.spec.snapshot,
+            Result<ResultSet>(ad.status));
+    }
   }
 
+  AdmissionDecision ad =
+      admission_->TryAdmit(tenant, RouteChoice::kBaseline, deadline_ns);
+  decision.admission = FormatAdmission(ad);
+  if (ad.outcome == AdmissionOutcome::kShed) {
+    return std::make_unique<QueryTicket>(
+        std::move(decision), request.spec.label, request.spec.snapshot,
+        Result<ResultSet>(ad.status));
+  }
   auto job = std::make_shared<BaselineJob>();
   job->spec = std::move(request.spec);
   job->options = request.baseline_options.value_or(opts_.baseline);
   job->priority = request.priority;
   job->deadline_ns = deadline_ns;
+  job->tenant = tenant;
+  job->fair_weight = admission_->GetTenantQuota(tenant).weight;
+  // Quota returns on every terminal path — worker completion, sweeper
+  // cancel / deadline, pool shutdown — via the resolve hook.
+  job->on_finished = [ctrl = admission_.get(), tenant] {
+    ctrl->Release(tenant, RouteChoice::kBaseline);
+  };
   std::future<Result<ResultSet>> fut = job->promise.get_future();
-  baseline_pool_->Enqueue(job);
+  if (Status st = baseline_pool_->Enqueue(job); !st.ok()) {
+    if (st.code() == StatusCode::kResourceExhausted) {
+      // Never entered the pool: the resolve hook will not run, and the
+      // caller experienced a shed, not an admitted query.
+      admission_->ReleaseAsShed(tenant, RouteChoice::kBaseline);
+      decision.admission = "shed (baseline pool queue full)";
+      return std::make_unique<QueryTicket>(
+          std::move(decision), job->spec.label, job->spec.snapshot,
+          Result<ResultSet>(std::move(st)));
+    }
+    // Pool shut down: Enqueue resolved the promise (kAborted) and the
+    // hook released the quota; the ticket surfaces the result.
+  }
   return std::make_unique<QueryTicket>(std::move(decision), std::move(job),
                                        std::move(fut));
 }
 
-Result<RouteDecision> QueryEngine::ExplainRoute(StarQuerySpec spec) {
+Result<std::unique_ptr<QueryTicket>> QueryEngine::SubmitAdmittedCJoin(
+    StarEntry* entry, const std::shared_ptr<ExecPool>& pool,
+    QueryRequest request, RouteDecision decision, const std::string& tenant,
+    int64_t deadline_ns) {
+  CJoinOperator::SubmitOptions so;
+  so.aggregator_factory = std::move(request.aggregator_factory);
+  so.deadline_ns = deadline_ns;
+  so.assume_normalized = true;  // ResolveRequest normalized already
+  so.reject_when_full = true;   // the freelist must never block (ROADMAP)
+  so.completion_observer = [ctrl = admission_.get(),
+                            tenant](const Result<ResultSet>&) {
+    ctrl->Release(tenant, RouteChoice::kCJoin);
+  };
+  const std::string label = request.spec.label;
+  const SnapshotId snap = request.spec.snapshot;
+  Result<std::unique_ptr<QueryHandle>> handle =
+      SubmitToCJoin(entry, pool, std::move(request.spec), std::move(so));
+  if (!handle.ok()) {
+    // The observer never fired; give the slot back ourselves.
+    admission_->Release(tenant, RouteChoice::kCJoin);
+    if (handle.status().code() == StatusCode::kResourceExhausted) {
+      // Freelist raced ahead of the admission bookkeeping (slots release
+      // at Deliver, ids at cleanup): degrade by rejecting, not stalling.
+      decision.admission = "shed (pipeline query ids exhausted)";
+      return std::make_unique<QueryTicket>(
+          std::move(decision), label, snap,
+          Result<ResultSet>(handle.status()));
+    }
+    return handle.status();
+  }
+  return std::make_unique<QueryTicket>(std::move(decision),
+                                       std::move(*handle));
+}
+
+AdmissionController::GrantFn QueryEngine::MakeDeferredGrant(
+    StarEntry* entry, std::shared_ptr<DeferredQuery> deferred,
+    StarQuerySpec spec, AggregatorFactory aggregator, std::string tenant,
+    int64_t deadline_ns) {
+  return [this, entry, deferred = std::move(deferred),
+          spec = std::move(spec), aggregator = std::move(aggregator),
+          tenant = std::move(tenant), deadline_ns](Status st) mutable {
+    // Whatever the outcome, the waiter is out of the controller's queue:
+    // drop the waiter-cancel hook so a ticket that outlives the engine
+    // cannot call back into a destroyed controller.
+    bool cancelled;
+    {
+      std::lock_guard<std::mutex> lk(deferred->mu);
+      deferred->waiter_done = true;
+      deferred->cancel_waiter = nullptr;
+      cancelled = deferred->cancelled;
+    }
+    if (!st.ok()) {
+      // Wait timed out / deadline expired / cancelled / shutdown: no slot
+      // is held.
+      deferred->TryResolve(std::move(st));
+      return;
+    }
+    // The controller consumed one CJOIN slot on this query's behalf.
+    if (cancelled) {
+      admission_->Release(tenant, RouteChoice::kCJoin);
+      deferred->TryResolve(
+          Status::Cancelled("query cancelled while awaiting admission"));
+      return;
+    }
+    std::shared_ptr<ExecPool> pool = PoolFor(entry);
+    CJoinOperator::SubmitOptions so;
+    so.aggregator_factory = std::move(aggregator);
+    so.deadline_ns = deadline_ns;
+    so.assume_normalized = true;
+    so.reject_when_full = true;
+    // This submission runs on the controller's single service thread,
+    // where every per-shard grace wait head-of-line delays other grants
+    // and waiter expiries — and the slot that granted us was released at
+    // delivery, so its id is only a prompt pipeline-cleanup away. Keep
+    // the bridge short.
+    so.id_acquire_grace_ns = 50'000'000;
+    // Forward the query's terminal result into the deferred ticket (its
+    // handle's own future is never consumed); quota releases first.
+    so.completion_observer = [ctrl = admission_.get(), deferred,
+                              tenant](const Result<ResultSet>& result) {
+      ctrl->Release(tenant, RouteChoice::kCJoin);
+      deferred->TryResolve(result);
+    };
+    Result<std::unique_ptr<QueryHandle>> handle =
+        SubmitToCJoin(entry, pool, std::move(spec), std::move(so));
+    if (!handle.ok()) {
+      admission_->Release(tenant, RouteChoice::kCJoin);
+      deferred->TryResolve(handle.status());
+      return;
+    }
+    bool cancel_now;
+    {
+      std::lock_guard<std::mutex> lk(deferred->mu);
+      deferred->handle = std::move(*handle);
+      cancel_now = deferred->cancelled;
+    }
+    // A cancel that raced the bind found no handle and no waiter; honor
+    // it now (QueryHandle::Cancel is thread-safe and idempotent).
+    if (cancel_now) {
+      std::lock_guard<std::mutex> lk(deferred->mu);
+      if (deferred->handle != nullptr) deferred->handle->Cancel();
+    }
+  };
+}
+
+Result<RouteDecision> QueryEngine::ExplainRoute(StarQuerySpec spec,
+                                                std::string_view tenant) {
   // Same resolution pipeline as Execute(), so the verdict is exactly the
-  // decision Execute() would make right now.
+  // decision Execute() would make right now — including the admission
+  // gate's outcome for the tenant, probed without consuming any quota.
   QueryRequest request = QueryRequest::FromSpec(std::move(spec));
+  request.tenant = std::string(tenant);
   CJOIN_ASSIGN_OR_RETURN(StarEntry * entry, ResolveRequest(&request));
   std::shared_ptr<ExecPool> pool = PoolFor(entry);
-  return router_.Decide(request.spec, SampleRouteInputs(*pool));
+  const std::string t = TenantOrDefault(request.tenant);
+  RouteDecision decision =
+      router_.Decide(request.spec, SampleRouteInputs(*pool, t));
+  decision.tenant = t;
+  decision.admission = FormatAdmission(admission_->Probe(t, decision.choice));
+  return decision;
 }
 
 Result<RouteDecision> QueryEngine::ExplainRoute(std::string_view star_name,
-                                                std::string_view sql) {
+                                                std::string_view sql,
+                                                std::string_view tenant) {
   QueryRequest request =
       QueryRequest::Sql(std::string(star_name), std::string(sql));
+  request.tenant = std::string(tenant);
   CJOIN_ASSIGN_OR_RETURN(StarEntry * entry, ResolveRequest(&request));
   std::shared_ptr<ExecPool> pool = PoolFor(entry);
-  return router_.Decide(request.spec, SampleRouteInputs(*pool));
+  const std::string t = TenantOrDefault(request.tenant);
+  RouteDecision decision =
+      router_.Decide(request.spec, SampleRouteInputs(*pool, t));
+  decision.tenant = t;
+  decision.admission = FormatAdmission(admission_->Probe(t, decision.choice));
+  return decision;
+}
+
+Status QueryEngine::SetTenantQuota(std::string_view tenant,
+                                   TenantQuota quota) {
+  return admission_->SetTenantQuota(TenantOrDefault(std::string(tenant)),
+                                    quota);
+}
+
+TenantQuota QueryEngine::GetTenantQuota(std::string_view tenant) const {
+  return admission_->GetTenantQuota(TenantOrDefault(std::string(tenant)));
+}
+
+AdmissionController::Stats QueryEngine::AdmissionStats() const {
+  return admission_->GetStats();
 }
 
 Result<ResultSet> QueryEngine::ExecuteGalaxyJoin(const GalaxyJoinSpec& spec) {

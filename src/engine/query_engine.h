@@ -29,6 +29,7 @@
 #include "catalog/star_schema.h"
 #include "cjoin/cjoin_operator.h"
 #include "cjoin/sharded_operator.h"
+#include "engine/admission.h"
 #include "engine/baseline_pool.h"
 #include "engine/query_api.h"
 #include "engine/router.h"
@@ -53,8 +54,15 @@ class QueryEngine {
     QatOptions baseline;
     /// Worker threads executing baseline-routed queries.
     size_t baseline_workers = 2;
+    /// Bound on jobs waiting in the baseline pool (0 = unbounded). Over
+    /// the cap, tickets resolve with kResourceExhausted.
+    size_t baseline_max_queued = 0;
     /// Cost-model coefficients for kAuto routing.
     RouterOptions router;
+    /// Multi-tenant admission control. max_total_cjoin defaults (0) to
+    /// cjoin.max_concurrent_queries, so the bit-vector id freelist can
+    /// never block a submitter.
+    AdmissionController::Options admission;
   };
 
   explicit QueryEngine(Options options);
@@ -76,10 +84,26 @@ class QueryEngine {
   Result<std::unique_ptr<QueryTicket>> Execute(QueryRequest request);
 
   /// The routing decision Execute() would make for this SQL right now,
-  /// without running the query (the shell's EXPLAIN ROUTE).
+  /// without running the query (the shell's EXPLAIN ROUTE). `tenant`
+  /// prices the verdict — including the admission outcome (admitted /
+  /// queued / shed) — for that tenant without consuming any quota.
   Result<RouteDecision> ExplainRoute(std::string_view star_name,
-                                     std::string_view sql);
-  Result<RouteDecision> ExplainRoute(StarQuerySpec spec);
+                                     std::string_view sql,
+                                     std::string_view tenant = {});
+  Result<RouteDecision> ExplainRoute(StarQuerySpec spec,
+                                     std::string_view tenant = {});
+
+  // --- Admission control & multi-tenant scheduling --------------------------
+
+  /// Installs / replaces a tenant's quota on the live engine (mirrors
+  /// SetShardCount's runtime elasticity): the next admission sees the new
+  /// limits; raised CJOIN budgets grant parked waiters immediately.
+  Status SetTenantQuota(std::string_view tenant, TenantQuota quota);
+  TenantQuota GetTenantQuota(std::string_view tenant) const;
+
+  /// Point-in-time admission state: engine totals plus per-tenant
+  /// in-flight / queued / shed counters (the shell's \admission).
+  AdmissionController::Stats AdmissionStats() const;
 
   // --- Sharding (runtime elasticity) ----------------------------------------
 
@@ -191,7 +215,27 @@ class QueryEngine {
 
   /// Load inputs the Router prices: one sampling point shared by
   /// Execute() and ExplainRoute(), so their verdicts cannot diverge.
-  RouteInputs SampleRouteInputs(const ExecPool& pool) const;
+  /// Includes `tenant`'s admission state (slot occupancy, pool share).
+  RouteInputs SampleRouteInputs(const ExecPool& pool,
+                                const std::string& tenant) const;
+
+  /// Submits an admitted CJOIN request. On kResourceExhausted from the
+  /// non-blocking pipeline admission the quota is released and the error
+  /// surfaces through an immediate ticket; other submission errors
+  /// propagate as a status.
+  Result<std::unique_ptr<QueryTicket>> SubmitAdmittedCJoin(
+      StarEntry* entry, const std::shared_ptr<ExecPool>& pool,
+      QueryRequest request, RouteDecision decision,
+      const std::string& tenant, int64_t deadline_ns);
+
+  /// Grant callback of a wait-queued CJOIN submission: on an OK grant
+  /// (slot consumed by the controller) performs the deferred pipeline
+  /// submission and binds the handle into `deferred`; on a terminal
+  /// grant (timeout / cancel / shutdown) resolves the deferred ticket.
+  AdmissionController::GrantFn MakeDeferredGrant(
+      StarEntry* entry, std::shared_ptr<DeferredQuery> deferred,
+      StarQuerySpec spec, AggregatorFactory aggregator,
+      std::string tenant, int64_t deadline_ns);
 
   /// Builds and starts a shard set + operator pool for `star`.
   Result<std::shared_ptr<ExecPool>> MakePool(const StarSchema& star,
@@ -210,6 +254,11 @@ class QueryEngine {
 
   Options opts_;
   Router router_;
+  /// shared_ptr so a wait-queued ticket's waiter-cancel hook can hold a
+  /// weak reference: such tickets may outlive the engine, and their
+  /// Cancel() must degrade to a no-op rather than touch a freed
+  /// controller.
+  std::shared_ptr<AdmissionController> admission_;
   std::unique_ptr<BaselinePool> baseline_pool_;
   std::vector<std::unique_ptr<StarEntry>> stars_;
   /// Guards the stars_ vector structure and each entry's pool pointer.

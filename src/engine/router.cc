@@ -28,7 +28,7 @@ const char* RouteChoiceName(RouteChoice choice) {
 }
 
 std::string RouteDecision::ToString() const {
-  char buf[640];
+  char buf[768];
   std::snprintf(buf, sizeof(buf),
                 "route: %s%s\n"
                 "  selectivity     %.4f\n"
@@ -45,7 +45,26 @@ std::string RouteDecision::ToString() const {
                 static_cast<unsigned long long>(dim_build_rows), inflight,
                 shards, baseline_queued, cjoin_cost, baseline_cost,
                 reason.c_str());
-  return buf;
+  std::string out = buf;
+  if (!tenant.empty()) {
+    char slots[32];
+    if (tenant_cjoin_slots == 0) {
+      std::snprintf(slots, sizeof(slots), "unlimited");
+    } else {
+      std::snprintf(slots, sizeof(slots), "%zu", tenant_cjoin_slots);
+    }
+    std::snprintf(buf, sizeof(buf),
+                  "\n"
+                  "  tenant          %s\n"
+                  "  tenant slots    %zu/%s in flight\n"
+                  "  pool share      %.2f\n"
+                  "  admission       %s",
+                  tenant.c_str(), tenant_inflight_cjoin, slots,
+                  tenant_pool_share,
+                  admission.empty() ? "-" : admission.c_str());
+    out += buf;
+  }
+  return out;
 }
 
 double Router::EstimateSelectivity(const StarQuerySpec& spec,
@@ -92,6 +111,10 @@ RouteDecision Router::Decide(const StarQuerySpec& spec,
   d.inflight = inputs.inflight;
   d.shards = std::max<size_t>(1, inputs.shards);
   d.baseline_queued = inputs.baseline_queued;
+  d.tenant_inflight_cjoin = inputs.tenant_inflight_cjoin;
+  d.tenant_cjoin_slots = inputs.tenant_cjoin_slots;
+  d.tenant_pool_share =
+      std::clamp(inputs.tenant_pool_share, 1e-6, 1.0);
   d.fact_rows = spec.schema->fact().NumRows();
   d.selectivity = EstimateSelectivity(spec, &d.dim_build_rows);
 
@@ -100,14 +123,23 @@ RouteDecision Router::Decide(const StarQuerySpec& spec,
 
   // Baseline: private dimension builds, then a private fact scan whose
   // probe pipeline (most selective join first) rejects most tuples early
-  // when the query is selective. A backlog in the pool delays the start by
-  // roughly queued/workers job-lengths, which the queue penalty models as
-  // a multiplicative inflation.
+  // when the query is selective. A backlog in the pool delays the start,
+  // which the queue penalty models as a multiplicative inflation. Under
+  // weighted-fair scheduling the tenant commands only its share of the
+  // workers, and what delays it is its *own* backlog (fair dequeue lets
+  // it jump the others'); the share-scaled global backlog is the
+  // fallback when per-tenant state is absent, and degenerates to the
+  // pre-tenancy queued/workers term at share 1.
+  const double effective_workers =
+      std::max(1e-6, static_cast<double>(std::max<size_t>(
+                         1, inputs.baseline_workers)) *
+                         d.tenant_pool_share);
+  const double backlog =
+      std::max(static_cast<double>(inputs.tenant_baseline_queued),
+               static_cast<double>(inputs.baseline_queued) *
+                   d.tenant_pool_share);
   const double queue_factor =
-      1.0 + opts_.baseline_queue_penalty *
-                static_cast<double>(inputs.baseline_queued) /
-                static_cast<double>(std::max<size_t>(1,
-                                                     inputs.baseline_workers));
+      1.0 + opts_.baseline_queue_penalty * backlog / effective_workers;
   d.baseline_cost = (static_cast<double>(d.dim_build_rows) +
                      fact * (1.0 + opts_.probe_weight * d.selectivity)) *
                     queue_factor;
@@ -123,11 +155,29 @@ RouteDecision Router::Decide(const StarQuerySpec& spec,
                      static_cast<double>(inputs.inflight + 1) +
                  opts_.cjoin_fixed_cost + passing * opts_.route_weight;
 
+  // A tenant near its CJOIN slot quota pays a scarcity premium: occupancy
+  // over free slots, weighted — so the optimizer steers it toward the
+  // baseline before the admission gate would shed it outright.
+  if (d.tenant_cjoin_slots != 0) {
+    const size_t used =
+        std::min(d.tenant_inflight_cjoin, d.tenant_cjoin_slots);
+    const size_t free_slots = d.tenant_cjoin_slots - used;
+    d.cjoin_cost *= 1.0 + opts_.tenant_slot_penalty *
+                              static_cast<double>(used) /
+                              static_cast<double>(free_slots + 1);
+  }
+
   if (d.baseline_cost < d.cjoin_cost) {
     d.choice = RouteChoice::kBaseline;
-    d.reason = inputs.inflight == 0
-                   ? "selective query, idle operator: private plan is cheaper"
-                   : "private plan is cheaper at current load";
+    if (d.tenant_cjoin_slots != 0 &&
+        d.tenant_inflight_cjoin + 1 >= d.tenant_cjoin_slots) {
+      d.reason = "tenant near its CJOIN slot quota: private plan avoids "
+                 "shedding";
+    } else if (inputs.inflight == 0) {
+      d.reason = "selective query, idle operator: private plan is cheaper";
+    } else {
+      d.reason = "private plan is cheaper at current load";
+    }
   } else {
     d.choice = RouteChoice::kCJoin;
     if (inputs.baseline_queued > 0) {

@@ -60,6 +60,19 @@ struct RouteDecision {
   /// Jobs waiting in the baseline pool at decision time.
   size_t baseline_queued = 0;
 
+  // --- Admission state (multi-tenant scheduling) ---------------------------
+  /// Tenant the request was priced for (empty = admission not consulted).
+  std::string tenant;
+  /// The admission gate's verdict for the chosen route ("admitted",
+  /// "queued", "shed (<reason>)"); empty when not consulted.
+  std::string admission;
+  /// CJOIN slots the tenant already holds / its effective slot budget
+  /// (0 = unlimited).
+  size_t tenant_inflight_cjoin = 0;
+  size_t tenant_cjoin_slots = 0;
+  /// The tenant's weighted-fair fraction of the baseline pool.
+  double tenant_pool_share = 1.0;
+
   /// Costs in fact-tuple work units (lower wins).
   double cjoin_cost = 0.0;
   double baseline_cost = 0.0;
@@ -99,8 +112,15 @@ struct RouterOptions {
   /// Queueing penalty of the baseline pool: each job already waiting per
   /// worker inflates the baseline cost by this fraction of the query's own
   /// cost (a new job waits roughly queued/workers job-lengths before it
-  /// starts).
+  /// starts). Under multi-tenant scheduling the effective worker count is
+  /// scaled by the tenant's weighted-fair pool share.
   double baseline_queue_penalty = 1.0;
+
+  /// Per-tenant CJOIN occupancy penalty: as a tenant approaches its slot
+  /// quota, its marginal CJOIN cost inflates by this weight times
+  /// occupied/free — steering near-quota tenants toward the baseline
+  /// before the admission gate starts shedding them.
+  double tenant_slot_penalty = 1.0;
 };
 
 /// Load inputs sampled at decision time. inflight is the logical in-flight
@@ -112,6 +132,17 @@ struct RouteInputs {
   size_t shards = 1;
   size_t baseline_queued = 0;
   size_t baseline_workers = 1;
+
+  // Per-tenant admission state (AdmissionController::FillRouteInputs).
+  /// CJOIN slots the tenant already holds.
+  size_t tenant_inflight_cjoin = 0;
+  /// The tenant's effective CJOIN slot budget (min of its quota and the
+  /// engine-wide bound; 0 = unlimited).
+  size_t tenant_cjoin_slots = 0;
+  /// The tenant's weighted-fair fraction of the baseline pool (0, 1].
+  double tenant_pool_share = 1.0;
+  /// Baseline jobs the tenant already has in the system.
+  size_t tenant_baseline_queued = 0;
 };
 
 class Router {

@@ -1,6 +1,8 @@
 // Unit tests for the query-at-a-time baseline engine, cross-checked
 // against the independent reference evaluator.
 
+#include <algorithm>
+
 #include <gtest/gtest.h>
 
 #include "baseline/qat_engine.h"
@@ -121,14 +123,19 @@ TEST(QatEngineTest, PerTupleOverheadSlowsExecution) {
   auto ts = MakeTinyStar(20000);
   StarQuerySpec spec = CountByRegion(*ts);
   QatOptions fast, slow;
-  slow.per_tuple_overhead = 64;
-  Stopwatch w;
-  ASSERT_TRUE(ExecuteStarQuery(spec, fast).ok());
-  const double t_fast = w.ElapsedSeconds();
-  w.Restart();
-  ASSERT_TRUE(ExecuteStarQuery(spec, slow).ok());
-  const double t_slow = w.ElapsedSeconds();
-  EXPECT_GT(t_slow, t_fast);
+  slow.per_tuple_overhead = 256;
+  // Wall-clock comparison: take each variant's best of three so a
+  // descheduling blip (parallel ctest under TSan) cannot invert it.
+  auto best_of = [&](const QatOptions& opts) {
+    double best = 1e9;
+    for (int i = 0; i < 3; ++i) {
+      Stopwatch w;
+      EXPECT_TRUE(ExecuteStarQuery(spec, opts).ok());
+      best = std::min(best, w.ElapsedSeconds());
+    }
+    return best;
+  };
+  EXPECT_GT(best_of(slow), best_of(fast));
 }
 
 TEST(QatEngineTest, RejectsInvalidSpec) {

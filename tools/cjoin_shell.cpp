@@ -10,10 +10,14 @@
 // Statements end with ';'. Meta commands: \route [auto|cjoin|baseline]
 // selects the routing policy (\baseline is a legacy toggle), \shards [N]
 // shows or re-shards the fact table across N parallel CJOIN pipelines,
-// \stats prints pipeline statistics (per shard), \q quits. `EXPLAIN
-// ROUTE <sql>` prints the cost-based router's estimates — including the
-// shard count and baseline queue backlog — and the chosen path without
-// running the query.
+// \stats prints pipeline statistics (per shard), \tenant [NAME] shows or
+// switches the tenant subsequent statements run as, \quota NAME
+// key=value... reconfigures that tenant's admission quota on the live
+// engine, \admission prints per-tenant admission counters, \q quits.
+// `EXPLAIN ROUTE <sql>` prints the cost-based router's estimates —
+// including the shard count, baseline queue backlog, and the admission
+// verdict (admitted / queued / shed) for the current tenant — and the
+// chosen path without running the query.
 
 #include <cctype>
 #include <cstdio>
@@ -70,6 +74,82 @@ Result<StarSchema> WireStar(const LoadedDb& db) {
               {s, "lo_suppkey", "s_suppkey"},
               {p, "lo_partkey", "p_partkey"},
           });
+}
+
+/// Parses "key=value" quota arguments into `quota`; returns false (with
+/// a usage message) on an unknown key or malformed value.
+bool ParseQuotaArgs(const char* args, TenantQuota* quota) {
+  std::string text(args);
+  size_t pos = 0;
+  while (pos < text.size()) {
+    while (pos < text.size() &&
+           std::isspace(static_cast<unsigned char>(text[pos]))) {
+      ++pos;
+    }
+    if (pos >= text.size()) break;
+    size_t end = pos;
+    while (end < text.size() &&
+           !std::isspace(static_cast<unsigned char>(text[end]))) {
+      ++end;
+    }
+    const std::string kv = text.substr(pos, end - pos);
+    pos = end;
+    const size_t eq = kv.find('=');
+    if (eq == std::string::npos) {
+      std::printf("malformed quota argument '%s' (want key=value)\n",
+                  kv.c_str());
+      return false;
+    }
+    const std::string key = kv.substr(0, eq);
+    const char* value_text = kv.c_str() + eq + 1;
+    char* value_end = nullptr;
+    const double value = std::strtod(value_text, &value_end);
+    if (value_end == value_text || *value_end != '\0' || value < 0.0) {
+      // atof-style silent zero would turn a typo into "unlimited".
+      std::printf("malformed quota value in '%s' (want key=NUMBER)\n",
+                  kv.c_str());
+      return false;
+    }
+    if (key == "rate") {
+      quota->rate_per_sec = value;
+    } else if (key == "burst") {
+      quota->burst = value;
+    } else if (key == "cjoin") {
+      quota->max_inflight_cjoin = static_cast<size_t>(value);
+    } else if (key == "baseline") {
+      quota->max_queued_baseline = static_cast<size_t>(value);
+    } else if (key == "weight") {
+      quota->weight = value;
+    } else if (key == "wait") {
+      quota->max_wait_queue = static_cast<size_t>(value);
+    } else if (key == "wait_ms") {
+      quota->max_wait_ns = static_cast<int64_t>(value * 1e6);
+    } else {
+      std::printf(
+          "unknown quota key '%s' (rate, burst, cjoin, baseline, weight, "
+          "wait, wait_ms)\n",
+          key.c_str());
+      return false;
+    }
+  }
+  return true;
+}
+
+void PrintQuota(const std::string& name, const TenantQuota& q) {
+  std::printf(
+      "tenant %-12s rate %s burst %.0f | cjoin slots %s | baseline queue "
+      "%s | weight %.2f | wait queue %zu (%.0f ms)\n",
+      name.c_str(),
+      q.rate_per_sec <= 0 ? "unlimited"
+                          : std::to_string(q.rate_per_sec).c_str(),
+      q.burst, q.max_inflight_cjoin == 0
+                   ? "unlimited"
+                   : std::to_string(q.max_inflight_cjoin).c_str(),
+      q.max_queued_baseline == 0
+          ? "unlimited"
+          : std::to_string(q.max_queued_baseline).c_str(),
+      q.weight, q.max_wait_queue,
+      static_cast<double>(q.max_wait_ns) * 1e-6);
 }
 
 /// Case-insensitive prefix match; returns the remainder after the prefix
@@ -154,10 +234,15 @@ int main(int argc, char** argv) {
       "CJOIN shell — star 'ssb' ready. End statements with ';'. "
       "\\route [auto|cjoin|baseline] selects the routing policy, "
       "\\shards [N] shows or re-shards the fact table across N parallel "
-      "CJOIN pipelines (in-flight CJOIN queries abort), EXPLAIN ROUTE "
-      "<sql> shows the optimizer choice (shard-aware costs), \\stats "
+      "CJOIN pipelines (in-flight CJOIN queries abort), \\tenant [NAME] "
+      "shows or switches the submitting tenant, \\quota NAME key=value... "
+      "rebalances that tenant's admission quota live (keys: rate, burst, "
+      "cjoin, baseline, weight, wait, wait_ms), \\admission shows "
+      "per-tenant admission counters, EXPLAIN ROUTE <sql> shows the "
+      "optimizer choice (shard-, backlog-, and admission-aware), \\stats "
       "shows per-shard pipeline stats, \\q quits.\n");
   RoutePolicy policy = RoutePolicy::kAuto;
+  std::string tenant;  // empty = the "default" tenant
   std::string buffer;
   std::string line;
   while (true) {
@@ -201,6 +286,58 @@ int main(int argc, char** argv) {
           }
         }
         std::printf("shards: %zu\n", engine.ShardCount("ssb").value());
+        continue;
+      }
+      if (const char* arg = MatchPrefix(line, "\\TENANT")) {
+        if (*arg != '\0') tenant = arg;
+        std::printf("tenant: %s\n", tenant.empty() ? "default" : tenant.c_str());
+        continue;
+      }
+      if (const char* arg = MatchPrefix(line, "\\QUOTA")) {
+        // First token is the tenant name; the rest are key=value pairs.
+        std::string rest(arg);
+        size_t sp = 0;
+        while (sp < rest.size() &&
+               !std::isspace(static_cast<unsigned char>(rest[sp]))) {
+          ++sp;
+        }
+        const std::string name = rest.substr(0, sp);
+        if (name.empty()) {
+          std::printf(
+              "usage: \\quota NAME [rate=R] [burst=B] [cjoin=N] "
+              "[baseline=N] [weight=W] [wait=N] [wait_ms=MS]\n");
+          continue;
+        }
+        TenantQuota quota = engine.GetTenantQuota(name);
+        if (!ParseQuotaArgs(rest.c_str() + sp, &quota)) continue;
+        if (Status st = engine.SetTenantQuota(name, quota); !st.ok()) {
+          std::printf("error: %s\n", st.ToString().c_str());
+          continue;
+        }
+        PrintQuota(name, engine.GetTenantQuota(name));
+        continue;
+      }
+      if (line == "\\admission") {
+        const auto stats = engine.AdmissionStats();
+        std::printf(
+            "engine: %zu CJOIN in flight | %zu baseline in system | "
+            "%zu waiting\n",
+            stats.total_cjoin_inflight, stats.total_baseline_in_system,
+            stats.total_waiting);
+        if (stats.tenants.empty()) {
+          std::printf("(no tenants have submitted yet)\n");
+        }
+        for (const auto& t : stats.tenants) {
+          std::printf(
+              "  %-12s cjoin %zu | baseline %zu | waiting %zu | admitted "
+              "%llu | queued %llu | shed %llu | released %llu\n",
+              t.tenant.c_str(), t.inflight_cjoin, t.baseline_in_system,
+              t.waiting, static_cast<unsigned long long>(t.admitted),
+              static_cast<unsigned long long>(t.queued),
+              static_cast<unsigned long long>(t.shed),
+              static_cast<unsigned long long>(t.released));
+          PrintQuota(t.tenant, t.quota);
+        }
         continue;
       }
       if (line == "\\stats") {
@@ -248,7 +385,7 @@ int main(int argc, char** argv) {
 
     // EXPLAIN ROUTE <sql>: print the router's verdict, don't run.
     if (const char* sql = MatchPrefix(stmt, "EXPLAIN ROUTE")) {
-      auto decision = engine.ExplainRoute("ssb", sql);
+      auto decision = engine.ExplainRoute("ssb", sql, tenant);
       if (!decision.ok()) {
         std::printf("error: %s\n", decision.status().ToString().c_str());
       } else {
@@ -260,11 +397,15 @@ int main(int argc, char** argv) {
     Stopwatch watch;
     QueryRequest req = QueryRequest::Sql("ssb", stmt);
     req.policy = policy;
+    req.tenant = tenant;
     Result<ResultSet> rs = [&]() -> Result<ResultSet> {
       CJOIN_ASSIGN_OR_RETURN(auto ticket, engine.Execute(std::move(req)));
       Result<ResultSet> result = ticket->Wait();
       if (result.ok()) {
         std::printf("[%s]\n", RouteChoiceName(ticket->route()));
+      } else if (!ticket->decision().admission.empty() &&
+                 result.status().code() == StatusCode::kResourceExhausted) {
+        std::printf("[%s]\n", ticket->decision().admission.c_str());
       }
       return result;
     }();
