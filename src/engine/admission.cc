@@ -35,8 +35,10 @@ void AdmissionController::Shutdown() {
     shutdown_ = true;
     for (Waiter& w : wait_queue_) {
       tenants_[w.tenant].waiting--;
-      failed.push_back({std::move(w.grant),
-                        Status::Aborted("admission controller shut down")});
+      GrantAction action;
+      action.grant = std::move(w.grant);
+      action.status = Status::Aborted("admission controller shut down");
+      failed.push_back(std::move(action));
     }
     wait_queue_.clear();
   }
@@ -219,9 +221,14 @@ AdmissionDecision AdmissionController::TryAdmit(const std::string& tenant,
 
 AdmissionDecision AdmissionController::Probe(const std::string& tenant,
                                              RouteChoice route) const {
-  const int64_t now = QueryRuntime::NowNs();
-  AdmissionDecision d;
   std::lock_guard<std::mutex> lk(mu_);
+  return ProbeLocked(tenant, route, QueryRuntime::NowNs());
+}
+
+AdmissionDecision AdmissionController::ProbeLocked(const std::string& tenant,
+                                                   RouteChoice route,
+                                                   int64_t now) const {
+  AdmissionDecision d;
   auto it = tenants_.find(tenant);
   // Unknown tenant: judged against the default quota with a full bucket.
   TenantState scratch;
@@ -281,14 +288,16 @@ void AdmissionController::CollectGrantsLocked(
     if (it->expire_ns != 0 && now_ns >= it->expire_ns) {
       state.waiting--;
       state.shed++;
-      out->push_back(
-          {std::move(it->grant),
-           it->expire_is_deadline
-               ? Status::DeadlineExceeded(
-                     "query deadline expired in the admission wait queue")
-               : Status::ResourceExhausted(
-                     "admission wait queue timeout for tenant '" +
-                     it->tenant + "'")});
+      GrantAction action;
+      action.grant = std::move(it->grant);
+      action.status =
+          it->expire_is_deadline
+              ? Status::DeadlineExceeded(
+                    "query deadline expired in the admission wait queue")
+              : Status::ResourceExhausted(
+                    "admission wait queue timeout for tenant '" +
+                    it->tenant + "'");
+      out->push_back(std::move(action));
       it = wait_queue_.erase(it);
       continue;
     }
@@ -297,7 +306,14 @@ void AdmissionController::CollectGrantsLocked(
       state.inflight_cjoin++;
       total_cjoin_++;
       state.admitted++;
-      out->push_back({std::move(it->grant), Status::OK()});
+      GrantAction action;
+      action.grant = std::move(it->grant);
+      action.status = Status::OK();
+      action.tenant = it->tenant;
+      action.expire_ns = it->expire_ns;
+      action.expire_is_deadline = it->expire_is_deadline;
+      action.slot_consumed = true;
+      out->push_back(std::move(action));
       it = wait_queue_.erase(it);
       continue;
     }
@@ -410,7 +426,26 @@ void AdmissionController::ServiceLoop() {
       lk.unlock();
       // OK grants perform the deferred pipeline submission here, on the
       // service thread — never on a Release() caller.
-      for (GrantAction& a : actions) a.grant(a.status);
+      for (GrantAction& a : actions) {
+        // An earlier grant in this batch may have run long (it submits
+        // into the pipeline); re-check the waiter's deadline at *grant*
+        // time. A slot consumed for an already-expired query would be
+        // briefly held until the pipeline's deadline fan-out reclaimed
+        // it — return it here instead and fail the grant directly.
+        if (a.slot_consumed && a.expire_is_deadline && a.expire_ns != 0 &&
+            QueryRuntime::NowNs() >= a.expire_ns) {
+          // Return the slot and rewrite the admitted round trip into
+          // the shed the caller experienced; Release (inside) also
+          // flags grants_pending_ so the freed slot can serve the next
+          // parked waiter. We run off the lock here, so the re-lock
+          // inside is safe.
+          ReleaseAsShed(a.tenant, RouteChoice::kCJoin);
+          a.grant(Status::DeadlineExceeded(
+              "query deadline expired before its admission grant ran"));
+          continue;
+        }
+        a.grant(a.status);
+      }
       lk.lock();
     }
   }
@@ -452,6 +487,10 @@ TenantQuota AdmissionController::GetTenantQuota(
 
 double AdmissionController::PoolShare(const std::string& tenant) const {
   std::lock_guard<std::mutex> lk(mu_);
+  return PoolShareLocked(tenant);
+}
+
+double AdmissionController::PoolShareLocked(const std::string& tenant) const {
   double own = opts_.default_quota.weight;
   double total = 0.0;
   bool counted_self = false;
@@ -468,25 +507,35 @@ double AdmissionController::PoolShare(const std::string& tenant) const {
   return total <= 0.0 ? 1.0 : own / total;
 }
 
-void AdmissionController::FillRouteInputs(const std::string& tenant,
-                                          RouteInputs* inputs) const {
-  {
-    std::lock_guard<std::mutex> lk(mu_);
-    auto it = tenants_.find(tenant);
-    const TenantQuota& q =
-        it == tenants_.end() ? opts_.default_quota : it->second.quota;
-    inputs->tenant_cjoin_slots = q.max_inflight_cjoin;
-    if (opts_.max_total_cjoin != 0 &&
-        (inputs->tenant_cjoin_slots == 0 ||
-         opts_.max_total_cjoin < inputs->tenant_cjoin_slots)) {
-      inputs->tenant_cjoin_slots = opts_.max_total_cjoin;
-    }
-    if (it != tenants_.end()) {
-      inputs->tenant_inflight_cjoin = it->second.inflight_cjoin;
-      inputs->tenant_baseline_queued = it->second.baseline_in_system;
-    }
+void AdmissionController::SampleForRouting(
+    const std::string& tenant, RouteInputs* inputs,
+    AdmissionDecision* probe_cjoin, AdmissionDecision* probe_baseline) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto it = tenants_.find(tenant);
+  const TenantQuota& q =
+      it == tenants_.end() ? opts_.default_quota : it->second.quota;
+  inputs->tenant_cjoin_slots = q.max_inflight_cjoin;
+  if (opts_.max_total_cjoin != 0 &&
+      (inputs->tenant_cjoin_slots == 0 ||
+       opts_.max_total_cjoin < inputs->tenant_cjoin_slots)) {
+    inputs->tenant_cjoin_slots = opts_.max_total_cjoin;
   }
-  inputs->tenant_pool_share = PoolShare(tenant);
+  if (it != tenants_.end()) {
+    inputs->tenant_inflight_cjoin = it->second.inflight_cjoin;
+    inputs->tenant_baseline_queued = it->second.baseline_in_system;
+  }
+  inputs->tenant_pool_share = PoolShareLocked(tenant);
+  const int64_t now = QueryRuntime::NowNs();
+  // Both routes are always probed: the Router's exploration policy needs
+  // the would-shed verdicts even when the caller has no use for the
+  // full probe objects.
+  const AdmissionDecision cjoin = ProbeLocked(tenant, RouteChoice::kCJoin, now);
+  const AdmissionDecision baseline =
+      ProbeLocked(tenant, RouteChoice::kBaseline, now);
+  inputs->cjoin_would_shed = cjoin.outcome == AdmissionOutcome::kShed;
+  inputs->baseline_would_shed = baseline.outcome == AdmissionOutcome::kShed;
+  if (probe_cjoin != nullptr) *probe_cjoin = cjoin;
+  if (probe_baseline != nullptr) *probe_baseline = baseline;
 }
 
 AdmissionController::Stats AdmissionController::GetStats() const {

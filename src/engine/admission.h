@@ -150,6 +150,16 @@ class AdmissionController {
   AdmissionDecision Probe(const std::string& tenant,
                           RouteChoice route) const;
 
+  /// One consistent sample for the Router: fills `inputs` with the
+  /// tenant's admission state AND probes both routes' would-be verdicts
+  /// under the same lock acquisition, so EXPLAIN ROUTE's admission line
+  /// cannot disagree with the load its costs were computed from (the
+  /// old FillRouteInputs-then-Probe dance sampled twice). Probe outputs
+  /// may be nullptr when not needed.
+  void SampleForRouting(const std::string& tenant, RouteInputs* inputs,
+                        AdmissionDecision* probe_cjoin,
+                        AdmissionDecision* probe_baseline) const;
+
   /// Returns the slots of a terminal query. Must be called exactly once
   /// per kAdmitted decision (and per OK grant). A CJOIN release wakes
   /// the service thread, which grants parked waiters FIFO (skipping
@@ -177,9 +187,6 @@ class AdmissionController {
   /// weight of tenants currently holding baseline work (including this
   /// one). 1.0 when it would have the pool to itself.
   double PoolShare(const std::string& tenant) const;
-
-  /// Admission-state inputs the Router prices for one tenant.
-  void FillRouteInputs(const std::string& tenant, RouteInputs* inputs) const;
 
   struct TenantStats {
     std::string tenant;
@@ -239,11 +246,26 @@ class AdmissionController {
   static bool RefillAndCheck(TenantState& state, int64_t now_ns);
   /// True when `tenant` may take one more CJOIN slot. Caller holds mu_.
   bool CJoinSlotAvailableLocked(const TenantState& state) const;
+  /// The probe logic shared by Probe() and SampleForRouting(). Caller
+  /// holds mu_.
+  AdmissionDecision ProbeLocked(const std::string& tenant, RouteChoice route,
+                                int64_t now_ns) const;
+  /// PoolShare() body. Caller holds mu_.
+  double PoolShareLocked(const std::string& tenant) const;
   /// Pops every currently grantable / expired waiter. Caller holds mu_;
   /// the returned actions run off the lock (on the service thread).
   struct GrantAction {
     GrantFn grant;
     Status status;
+    /// For OK grants: the slot's owner and the waiter's expiry, so the
+    /// service thread can re-check the deadline at grant-execution time
+    /// (a slot consumed for an already-expired query must be returned,
+    /// not briefly held until the pipeline's deadline fan-out reclaims
+    /// it) and undo the consumption.
+    std::string tenant;
+    int64_t expire_ns = 0;
+    bool expire_is_deadline = false;
+    bool slot_consumed = false;
   };
   void CollectGrantsLocked(int64_t now_ns, std::vector<GrantAction>* out);
   /// The service thread: expires bounded waiters and delivers grants

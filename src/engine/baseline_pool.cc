@@ -18,7 +18,7 @@ bool BaselineJob::TryResolve(Result<ResultSet> result) {
   // Quota release (and any other bookkeeping) strictly precedes result
   // visibility, so a caller unblocked by Wait() can immediately resubmit
   // into the freed slot.
-  if (on_finished) on_finished();
+  if (on_finished) on_finished(result);
   promise.set_value(std::move(result));
   return true;
 }

@@ -51,11 +51,12 @@ struct BaselineJob {
   std::string tenant;
   double fair_weight = 1.0;
 
-  /// Invoked exactly once, just before the promise resolves, on whichever
-  /// thread resolves it (worker, sweeper, or shutdown). The engine hooks
-  /// the admission controller's quota release here, so cancel / deadline
-  /// / abort all release on every path.
-  std::function<void()> on_finished;
+  /// Invoked exactly once with the terminal result, just before the
+  /// promise resolves, on whichever thread resolves it (worker, sweeper,
+  /// or shutdown). The engine hooks the admission controller's quota
+  /// release and the route calibrator's latency observation here, so
+  /// cancel / deadline / abort all release on every path.
+  std::function<void(const Result<ResultSet>&)> on_finished;
 
   std::atomic<bool> cancel{false};
   std::promise<Result<ResultSet>> promise;

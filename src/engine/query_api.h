@@ -111,6 +111,10 @@ struct DeferredQuery {
   std::string label;
   SnapshotId snapshot = 0;
   std::atomic<int64_t> submit_ns{0};
+  /// Set when the admission controller granted the slot (0 while still
+  /// parked): granted_ns - submit_ns is the wait-queue residence, which
+  /// the route calibrator attributes to queueing rather than service.
+  std::atomic<int64_t> granted_ns{0};
   std::atomic<int64_t> completed_ns{0};
 
   /// Resolves the promise exactly once; later callers are no-ops.

@@ -122,10 +122,36 @@ std::string FormatAdmission(const AdmissionDecision& ad) {
   return out;
 }
 
+/// One completed query's report to the route calibrator, shared by the
+/// three completion paths (admitted CJOIN, deferred-grant CJOIN,
+/// baseline). Only successful kAuto-routed queries carry evidence
+/// (work_units > 0); [submit_ns, queue_end_ns) is attributed to
+/// queueing, [queue_end_ns, done_ns) to service.
+void ObserveCompletion(RouteCalibrator* cal, RouteChoice route,
+                       double work_units, const Result<ResultSet>& result,
+                       int64_t submit_ns, int64_t queue_end_ns,
+                       int64_t done_ns) {
+  if (work_units <= 0.0 || !result.ok()) return;
+  RouteObservation obs;
+  obs.route = route;
+  obs.work_units = work_units;
+  obs.wall_seconds =
+      done_ns > submit_ns ? static_cast<double>(done_ns - submit_ns) * 1e-9
+                          : 0.0;
+  obs.queue_wait_seconds =
+      queue_end_ns > submit_ns
+          ? static_cast<double>(queue_end_ns - submit_ns) * 1e-9
+          : 0.0;
+  cal->Observe(obs);
+}
+
 }  // namespace
 
 QueryEngine::QueryEngine(Options options)
-    : opts_(std::move(options)), router_(opts_.router) {
+    : opts_(std::move(options)),
+      calibrator_(opts_.router.calibration),
+      router_(opts_.router) {
+  router_.set_calibrator(&calibrator_);
   AdmissionController::Options aopts = opts_.admission;
   if (aopts.max_total_cjoin == 0) {
     // Bound engine-wide CJOIN registrations by the operator capacity, so
@@ -252,14 +278,17 @@ std::shared_ptr<QueryEngine::ExecPool> QueryEngine::PoolFor(
   return entry->pool;
 }
 
-RouteInputs QueryEngine::SampleRouteInputs(const ExecPool& pool,
-                                           const std::string& tenant) const {
+RouteInputs QueryEngine::SampleRouteInputs(
+    const ExecPool& pool, const std::string& tenant,
+    AdmissionDecision* probe_cjoin,
+    AdmissionDecision* probe_baseline) const {
   RouteInputs inputs;
   inputs.inflight = pool.op->InFlight();
   inputs.shards = pool.op->num_shards();
   inputs.baseline_queued = baseline_pool_->queued();
   inputs.baseline_workers = baseline_pool_->workers();
-  admission_->FillRouteInputs(tenant, &inputs);
+  admission_->SampleForRouting(tenant, &inputs, probe_cjoin,
+                               probe_baseline);
   return inputs;
 }
 
@@ -302,6 +331,10 @@ Status QueryEngine::SetShardCount(std::string_view star_name,
     entry->pool = std::move(fresh);
   }
   if (old != nullptr && old->op != nullptr) old->op->Stop();
+  // The shard count shifts the per-query timing regime (scan laps
+  // shrink, pipeline threads multiply): age the calibrator's fits so
+  // stale evidence stops steering decisions until fresh queries confirm.
+  calibrator_.Decay();
   return Status::OK();
 }
 
@@ -407,7 +440,9 @@ Result<std::unique_ptr<QueryTicket>> QueryEngine::Execute(
                                 std::memory_order_relaxed);
       return MakeDeferredGrant(entry, deferred, request.spec,
                                request.aggregator_factory, tenant,
-                               deadline_ns);
+                               deadline_ns,
+                               decision.forced ? 0.0
+                                               : decision.cjoin_work_units);
     };
     AdmissionDecision ad = admission_->TryAdmit(
         tenant, RouteChoice::kCJoin, deadline_ns, std::move(make_grant));
@@ -460,9 +495,21 @@ Result<std::unique_ptr<QueryTicket>> QueryEngine::Execute(
   job->tenant = tenant;
   job->fair_weight = admission_->GetTenantQuota(tenant).weight;
   // Quota returns on every terminal path — worker completion, sweeper
-  // cancel / deadline, pool shutdown — via the resolve hook.
-  job->on_finished = [ctrl = admission_.get(), tenant] {
+  // cancel / deadline, pool shutdown — via the resolve hook; successful
+  // kAuto-routed completions also feed the route calibrator. The raw
+  // BaselineJob pointer is safe: the hook only runs while the job is
+  // being resolved (a shared_ptr capture would be a reference cycle).
+  job->on_finished = [ctrl = admission_.get(), tenant, cal = &calibrator_,
+                      work = decision.forced ? 0.0
+                                             : decision.baseline_work_units,
+                      j = job.get()](const Result<ResultSet>& result) {
     ctrl->Release(tenant, RouteChoice::kBaseline);
+    // Pool-queue residence (submit -> worker start) is waiting, not
+    // work: it is attributed out of the fitted service time.
+    ObserveCompletion(cal, RouteChoice::kBaseline, work, result,
+                      j->submit_ns.load(std::memory_order_relaxed),
+                      j->start_ns.load(std::memory_order_relaxed),
+                      j->completed_ns.load(std::memory_order_relaxed));
   };
   std::future<Result<ResultSet>> fut = job->promise.get_future();
   if (Status st = baseline_pool_->Enqueue(job); !st.ok()) {
@@ -491,9 +538,18 @@ Result<std::unique_ptr<QueryTicket>> QueryEngine::SubmitAdmittedCJoin(
   so.deadline_ns = deadline_ns;
   so.assume_normalized = true;  // ResolveRequest normalized already
   so.reject_when_full = true;   // the freelist must never block (ROADMAP)
-  so.completion_observer = [ctrl = admission_.get(),
-                            tenant](const Result<ResultSet>&) {
+  // Quota release first, then the calibrator observation (successful
+  // kAuto completions only — an immediately-admitted CJOIN query never
+  // waited, so its whole wall clock is service).
+  so.completion_observer = [ctrl = admission_.get(), tenant,
+                            cal = &calibrator_,
+                            work = decision.forced ? 0.0
+                                                   : decision.cjoin_work_units,
+                            submitted = QueryRuntime::NowNs()](
+                               const Result<ResultSet>& result) {
     ctrl->Release(tenant, RouteChoice::kCJoin);
+    ObserveCompletion(cal, RouteChoice::kCJoin, work, result, submitted,
+                      submitted, QueryRuntime::NowNs());
   };
   const std::string label = request.spec.label;
   const SnapshotId snap = request.spec.snapshot;
@@ -519,10 +575,11 @@ Result<std::unique_ptr<QueryTicket>> QueryEngine::SubmitAdmittedCJoin(
 AdmissionController::GrantFn QueryEngine::MakeDeferredGrant(
     StarEntry* entry, std::shared_ptr<DeferredQuery> deferred,
     StarQuerySpec spec, AggregatorFactory aggregator, std::string tenant,
-    int64_t deadline_ns) {
+    int64_t deadline_ns, double work_units) {
   return [this, entry, deferred = std::move(deferred),
           spec = std::move(spec), aggregator = std::move(aggregator),
-          tenant = std::move(tenant), deadline_ns](Status st) mutable {
+          tenant = std::move(tenant), deadline_ns,
+          work_units](Status st) mutable {
     // Whatever the outcome, the waiter is out of the controller's queue:
     // drop the waiter-cancel hook so a ticket that outlives the engine
     // cannot call back into a destroyed controller.
@@ -540,10 +597,26 @@ AdmissionController::GrantFn QueryEngine::MakeDeferredGrant(
       return;
     }
     // The controller consumed one CJOIN slot on this query's behalf.
+    deferred->granted_ns.store(QueryRuntime::NowNs(),
+                               std::memory_order_relaxed);
     if (cancelled) {
       admission_->Release(tenant, RouteChoice::kCJoin);
       deferred->TryResolve(
           Status::Cancelled("query cancelled while awaiting admission"));
+      return;
+    }
+    // Grant-time deadline check (the controller re-checks too, but this
+    // closes the last gap): a slot granted to an already-expired query
+    // must not reach the pipeline — it would hold the slot until the
+    // deadline fan-out deregistered it. Return it and resolve without
+    // ever binding a handle.
+    if (deadline_ns != 0 && QueryRuntime::NowNs() >= deadline_ns) {
+      // The query never entered the pipeline: rewrite the slot's
+      // admitted+released round trip into the shed the caller actually
+      // experienced (matching the controller's own grant-time undo).
+      admission_->ReleaseAsShed(tenant, RouteChoice::kCJoin);
+      deferred->TryResolve(Status::DeadlineExceeded(
+          "query deadline expired before its admission grant ran"));
       return;
     }
     std::shared_ptr<ExecPool> pool = PoolFor(entry);
@@ -559,10 +632,18 @@ AdmissionController::GrantFn QueryEngine::MakeDeferredGrant(
     // the bridge short.
     so.id_acquire_grace_ns = 50'000'000;
     // Forward the query's terminal result into the deferred ticket (its
-    // handle's own future is never consumed); quota releases first.
-    so.completion_observer = [ctrl = admission_.get(), deferred,
-                              tenant](const Result<ResultSet>& result) {
+    // handle's own future is never consumed); quota releases first. A
+    // successful kAuto completion feeds the calibrator: the wait-queue
+    // residence (submit -> grant) is attributed to queueing, the rest
+    // is CJOIN service.
+    so.completion_observer = [ctrl = admission_.get(), deferred, tenant,
+                              cal = &calibrator_,
+                              work_units](const Result<ResultSet>& result) {
       ctrl->Release(tenant, RouteChoice::kCJoin);
+      ObserveCompletion(cal, RouteChoice::kCJoin, work_units, result,
+                        deferred->submit_ns.load(std::memory_order_relaxed),
+                        deferred->granted_ns.load(std::memory_order_relaxed),
+                        QueryRuntime::NowNs());
       deferred->TryResolve(result);
     };
     Result<std::unique_ptr<QueryHandle>> handle =
@@ -587,21 +668,35 @@ AdmissionController::GrantFn QueryEngine::MakeDeferredGrant(
   };
 }
 
-Result<RouteDecision> QueryEngine::ExplainRoute(StarQuerySpec spec,
-                                                std::string_view tenant) {
+Result<RouteDecision> QueryEngine::ProbeRoute(QueryRequest request) {
   // Same resolution pipeline as Execute(), so the verdict is exactly the
-  // decision Execute() would make right now — including the admission
-  // gate's outcome for the tenant, probed without consuming any quota.
-  QueryRequest request = QueryRequest::FromSpec(std::move(spec));
-  request.tenant = std::string(tenant);
+  // decision Execute() would make right now — the load inputs AND both
+  // routes' admission probes are sampled under one controller lock
+  // acquisition (the old code sampled load, then probed separately, so
+  // the printed admission verdict could describe a different instant
+  // than the costs). DecideMode::kProbe keeps the probe side-effect
+  // free: no decision counters, no exploration tick, no quota consumed.
   CJOIN_ASSIGN_OR_RETURN(StarEntry * entry, ResolveRequest(&request));
   std::shared_ptr<ExecPool> pool = PoolFor(entry);
   const std::string t = TenantOrDefault(request.tenant);
+  AdmissionDecision probe_cjoin, probe_baseline;
+  const RouteInputs inputs =
+      SampleRouteInputs(*pool, t, &probe_cjoin, &probe_baseline);
   RouteDecision decision =
-      router_.Decide(request.spec, SampleRouteInputs(*pool, t));
+      router_.Decide(request.spec, inputs, DecideMode::kProbe);
   decision.tenant = t;
-  decision.admission = FormatAdmission(admission_->Probe(t, decision.choice));
+  decision.admission =
+      FormatAdmission(decision.choice == RouteChoice::kCJoin
+                          ? probe_cjoin
+                          : probe_baseline);
   return decision;
+}
+
+Result<RouteDecision> QueryEngine::ExplainRoute(StarQuerySpec spec,
+                                                std::string_view tenant) {
+  QueryRequest request = QueryRequest::FromSpec(std::move(spec));
+  request.tenant = std::string(tenant);
+  return ProbeRoute(std::move(request));
 }
 
 Result<RouteDecision> QueryEngine::ExplainRoute(std::string_view star_name,
@@ -610,20 +705,17 @@ Result<RouteDecision> QueryEngine::ExplainRoute(std::string_view star_name,
   QueryRequest request =
       QueryRequest::Sql(std::string(star_name), std::string(sql));
   request.tenant = std::string(tenant);
-  CJOIN_ASSIGN_OR_RETURN(StarEntry * entry, ResolveRequest(&request));
-  std::shared_ptr<ExecPool> pool = PoolFor(entry);
-  const std::string t = TenantOrDefault(request.tenant);
-  RouteDecision decision =
-      router_.Decide(request.spec, SampleRouteInputs(*pool, t));
-  decision.tenant = t;
-  decision.admission = FormatAdmission(admission_->Probe(t, decision.choice));
-  return decision;
+  return ProbeRoute(std::move(request));
 }
 
 Status QueryEngine::SetTenantQuota(std::string_view tenant,
                                    TenantQuota quota) {
-  return admission_->SetTenantQuota(TenantOrDefault(std::string(tenant)),
-                                    quota);
+  Status st = admission_->SetTenantQuota(TenantOrDefault(std::string(tenant)),
+                                         quota);
+  // Rebalanced quotas change slot scarcity and fair pool shares —
+  // queueing regimes the fits were observed under. Age them.
+  if (st.ok()) calibrator_.Decay();
+  return st;
 }
 
 TenantQuota QueryEngine::GetTenantQuota(std::string_view tenant) const {

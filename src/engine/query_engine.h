@@ -32,6 +32,7 @@
 #include "engine/admission.h"
 #include "engine/baseline_pool.h"
 #include "engine/query_api.h"
+#include "engine/route_feedback.h"
 #include "engine/router.h"
 #include "engine/shard_manager.h"
 #include "engine/sql_parser.h"
@@ -104,6 +105,13 @@ class QueryEngine {
   /// Point-in-time admission state: engine totals plus per-tenant
   /// in-flight / queued / shed counters (the shell's \admission).
   AdmissionController::Stats AdmissionStats() const;
+
+  // --- Router feedback loop --------------------------------------------------
+
+  /// Decision counters plus the calibration state — the per-route fits
+  /// of observed service seconds on predicted work units that the
+  /// Router consults once warm (the shell's \calibration).
+  RouterStats GetRouterStats() const { return calibrator_.Stats(); }
 
   // --- Sharding (runtime elasticity) ----------------------------------------
 
@@ -215,9 +223,20 @@ class QueryEngine {
 
   /// Load inputs the Router prices: one sampling point shared by
   /// Execute() and ExplainRoute(), so their verdicts cannot diverge.
-  /// Includes `tenant`'s admission state (slot occupancy, pool share).
+  /// Includes `tenant`'s admission state (slot occupancy, pool share),
+  /// sampled under ONE controller lock acquisition together with the
+  /// optional per-route admission probes (EXPLAIN ROUTE's verdict line
+  /// therefore cannot disagree with the load its costs were priced on).
   RouteInputs SampleRouteInputs(const ExecPool& pool,
-                                const std::string& tenant) const;
+                                const std::string& tenant,
+                                AdmissionDecision* probe_cjoin = nullptr,
+                                AdmissionDecision* probe_baseline =
+                                    nullptr) const;
+
+  /// Shared EXPLAIN ROUTE core: the decision Execute() would make for
+  /// the resolved request right now (DecideMode::kProbe — no counters,
+  /// no exploration, no quota consumed).
+  Result<RouteDecision> ProbeRoute(QueryRequest request);
 
   /// Submits an admitted CJOIN request. On kResourceExhausted from the
   /// non-blocking pipeline admission the quota is released and the error
@@ -230,12 +249,17 @@ class QueryEngine {
 
   /// Grant callback of a wait-queued CJOIN submission: on an OK grant
   /// (slot consumed by the controller) performs the deferred pipeline
-  /// submission and binds the handle into `deferred`; on a terminal
-  /// grant (timeout / cancel / shutdown) resolves the deferred ticket.
+  /// submission — unless the request's deadline already expired, in
+  /// which case the slot is returned and the ticket resolves
+  /// kDeadlineExceeded without ever binding a handle — and binds the
+  /// handle into `deferred`; on a terminal grant (timeout / cancel /
+  /// shutdown) resolves the deferred ticket. `work_units` (> 0 for
+  /// kAuto decisions) feeds the route calibrator on successful
+  /// completion.
   AdmissionController::GrantFn MakeDeferredGrant(
       StarEntry* entry, std::shared_ptr<DeferredQuery> deferred,
       StarQuerySpec spec, AggregatorFactory aggregator,
-      std::string tenant, int64_t deadline_ns);
+      std::string tenant, int64_t deadline_ns, double work_units);
 
   /// Builds and starts a shard set + operator pool for `star`.
   Result<std::shared_ptr<ExecPool>> MakePool(const StarSchema& star,
@@ -253,6 +277,10 @@ class QueryEngine {
       StarQuerySpec spec, CJoinOperator::SubmitOptions options);
 
   Options opts_;
+  /// The router feedback loop: fed by the completion observers of every
+  /// kAuto-routed query, consulted (lock-free) by router_. Declared
+  /// before router_, which holds a pointer to it.
+  RouteCalibrator calibrator_;
   Router router_;
   /// shared_ptr so a wait-queued ticket's waiter-cancel hook can hold a
   /// weak reference: such tickets may outlive the engine, and their

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cstdio>
 
+#include "engine/route_feedback.h"
+
 namespace cjoin {
 
 const char* RoutePolicyName(RoutePolicy policy) {
@@ -30,22 +32,34 @@ const char* RouteChoiceName(RouteChoice choice) {
 std::string RouteDecision::ToString() const {
   char buf[768];
   std::snprintf(buf, sizeof(buf),
-                "route: %s%s\n"
+                "route: %s%s%s\n"
                 "  selectivity     %.4f\n"
                 "  fact rows       %llu\n"
                 "  dim build rows  %llu\n"
                 "  in-flight       %zu\n"
                 "  shards          %zu\n"
-                "  baseline queue  %zu\n"
-                "  cost(cjoin)     %.0f\n"
-                "  cost(baseline)  %.0f\n"
-                "  reason          %s",
+                "  baseline queue  %zu\n",
                 RouteChoiceName(choice), forced ? " (forced by policy)" : "",
-                selectivity, static_cast<unsigned long long>(fact_rows),
+                explored ? " (exploring for calibration)" : "", selectivity,
+                static_cast<unsigned long long>(fact_rows),
                 static_cast<unsigned long long>(dim_build_rows), inflight,
-                shards, baseline_queued, cjoin_cost, baseline_cost,
-                reason.c_str());
+                shards, baseline_queued);
   std::string out = buf;
+  if (calibrated) {
+    std::snprintf(buf, sizeof(buf),
+                  "  cost(cjoin)     static %.0f units | calibrated %.4f s\n"
+                  "  cost(baseline)  static %.0f units | calibrated %.4f s\n",
+                  static_cjoin_cost, cjoin_cost, static_baseline_cost,
+                  baseline_cost);
+  } else {
+    std::snprintf(buf, sizeof(buf),
+                  "  cost(cjoin)     static %.0f units (calibration cold)\n"
+                  "  cost(baseline)  static %.0f units (calibration cold)\n",
+                  static_cjoin_cost, static_baseline_cost);
+  }
+  out += buf;
+  std::snprintf(buf, sizeof(buf), "  reason          %s", reason.c_str());
+  out += buf;
   if (!tenant.empty()) {
     char slots[32];
     if (tenant_cjoin_slots == 0) {
@@ -76,28 +90,40 @@ double Router::EstimateSelectivity(const StarQuerySpec& spec,
     const Table& dim = *def.table;
     const uint64_t total = dim.NumRows();
     if (total == 0) continue;
-    double frac = 1.0;
-    if (dp.predicate != nullptr && !IsTrueLiteral(dp.predicate)) {
-      // Evenly strided sample over each partition (dimensions are small
-      // and memory-resident, so this is a handful of microseconds).
-      const Schema& dschema = dim.schema();
-      const uint64_t step =
-          std::max<uint64_t>(1, total / std::max<size_t>(
-                                            1, opts_.selectivity_sample_rows));
-      uint64_t sampled = 0, passed = 0;
-      for (uint32_t p = 0; p < dim.num_partitions(); ++p) {
-        const uint64_t n = dim.PartitionRows(p);
-        for (uint64_t i = 0; i < n; i += step) {
-          const RowId id{p, i};
-          if (!dim.Header(id)->VisibleAt(spec.snapshot)) continue;
-          ++sampled;
-          if (dp.predicate->EvalBool(dschema, dim.RowPayload(id))) ++passed;
+    const bool trivial =
+        dp.predicate == nullptr || IsTrueLiteral(dp.predicate);
+    // Evenly strided sample over each partition (dimensions are small
+    // and memory-resident, so this is a handful of microseconds). The
+    // stride is clamped to [1, total] so sub-sample-size dimensions —
+    // including 1- and 2-row ones — are fully scanned rather than
+    // skewed by integer-division stride edge cases. Every sampled
+    // position is checked against the spec's snapshot: a fact row whose
+    // FK points at a deleted (or not-yet-visible) dimension row does
+    // not join, so invisible rows count against the pass fraction and
+    // are excluded from the build-side estimate — even for trivial
+    // predicates, which previously skipped sampling and priced
+    // GC-heavy dimensions at their raw row count.
+    const Schema& dschema = dim.schema();
+    const uint64_t step = std::clamp<uint64_t>(
+        total / std::max<size_t>(1, opts_.selectivity_sample_rows), 1,
+        total);
+    uint64_t scanned = 0, passed = 0;
+    for (uint32_t p = 0; p < dim.num_partitions(); ++p) {
+      const uint64_t n = dim.PartitionRows(p);
+      for (uint64_t i = 0; i < n; i += step) {
+        const RowId id{p, i};
+        ++scanned;
+        if (!dim.Header(id)->VisibleAt(spec.snapshot)) continue;
+        if (trivial ||
+            dp.predicate->EvalBool(dschema, dim.RowPayload(id))) {
+          ++passed;
         }
       }
-      frac = sampled == 0 ? 1.0
-                          : static_cast<double>(passed) /
-                                static_cast<double>(sampled);
     }
+    const double frac =
+        scanned == 0
+            ? 1.0
+            : static_cast<double>(passed) / static_cast<double>(scanned);
     combined *= frac;
     build_rows += static_cast<uint64_t>(frac * static_cast<double>(total));
   }
@@ -106,7 +132,8 @@ double Router::EstimateSelectivity(const StarQuerySpec& spec,
 }
 
 RouteDecision Router::Decide(const StarQuerySpec& spec,
-                             const RouteInputs& inputs) const {
+                             const RouteInputs& inputs,
+                             DecideMode mode) const {
   RouteDecision d;
   d.inflight = inputs.inflight;
   d.shards = std::max<size_t>(1, inputs.shards);
@@ -140,9 +167,10 @@ RouteDecision Router::Decide(const StarQuerySpec& spec,
                    d.tenant_pool_share);
   const double queue_factor =
       1.0 + opts_.baseline_queue_penalty * backlog / effective_workers;
-  d.baseline_cost = (static_cast<double>(d.dim_build_rows) +
-                     fact * (1.0 + opts_.probe_weight * d.selectivity)) *
-                    queue_factor;
+  d.baseline_work_units =
+      static_cast<double>(d.dim_build_rows) +
+      fact * (1.0 + opts_.probe_weight * d.selectivity);
+  d.baseline_cost = d.baseline_work_units * queue_factor;
 
   // CJOIN: joins the always-on lap of every pipeline instance. Each of the
   // N shards scans only ~1/N of the fact table, and every shard's scan +
@@ -150,27 +178,79 @@ RouteDecision Router::Decide(const StarQuerySpec& spec,
   // registers on all shards, so the per-shard load equals the logical
   // load); routing/aggregation of the query's own output tuples is never
   // shared.
-  d.cjoin_cost = (fact / static_cast<double>(d.shards)) *
-                     opts_.cjoin_tuple_weight /
-                     static_cast<double>(inputs.inflight + 1) +
-                 opts_.cjoin_fixed_cost + passing * opts_.route_weight;
+  d.cjoin_work_units = (fact / static_cast<double>(d.shards)) *
+                           opts_.cjoin_tuple_weight /
+                           static_cast<double>(inputs.inflight + 1) +
+                       opts_.cjoin_fixed_cost + passing * opts_.route_weight;
+  d.cjoin_cost = d.cjoin_work_units;
 
   // A tenant near its CJOIN slot quota pays a scarcity premium: occupancy
   // over free slots, weighted — so the optimizer steers it toward the
   // baseline before the admission gate would shed it outright.
+  double scarcity_factor = 1.0;
   if (d.tenant_cjoin_slots != 0) {
     const size_t used =
         std::min(d.tenant_inflight_cjoin, d.tenant_cjoin_slots);
     const size_t free_slots = d.tenant_cjoin_slots - used;
-    d.cjoin_cost *= 1.0 + opts_.tenant_slot_penalty *
-                              static_cast<double>(used) /
-                              static_cast<double>(free_slots + 1);
+    scarcity_factor = 1.0 + opts_.tenant_slot_penalty *
+                                static_cast<double>(used) /
+                                static_cast<double>(free_slots + 1);
+    d.cjoin_cost *= scarcity_factor;
+  }
+  d.static_cjoin_cost = d.cjoin_cost;
+  d.static_baseline_cost = d.baseline_cost;
+
+  // The feedback loop: once both routes carry enough fresh evidence,
+  // compare fitted service seconds (inflated by the same queue /
+  // scarcity factors, which model waiting rather than work) instead of
+  // static units. A cold route keeps its static defaults — and because
+  // static units and fitted seconds are incommensurable, calibration
+  // only kicks in when BOTH fits are warm.
+  if (calibrator_ != nullptr && opts_.calibration.enabled) {
+    const CalibrationSnapshot snap = calibrator_->Snapshot();
+    if (snap.BothWarm()) {
+      d.calibrated = true;
+      d.cjoin_cost =
+          snap.cjoin.PredictSeconds(d.cjoin_work_units) * scarcity_factor;
+      d.baseline_cost =
+          snap.baseline.PredictSeconds(d.baseline_work_units) *
+          queue_factor;
+    } else if (mode == DecideMode::kExecute) {
+      // One-sided evidence cannot flip the comparison, so the decision
+      // below follows the static model — except when the exploration
+      // policy elects this query to warm up the cold route. Never
+      // explore toward a route whose admission probe says the gate
+      // would shed the query: the flip would turn into a user-visible
+      // kResourceExhausted, and a shed query produces no observation,
+      // so the cold fit would never warm and the spurious failures
+      // would repeat forever. (Queued is fine — a parked exploration
+      // still completes and reports.)
+      const RouteChoice preferred =
+          d.static_baseline_cost < d.static_cjoin_cost
+              ? RouteChoice::kBaseline
+              : RouteChoice::kCJoin;
+      const bool flip_would_shed = preferred == RouteChoice::kBaseline
+                                       ? inputs.cjoin_would_shed
+                                       : inputs.baseline_would_shed;
+      if (!flip_would_shed && calibrator_->ShouldExplore(snap, preferred)) {
+        d.explored = true;
+        d.choice = preferred == RouteChoice::kCJoin
+                       ? RouteChoice::kBaseline
+                       : RouteChoice::kCJoin;
+        d.reason =
+            "exploring the cold route to gather calibration evidence";
+        calibrator_->CountDecision(d);
+        return d;
+      }
+    }
   }
 
   if (d.baseline_cost < d.cjoin_cost) {
     d.choice = RouteChoice::kBaseline;
-    if (d.tenant_cjoin_slots != 0 &&
-        d.tenant_inflight_cjoin + 1 >= d.tenant_cjoin_slots) {
+    if (d.calibrated) {
+      d.reason = "calibrated: private plan is faster at current load";
+    } else if (d.tenant_cjoin_slots != 0 &&
+               d.tenant_inflight_cjoin + 1 >= d.tenant_cjoin_slots) {
       d.reason = "tenant near its CJOIN slot quota: private plan avoids "
                  "shedding";
     } else if (inputs.inflight == 0) {
@@ -180,7 +260,9 @@ RouteDecision Router::Decide(const StarQuerySpec& spec,
     }
   } else {
     d.choice = RouteChoice::kCJoin;
-    if (inputs.baseline_queued > 0) {
+    if (d.calibrated) {
+      d.reason = "calibrated: shared pipeline is faster at current load";
+    } else if (inputs.baseline_queued > 0) {
       d.reason = "baseline pool backlogged: shared pipeline is cheaper";
     } else if (inputs.inflight > 0) {
       d.reason = "shared scan amortized over in-flight queries";
@@ -189,6 +271,9 @@ RouteDecision Router::Decide(const StarQuerySpec& spec,
     } else {
       d.reason = "unselective query: shared pipeline is cheaper";
     }
+  }
+  if (calibrator_ != nullptr && mode == DecideMode::kExecute) {
+    calibrator_->CountDecision(d);
   }
   return d;
 }

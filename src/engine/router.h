@@ -25,6 +25,8 @@
 
 namespace cjoin {
 
+class RouteCalibrator;
+
 /// Caller-requested routing policy of a QueryRequest.
 enum class RoutePolicy {
   kAuto,      ///< let the Router's cost model decide (§3.2.3)
@@ -73,15 +75,52 @@ struct RouteDecision {
   /// The tenant's weighted-fair fraction of the baseline pool.
   double tenant_pool_share = 1.0;
 
-  /// Costs in fact-tuple work units (lower wins).
+  /// The costs actually compared (lower wins): static fact-tuple work
+  /// units until the calibrator is warm on both routes, fitted seconds
+  /// after (see `calibrated`).
   double cjoin_cost = 0.0;
   double baseline_cost = 0.0;
+
+  // --- Calibration evidence (router feedback loop) -------------------------
+  /// Static-model costs in fact-tuple units, always populated (equal to
+  /// cjoin_cost/baseline_cost while the calibrator is cold).
+  double static_cjoin_cost = 0.0;
+  double static_baseline_cost = 0.0;
+  /// Uninflated work-unit estimates (no queue / scarcity penalties) —
+  /// the x the calibrator fits observed service time against.
+  double cjoin_work_units = 0.0;
+  double baseline_work_units = 0.0;
+  /// True when cjoin_cost/baseline_cost are calibrated seconds.
+  bool calibrated = false;
+  /// True when the exploration policy flipped this decision to the cold
+  /// route to gather calibration evidence.
+  bool explored = false;
 
   /// One-line human-readable rationale.
   std::string reason;
 
   /// Multi-line EXPLAIN ROUTE rendering.
   std::string ToString() const;
+};
+
+/// Knobs of the router feedback loop (see engine/route_feedback.h). The
+/// calibrator learns per-route service-seconds fits from completed
+/// queries; defined here so RouterOptions can embed it by value.
+struct CalibrationOptions {
+  /// Master switch; off = the purely static router.
+  bool enabled = true;
+  /// Evidence mass a route needs before its fit is consulted.
+  double min_observations = 16.0;
+  /// Per-observation decay of the least-squares sufficient statistics
+  /// (EWMA over least squares): older queries matter geometrically less.
+  double fit_decay = 0.98;
+  /// While exactly one route is warm, every Nth Execute()-path decision
+  /// flips to the cold route to gather evidence (0 = never explore).
+  size_t explore_every = 8;
+  /// Evidence-mass multiplier applied by RouteCalibrator::Decay() on a
+  /// re-shard / quota change: 0.25 sends a route back below the warm
+  /// threshold until fresh queries confirm the fit.
+  double stale_decay = 0.25;
 };
 
 /// Cost-model coefficients. The defaults encode the paper's qualitative
@@ -92,6 +131,10 @@ struct RouterOptions {
   /// Max dimension rows evaluated per predicate when estimating
   /// selectivity (evenly strided sample; dimensions are memory-resident).
   size_t selectivity_sample_rows = 2048;
+
+  /// Router feedback loop: observed-latency calibration of these
+  /// coefficients (QueryEngine wires the calibrator in).
+  CalibrationOptions calibration;
 
   /// Per-fact-tuple weight of the shared pipeline (scan + preprocessing +
   /// bit-vector filtering), amortized over in-flight queries + 1.
@@ -133,7 +176,7 @@ struct RouteInputs {
   size_t baseline_queued = 0;
   size_t baseline_workers = 1;
 
-  // Per-tenant admission state (AdmissionController::FillRouteInputs).
+  // Per-tenant admission state (AdmissionController::SampleForRouting).
   /// CJOIN slots the tenant already holds.
   size_t tenant_inflight_cjoin = 0;
   /// The tenant's effective CJOIN slot budget (min of its quota and the
@@ -143,26 +186,50 @@ struct RouteInputs {
   double tenant_pool_share = 1.0;
   /// Baseline jobs the tenant already has in the system.
   size_t tenant_baseline_queued = 0;
+
+  /// The admission gate's would-be verdict per route, probed at sample
+  /// time (AdmissionController::SampleForRouting): true when a
+  /// submission on that route would shed right now — tenant or
+  /// engine-wide budget exhausted with no wait-queue room. Vetoes
+  /// exploration flips toward a route that would reject the query.
+  bool cjoin_would_shed = false;
+  bool baseline_would_shed = false;
 };
+
+/// Who is asking for the decision. Execute()-path decisions feed the
+/// calibrator's counters and may be flipped by the exploration policy;
+/// probes (EXPLAIN ROUTE) are side-effect-free, so probing never
+/// advances the exploration clock away from the decision Execute()
+/// would make.
+enum class DecideMode { kExecute, kProbe };
 
 class Router {
  public:
   explicit Router(RouterOptions options) : opts_(options) {}
   Router() : Router(RouterOptions{}) {}
 
+  /// Attaches the feedback calibrator consulted by Decide(). Lifetime is
+  /// the caller's problem (the engine owns both); nullptr = static-only.
+  void set_calibrator(RouteCalibrator* calibrator) {
+    calibrator_ = calibrator;
+  }
+
   /// Estimates the combined selectivity of `spec`'s dimension predicates
-  /// by sampling each referenced dimension table, and (optionally) the
-  /// total dimension rows a baseline plan would hash. `spec` must be
-  /// normalized.
+  /// by stride-sampling each referenced dimension table *under the
+  /// spec's snapshot* (deleted / not-yet-visible rows neither pass nor
+  /// count toward the join), and (optionally) the dimension rows a
+  /// baseline plan would hash. `spec` must be normalized.
   double EstimateSelectivity(const StarQuerySpec& spec,
                              uint64_t* dim_build_rows = nullptr) const;
 
   /// The §3.2.3 optimizer choice for `spec` given the sampled load: the
   /// shared-scan cost divides by the shard count (each pipeline instance
   /// laps only its shard) and amortizes over in-flight queries; the
-  /// baseline cost inflates with the pool's queue backlog.
-  RouteDecision Decide(const StarQuerySpec& spec,
-                       const RouteInputs& inputs) const;
+  /// baseline cost inflates with the pool's queue backlog. When the
+  /// attached calibrator is warm on both routes the comparison uses
+  /// fitted seconds instead of static units (decision.calibrated).
+  RouteDecision Decide(const StarQuerySpec& spec, const RouteInputs& inputs,
+                       DecideMode mode = DecideMode::kExecute) const;
 
   /// Convenience: unsharded operator, idle baseline pool.
   RouteDecision Decide(const StarQuerySpec& spec, size_t inflight) const {
@@ -175,6 +242,7 @@ class Router {
 
  private:
   RouterOptions opts_;
+  RouteCalibrator* calibrator_ = nullptr;
 };
 
 }  // namespace cjoin

@@ -7,6 +7,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <future>
 #include <memory>
 #include <mutex>
 #include <numeric>
@@ -541,6 +542,107 @@ TEST(WaitQueueTest, ParkedSubmissionTimesOutAndRespectsDeadline) {
 
   (*q1)->Cancel();
   (void)(*q1)->Wait();
+}
+
+// -------------- Deadline checked at grant time (regression) -----------------
+
+// A wait-queue grant can be *collected* while the waiter's deadline is
+// still in the future, but *executed* after it expired (the service
+// thread runs grant actions sequentially, and an earlier grant's
+// deferred pipeline submission can run long). The slot consumed for the
+// expired waiter must be returned at grant time — not briefly held
+// until the pipeline's deadline fan-out reclaims it — and the grant
+// must fail with kDeadlineExceeded. Runs under TSan in CI.
+TEST(GrantDeadlineTest, ExpiredGrantReturnsSlotWithoutReachingPipeline) {
+  AdmissionController::Options opts;
+  opts.max_total_cjoin = 2;
+  opts.default_quota.max_wait_queue = 4;
+  AdmissionController ctrl(opts);
+
+  ASSERT_EQ(ctrl.TryAdmit("t", RouteChoice::kCJoin).outcome,
+            AdmissionOutcome::kAdmitted);
+  ASSERT_EQ(ctrl.TryAdmit("t", RouteChoice::kCJoin).outcome,
+            AdmissionOutcome::kAdmitted);
+
+  // W1's grant models a slow deferred submission: it stalls the service
+  // thread's grant batch well past W2's deadline.
+  std::promise<Status> w1_promise, w2_promise;
+  auto w1 = ctrl.TryAdmit(
+      "t", RouteChoice::kCJoin, /*deadline_ns=*/0, [&] {
+        return [&](Status st) {
+          if (st.ok()) {
+            std::this_thread::sleep_for(std::chrono::milliseconds(150));
+            ctrl.Release("t", RouteChoice::kCJoin);
+          }
+          w1_promise.set_value(std::move(st));
+        };
+      });
+  ASSERT_EQ(w1.outcome, AdmissionOutcome::kQueued);
+
+  const int64_t deadline =
+      QueryRuntime::NowNs() + 60'000'000;  // 60ms: expires under W1's stall
+  auto w2 = ctrl.TryAdmit("t", RouteChoice::kCJoin, deadline, [&] {
+    return [&](Status st) {
+      if (st.ok()) ctrl.Release("t", RouteChoice::kCJoin);
+      w2_promise.set_value(std::move(st));
+    };
+  });
+  ASSERT_EQ(w2.outcome, AdmissionOutcome::kQueued);
+
+  // Free both slots: the service thread grants W1 (which stalls), then
+  // must notice W2's deadline expired before its grant ran.
+  ctrl.Release("t", RouteChoice::kCJoin);
+  ctrl.Release("t", RouteChoice::kCJoin);
+
+  EXPECT_TRUE(w1_promise.get_future().get().ok());
+  const Status w2_status = w2_promise.get_future().get();
+  EXPECT_EQ(w2_status.code(), StatusCode::kDeadlineExceeded)
+      << w2_status.ToString();
+
+  // The briefly-consumed slot came back (W1 released its own).
+  const auto stats = ctrl.GetStats();
+  EXPECT_EQ(stats.total_cjoin_inflight, 0u);
+  EXPECT_EQ(stats.total_waiting, 0u);
+}
+
+// Engine-level companion: a deadline that expires while the submission
+// is parked resolves kDeadlineExceeded through the ticket without ever
+// binding a pipeline handle (query_id stays unset).
+TEST(GrantDeadlineTest, ExpiredParkedTicketNeverBindsHandle) {
+  auto ts = MakeTinyStar(50000);
+  SimDisk::Options dopts;
+  dopts.bandwidth_bytes_per_sec = 1.0 * 1024 * 1024;
+  SimDisk disk(dopts);
+  QueryEngine::Options eopts;
+  eopts.cjoin.disk = &disk;
+  QueryEngine engine(eopts);
+  ASSERT_TRUE(engine.RegisterStar("tiny", *ts->star).ok());
+
+  TenantQuota quota;
+  quota.max_inflight_cjoin = 1;
+  quota.max_wait_queue = 2;
+  ASSERT_TRUE(engine.SetTenantQuota("t", quota).ok());
+
+  auto q1 = SubmitCJoin(engine, *ts, "t");
+  ASSERT_TRUE(q1.ok());
+  ASSERT_FALSE((*q1)->Ready());
+
+  QueryRequest req = QueryRequest::FromSpec(CountStar(*ts));
+  req.policy = RoutePolicy::kCJoin;
+  req.tenant = "t";
+  req.timeout = std::chrono::milliseconds(40);
+  auto q2 = engine.Execute(std::move(req));
+  ASSERT_TRUE(q2.ok());
+  EXPECT_EQ((*q2)->Wait().status().code(), StatusCode::kDeadlineExceeded);
+  EXPECT_EQ((*q2)->query_id(), UINT32_MAX) << "expired parked submission "
+                                              "bound a pipeline handle";
+
+  (*q1)->Cancel();
+  (void)(*q1)->Wait();
+  const auto stats = engine.AdmissionStats();
+  const auto* t = FindTenant(stats, "t");
+  ASSERT_NE(t, nullptr);
+  EXPECT_EQ(t->inflight_cjoin, 0u);
 }
 
 // --------------------- EXPLAIN ROUTE admission view -------------------------

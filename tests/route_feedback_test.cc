@@ -1,0 +1,490 @@
+// The router feedback loop: the per-route EWMA least-squares calibrator
+// (fit convergence, warm-up thresholds, decay, seqlock consistency), the
+// Router's calibrated decisions correcting deliberately mispriced static
+// coefficients, the deterministic exploration policy, the engine wiring
+// (completion observers feed the calibrator on every route; re-sharding
+// and quota changes decay the fits), and EXPLAIN ROUTE consistency with
+// Execute() under identical load inputs.
+
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "engine/query_engine.h"
+#include "engine/route_feedback.h"
+#include "tests/test_util.h"
+
+namespace cjoin {
+namespace {
+
+using testing::MakeTinyStar;
+using testing::TinyStar;
+
+RouteObservation Obs(RouteChoice route, double work, double wall,
+                     double queue_wait = 0.0) {
+  RouteObservation o;
+  o.route = route;
+  o.work_units = work;
+  o.wall_seconds = wall;
+  o.queue_wait_seconds = queue_wait;
+  return o;
+}
+
+// ------------------------------ Calibrator ----------------------------------
+
+TEST(RouteCalibratorTest, FitConvergesToLinearModel) {
+  CalibrationOptions opts;
+  opts.min_observations = 8;
+  RouteCalibrator cal(opts);
+
+  // service = 3e-6 * work + 1e-3, observed at varying operating points.
+  for (int i = 0; i < 32; ++i) {
+    const double work = 1000.0 + 500.0 * (i % 7);
+    cal.Observe(Obs(RouteChoice::kCJoin, work, 3e-6 * work + 1e-3));
+  }
+  const CalibrationSnapshot snap = cal.Snapshot();
+  EXPECT_TRUE(snap.cjoin.warm);
+  EXPECT_FALSE(snap.baseline.warm);
+  EXPECT_NEAR(snap.cjoin.alpha, 3e-6, 1e-7);
+  EXPECT_NEAR(snap.cjoin.beta, 1e-3, 2e-4);
+  EXPECT_EQ(snap.cjoin.observations, 32u);
+  // Prediction at an unseen operating point.
+  EXPECT_NEAR(snap.cjoin.PredictSeconds(10000.0), 0.031, 0.003);
+  // Once the fit settles, its prediction error collapses.
+  EXPECT_LT(snap.cjoin.rel_error, 0.1);
+}
+
+TEST(RouteCalibratorTest, ColdUntilMinObservationsAndAfterDecay) {
+  CalibrationOptions opts;
+  opts.min_observations = 10;
+  opts.stale_decay = 0.25;
+  RouteCalibrator cal(opts);
+
+  for (int i = 0; i < 9; ++i) {
+    cal.Observe(Obs(RouteChoice::kBaseline, 5000.0, 0.01));
+  }
+  EXPECT_FALSE(cal.Snapshot().baseline.warm);
+  cal.Observe(Obs(RouteChoice::kBaseline, 5000.0, 0.01));
+  EXPECT_TRUE(cal.Snapshot().baseline.warm);
+
+  // A re-shard / quota change ages the evidence below the threshold; the
+  // fitted line survives as the best available guess.
+  cal.Decay();
+  const CalibrationSnapshot snap = cal.Snapshot();
+  EXPECT_FALSE(snap.baseline.warm);
+  EXPECT_GT(snap.baseline.alpha + snap.baseline.beta, 0.0);
+  EXPECT_EQ(snap.decays, 1u);
+  EXPECT_LT(snap.baseline.evidence, 10.0);
+
+  // Regression: a long-running route (mass far above the threshold)
+  // must STILL drop below warm on Decay() — the mass is clamped to the
+  // threshold before the decay multiply, so stale evidence from the old
+  // timing regime cannot keep steering decisions.
+  for (int i = 0; i < 200; ++i) {
+    cal.Observe(Obs(RouteChoice::kBaseline, 5000.0, 0.01));
+  }
+  ASSERT_TRUE(cal.Snapshot().baseline.warm);
+  cal.Decay();
+  EXPECT_FALSE(cal.Snapshot().baseline.warm);
+}
+
+TEST(RouteCalibratorTest, ConstantWorkFallsBackToRatioEstimator) {
+  CalibrationOptions opts;
+  opts.min_observations = 4;
+  RouteCalibrator cal(opts);
+  // One operating point only: least squares is degenerate; the ratio
+  // estimator through the origin is the supportable model.
+  for (int i = 0; i < 8; ++i) {
+    cal.Observe(Obs(RouteChoice::kCJoin, 2000.0, 0.02));
+  }
+  const CalibrationSnapshot snap = cal.Snapshot();
+  EXPECT_TRUE(snap.cjoin.warm);
+  EXPECT_NEAR(snap.cjoin.PredictSeconds(2000.0), 0.02, 1e-4);
+  EXPECT_NEAR(snap.cjoin.PredictSeconds(4000.0), 0.04, 1e-3);
+}
+
+TEST(RouteCalibratorTest, QueueWaitExcludedFromServiceFit) {
+  CalibrationOptions opts;
+  opts.min_observations = 4;
+  RouteCalibrator cal(opts);
+  // Wall clock 1.01s, but a full second of it was pool-queue residence:
+  // the fit must learn ~10ms of service, not ~1s.
+  for (int i = 0; i < 8; ++i) {
+    cal.Observe(Obs(RouteChoice::kBaseline, 1000.0, 1.01, 1.0));
+  }
+  EXPECT_NEAR(cal.Snapshot().baseline.PredictSeconds(1000.0), 0.01, 1e-3);
+}
+
+TEST(RouteCalibratorTest, NonPositiveObservationsDropped) {
+  RouteCalibrator cal;
+  cal.Observe(Obs(RouteChoice::kCJoin, 0.0, 0.01));
+  cal.Observe(Obs(RouteChoice::kCJoin, 100.0, 0.0));
+  cal.Observe(Obs(RouteChoice::kCJoin, 100.0, 0.5, 1.0));  // service <= 0
+  EXPECT_EQ(cal.Snapshot().cjoin.observations, 0u);
+  EXPECT_EQ(cal.Stats().observations_dropped, 3u);
+}
+
+// Seqlock: concurrent observers, decayers, and snapshot readers must
+// always see an internally consistent published state (runs under TSan
+// in CI).
+TEST(RouteCalibratorTest, SnapshotConsistentUnderConcurrentWriters) {
+  CalibrationOptions opts;
+  opts.min_observations = 4;
+  RouteCalibrator cal(opts);
+  std::atomic<bool> stop{false};
+  std::atomic<bool> failed{false};
+
+  std::vector<std::thread> writers;
+  for (int w = 0; w < 2; ++w) {
+    writers.emplace_back([&, w] {
+      for (int i = 0; i < 4000 && !stop.load(); ++i) {
+        const RouteChoice route =
+            w == 0 ? RouteChoice::kCJoin : RouteChoice::kBaseline;
+        // Exact line per route: cjoin t = 2e-6*x, baseline t = 8e-6*x.
+        const double work = 1000.0 + (i % 5) * 100.0;
+        const double scale = w == 0 ? 2e-6 : 8e-6;
+        cal.Observe(Obs(route, work, scale * work));
+        if (i % 512 == 0) cal.Decay();
+      }
+    });
+  }
+  std::vector<std::thread> readers;
+  for (int r = 0; r < 2; ++r) {
+    readers.emplace_back([&] {
+      while (!stop.load()) {
+        const CalibrationSnapshot snap = cal.Snapshot();
+        // Every published fit lies on (or near) its route's exact line;
+        // a torn read would mix the two routes' statistics.
+        for (const RouteModelSnapshot* m : {&snap.cjoin, &snap.baseline}) {
+          if (!std::isfinite(m->alpha) || !std::isfinite(m->beta) ||
+              m->alpha < 0.0 || m->evidence < 0.0) {
+            failed.store(true);
+          }
+        }
+        if (snap.cjoin.observations > 4 && snap.cjoin.alpha > 4e-6) {
+          failed.store(true);  // cjoin fit contaminated by baseline data
+        }
+        if (snap.baseline.observations > 4 && snap.baseline.alpha != 0.0 &&
+            snap.baseline.alpha < 4e-6) {
+          failed.store(true);
+        }
+      }
+    });
+  }
+  for (auto& t : writers) t.join();
+  stop.store(true);
+  for (auto& t : readers) t.join();
+  EXPECT_FALSE(failed.load());
+}
+
+// ------------------------- Router + calibrator ------------------------------
+
+class CalibratedRouterTest : public ::testing::Test {
+ protected:
+  void SetUp() override { ts_ = MakeTinyStar(50000); }
+
+  StarQuerySpec PriceQuery(int min_price) {
+    StarQuerySpec spec;
+    spec.schema = ts_->star.get();
+    const Schema& ps = ts_->product->schema();
+    spec.dim_predicates.push_back(DimensionPredicate{
+        0, MakeCompare(CmpOp::kGe, MakeColumnRef(ps, "p_price").value(),
+                       MakeLiteral(Value(min_price)))});
+    spec.aggregates.push_back(
+        AggregateSpec{AggFn::kCount, std::nullopt, nullptr, "n"});
+    return *NormalizeSpec(std::move(spec));
+  }
+
+  std::unique_ptr<TinyStar> ts_;
+};
+
+TEST_F(CalibratedRouterTest, WarmFitsOverrideMispricedStaticCoefficients) {
+  // Statics mispriced >= 4x in CJOIN's favor: the lone selective query —
+  // truly better on the private plan — misroutes to CJOIN.
+  RouterOptions opts;
+  opts.cjoin_fixed_cost = 4096.0 / 16.0;
+  opts.cjoin_tuple_weight = 1.5 / 8.0;
+  opts.calibration.min_observations = 4;
+  Router router(opts);
+  RouteCalibrator cal(opts.calibration);
+  router.set_calibrator(&cal);
+
+  const StarQuerySpec spec = PriceQuery(2000);
+  const RouteDecision cold = router.Decide(spec, RouteInputs{});
+  ASSERT_EQ(cold.choice, RouteChoice::kCJoin) << "statics not mispriced";
+  EXPECT_FALSE(cold.calibrated);
+  EXPECT_EQ(cold.static_cjoin_cost, cold.cjoin_cost);
+  ASSERT_GT(cold.cjoin_work_units, 0.0);
+  ASSERT_GT(cold.baseline_work_units, 0.0);
+
+  // Observed reality: CJOIN takes 100ms at this operating point, the
+  // baseline 5ms. Feed both fits past the warm threshold.
+  for (int i = 0; i < 6; ++i) {
+    cal.Observe(Obs(RouteChoice::kCJoin, cold.cjoin_work_units, 0.100));
+    cal.Observe(Obs(RouteChoice::kBaseline, cold.baseline_work_units, 0.005));
+  }
+
+  const RouteDecision warm = router.Decide(spec, RouteInputs{});
+  EXPECT_TRUE(warm.calibrated);
+  EXPECT_EQ(warm.choice, RouteChoice::kBaseline)
+      << "calibration failed to correct the mispriced statics";
+  // Static units survive alongside the calibrated seconds...
+  EXPECT_LT(warm.static_cjoin_cost, warm.static_baseline_cost);
+  EXPECT_NEAR(warm.cjoin_cost, 0.100, 0.02);
+  EXPECT_NEAR(warm.baseline_cost, 0.005, 0.002);
+  // ...and EXPLAIN renders both.
+  const std::string text = warm.ToString();
+  EXPECT_NE(text.find("static"), std::string::npos);
+  EXPECT_NE(text.find("calibrated"), std::string::npos);
+}
+
+TEST_F(CalibratedRouterTest, ExplorationFlipsEveryNthDecisionToColdRoute) {
+  RouterOptions opts;
+  opts.calibration.min_observations = 4;
+  opts.calibration.explore_every = 4;
+  Router router(opts);
+  RouteCalibrator cal(opts.calibration);
+  router.set_calibrator(&cal);
+
+  // Unselective count: statically CJOIN. Warm only the CJOIN fit.
+  StarQuerySpec spec;
+  spec.schema = ts_->star.get();
+  spec.aggregates.push_back(
+      AggregateSpec{AggFn::kCount, std::nullopt, nullptr, "n"});
+  spec = *NormalizeSpec(std::move(spec));
+  const RouteDecision d0 = router.Decide(spec, RouteInputs{});
+  ASSERT_EQ(d0.choice, RouteChoice::kCJoin);
+  for (int i = 0; i < 6; ++i) {
+    cal.Observe(Obs(RouteChoice::kCJoin, d0.cjoin_work_units, 0.05));
+  }
+  ASSERT_TRUE(cal.Snapshot().cjoin.warm);
+
+  // Probes never explore and never advance the exploration clock.
+  for (int i = 0; i < 10; ++i) {
+    const RouteDecision probe =
+        router.Decide(spec, RouteInputs{}, DecideMode::kProbe);
+    EXPECT_EQ(probe.choice, RouteChoice::kCJoin);
+    EXPECT_FALSE(probe.explored);
+  }
+
+  // Execute-path decisions: every 4th flips to the cold baseline.
+  int explored = 0;
+  for (int i = 0; i < 8; ++i) {
+    const RouteDecision d = router.Decide(spec, RouteInputs{});
+    if (d.explored) {
+      ++explored;
+      EXPECT_EQ(d.choice, RouteChoice::kBaseline);
+    } else {
+      EXPECT_EQ(d.choice, RouteChoice::kCJoin);
+    }
+  }
+  EXPECT_EQ(explored, 2);
+  const RouterStats stats = cal.Stats();
+  EXPECT_EQ(stats.explored_decisions, 2u);
+  EXPECT_EQ(stats.decisions_cjoin + stats.decisions_baseline, 9u);
+}
+
+// Regression: exploration must not flip a query toward a route whose
+// admission probe says the gate would shed it (tenant or engine-wide
+// budget exhausted, no wait-queue room) — the flip would be a
+// user-visible kResourceExhausted, and a shed query produces no
+// observation, so the cold fit would never warm and the failures would
+// repeat forever.
+TEST_F(CalibratedRouterTest, ExplorationSkipsRouteThatWouldShed) {
+  RouterOptions opts;
+  opts.calibration.min_observations = 4;
+  opts.calibration.explore_every = 2;
+  Router router(opts);
+  RouteCalibrator cal(opts.calibration);
+  router.set_calibrator(&cal);
+
+  // Selective query: statically baseline. Warm the baseline fit only,
+  // so exploration wants to flip toward the cold CJOIN route.
+  const StarQuerySpec spec = PriceQuery(2000);
+  const RouteDecision d0 = router.Decide(spec, RouteInputs{});
+  ASSERT_EQ(d0.choice, RouteChoice::kBaseline);
+  for (int i = 0; i < 6; ++i) {
+    cal.Observe(Obs(RouteChoice::kBaseline, d0.baseline_work_units, 0.005));
+  }
+
+  // The admission probe reports CJOIN would shed (covers both the
+  // tenant quota and engine-wide exhaustion by OTHER tenants, which a
+  // tenant-local slot count cannot see): never explore.
+  RouteInputs shedding;
+  shedding.cjoin_would_shed = true;
+  for (int i = 0; i < 8; ++i) {
+    const RouteDecision d = router.Decide(spec, shedding);
+    EXPECT_FALSE(d.explored);
+    EXPECT_EQ(d.choice, RouteChoice::kBaseline);
+  }
+  EXPECT_EQ(cal.Stats().explored_decisions, 0u);
+
+  // With the gate open again, exploration resumes.
+  int explored = 0;
+  for (int i = 0; i < 8; ++i) {
+    if (router.Decide(spec, RouteInputs{}).explored) ++explored;
+  }
+  EXPECT_GT(explored, 0);
+}
+
+// ------------------------------ Engine wiring --------------------------------
+
+/// A completed CJOIN query's slot is released at delivery but its
+/// registration is cleaned up slightly later; spin until the operator's
+/// in-flight count drains so subsequent routing decisions see an idle
+/// operator deterministically.
+void DrainInFlight(QueryEngine& engine, const char* star) {
+  auto op = engine.OperatorFor(star);
+  ASSERT_TRUE(op.ok());
+  for (int spin = 0; (*op)->InFlight() > 0 && spin < 2000; ++spin) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  ASSERT_EQ((*op)->InFlight(), 0u);
+}
+
+StarQuerySpec CountStar(const TinyStar& ts) {
+  StarQuerySpec spec;
+  spec.schema = ts.star.get();
+  spec.aggregates.push_back(
+      AggregateSpec{AggFn::kCount, std::nullopt, nullptr, "n"});
+  return spec;
+}
+
+StarQuerySpec PriceQuery(const TinyStar& ts, int min_price) {
+  StarQuerySpec spec;
+  spec.schema = ts.star.get();
+  const Schema& ps = ts.product->schema();
+  spec.dim_predicates.push_back(DimensionPredicate{
+      0, MakeCompare(CmpOp::kGe, MakeColumnRef(ps, "p_price").value(),
+                     MakeLiteral(Value(min_price)))});
+  spec.aggregates.push_back(
+      AggregateSpec{AggFn::kCount, std::nullopt, nullptr, "n"});
+  return spec;
+}
+
+TEST(EngineFeedbackTest, CompletionObserversFeedBothRoutesToWarm) {
+  auto ts = MakeTinyStar(50000);
+  QueryEngine::Options eopts;
+  eopts.router.calibration.min_observations = 4;
+  eopts.router.calibration.explore_every = 0;  // deterministic routing
+  QueryEngine engine(eopts);
+  ASSERT_TRUE(engine.RegisterStar("tiny", *ts->star).ok());
+
+  // Unselective counts route to CJOIN, selective prices to the baseline;
+  // every successful kAuto completion must land in the calibrator.
+  for (int i = 0; i < 5; ++i) {
+    auto t = engine.Execute(QueryRequest::FromSpec(CountStar(*ts)));
+    ASSERT_TRUE(t.ok());
+    ASSERT_EQ((*t)->route(), RouteChoice::kCJoin);
+    ASSERT_TRUE((*t)->Wait().ok());
+  }
+  DrainInFlight(engine, "tiny");
+  for (int i = 0; i < 5; ++i) {
+    auto t = engine.Execute(QueryRequest::FromSpec(PriceQuery(*ts, 2000)));
+    ASSERT_TRUE(t.ok());
+    ASSERT_EQ((*t)->route(), RouteChoice::kBaseline);
+    ASSERT_TRUE((*t)->Wait().ok());
+  }
+
+  const RouterStats stats = engine.GetRouterStats();
+  EXPECT_EQ(stats.calibration.cjoin.observations, 5u);
+  EXPECT_EQ(stats.calibration.baseline.observations, 5u);
+  EXPECT_TRUE(stats.calibration.BothWarm());
+  EXPECT_GE(stats.decisions_cjoin, 5u);
+  EXPECT_GE(stats.decisions_baseline, 5u);
+  EXPECT_GT(stats.calibration.cjoin.last_service_seconds, 0.0);
+
+  // With both routes warm the next decision compares fitted seconds.
+  auto explain = engine.ExplainRoute(CountStar(*ts));
+  ASSERT_TRUE(explain.ok());
+  EXPECT_TRUE(explain->calibrated);
+  EXPECT_GT(explain->cjoin_cost, 0.0);
+  EXPECT_GT(explain->baseline_cost, 0.0);
+  EXPECT_GT(explain->static_cjoin_cost, explain->cjoin_cost)
+      << "calibrated seconds should be far below static tuple units";
+
+  // Forced-policy queries must NOT feed the calibrator (they carry no
+  // cost-model evidence).
+  QueryRequest forced = QueryRequest::FromSpec(CountStar(*ts));
+  forced.policy = RoutePolicy::kCJoin;
+  auto ft = engine.Execute(std::move(forced));
+  ASSERT_TRUE(ft.ok());
+  ASSERT_TRUE((*ft)->Wait().ok());
+  EXPECT_EQ(engine.GetRouterStats().calibration.cjoin.observations, 5u);
+}
+
+TEST(EngineFeedbackTest, ReshardAndQuotaChangesDecayFits) {
+  auto ts = MakeTinyStar(20000);
+  QueryEngine::Options eopts;
+  eopts.router.calibration.min_observations = 2;
+  eopts.router.calibration.explore_every = 0;
+  QueryEngine engine(eopts);
+  ASSERT_TRUE(engine.RegisterStar("tiny", *ts->star).ok());
+
+  for (int i = 0; i < 3; ++i) {
+    auto t = engine.Execute(QueryRequest::FromSpec(CountStar(*ts)));
+    ASSERT_TRUE(t.ok());
+    ASSERT_TRUE((*t)->Wait().ok());
+  }
+  ASSERT_TRUE(engine.GetRouterStats().calibration.cjoin.warm);
+
+  // Re-sharding shifts the timing regime: evidence ages out of warm.
+  ASSERT_TRUE(engine.SetShardCount("tiny", 2).ok());
+  RouterStats stats = engine.GetRouterStats();
+  EXPECT_EQ(stats.calibration.decays, 1u);
+  EXPECT_FALSE(stats.calibration.cjoin.warm);
+
+  // So does a quota rebalance.
+  TenantQuota quota;
+  quota.max_inflight_cjoin = 8;
+  ASSERT_TRUE(engine.SetTenantQuota("t", quota).ok());
+  EXPECT_EQ(engine.GetRouterStats().calibration.decays, 2u);
+}
+
+// ------------------- EXPLAIN ROUTE == Execute() consistency ------------------
+
+// The probe must report the same decision Execute() would make under
+// identical load inputs. (The old code sampled the admission state once
+// for the costs and again for the admission verdict, so the two lines
+// of one EXPLAIN could describe different instants.)
+TEST(ExplainConsistencyTest, ProbeMatchesExecuteOnIdleEngine) {
+  auto ts = MakeTinyStar(50000);
+  QueryEngine::Options eopts;
+  // Static-only: the decision depends only on the (idle) load inputs.
+  eopts.router.calibration.enabled = false;
+  QueryEngine engine(eopts);
+  ASSERT_TRUE(engine.RegisterStar("tiny", *ts->star).ok());
+
+  for (const StarQuerySpec& spec :
+       {CountStar(*ts), PriceQuery(*ts, 2000), PriceQuery(*ts, 1100)}) {
+    // Identical load inputs for the probe and the execution: let the
+    // previous iteration's CJOIN registration finish cleaning up.
+    DrainInFlight(engine, "tiny");
+    auto explain = engine.ExplainRoute(spec);
+    ASSERT_TRUE(explain.ok()) << explain.status().ToString();
+
+    auto ticket = engine.Execute(QueryRequest::FromSpec(spec));
+    ASSERT_TRUE(ticket.ok());
+    const RouteDecision& executed = (*ticket)->decision();
+
+    EXPECT_EQ(executed.choice, explain->choice);
+    EXPECT_DOUBLE_EQ(executed.static_cjoin_cost, explain->static_cjoin_cost);
+    EXPECT_DOUBLE_EQ(executed.static_baseline_cost,
+                     explain->static_baseline_cost);
+    EXPECT_EQ(executed.inflight, explain->inflight);
+    EXPECT_EQ(executed.baseline_queued, explain->baseline_queued);
+    // The probe's admission verdict matches what Execute() then got.
+    EXPECT_EQ(explain->admission.rfind("admitted", 0), 0u)
+        << explain->admission;
+    EXPECT_EQ(executed.admission.rfind("admitted", 0), 0u)
+        << executed.admission;
+    ASSERT_TRUE((*ticket)->Wait().ok());
+  }
+}
+
+}  // namespace
+}  // namespace cjoin

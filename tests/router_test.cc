@@ -69,6 +69,86 @@ TEST_F(RouterTest, MultiplePredicatesMultiply) {
   EXPECT_NEAR(sel, 0.5 * (2.0 / 6.0), 1e-9);
 }
 
+// Regression: the estimator must stride-sample under the query's
+// snapshot. Deleted dimension rows used to pass the trivial-predicate
+// path (frac = 1.0 with no sampling) and inflate dim_build_rows, so
+// post-GC estimates skewed routes toward stale cardinalities.
+TEST_F(RouterTest, EstimatorExcludesDeletedDimensionRowsUnderSnapshot) {
+  // Delete the matching half of `product` (p >= 11, i.e. p_price >= 1100)
+  // at snapshot 2.
+  for (uint64_t i = 10; i < 20; ++i) {
+    ASSERT_TRUE(ts_->product->MarkDeleted(RowId{0, i}, 2).ok());
+  }
+
+  // A reader at the pre-delete snapshot still sees the old estimate.
+  StarQuerySpec old_snap = PriceQuery(1100);
+  old_snap.snapshot = 1;
+  uint64_t build = 0;
+  EXPECT_NEAR(router_.EstimateSelectivity(old_snap, &build), 0.5, 1e-9);
+  EXPECT_EQ(build, 10u);
+
+  // A reader at the latest snapshot finds no matching visible row.
+  StarQuerySpec fresh = PriceQuery(1100);
+  EXPECT_NEAR(router_.EstimateSelectivity(fresh, &build), 0.0, 1e-9);
+  EXPECT_EQ(build, 0u);
+
+  // Trivial (TRUE) predicates price only the visible rows too: half the
+  // dimension is gone, so the join passes half the fact rows and the
+  // baseline build side halves.
+  StarQuerySpec trivial;
+  trivial.schema = ts_->star.get();
+  trivial.dim_predicates.push_back(DimensionPredicate{0, MakeTrue()});
+  trivial.aggregates.push_back(
+      AggregateSpec{AggFn::kCount, std::nullopt, nullptr, "n"});
+  trivial = *NormalizeSpec(std::move(trivial));
+  EXPECT_NEAR(router_.EstimateSelectivity(trivial, &build), 0.5, 1e-9);
+  EXPECT_EQ(build, 10u);
+}
+
+// Regression: sub-sample-size dimensions must not hit stride edge cases —
+// 0-row dimensions are skipped, 1- and 2-row ones are fully scanned with
+// a stride clamped to [1, total].
+TEST(RouterSmallDimTest, ZeroOneAndTwoRowDimensions) {
+  Router router;
+  for (int num_stores : {1, 2}) {
+    auto ts = MakeTinyStar(100, /*num_products=*/1, num_stores);
+    StarQuerySpec spec;
+    spec.schema = ts->star.get();
+    const Schema& ss = ts->store->schema();
+    // s_region = "R1" matches store 1 only (region R<s%3>).
+    spec.dim_predicates.push_back(DimensionPredicate{
+        1, MakeCompare(CmpOp::kEq, MakeColumnRef(ss, "s_region").value(),
+                       MakeLiteral(Value("R1")))});
+    spec.aggregates.push_back(
+        AggregateSpec{AggFn::kCount, std::nullopt, nullptr, "n"});
+    spec = *NormalizeSpec(std::move(spec));
+    uint64_t build = 0;
+    const double sel = router.EstimateSelectivity(spec, &build);
+    EXPECT_NEAR(sel, 1.0 / num_stores, 1e-9) << num_stores << " stores";
+    EXPECT_EQ(build, 1u);
+  }
+
+  // A 0-row dimension contributes nothing (and must not divide by zero).
+  auto ts = MakeTinyStar(100, /*num_products=*/1, /*num_stores=*/2);
+  Table empty("empty", ts->store->schema());
+  auto star = StarSchema::Make(
+      ts->sales.get(), std::vector<StarSchema::DimensionByName>{
+                           {ts->product.get(), "f_pid", "p_id"},
+                           {&empty, "f_sid", "s_id"},
+                       });
+  ASSERT_TRUE(star.ok());
+  StarSchema star_schema = std::move(*star);
+  StarQuerySpec spec;
+  spec.schema = &star_schema;
+  spec.dim_predicates.push_back(DimensionPredicate{1, MakeTrue()});
+  spec.aggregates.push_back(
+      AggregateSpec{AggFn::kCount, std::nullopt, nullptr, "n"});
+  spec = *NormalizeSpec(std::move(spec));
+  uint64_t build = 123;
+  EXPECT_NEAR(router.EstimateSelectivity(spec, &build), 1.0, 1e-9);
+  EXPECT_EQ(build, 0u);
+}
+
 TEST_F(RouterTest, SelectiveIdleQueryRoutesToBaseline) {
   RouteDecision d = router_.Decide(PriceQuery(2000), /*inflight=*/0);
   EXPECT_EQ(d.choice, RouteChoice::kBaseline);

@@ -238,9 +238,11 @@ int main(int argc, char** argv) {
       "shows or switches the submitting tenant, \\quota NAME key=value... "
       "rebalances that tenant's admission quota live (keys: rate, burst, "
       "cjoin, baseline, weight, wait, wait_ms), \\admission shows "
-      "per-tenant admission counters, EXPLAIN ROUTE <sql> shows the "
-      "optimizer choice (shard-, backlog-, and admission-aware), \\stats "
-      "shows per-shard pipeline stats, \\q quits.\n");
+      "per-tenant admission counters, \\calibration shows the router "
+      "feedback loop's fitted per-route cost models, EXPLAIN ROUTE <sql> "
+      "shows the optimizer choice (shard-, backlog-, and admission-aware, "
+      "with static AND calibrated costs), \\stats shows per-shard "
+      "pipeline stats, \\q quits.\n");
   RoutePolicy policy = RoutePolicy::kAuto;
   std::string tenant;  // empty = the "default" tenant
   std::string buffer;
@@ -338,6 +340,11 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(t.released));
           PrintQuota(t.tenant, t.quota);
         }
+        continue;
+      }
+      if (line == "\\calibration") {
+        const RouterStats stats = engine.GetRouterStats();
+        std::printf("%s\n", stats.ToString().c_str());
         continue;
       }
       if (line == "\\stats") {
