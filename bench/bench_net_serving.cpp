@@ -1,0 +1,212 @@
+// Open-loop benchmark of the network serving front-end.
+//
+// An in-process CjoinServer serves an SSB database; client connections
+// ramp up in steps. Each connection submits on a fixed arrival schedule
+// (open loop: the next arrival is due whether or not the previous query
+// finished, so server-side queueing shows up as latency rather than as a
+// reduced offered load). Per step, one JSON line reports wire-level
+// p50/p99 latency and the shed rate — how much of the offered load the
+// admission controller rejected (kResourceExhausted) instead of stalling.
+//
+//   $ bench_net_serving [--sf F] [--conns 2,8,16] [--seconds S]
+//                       [--rate R] [--max-inflight N]
+//
+// --max-inflight caps the bench tenant's concurrent CJOIN registrations,
+// so the overload shape (degrade by rejecting, paper §3.4) is visible at
+// the wire even on a small database.
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "engine/query_engine.h"
+#include "net/client.h"
+#include "net/server.h"
+#include "ssb/generator.h"
+
+using namespace cjoin;
+
+namespace {
+
+constexpr const char* kSql[] = {
+    "SELECT COUNT(*) AS n FROM lineorder",
+    "SELECT SUM(lo_revenue) AS rev FROM lineorder, date "
+    "WHERE lo_orderdate = d_datekey AND d_year = 1993 AND lo_discount "
+    "BETWEEN 1 AND 3 AND lo_quantity < 25",
+    "SELECT d_year, SUM(lo_revenue) AS rev FROM lineorder, date "
+    "WHERE lo_orderdate = d_datekey GROUP BY d_year",
+};
+
+double Percentile(std::vector<double> v, double p) {
+  if (v.empty()) return 0.0;
+  std::sort(v.begin(), v.end());
+  const size_t idx = std::min(
+      v.size() - 1, static_cast<size_t>(p * static_cast<double>(v.size())));
+  return v[idx];
+}
+
+struct StepOutcome {
+  uint64_t submitted = 0;
+  uint64_t ok = 0;
+  uint64_t shed = 0;
+  uint64_t other_error = 0;
+  std::vector<double> latencies_s;  ///< completed queries only
+};
+
+/// One connection's open-loop schedule: `rate` arrivals/sec for
+/// `seconds`, latencies measured from the *scheduled* arrival time, so
+/// falling behind schedule is visible as latency.
+void RunConnection(uint16_t port, double rate, double seconds, int seed,
+                   StepOutcome* out, std::mutex* mu) {
+  net::CjoinClient::Options copts;
+  copts.port = port;
+  copts.tenant = "bench";
+  net::CjoinClient client(copts);
+  if (!client.Connect().ok()) return;
+
+  StepOutcome local;
+  const auto start = std::chrono::steady_clock::now();
+  const auto interval = std::chrono::duration<double>(1.0 / rate);
+  const size_t arrivals = static_cast<size_t>(seconds * rate);
+  for (size_t i = 0; i < arrivals; ++i) {
+    const auto due =
+        start + std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                    interval * static_cast<double>(i));
+    std::this_thread::sleep_until(due);
+    ++local.submitted;
+    const char* sql = kSql[(static_cast<size_t>(seed) + i) %
+                           (sizeof(kSql) / sizeof(kSql[0]))];
+    auto qr = client.Query("ssb", sql);
+    const auto end = std::chrono::steady_clock::now();
+    if (qr.ok()) {
+      ++local.ok;
+      local.latencies_s.push_back(
+          std::chrono::duration<double>(end - due).count());
+    } else if (qr.status().code() == StatusCode::kResourceExhausted) {
+      ++local.shed;
+    } else {
+      ++local.other_error;
+      if (!client.connected()) break;
+    }
+  }
+
+  std::lock_guard<std::mutex> lk(*mu);
+  out->submitted += local.submitted;
+  out->ok += local.ok;
+  out->shed += local.shed;
+  out->other_error += local.other_error;
+  out->latencies_s.insert(out->latencies_s.end(), local.latencies_s.begin(),
+                          local.latencies_s.end());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  double sf = 0.01;
+  std::vector<size_t> conn_steps = {2, 8, 16};
+  double seconds = 3.0;
+  double rate = 5.0;
+  size_t max_inflight = 8;
+
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--sf") == 0 && i + 1 < argc) {
+      sf = std::atof(argv[++i]);
+    } else if (std::strcmp(argv[i], "--conns") == 0 && i + 1 < argc) {
+      conn_steps.clear();
+      for (const char* p = argv[++i]; *p != '\0';) {
+        conn_steps.push_back(static_cast<size_t>(std::strtoul(p, nullptr, 10)));
+        p = std::strchr(p, ',');
+        if (p == nullptr) break;
+        ++p;
+      }
+    } else if (std::strcmp(argv[i], "--seconds") == 0 && i + 1 < argc) {
+      seconds = std::atof(argv[++i]);
+    } else if (std::strcmp(argv[i], "--rate") == 0 && i + 1 < argc) {
+      rate = std::atof(argv[++i]);
+    } else if (std::strcmp(argv[i], "--max-inflight") == 0 && i + 1 < argc) {
+      max_inflight = static_cast<size_t>(std::atoi(argv[++i]));
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--sf F] [--conns A,B,C] [--seconds S] "
+                   "[--rate R] [--max-inflight N]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+
+  std::fprintf(stderr, "generating SSB sf=%g...\n", sf);
+  ssb::GenOptions gopts;
+  gopts.scale_factor = sf;
+  auto db = ssb::Generate(gopts);
+  if (!db.ok()) {
+    std::fprintf(stderr, "%s\n", db.status().ToString().c_str());
+    return 1;
+  }
+
+  QueryEngine engine;
+  {
+    auto star = StarSchema::Make(
+        (*db)->lineorder.get(),
+        std::vector<StarSchema::DimensionByName>{
+            {(*db)->date.get(), "lo_orderdate", "d_datekey"},
+            {(*db)->customer.get(), "lo_custkey", "c_custkey"},
+            {(*db)->supplier.get(), "lo_suppkey", "s_suppkey"},
+            {(*db)->part.get(), "lo_partkey", "p_partkey"},
+        });
+    if (!star.ok() || !engine.RegisterStar("ssb", std::move(*star)).ok()) {
+      std::fprintf(stderr, "star wiring failed\n");
+      return 1;
+    }
+  }
+  if (max_inflight > 0) {
+    TenantQuota quota;
+    quota.max_inflight_cjoin = max_inflight;
+    quota.max_queued_baseline = max_inflight;
+    (void)engine.SetTenantQuota("bench", quota);
+  }
+
+  net::CjoinServer server(&engine, {});
+  if (Status st = server.Start(); !st.ok()) {
+    std::fprintf(stderr, "start: %s\n", st.ToString().c_str());
+    return 1;
+  }
+
+  for (size_t conns : conn_steps) {
+    StepOutcome out;
+    std::mutex mu;
+    std::vector<std::thread> threads;
+    for (size_t c = 0; c < conns; ++c) {
+      threads.emplace_back(RunConnection, server.port(), rate, seconds,
+                           static_cast<int>(c), &out, &mu);
+    }
+    for (auto& t : threads) t.join();
+
+    const double shed_rate =
+        out.submitted == 0 ? 0.0
+                           : static_cast<double>(out.shed) /
+                                 static_cast<double>(out.submitted);
+    std::printf(
+        "{\"bench\":\"net_serving\",\"connections\":%zu,"
+        "\"rate_per_conn\":%.1f,\"submitted\":%llu,\"ok\":%llu,"
+        "\"shed\":%llu,\"other_error\":%llu,\"shed_rate\":%.4f,"
+        "\"p50_ms\":%.3f,\"p99_ms\":%.3f}\n",
+        conns, rate, static_cast<unsigned long long>(out.submitted),
+        static_cast<unsigned long long>(out.ok),
+        static_cast<unsigned long long>(out.shed),
+        static_cast<unsigned long long>(out.other_error), shed_rate,
+        Percentile(out.latencies_s, 0.50) * 1e3,
+        Percentile(out.latencies_s, 0.99) * 1e3);
+    std::fflush(stdout);
+  }
+
+  server.Stop();
+  engine.Shutdown(std::chrono::seconds(5));
+  return 0;
+}

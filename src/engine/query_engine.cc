@@ -1,8 +1,10 @@
 #include "engine/query_engine.h"
 
 #include <algorithm>
-#include <map>
 #include <cassert>
+#include <chrono>
+#include <map>
+#include <thread>
 
 #include "exec/group_table.h"
 
@@ -185,6 +187,28 @@ void QueryEngine::Shutdown() {
   for (auto& pool : pools) {
     if (pool != nullptr && pool->op != nullptr) pool->op->Stop();
   }
+}
+
+bool QueryEngine::Shutdown(std::chrono::nanoseconds drain_timeout) {
+  draining_.store(true, std::memory_order_release);
+  // Every outstanding ticket is visible in the admission totals: CJOIN
+  // registrations, baseline jobs in system (queued + running), and
+  // parked wait-queue entries all release on their terminal paths, so
+  // zero totals == no outstanding work.
+  const int64_t deadline_ns = QueryRuntime::NowNs() + drain_timeout.count();
+  bool drained = false;
+  while (true) {
+    const AdmissionController::Stats stats = admission_->GetStats();
+    if (stats.total_cjoin_inflight == 0 &&
+        stats.total_baseline_in_system == 0 && stats.total_waiting == 0) {
+      drained = true;
+      break;
+    }
+    if (QueryRuntime::NowNs() >= deadline_ns) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  Shutdown();
+  return drained;
 }
 
 Result<std::shared_ptr<QueryEngine::ExecPool>> QueryEngine::MakePool(
@@ -383,6 +407,17 @@ Result<std::unique_ptr<QueryHandle>> QueryEngine::SubmitToCJoin(
 Result<std::unique_ptr<QueryTicket>> QueryEngine::Execute(
     QueryRequest request) {
   if (shut_down_) return Status::FailedPrecondition("engine shut down");
+  if (draining_.load(std::memory_order_acquire)) {
+    // Graceful-shutdown shedding follows the uniform-ticket contract:
+    // Execute() succeeds and the refusal resolves through the ticket,
+    // so callers (and the wire protocol) see one error path.
+    RouteDecision decision;
+    decision.reason = "draining";
+    decision.admission = "shed (engine draining)";
+    return std::make_unique<QueryTicket>(
+        std::move(decision), request.label, SnapshotId{0},
+        Result<ResultSet>(Status::Aborted("engine draining for shutdown")));
+  }
   CJOIN_ASSIGN_OR_RETURN(StarEntry * entry, ResolveRequest(&request));
   std::shared_ptr<ExecPool> pool = PoolFor(entry);
   const std::string tenant = TenantOrDefault(request.tenant);

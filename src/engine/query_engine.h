@@ -192,7 +192,24 @@ class QueryEngine {
   /// The pointer is invalidated by SetShardCount on the same star.
   Result<ShardedCJoinOperator*> OperatorFor(std::string_view star_name);
 
+  /// Hard stop: fails parked admission waiters, stops the baseline pool,
+  /// and stops every CJOIN pipeline pool (in-flight CJOIN queries
+  /// complete with kAborted through their tickets). Idempotent; called
+  /// by the destructor.
   void Shutdown();
+
+  /// Graceful drain, then stop — the SIGINT/SIGTERM path of the serving
+  /// front-end. New Execute() submissions resolve immediately with
+  /// kAborted through the uniform ticket (Execute itself keeps
+  /// succeeding); in-flight queries keep running until the admission
+  /// totals (CJOIN registrations, baseline jobs in system, wait-queue
+  /// occupancy) reach zero or `drain_timeout` elapses; then the engine
+  /// hard-stops, aborting any stragglers. Returns true iff all
+  /// outstanding work completed within the timeout.
+  bool Shutdown(std::chrono::nanoseconds drain_timeout);
+
+  /// True once Shutdown(drain_timeout) began refusing new work.
+  bool draining() const { return draining_.load(std::memory_order_acquire); }
 
  private:
   /// One star's execution pool: the shard set and the operator pool over
@@ -297,6 +314,9 @@ class QueryEngine {
   /// its whole body, cannot start a fresh pool after Shutdown swept the
   /// existing ones); read lock-free on the query paths.
   std::atomic<bool> shut_down_{false};
+  /// Set by Shutdown(drain_timeout): Execute() sheds new submissions
+  /// with kAborted immediate tickets while in-flight work drains.
+  std::atomic<bool> draining_{false};
 };
 
 }  // namespace cjoin

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cctype>
+#include <charconv>
 #include <memory>
 #include <optional>
 #include <set>
@@ -79,12 +80,25 @@ class Lexer {
           ++j;
         }
         t.kind = Tok::kNumber;
+        // No throwing conversions: statements arrive off the wire, and a
+        // hostile literal ("999...9" past int64, "1.2.3") must come back
+        // as kInvalidArgument, never as an exception or abort.
         const std::string text(sql_.substr(i, j - i));
+        const char* first = text.data();
+        const char* last = first + text.size();
         if (is_double) {
-          t.num = std::stod(text);
+          auto [p, ec] = std::from_chars(first, last, t.num);
+          if (ec != std::errc() || p != last) {
+            return Status::InvalidArgument("malformed numeric literal '" +
+                                           text + "'");
+          }
           t.num_is_int = false;
         } else {
-          t.inum = std::stoll(text);
+          auto [p, ec] = std::from_chars(first, last, t.inum);
+          if (ec != std::errc() || p != last) {
+            return Status::InvalidArgument("integer literal '" + text +
+                                           "' out of range");
+          }
           t.num_is_int = true;
         }
         i = j;
@@ -408,7 +422,21 @@ class Parser {
     return left;
   }
 
+  /// Scoped recursion-depth bound for the expression grammar: a hostile
+  /// statement of 100k open parens must fail with kInvalidArgument, not
+  /// overflow the stack.
+  struct DepthGuard {
+    explicit DepthGuard(int* depth) : depth_(depth) { ++*depth_; }
+    ~DepthGuard() { --*depth_; }
+    int* depth_;
+  };
+  static constexpr int kMaxExprDepth = 200;
+
   Result<PNodePtr> ParseBoolUnary() {
+    DepthGuard guard(&depth_);
+    if (depth_ > kMaxExprDepth) {
+      return Error("expression nests too deeply");
+    }
     if (IsKeyword("NOT")) {
       Advance();
       CJOIN_ASSIGN_OR_RETURN(PNodePtr inner, ParseBoolUnary());
@@ -562,6 +590,10 @@ class Parser {
   }
 
   Result<PNodePtr> ParseFactor() {
+    DepthGuard guard(&depth_);
+    if (depth_ > kMaxExprDepth) {
+      return Error("expression nests too deeply");
+    }
     if (Cur().kind == Tok::kLParen) {
       Advance();
       CJOIN_ASSIGN_OR_RETURN(PNodePtr inner, ParseArith());
@@ -603,6 +635,7 @@ class Parser {
 
   std::vector<Token> toks_;
   size_t pos_ = 0;
+  int depth_ = 0;  ///< live expression-recursion depth (DepthGuard)
 };
 
 // --------------------------- Semantic analysis ------------------------------

@@ -1,0 +1,277 @@
+#include "net/client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace cjoin {
+namespace net {
+
+namespace {
+
+Status Errno(const char* op) {
+  return Status::IOError(std::string(op) + ": " + std::strerror(errno));
+}
+
+/// Every server frame after HELLO leads with the u64 request id it
+/// answers.
+Result<uint64_t> FrameRequestId(const Frame& f) {
+  WireReader r(f.payload);
+  return r.U64();
+}
+
+}  // namespace
+
+Status CjoinClient::Connect() {
+  if (fd_ >= 0) return Status::FailedPrecondition("already connected");
+
+  fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd_ < 0) return Errno("socket");
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(opts_.port);
+  if (::inet_pton(AF_INET, opts_.host.c_str(), &addr.sin_addr) != 1) {
+    Close();
+    return Status::InvalidArgument("bad host address '" + opts_.host + "'");
+  }
+  if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    Status st = Errno("connect");
+    Close();
+    return st;
+  }
+  const int one = 1;
+  ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+
+  HelloRequest hello;
+  hello.tenant = opts_.tenant;
+  if (Status st = SendAll(EncodeHelloRequest(hello)); !st.ok()) {
+    Close();
+    return st;
+  }
+  auto frame = ReadFrame();
+  if (!frame.ok()) {
+    Close();
+    return frame.status();
+  }
+  if (frame->type == FrameType::kError) {
+    auto err = DecodeError(frame->payload);
+    Close();
+    return err.ok() ? err->ToStatus()
+                    : Status::Internal("undecodable ERROR frame");
+  }
+  if (frame->type != FrameType::kHello) {
+    Close();
+    return Status::Internal(std::string("expected HELLO reply, got ") +
+                            FrameTypeName(frame->type));
+  }
+  auto reply = DecodeHelloReply(frame->payload);
+  if (!reply.ok()) {
+    Close();
+    return reply.status();
+  }
+  session_id_ = reply->session_id;
+  return Status::OK();
+}
+
+void CjoinClient::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  stash_.clear();
+}
+
+Status CjoinClient::SendAll(const std::vector<uint8_t>& bytes) {
+  if (fd_ < 0) return Status::FailedPrecondition("not connected");
+  size_t off = 0;
+  while (off < bytes.size()) {
+    const ssize_t n =
+        ::send(fd_, bytes.data() + off, bytes.size() - off, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Errno("send");
+    }
+    off += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+Result<Frame> CjoinClient::ReadFrame() {
+  if (fd_ < 0) return Status::FailedPrecondition("not connected");
+  uint8_t header[kFrameHeaderSize];
+  size_t off = 0;
+  while (off < sizeof(header)) {
+    const ssize_t n = ::recv(fd_, header + off, sizeof(header) - off, 0);
+    if (n == 0) return Status::IOError("connection closed by server");
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Errno("recv");
+    }
+    off += static_cast<size_t>(n);
+  }
+  uint32_t len = 0;
+  for (size_t i = 0; i < 4; ++i) {
+    len |= static_cast<uint32_t>(header[i]) << (8 * i);
+  }
+  if (len > kMaxFramePayload) {
+    return Status::InvalidArgument("server frame exceeds protocol cap");
+  }
+  Frame f;
+  f.type = static_cast<FrameType>(header[4]);
+  f.payload.resize(len);
+  off = 0;
+  while (off < len) {
+    const ssize_t n = ::recv(fd_, f.payload.data() + off, len - off, 0);
+    if (n == 0) return Status::IOError("connection closed mid-frame");
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Errno("recv");
+    }
+    off += static_cast<size_t>(n);
+  }
+  return f;
+}
+
+Result<Frame> CjoinClient::NextFrameFor(uint64_t request_id) {
+  for (auto it = stash_.begin(); it != stash_.end(); ++it) {
+    auto id = FrameRequestId(*it);
+    if (id.ok() && (*id == request_id || *id == 0)) {
+      Frame f = std::move(*it);
+      stash_.erase(it);
+      return f;
+    }
+  }
+  while (true) {
+    CJOIN_ASSIGN_OR_RETURN(Frame f, ReadFrame());
+    CJOIN_ASSIGN_OR_RETURN(uint64_t id, FrameRequestId(f));
+    if (id == request_id || id == 0) return f;
+    stash_.push_back(std::move(f));
+  }
+}
+
+void CjoinClient::PurgeStash(uint64_t request_id) {
+  for (auto it = stash_.begin(); it != stash_.end();) {
+    auto id = FrameRequestId(*it);
+    it = (id.ok() && *id == request_id) ? stash_.erase(it) : it + 1;
+  }
+}
+
+Result<uint64_t> CjoinClient::StartQuery(const std::string& star,
+                                         const std::string& sql,
+                                         int64_t timeout_ns,
+                                         RoutePolicy policy) {
+  QueryFrame q;
+  q.id = next_request_id_++;
+  q.timeout_ns = timeout_ns;
+  q.policy = static_cast<uint8_t>(policy);
+  q.star = star;
+  q.sql = sql;
+  CJOIN_RETURN_IF_ERROR(SendAll(EncodeQuery(q)));
+  return q.id;
+}
+
+Status CjoinClient::Cancel(uint64_t request_id) {
+  CancelFrame c;
+  c.id = request_id;
+  return SendAll(EncodeCancel(c));
+}
+
+Result<CjoinClient::QueryResult> CjoinClient::Await(
+    uint64_t request_id,
+    const std::function<void(const RowBatchFrame&)>& on_batch) {
+  QueryResult out;
+  while (true) {
+    CJOIN_ASSIGN_OR_RETURN(Frame f, NextFrameFor(request_id));
+    switch (f.type) {
+      case FrameType::kRowBatch: {
+        CJOIN_ASSIGN_OR_RETURN(RowBatchFrame batch, DecodeRowBatch(f.payload));
+        if (batch.first) out.result.columns = batch.columns;
+        for (auto& row : batch.rows) out.result.rows.push_back(std::move(row));
+        if (on_batch) on_batch(batch);
+        break;
+      }
+      case FrameType::kQueryDone: {
+        CJOIN_ASSIGN_OR_RETURN(QueryDoneFrame done, DecodeQueryDone(f.payload));
+        out.result.tuples_consumed = done.tuples_consumed;
+        out.snapshot = done.snapshot;
+        out.response_seconds = done.response_seconds;
+        if (out.result.rows.size() != done.total_rows) {
+          return Status::Internal(
+              "row count mismatch: streamed " +
+              std::to_string(out.result.rows.size()) + ", QUERY_DONE says " +
+              std::to_string(done.total_rows));
+        }
+        PurgeStash(request_id);
+        return out;
+      }
+      case FrameType::kError: {
+        CJOIN_ASSIGN_OR_RETURN(ErrorFrame err, DecodeError(f.payload));
+        PurgeStash(request_id);
+        return err.ToStatus();
+      }
+      default:
+        return Status::Internal(std::string("unexpected frame ") +
+                                FrameTypeName(f.type) +
+                                " while awaiting query result");
+    }
+  }
+}
+
+Result<CjoinClient::QueryResult> CjoinClient::Query(
+    const std::string& star, const std::string& sql, int64_t timeout_ns,
+    const std::function<void(const RowBatchFrame&)>& on_batch,
+    RoutePolicy policy) {
+  CJOIN_ASSIGN_OR_RETURN(uint64_t id,
+                         StartQuery(star, sql, timeout_ns, policy));
+  return Await(id, on_batch);
+}
+
+Result<uint64_t> CjoinClient::Ingest(const std::string& star,
+                                     std::vector<std::vector<Value>> rows) {
+  IngestFrame ing;
+  ing.id = next_request_id_++;
+  ing.star = star;
+  ing.rows = std::move(rows);
+  CJOIN_RETURN_IF_ERROR(SendAll(EncodeIngest(ing)));
+  while (true) {
+    CJOIN_ASSIGN_OR_RETURN(Frame f, NextFrameFor(ing.id));
+    if (f.type == FrameType::kIngest) {
+      CJOIN_ASSIGN_OR_RETURN(IngestReply reply, DecodeIngestReply(f.payload));
+      return reply.snapshot;
+    }
+    if (f.type == FrameType::kError) {
+      CJOIN_ASSIGN_OR_RETURN(ErrorFrame err, DecodeError(f.payload));
+      return err.ToStatus();
+    }
+    return Status::Internal(std::string("unexpected frame ") +
+                            FrameTypeName(f.type) + " as INGEST reply");
+  }
+}
+
+Result<std::string> CjoinClient::Stats() {
+  StatsRequest req;
+  req.id = next_request_id_++;
+  CJOIN_RETURN_IF_ERROR(SendAll(EncodeStatsRequest(req)));
+  while (true) {
+    CJOIN_ASSIGN_OR_RETURN(Frame f, NextFrameFor(req.id));
+    if (f.type == FrameType::kStats) {
+      CJOIN_ASSIGN_OR_RETURN(StatsReply reply, DecodeStatsReply(f.payload));
+      return reply.json;
+    }
+    if (f.type == FrameType::kError) {
+      CJOIN_ASSIGN_OR_RETURN(ErrorFrame err, DecodeError(f.payload));
+      return err.ToStatus();
+    }
+    return Status::Internal(std::string("unexpected frame ") +
+                            FrameTypeName(f.type) + " as STATS reply");
+  }
+}
+
+}  // namespace net
+}  // namespace cjoin

@@ -1,0 +1,119 @@
+// Blocking client for the CJOIN wire protocol.
+//
+// One CjoinClient is one TCP session: Connect() performs the HELLO
+// handshake (binding the session to a tenant), then Query / Ingest /
+// Stats issue one request at a time and block for the reply. Query
+// streams: an optional callback observes each ROW_BATCH as it arrives,
+// before the final QUERY_DONE materializes the full ResultSet.
+//
+// The client is deliberately synchronous — it is the building block for
+// the interactive CLI, the loopback tests, and the open-loop bench
+// (which gets concurrency from many connections, the workload shape the
+// server is built for). Not thread-safe; use one instance per thread.
+
+#ifndef CJOIN_NET_CLIENT_H_
+#define CJOIN_NET_CLIENT_H_
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "engine/router.h"
+#include "exec/result_set.h"
+#include "net/protocol.h"
+
+namespace cjoin {
+namespace net {
+
+class CjoinClient {
+ public:
+  struct Options {
+    std::string host = "127.0.0.1";
+    uint16_t port = 0;
+    /// Tenant this session submits as ("" = the default tenant).
+    std::string tenant;
+  };
+
+  struct QueryResult {
+    ResultSet result;
+    uint64_t snapshot = 0;
+    /// Server-side seconds from submission to result delivery.
+    double response_seconds = 0.0;
+  };
+
+  explicit CjoinClient(Options options) : opts_(std::move(options)) {}
+  CjoinClient() : CjoinClient(Options{}) {}
+  ~CjoinClient() { Close(); }
+
+  CjoinClient(const CjoinClient&) = delete;
+  CjoinClient& operator=(const CjoinClient&) = delete;
+
+  /// Connects and performs the HELLO handshake.
+  Status Connect();
+
+  /// Hard-closes the socket (no protocol goodbye — also how the tests
+  /// simulate a client dying mid-query). Idempotent.
+  void Close();
+
+  bool connected() const { return fd_ >= 0; }
+  uint64_t session_id() const { return session_id_; }
+
+  /// Executes `sql` against the star, streaming ROW_BATCH frames through
+  /// `on_batch` (may be null) and returning the materialized result.
+  /// Engine-side failures (admission shed, cancel, deadline, parse
+  /// errors) surface as the Status carried by the server's ERROR frame.
+  Result<QueryResult> Query(
+      const std::string& star, const std::string& sql,
+      int64_t timeout_ns = 0,
+      const std::function<void(const RowBatchFrame&)>& on_batch = nullptr,
+      RoutePolicy policy = RoutePolicy::kAuto);
+
+  /// Sends a QUERY frame without waiting for any reply. Returns the
+  /// request id. Used to put a query in flight before disconnecting or
+  /// cancelling.
+  Result<uint64_t> StartQuery(const std::string& star, const std::string& sql,
+                              int64_t timeout_ns = 0,
+                              RoutePolicy policy = RoutePolicy::kAuto);
+
+  /// Sends CANCEL for an id returned by StartQuery.
+  Status Cancel(uint64_t request_id);
+
+  /// Waits for the outcome of a StartQuery id, streaming batches.
+  Result<QueryResult> Await(
+      uint64_t request_id,
+      const std::function<void(const RowBatchFrame&)>& on_batch = nullptr);
+
+  /// Appends typed rows (one Value per fact column) through the server's
+  /// MVCC commit path. Returns the commit snapshot.
+  Result<uint64_t> Ingest(const std::string& star,
+                          std::vector<std::vector<Value>> rows);
+
+  /// Server + engine statistics as a JSON object string.
+  Result<std::string> Stats();
+
+ private:
+  Status SendAll(const std::vector<uint8_t>& bytes);
+  /// Reads exactly one frame (blocking).
+  Result<Frame> ReadFrame();
+  /// Next frame addressed to `request_id` (or a connection-level ERROR,
+  /// id 0). Frames of other outstanding requests arriving in between are
+  /// stashed for their own Await call — replies demultiplex by id, not
+  /// arrival order.
+  Result<Frame> NextFrameFor(uint64_t request_id);
+  /// Drops stashed frames of a finished request.
+  void PurgeStash(uint64_t request_id);
+
+  Options opts_;
+  int fd_ = -1;
+  uint64_t session_id_ = 0;
+  uint64_t next_request_id_ = 1;
+  std::deque<Frame> stash_;
+};
+
+}  // namespace net
+}  // namespace cjoin
+
+#endif  // CJOIN_NET_CLIENT_H_

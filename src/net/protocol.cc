@@ -1,0 +1,539 @@
+#include "net/protocol.h"
+
+#include <cstring>
+
+namespace cjoin {
+namespace net {
+
+namespace {
+
+/// Value kind tags on the wire (independent of Value::Kind's numeric
+/// values, which are an in-memory detail).
+enum WireValueKind : uint8_t {
+  kWireNull = 0,
+  kWireInt = 1,
+  kWireDouble = 2,
+  kWireString = 3,
+};
+
+Status Truncated(const char* what) {
+  return Status::InvalidArgument(std::string("truncated frame payload: ") +
+                                 what);
+}
+
+}  // namespace
+
+const char* FrameTypeName(FrameType type) {
+  switch (type) {
+    case FrameType::kHello:
+      return "HELLO";
+    case FrameType::kQuery:
+      return "QUERY";
+    case FrameType::kRowBatch:
+      return "ROW_BATCH";
+    case FrameType::kQueryDone:
+      return "QUERY_DONE";
+    case FrameType::kError:
+      return "ERROR";
+    case FrameType::kCancel:
+      return "CANCEL";
+    case FrameType::kIngest:
+      return "INGEST";
+    case FrameType::kStats:
+      return "STATS";
+  }
+  return "UNKNOWN";
+}
+
+// ------------------------------ WireWriter -----------------------------------
+
+void WireWriter::PutF64(double v) {
+  uint64_t bits;
+  static_assert(sizeof(bits) == sizeof(v));
+  std::memcpy(&bits, &v, sizeof(bits));
+  PutU64(bits);
+}
+
+void WireWriter::PutString(std::string_view s) {
+  PutU32(static_cast<uint32_t>(s.size()));
+  buf_.insert(buf_.end(), s.begin(), s.end());
+}
+
+void WireWriter::PutValue(const Value& v) {
+  switch (v.kind()) {
+    case Value::Kind::kNull:
+      PutU8(kWireNull);
+      break;
+    case Value::Kind::kInt:
+      PutU8(kWireInt);
+      PutI64(v.AsInt());
+      break;
+    case Value::Kind::kDouble:
+      PutU8(kWireDouble);
+      PutF64(v.AsDouble());
+      break;
+    case Value::Kind::kString:
+      PutU8(kWireString);
+      PutString(v.AsString());
+      break;
+  }
+}
+
+// ------------------------------ WireReader -----------------------------------
+
+Result<uint8_t> WireReader::U8() {
+  if (remaining() < 1) return Truncated("u8");
+  return data_[pos_++];
+}
+
+Result<uint16_t> WireReader::U16() {
+  if (remaining() < 2) return Truncated("u16");
+  uint16_t v = static_cast<uint16_t>(data_[pos_]) |
+               static_cast<uint16_t>(data_[pos_ + 1]) << 8;
+  pos_ += 2;
+  return v;
+}
+
+Result<uint32_t> WireReader::U32() {
+  if (remaining() < 4) return Truncated("u32");
+  uint32_t v = 0;
+  for (size_t i = 0; i < 4; ++i) {
+    v |= static_cast<uint32_t>(data_[pos_ + i]) << (8 * i);
+  }
+  pos_ += 4;
+  return v;
+}
+
+Result<uint64_t> WireReader::U64() {
+  if (remaining() < 8) return Truncated("u64");
+  uint64_t v = 0;
+  for (size_t i = 0; i < 8; ++i) {
+    v |= static_cast<uint64_t>(data_[pos_ + i]) << (8 * i);
+  }
+  pos_ += 8;
+  return v;
+}
+
+Result<int32_t> WireReader::I32() {
+  CJOIN_ASSIGN_OR_RETURN(uint32_t v, U32());
+  return static_cast<int32_t>(v);
+}
+
+Result<int64_t> WireReader::I64() {
+  CJOIN_ASSIGN_OR_RETURN(uint64_t v, U64());
+  return static_cast<int64_t>(v);
+}
+
+Result<double> WireReader::F64() {
+  CJOIN_ASSIGN_OR_RETURN(uint64_t bits, U64());
+  double v;
+  std::memcpy(&v, &bits, sizeof(v));
+  return v;
+}
+
+Result<std::string> WireReader::String() {
+  CJOIN_ASSIGN_OR_RETURN(uint32_t len, U32());
+  if (len > kMaxStringLen) {
+    return Status::InvalidArgument("string length " + std::to_string(len) +
+                                   " exceeds protocol cap");
+  }
+  if (remaining() < len) return Truncated("string body");
+  std::string s(reinterpret_cast<const char*>(data_ + pos_), len);
+  pos_ += len;
+  return s;
+}
+
+Result<Value> WireReader::ReadValue() {
+  CJOIN_ASSIGN_OR_RETURN(uint8_t kind, U8());
+  switch (kind) {
+    case kWireNull:
+      return Value();
+    case kWireInt: {
+      CJOIN_ASSIGN_OR_RETURN(int64_t v, I64());
+      return Value(v);
+    }
+    case kWireDouble: {
+      CJOIN_ASSIGN_OR_RETURN(double v, F64());
+      return Value(v);
+    }
+    case kWireString: {
+      CJOIN_ASSIGN_OR_RETURN(std::string s, String());
+      return Value(std::move(s));
+    }
+    default:
+      return Status::InvalidArgument("unknown value kind tag " +
+                                     std::to_string(kind));
+  }
+}
+
+Status WireReader::ExpectEnd() const {
+  if (!AtEnd()) {
+    return Status::InvalidArgument(std::to_string(remaining()) +
+                                   " trailing bytes after frame payload");
+  }
+  return Status::OK();
+}
+
+// ------------------------------ Encoders -------------------------------------
+
+std::vector<uint8_t> EncodeFrame(FrameType type,
+                                 const std::vector<uint8_t>& payload) {
+  std::vector<uint8_t> out;
+  out.reserve(kFrameHeaderSize + payload.size());
+  const uint32_t len = static_cast<uint32_t>(payload.size());
+  for (size_t i = 0; i < 4; ++i) {
+    out.push_back(static_cast<uint8_t>(len >> (8 * i)));
+  }
+  out.push_back(static_cast<uint8_t>(type));
+  out.insert(out.end(), payload.begin(), payload.end());
+  return out;
+}
+
+std::vector<uint8_t> EncodeHelloRequest(const HelloRequest& f) {
+  WireWriter w;
+  w.PutU32(kMagic);
+  w.PutU16(kProtocolVersion);
+  w.PutString(f.tenant);
+  return EncodeFrame(FrameType::kHello, w.bytes());
+}
+
+std::vector<uint8_t> EncodeHelloReply(const HelloReply& f) {
+  WireWriter w;
+  w.PutU32(kMagic);
+  w.PutU16(kProtocolVersion);
+  w.PutU64(f.session_id);
+  return EncodeFrame(FrameType::kHello, w.bytes());
+}
+
+std::vector<uint8_t> EncodeQuery(const QueryFrame& f) {
+  WireWriter w;
+  w.PutU64(f.id);
+  w.PutI64(f.timeout_ns);
+  w.PutI32(f.priority);
+  w.PutU8(f.policy);
+  w.PutString(f.star);
+  w.PutString(f.sql);
+  return EncodeFrame(FrameType::kQuery, w.bytes());
+}
+
+std::vector<uint8_t> EncodeRowBatch(const RowBatchFrame& f) {
+  WireWriter w;
+  w.PutU64(f.id);
+  w.PutU8(f.first ? 1 : 0);
+  if (f.first) {
+    w.PutU16(static_cast<uint16_t>(f.columns.size()));
+    for (const std::string& c : f.columns) w.PutString(c);
+  }
+  w.PutU32(static_cast<uint32_t>(f.rows.size()));
+  if (!f.rows.empty()) {
+    w.PutU16(static_cast<uint16_t>(f.rows[0].size()));
+    for (const auto& row : f.rows) {
+      for (const Value& v : row) w.PutValue(v);
+    }
+  } else {
+    w.PutU16(0);
+  }
+  return EncodeFrame(FrameType::kRowBatch, w.bytes());
+}
+
+std::vector<uint8_t> EncodeQueryDone(const QueryDoneFrame& f) {
+  WireWriter w;
+  w.PutU64(f.id);
+  w.PutU64(f.total_rows);
+  w.PutU64(f.tuples_consumed);
+  w.PutU64(f.snapshot);
+  w.PutF64(f.response_seconds);
+  return EncodeFrame(FrameType::kQueryDone, w.bytes());
+}
+
+std::vector<uint8_t> EncodeError(const ErrorFrame& f) {
+  WireWriter w;
+  w.PutU64(f.id);
+  w.PutU16(static_cast<uint16_t>(f.code));
+  w.PutString(f.message);
+  return EncodeFrame(FrameType::kError, w.bytes());
+}
+
+std::vector<uint8_t> EncodeCancel(const CancelFrame& f) {
+  WireWriter w;
+  w.PutU64(f.id);
+  return EncodeFrame(FrameType::kCancel, w.bytes());
+}
+
+std::vector<uint8_t> EncodeIngest(const IngestFrame& f) {
+  WireWriter w;
+  w.PutU64(f.id);
+  w.PutString(f.star);
+  w.PutU32(static_cast<uint32_t>(f.rows.size()));
+  w.PutU16(f.rows.empty() ? 0 : static_cast<uint16_t>(f.rows[0].size()));
+  for (const auto& row : f.rows) {
+    for (const Value& v : row) w.PutValue(v);
+  }
+  return EncodeFrame(FrameType::kIngest, w.bytes());
+}
+
+std::vector<uint8_t> EncodeIngestReply(const IngestReply& f) {
+  WireWriter w;
+  w.PutU64(f.id);
+  w.PutU64(f.snapshot);
+  w.PutU64(f.rows_appended);
+  return EncodeFrame(FrameType::kIngest, w.bytes());
+}
+
+std::vector<uint8_t> EncodeStatsRequest(const StatsRequest& f) {
+  WireWriter w;
+  w.PutU64(f.id);
+  return EncodeFrame(FrameType::kStats, w.bytes());
+}
+
+std::vector<uint8_t> EncodeStatsReply(const StatsReply& f) {
+  WireWriter w;
+  w.PutU64(f.id);
+  w.PutString(f.json);
+  return EncodeFrame(FrameType::kStats, w.bytes());
+}
+
+// ------------------------------ Decoders -------------------------------------
+
+Result<HelloRequest> DecodeHelloRequest(const std::vector<uint8_t>& p) {
+  WireReader r(p);
+  CJOIN_ASSIGN_OR_RETURN(uint32_t magic, r.U32());
+  if (magic != kMagic) {
+    return Status::InvalidArgument("bad protocol magic");
+  }
+  CJOIN_ASSIGN_OR_RETURN(uint16_t version, r.U16());
+  if (version != kProtocolVersion) {
+    return Status::InvalidArgument("unsupported protocol version " +
+                                   std::to_string(version));
+  }
+  HelloRequest f;
+  CJOIN_ASSIGN_OR_RETURN(f.tenant, r.String());
+  CJOIN_RETURN_IF_ERROR(r.ExpectEnd());
+  return f;
+}
+
+Result<HelloReply> DecodeHelloReply(const std::vector<uint8_t>& p) {
+  WireReader r(p);
+  CJOIN_ASSIGN_OR_RETURN(uint32_t magic, r.U32());
+  if (magic != kMagic) {
+    return Status::InvalidArgument("bad protocol magic");
+  }
+  CJOIN_ASSIGN_OR_RETURN(uint16_t version, r.U16());
+  if (version != kProtocolVersion) {
+    return Status::InvalidArgument("unsupported protocol version " +
+                                   std::to_string(version));
+  }
+  HelloReply f;
+  CJOIN_ASSIGN_OR_RETURN(f.session_id, r.U64());
+  CJOIN_RETURN_IF_ERROR(r.ExpectEnd());
+  return f;
+}
+
+Result<QueryFrame> DecodeQuery(const std::vector<uint8_t>& p) {
+  WireReader r(p);
+  QueryFrame f;
+  CJOIN_ASSIGN_OR_RETURN(f.id, r.U64());
+  CJOIN_ASSIGN_OR_RETURN(f.timeout_ns, r.I64());
+  CJOIN_ASSIGN_OR_RETURN(f.priority, r.I32());
+  CJOIN_ASSIGN_OR_RETURN(f.policy, r.U8());
+  if (f.policy > 2) {
+    return Status::InvalidArgument("unknown route policy " +
+                                   std::to_string(f.policy));
+  }
+  CJOIN_ASSIGN_OR_RETURN(f.star, r.String());
+  CJOIN_ASSIGN_OR_RETURN(f.sql, r.String());
+  CJOIN_RETURN_IF_ERROR(r.ExpectEnd());
+  return f;
+}
+
+Result<RowBatchFrame> DecodeRowBatch(const std::vector<uint8_t>& p) {
+  WireReader r(p);
+  RowBatchFrame f;
+  CJOIN_ASSIGN_OR_RETURN(f.id, r.U64());
+  CJOIN_ASSIGN_OR_RETURN(uint8_t first, r.U8());
+  f.first = first != 0;
+  if (f.first) {
+    CJOIN_ASSIGN_OR_RETURN(uint16_t ncols, r.U16());
+    f.columns.reserve(ncols);
+    for (uint16_t i = 0; i < ncols; ++i) {
+      CJOIN_ASSIGN_OR_RETURN(std::string c, r.String());
+      f.columns.push_back(std::move(c));
+    }
+  }
+  CJOIN_ASSIGN_OR_RETURN(uint32_t nrows, r.U32());
+  CJOIN_ASSIGN_OR_RETURN(uint16_t width, r.U16());
+  // A row is at least `width` kind tags: rejects length words that
+  // promise more rows than the payload can physically hold.
+  if (width > 0 && nrows > r.remaining() / width) {
+    return Status::InvalidArgument("row count exceeds payload size");
+  }
+  if (nrows > 0 && width == 0) {
+    return Status::InvalidArgument("row batch with zero-width rows");
+  }
+  f.rows.reserve(nrows);
+  for (uint32_t i = 0; i < nrows; ++i) {
+    std::vector<Value> row;
+    row.reserve(width);
+    for (uint16_t c = 0; c < width; ++c) {
+      CJOIN_ASSIGN_OR_RETURN(Value v, r.ReadValue());
+      row.push_back(std::move(v));
+    }
+    f.rows.push_back(std::move(row));
+  }
+  CJOIN_RETURN_IF_ERROR(r.ExpectEnd());
+  return f;
+}
+
+Result<QueryDoneFrame> DecodeQueryDone(const std::vector<uint8_t>& p) {
+  WireReader r(p);
+  QueryDoneFrame f;
+  CJOIN_ASSIGN_OR_RETURN(f.id, r.U64());
+  CJOIN_ASSIGN_OR_RETURN(f.total_rows, r.U64());
+  CJOIN_ASSIGN_OR_RETURN(f.tuples_consumed, r.U64());
+  CJOIN_ASSIGN_OR_RETURN(f.snapshot, r.U64());
+  CJOIN_ASSIGN_OR_RETURN(f.response_seconds, r.F64());
+  CJOIN_RETURN_IF_ERROR(r.ExpectEnd());
+  return f;
+}
+
+Result<ErrorFrame> DecodeError(const std::vector<uint8_t>& p) {
+  WireReader r(p);
+  ErrorFrame f;
+  CJOIN_ASSIGN_OR_RETURN(f.id, r.U64());
+  CJOIN_ASSIGN_OR_RETURN(uint16_t code, r.U16());
+  if (code > static_cast<uint16_t>(StatusCode::kDeadlineExceeded)) {
+    return Status::InvalidArgument("unknown status code " +
+                                   std::to_string(code));
+  }
+  f.code = static_cast<StatusCode>(code);
+  CJOIN_ASSIGN_OR_RETURN(f.message, r.String());
+  CJOIN_RETURN_IF_ERROR(r.ExpectEnd());
+  return f;
+}
+
+Result<CancelFrame> DecodeCancel(const std::vector<uint8_t>& p) {
+  WireReader r(p);
+  CancelFrame f;
+  CJOIN_ASSIGN_OR_RETURN(f.id, r.U64());
+  CJOIN_RETURN_IF_ERROR(r.ExpectEnd());
+  return f;
+}
+
+Result<IngestFrame> DecodeIngest(const std::vector<uint8_t>& p) {
+  WireReader r(p);
+  IngestFrame f;
+  CJOIN_ASSIGN_OR_RETURN(f.id, r.U64());
+  CJOIN_ASSIGN_OR_RETURN(f.star, r.String());
+  CJOIN_ASSIGN_OR_RETURN(uint32_t nrows, r.U32());
+  CJOIN_ASSIGN_OR_RETURN(uint16_t width, r.U16());
+  if (width > 0 && nrows > r.remaining() / width) {
+    return Status::InvalidArgument("row count exceeds payload size");
+  }
+  if (nrows > 0 && width == 0) {
+    return Status::InvalidArgument("ingest with zero-width rows");
+  }
+  f.rows.reserve(nrows);
+  for (uint32_t i = 0; i < nrows; ++i) {
+    std::vector<Value> row;
+    row.reserve(width);
+    for (uint16_t c = 0; c < width; ++c) {
+      CJOIN_ASSIGN_OR_RETURN(Value v, r.ReadValue());
+      row.push_back(std::move(v));
+    }
+    f.rows.push_back(std::move(row));
+  }
+  CJOIN_RETURN_IF_ERROR(r.ExpectEnd());
+  return f;
+}
+
+Result<IngestReply> DecodeIngestReply(const std::vector<uint8_t>& p) {
+  WireReader r(p);
+  IngestReply f;
+  CJOIN_ASSIGN_OR_RETURN(f.id, r.U64());
+  CJOIN_ASSIGN_OR_RETURN(f.snapshot, r.U64());
+  CJOIN_ASSIGN_OR_RETURN(f.rows_appended, r.U64());
+  CJOIN_RETURN_IF_ERROR(r.ExpectEnd());
+  return f;
+}
+
+Result<StatsRequest> DecodeStatsRequest(const std::vector<uint8_t>& p) {
+  WireReader r(p);
+  StatsRequest f;
+  CJOIN_ASSIGN_OR_RETURN(f.id, r.U64());
+  CJOIN_RETURN_IF_ERROR(r.ExpectEnd());
+  return f;
+}
+
+Result<StatsReply> DecodeStatsReply(const std::vector<uint8_t>& p) {
+  WireReader r(p);
+  StatsReply f;
+  CJOIN_ASSIGN_OR_RETURN(f.id, r.U64());
+  CJOIN_ASSIGN_OR_RETURN(f.json, r.String());
+  CJOIN_RETURN_IF_ERROR(r.ExpectEnd());
+  return f;
+}
+
+std::vector<std::vector<uint8_t>> EncodeResultBatches(uint64_t request_id,
+                                                      const ResultSet& rs,
+                                                      size_t batch_rows) {
+  if (batch_rows == 0) batch_rows = 1;
+  std::vector<std::vector<uint8_t>> out;
+  size_t row = 0;
+  bool first = true;
+  do {
+    RowBatchFrame batch;
+    batch.id = request_id;
+    batch.first = first;
+    if (first) batch.columns = rs.columns;
+    const size_t end = std::min(rs.rows.size(), row + batch_rows);
+    batch.rows.assign(rs.rows.begin() + row, rs.rows.begin() + end);
+    out.push_back(EncodeRowBatch(batch));
+    row = end;
+    first = false;
+  } while (row < rs.rows.size());
+  return out;
+}
+
+// ---------------------------- FrameAssembler ---------------------------------
+
+Status FrameAssembler::Feed(const uint8_t* data, size_t size) {
+  // Compact once the consumed prefix dominates, so long-lived connections
+  // do not grow the buffer without bound.
+  if (consumed_ > 0 && consumed_ >= buf_.size() / 2) {
+    buf_.erase(buf_.begin(), buf_.begin() + consumed_);
+    consumed_ = 0;
+  }
+  buf_.insert(buf_.end(), data, data + size);
+  // Validate the pending header eagerly: a hostile length word fails the
+  // connection now, before Next() would try to buffer 4 GiB.
+  if (buf_.size() - consumed_ >= kFrameHeaderSize) {
+    uint32_t len = 0;
+    for (size_t i = 0; i < 4; ++i) {
+      len |= static_cast<uint32_t>(buf_[consumed_ + i]) << (8 * i);
+    }
+    if (len > kMaxFramePayload) {
+      return Status::InvalidArgument("frame payload length " +
+                                     std::to_string(len) +
+                                     " exceeds protocol cap");
+    }
+  }
+  return Status::OK();
+}
+
+bool FrameAssembler::Next(Frame* out) {
+  const size_t avail = buf_.size() - consumed_;
+  if (avail < kFrameHeaderSize) return false;
+  uint32_t len = 0;
+  for (size_t i = 0; i < 4; ++i) {
+    len |= static_cast<uint32_t>(buf_[consumed_ + i]) << (8 * i);
+  }
+  if (avail < kFrameHeaderSize + len) return false;
+  out->type = static_cast<FrameType>(buf_[consumed_ + 4]);
+  const uint8_t* body = buf_.data() + consumed_ + kFrameHeaderSize;
+  out->payload.assign(body, body + len);
+  consumed_ += kFrameHeaderSize + len;
+  return true;
+}
+
+}  // namespace net
+}  // namespace cjoin

@@ -1,0 +1,260 @@
+// CJOIN wire protocol: length-prefixed binary frames.
+//
+// The serving front-end speaks a small binary protocol over TCP. Every
+// frame is a 5-byte header — u32 payload length (little-endian, header
+// excluded) and a u8 frame type — followed by the payload:
+//
+//   offset  size  field
+//   0       4     payload length N (LE; <= kMaxFramePayload)
+//   4       1     frame type (FrameType)
+//   5       N     payload
+//
+// Client-initiated frames (HELLO, QUERY, CANCEL, INGEST, STATS) carry a
+// client-assigned u64 request id; every server frame echoes the id of the
+// request it answers, so a connection can multiplex queries. Payload
+// scalars are little-endian fixed width; strings are u32 length + bytes;
+// dynamically typed values are a u8 kind tag followed by the
+// representation (see WireWriter::PutValue).
+//
+// Decoding is defensive end to end: every reader is bounds-checked and
+// returns kInvalidArgument on truncated, oversized, or garbage input —
+// bytes off the wire are hostile until proven otherwise, and a malformed
+// frame must never take the server down.
+
+#ifndef CJOIN_NET_PROTOCOL_H_
+#define CJOIN_NET_PROTOCOL_H_
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "exec/result_set.h"
+#include "expr/value.h"
+
+namespace cjoin {
+namespace net {
+
+/// First bytes of every session: "CJNP" little-endian.
+inline constexpr uint32_t kMagic = 0x504E4A43u;
+inline constexpr uint16_t kProtocolVersion = 1;
+
+/// Frame header: u32 payload length + u8 type.
+inline constexpr size_t kFrameHeaderSize = 5;
+/// Hard cap on one frame's payload (hostile length words are rejected
+/// before any allocation).
+inline constexpr size_t kMaxFramePayload = 64u << 20;
+/// Hard cap on one encoded string (SQL text, error message, column name).
+inline constexpr size_t kMaxStringLen = 16u << 20;
+
+enum class FrameType : uint8_t {
+  kHello = 1,      ///< c→s: magic, version, tenant; s→c: magic, version, session id
+  kQuery = 2,      ///< c→s: id, timeout_ns, priority, star, sql
+  kRowBatch = 3,   ///< s→c: id, flags(+columns when first), rows
+  kQueryDone = 4,  ///< s→c: id, total rows, tuples consumed, snapshot, seconds
+  kError = 5,      ///< s→c: id (0 = connection-level), status code, message
+  kCancel = 6,     ///< c→s: id of the query to cancel
+  kIngest = 7,     ///< c→s: id, star, typed rows; s→c: id, snapshot, row count
+  kStats = 8,      ///< c→s: id; s→c: id, JSON text
+};
+
+/// Stable name for logs and the client CLI ("HELLO", "QUERY", ...).
+const char* FrameTypeName(FrameType type);
+
+/// One complete frame, header already stripped.
+struct Frame {
+  FrameType type = FrameType::kError;
+  std::vector<uint8_t> payload;
+};
+
+// --------------------------- Typed frames ------------------------------------
+
+struct HelloRequest {
+  std::string tenant;  ///< admission/scheduling identity ("" = default)
+};
+
+struct HelloReply {
+  uint64_t session_id = 0;
+};
+
+struct QueryFrame {
+  uint64_t id = 0;
+  int64_t timeout_ns = 0;  ///< relative deadline (0 = none)
+  int32_t priority = 0;    ///< baseline-pool priority
+  uint8_t policy = 0;      ///< RoutePolicy: 0 auto, 1 cjoin, 2 baseline
+  std::string star;
+  std::string sql;
+};
+
+struct RowBatchFrame {
+  uint64_t id = 0;
+  /// Set on the first batch of a result stream, which alone carries the
+  /// column header.
+  bool first = false;
+  std::vector<std::string> columns;
+  std::vector<std::vector<Value>> rows;
+};
+
+struct QueryDoneFrame {
+  uint64_t id = 0;
+  uint64_t total_rows = 0;
+  uint64_t tuples_consumed = 0;
+  uint64_t snapshot = 0;
+  double response_seconds = 0.0;
+};
+
+struct ErrorFrame {
+  uint64_t id = 0;  ///< 0 = connection-level error; the server closes after
+  StatusCode code = StatusCode::kInternal;
+  std::string message;
+
+  Status ToStatus() const { return Status(code, message); }
+};
+
+struct CancelFrame {
+  uint64_t id = 0;
+};
+
+/// Typed ingest rows: one Value per fact-table column, converted to the
+/// star's physical row layout server-side (the client never needs the
+/// byte-level schema).
+struct IngestFrame {
+  uint64_t id = 0;
+  std::string star;
+  std::vector<std::vector<Value>> rows;
+};
+
+struct IngestReply {
+  uint64_t id = 0;
+  uint64_t snapshot = 0;      ///< commit snapshot the rows became visible at
+  uint64_t rows_appended = 0;
+};
+
+struct StatsRequest {
+  uint64_t id = 0;
+};
+
+struct StatsReply {
+  uint64_t id = 0;
+  std::string json;
+};
+
+// ----------------------------- Encoding --------------------------------------
+
+/// Append-only little-endian payload builder.
+class WireWriter {
+ public:
+  void PutU8(uint8_t v) { buf_.push_back(v); }
+  void PutU16(uint16_t v) { PutLE(v); }
+  void PutU32(uint32_t v) { PutLE(v); }
+  void PutU64(uint64_t v) { PutLE(v); }
+  void PutI32(int32_t v) { PutLE(static_cast<uint32_t>(v)); }
+  void PutI64(int64_t v) { PutLE(static_cast<uint64_t>(v)); }
+  void PutF64(double v);
+  void PutString(std::string_view s);
+  void PutValue(const Value& v);
+
+  const std::vector<uint8_t>& bytes() const { return buf_; }
+  std::vector<uint8_t> Take() { return std::move(buf_); }
+
+ private:
+  template <typename T>
+  void PutLE(T v) {
+    for (size_t i = 0; i < sizeof(T); ++i) {
+      buf_.push_back(static_cast<uint8_t>(v >> (8 * i)));
+    }
+  }
+  std::vector<uint8_t> buf_;
+};
+
+/// Bounds-checked little-endian payload cursor. Every read fails with
+/// kInvalidArgument instead of walking past the end.
+class WireReader {
+ public:
+  WireReader(const uint8_t* data, size_t size) : data_(data), size_(size) {}
+  explicit WireReader(const std::vector<uint8_t>& payload)
+      : WireReader(payload.data(), payload.size()) {}
+
+  Result<uint8_t> U8();
+  Result<uint16_t> U16();
+  Result<uint32_t> U32();
+  Result<uint64_t> U64();
+  Result<int32_t> I32();
+  Result<int64_t> I64();
+  Result<double> F64();
+  Result<std::string> String();
+  Result<Value> ReadValue();
+
+  size_t remaining() const { return size_ - pos_; }
+  bool AtEnd() const { return pos_ == size_; }
+  /// kInvalidArgument unless the payload was consumed exactly.
+  Status ExpectEnd() const;
+
+ private:
+  const uint8_t* data_;
+  size_t size_;
+  size_t pos_ = 0;
+};
+
+// Each Encode* returns a complete frame: header plus payload, ready to
+// write to a socket.
+std::vector<uint8_t> EncodeFrame(FrameType type,
+                                 const std::vector<uint8_t>& payload);
+std::vector<uint8_t> EncodeHelloRequest(const HelloRequest& f);
+std::vector<uint8_t> EncodeHelloReply(const HelloReply& f);
+std::vector<uint8_t> EncodeQuery(const QueryFrame& f);
+std::vector<uint8_t> EncodeRowBatch(const RowBatchFrame& f);
+std::vector<uint8_t> EncodeQueryDone(const QueryDoneFrame& f);
+std::vector<uint8_t> EncodeError(const ErrorFrame& f);
+std::vector<uint8_t> EncodeCancel(const CancelFrame& f);
+std::vector<uint8_t> EncodeIngest(const IngestFrame& f);
+std::vector<uint8_t> EncodeIngestReply(const IngestReply& f);
+std::vector<uint8_t> EncodeStatsRequest(const StatsRequest& f);
+std::vector<uint8_t> EncodeStatsReply(const StatsReply& f);
+
+// Each Decode* parses one frame payload (header already stripped).
+Result<HelloRequest> DecodeHelloRequest(const std::vector<uint8_t>& p);
+Result<HelloReply> DecodeHelloReply(const std::vector<uint8_t>& p);
+Result<QueryFrame> DecodeQuery(const std::vector<uint8_t>& p);
+Result<RowBatchFrame> DecodeRowBatch(const std::vector<uint8_t>& p);
+Result<QueryDoneFrame> DecodeQueryDone(const std::vector<uint8_t>& p);
+Result<ErrorFrame> DecodeError(const std::vector<uint8_t>& p);
+Result<CancelFrame> DecodeCancel(const std::vector<uint8_t>& p);
+Result<IngestFrame> DecodeIngest(const std::vector<uint8_t>& p);
+Result<IngestReply> DecodeIngestReply(const std::vector<uint8_t>& p);
+Result<StatsRequest> DecodeStatsRequest(const std::vector<uint8_t>& p);
+Result<StatsReply> DecodeStatsReply(const std::vector<uint8_t>& p);
+
+/// Splits a materialized ResultSet into ROW_BATCH frames of at most
+/// `batch_rows` rows (>= 1 frame even when empty, so the header always
+/// reaches the client), encoded and ready to send.
+std::vector<std::vector<uint8_t>> EncodeResultBatches(uint64_t request_id,
+                                                      const ResultSet& rs,
+                                                      size_t batch_rows);
+
+// --------------------------- Frame assembly ----------------------------------
+
+/// Incremental frame parser over a TCP byte stream: feed whatever the
+/// socket produced, pop complete frames. A hostile length word fails the
+/// connection (Feed returns kInvalidArgument) before any allocation.
+class FrameAssembler {
+ public:
+  Status Feed(const uint8_t* data, size_t size);
+
+  /// Pops the next complete frame into `out`; false when more bytes are
+  /// needed.
+  bool Next(Frame* out);
+
+  /// Bytes buffered but not yet consumed by Next().
+  size_t buffered_bytes() const { return buf_.size() - consumed_; }
+
+ private:
+  std::vector<uint8_t> buf_;
+  size_t consumed_ = 0;  ///< prefix of buf_ already returned as frames
+};
+
+}  // namespace net
+}  // namespace cjoin
+
+#endif  // CJOIN_NET_PROTOCOL_H_

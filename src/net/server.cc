@@ -1,0 +1,799 @@
+#include "net/server.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "storage/types.h"
+
+namespace cjoin {
+namespace net {
+
+namespace {
+
+Status Errno(const char* op) {
+  return Status::IOError(std::string(op) + ": " + std::strerror(errno));
+}
+
+Status SetNonBlocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) {
+    return Errno("fcntl(O_NONBLOCK)");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+/// Per-connection state. Socket I/O fields (fd, assembler) belong to the
+/// event-loop thread exclusively; everything else is guarded by mu. The
+/// fd is closed only by the event loop, so a Connection outliving its
+/// socket (held by a PendingQuery) is harmless.
+struct CjoinServer::Connection
+    : std::enable_shared_from_this<CjoinServer::Connection> {
+  explicit Connection(int fd_in) : fd(fd_in) {}
+
+  const int fd;
+  uint64_t session_id = 0;  ///< set at accept, read-only afterwards
+
+  FrameAssembler assembler;  ///< event-loop thread only
+
+  std::mutex mu;
+  // --- guarded by mu ---
+  std::string tenant;
+  bool hello_done = false;
+  /// Frames parsed but not yet handled. At most one worker drains a
+  /// connection at a time (`dispatching`), preserving frame order.
+  std::deque<Frame> pending;
+  bool dispatching = false;
+  /// Encoded frames awaiting the socket; head_off is the written prefix
+  /// of outbox.front().
+  std::deque<std::vector<uint8_t>> outbox;
+  size_t head_off = 0;
+  size_t outbox_bytes = 0;
+  bool close_requested = false;    ///< close now (cancel + drop output)
+  bool close_after_flush = false;  ///< close once the outbox drains
+  bool closed = false;
+  /// Queries awaiting results, by client request id.
+  std::map<uint64_t, std::shared_ptr<PendingQuery>> inflight;
+};
+
+CjoinServer::CjoinServer(QueryEngine* engine, Options options)
+    : engine_(engine), opts_(options) {
+  if (opts_.workers == 0) opts_.workers = 1;
+  if (opts_.batch_rows == 0) opts_.batch_rows = 1;
+}
+
+CjoinServer::~CjoinServer() { Stop(); }
+
+Status CjoinServer::Start() {
+  if (running_.exchange(true)) {
+    return Status::FailedPrecondition("server already started");
+  }
+
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (listen_fd_ < 0) return Errno("socket");
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(opts_.port);
+  if (::inet_pton(AF_INET, opts_.host.c_str(), &addr.sin_addr) != 1) {
+    return Status::InvalidArgument("bad listen address '" + opts_.host + "'");
+  }
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    return Errno("bind");
+  }
+  if (::listen(listen_fd_, 1024) < 0) return Errno("listen");
+  CJOIN_RETURN_IF_ERROR(SetNonBlocking(listen_fd_));
+
+  sockaddr_in bound{};
+  socklen_t blen = sizeof(bound);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &blen) <
+      0) {
+    return Errno("getsockname");
+  }
+  port_ = ntohs(bound.sin_port);
+
+  epoll_fd_ = ::epoll_create1(EPOLL_CLOEXEC);
+  if (epoll_fd_ < 0) return Errno("epoll_create1");
+  wake_fd_ = ::eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK);
+  if (wake_fd_ < 0) return Errno("eventfd");
+
+  epoll_event ev{};
+  ev.events = EPOLLIN;
+  ev.data.fd = listen_fd_;
+  if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, listen_fd_, &ev) < 0) {
+    return Errno("epoll_ctl(listen)");
+  }
+  ev.events = EPOLLIN;
+  ev.data.fd = wake_fd_;
+  if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, wake_fd_, &ev) < 0) {
+    return Errno("epoll_ctl(eventfd)");
+  }
+
+  loop_thread_ = std::thread([this] { EventLoop(); });
+  for (size_t i = 0; i < opts_.workers; ++i) {
+    worker_threads_.emplace_back([this] { WorkerLoop(); });
+  }
+  poller_thread_ = std::thread([this] { PollerLoop(); });
+  return Status::OK();
+}
+
+void CjoinServer::Stop() {
+  if (!running_.load()) return;
+  if (stopping_.exchange(true)) {
+    // A second caller (e.g. the destructor after an explicit Stop) must
+    // not re-join the threads.
+    return;
+  }
+
+  // Wake the event loop; it closes every connection (cancelling their
+  // in-flight tickets) and exits.
+  uint64_t one = 1;
+  [[maybe_unused]] ssize_t n = ::write(wake_fd_, &one, sizeof(one));
+  if (loop_thread_.joinable()) loop_thread_.join();
+
+  {
+    std::lock_guard<std::mutex> lk(work_mu_);
+    work_closed_ = true;
+  }
+  work_cv_.notify_all();
+  for (auto& t : worker_threads_) {
+    if (t.joinable()) t.join();
+  }
+  worker_threads_.clear();
+
+  poll_cv_.notify_all();
+  if (poller_thread_.joinable()) poller_thread_.join();
+
+  // Reap what the poller left: cancel and drop. Dropping a ticket is
+  // safe — the engine resolves its promise independently — but cancel
+  // first so pipeline registrations are released promptly.
+  std::vector<std::shared_ptr<PendingQuery>> leftover;
+  {
+    std::lock_guard<std::mutex> lk(poll_mu_);
+    leftover.swap(polled_);
+  }
+  for (auto& pq : leftover) {
+    if (pq->ticket != nullptr) pq->ticket->Cancel();
+  }
+
+  if (listen_fd_ >= 0) ::close(listen_fd_);
+  if (wake_fd_ >= 0) ::close(wake_fd_);
+  if (epoll_fd_ >= 0) ::close(epoll_fd_);
+  listen_fd_ = wake_fd_ = epoll_fd_ = -1;
+  running_.store(false);
+}
+
+CjoinServer::Stats CjoinServer::GetStats() const {
+  Stats s;
+  s.connections_accepted = n_accepted_.load(std::memory_order_relaxed);
+  s.connections_active = n_active_.load(std::memory_order_relaxed);
+  s.frames_received = n_frames_.load(std::memory_order_relaxed);
+  s.queries_started = n_queries_.load(std::memory_order_relaxed);
+  s.queries_ok = n_queries_ok_.load(std::memory_order_relaxed);
+  s.queries_error = n_queries_error_.load(std::memory_order_relaxed);
+  s.rows_streamed = n_rows_.load(std::memory_order_relaxed);
+  s.batches_streamed = n_batches_.load(std::memory_order_relaxed);
+  s.rows_ingested = n_ingested_.load(std::memory_order_relaxed);
+  s.cancels_received = n_cancels_.load(std::memory_order_relaxed);
+  s.protocol_errors = n_protocol_errors_.load(std::memory_order_relaxed);
+  return s;
+}
+
+// ------------------------------ Event loop -----------------------------------
+
+void CjoinServer::EventLoop() {
+  constexpr int kMaxEvents = 64;
+  epoll_event events[kMaxEvents];
+  while (true) {
+    const int n = ::epoll_wait(epoll_fd_, events, kMaxEvents, -1);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    if (stopping_.load()) break;
+    for (int i = 0; i < n; ++i) {
+      const int fd = events[i].data.fd;
+      if (fd == listen_fd_) {
+        AcceptLoop();
+        continue;
+      }
+      if (fd == wake_fd_) {
+        uint64_t drained;
+        while (::read(wake_fd_, &drained, sizeof(drained)) > 0) {
+        }
+        ProcessWakeups();
+        continue;
+      }
+      auto it = conns_.find(fd);
+      if (it == conns_.end()) continue;  // closed earlier this batch
+      std::shared_ptr<Connection> conn = it->second;
+      if (events[i].events & (EPOLLHUP | EPOLLERR)) {
+        CloseConnection(conn);
+        continue;
+      }
+      if (events[i].events & (EPOLLIN | EPOLLRDHUP)) ReadLoop(conn);
+      if (events[i].events & EPOLLOUT) FlushOutbox(conn);
+    }
+    if (stopping_.load()) break;
+  }
+  // Shutdown sweep: close every connection, cancelling its queries.
+  while (!conns_.empty()) {
+    CloseConnection(conns_.begin()->second);
+  }
+}
+
+void CjoinServer::AcceptLoop() {
+  while (true) {
+    const int fd = ::accept4(listen_fd_, nullptr, nullptr,
+                             SOCK_NONBLOCK | SOCK_CLOEXEC);
+    if (fd < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return;
+      if (errno == EINTR) continue;
+      return;  // transient accept failure; epoll will retry
+    }
+    if (conns_.size() >= opts_.max_connections) {
+      ::close(fd);
+      continue;
+    }
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    auto conn = std::make_shared<Connection>(fd);
+    conn->session_id = next_session_id_.fetch_add(1, std::memory_order_relaxed);
+    epoll_event ev{};
+    ev.events = EPOLLIN | EPOLLOUT | EPOLLRDHUP | EPOLLET;
+    ev.data.fd = fd;
+    if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev) < 0) {
+      ::close(fd);
+      continue;
+    }
+    conns_.emplace(fd, std::move(conn));
+    n_accepted_.fetch_add(1, std::memory_order_relaxed);
+    n_active_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void CjoinServer::ReadLoop(const std::shared_ptr<Connection>& conn) {
+  uint8_t buf[64 * 1024];
+  bool got_frames = false;
+  while (true) {
+    const ssize_t n = ::recv(conn->fd, buf, sizeof(buf), 0);
+    if (n > 0) {
+      if (Status st = conn->assembler.Feed(buf, static_cast<size_t>(n));
+          !st.ok()) {
+        ProtocolError(conn, st.message());
+        return;
+      }
+      Frame f;
+      while (conn->assembler.Next(&f)) {
+        n_frames_.fetch_add(1, std::memory_order_relaxed);
+        std::lock_guard<std::mutex> lk(conn->mu);
+        if (conn->closed || conn->close_requested) return;
+        conn->pending.push_back(std::move(f));
+        got_frames = true;
+      }
+      continue;  // edge-triggered: drain until EAGAIN
+    }
+    if (n == 0) {
+      CloseConnection(conn);
+      return;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+    if (errno == EINTR) continue;
+    CloseConnection(conn);
+    return;
+  }
+  if (got_frames) {
+    bool schedule = false;
+    {
+      std::lock_guard<std::mutex> lk(conn->mu);
+      if (!conn->dispatching && !conn->closed) {
+        conn->dispatching = true;
+        schedule = true;
+      }
+    }
+    if (schedule) {
+      {
+        std::lock_guard<std::mutex> lk(work_mu_);
+        work_queue_.push_back(conn);
+      }
+      work_cv_.notify_one();
+    }
+  }
+}
+
+void CjoinServer::FlushOutbox(const std::shared_ptr<Connection>& conn) {
+  bool close_now = false;
+  {
+    std::lock_guard<std::mutex> lk(conn->mu);
+    if (conn->closed) return;
+    while (!conn->outbox.empty()) {
+      const std::vector<uint8_t>& head = conn->outbox.front();
+      const ssize_t n =
+          ::send(conn->fd, head.data() + conn->head_off,
+                 head.size() - conn->head_off, MSG_NOSIGNAL);
+      if (n > 0) {
+        conn->head_off += static_cast<size_t>(n);
+        conn->outbox_bytes -= static_cast<size_t>(n);
+        if (conn->head_off == head.size()) {
+          conn->outbox.pop_front();
+          conn->head_off = 0;
+        }
+        continue;
+      }
+      if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+        return;  // EPOLLOUT edge will resume
+      }
+      if (n < 0 && errno == EINTR) continue;
+      close_now = true;  // peer went away
+      break;
+    }
+    if (!close_now && conn->outbox.empty() && conn->close_after_flush) {
+      close_now = true;
+    }
+  }
+  if (close_now) CloseConnection(conn);
+}
+
+void CjoinServer::ProcessWakeups() {
+  std::vector<std::weak_ptr<Connection>> dirty;
+  {
+    std::lock_guard<std::mutex> lk(dirty_mu_);
+    dirty.swap(dirty_);
+  }
+  for (auto& weak : dirty) {
+    std::shared_ptr<Connection> conn = weak.lock();
+    if (conn == nullptr) continue;
+    bool close_now = false;
+    {
+      std::lock_guard<std::mutex> lk(conn->mu);
+      if (conn->closed) continue;
+      close_now = conn->close_requested;
+    }
+    if (close_now) {
+      CloseConnection(conn);
+    } else {
+      FlushOutbox(conn);
+    }
+  }
+}
+
+void CjoinServer::CloseConnection(const std::shared_ptr<Connection>& conn) {
+  std::map<uint64_t, std::shared_ptr<PendingQuery>> inflight;
+  {
+    std::lock_guard<std::mutex> lk(conn->mu);
+    if (conn->closed) return;
+    conn->closed = true;
+    conn->pending.clear();
+    conn->outbox.clear();
+    conn->outbox_bytes = 0;
+    inflight.swap(conn->inflight);
+  }
+  // Disconnect-driven cancellation: the engine's cooperative path
+  // deregisters each query mid-lap and releases its CJOIN registration.
+  // The tickets stay with the completion poller, which reaps and
+  // discards their terminal results.
+  for (auto& [id, pq] : inflight) {
+    if (pq->ticket != nullptr) pq->ticket->Cancel();
+  }
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, conn->fd, nullptr);
+  ::close(conn->fd);
+  conns_.erase(conn->fd);
+  n_active_.fetch_sub(1, std::memory_order_relaxed);
+}
+
+// ------------------------------- Workers -------------------------------------
+
+void CjoinServer::WorkerLoop() {
+  while (true) {
+    std::shared_ptr<Connection> conn;
+    {
+      std::unique_lock<std::mutex> lk(work_mu_);
+      work_cv_.wait(lk, [this] { return work_closed_ || !work_queue_.empty(); });
+      if (work_queue_.empty()) return;  // closed and drained
+      conn = std::move(work_queue_.front());
+      work_queue_.pop_front();
+    }
+    HandleFrames(conn);
+  }
+}
+
+void CjoinServer::HandleFrames(const std::shared_ptr<Connection>& conn) {
+  while (true) {
+    std::deque<Frame> batch;
+    {
+      std::lock_guard<std::mutex> lk(conn->mu);
+      if (conn->pending.empty() || conn->closed) {
+        conn->dispatching = false;
+        return;
+      }
+      batch.swap(conn->pending);
+    }
+    for (const Frame& f : batch) HandleFrame(conn, f);
+  }
+}
+
+void CjoinServer::HandleFrame(const std::shared_ptr<Connection>& conn,
+                              const Frame& f) {
+  bool hello_done;
+  {
+    std::lock_guard<std::mutex> lk(conn->mu);
+    if (conn->closed || conn->close_requested || conn->close_after_flush) {
+      return;
+    }
+    hello_done = conn->hello_done;
+  }
+
+  if (!hello_done && f.type != FrameType::kHello) {
+    ProtocolError(conn, std::string("first frame must be HELLO, got ") +
+                            FrameTypeName(f.type));
+    return;
+  }
+
+  switch (f.type) {
+    case FrameType::kHello: {
+      auto hello = DecodeHelloRequest(f.payload);
+      if (!hello.ok()) {
+        ProtocolError(conn, hello.status().message());
+        return;
+      }
+      {
+        std::lock_guard<std::mutex> lk(conn->mu);
+        conn->tenant = hello->tenant;
+        conn->hello_done = true;
+      }
+      HelloReply reply;
+      reply.session_id = conn->session_id;
+      SendBytes(conn, EncodeHelloReply(reply));
+      return;
+    }
+    case FrameType::kQuery: {
+      auto q = DecodeQuery(f.payload);
+      if (!q.ok()) {
+        ProtocolError(conn, q.status().message());
+        return;
+      }
+      HandleQuery(conn, std::move(*q));
+      return;
+    }
+    case FrameType::kCancel: {
+      auto c = DecodeCancel(f.payload);
+      if (!c.ok()) {
+        ProtocolError(conn, c.status().message());
+        return;
+      }
+      n_cancels_.fetch_add(1, std::memory_order_relaxed);
+      std::shared_ptr<PendingQuery> pq;
+      {
+        std::lock_guard<std::mutex> lk(conn->mu);
+        auto it = conn->inflight.find(c->id);
+        if (it != conn->inflight.end()) pq = it->second;
+      }
+      // Unknown ids are ignored: the query may have completed while the
+      // CANCEL was in flight — exactly the race CANCEL semantics allow.
+      if (pq != nullptr && pq->ticket != nullptr) pq->ticket->Cancel();
+      return;
+    }
+    case FrameType::kIngest: {
+      auto ing = DecodeIngest(f.payload);
+      if (!ing.ok()) {
+        ProtocolError(conn, ing.status().message());
+        return;
+      }
+      HandleIngest(conn, std::move(*ing));
+      return;
+    }
+    case FrameType::kStats: {
+      auto req = DecodeStatsRequest(f.payload);
+      if (!req.ok()) {
+        ProtocolError(conn, req.status().message());
+        return;
+      }
+      StatsReply reply;
+      reply.id = req->id;
+      reply.json = BuildStatsJson();
+      SendBytes(conn, EncodeStatsReply(reply));
+      return;
+    }
+    case FrameType::kRowBatch:
+    case FrameType::kQueryDone:
+    case FrameType::kError:
+      ProtocolError(conn, std::string("server-only frame type ") +
+                              FrameTypeName(f.type) + " from client");
+      return;
+  }
+  ProtocolError(conn, "unknown frame type " +
+                          std::to_string(static_cast<int>(f.type)));
+}
+
+void CjoinServer::HandleQuery(const std::shared_ptr<Connection>& conn,
+                              QueryFrame f) {
+  std::string tenant;
+  {
+    std::lock_guard<std::mutex> lk(conn->mu);
+    if (conn->inflight.count(f.id) != 0) {
+      SendError(conn, f.id,
+                Status::InvalidArgument("request id already in flight"));
+      return;
+    }
+    tenant = conn->tenant;
+  }
+
+  QueryRequest req = QueryRequest::Sql(f.star, f.sql);
+  req.tenant = std::move(tenant);
+  req.priority = f.priority;
+  req.policy = static_cast<RoutePolicy>(f.policy);
+  if (f.timeout_ns > 0) req.timeout = std::chrono::nanoseconds(f.timeout_ns);
+
+  n_queries_.fetch_add(1, std::memory_order_relaxed);
+  auto ticket = engine_->Execute(std::move(req));
+  if (!ticket.ok()) {
+    // Malformed request (parse / binding errors). Admission shedding
+    // does NOT land here — it resolves through the ticket below.
+    n_queries_error_.fetch_add(1, std::memory_order_relaxed);
+    SendError(conn, f.id, ticket.status());
+    return;
+  }
+
+  auto pq = std::make_shared<PendingQuery>();
+  pq->request_id = f.id;
+  pq->ticket = std::move(*ticket);
+  pq->conn = conn;
+  {
+    std::lock_guard<std::mutex> lk(conn->mu);
+    if (conn->closed) {
+      // Raced a disconnect: nobody will read the result.
+      pq->ticket->Cancel();
+      return;
+    }
+    conn->inflight.emplace(f.id, pq);
+  }
+  {
+    std::lock_guard<std::mutex> lk(poll_mu_);
+    polled_.push_back(std::move(pq));
+  }
+  poll_cv_.notify_one();
+}
+
+void CjoinServer::HandleIngest(const std::shared_ptr<Connection>& conn,
+                               IngestFrame f) {
+  auto star = engine_->FindStar(f.star);
+  if (!star.ok()) {
+    SendError(conn, f.id, star.status());
+    return;
+  }
+  const Schema& schema = (*star)->fact().schema();
+
+  // Convert typed wire rows into the fact table's physical row layout.
+  std::vector<std::vector<uint8_t>> rows;
+  rows.reserve(f.rows.size());
+  for (size_t r = 0; r < f.rows.size(); ++r) {
+    const std::vector<Value>& in = f.rows[r];
+    if (in.size() != schema.num_columns()) {
+      SendError(conn, f.id,
+                Status::InvalidArgument(
+                    "ingest row " + std::to_string(r) + " has " +
+                    std::to_string(in.size()) + " values, fact table has " +
+                    std::to_string(schema.num_columns()) + " columns"));
+      return;
+    }
+    std::vector<uint8_t> payload(schema.row_size(), 0);
+    for (size_t c = 0; c < in.size(); ++c) {
+      const Column& col = schema.column(c);
+      const Value& v = in[c];
+      bool ok = true;
+      switch (col.type) {
+        case DataType::kInt32:
+          ok = v.is_int();
+          if (ok) {
+            schema.SetInt32(payload.data(), c,
+                            static_cast<int32_t>(v.AsInt()));
+          }
+          break;
+        case DataType::kInt64:
+          ok = v.is_int();
+          if (ok) schema.SetInt64(payload.data(), c, v.AsInt());
+          break;
+        case DataType::kDouble:
+          ok = v.is_numeric();
+          if (ok) schema.SetDouble(payload.data(), c, v.AsDouble());
+          break;
+        case DataType::kChar:
+          ok = v.is_string();
+          if (ok) schema.SetChar(payload.data(), c, v.AsString());
+          break;
+      }
+      if (!ok) {
+        SendError(conn, f.id,
+                  Status::InvalidArgument(
+                      "ingest row " + std::to_string(r) + " column '" +
+                      col.name + "': value kind does not match column type"));
+        return;
+      }
+    }
+    rows.push_back(std::move(payload));
+  }
+
+  auto snapshot = engine_->AppendFacts(f.star, rows);
+  if (!snapshot.ok()) {
+    SendError(conn, f.id, snapshot.status());
+    return;
+  }
+  n_ingested_.fetch_add(rows.size(), std::memory_order_relaxed);
+  IngestReply reply;
+  reply.id = f.id;
+  reply.snapshot = *snapshot;
+  reply.rows_appended = rows.size();
+  SendBytes(conn, EncodeIngestReply(reply));
+}
+
+std::string CjoinServer::BuildStatsJson() {
+  const AdmissionController::Stats adm = engine_->AdmissionStats();
+  const Stats s = GetStats();
+  std::string json = "{";
+  auto field = [&json](const char* name, uint64_t v, bool first = false) {
+    if (!first) json += ",";
+    json += "\"";
+    json += name;
+    json += "\":";
+    json += std::to_string(v);
+  };
+  field("snapshot", engine_->CurrentSnapshot(), true);
+  field("cjoin_inflight", adm.total_cjoin_inflight);
+  field("baseline_in_system", adm.total_baseline_in_system);
+  field("admission_waiting", adm.total_waiting);
+  field("connections_active", s.connections_active);
+  field("queries_started", s.queries_started);
+  field("queries_ok", s.queries_ok);
+  field("queries_error", s.queries_error);
+  field("rows_streamed", s.rows_streamed);
+  field("rows_ingested", s.rows_ingested);
+  json += "}";
+  return json;
+}
+
+// --------------------------- Completion poller -------------------------------
+
+void CjoinServer::PollerLoop() {
+  std::vector<std::shared_ptr<PendingQuery>> ready;
+  while (true) {
+    {
+      std::unique_lock<std::mutex> lk(poll_mu_);
+      if (polled_.empty()) {
+        poll_cv_.wait(lk, [this] {
+          return stopping_.load() || !polled_.empty();
+        });
+      } else {
+        poll_cv_.wait_for(lk, opts_.poll_interval);
+      }
+      if (stopping_.load()) return;  // Stop() reaps the leftovers
+      // Sweep: move finished tickets out, keep the rest parked.
+      ready.clear();
+      for (size_t i = 0; i < polled_.size();) {
+        if (polled_[i]->ticket->Ready()) {
+          ready.push_back(std::move(polled_[i]));
+          polled_[i] = std::move(polled_.back());
+          polled_.pop_back();
+        } else {
+          ++i;
+        }
+      }
+    }
+    for (auto& pq : ready) ResolvePending(pq);
+    ready.clear();
+  }
+}
+
+void CjoinServer::ResolvePending(const std::shared_ptr<PendingQuery>& pq) {
+  Result<ResultSet> result = pq->ticket->Wait();
+  const std::shared_ptr<Connection>& conn = pq->conn;
+
+  bool conn_open;
+  {
+    std::lock_guard<std::mutex> lk(conn->mu);
+    conn->inflight.erase(pq->request_id);
+    conn_open = !conn->closed;
+  }
+  if (!conn_open) {
+    // Disconnected client: the result is reaped and discarded (its
+    // cancellation already released the engine-side registration).
+    n_queries_error_.fetch_add(result.ok() ? 0 : 1, std::memory_order_relaxed);
+    return;
+  }
+
+  if (!result.ok()) {
+    // Admission shedding, cancellation, deadlines, aborts: one uniform
+    // ERROR frame carrying the engine's Status code.
+    n_queries_error_.fetch_add(1, std::memory_order_relaxed);
+    SendError(conn, pq->request_id, result.status());
+    return;
+  }
+
+  // Stream the materialized result as ROW_BATCH chunks + QUERY_DONE.
+  std::vector<std::vector<uint8_t>> batches =
+      EncodeResultBatches(pq->request_id, *result, opts_.batch_rows);
+  for (auto& b : batches) SendBytes(conn, std::move(b));
+  n_batches_.fetch_add(batches.size(), std::memory_order_relaxed);
+  n_rows_.fetch_add(result->rows.size(), std::memory_order_relaxed);
+
+  QueryDoneFrame done;
+  done.id = pq->request_id;
+  done.total_rows = result->rows.size();
+  done.tuples_consumed = result->tuples_consumed;
+  done.snapshot = pq->ticket->snapshot();
+  done.response_seconds = pq->ticket->ResponseSeconds();
+  // Count before the frame goes out: a client that saw QUERY_DONE and
+  // immediately asked for STATS must see this query in queries_ok.
+  n_queries_ok_.fetch_add(1, std::memory_order_relaxed);
+  SendBytes(conn, EncodeQueryDone(done));
+}
+
+// ------------------------- Cross-thread helpers ------------------------------
+
+void CjoinServer::SendBytes(const std::shared_ptr<Connection>& conn,
+                            std::vector<uint8_t> bytes) {
+  {
+    std::lock_guard<std::mutex> lk(conn->mu);
+    if (conn->closed || conn->close_requested) return;
+    conn->outbox_bytes += bytes.size();
+    conn->outbox.push_back(std::move(bytes));
+    if (conn->outbox_bytes > opts_.max_outbox_bytes) {
+      // Slow consumer: dropping the connection beats buffering without
+      // bound. Its in-flight queries are cancelled by the close path.
+      conn->close_requested = true;
+    }
+  }
+  WakeLoop(conn);
+}
+
+void CjoinServer::SendError(const std::shared_ptr<Connection>& conn,
+                            uint64_t id, const Status& status) {
+  ErrorFrame err;
+  err.id = id;
+  err.code = status.code();
+  err.message = status.message();
+  SendBytes(conn, EncodeError(err));
+}
+
+void CjoinServer::ProtocolError(const std::shared_ptr<Connection>& conn,
+                                const std::string& message) {
+  n_protocol_errors_.fetch_add(1, std::memory_order_relaxed);
+  ErrorFrame err;
+  err.id = 0;
+  err.code = StatusCode::kInvalidArgument;
+  err.message = message;
+  std::vector<uint8_t> bytes = EncodeError(err);
+  {
+    std::lock_guard<std::mutex> lk(conn->mu);
+    if (conn->closed || conn->close_requested) return;
+    conn->outbox_bytes += bytes.size();
+    conn->outbox.push_back(std::move(bytes));
+    conn->close_after_flush = true;
+    conn->pending.clear();  // no further frames from this peer
+  }
+  WakeLoop(conn);
+}
+
+void CjoinServer::WakeLoop(const std::shared_ptr<Connection>& conn) {
+  {
+    std::lock_guard<std::mutex> lk(dirty_mu_);
+    dirty_.push_back(conn);
+  }
+  const uint64_t one = 1;
+  [[maybe_unused]] ssize_t n = ::write(wake_fd_, &one, sizeof(one));
+}
+
+}  // namespace net
+}  // namespace cjoin

@@ -1,0 +1,206 @@
+// The network serving front-end: an epoll-based TCP server over the
+// QueryEngine.
+//
+// CandeaPV09's pitch is predictable performance for thousands of
+// concurrent clients; this is the wire those clients arrive on. The
+// server speaks the length-prefixed protocol of net/protocol.h and maps
+// it onto the engine's unified submission path:
+//
+//   * every QUERY flows through QueryEngine::Execute(QueryRequest) →
+//     QueryTicket, so admission shedding surfaces to the client as an
+//     ERROR frame carrying the Status code (kResourceExhausted), never
+//     as a stalled connection;
+//   * results stream back as ROW_BATCH frames followed by QUERY_DONE,
+//     chunked rather than buffered as one giant frame;
+//   * a client disconnect mid-query cancels its outstanding tickets
+//     through the engine's cooperative-cancellation path, releasing the
+//     CJOIN bit-vector registrations;
+//   * INGEST appends rows to the fact table through the MVCC commit path
+//     (AppendFacts) and acks with the commit snapshot.
+//
+// Threading model (all TSan-clean):
+//   * one event-loop thread: non-blocking accept/read/write on an
+//     edge-triggered epoll set, woken by an eventfd for cross-thread
+//     sends and close requests; it alone touches socket fds;
+//   * a small worker pool decodes frames and runs engine calls; frames
+//     of one connection are dispatched to at most one worker at a time,
+//     preserving per-connection order;
+//   * one completion poller collects finished tickets (non-blocking
+//     Ready() sweeps) and enqueues their response frames, so in-flight
+//     queries never pin a thread each.
+
+#ifndef CJOIN_NET_SERVER_H_
+#define CJOIN_NET_SERVER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "engine/query_engine.h"
+#include "net/protocol.h"
+
+namespace cjoin {
+namespace net {
+
+class CjoinServer {
+ public:
+  struct Options {
+    /// Listen address. Port 0 binds an ephemeral port (see port()).
+    std::string host = "127.0.0.1";
+    uint16_t port = 0;
+    /// Frame-decode / engine-submission workers.
+    size_t workers = 4;
+    /// Rows per ROW_BATCH frame of a streamed result.
+    size_t batch_rows = 512;
+    /// A connection whose unsent output exceeds this is dropped as a slow
+    /// consumer instead of buffering without bound.
+    size_t max_outbox_bytes = 64u << 20;
+    /// Completion-poller sweep interval while queries are outstanding.
+    std::chrono::microseconds poll_interval{200};
+    /// Cap on simultaneously open client connections; accepts beyond it
+    /// are closed immediately.
+    size_t max_connections = 4096;
+  };
+
+  /// Monotonic counters (all totals since Start).
+  struct Stats {
+    uint64_t connections_accepted = 0;
+    uint64_t connections_active = 0;
+    uint64_t frames_received = 0;
+    uint64_t queries_started = 0;
+    uint64_t queries_ok = 0;
+    uint64_t queries_error = 0;  ///< ERROR frames sent for queries
+    uint64_t rows_streamed = 0;
+    uint64_t batches_streamed = 0;
+    uint64_t rows_ingested = 0;
+    uint64_t cancels_received = 0;
+    uint64_t protocol_errors = 0;
+  };
+
+  /// The engine must outlive the server.
+  CjoinServer(QueryEngine* engine, Options options);
+  ~CjoinServer();
+
+  CjoinServer(const CjoinServer&) = delete;
+  CjoinServer& operator=(const CjoinServer&) = delete;
+
+  /// Binds, listens, and starts the event loop, workers, and poller.
+  Status Start();
+
+  /// Stops accepting, cancels every in-flight query, closes every
+  /// connection, and joins all threads. Idempotent; called by ~CjoinServer.
+  void Stop();
+
+  /// The bound TCP port (valid after Start; resolves port 0 binds).
+  uint16_t port() const { return port_; }
+
+  Stats GetStats() const;
+
+ private:
+  struct Connection;
+
+  /// One client query in flight: the engine ticket plus the connection
+  /// awaiting its result. Owned by the completion poller; also indexed by
+  /// the connection for CANCEL and disconnect.
+  struct PendingQuery {
+    uint64_t request_id = 0;
+    std::unique_ptr<QueryTicket> ticket;
+    std::shared_ptr<Connection> conn;
+  };
+
+  // --- event-loop thread ---
+  void EventLoop();
+  void AcceptLoop();
+  void ReadLoop(const std::shared_ptr<Connection>& conn);
+  /// Writes the outbox until EAGAIN or empty; closes on error / after a
+  /// flush that a protocol error requested.
+  void FlushOutbox(const std::shared_ptr<Connection>& conn);
+  void ProcessWakeups();
+  void CloseConnection(const std::shared_ptr<Connection>& conn);
+
+  // --- worker threads ---
+  void WorkerLoop();
+  void HandleFrames(const std::shared_ptr<Connection>& conn);
+  void HandleFrame(const std::shared_ptr<Connection>& conn, const Frame& f);
+  void HandleQuery(const std::shared_ptr<Connection>& conn, QueryFrame f);
+  void HandleIngest(const std::shared_ptr<Connection>& conn, IngestFrame f);
+  std::string BuildStatsJson();
+
+  // --- completion poller ---
+  void PollerLoop();
+  void ResolvePending(const std::shared_ptr<PendingQuery>& pq);
+
+  // --- cross-thread helpers ---
+  /// Enqueues an encoded frame on the connection's outbox and wakes the
+  /// event loop to write it. Drops silently if the connection is closed.
+  void SendBytes(const std::shared_ptr<Connection>& conn,
+                 std::vector<uint8_t> bytes);
+  void SendError(const std::shared_ptr<Connection>& conn, uint64_t id,
+                 const Status& status);
+  /// Connection-level protocol violation: ERROR(id=0) then close.
+  void ProtocolError(const std::shared_ptr<Connection>& conn,
+                     const std::string& message);
+  /// Marks the connection dirty (has output / wants close) and signals
+  /// the event loop's eventfd.
+  void WakeLoop(const std::shared_ptr<Connection>& conn);
+
+  QueryEngine* engine_;
+  Options opts_;
+
+  int listen_fd_ = -1;
+  int epoll_fd_ = -1;
+  int wake_fd_ = -1;
+  uint16_t port_ = 0;
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stopping_{false};
+
+  std::thread loop_thread_;
+  std::vector<std::thread> worker_threads_;
+  std::thread poller_thread_;
+
+  /// fd → connection; event-loop thread only.
+  std::map<int, std::shared_ptr<Connection>> conns_;
+
+  /// Connections with pending output or a close request, awaiting the
+  /// event loop (guarded by dirty_mu_).
+  std::mutex dirty_mu_;
+  std::vector<std::weak_ptr<Connection>> dirty_;
+
+  /// Connections with undispatched frames, awaiting a worker.
+  std::mutex work_mu_;
+  std::condition_variable work_cv_;
+  std::deque<std::shared_ptr<Connection>> work_queue_;
+  bool work_closed_ = false;
+
+  /// Outstanding tickets, awaiting the completion poller.
+  std::mutex poll_mu_;
+  std::condition_variable poll_cv_;
+  std::vector<std::shared_ptr<PendingQuery>> polled_;
+
+  std::atomic<uint64_t> next_session_id_{1};
+
+  // Counters (relaxed; read by GetStats).
+  std::atomic<uint64_t> n_accepted_{0};
+  std::atomic<uint64_t> n_active_{0};
+  std::atomic<uint64_t> n_frames_{0};
+  std::atomic<uint64_t> n_queries_{0};
+  std::atomic<uint64_t> n_queries_ok_{0};
+  std::atomic<uint64_t> n_queries_error_{0};
+  std::atomic<uint64_t> n_rows_{0};
+  std::atomic<uint64_t> n_batches_{0};
+  std::atomic<uint64_t> n_ingested_{0};
+  std::atomic<uint64_t> n_cancels_{0};
+  std::atomic<uint64_t> n_protocol_errors_{0};
+};
+
+}  // namespace net
+}  // namespace cjoin
+
+#endif  // CJOIN_NET_SERVER_H_

@@ -1,0 +1,338 @@
+// Wire-protocol tests: encode/decode round-trips for every frame type,
+// ResultSet batching, incremental frame assembly, and — because bytes
+// off a socket are hostile until proven otherwise — a battery of
+// truncated / oversized / garbage payloads that must all fail with
+// kInvalidArgument instead of crashing or allocating absurd amounts.
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "net/protocol.h"
+
+namespace cjoin {
+namespace net {
+namespace {
+
+// Strips the 5-byte header of an encoded frame, checking it is
+// well-formed, and returns the payload.
+std::vector<uint8_t> Payload(const std::vector<uint8_t>& frame,
+                             FrameType expect_type) {
+  EXPECT_GE(frame.size(), kFrameHeaderSize);
+  uint32_t len = 0;
+  std::memcpy(&len, frame.data(), sizeof(len));
+  EXPECT_EQ(len, frame.size() - kFrameHeaderSize);
+  EXPECT_EQ(frame[4], static_cast<uint8_t>(expect_type));
+  return std::vector<uint8_t>(frame.begin() + kFrameHeaderSize, frame.end());
+}
+
+// ------------------------------ Round trips ---------------------------------
+
+TEST(ProtocolRoundTrip, Hello) {
+  HelloRequest req{"tenant-7"};
+  auto got = DecodeHelloRequest(
+      Payload(EncodeHelloRequest(req), FrameType::kHello));
+  ASSERT_TRUE(got.ok()) << got.status().ToString();
+  EXPECT_EQ(got->tenant, "tenant-7");
+
+  HelloReply rep{42};
+  auto got2 =
+      DecodeHelloReply(Payload(EncodeHelloReply(rep), FrameType::kHello));
+  ASSERT_TRUE(got2.ok());
+  EXPECT_EQ(got2->session_id, 42u);
+}
+
+TEST(ProtocolRoundTrip, Query) {
+  QueryFrame f;
+  f.id = 99;
+  f.timeout_ns = 1500000000;
+  f.priority = -3;
+  f.policy = 2;  // RoutePolicy::kBaseline on the wire
+  f.star = "ssb";
+  f.sql = "SELECT COUNT(*) FROM lineorder WHERE lo_discount < 3";
+  auto got = DecodeQuery(Payload(EncodeQuery(f), FrameType::kQuery));
+  ASSERT_TRUE(got.ok()) << got.status().ToString();
+  EXPECT_EQ(got->id, 99u);
+  EXPECT_EQ(got->timeout_ns, 1500000000);
+  EXPECT_EQ(got->priority, -3);
+  EXPECT_EQ(got->policy, 2);
+  EXPECT_EQ(got->star, "ssb");
+  EXPECT_EQ(got->sql, f.sql);
+
+  // A policy byte outside the RoutePolicy range must be rejected, not
+  // cast blindly into the enum.
+  QueryFrame bad = f;
+  bad.policy = 9;
+  auto rej = DecodeQuery(Payload(EncodeQuery(bad), FrameType::kQuery));
+  ASSERT_FALSE(rej.ok());
+  EXPECT_EQ(rej.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ProtocolRoundTrip, RowBatchAllValueKinds) {
+  RowBatchFrame f;
+  f.id = 7;
+  f.first = true;
+  f.columns = {"a", "b", "c", "d"};
+  f.rows.push_back({Value(), Value(static_cast<int64_t>(-5)), Value(2.5),
+                    Value(std::string("hi"))});
+  f.rows.push_back({Value(static_cast<int64_t>(1)), Value(),
+                    Value(std::string("")), Value(-0.0)});
+  auto got = DecodeRowBatch(Payload(EncodeRowBatch(f), FrameType::kRowBatch));
+  ASSERT_TRUE(got.ok()) << got.status().ToString();
+  EXPECT_EQ(got->id, 7u);
+  EXPECT_TRUE(got->first);
+  EXPECT_EQ(got->columns, f.columns);
+  ASSERT_EQ(got->rows.size(), 2u);
+  EXPECT_TRUE(got->rows[0][0].is_null());
+  EXPECT_EQ(got->rows[0][1].AsInt(), -5);
+  EXPECT_EQ(got->rows[0][2].AsDouble(), 2.5);
+  EXPECT_EQ(got->rows[0][3].AsString(), "hi");
+  EXPECT_EQ(got->rows[1][2].AsString(), "");
+}
+
+TEST(ProtocolRoundTrip, QueryDoneErrorCancel) {
+  QueryDoneFrame d;
+  d.id = 3;
+  d.total_rows = 1000;
+  d.tuples_consumed = 123456;
+  d.snapshot = 9;
+  d.response_seconds = 0.125;
+  auto got =
+      DecodeQueryDone(Payload(EncodeQueryDone(d), FrameType::kQueryDone));
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(got->total_rows, 1000u);
+  EXPECT_EQ(got->tuples_consumed, 123456u);
+  EXPECT_EQ(got->snapshot, 9u);
+  EXPECT_EQ(got->response_seconds, 0.125);
+
+  ErrorFrame e;
+  e.id = 4;
+  e.code = StatusCode::kResourceExhausted;
+  e.message = "tenant over quota";
+  auto got2 = DecodeError(Payload(EncodeError(e), FrameType::kError));
+  ASSERT_TRUE(got2.ok());
+  EXPECT_EQ(got2->code, StatusCode::kResourceExhausted);
+  EXPECT_EQ(got2->ToStatus().code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(got2->message, "tenant over quota");
+
+  CancelFrame c{77};
+  auto got3 = DecodeCancel(Payload(EncodeCancel(c), FrameType::kCancel));
+  ASSERT_TRUE(got3.ok());
+  EXPECT_EQ(got3->id, 77u);
+}
+
+TEST(ProtocolRoundTrip, IngestAndStats) {
+  IngestFrame f;
+  f.id = 11;
+  f.star = "ssb";
+  f.rows.push_back({Value(static_cast<int64_t>(1)), Value(std::string("x"))});
+  f.rows.push_back({Value(static_cast<int64_t>(2)), Value(std::string("y"))});
+  auto got = DecodeIngest(Payload(EncodeIngest(f), FrameType::kIngest));
+  ASSERT_TRUE(got.ok()) << got.status().ToString();
+  EXPECT_EQ(got->star, "ssb");
+  ASSERT_EQ(got->rows.size(), 2u);
+  EXPECT_EQ(got->rows[1][1].AsString(), "y");
+
+  IngestReply r{11, 5, 2};
+  auto got2 =
+      DecodeIngestReply(Payload(EncodeIngestReply(r), FrameType::kIngest));
+  ASSERT_TRUE(got2.ok());
+  EXPECT_EQ(got2->snapshot, 5u);
+  EXPECT_EQ(got2->rows_appended, 2u);
+
+  StatsRequest sr{13};
+  auto got3 =
+      DecodeStatsRequest(Payload(EncodeStatsRequest(sr), FrameType::kStats));
+  ASSERT_TRUE(got3.ok());
+  EXPECT_EQ(got3->id, 13u);
+
+  StatsReply sp{13, "{\"snapshot\":1}"};
+  auto got4 = DecodeStatsReply(Payload(EncodeStatsReply(sp), FrameType::kStats));
+  ASSERT_TRUE(got4.ok());
+  EXPECT_EQ(got4->json, "{\"snapshot\":1}");
+}
+
+// ----------------------------- Result batching ------------------------------
+
+ResultSet MakeResult(size_t rows) {
+  ResultSet rs;
+  rs.columns = {"k", "v"};
+  for (size_t i = 0; i < rows; ++i) {
+    rs.rows.push_back(
+        {Value(static_cast<int64_t>(i)), Value(static_cast<double>(i) / 2)});
+  }
+  rs.tuples_consumed = rows * 10;
+  return rs;
+}
+
+TEST(ResultBatching, EmptyResultStillSendsHeaderBatch) {
+  auto frames = EncodeResultBatches(5, MakeResult(0), 128);
+  ASSERT_EQ(frames.size(), 1u);
+  auto got = DecodeRowBatch(Payload(frames[0], FrameType::kRowBatch));
+  ASSERT_TRUE(got.ok());
+  EXPECT_TRUE(got->first);
+  EXPECT_EQ(got->columns.size(), 2u);
+  EXPECT_TRUE(got->rows.empty());
+}
+
+TEST(ResultBatching, SplitsAndReassembles) {
+  const ResultSet rs = MakeResult(1000);
+  auto frames = EncodeResultBatches(5, rs, 128);
+  EXPECT_EQ(frames.size(), (1000 + 127) / 128);
+  size_t total = 0;
+  for (size_t i = 0; i < frames.size(); ++i) {
+    auto got = DecodeRowBatch(Payload(frames[i], FrameType::kRowBatch));
+    ASSERT_TRUE(got.ok());
+    EXPECT_EQ(got->id, 5u);
+    EXPECT_EQ(got->first, i == 0);
+    EXPECT_EQ(got->columns.empty(), i != 0);
+    for (const auto& row : got->rows) {
+      EXPECT_EQ(row[0].AsInt(), static_cast<int64_t>(total));
+      ++total;
+    }
+  }
+  EXPECT_EQ(total, 1000u);
+}
+
+// ----------------------------- Frame assembly -------------------------------
+
+TEST(FrameAssemblerTest, ByteAtATime) {
+  auto frame = EncodeQuery(QueryFrame{1, 0, 0, 0, "s", "select 1"});
+  FrameAssembler asm_;
+  Frame out;
+  for (size_t i = 0; i < frame.size(); ++i) {
+    EXPECT_FALSE(asm_.Next(&out));
+    ASSERT_TRUE(asm_.Feed(&frame[i], 1).ok());
+  }
+  ASSERT_TRUE(asm_.Next(&out));
+  EXPECT_EQ(out.type, FrameType::kQuery);
+  EXPECT_FALSE(asm_.Next(&out));
+  EXPECT_EQ(asm_.buffered_bytes(), 0u);
+}
+
+TEST(FrameAssemblerTest, ManyFramesOneFeed) {
+  std::vector<uint8_t> stream;
+  for (int i = 0; i < 10; ++i) {
+    auto f = EncodeCancel(CancelFrame{static_cast<uint64_t>(i)});
+    stream.insert(stream.end(), f.begin(), f.end());
+  }
+  FrameAssembler asm_;
+  ASSERT_TRUE(asm_.Feed(stream.data(), stream.size()).ok());
+  Frame out;
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(asm_.Next(&out));
+    auto c = DecodeCancel(out.payload);
+    ASSERT_TRUE(c.ok());
+    EXPECT_EQ(c->id, static_cast<uint64_t>(i));
+  }
+  EXPECT_FALSE(asm_.Next(&out));
+}
+
+TEST(FrameAssemblerTest, HostileLengthRejectedBeforeAllocation) {
+  // Header claiming a payload far over kMaxFramePayload.
+  uint8_t hdr[kFrameHeaderSize] = {0xff, 0xff, 0xff, 0xff,
+                                   static_cast<uint8_t>(FrameType::kQuery)};
+  FrameAssembler asm_;
+  Status st = asm_.Feed(hdr, sizeof(hdr));
+  EXPECT_EQ(st.code(), StatusCode::kInvalidArgument) << st.ToString();
+}
+
+// ------------------------------ Hostile decode ------------------------------
+
+TEST(HostileDecode, TruncationsNeverCrash) {
+  // Every well-formed frame, truncated at every length, must decode to
+  // kInvalidArgument (or, for a prefix that happens to be self-consistent,
+  // still a clean Result) — never crash or throw.
+  const std::vector<std::vector<uint8_t>> frames = {
+      EncodeHelloRequest(HelloRequest{"t"}),
+      EncodeQuery(QueryFrame{1, 5, 2, 1, "star", "select 1"}),
+      EncodeRowBatch(RowBatchFrame{
+          1, true, {"c"}, {{Value(static_cast<int64_t>(1))}}}),
+      EncodeError(ErrorFrame{1, StatusCode::kAborted, "x"}),
+      EncodeIngest(IngestFrame{1, "s", {{Value(1.5)}}}),
+  };
+  for (const auto& f : frames) {
+    const std::vector<uint8_t> payload(f.begin() + kFrameHeaderSize, f.end());
+    for (size_t cut = 0; cut < payload.size(); ++cut) {
+      std::vector<uint8_t> trunc(payload.begin(), payload.begin() + cut);
+      (void)DecodeHelloRequest(trunc);
+      (void)DecodeQuery(trunc);
+      (void)DecodeRowBatch(trunc);
+      (void)DecodeError(trunc);
+      (void)DecodeIngest(trunc);
+    }
+  }
+  SUCCEED();
+}
+
+TEST(HostileDecode, WrongMagicOrVersion) {
+  auto frame = EncodeHelloRequest(HelloRequest{"t"});
+  std::vector<uint8_t> payload(frame.begin() + kFrameHeaderSize, frame.end());
+  payload[0] ^= 0xff;  // corrupt magic
+  EXPECT_EQ(DecodeHelloRequest(payload).status().code(),
+            StatusCode::kInvalidArgument);
+
+  payload[0] ^= 0xff;  // restore; corrupt version
+  payload[4] = 0x7f;
+  EXPECT_EQ(DecodeHelloRequest(payload).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(HostileDecode, AbsurdStringLengthRejected) {
+  WireWriter w;
+  w.PutU64(1);                    // id
+  w.PutI64(0);                    // timeout
+  w.PutI32(0);                    // priority
+  w.PutU32(0xffffffffu);          // star "length"
+  auto got = DecodeQuery(w.Take());
+  EXPECT_EQ(got.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(HostileDecode, RowCountOverflowRejected) {
+  // A batch claiming 2^32-1 rows with a near-empty payload must be
+  // rejected by the claimed-count vs remaining-bytes check, not attempt a
+  // 4-billion-entry reserve.
+  WireWriter w;
+  w.PutU64(1);            // id
+  w.PutU8(1);             // first
+  w.PutU16(1);            // 1 column
+  w.PutString("c");
+  w.PutU32(0xffffffffu);  // row count
+  w.PutU16(1);            // row width
+  auto got = DecodeRowBatch(w.Take());
+  EXPECT_EQ(got.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(HostileDecode, BadValueKindTagRejected) {
+  WireWriter w;
+  w.PutU64(1);     // id
+  w.PutString("s");
+  w.PutU32(1);     // 1 row
+  w.PutU16(1);     // row width
+  w.PutU8(250);    // bogus value kind
+  auto got = DecodeIngest(w.Take());
+  EXPECT_EQ(got.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(HostileDecode, TrailingGarbageRejected) {
+  auto frame = EncodeCancel(CancelFrame{1});
+  std::vector<uint8_t> payload(frame.begin() + kFrameHeaderSize, frame.end());
+  payload.push_back(0xab);
+  EXPECT_EQ(DecodeCancel(payload).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(HostileDecode, ErrorCodeOutOfRangeRejected) {
+  WireWriter w;
+  w.PutU64(1);
+  w.PutU16(200);  // not a StatusCode
+  w.PutString("m");
+  EXPECT_EQ(DecodeError(w.Take()).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace net
+}  // namespace cjoin

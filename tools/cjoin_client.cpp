@@ -1,0 +1,207 @@
+// cjoin_client: interactive / scripted client for cjoin_server.
+//
+//   $ cjoin_client --port 7744                     # interactive
+//   $ cjoin_client --port 7744 < script.txt        # scripted (CI)
+//   $ cjoin_client --port 7744 --exec "select count(*) from ssb;"
+//
+// Input is line-oriented. SQL statements may span lines and end with
+// ';'. Meta commands start with '\':
+//
+//   \ingest STAR v1,v2,...   append one fact row (ints/doubles/strings
+//                            inferred from the literal; 'quoted' = string)
+//   \stats                   print the server's STATS JSON
+//   \q                       quit
+//
+// In scripted mode (stdin not a tty, or --exec) any server error exits
+// with status 1, so CI smoke tests fail loudly.
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "net/client.h"
+
+using namespace cjoin;
+
+namespace {
+
+void PrintResult(const net::CjoinClient::QueryResult& qr) {
+  const ResultSet& rs = qr.result;
+  for (size_t i = 0; i < rs.columns.size(); ++i) {
+    std::printf("%s%s", i ? "\t" : "", rs.columns[i].c_str());
+  }
+  std::printf("\n");
+  for (const auto& row : rs.rows) {
+    for (size_t i = 0; i < row.size(); ++i) {
+      std::printf("%s%s", i ? "\t" : "", row[i].ToString().c_str());
+    }
+    std::printf("\n");
+  }
+  std::printf("(%zu rows, snapshot %llu, %.2f ms server)\n", rs.rows.size(),
+              static_cast<unsigned long long>(qr.snapshot),
+              qr.response_seconds * 1e3);
+}
+
+// Parses one \ingest value: integer / double / (optionally quoted) string.
+Value ParseValue(std::string tok) {
+  // Trim.
+  size_t b = tok.find_first_not_of(" \t");
+  size_t e = tok.find_last_not_of(" \t");
+  tok = (b == std::string::npos) ? "" : tok.substr(b, e - b + 1);
+  if (tok.size() >= 2 && tok.front() == '\'' && tok.back() == '\'') {
+    return Value(tok.substr(1, tok.size() - 2));
+  }
+  char* end = nullptr;
+  errno = 0;
+  long long i = std::strtoll(tok.c_str(), &end, 10);
+  if (errno == 0 && end != tok.c_str() && *end == '\0') {
+    return Value(static_cast<int64_t>(i));
+  }
+  errno = 0;
+  double d = std::strtod(tok.c_str(), &end);
+  if (errno == 0 && end != tok.c_str() && *end == '\0') return Value(d);
+  return Value(tok);
+}
+
+// \ingest STAR v1,v2,...  — returns false on malformed input.
+bool HandleIngest(net::CjoinClient& client, const std::string& rest,
+                  bool* server_err) {
+  std::istringstream in(rest);
+  std::string star;
+  if (!(in >> star)) return false;
+  std::string csv;
+  std::getline(in, csv);
+  std::vector<Value> row;
+  std::string tok;
+  std::istringstream vals(csv);
+  while (std::getline(vals, tok, ',')) row.push_back(ParseValue(tok));
+  if (row.empty()) return false;
+  auto snap = client.Ingest(star, {row});
+  if (!snap.ok()) {
+    std::printf("ERROR: %s\n", snap.status().ToString().c_str());
+    *server_err = true;
+    return true;
+  }
+  std::printf("ingested 1 row, snapshot %llu\n",
+              static_cast<unsigned long long>(*snap));
+  return true;
+}
+
+int Usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s --port P [--host H] [--tenant T] [--star S] "
+               "[--timeout-ms MS] [--exec CMDS]\n",
+               argv0);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  net::CjoinClient::Options copts;
+  std::string star = "ssb";
+  std::string exec_script;
+  int64_t timeout_ns = 0;
+  bool have_port = false;
+
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--host") == 0 && i + 1 < argc) {
+      copts.host = argv[++i];
+    } else if (std::strcmp(argv[i], "--port") == 0 && i + 1 < argc) {
+      copts.port = static_cast<uint16_t>(std::atoi(argv[++i]));
+      have_port = true;
+    } else if (std::strcmp(argv[i], "--tenant") == 0 && i + 1 < argc) {
+      copts.tenant = argv[++i];
+    } else if (std::strcmp(argv[i], "--star") == 0 && i + 1 < argc) {
+      star = argv[++i];
+    } else if (std::strcmp(argv[i], "--timeout-ms") == 0 && i + 1 < argc) {
+      timeout_ns = std::atoll(argv[++i]) * 1000000LL;
+    } else if (std::strcmp(argv[i], "--exec") == 0 && i + 1 < argc) {
+      exec_script += argv[++i];
+      exec_script += '\n';
+    } else {
+      return Usage(argv[0]);
+    }
+  }
+  if (!have_port) return Usage(argv[0]);
+
+  net::CjoinClient client(copts);
+  if (Status st = client.Connect(); !st.ok()) {
+    std::fprintf(stderr, "connect: %s\n", st.ToString().c_str());
+    return 1;
+  }
+
+  const bool scripted = !exec_script.empty() || ::isatty(STDIN_FILENO) == 0;
+  std::istringstream exec_in(exec_script);
+  std::istream& in = exec_script.empty() ? std::cin : exec_in;
+
+  if (!scripted) {
+    std::printf("connected to %s:%u as tenant '%s' (session %llu)\n",
+                copts.host.c_str(), copts.port, copts.tenant.c_str(),
+                static_cast<unsigned long long>(client.session_id()));
+  }
+
+  bool server_err = false;
+  std::string sql;
+  std::string line;
+  while (true) {
+    if (!scripted) {
+      std::printf(sql.empty() ? "cjoin> " : "  ...> ");
+      std::fflush(stdout);
+    }
+    if (!std::getline(in, line)) break;
+
+    if (sql.empty() && !line.empty() && line[0] == '\\') {
+      std::istringstream meta(line);
+      std::string cmd;
+      meta >> cmd;
+      if (cmd == "\\q" || cmd == "\\quit") break;
+      if (cmd == "\\stats") {
+        auto js = client.Stats();
+        if (!js.ok()) {
+          std::printf("ERROR: %s\n", js.status().ToString().c_str());
+          server_err = true;
+        } else {
+          std::printf("%s\n", js->c_str());
+        }
+      } else if (cmd == "\\ingest") {
+        std::string rest;
+        std::getline(meta, rest);
+        if (!HandleIngest(client, rest, &server_err)) {
+          std::printf("usage: \\ingest STAR v1,v2,...\n");
+        }
+      } else {
+        std::printf("unknown command %s (\\ingest, \\stats, \\q)\n",
+                    cmd.c_str());
+      }
+      if (scripted && server_err) break;
+      continue;
+    }
+
+    sql += line;
+    sql += '\n';
+    const size_t semi = sql.find(';');
+    if (semi == std::string::npos) continue;
+    std::string stmt = sql.substr(0, semi);
+    sql.clear();
+    if (stmt.find_first_not_of(" \t\n") == std::string::npos) continue;
+
+    auto qr = client.Query(star, stmt, timeout_ns);
+    if (!qr.ok()) {
+      std::printf("ERROR: %s\n", qr.status().ToString().c_str());
+      server_err = true;
+      if (scripted) break;
+      continue;
+    }
+    PrintResult(*qr);
+  }
+
+  client.Close();
+  return (scripted && server_err) ? 1 : 0;
+}

@@ -1,0 +1,190 @@
+// cjoin_server: the network serving front-end over an SSB database.
+//
+//   $ cjoin_server --sf 0.01 --port 7744          # generate in memory
+//   $ cjoin_server --data /tmp/ssb --port 0       # from ssb_datagen files
+//
+// Registers the database as star 'ssb' and serves the length-prefixed
+// binary protocol (see README "Wire protocol"): HELLO binds the session
+// to a tenant, QUERY streams ROW_BATCH frames + QUERY_DONE, INGEST
+// appends fact rows through the MVCC commit path, STATS reports engine
+// and server counters. Every query flows through the engine's admission
+// controller and cost-based router exactly as linked-in callers do.
+//
+// SIGINT/SIGTERM drain gracefully: new submissions are shed (kAborted),
+// in-flight queries complete and stream out (up to --drain-ms), then the
+// engine stops.
+//
+// With --port 0 the kernel picks an ephemeral port; the chosen port is
+// printed as "listening on HOST:PORT" (scripts and CI parse this line).
+
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+
+#include "engine/query_engine.h"
+#include "net/server.h"
+#include "ssb/generator.h"
+#include "storage/table_file.h"
+
+using namespace cjoin;
+
+namespace {
+
+std::atomic<int> g_signal{0};
+
+void OnSignal(int sig) { g_signal.store(sig); }
+
+struct LoadedDb {
+  std::unique_ptr<ssb::SsbDatabase> generated;
+  std::vector<std::unique_ptr<Table>> loaded;
+
+  const Table* Find(const std::string& name) const {
+    if (generated != nullptr) {
+      if (name == "date") return generated->date.get();
+      if (name == "customer") return generated->customer.get();
+      if (name == "supplier") return generated->supplier.get();
+      if (name == "part") return generated->part.get();
+      if (name == "lineorder") return generated->lineorder.get();
+      return nullptr;
+    }
+    for (const auto& t : loaded) {
+      if (t->name() == name) return t.get();
+    }
+    return nullptr;
+  }
+};
+
+Result<StarSchema> WireStar(const LoadedDb& db) {
+  const Table* lo = db.Find("lineorder");
+  const Table* d = db.Find("date");
+  const Table* c = db.Find("customer");
+  const Table* s = db.Find("supplier");
+  const Table* p = db.Find("part");
+  if (!lo || !d || !c || !s || !p) {
+    return Status::NotFound("missing one of the five SSB tables");
+  }
+  return StarSchema::Make(
+      lo, std::vector<StarSchema::DimensionByName>{
+              {d, "lo_orderdate", "d_datekey"},
+              {c, "lo_custkey", "c_custkey"},
+              {s, "lo_suppkey", "s_suppkey"},
+              {p, "lo_partkey", "p_partkey"},
+          });
+}
+
+int Usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--sf F | --data DIR] [--host H] [--port P] "
+               "[--shards N] [--workers N] [--drain-ms MS]\n",
+               argv0);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  double sf = 0.01;
+  std::string data_dir;
+  net::CjoinServer::Options sopts;
+  size_t shards = 1;
+  int drain_ms = 10000;
+
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--sf") == 0 && i + 1 < argc) {
+      sf = std::atof(argv[++i]);
+    } else if (std::strcmp(argv[i], "--data") == 0 && i + 1 < argc) {
+      data_dir = argv[++i];
+    } else if (std::strcmp(argv[i], "--host") == 0 && i + 1 < argc) {
+      sopts.host = argv[++i];
+    } else if (std::strcmp(argv[i], "--port") == 0 && i + 1 < argc) {
+      sopts.port = static_cast<uint16_t>(std::atoi(argv[++i]));
+    } else if (std::strcmp(argv[i], "--shards") == 0 && i + 1 < argc) {
+      shards = static_cast<size_t>(std::atoi(argv[++i]));
+    } else if (std::strcmp(argv[i], "--workers") == 0 && i + 1 < argc) {
+      sopts.workers = static_cast<size_t>(std::atoi(argv[++i]));
+    } else if (std::strcmp(argv[i], "--drain-ms") == 0 && i + 1 < argc) {
+      drain_ms = std::atoi(argv[++i]);
+    } else {
+      return Usage(argv[0]);
+    }
+  }
+
+  LoadedDb db;
+  if (data_dir.empty()) {
+    std::printf("generating SSB sf=%g in memory...\n", sf);
+    ssb::GenOptions gopts;
+    gopts.scale_factor = sf;
+    auto g = ssb::Generate(gopts);
+    if (!g.ok()) {
+      std::fprintf(stderr, "%s\n", g.status().ToString().c_str());
+      return 1;
+    }
+    db.generated = std::move(g).value();
+  } else {
+    for (const char* name :
+         {"date", "customer", "supplier", "part", "lineorder"}) {
+      auto t = LoadTable(data_dir + "/" + std::string(name) + ".cjtb");
+      if (!t.ok()) {
+        std::fprintf(stderr, "load %s: %s\n", name,
+                     t.status().ToString().c_str());
+        return 1;
+      }
+      db.loaded.push_back(std::move(*t));
+    }
+  }
+
+  auto star = WireStar(db);
+  if (!star.ok()) {
+    std::fprintf(stderr, "%s\n", star.status().ToString().c_str());
+    return 1;
+  }
+
+  QueryEngine::Options eopts;
+  eopts.cjoin_shards = shards;
+  QueryEngine engine(eopts);
+  if (Status st = engine.RegisterStar("ssb", std::move(*star)); !st.ok()) {
+    std::fprintf(stderr, "%s\n", st.ToString().c_str());
+    return 1;
+  }
+
+  net::CjoinServer server(&engine, sopts);
+  if (Status st = server.Start(); !st.ok()) {
+    std::fprintf(stderr, "start: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  std::printf("listening on %s:%u\n", sopts.host.c_str(), server.port());
+  std::fflush(stdout);
+
+  struct sigaction sa {};
+  sa.sa_handler = OnSignal;
+  ::sigaction(SIGINT, &sa, nullptr);
+  ::sigaction(SIGTERM, &sa, nullptr);
+
+  while (g_signal.load() == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  }
+
+  // Graceful drain: shed new submissions, let in-flight queries complete
+  // and stream out (the server is still delivering), then stop the wire.
+  std::printf("signal %d: draining (up to %d ms)...\n", g_signal.load(),
+              drain_ms);
+  std::fflush(stdout);
+  const bool drained = engine.Shutdown(std::chrono::milliseconds(drain_ms));
+  server.Stop();
+
+  const net::CjoinServer::Stats stats = server.GetStats();
+  std::printf(
+      "shutdown %s: %llu connections, %llu queries (%llu ok, %llu error), "
+      "%llu rows streamed, %llu rows ingested\n",
+      drained ? "clean (drained)" : "after drain timeout",
+      static_cast<unsigned long long>(stats.connections_accepted),
+      static_cast<unsigned long long>(stats.queries_started),
+      static_cast<unsigned long long>(stats.queries_ok),
+      static_cast<unsigned long long>(stats.queries_error),
+      static_cast<unsigned long long>(stats.rows_streamed),
+      static_cast<unsigned long long>(stats.rows_ingested));
+  return 0;
+}

@@ -1,0 +1,84 @@
+#!/usr/bin/env bash
+# Loopback smoke test for the network serving front-end.
+#
+# Starts cjoin_server on an ephemeral port, then drives cjoin_client in
+# scripted mode: query the fact-row count, INGEST one row, and poll
+# re-queries until the continuous scan's next lap makes the append
+# visible (MVCC visibility is lap-based, so the new row appears at the
+# scan's next commit point, not instantly). Finishes with a STATS pull
+# and a SIGTERM to exercise the graceful drain path.
+#
+#   $ tools/net_smoke.sh [BUILD_DIR]       # default: build
+
+set -u
+BUILD="${1:-build}"
+SERVER="$BUILD/cjoin_server"
+CLIENT="$BUILD/cjoin_client"
+LOG="$(mktemp -t cjoin_server.XXXXXX.log)"
+
+fail() {
+  echo "SMOKE FAIL: $*" >&2
+  echo "--- server log ---" >&2
+  cat "$LOG" >&2
+  exit 1
+}
+
+[ -x "$SERVER" ] || fail "$SERVER not built"
+[ -x "$CLIENT" ] || fail "$CLIENT not built"
+
+"$SERVER" --sf 0.005 --port 0 >"$LOG" 2>&1 &
+SERVER_PID=$!
+trap 'kill "$SERVER_PID" 2>/dev/null; wait "$SERVER_PID" 2>/dev/null' EXIT
+
+# The server prints "listening on HOST:PORT" once bound.
+PORT=""
+for _ in $(seq 1 100); do
+  PORT=$(sed -n 's/.*listening on [0-9.]*:\([0-9][0-9]*\).*/\1/p' "$LOG" | head -1)
+  [ -n "$PORT" ] && break
+  kill -0 "$SERVER_PID" 2>/dev/null || fail "server exited during startup"
+  sleep 0.1
+done
+[ -n "$PORT" ] || fail "server never reported its port"
+echo "server up on port $PORT"
+
+count() {
+  # COUNT(*) result: header line, one value line, then the row-count
+  # trailer — take the first all-digits line.
+  "$CLIENT" --port "$PORT" --exec "SELECT COUNT(*) AS n FROM lineorder;" \
+    | grep -m1 -E '^[0-9]+$'
+}
+
+BEFORE=$(count) || fail "initial count query failed"
+echo "rows before ingest: $BEFORE"
+[ "$BEFORE" -gt 0 ] || fail "fact table is empty"
+
+# One 17-column lineorder row; CHAR columns must be quoted strings.
+"$CLIENT" --port "$PORT" --exec \
+  "\\ingest ssb 1,1,1,1,1,19920115,'1-URGENT','0',10,100,1000,2,90,50,3,19920215,'TRUCK'" \
+  || fail "ingest failed"
+
+# Lap-based visibility: poll until the count advances.
+AFTER="$BEFORE"
+for _ in $(seq 1 60); do
+  AFTER=$(count) || fail "re-query failed"
+  [ "$AFTER" -gt "$BEFORE" ] && break
+  sleep 0.5
+done
+[ "$AFTER" -eq $((BEFORE + 1)) ] || fail "ingested row never became visible ($BEFORE -> $AFTER)"
+echo "rows after ingest: $AFTER"
+
+STATS=$("$CLIENT" --port "$PORT" --exec "\\stats") || fail "stats failed"
+echo "$STATS" | grep -q '"queries_ok"' || fail "stats JSON missing queries_ok: $STATS"
+
+kill -TERM "$SERVER_PID"
+for _ in $(seq 1 100); do
+  kill -0 "$SERVER_PID" 2>/dev/null || break
+  sleep 0.1
+done
+kill -0 "$SERVER_PID" 2>/dev/null && fail "server did not drain and exit on SIGTERM"
+wait "$SERVER_PID"
+RC=$?
+trap - EXIT
+[ "$RC" -eq 0 ] || fail "server exited with status $RC"
+
+echo "SMOKE OK: $BEFORE -> $AFTER rows, clean drain"
