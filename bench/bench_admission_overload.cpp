@@ -40,14 +40,6 @@ Result<StarSchema> WireStar(const ssb::SsbDatabase& db) {
       });
 }
 
-double Percentile(std::vector<double> v, double p) {
-  if (v.empty()) return 0.0;
-  std::sort(v.begin(), v.end());
-  const size_t idx = std::min(
-      v.size() - 1, static_cast<size_t>(p * static_cast<double>(v.size())));
-  return v[idx];
-}
-
 struct TenantOutcome {
   uint64_t submitted = 0;
   uint64_t rejected = 0;
@@ -61,14 +53,14 @@ void EmitJson(const char* mode, const char* tenant,
           ? 0.0
           : static_cast<double>(o.rejected) /
                 static_cast<double>(o.submitted);
+  const obs::LatencySnapshot lat = SnapshotSeconds(o.latencies_s);
   std::printf(
       "{\"bench\":\"admission_overload\",\"mode\":\"%s\",\"tenant\":\"%s\","
       "\"submitted\":%llu,\"rejected\":%llu,\"reject_rate\":%.4f,"
       "\"p50_ms\":%.3f,\"p99_ms\":%.3f}\n",
       mode, tenant, static_cast<unsigned long long>(o.submitted),
       static_cast<unsigned long long>(o.rejected), reject_rate,
-      Percentile(o.latencies_s, 0.50) * 1e3,
-      Percentile(o.latencies_s, 0.99) * 1e3);
+      NsToMs(lat.p50_ns), NsToMs(lat.p99_ns));
   std::fflush(stdout);
 }
 
@@ -182,11 +174,12 @@ void RunMode(const char* mode, const ssb::SsbDatabase& db, bool quotas,
               static_cast<unsigned long long>(aggressive_out.submitted),
               static_cast<unsigned long long>(aggressive_out.rejected), 0.0,
               0.0);
+  const obs::LatencySnapshot victim_lat =
+      SnapshotSeconds(victim_out.latencies_s);
   std::printf("%-12s %-12s %10llu %10llu %12.3f %12.3f\n", mode, "victim",
               static_cast<unsigned long long>(victim_out.submitted),
               static_cast<unsigned long long>(victim_out.rejected),
-              Percentile(victim_out.latencies_s, 0.50) * 1e3,
-              Percentile(victim_out.latencies_s, 0.99) * 1e3);
+              NsToMs(victim_lat.p50_ns), NsToMs(victim_lat.p99_ns));
   EmitJson(mode, "aggressive", aggressive_out);
   EmitJson(mode, "victim", victim_out);
 }

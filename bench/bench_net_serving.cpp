@@ -26,6 +26,7 @@
 #include <thread>
 #include <vector>
 
+#include "bench/harness.h"
 #include "engine/query_engine.h"
 #include "net/client.h"
 #include "net/server.h"
@@ -43,14 +44,6 @@ constexpr const char* kSql[] = {
     "SELECT d_year, SUM(lo_revenue) AS rev FROM lineorder, date "
     "WHERE lo_orderdate = d_datekey GROUP BY d_year",
 };
-
-double Percentile(std::vector<double> v, double p) {
-  if (v.empty()) return 0.0;
-  std::sort(v.begin(), v.end());
-  const size_t idx = std::min(
-      v.size() - 1, static_cast<size_t>(p * static_cast<double>(v.size())));
-  return v[idx];
-}
 
 struct StepOutcome {
   uint64_t submitted = 0;
@@ -192,6 +185,7 @@ int main(int argc, char** argv) {
         out.submitted == 0 ? 0.0
                            : static_cast<double>(out.shed) /
                                  static_cast<double>(out.submitted);
+    const obs::LatencySnapshot lat = bench::SnapshotSeconds(out.latencies_s);
     std::printf(
         "{\"bench\":\"net_serving\",\"connections\":%zu,"
         "\"rate_per_conn\":%.1f,\"submitted\":%llu,\"ok\":%llu,"
@@ -201,8 +195,7 @@ int main(int argc, char** argv) {
         static_cast<unsigned long long>(out.ok),
         static_cast<unsigned long long>(out.shed),
         static_cast<unsigned long long>(out.other_error), shed_rate,
-        Percentile(out.latencies_s, 0.50) * 1e3,
-        Percentile(out.latencies_s, 0.99) * 1e3);
+        bench::NsToMs(lat.p50_ns), bench::NsToMs(lat.p99_ns));
     std::fflush(stdout);
   }
 

@@ -1,0 +1,165 @@
+// Overhead guard for the always-on observability layer.
+//
+// Runs the same CJOIN workload with metrics/tracing enabled and disabled
+// (runtime kill switch, interleaved A/B trials to cancel drift) and
+// compares the best-of-trials wall time per arm. The acceptance bar for
+// the observability PR is < 2% throughput cost; the bench exits nonzero
+// when the measured delta exceeds the threshold so CI can gate on it.
+//
+//   $ bench_obs_overhead [--sf F] [--queries N] [--concurrency C]
+//                        [--trials T] [--threshold PCT]
+//
+// Emits one JSON line:
+//   {"bench":"obs_overhead","on_s":..,"off_s":..,"overhead_pct":..,
+//    "threshold_pct":..,"pass":true}
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <vector>
+
+#include "bench/harness.h"
+#include "common/clock.h"
+#include "engine/query_engine.h"
+#include "obs/metrics.h"
+#include "ssb/generator.h"
+
+using namespace cjoin;
+
+namespace {
+
+Result<StarSchema> WireStar(const ssb::SsbDatabase& db) {
+  return StarSchema::Make(
+      db.lineorder.get(),
+      std::vector<StarSchema::DimensionByName>{
+          {db.date.get(), "lo_orderdate", "d_datekey"},
+          {db.customer.get(), "lo_custkey", "c_custkey"},
+          {db.supplier.get(), "lo_suppkey", "s_suppkey"},
+          {db.part.get(), "lo_partkey", "p_partkey"},
+      });
+}
+
+constexpr const char* kSql[] = {
+    "SELECT COUNT(*) AS n FROM lineorder",
+    "SELECT SUM(lo_revenue) AS rev FROM lineorder, date "
+    "WHERE lo_orderdate = d_datekey AND d_year = 1993",
+    "SELECT d_year, SUM(lo_revenue) AS rev FROM lineorder, date "
+    "WHERE lo_orderdate = d_datekey GROUP BY d_year",
+};
+
+/// One timed pass: `queries` submissions with a sliding window of
+/// `concurrency` outstanding tickets. Returns elapsed seconds.
+double RunArm(QueryEngine& engine, size_t queries, size_t concurrency) {
+  std::vector<std::unique_ptr<QueryTicket>> window;
+  Stopwatch watch;
+  for (size_t i = 0; i < queries; ++i) {
+    QueryRequest req = QueryRequest::Sql(
+        "ssb", kSql[i % (sizeof(kSql) / sizeof(kSql[0]))]);
+    req.policy = RoutePolicy::kCJoin;  // the most instrumented path
+    auto ticket = engine.Execute(std::move(req));
+    if (!ticket.ok()) {
+      std::fprintf(stderr, "submit: %s\n",
+                   ticket.status().ToString().c_str());
+      std::exit(1);
+    }
+    window.push_back(std::move(*ticket));
+    if (window.size() >= concurrency) {
+      (void)window.front()->Wait();
+      window.erase(window.begin());
+    }
+  }
+  for (auto& t : window) (void)t->Wait();
+  return watch.ElapsedSeconds();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  double sf = 0.005;
+  size_t queries = 24;
+  size_t concurrency = 8;
+  size_t trials = 3;
+  double threshold_pct = 2.0;
+
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--sf") == 0 && i + 1 < argc) {
+      sf = std::atof(argv[++i]);
+    } else if (std::strcmp(argv[i], "--queries") == 0 && i + 1 < argc) {
+      queries = static_cast<size_t>(std::atoi(argv[++i]));
+    } else if (std::strcmp(argv[i], "--concurrency") == 0 && i + 1 < argc) {
+      concurrency = static_cast<size_t>(std::atoi(argv[++i]));
+    } else if (std::strcmp(argv[i], "--trials") == 0 && i + 1 < argc) {
+      trials = static_cast<size_t>(std::atoi(argv[++i]));
+    } else if (std::strcmp(argv[i], "--threshold") == 0 && i + 1 < argc) {
+      threshold_pct = std::atof(argv[++i]);
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--sf F] [--queries N] [--concurrency C] "
+                   "[--trials T] [--threshold PCT]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+  if (bench::FullScale()) {
+    sf = 0.01;
+    queries = 96;
+    trials = 5;
+  }
+
+  ssb::GenOptions gopts;
+  gopts.scale_factor = sf;
+  auto g = ssb::Generate(gopts);
+  if (!g.ok()) {
+    std::fprintf(stderr, "%s\n", g.status().ToString().c_str());
+    return 1;
+  }
+
+  QueryEngine::Options eopts;
+  eopts.cjoin.max_concurrent_queries =
+      std::max<size_t>(16, concurrency * 2);
+  QueryEngine engine(eopts);
+  {
+    auto star = WireStar(**g);
+    if (!star.ok() || !engine.RegisterStar("ssb", std::move(*star)).ok()) {
+      std::fprintf(stderr, "star setup failed\n");
+      return 1;
+    }
+  }
+
+  bench::PrintHeader("obs_overhead — metrics on vs off (runtime switch)",
+                     "sf=" + std::to_string(sf) +
+                         " queries=" + std::to_string(queries) +
+                         " concurrency=" + std::to_string(concurrency) +
+                         " trials=" + std::to_string(trials));
+
+  // Warm both arms once (page in the tables, settle the pipeline).
+  obs::SetMetricsEnabled(true);
+  (void)RunArm(engine, concurrency, concurrency);
+  obs::SetMetricsEnabled(false);
+  (void)RunArm(engine, concurrency, concurrency);
+
+  // Interleaved A/B: best-of-trials per arm discards scheduler noise.
+  double best_on = 1e30;
+  double best_off = 1e30;
+  for (size_t t = 0; t < trials; ++t) {
+    obs::SetMetricsEnabled(true);
+    best_on = std::min(best_on, RunArm(engine, queries, concurrency));
+    obs::SetMetricsEnabled(false);
+    best_off = std::min(best_off, RunArm(engine, queries, concurrency));
+  }
+  obs::SetMetricsEnabled(true);
+  engine.Shutdown();
+
+  const double overhead_pct =
+      best_off > 0 ? (best_on - best_off) / best_off * 100.0 : 0.0;
+  const bool pass = overhead_pct <= threshold_pct;
+  std::printf(
+      "{\"bench\":\"obs_overhead\",\"on_s\":%.4f,\"off_s\":%.4f,"
+      "\"overhead_pct\":%.2f,\"threshold_pct\":%.2f,\"pass\":%s}\n",
+      best_on, best_off, overhead_pct, threshold_pct,
+      pass ? "true" : "false");
+  std::fflush(stdout);
+  return pass ? 0 : 1;
+}

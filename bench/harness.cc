@@ -44,6 +44,14 @@ void PrintHeader(const std::string& experiment, const std::string& params) {
   std::fflush(stdout);
 }
 
+obs::LatencySnapshot SnapshotSeconds(const std::vector<double>& seconds) {
+  // Stack allocation would blow typical thread stacks (the bucket array
+  // is a few KB of atomics); heap-allocate the scratch histogram.
+  auto hist = std::make_unique<obs::LatencyHistogram>();
+  for (double s : seconds) hist->RecordSeconds(s);
+  return hist->Snapshot();
+}
+
 std::vector<StarQuerySpec> MakeWorkload(const ssb::SsbQueries& queries,
                                         size_t total, double s,
                                         uint64_t seed) {
@@ -75,6 +83,7 @@ class Meter {
     if (order >= warmup_ && order < warmup_ + measure_) {
       (void)index;
       result_.response_seconds.Add(response_s);
+      response_hist_.RecordSeconds(response_s);
       if (submission_s > 0) result_.submission_seconds.Add(submission_s);
       result_.per_template_response[TemplateOf(label)].Add(response_s);
       if (order + 1 == warmup_ + measure_) {
@@ -88,6 +97,7 @@ class Meter {
 
   RunResult Finish() {
     std::lock_guard<std::mutex> lk(mu_);
+    result_.response_latency = response_hist_.Snapshot();
     result_.elapsed_seconds = window_seconds_;
     result_.qph = window_seconds_ > 0
                       ? static_cast<double>(measure_) / window_seconds_ * 3600.0
@@ -104,6 +114,7 @@ class Meter {
   double window_seconds_ = 0.0;
   std::atomic<bool> done_{false};
   RunResult result_;
+  obs::LatencyHistogram response_hist_;
 };
 
 /// All three systems under test run through the unified

@@ -25,6 +25,7 @@
 
 #include "catalog/query_spec.h"
 #include "common/clock.h"
+#include "obs/metrics.h"
 #include "ssb/generator.h"
 #include "ssb/queries.h"
 #include "storage/sim_disk.h"
@@ -77,6 +78,10 @@ struct RunResult {
   double elapsed_seconds = 0.0;
   RunningStat response_seconds;            ///< measured queries
   RunningStat submission_seconds;          ///< CJOIN only
+  /// Percentile view of the measured response times (p50/p90/p99/p999),
+  /// from the obs log-bucketed histogram — the same quantile math the
+  /// engine's metrics registry exposes (<= 12.5% bucket error).
+  obs::LatencySnapshot response_latency;
   std::map<std::string, RunningStat> per_template_response;  ///< by "Qx.y"
   uint64_t disk_seeks = 0;
   /// CJOIN only: fact tuples scanned per second, summed across the pool's
@@ -98,6 +103,14 @@ std::vector<StarQuerySpec> MakeWorkload(const ssb::SsbQueries& queries,
 
 /// Strips the "#k" suffix from a workload label ("Q4.2#17" -> "Q4.2").
 std::string TemplateOf(const std::string& label);
+
+/// Folds raw latency samples (seconds) through the obs log-bucketed
+/// histogram and returns its percentile snapshot. The single percentile
+/// implementation for every bench — replaces per-bench sort-based code.
+obs::LatencySnapshot SnapshotSeconds(const std::vector<double>& seconds);
+
+/// Nanoseconds -> milliseconds for printing snapshot fields.
+inline double NsToMs(uint64_t ns) { return static_cast<double>(ns) * 1e-6; }
 
 /// True iff the CJOIN_BENCH_FULL environment variable asks for the
 /// paper-scale (slow) parameters.

@@ -222,6 +222,8 @@ Result<std::unique_ptr<QueryHandle>> CJoinOperator::Submit(
   rt->spec = std::move(normalized);
   rt->custom_aggregator_factory = std::move(options.aggregator_factory);
   rt->completion_observer = std::move(options.completion_observer);
+  rt->trace = std::move(options.trace);
+  rt->trace_prefix = std::move(options.trace_prefix);
   rt->deadline_ns.store(options.deadline_ns, std::memory_order_relaxed);
   rt->submit_ns.store(QueryRuntime::NowNs());
   std::future<Result<ResultSet>> fut = rt->promise.get_future();
@@ -242,7 +244,7 @@ Result<std::unique_ptr<QueryHandle>> CJoinOperator::Submit(
 }
 
 void CJoinOperator::AdmitQuery(const std::shared_ptr<QueryRuntime>& rt) {
-  if (TraceEnabled()) fprintf(stderr, "[mgr] admit qid=%u begin\n", rt->query_id);
+  TraceLogf(rt->query_id, "mgr", "admit begin");
 
   // A query cancelled (or expired) while still queued for admission never
   // loaded dimension state: resolve it here and recycle its id directly.
@@ -316,11 +318,11 @@ void CJoinOperator::AdmitQuery(const std::shared_ptr<QueryRuntime>& rt) {
   // Algorithm 1 lines 17-22: install in the Preprocessor (which emits the
   // query-start control tuple at an exact stream position).
   preprocessor_->RequestAdmission(rt);
-  if (TraceEnabled()) fprintf(stderr, "[mgr] admit qid=%u requested\n", rt->query_id);
+  TraceLogf(rt->query_id, "mgr", "admit requested");
 }
 
 void CJoinOperator::CleanupQuery(uint32_t qid) {
-  if (TraceEnabled()) fprintf(stderr, "[mgr] cleanup qid=%u\n", qid);
+  TraceLogf(qid, "mgr", "cleanup");
   std::shared_ptr<QueryRuntime> rt;
   {
     std::lock_guard<std::mutex> lk(registry_mu_);
@@ -353,6 +355,8 @@ void CJoinOperator::CleanupQuery(uint32_t qid) {
   }
   ReleaseQueryId(qid);
   inflight_.fetch_sub(1, std::memory_order_relaxed);
+  // End of the query's pipeline lifecycle: emit its ordered debug block.
+  TraceFlushQuery(qid);
 }
 
 void CJoinOperator::MaybeReorderFilters() {

@@ -129,6 +129,12 @@ class CJoinOperator {
     /// resolves (see QueryRuntime::completion_observer). Installed before
     /// the submission enters the pipeline, so no completion is missed.
     std::function<void(const Result<ResultSet>&)> completion_observer;
+    /// Per-query span trace threaded through the pipeline (may be null;
+    /// see QueryRuntime::trace).
+    std::shared_ptr<obs::QueryTrace> trace;
+    /// Stage-span label prefix for this runtime ("s2/" on shard 2 of a
+    /// sharded operator; empty otherwise).
+    std::string trace_prefix;
   };
 
   /// Registers a star query (normalizing it first). Blocks while

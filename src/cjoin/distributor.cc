@@ -17,6 +17,14 @@ Distributor::Distributor(size_t num_dims, size_t width_words,
       in_(in),
       cleanup_(cleanup) {
   live_.assign(max_queries, nullptr);
+  auto& reg = obs::MetricsRegistry::Global();
+  obs_routed_ = reg.GetCounter("cjoin_tuples_routed_total",
+                               "Fact tuples delivered to aggregators");
+  obs_completed_ = reg.GetCounter("cjoin_queries_completed_total",
+                                  "Pipeline queries completed normally");
+  obs_cancelled_ = reg.GetCounter(
+      "cjoin_queries_cancelled_total",
+      "Pipeline queries terminated early (cancel/deadline)");
 }
 
 void Distributor::ProcessDataBatch(TupleBatch& batch) {
@@ -35,6 +43,7 @@ void Distributor::ProcessDataBatch(TupleBatch& batch) {
     routed_.fetch_add(1, std::memory_order_relaxed);
     pool_->Release(slot);
   }
+  obs_routed_->Add(batch.slots.size());
   epochs_->AddRetired(batch.epoch, batch.slots.size());
   batch.slots.clear();
 }
@@ -45,10 +54,20 @@ void Distributor::ProcessControl(TupleSlot* slot) {
     assert(rt->aggregator != nullptr &&
            "admission must create the aggregation operator");
     live_[rt->query_id] = rt;
+    if (rt->trace != nullptr) {
+      rt->trace->BeginSpan(obs::SpanKind::kStage,
+                           (rt->trace_prefix + "dist").c_str(),
+                           QueryRuntime::NowNs());
+    }
   } else {
     assert(slot->kind == SlotKind::kQueryEnd);
     live_[rt->query_id] = nullptr;
-    rt->completed_ns.store(QueryRuntime::NowNs());
+    const int64_t done = QueryRuntime::NowNs();
+    rt->completed_ns.store(done);
+    if (rt->trace != nullptr) {
+      rt->trace->EndSpan(obs::SpanKind::kStage,
+                         (rt->trace_prefix + "dist").c_str(), done);
+    }
     // A query deregistered early (cancelled / deadline-expired) delivers
     // its terminal status instead of a (partial, meaningless) result.
     const TerminalReason reason = rt->terminal.load(std::memory_order_acquire);
@@ -58,10 +77,12 @@ void Distributor::ProcessControl(TupleSlot* slot) {
       ResultSet rs = rt->aggregator->Finish();
       rt->phase.store(QueryPhase::kCompleted);
       completed_.fetch_add(1, std::memory_order_relaxed);
+      obs_completed_->Add();
       rt->Deliver(std::move(rs));
     } else {
       rt->phase.store(QueryPhase::kCancelled);
       cancelled_.fetch_add(1, std::memory_order_relaxed);
+      obs_cancelled_->Add();
       rt->Deliver(
           reason == TerminalReason::kDeadline
               ? Status::DeadlineExceeded("query deadline expired mid-lap")

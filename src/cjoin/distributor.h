@@ -26,6 +26,7 @@
 #include "cjoin/tuple_slot.h"
 #include "common/queue.h"
 #include "common/tuple_pool.h"
+#include "obs/metrics.h"
 
 namespace cjoin {
 
@@ -78,6 +79,11 @@ class Distributor {
   std::atomic<uint64_t> routed_{0};
   std::atomic<uint64_t> completed_{0};
   std::atomic<uint64_t> cancelled_{0};
+
+  /// Engine-wide telemetry (registered in the constructor; lock-free).
+  obs::Counter* obs_routed_ = nullptr;
+  obs::Counter* obs_completed_ = nullptr;
+  obs::Counter* obs_cancelled_ = nullptr;
 };
 
 }  // namespace cjoin

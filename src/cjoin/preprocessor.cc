@@ -27,6 +27,13 @@ Preprocessor::Preprocessor(const StarSchema& star, size_t width_words,
             ContinuousScan::Options{options.scan_run_rows, options.disk,
                                     options.reader_id}),
       admissions_(1024) {
+  auto& reg = obs::MetricsRegistry::Global();
+  obs_rows_scanned_ = reg.GetCounter("cjoin_preprocessor_rows_scanned_total",
+                                     "Fact rows consumed from the scan");
+  obs_installed_ = reg.GetCounter("cjoin_queries_registered_total",
+                                  "Queries installed into the pipeline");
+  obs_active_ = reg.GetGauge("cjoin_active_queries",
+                             "Currently registered pipeline queries");
   assert(width_ <= kMaxWidthWords);
   active_.resize(width_ * bitops::kBitsPerWord);
   partition_mask_.resize(star.fact().num_partitions());
@@ -105,7 +112,7 @@ void Preprocessor::ComputeCheckpoint(const std::vector<uint32_t>& partitions,
 
 void Preprocessor::InstallQuery(std::shared_ptr<QueryRuntime> runtime) {
   const uint32_t qid = runtime->query_id;
-  if (TraceEnabled()) fprintf(stderr, "[pre] install qid=%u\n", qid);
+  TraceLogf(qid, "pre", "install");
   assert(qid < active_.size() && active_[qid] == nullptr);
   auto aq = std::make_unique<ActiveQuery>();
   aq->runtime = runtime;
@@ -117,8 +124,15 @@ void Preprocessor::InstallQuery(std::shared_ptr<QueryRuntime> runtime) {
   // The query-start control tuple precedes the query's first fact tuple
   // in the stream (§3.3.1), so emit it before turning the bit on.
   EmitControl(SlotKind::kQueryStart, runtime.get());
-  runtime->registered_ns.store(QueryRuntime::NowNs());
+  const int64_t now = QueryRuntime::NowNs();
+  runtime->registered_ns.store(now);
   runtime->phase.store(QueryPhase::kRegistered);
+  if (runtime->trace != nullptr) {
+    runtime->trace->BeginSpan(obs::SpanKind::kStage,
+                              (runtime->trace_prefix + "pre").c_str(), now);
+  }
+  obs_installed_->Add();
+  obs_active_->Add();
 
   bitops::SetBit(active_mask_, qid);
   if (runtime->spec.partitions.empty()) {
@@ -145,13 +159,19 @@ void Preprocessor::InstallQuery(std::shared_ptr<QueryRuntime> runtime) {
 }
 
 void Preprocessor::FinalizeQuery(uint32_t qid) {
-  if (TraceEnabled()) fprintf(stderr, "[pre] finalize qid=%u\n", qid);
+  TraceLogf(qid, "pre", "finalize");
   ActiveQuery* aq = active_[qid].get();
   assert(aq != nullptr);
   // The end-of-query control tuple precedes the wrap-around tuple
   // (§3.3.2), so it is emitted at the current stream position, before
   // clearing the query's bookkeeping.
   EmitControl(SlotKind::kQueryEnd, aq->runtime.get());
+  if (aq->runtime->trace != nullptr) {
+    aq->runtime->trace->EndSpan(
+        obs::SpanKind::kStage, (aq->runtime->trace_prefix + "pre").c_str(),
+        QueryRuntime::NowNs());
+  }
+  obs_active_->Sub();
 
   bitops::ClearBit(active_mask_, qid);
   for (auto& m : partition_mask_) bitops::ClearBit(m.data(), qid);
@@ -280,6 +300,7 @@ void Preprocessor::ProcessRowRange(const ScanEvent& ev, size_t from,
 
 void Preprocessor::ProcessRows(const ScanEvent& ev) {
   rows_scanned_.fetch_add(ev.count, std::memory_order_relaxed);
+  obs_rows_scanned_->Add(ev.count);
 
   // Collect completion checkpoints that fire inside this run. The
   // end-of-query control tuple must precede the wrap-around row, so the
@@ -396,7 +417,10 @@ void Preprocessor::Run(const std::atomic<bool>& stop) {
   FlushBatch();
   out_->Close();
   admissions_.Close();
-  for (auto& aq : active_) aq.reset();
+  for (auto& aq : active_) {
+    if (aq != nullptr) obs_active_->Sub();
+    aq.reset();
+  }
 }
 
 }  // namespace cjoin

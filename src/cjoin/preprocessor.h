@@ -31,6 +31,7 @@
 #include "cjoin/tuple_slot.h"
 #include "common/queue.h"
 #include "common/tuple_pool.h"
+#include "obs/metrics.h"
 #include "storage/continuous_scan.h"
 
 namespace cjoin {
@@ -160,6 +161,11 @@ class Preprocessor {
   std::atomic<size_t> active_count_{0};
   std::atomic<uint64_t> laps_done_{0};
   std::atomic<SnapshotId> covered_snapshot_{kMaxSnapshot};
+
+  /// Engine-wide telemetry (registered in the constructor; lock-free).
+  obs::Counter* obs_rows_scanned_ = nullptr;
+  obs::Counter* obs_installed_ = nullptr;
+  obs::Gauge* obs_active_ = nullptr;
 };
 
 }  // namespace cjoin

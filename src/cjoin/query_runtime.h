@@ -13,6 +13,7 @@
 #include "common/status.h"
 #include "exec/aggregation.h"
 #include "exec/result_set.h"
+#include "obs/query_trace.h"
 
 namespace cjoin {
 
@@ -107,6 +108,15 @@ struct QueryRuntime {
   std::atomic<int64_t> submit_ns{0};
   std::atomic<int64_t> registered_ns{0};
   std::atomic<int64_t> completed_ns{0};
+
+  /// Per-query span trace (may be null). Pipeline components append
+  /// spans through it: the preprocessor/stages/distributor stamp
+  /// `stage:` spans as the query's own control tuples pass them.
+  std::shared_ptr<obs::QueryTrace> trace;
+  /// Prefix for this runtime's stage span labels ("s2/" on shard 2 of a
+  /// sharded operator; empty for the unsharded pipeline). Set before
+  /// submission, read-only afterwards.
+  std::string trace_prefix;
 
   static int64_t NowNs() {
     return std::chrono::duration_cast<std::chrono::nanoseconds>(

@@ -2,10 +2,13 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cstdio>
 #include <mutex>
 
 #include "exec/aggregation.h"
 #include "exec/group_table.h"
+#include "obs/metrics.h"
+#include "obs/query_trace.h"
 
 namespace cjoin {
 
@@ -71,14 +74,30 @@ struct MergeState {
   std::vector<std::unique_ptr<QueryHandle>> shard_handles;
   std::weak_ptr<QueryRuntime> merge_rt;
   std::shared_ptr<ResultBox> box;
+  /// The logical query's span trace (may be null): shard completions and
+  /// the merge itself record into it.
+  std::shared_ptr<obs::QueryTrace> trace;
 
   // Finalization metadata derived from the normalized spec.
   std::vector<AggFn> fns;
   std::vector<std::string> columns;
   bool global_row_when_empty = false;
 
-  void OnShardDone(const Result<ResultSet>& result) {
+  void OnShardDone(size_t shard, const Result<ResultSet>& result) {
     std::lock_guard<std::mutex> lk(mu);
+    if (trace != nullptr) {
+      // Span start reconstructed from the shard's own response time, so
+      // the trace shows each shard's submit -> deliver window.
+      const int64_t end = QueryRuntime::NowNs();
+      double response_s = 0.0;
+      if (shard < shard_handles.size() && shard_handles[shard] != nullptr) {
+        response_s = shard_handles[shard]->ResponseSeconds();
+      }
+      char label[16];
+      std::snprintf(label, sizeof(label), "s%zu", shard);
+      trace->AddSpan(obs::SpanKind::kShard, label,
+                     end - static_cast<int64_t>(response_s * 1e9), end);
+    }
     if (!result.ok() && failure.ok()) failure = result.status();
     assert(remaining > 0);
     if (--remaining == 0) FinishMerge();
@@ -113,6 +132,7 @@ struct MergeState {
       return;
     }
 
+    const int64_t merge_start = QueryRuntime::NowNs();
     ResultSet rs;
     {
       std::lock_guard<std::mutex> lk(box->mu);
@@ -130,6 +150,14 @@ struct MergeState {
         rs.tuples_consumed = box->consumed;
       }
     }
+    const int64_t merge_end = QueryRuntime::NowNs();
+    if (trace != nullptr) {
+      trace->AddSpan(obs::SpanKind::kMerge, "", merge_start, merge_end);
+    }
+    obs::MetricsRegistry::Global()
+        .GetHistogram("cjoin_merge_ns",
+                      "Cross-shard partial-aggregate merge time")
+        ->Record(static_cast<uint64_t>(merge_end - merge_start));
     rt->phase.store(QueryPhase::kCompleted);
     rt->Deliver(std::move(rs));
   }
@@ -215,6 +243,8 @@ Result<std::unique_ptr<QueryHandle>> ShardedCJoinOperator::Submit(
   merge_rt->deadline_ns.store(options.deadline_ns, std::memory_order_relaxed);
   merge_rt->submit_ns.store(QueryRuntime::NowNs());
   merge_rt->completion_observer = std::move(options.completion_observer);
+  merge_rt->trace = options.trace;
+  state->trace = options.trace;
   state->merge_rt = merge_rt;
   std::future<Result<ResultSet>> fut = merge_rt->promise.get_future();
 
@@ -231,6 +261,10 @@ Result<std::unique_ptr<QueryHandle>> ShardedCJoinOperator::Submit(
     so.assume_normalized = true;
     so.reject_when_full = options.reject_when_full;
     so.id_acquire_grace_ns = options.id_acquire_grace_ns;
+    // Shard pipelines share the logical query's trace; their stage spans
+    // are disambiguated by a per-shard label prefix ("s2/pre").
+    so.trace = options.trace;
+    so.trace_prefix = "s" + std::to_string(s) + "/";
     if (box->shared_agg != nullptr) {
       so.aggregator_factory = [box](const StarQuerySpec&) {
         return std::make_unique<LockedProxyAggregator>(box);
@@ -247,10 +281,10 @@ Result<std::unique_ptr<QueryHandle>> ShardedCJoinOperator::Submit(
     }
     // Weak: shard runtimes outlive an abandoned merged handle, and the
     // observer must not keep the collector (and its handles) alive.
-    so.completion_observer = [weak = std::weak_ptr<MergeState>(state)](
+    so.completion_observer = [weak = std::weak_ptr<MergeState>(state), s](
                                  const Result<ResultSet>& result) {
       if (std::shared_ptr<MergeState> st = weak.lock()) {
-        st->OnShardDone(result);
+        st->OnShardDone(s, result);
       }
     };
 

@@ -2,6 +2,7 @@
 
 #include <shared_mutex>
 
+#include "cjoin/query_runtime.h"
 #include "common/bitvector.h"
 
 namespace cjoin {
@@ -19,7 +20,16 @@ Stage::Stage(std::string name, const Schema* fact_schema, size_t num_dims,
       out_(out),
       owns_output_(owns_output),
       pool_(pool),
-      epochs_(epochs) {}
+      epochs_(epochs) {
+  auto& reg = obs::MetricsRegistry::Global();
+  const std::string label = obs::LabelPair("stage", name_);
+  batch_ns_ = reg.GetHistogram("cjoin_stage_batch_ns",
+                               "Per-batch filter time by pipeline stage",
+                               label);
+  tuples_dropped_ = reg.GetCounter(
+      "cjoin_stage_tuples_dropped_total",
+      "Fact tuples dropped by a stage's filters", label);
+}
 
 void Stage::Start(size_t num_threads) {
   live_workers_.store(num_threads);
@@ -103,13 +113,33 @@ void Stage::WorkerLoop() {
     batches_.fetch_add(1, std::memory_order_relaxed);
 
     if (batch.control) {
-      // Control tuples pass through unfiltered (§3.3.1).
+      // Control tuples pass through unfiltered (§3.3.1). The query's own
+      // start/end controls passing this stage bound its `stage:` span.
+      if (!batch.slots.empty()) {
+        TupleSlot* slot = batch.slots[0];
+        QueryRuntime* rt = slot->runtime;
+        if (rt != nullptr && rt->trace != nullptr) {
+          const std::string label = rt->trace_prefix + name_;
+          if (slot->kind == SlotKind::kQueryStart) {
+            rt->trace->BeginSpan(obs::SpanKind::kStage, label.c_str(),
+                                 obs::NowNs());
+          } else if (slot->kind == SlotKind::kQueryEnd) {
+            rt->trace->EndSpan(obs::SpanKind::kStage, label.c_str(),
+                               obs::NowNs());
+          }
+        }
+      }
       if (!out_->Push(std::move(batch))) break;
       continue;
     }
 
+    const int64_t t0 = obs::MetricsEnabled() ? obs::NowNs() : 0;
     std::shared_ptr<const FilterOrder> order = order_.Acquire();
     const size_t dropped = FilterBatch(&batch, *order);
+    if (t0 != 0) {
+      batch_ns_->Record(static_cast<uint64_t>(obs::NowNs() - t0));
+      if (dropped > 0) tuples_dropped_->Add(dropped);
+    }
     if (dropped > 0) epochs_->AddRetired(batch.epoch, dropped);
     if (!batch.slots.empty()) {
       const uint64_t epoch = batch.epoch;

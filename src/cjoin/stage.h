@@ -27,6 +27,7 @@
 #include "cjoin/filter.h"
 #include "cjoin/tuple_slot.h"
 #include "common/tuple_pool.h"
+#include "obs/metrics.h"
 #include "storage/schema.h"
 
 namespace cjoin {
@@ -80,6 +81,10 @@ class Stage {
   std::vector<std::thread> threads_;
   std::atomic<size_t> live_workers_{0};
   std::atomic<uint64_t> batches_{0};
+  /// Engine-wide per-stage-name telemetry (registered once in the
+  /// constructor; recording is lock-free).
+  obs::LatencyHistogram* batch_ns_ = nullptr;
+  obs::Counter* tuples_dropped_ = nullptr;
 };
 
 }  // namespace cjoin

@@ -1,14 +1,21 @@
 // Opt-in diagnostic tracing (CJOIN_DEBUG=1 in the environment).
+//
+// TraceLogf() replaces the old raw fprintf(stderr, ...) call sites: the
+// same CJOIN_DEBUG gate, but events buffer per query in the obs layer's
+// structured sink (src/obs/trace_sink.cc) and flush as one ordered
+// block when the query's lifecycle ends, instead of interleaving with
+// every other concurrent query's prints.
 
 #ifndef CJOIN_COMMON_TRACE_H_
 #define CJOIN_COMMON_TRACE_H_
 
+#include <cstdint>
 #include <cstdlib>
 
 namespace cjoin {
 
 /// True iff CJOIN_DEBUG is set; cached after the first call. Used to gate
-/// per-query lifecycle traces on stderr.
+/// per-query lifecycle traces.
 inline bool TraceEnabled() {
   static const bool enabled = []() {
     const char* v = std::getenv("CJOIN_DEBUG");
@@ -16,6 +23,15 @@ inline bool TraceEnabled() {
   }();
   return enabled;
 }
+
+/// Records one debug event for query `qid` (no-op unless CJOIN_DEBUG).
+/// `subsys` is a short static tag ("pre", "mgr", ...).
+void TraceLogf(uint32_t qid, const char* subsys, const char* fmt, ...)
+    __attribute__((format(printf, 3, 4)));
+
+/// Emits query `qid`'s buffered events to stderr as one ordered block
+/// and clears them (call at end-of-lifecycle; no-op unless CJOIN_DEBUG).
+void TraceFlushQuery(uint32_t qid);
 
 }  // namespace cjoin
 

@@ -22,6 +22,18 @@ const char* AdmissionOutcomeName(AdmissionOutcome outcome) {
 AdmissionController::AdmissionController(Options options)
     : opts_(std::move(options)) {
   if (opts_.default_quota.weight <= 0.0) opts_.default_quota.weight = 1.0;
+  auto& reg = obs::MetricsRegistry::Global();
+  const char* kDecisionsHelp = "Admission gate verdicts by outcome";
+  obs_admitted_ = reg.GetCounter("admission_decisions_total", kDecisionsHelp,
+                                 obs::LabelPair("outcome", "admitted"));
+  obs_queued_ = reg.GetCounter("admission_decisions_total", kDecisionsHelp,
+                               obs::LabelPair("outcome", "queued"));
+  obs_shed_ = reg.GetCounter("admission_decisions_total", kDecisionsHelp,
+                             obs::LabelPair("outcome", "shed"));
+  obs_released_ = reg.GetCounter("admission_released_total",
+                                 "Quota slots returned by terminal queries");
+  obs_wait_depth_ = reg.GetGauge("admission_wait_queue_depth",
+                                 "Submissions parked for a CJOIN slot");
   service_thread_ = std::thread([this] { ServiceLoop(); });
 }
 
@@ -41,6 +53,7 @@ void AdmissionController::Shutdown() {
       failed.push_back(std::move(action));
     }
     wait_queue_.clear();
+    obs_wait_depth_->Set(0);
   }
   service_cv_.notify_all();
   for (GrantAction& a : failed) a.grant(a.status);
@@ -111,6 +124,7 @@ AdmissionDecision AdmissionController::TryAdmit(const std::string& tenant,
   AdmissionDecision d;
   std::lock_guard<std::mutex> lk(mu_);
   if (shutdown_) {
+    obs_shed_->Add();
     d.outcome = AdmissionOutcome::kShed;
     d.status = Status::FailedPrecondition("engine shut down");
     d.reason = "engine shut down";
@@ -120,6 +134,7 @@ AdmissionDecision AdmissionController::TryAdmit(const std::string& tenant,
 
   if (!RefillAndCheck(state, now)) {
     state.shed++;
+    obs_shed_->Add();
     d.outcome = AdmissionOutcome::kShed;
     d.reason = "tenant rate limit";
     d.status = Status::ResourceExhausted(
@@ -132,6 +147,7 @@ AdmissionDecision AdmissionController::TryAdmit(const std::string& tenant,
     if (opts_.max_total_baseline != 0 &&
         total_baseline_ >= opts_.max_total_baseline) {
       state.shed++;
+      obs_shed_->Add();
       d.outcome = AdmissionOutcome::kShed;
       d.reason = "engine baseline queue full";
       d.status = Status::ResourceExhausted(
@@ -142,6 +158,7 @@ AdmissionDecision AdmissionController::TryAdmit(const std::string& tenant,
     const size_t cap = state.quota.max_queued_baseline;
     if (cap != 0 && state.baseline_in_system >= cap) {
       state.shed++;
+      obs_shed_->Add();
       d.outcome = AdmissionOutcome::kShed;
       d.reason = "tenant baseline queue full";
       d.status = Status::ResourceExhausted(
@@ -155,6 +172,7 @@ AdmissionDecision AdmissionController::TryAdmit(const std::string& tenant,
     state.baseline_in_system++;
     total_baseline_++;
     state.admitted++;
+    obs_admitted_->Add();
     d.outcome = AdmissionOutcome::kAdmitted;
     d.reason = "within quota";
     return d;
@@ -166,6 +184,7 @@ AdmissionDecision AdmissionController::TryAdmit(const std::string& tenant,
     state.inflight_cjoin++;
     total_cjoin_++;
     state.admitted++;
+    obs_admitted_->Add();
     d.outcome = AdmissionOutcome::kAdmitted;
     d.reason = "within quota";
     return d;
@@ -196,8 +215,10 @@ AdmissionDecision AdmissionController::TryAdmit(const std::string& tenant,
     if (state.quota.rate_per_sec > 0.0) state.tokens -= 1.0;
     state.waiting++;
     state.queued++;
+    obs_queued_->Add();
     wait_queue_.push_back(std::move(w));
     waiters_epoch_++;
+    obs_wait_depth_->Set(static_cast<int64_t>(wait_queue_.size()));
     d.outcome = AdmissionOutcome::kQueued;
     d.reason = std::string(bound) + " full: parked in wait queue";
     d.waiter_id = wait_queue_.back().id;
@@ -206,6 +227,7 @@ AdmissionDecision AdmissionController::TryAdmit(const std::string& tenant,
   }
 
   state.shed++;
+  obs_shed_->Add();
   d.outcome = AdmissionOutcome::kShed;
   d.reason = bound;
   d.status = Status::ResourceExhausted(
@@ -288,6 +310,7 @@ void AdmissionController::CollectGrantsLocked(
     if (it->expire_ns != 0 && now_ns >= it->expire_ns) {
       state.waiting--;
       state.shed++;
+      obs_shed_->Add();
       GrantAction action;
       action.grant = std::move(it->grant);
       action.status =
@@ -306,6 +329,7 @@ void AdmissionController::CollectGrantsLocked(
       state.inflight_cjoin++;
       total_cjoin_++;
       state.admitted++;
+      obs_admitted_->Add();
       GrantAction action;
       action.grant = std::move(it->grant);
       action.status = Status::OK();
@@ -319,6 +343,7 @@ void AdmissionController::CollectGrantsLocked(
     }
     ++it;
   }
+  obs_wait_depth_->Set(static_cast<int64_t>(wait_queue_.size()));
 }
 
 void AdmissionController::Release(const std::string& tenant,
@@ -334,6 +359,7 @@ void AdmissionController::Release(const std::string& tenant,
         state.baseline_in_system--;
         total_baseline_--;
         state.released++;
+        obs_released_->Add();
       }
       return;
     }
@@ -341,6 +367,7 @@ void AdmissionController::Release(const std::string& tenant,
       state.inflight_cjoin--;
       total_cjoin_--;
       state.released++;
+      obs_released_->Add();
     }
     // Hand grants to the service thread. Release often runs on a
     // pipeline thread mid-delivery — before that thread has recycled the
@@ -366,6 +393,10 @@ void AdmissionController::ReleaseAsShed(const std::string& tenant,
   if (state.admitted > 0) state.admitted--;
   if (state.released > 0) state.released--;
   state.shed++;
+  // The registry's counters stay monotonic (Prometheus semantics): the
+  // admitted+released round trip is not rewound there, only the shed is
+  // recorded on top.
+  obs_shed_->Add();
 }
 
 void AdmissionController::CancelWaiter(uint64_t waiter_id) {
@@ -377,6 +408,7 @@ void AdmissionController::CancelWaiter(uint64_t waiter_id) {
         tenants_[it->tenant].waiting--;
         grant = std::move(it->grant);
         wait_queue_.erase(it);
+        obs_wait_depth_->Set(static_cast<int64_t>(wait_queue_.size()));
         break;
       }
     }

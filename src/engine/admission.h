@@ -42,6 +42,7 @@
 
 #include "common/status.h"
 #include "engine/router.h"
+#include "obs/metrics.h"
 
 namespace cjoin {
 
@@ -289,6 +290,14 @@ class AdmissionController {
   bool shutdown_ = false;
   std::condition_variable service_cv_;
   std::thread service_thread_;
+
+  /// Registry mirrors of the aggregate outcome counters (per-tenant
+  /// detail stays in GetStats(); the registry carries engine-wide rates).
+  obs::Counter* obs_admitted_ = nullptr;
+  obs::Counter* obs_queued_ = nullptr;
+  obs::Counter* obs_shed_ = nullptr;
+  obs::Counter* obs_released_ = nullptr;
+  obs::Gauge* obs_wait_depth_ = nullptr;
 };
 
 }  // namespace cjoin

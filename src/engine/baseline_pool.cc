@@ -14,7 +14,35 @@ bool BaselineJob::TryResolve(Result<ResultSet> result) {
                                          std::memory_order_acq_rel)) {
     return false;
   }
-  completed_ns.store(QueryRuntime::NowNs(), std::memory_order_relaxed);
+  const int64_t done = QueryRuntime::NowNs();
+  completed_ns.store(done, std::memory_order_relaxed);
+  if (trace != nullptr) {
+    const int64_t submitted = submit_ns.load(std::memory_order_relaxed);
+    const int64_t started = start_ns.load(std::memory_order_relaxed);
+    if (submitted != 0) {
+      // A job resolved while still queued (cancel/deadline/abort) never
+      // started: its whole life was queue residence.
+      trace->AddSpan(obs::SpanKind::kBaselineQueue, "", submitted,
+                     started != 0 ? started : done);
+    }
+    if (started != 0) {
+      trace->AddSpan(obs::SpanKind::kBaselineRun, "", started, done);
+    }
+  }
+  if (obs::MetricsEnabled()) {
+    auto& reg = obs::MetricsRegistry::Global();
+    const int64_t submitted = submit_ns.load(std::memory_order_relaxed);
+    const int64_t started = start_ns.load(std::memory_order_relaxed);
+    reg.GetHistogram("baseline_queue_wait_ns",
+                     "Baseline pool queue residence")
+        ->Record(static_cast<uint64_t>(
+            std::max<int64_t>(0, (started != 0 ? started : done) -
+                                     submitted)));
+    if (started != 0) {
+      reg.GetHistogram("baseline_run_ns", "Baseline plan execution time")
+          ->Record(static_cast<uint64_t>(std::max<int64_t>(0, done - started)));
+    }
+  }
   // Quota release (and any other bookkeeping) strictly precedes result
   // visibility, so a caller unblocked by Wait() can immediately resubmit
   // into the freed slot.
@@ -52,6 +80,9 @@ Status BaselinePool::Enqueue(std::shared_ptr<BaselineJob> job) {
     job->seq = next_seq_++;
     queue_.push_back(job);
     watched_.push_back(std::move(job));
+    obs::MetricsRegistry::Global()
+        .GetGauge("baseline_pool_queue_depth", "Jobs waiting in the pool")
+        ->Set(static_cast<int64_t>(queue_.size()));
   }
   cv_.notify_all();
   return Status::OK();
@@ -154,6 +185,9 @@ void BaselinePool::WorkerLoop() {
       if (shutdown_) return;
       job = PopBestLocked();
       if (job == nullptr) continue;
+      obs::MetricsRegistry::Global()
+          .GetGauge("baseline_pool_queue_depth", "Jobs waiting in the pool")
+          ->Set(static_cast<int64_t>(queue_.size()));
     }
 
     const int64_t now = QueryRuntime::NowNs();

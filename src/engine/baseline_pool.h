@@ -34,6 +34,8 @@
 #include "catalog/query_spec.h"
 #include "common/status.h"
 #include "exec/result_set.h"
+#include "obs/metrics.h"
+#include "obs/query_trace.h"
 
 namespace cjoin {
 
@@ -60,6 +62,10 @@ struct BaselineJob {
 
   std::atomic<bool> cancel{false};
   std::promise<Result<ResultSet>> promise;
+
+  /// Per-query span trace (may be null): the pool records queue
+  /// residence and run time into it.
+  std::shared_ptr<obs::QueryTrace> trace;
 
   // Steady-clock nanos, for the uniform ticket timing stats.
   std::atomic<int64_t> submit_ns{0};

@@ -30,6 +30,7 @@
 #include "cjoin/query_runtime.h"
 #include "engine/baseline_pool.h"
 #include "engine/router.h"
+#include "obs/query_trace.h"
 
 namespace cjoin {
 
@@ -110,6 +111,9 @@ struct DeferredQuery {
   std::promise<Result<ResultSet>> promise;
   std::string label;
   SnapshotId snapshot = 0;
+  /// Per-query span trace, threaded into the pipeline submission once the
+  /// slot is granted (may be null).
+  std::shared_ptr<obs::QueryTrace> trace;
   std::atomic<int64_t> submit_ns{0};
   /// Set when the admission controller granted the slot (0 while still
   /// parked): granted_ns - submit_ns is the wait-queue residence, which
@@ -187,8 +191,20 @@ class QueryTicket {
   /// tests; lifetime owned by the ticket.
   QueryHandle* cjoin_handle() const { return cjoin_.get(); }
 
+  /// The per-query span trace (nullptr when metrics are disabled or the
+  /// request predates tracing). Populated incrementally while the query
+  /// runs; complete — admission, route, stages, merge — once Wait()
+  /// returns. See QueryTrace::Render() for the EXPLAIN ANALYZE-style
+  /// text form. Mutable so serving layers can append their own spans
+  /// (net streaming) before rendering.
+  const std::shared_ptr<obs::QueryTrace>& trace() const { return trace_; }
+  void set_trace(std::shared_ptr<obs::QueryTrace> trace) {
+    trace_ = std::move(trace);
+  }
+
  private:
   RouteDecision decision_;
+  std::shared_ptr<obs::QueryTrace> trace_;
   // Exactly one of the backends is set: CJOIN handle, baseline job,
   // deferred (wait-queued) state, or an immediate result.
   std::unique_ptr<QueryHandle> cjoin_;

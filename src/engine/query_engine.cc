@@ -7,6 +7,8 @@
 #include <thread>
 
 #include "exec/group_table.h"
+#include "obs/metrics.h"
+#include "obs/query_trace.h"
 
 namespace cjoin {
 
@@ -124,15 +126,42 @@ std::string FormatAdmission(const AdmissionDecision& ad) {
   return out;
 }
 
-/// One completed query's report to the route calibrator, shared by the
-/// three completion paths (admitted CJOIN, deferred-grant CJOIN,
-/// baseline). Only successful kAuto-routed queries carry evidence
-/// (work_units > 0); [submit_ns, queue_end_ns) is attributed to
-/// queueing, [queue_end_ns, done_ns) to service.
+/// Registry label value for a route.
+const char* RouteLabel(RouteChoice route) {
+  return route == RouteChoice::kCJoin ? "cjoin" : "baseline";
+}
+
+/// One completed query's report to the route calibrator and the metrics
+/// registry, shared by the three completion paths (admitted CJOIN,
+/// deferred-grant CJOIN, baseline). Every completion records the
+/// engine-wide per-route and per-tenant latency histograms and the
+/// outcome counter; only successful kAuto-routed queries carry
+/// calibration evidence (work_units > 0). [submit_ns, queue_end_ns) is
+/// attributed to queueing, [queue_end_ns, done_ns) to service.
 void ObserveCompletion(RouteCalibrator* cal, RouteChoice route,
-                       double work_units, const Result<ResultSet>& result,
-                       int64_t submit_ns, int64_t queue_end_ns,
-                       int64_t done_ns) {
+                       const std::string& tenant, double work_units,
+                       const Result<ResultSet>& result, int64_t submit_ns,
+                       int64_t queue_end_ns, int64_t done_ns) {
+  if (obs::MetricsEnabled()) {
+    auto& reg = obs::MetricsRegistry::Global();
+    reg.GetCounter("queries_total",
+                   "Completed queries by route and terminal status",
+                   obs::LabelPair("route", RouteLabel(route)) + "," +
+                       obs::LabelPair("status",
+                                      result.ok() ? "ok" : "error"))
+        ->Add();
+    if (done_ns > submit_ns) {
+      const uint64_t latency = static_cast<uint64_t>(done_ns - submit_ns);
+      reg.GetHistogram("query_latency_ns",
+                       "End-to-end query latency (submit to result)",
+                       obs::LabelPair("route", RouteLabel(route)))
+          ->Record(latency);
+      reg.GetHistogram("tenant_query_latency_ns",
+                       "End-to-end query latency per tenant",
+                       obs::LabelPair("tenant", tenant))
+          ->Record(latency);
+    }
+  }
   if (work_units <= 0.0 || !result.ok()) return;
   RouteObservation obs;
   obs.route = route;
@@ -422,6 +451,15 @@ Result<std::unique_ptr<QueryTicket>> QueryEngine::Execute(
   std::shared_ptr<ExecPool> pool = PoolFor(entry);
   const std::string tenant = TenantOrDefault(request.tenant);
 
+  // Always-on span trace (skipped entirely when metrics are disabled):
+  // every layer this query crosses appends to it through the shared_ptr
+  // threaded along the submission.
+  std::shared_ptr<obs::QueryTrace> trace;
+  if (obs::MetricsEnabled()) {
+    trace = std::make_shared<obs::QueryTrace>();
+    trace->set_tenant(tenant);
+  }
+
   int64_t deadline_ns = request.deadline_ns;
   if (deadline_ns == 0 && request.timeout.count() > 0) {
     deadline_ns = QueryRuntime::NowNs() + request.timeout.count();
@@ -444,21 +482,32 @@ Result<std::unique_ptr<QueryTicket>> QueryEngine::Execute(
       decision.forced = true;
       decision.reason = "policy";
       break;
-    case RoutePolicy::kAuto:
+    case RoutePolicy::kAuto: {
+      const int64_t route0 = trace != nullptr ? obs::NowNs() : 0;
       decision =
           router_.Decide(request.spec, SampleRouteInputs(*pool, tenant));
+      if (trace != nullptr) {
+        trace->AddSpan(obs::SpanKind::kRoute, decision.explored
+                                                  ? "explore"
+                                                  : "decide",
+                       route0, obs::NowNs());
+      }
       break;
+    }
   }
   decision.tenant = tenant;
+  if (trace != nullptr) trace->set_route(RouteLabel(decision.choice));
 
   // Uniform-ticket contract: an already-expired deadline resolves through
   // the ticket (kDeadlineExceeded from Wait()) on BOTH routes — Execute()
   // itself only fails on submission errors. No quota is consumed.
   if (deadline_ns != 0 && QueryRuntime::NowNs() >= deadline_ns) {
-    return std::make_unique<QueryTicket>(
+    auto expired = std::make_unique<QueryTicket>(
         std::move(decision), request.spec.label, request.spec.snapshot,
         Result<ResultSet>(
             Status::DeadlineExceeded("deadline expired before submission")));
+    expired->set_trace(std::move(trace));
+    return expired;
   }
 
   if (decision.choice == RouteChoice::kCJoin) {
@@ -471,6 +520,7 @@ Result<std::unique_ptr<QueryTicket>> QueryEngine::Execute(
       deferred = std::make_shared<DeferredQuery>();
       deferred->label = request.spec.label;
       deferred->snapshot = request.spec.snapshot;
+      deferred->trace = trace;
       deferred->submit_ns.store(QueryRuntime::NowNs(),
                                 std::memory_order_relaxed);
       return MakeDeferredGrant(entry, deferred, request.spec,
@@ -479,13 +529,19 @@ Result<std::unique_ptr<QueryTicket>> QueryEngine::Execute(
                                decision.forced ? 0.0
                                                : decision.cjoin_work_units);
     };
+    const int64_t adm0 = trace != nullptr ? obs::NowNs() : 0;
     AdmissionDecision ad = admission_->TryAdmit(
         tenant, RouteChoice::kCJoin, deadline_ns, std::move(make_grant));
+    if (trace != nullptr) {
+      trace->AddSpan(obs::SpanKind::kAdmission,
+                     AdmissionOutcomeName(ad.outcome), adm0, obs::NowNs());
+    }
     decision.admission = FormatAdmission(ad);
     switch (ad.outcome) {
       case AdmissionOutcome::kAdmitted:
         return SubmitAdmittedCJoin(entry, pool, std::move(request),
-                                   std::move(decision), tenant, deadline_ns);
+                                   std::move(decision), tenant, deadline_ns,
+                                   std::move(trace));
       case AdmissionOutcome::kQueued: {
         std::future<Result<ResultSet>> fut = deferred->promise.get_future();
         {
@@ -504,23 +560,35 @@ Result<std::unique_ptr<QueryTicket>> QueryEngine::Execute(
             };
           }
         }
-        return std::make_unique<QueryTicket>(
+        auto queued = std::make_unique<QueryTicket>(
             std::move(decision), std::move(deferred), std::move(fut));
+        queued->set_trace(std::move(trace));
+        return queued;
       }
-      case AdmissionOutcome::kShed:
-        return std::make_unique<QueryTicket>(
+      case AdmissionOutcome::kShed: {
+        auto shed = std::make_unique<QueryTicket>(
             std::move(decision), request.spec.label, request.spec.snapshot,
             Result<ResultSet>(ad.status));
+        shed->set_trace(std::move(trace));
+        return shed;
+      }
     }
   }
 
+  const int64_t adm0 = trace != nullptr ? obs::NowNs() : 0;
   AdmissionDecision ad =
       admission_->TryAdmit(tenant, RouteChoice::kBaseline, deadline_ns);
+  if (trace != nullptr) {
+    trace->AddSpan(obs::SpanKind::kAdmission,
+                   AdmissionOutcomeName(ad.outcome), adm0, obs::NowNs());
+  }
   decision.admission = FormatAdmission(ad);
   if (ad.outcome == AdmissionOutcome::kShed) {
-    return std::make_unique<QueryTicket>(
+    auto shed = std::make_unique<QueryTicket>(
         std::move(decision), request.spec.label, request.spec.snapshot,
         Result<ResultSet>(ad.status));
+    shed->set_trace(std::move(trace));
+    return shed;
   }
   auto job = std::make_shared<BaselineJob>();
   job->spec = std::move(request.spec);
@@ -528,6 +596,7 @@ Result<std::unique_ptr<QueryTicket>> QueryEngine::Execute(
   job->priority = request.priority;
   job->deadline_ns = deadline_ns;
   job->tenant = tenant;
+  job->trace = trace;
   job->fair_weight = admission_->GetTenantQuota(tenant).weight;
   // Quota returns on every terminal path — worker completion, sweeper
   // cancel / deadline, pool shutdown — via the resolve hook; successful
@@ -541,7 +610,7 @@ Result<std::unique_ptr<QueryTicket>> QueryEngine::Execute(
     ctrl->Release(tenant, RouteChoice::kBaseline);
     // Pool-queue residence (submit -> worker start) is waiting, not
     // work: it is attributed out of the fitted service time.
-    ObserveCompletion(cal, RouteChoice::kBaseline, work, result,
+    ObserveCompletion(cal, RouteChoice::kBaseline, tenant, work, result,
                       j->submit_ns.load(std::memory_order_relaxed),
                       j->start_ns.load(std::memory_order_relaxed),
                       j->completed_ns.load(std::memory_order_relaxed));
@@ -553,26 +622,31 @@ Result<std::unique_ptr<QueryTicket>> QueryEngine::Execute(
       // caller experienced a shed, not an admitted query.
       admission_->ReleaseAsShed(tenant, RouteChoice::kBaseline);
       decision.admission = "shed (baseline pool queue full)";
-      return std::make_unique<QueryTicket>(
+      auto shed = std::make_unique<QueryTicket>(
           std::move(decision), job->spec.label, job->spec.snapshot,
           Result<ResultSet>(std::move(st)));
+      shed->set_trace(std::move(trace));
+      return shed;
     }
     // Pool shut down: Enqueue resolved the promise (kAborted) and the
     // hook released the quota; the ticket surfaces the result.
   }
-  return std::make_unique<QueryTicket>(std::move(decision), std::move(job),
-                                       std::move(fut));
+  auto ticket = std::make_unique<QueryTicket>(std::move(decision),
+                                             std::move(job), std::move(fut));
+  ticket->set_trace(std::move(trace));
+  return ticket;
 }
 
 Result<std::unique_ptr<QueryTicket>> QueryEngine::SubmitAdmittedCJoin(
     StarEntry* entry, const std::shared_ptr<ExecPool>& pool,
     QueryRequest request, RouteDecision decision, const std::string& tenant,
-    int64_t deadline_ns) {
+    int64_t deadline_ns, std::shared_ptr<obs::QueryTrace> trace) {
   CJoinOperator::SubmitOptions so;
   so.aggregator_factory = std::move(request.aggregator_factory);
   so.deadline_ns = deadline_ns;
   so.assume_normalized = true;  // ResolveRequest normalized already
   so.reject_when_full = true;   // the freelist must never block (ROADMAP)
+  so.trace = trace;
   // Quota release first, then the calibrator observation (successful
   // kAuto completions only — an immediately-admitted CJOIN query never
   // waited, so its whole wall clock is service).
@@ -583,8 +657,8 @@ Result<std::unique_ptr<QueryTicket>> QueryEngine::SubmitAdmittedCJoin(
                             submitted = QueryRuntime::NowNs()](
                                const Result<ResultSet>& result) {
     ctrl->Release(tenant, RouteChoice::kCJoin);
-    ObserveCompletion(cal, RouteChoice::kCJoin, work, result, submitted,
-                      submitted, QueryRuntime::NowNs());
+    ObserveCompletion(cal, RouteChoice::kCJoin, tenant, work, result,
+                      submitted, submitted, QueryRuntime::NowNs());
   };
   const std::string label = request.spec.label;
   const SnapshotId snap = request.spec.snapshot;
@@ -597,14 +671,18 @@ Result<std::unique_ptr<QueryTicket>> QueryEngine::SubmitAdmittedCJoin(
       // Freelist raced ahead of the admission bookkeeping (slots release
       // at Deliver, ids at cleanup): degrade by rejecting, not stalling.
       decision.admission = "shed (pipeline query ids exhausted)";
-      return std::make_unique<QueryTicket>(
+      auto shed = std::make_unique<QueryTicket>(
           std::move(decision), label, snap,
           Result<ResultSet>(handle.status()));
+      shed->set_trace(std::move(trace));
+      return shed;
     }
     return handle.status();
   }
-  return std::make_unique<QueryTicket>(std::move(decision),
-                                       std::move(*handle));
+  auto ticket = std::make_unique<QueryTicket>(std::move(decision),
+                                              std::move(*handle));
+  ticket->set_trace(std::move(trace));
+  return ticket;
 }
 
 AdmissionController::GrantFn QueryEngine::MakeDeferredGrant(
@@ -632,8 +710,13 @@ AdmissionController::GrantFn QueryEngine::MakeDeferredGrant(
       return;
     }
     // The controller consumed one CJOIN slot on this query's behalf.
-    deferred->granted_ns.store(QueryRuntime::NowNs(),
-                               std::memory_order_relaxed);
+    const int64_t granted = QueryRuntime::NowNs();
+    deferred->granted_ns.store(granted, std::memory_order_relaxed);
+    if (deferred->trace != nullptr) {
+      deferred->trace->AddSpan(
+          obs::SpanKind::kWaitQueue, "",
+          deferred->submit_ns.load(std::memory_order_relaxed), granted);
+    }
     if (cancelled) {
       admission_->Release(tenant, RouteChoice::kCJoin);
       deferred->TryResolve(
@@ -660,6 +743,7 @@ AdmissionController::GrantFn QueryEngine::MakeDeferredGrant(
     so.deadline_ns = deadline_ns;
     so.assume_normalized = true;
     so.reject_when_full = true;
+    so.trace = deferred->trace;
     // This submission runs on the controller's single service thread,
     // where every per-shard grace wait head-of-line delays other grants
     // and waiter expiries — and the slot that granted us was released at
@@ -675,7 +759,7 @@ AdmissionController::GrantFn QueryEngine::MakeDeferredGrant(
                               cal = &calibrator_,
                               work_units](const Result<ResultSet>& result) {
       ctrl->Release(tenant, RouteChoice::kCJoin);
-      ObserveCompletion(cal, RouteChoice::kCJoin, work_units, result,
+      ObserveCompletion(cal, RouteChoice::kCJoin, tenant, work_units, result,
                         deferred->submit_ns.load(std::memory_order_relaxed),
                         deferred->granted_ns.load(std::memory_order_relaxed),
                         QueryRuntime::NowNs());

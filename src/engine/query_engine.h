@@ -36,6 +36,8 @@
 #include "engine/router.h"
 #include "engine/shard_manager.h"
 #include "engine/sql_parser.h"
+#include "obs/metrics.h"
+#include "obs/query_trace.h"
 
 namespace cjoin {
 
@@ -112,6 +114,16 @@ class QueryEngine {
   /// of observed service seconds on predicted work units that the
   /// Router consults once warm (the shell's \calibration).
   RouterStats GetRouterStats() const { return calibrator_.Stats(); }
+
+  // --- Observability ---------------------------------------------------------
+
+  /// The metrics registry every engine layer records into (the engine
+  /// uses the process-global instance; exposed here so serving layers
+  /// can snapshot it without reaching for the global). Rendered as JSON
+  /// through the STATS wire frame and as Prometheus text by \metrics.
+  obs::MetricsRegistry& metrics() const {
+    return obs::MetricsRegistry::Global();
+  }
 
   // --- Sharding (runtime elasticity) ----------------------------------------
 
@@ -262,7 +274,8 @@ class QueryEngine {
   Result<std::unique_ptr<QueryTicket>> SubmitAdmittedCJoin(
       StarEntry* entry, const std::shared_ptr<ExecPool>& pool,
       QueryRequest request, RouteDecision decision,
-      const std::string& tenant, int64_t deadline_ns);
+      const std::string& tenant, int64_t deadline_ns,
+      std::shared_ptr<obs::QueryTrace> trace);
 
   /// Grant callback of a wait-queued CJOIN submission: on an OK grant
   /// (slot consumed by the controller) performs the deferred pipeline

@@ -5,6 +5,8 @@
 #include <cmath>
 #include <cstdio>
 
+#include "obs/metrics.h"
+
 namespace cjoin {
 
 namespace {
@@ -117,7 +119,22 @@ void RouteCalibrator::Observe(const RouteObservation& obs) {
       obs.wall_seconds - std::max(0.0, obs.queue_wait_seconds);
   if (!(obs.work_units > 0.0) || !(service > 0.0)) {
     dropped_.fetch_add(1, std::memory_order_relaxed);
+    if (obs::MetricsEnabled()) {
+      obs::MetricsRegistry::Global()
+          .GetCounter("route_observations_dropped_total",
+                      "Calibration observations rejected as unusable")
+          ->Add();
+    }
     return;
+  }
+  if (obs::MetricsEnabled()) {
+    obs::MetricsRegistry::Global()
+        .GetCounter("route_observations_total",
+                    "Latency observations fed back into route calibration",
+                    obs::LabelPair("route", obs.route == RouteChoice::kCJoin
+                                                ? "cjoin"
+                                                : "baseline"))
+        ->Add();
   }
   std::lock_guard<std::mutex> lk(mu_);
   LsqState& s = models_[RouteIndex(obs.route)];
@@ -221,6 +238,26 @@ void RouteCalibrator::CountDecision(const RouteDecision& decision) {
       1, std::memory_order_relaxed);
   if (decision.calibrated) {
     calibrated_decisions_.fetch_add(1, std::memory_order_relaxed);
+  }
+  if (obs::MetricsEnabled()) {
+    auto& reg = obs::MetricsRegistry::Global();
+    reg.GetCounter("route_decisions_total",
+                   "Routing verdicts for executed queries",
+                   obs::LabelPair("route",
+                                  decision.choice == RouteChoice::kCJoin
+                                      ? "cjoin"
+                                      : "baseline"))
+        ->Add();
+    if (decision.calibrated) {
+      reg.GetCounter("route_decisions_calibrated_total",
+                     "Decisions made on warm calibrated costs")
+          ->Add();
+    }
+    if (decision.explored) {
+      reg.GetCounter("route_decisions_explored_total",
+                     "Decisions flipped to warm up a cold route")
+          ->Add();
+    }
   }
 }
 

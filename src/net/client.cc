@@ -201,6 +201,8 @@ Result<CjoinClient::QueryResult> CjoinClient::Await(
         out.result.tuples_consumed = done.tuples_consumed;
         out.snapshot = done.snapshot;
         out.response_seconds = done.response_seconds;
+        out.trace_json = done.trace_json;
+        last_trace_ = std::move(done.trace_json);
         if (out.result.rows.size() != done.total_rows) {
           return Status::Internal(
               "row count mismatch: streamed " +

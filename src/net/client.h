@@ -42,6 +42,9 @@ class CjoinClient {
     uint64_t snapshot = 0;
     /// Server-side seconds from submission to result delivery.
     double response_seconds = 0.0;
+    /// v2: the server's per-query span trace as compact JSON (empty when
+    /// the server runs with metrics disabled or speaks v1).
+    std::string trace_json;
   };
 
   explicit CjoinClient(Options options) : opts_(std::move(options)) {}
@@ -94,6 +97,11 @@ class CjoinClient {
   /// Server + engine statistics as a JSON object string.
   Result<std::string> Stats();
 
+  /// Trace JSON carried by the most recent successful Query/Await on this
+  /// session ("" when none). Lets the shell's \trace show the last query
+  /// without callers threading QueryResult around.
+  const std::string& last_trace() const { return last_trace_; }
+
  private:
   Status SendAll(const std::vector<uint8_t>& bytes);
   /// Reads exactly one frame (blocking).
@@ -111,6 +119,7 @@ class CjoinClient {
   uint64_t session_id_ = 0;
   uint64_t next_request_id_ = 1;
   std::deque<Frame> stash_;
+  std::string last_trace_;
 };
 
 }  // namespace net

@@ -243,6 +243,8 @@ std::vector<uint8_t> EncodeQueryDone(const QueryDoneFrame& f) {
   w.PutU64(f.tuples_consumed);
   w.PutU64(f.snapshot);
   w.PutF64(f.response_seconds);
+  // v2 tail, omitted entirely when empty (v1-compatible frame).
+  if (!f.trace_json.empty()) w.PutString(f.trace_json);
   return EncodeFrame(FrameType::kQueryDone, w.bytes());
 }
 
@@ -392,6 +394,12 @@ Result<QueryDoneFrame> DecodeQueryDone(const std::vector<uint8_t>& p) {
   CJOIN_ASSIGN_OR_RETURN(f.tuples_consumed, r.U64());
   CJOIN_ASSIGN_OR_RETURN(f.snapshot, r.U64());
   CJOIN_ASSIGN_OR_RETURN(f.response_seconds, r.F64());
+  // Optional v2 trace tail: present iff bytes remain. Garbage that is
+  // not a well-formed length-prefixed string fails the String() bounds
+  // checks, so hostile trailing bytes are still rejected.
+  if (!r.AtEnd()) {
+    CJOIN_ASSIGN_OR_RETURN(f.trace_json, r.String());
+  }
   CJOIN_RETURN_IF_ERROR(r.ExpectEnd());
   return f;
 }

@@ -38,7 +38,11 @@ namespace net {
 
 /// First bytes of every session: "CJNP" little-endian.
 inline constexpr uint32_t kMagic = 0x504E4A43u;
-inline constexpr uint16_t kProtocolVersion = 1;
+/// v2: QUERY_DONE may carry an optional trailing trace payload (see
+/// QueryDoneFrame::trace_json); STATS replies embed the engine metrics
+/// registry snapshot under a "metrics" key. Both extensions are
+/// tail-optional, so a v1 peer's frames still decode.
+inline constexpr uint16_t kProtocolVersion = 2;
 
 /// Frame header: u32 payload length + u8 type.
 inline constexpr size_t kFrameHeaderSize = 5;
@@ -102,6 +106,13 @@ struct QueryDoneFrame {
   uint64_t tuples_consumed = 0;
   uint64_t snapshot = 0;
   double response_seconds = 0.0;
+  /// v2 optional tail: the query's span trace as compact JSON
+  /// (QueryTrace::ToJson), empty when the server runs with metrics
+  /// disabled or the frame came from a v1 peer. Encoded as a trailing
+  /// length-prefixed string only when non-empty; the decoder reads it
+  /// only when bytes remain, so v1 frames (no tail) still decode and
+  /// trailing garbage still fails the string's own bounds check.
+  std::string trace_json;
 };
 
 struct ErrorFrame {

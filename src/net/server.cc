@@ -12,6 +12,8 @@
 #include <cerrno>
 #include <cstring>
 
+#include "obs/metrics.h"
+#include "obs/query_trace.h"
 #include "storage/types.h"
 
 namespace cjoin {
@@ -660,6 +662,10 @@ std::string CjoinServer::BuildStatsJson() {
   field("queries_error", s.queries_error);
   field("rows_streamed", s.rows_streamed);
   field("rows_ingested", s.rows_ingested);
+  // v2: the full engine metrics registry rides along as a nested object,
+  // after the flat legacy keys so existing consumers keep working.
+  json += ",\"metrics\":";
+  json += engine_->metrics().RenderJson();
   json += "}";
   return json;
 }
@@ -722,6 +728,8 @@ void CjoinServer::ResolvePending(const std::shared_ptr<PendingQuery>& pq) {
   }
 
   // Stream the materialized result as ROW_BATCH chunks + QUERY_DONE.
+  const std::shared_ptr<obs::QueryTrace>& trace = pq->ticket->trace();
+  const int64_t stream0 = trace != nullptr ? obs::NowNs() : 0;
   std::vector<std::vector<uint8_t>> batches =
       EncodeResultBatches(pq->request_id, *result, opts_.batch_rows);
   for (auto& b : batches) SendBytes(conn, std::move(b));
@@ -734,6 +742,12 @@ void CjoinServer::ResolvePending(const std::shared_ptr<PendingQuery>& pq) {
   done.tuples_consumed = result->tuples_consumed;
   done.snapshot = pq->ticket->snapshot();
   done.response_seconds = pq->ticket->ResponseSeconds();
+  if (trace != nullptr) {
+    // Serialization + enqueue time; the tail (socket flush) happens
+    // after QUERY_DONE is built, so it cannot be in its own payload.
+    trace->AddSpan(obs::SpanKind::kNetStream, "", stream0, obs::NowNs());
+    done.trace_json = trace->ToJson();
+  }
   // Count before the frame goes out: a client that saw QUERY_DONE and
   // immediately asked for STATS must see this query in queries_ok.
   n_queries_ok_.fetch_add(1, std::memory_order_relaxed);

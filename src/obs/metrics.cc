@@ -1,0 +1,327 @@
+#include "obs/metrics.h"
+
+#include <chrono>
+#include <cstdio>
+
+namespace cjoin::obs {
+
+int64_t NowNs() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+size_t ThreadShard(size_t mod) {
+  static std::atomic<size_t> next{0};
+  static thread_local const size_t shard =
+      next.fetch_add(1, std::memory_order_relaxed);
+  return shard % mod;
+}
+
+// ---------------------------------------------------------------------------
+// LatencyHistogram
+// ---------------------------------------------------------------------------
+
+LatencySnapshot LatencyHistogram::Snapshot() const {
+  LatencySnapshot snap;
+  std::array<uint64_t, kBuckets> copy;
+  uint64_t total = 0;
+  for (uint32_t i = 0; i < kBuckets; ++i) {
+    copy[i] = buckets_[i].load(std::memory_order_relaxed);
+    total += copy[i];
+  }
+  snap.count = total;
+  snap.sum_ns = sum_.load(std::memory_order_relaxed);
+  if (total == 0) return snap;
+
+  bool have_min = false;
+  for (uint32_t i = 0; i < kBuckets; ++i) {
+    if (copy[i] == 0) continue;
+    if (!have_min) {
+      snap.min_ns = BucketLowerBound(i);
+      have_min = true;
+    }
+    snap.max_ns = BucketUpperBound(i);
+  }
+
+  // Quantile = upper edge of the first bucket whose cumulative count
+  // reaches ceil(q * total); conservative by at most one bucket width.
+  const auto quantile = [&](double q) -> uint64_t {
+    uint64_t target = static_cast<uint64_t>(q * static_cast<double>(total));
+    if (target < 1) target = 1;
+    if (target > total) target = total;
+    uint64_t cum = 0;
+    for (uint32_t i = 0; i < kBuckets; ++i) {
+      cum += copy[i];
+      if (cum >= target) return BucketUpperBound(i);
+    }
+    return snap.max_ns;
+  };
+  snap.p50_ns = quantile(0.50);
+  snap.p90_ns = quantile(0.90);
+  snap.p99_ns = quantile(0.99);
+  snap.p999_ns = quantile(0.999);
+  return snap;
+}
+
+// ---------------------------------------------------------------------------
+// MetricsRegistry
+// ---------------------------------------------------------------------------
+
+std::string LabelPair(std::string_view key, std::string_view value) {
+  std::string out;
+  out.reserve(key.size() + value.size() + 3);
+  out.append(key);
+  out.push_back('=');
+  out.push_back('"');
+  for (char c : value) {
+    // Keep the rendered pair safe inside both Prometheus exposition and
+    // the JSON snapshot key (which re-escapes the quotes).
+    if (c == '"' || c == '\\' || c == '\n') {
+      out.push_back('_');
+    } else {
+      out.push_back(c);
+    }
+  }
+  out.push_back('"');
+  return out;
+}
+
+MetricsRegistry& MetricsRegistry::Global() {
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+MetricsRegistry::Family& MetricsRegistry::FamilyFor(std::string_view name,
+                                                    std::string_view help,
+                                                    Type type) {
+  auto it = families_.find(name);
+  if (it == families_.end()) {
+    Family family;
+    family.type = type;
+    family.help = std::string(help);
+    it = families_.emplace(std::string(name), std::move(family)).first;
+  }
+  return it->second;
+}
+
+std::string MetricsRegistry::EffectiveLabels(const Family& family,
+                                             std::string_view labels) {
+  const size_t children = family.counters.size() + family.gauges.size() +
+                          family.histograms.size();
+  if (children < kMaxChildrenPerFamily) return std::string(labels);
+  return "other=\"overflow\"";
+}
+
+Counter* MetricsRegistry::GetCounter(std::string_view name,
+                                     std::string_view help,
+                                     std::string_view labels) {
+  std::lock_guard<std::mutex> lk(mu_);
+  Family& family = FamilyFor(name, help, Type::kCounter);
+  std::string key = EffectiveLabels(family, labels);
+  auto it = family.counters.find(key);
+  if (it == family.counters.end()) {
+    it = family.counters.emplace(std::move(key), std::make_unique<Counter>())
+             .first;
+  }
+  return it->second.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(std::string_view name, std::string_view help,
+                                 std::string_view labels) {
+  std::lock_guard<std::mutex> lk(mu_);
+  Family& family = FamilyFor(name, help, Type::kGauge);
+  std::string key = EffectiveLabels(family, labels);
+  auto it = family.gauges.find(key);
+  if (it == family.gauges.end()) {
+    it = family.gauges.emplace(std::move(key), std::make_unique<Gauge>())
+             .first;
+  }
+  return it->second.get();
+}
+
+LatencyHistogram* MetricsRegistry::GetHistogram(std::string_view name,
+                                                std::string_view help,
+                                                std::string_view labels) {
+  std::lock_guard<std::mutex> lk(mu_);
+  Family& family = FamilyFor(name, help, Type::kHistogram);
+  std::string key = EffectiveLabels(family, labels);
+  auto it = family.histograms.find(key);
+  if (it == family.histograms.end()) {
+    it = family.histograms
+             .emplace(std::move(key), std::make_unique<LatencyHistogram>())
+             .first;
+  }
+  return it->second.get();
+}
+
+void MetricsRegistry::Reset() {
+  std::lock_guard<std::mutex> lk(mu_);
+  families_.clear();
+}
+
+namespace {
+
+void AppendJsonEscaped(std::string* out, std::string_view s) {
+  for (char c : s) {
+    if (c == '"' || c == '\\') {
+      out->push_back('\\');
+      out->push_back(c);
+    } else if (c == '\n') {
+      out->append("\\n");
+    } else {
+      out->push_back(c);
+    }
+  }
+}
+
+void AppendJsonKey(std::string* out, std::string_view name,
+                   std::string_view labels) {
+  out->push_back('"');
+  AppendJsonEscaped(out, name);
+  if (!labels.empty()) {
+    out->push_back('{');
+    AppendJsonEscaped(out, labels);
+    out->push_back('}');
+  }
+  out->append("\":");
+}
+
+void AppendU64(std::string* out, uint64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%llu",
+                static_cast<unsigned long long>(v));
+  out->append(buf);
+}
+
+void AppendI64(std::string* out, int64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(v));
+  out->append(buf);
+}
+
+std::string SeriesName(std::string_view name, std::string_view labels,
+                       std::string_view extra_label = "",
+                       std::string_view suffix = "") {
+  std::string out(name);
+  out.append(suffix);
+  if (!labels.empty() || !extra_label.empty()) {
+    out.push_back('{');
+    out.append(labels);
+    if (!labels.empty() && !extra_label.empty()) out.push_back(',');
+    out.append(extra_label);
+    out.push_back('}');
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string MetricsRegistry::RenderJson() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  std::string counters, gauges, histograms;
+  for (const auto& [name, family] : families_) {
+    for (const auto& [labels, counter] : family.counters) {
+      if (!counters.empty()) counters.push_back(',');
+      AppendJsonKey(&counters, name, labels);
+      AppendU64(&counters, counter->Value());
+    }
+    for (const auto& [labels, gauge] : family.gauges) {
+      if (!gauges.empty()) gauges.push_back(',');
+      AppendJsonKey(&gauges, name, labels);
+      AppendI64(&gauges, gauge->Value());
+    }
+    for (const auto& [labels, histogram] : family.histograms) {
+      if (!histograms.empty()) histograms.push_back(',');
+      AppendJsonKey(&histograms, name, labels);
+      const LatencySnapshot s = histogram->Snapshot();
+      histograms.push_back('{');
+      histograms.append("\"count\":");
+      AppendU64(&histograms, s.count);
+      histograms.append(",\"sum_ns\":");
+      AppendU64(&histograms, s.sum_ns);
+      histograms.append(",\"min_ns\":");
+      AppendU64(&histograms, s.min_ns);
+      histograms.append(",\"max_ns\":");
+      AppendU64(&histograms, s.max_ns);
+      histograms.append(",\"p50_ns\":");
+      AppendU64(&histograms, s.p50_ns);
+      histograms.append(",\"p90_ns\":");
+      AppendU64(&histograms, s.p90_ns);
+      histograms.append(",\"p99_ns\":");
+      AppendU64(&histograms, s.p99_ns);
+      histograms.append(",\"p999_ns\":");
+      AppendU64(&histograms, s.p999_ns);
+      histograms.push_back('}');
+    }
+  }
+  std::string out = "{\"counters\":{";
+  out.append(counters);
+  out.append("},\"gauges\":{");
+  out.append(gauges);
+  out.append("},\"histograms\":{");
+  out.append(histograms);
+  out.append("}}");
+  return out;
+}
+
+std::string MetricsRegistry::RenderPrometheus() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  std::string out;
+  char buf[64];
+  for (const auto& [name, family] : families_) {
+    out.append("# HELP ").append(name).push_back(' ');
+    out.append(family.help);
+    out.push_back('\n');
+    out.append("# TYPE ").append(name).push_back(' ');
+    switch (family.type) {
+      case Type::kCounter:
+        out.append("counter\n");
+        break;
+      case Type::kGauge:
+        out.append("gauge\n");
+        break;
+      case Type::kHistogram:
+        out.append("summary\n");
+        break;
+    }
+    for (const auto& [labels, counter] : family.counters) {
+      out.append(SeriesName(name, labels)).push_back(' ');
+      AppendU64(&out, counter->Value());
+      out.push_back('\n');
+    }
+    for (const auto& [labels, gauge] : family.gauges) {
+      out.append(SeriesName(name, labels)).push_back(' ');
+      AppendI64(&out, gauge->Value());
+      out.push_back('\n');
+    }
+    for (const auto& [labels, histogram] : family.histograms) {
+      const LatencySnapshot s = histogram->Snapshot();
+      const auto emit_quantile = [&](const char* q, uint64_t ns) {
+        std::string extra = "quantile=\"";
+        extra.append(q);
+        extra.push_back('"');
+        out.append(SeriesName(name, labels, extra)).push_back(' ');
+        std::snprintf(buf, sizeof(buf), "%.9f",
+                      static_cast<double>(ns) / 1e9);
+        out.append(buf);
+        out.push_back('\n');
+      };
+      emit_quantile("0.5", s.p50_ns);
+      emit_quantile("0.9", s.p90_ns);
+      emit_quantile("0.99", s.p99_ns);
+      emit_quantile("0.999", s.p999_ns);
+      out.append(SeriesName(name, labels, "", "_sum")).push_back(' ');
+      std::snprintf(buf, sizeof(buf), "%.9f",
+                    static_cast<double>(s.sum_ns) / 1e9);
+      out.append(buf);
+      out.push_back('\n');
+      out.append(SeriesName(name, labels, "", "_count")).push_back(' ');
+      AppendU64(&out, s.count);
+      out.push_back('\n');
+    }
+  }
+  return out;
+}
+
+}  // namespace cjoin::obs

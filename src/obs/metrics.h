@@ -1,0 +1,269 @@
+// Lock-free engine metrics (tentpole of the observability PR).
+//
+// CJOIN's headline claim is *predictable* latency under hundreds of
+// concurrent queries; proving that at runtime needs percentile-grade
+// telemetry whose own cost is invisible. The design follows the
+// low-overhead recorder idiom (DRAMHiT's Latency.hpp is the cited
+// exemplar): everything on the hot path is a relaxed atomic op on
+// pre-allocated fixed-size storage — no locks, no allocation, no
+// branches beyond one kill-switch load.
+//
+//   * Counter — monotonic, sharded over cache-line-padded cells so
+//     concurrent writers on different cores do not ping-pong a line;
+//   * Gauge   — instantaneous level (queue depths, in-flight counts);
+//   * LatencyHistogram — log-bucketed fixed array (8 sub-buckets per
+//     octave, <= 12.5% relative bucket width) with p50/p90/p99/p999
+//     snapshots computed off the hot path;
+//   * MetricsRegistry — the named family store rendering one consistent
+//     snapshot as JSON (STATS wire frame) or Prometheus text
+//     exposition (`\metrics`, `cjoin_server --metrics-dump`).
+//
+// Compile-time kill switch: configure with -DCJOIN_METRICS=OFF (which
+// defines CJOIN_NO_METRICS) and every Record/Add body compiles to
+// nothing. Runtime kill switch: SetMetricsEnabled(false) short-circuits
+// recording behind a single relaxed load — bench_obs_overhead uses it
+// to bound the always-on cost (<2% throughput delta is the guard).
+
+#ifndef CJOIN_OBS_METRICS_H_
+#define CJOIN_OBS_METRICS_H_
+
+#include <array>
+#include <atomic>
+#include <bit>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace cjoin::obs {
+
+// ---------------------------------------------------------------------------
+// Kill switches
+// ---------------------------------------------------------------------------
+
+inline std::atomic<bool> g_metrics_enabled{true};
+
+/// True when recording is active. With CJOIN_NO_METRICS the constant
+/// false lets the compiler delete every recording body.
+inline bool MetricsEnabled() {
+#ifdef CJOIN_NO_METRICS
+  return false;
+#else
+  return g_metrics_enabled.load(std::memory_order_relaxed);
+#endif
+}
+
+/// Runtime kill switch (bench_obs_overhead toggles it; a no-op when
+/// compiled out).
+inline void SetMetricsEnabled(bool on) {
+  g_metrics_enabled.store(on, std::memory_order_relaxed);
+}
+
+/// Steady-clock nanoseconds (same clock as QueryRuntime::NowNs, kept
+/// here so obs has no dependency on the pipeline headers).
+int64_t NowNs();
+
+// ---------------------------------------------------------------------------
+// Counter: monotonic, sharded
+// ---------------------------------------------------------------------------
+
+/// Returns this thread's stable shard index in [0, mod).
+size_t ThreadShard(size_t mod);
+
+class Counter {
+ public:
+  static constexpr size_t kCells = 8;
+
+  void Add(uint64_t n = 1) {
+    if (!MetricsEnabled()) return;
+    cells_[ThreadShard(kCells)].v.fetch_add(n, std::memory_order_relaxed);
+  }
+
+  uint64_t Value() const {
+    uint64_t total = 0;
+    for (const Cell& c : cells_) {
+      total += c.v.load(std::memory_order_relaxed);
+    }
+    return total;
+  }
+
+ private:
+  struct alignas(64) Cell {
+    std::atomic<uint64_t> v{0};
+  };
+  std::array<Cell, kCells> cells_{};
+};
+
+// ---------------------------------------------------------------------------
+// Gauge: instantaneous level
+// ---------------------------------------------------------------------------
+
+class Gauge {
+ public:
+  void Set(int64_t v) {
+    if (!MetricsEnabled()) return;
+    v_.store(v, std::memory_order_relaxed);
+  }
+  void Add(int64_t n = 1) {
+    if (!MetricsEnabled()) return;
+    v_.fetch_add(n, std::memory_order_relaxed);
+  }
+  void Sub(int64_t n = 1) { Add(-n); }
+  int64_t Value() const { return v_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> v_{0};
+};
+
+// ---------------------------------------------------------------------------
+// LatencyHistogram: log-bucketed, fixed-size, allocation-free
+// ---------------------------------------------------------------------------
+
+/// One consistent read of a histogram (quantiles from the bucket CDF;
+/// each reported quantile is the upper edge of its bucket, so the
+/// estimate overshoots by at most one bucket width, <= 12.5%).
+struct LatencySnapshot {
+  uint64_t count = 0;
+  uint64_t sum_ns = 0;
+  uint64_t min_ns = 0;  ///< lower edge of the lowest occupied bucket
+  uint64_t max_ns = 0;  ///< upper edge of the highest occupied bucket
+  uint64_t p50_ns = 0;
+  uint64_t p90_ns = 0;
+  uint64_t p99_ns = 0;
+  uint64_t p999_ns = 0;
+
+  double mean_ns() const {
+    return count == 0 ? 0.0
+                      : static_cast<double>(sum_ns) /
+                            static_cast<double>(count);
+  }
+};
+
+class LatencyHistogram {
+ public:
+  /// Sub-bucket resolution: 2^kSubBits linear sub-buckets per octave.
+  static constexpr int kSubBits = 3;
+  static constexpr uint32_t kSubCount = 1u << kSubBits;
+  /// Index space: values < kSubCount map 1:1; each further octave
+  /// contributes kSubCount buckets. 61 octaves * 8 + 8 = 496 covers
+  /// the full uint64 range of nanoseconds.
+  static constexpr uint32_t kBuckets = ((64 - kSubBits) << kSubBits) + kSubCount;
+
+  void Record(uint64_t v) {
+    if (!MetricsEnabled()) return;
+    buckets_[BucketIndex(v)].fetch_add(1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(v, std::memory_order_relaxed);
+  }
+
+  void RecordSeconds(double seconds) {
+    if (seconds <= 0.0) {
+      Record(0);
+      return;
+    }
+    Record(static_cast<uint64_t>(seconds * 1e9));
+  }
+
+  uint64_t Count() const { return count_.load(std::memory_order_relaxed); }
+
+  LatencySnapshot Snapshot() const;
+
+  /// Log-bucket mapping: values below kSubCount are exact; otherwise
+  /// the top kSubBits bits after the leading one select the sub-bucket.
+  static uint32_t BucketIndex(uint64_t v) {
+    if (v < kSubCount) return static_cast<uint32_t>(v);
+    const int msb = 63 - std::countl_zero(v);
+    const int shift = msb - kSubBits;
+    const uint32_t sub =
+        static_cast<uint32_t>((v >> shift) & (kSubCount - 1));
+    const uint32_t idx =
+        (static_cast<uint32_t>(msb - kSubBits + 1) << kSubBits) + sub;
+    return idx < kBuckets ? idx : kBuckets - 1;
+  }
+
+  /// Smallest value mapping to bucket `idx` (inverse of BucketIndex).
+  static uint64_t BucketLowerBound(uint32_t idx) {
+    if (idx < kSubCount) return idx;
+    const uint32_t octave = idx >> kSubBits;  // >= 1
+    const uint32_t sub = idx & (kSubCount - 1);
+    return static_cast<uint64_t>(kSubCount + sub) << (octave - 1);
+  }
+
+  /// Largest value mapping to bucket `idx`.
+  static uint64_t BucketUpperBound(uint32_t idx) {
+    if (idx + 1 >= kBuckets) return ~uint64_t{0};
+    return BucketLowerBound(idx + 1) - 1;
+  }
+
+ private:
+  std::array<std::atomic<uint64_t>, kBuckets> buckets_{};
+  std::atomic<uint64_t> count_{0};
+  std::atomic<uint64_t> sum_{0};
+};
+
+// ---------------------------------------------------------------------------
+// MetricsRegistry: named families, JSON + Prometheus rendering
+// ---------------------------------------------------------------------------
+
+/// The central metric store. Registration (name + optional pre-rendered
+/// label set like `route="cjoin"`) takes a mutex and returns a stable
+/// pointer; call sites cache the pointer so the hot path never touches
+/// the lock. Label cardinality per family is capped: children past the
+/// cap collapse into an `other="overflow"` child so a hostile tenant
+/// stream cannot grow registry memory without bound.
+class MetricsRegistry {
+ public:
+  static constexpr size_t kMaxChildrenPerFamily = 64;
+
+  Counter* GetCounter(std::string_view name, std::string_view help,
+                      std::string_view labels = "");
+  Gauge* GetGauge(std::string_view name, std::string_view help,
+                  std::string_view labels = "");
+  LatencyHistogram* GetHistogram(std::string_view name, std::string_view help,
+                                 std::string_view labels = "");
+
+  /// One consistent snapshot as a JSON object:
+  ///   {"counters":{...},"gauges":{...},"histograms":{...}}
+  std::string RenderJson() const;
+
+  /// Prometheus text exposition (counters/gauges verbatim, histograms
+  /// as summaries with quantile series in seconds).
+  std::string RenderPrometheus() const;
+
+  /// Drops every registered family (tests; outstanding pointers from
+  /// call sites become dangling, so only use between engine lifetimes).
+  void Reset();
+
+  /// The process-wide registry every subsystem records into.
+  static MetricsRegistry& Global();
+
+ private:
+  enum class Type { kCounter, kGauge, kHistogram };
+  struct Family {
+    Type type;
+    std::string help;
+    /// label-set -> instrument (label "" = the unlabelled child).
+    std::map<std::string, std::unique_ptr<Counter>> counters;
+    std::map<std::string, std::unique_ptr<Gauge>> gauges;
+    std::map<std::string, std::unique_ptr<LatencyHistogram>> histograms;
+  };
+
+  Family& FamilyFor(std::string_view name, std::string_view help, Type type);
+  /// Clamps `labels` to the overflow child once the family is full.
+  static std::string EffectiveLabels(const Family& family,
+                                     std::string_view labels);
+
+  mutable std::mutex mu_;
+  std::map<std::string, Family, std::less<>> families_;
+};
+
+/// Renders `tenant="<name>"` with quoting safe for both Prometheus
+/// exposition and the JSON snapshot keys.
+std::string LabelPair(std::string_view key, std::string_view value);
+
+}  // namespace cjoin::obs
+
+#endif  // CJOIN_OBS_METRICS_H_

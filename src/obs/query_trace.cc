@@ -1,0 +1,179 @@
+#include "obs/query_trace.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+
+namespace cjoin::obs {
+
+const char* SpanKindName(SpanKind kind) {
+  switch (kind) {
+    case SpanKind::kAdmission:
+      return "admission";
+    case SpanKind::kRoute:
+      return "route";
+    case SpanKind::kWaitQueue:
+      return "wait_queue";
+    case SpanKind::kStage:
+      return "stage";
+    case SpanKind::kShard:
+      return "shard";
+    case SpanKind::kMerge:
+      return "merge";
+    case SpanKind::kBaselineQueue:
+      return "baseline_queue";
+    case SpanKind::kBaselineRun:
+      return "baseline_run";
+    case SpanKind::kNetStream:
+      return "net_stream";
+    case SpanKind::kEvent:
+      return "event";
+  }
+  return "?";
+}
+
+void QueryTrace::CopyLabel(char* dst, const char* src) {
+  if (src == nullptr) {
+    dst[0] = '\0';
+    return;
+  }
+  std::strncpy(dst, src, sizeof(TraceSpan{}.label) - 1);
+  dst[sizeof(TraceSpan{}.label) - 1] = '\0';
+}
+
+void QueryTrace::AddSpan(SpanKind kind, const char* label, int64_t start_ns,
+                         int64_t end_ns) {
+  Lock();
+  if (count_ >= kMaxSpans) {
+    Unlock();
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  TraceSpan& s = spans_[count_++];
+  s.kind = kind;
+  CopyLabel(s.label, label);
+  s.start_ns = start_ns;
+  s.end_ns = end_ns;
+  Unlock();
+}
+
+void QueryTrace::BeginSpan(SpanKind kind, const char* label,
+                           int64_t start_ns) {
+  AddSpan(kind, label, start_ns, 0);
+}
+
+void QueryTrace::EndSpan(SpanKind kind, const char* label, int64_t end_ns) {
+  char want[sizeof(TraceSpan{}.label)];
+  CopyLabel(want, label);
+  Lock();
+  for (uint32_t i = 0; i < count_; ++i) {
+    TraceSpan& s = spans_[i];
+    if (s.kind == kind && s.end_ns == 0 &&
+        std::strcmp(s.label, want) == 0) {
+      s.end_ns = end_ns;
+      Unlock();
+      return;
+    }
+  }
+  Unlock();
+}
+
+void QueryTrace::Annotate(const char* label, int64_t at_ns) {
+  AddSpan(SpanKind::kEvent, label, at_ns, at_ns);
+}
+
+void QueryTrace::set_route(const char* route) {
+  Lock();
+  std::strncpy(route_, route, sizeof(route_) - 1);
+  route_[sizeof(route_) - 1] = '\0';
+  Unlock();
+}
+
+void QueryTrace::set_tenant(const std::string& tenant) {
+  Lock();
+  std::strncpy(tenant_, tenant.c_str(), sizeof(tenant_) - 1);
+  tenant_[sizeof(tenant_) - 1] = '\0';
+  Unlock();
+}
+
+std::vector<TraceSpan> QueryTrace::Spans() const {
+  std::vector<TraceSpan> out;
+  Lock();
+  out.assign(spans_, spans_ + count_);
+  Unlock();
+  std::stable_sort(out.begin(), out.end(),
+                   [](const TraceSpan& a, const TraceSpan& b) {
+                     return a.start_ns < b.start_ns;
+                   });
+  return out;
+}
+
+std::string QueryTrace::Render() const {
+  const std::vector<TraceSpan> spans = Spans();
+  std::string out;
+  char buf[160];
+  std::snprintf(buf, sizeof(buf), "trace route=%s tenant=%s spans=%zu%s\n",
+                route_[0] != '\0' ? route_ : "?",
+                tenant_[0] != '\0' ? tenant_ : "-", spans.size(),
+                dropped() > 0 ? " (overflowed)" : "");
+  out.append(buf);
+  for (const TraceSpan& s : spans) {
+    const double start_us =
+        static_cast<double>(s.start_ns - origin_ns_) / 1e3;
+    if (s.end_ns == 0) {
+      std::snprintf(buf, sizeof(buf), "  +%10.1fus  %-14s %-18s (open)\n",
+                    start_us, SpanKindName(s.kind), s.label);
+    } else if (s.kind == SpanKind::kEvent) {
+      std::snprintf(buf, sizeof(buf), "  +%10.1fus  %-14s %s\n", start_us,
+                    SpanKindName(s.kind), s.label);
+    } else {
+      std::snprintf(buf, sizeof(buf),
+                    "  +%10.1fus  %-14s %-18s %.1fus\n", start_us,
+                    SpanKindName(s.kind), s.label,
+                    static_cast<double>(s.end_ns - s.start_ns) / 1e3);
+    }
+    out.append(buf);
+  }
+  return out;
+}
+
+std::string QueryTrace::ToJson() const {
+  const std::vector<TraceSpan> spans = Spans();
+  std::string out = "{\"route\":\"";
+  out.append(route_);
+  out.append("\",\"tenant\":\"");
+  for (const char* p = tenant_; *p != '\0'; ++p) {
+    if (*p == '"' || *p == '\\') out.push_back('\\');
+    out.push_back(*p);
+  }
+  out.append("\",\"dropped\":");
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), "%u", dropped());
+  out.append(buf);
+  out.append(",\"spans\":[");
+  bool first = true;
+  for (const TraceSpan& s : spans) {
+    if (!first) out.push_back(',');
+    first = false;
+    out.append("{\"kind\":\"");
+    out.append(SpanKindName(s.kind));
+    out.append("\",\"label\":\"");
+    for (const char* p = s.label; *p != '\0'; ++p) {
+      if (*p == '"' || *p == '\\') out.push_back('\\');
+      out.push_back(*p);
+    }
+    const double start_us =
+        static_cast<double>(s.start_ns - origin_ns_) / 1e3;
+    const double dur_us =
+        s.end_ns == 0 ? -1.0
+                      : static_cast<double>(s.end_ns - s.start_ns) / 1e3;
+    std::snprintf(buf, sizeof(buf),
+                  "\",\"start_us\":%.1f,\"dur_us\":%.1f}", start_us,
+                  dur_us);
+    out.append(buf);
+  }
+  out.append("]}");
+  return out;
+}
+
+}  // namespace cjoin::obs

@@ -1,0 +1,118 @@
+// Per-query span trace (EXPLAIN ANALYZE for the live engine).
+//
+// Every QueryEngine::Execute() call attaches one QueryTrace to its
+// ticket; each layer the query crosses appends a timestamped span:
+//
+//   admission      — TryAdmit gate latency
+//   route          — router decision (label = chosen route)
+//   wait_queue     — residence in the admission wait queue (kQueued)
+//   stage:<name>   — pipeline residence per stage, measured by the
+//                    query's own start/end control tuples passing the
+//                    stage (preprocessor "pre", each filter stage,
+//                    distributor "dist"); sharded pipelines prefix the
+//                    shard ("s2/pre")
+//   shard<i>       — per-shard submit -> deliver on the merge path
+//   merge          — cross-shard partial-aggregate merge
+//   baseline_queue — baseline pool queue residence
+//   baseline_run   — baseline plan execution
+//   net_stream     — result serialization + streaming on the wire
+//
+// The buffer is a fixed-size array guarded by a spinlock: a query
+// produces a handful of spans from a handful of threads, so the lock is
+// effectively uncontended, and the fixed cap (overflow counts, never
+// grows) keeps the trace always-on cheap. Creation is gated on
+// MetricsEnabled() so the compiled-out build allocates nothing.
+
+#ifndef CJOIN_OBS_QUERY_TRACE_H_
+#define CJOIN_OBS_QUERY_TRACE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace cjoin::obs {
+
+enum class SpanKind : uint8_t {
+  kAdmission,
+  kRoute,
+  kWaitQueue,
+  kStage,
+  kShard,
+  kMerge,
+  kBaselineQueue,
+  kBaselineRun,
+  kNetStream,
+  kEvent,  ///< point annotation (start == end)
+};
+
+const char* SpanKindName(SpanKind kind);
+
+struct TraceSpan {
+  SpanKind kind = SpanKind::kEvent;
+  char label[24] = {0};  ///< stage name / route / shard id / note
+  int64_t start_ns = 0;  ///< absolute steady-clock ns
+  int64_t end_ns = 0;    ///< 0 while the span is still open
+};
+
+class QueryTrace {
+ public:
+  static constexpr size_t kMaxSpans = 48;
+
+  QueryTrace() : origin_ns_(NowNs()) {}
+
+  /// Appends a closed span.
+  void AddSpan(SpanKind kind, const char* label, int64_t start_ns,
+               int64_t end_ns);
+  /// Appends an open span (end stamped later by EndSpan).
+  void BeginSpan(SpanKind kind, const char* label, int64_t start_ns);
+  /// Closes the oldest open span matching (kind, label); drops the
+  /// close silently when no match (e.g. the begin overflowed the cap).
+  void EndSpan(SpanKind kind, const char* label, int64_t end_ns);
+  /// Point annotation.
+  void Annotate(const char* label, int64_t at_ns);
+
+  void set_route(const char* route);
+  void set_tenant(const std::string& tenant);
+
+  int64_t origin_ns() const { return origin_ns_; }
+  const char* route() const { return route_; }
+  const char* tenant() const { return tenant_; }
+  uint32_t dropped() const {
+    return dropped_.load(std::memory_order_relaxed);
+  }
+
+  /// Consistent copy of the recorded spans, ordered by start time.
+  std::vector<TraceSpan> Spans() const;
+
+  /// Human-readable rendering (`\trace`): one line per span with
+  /// offsets relative to submission.
+  std::string Render() const;
+
+  /// Compact JSON (QUERY_DONE trace payload):
+  ///   {"route":"cjoin","tenant":"t","origin_ns":...,
+  ///    "spans":[{"kind":"stage","label":"pre","start_us":..,"dur_us":..}]}
+  std::string ToJson() const;
+
+ private:
+  void Lock() const {
+    while (lock_.test_and_set(std::memory_order_acquire)) {
+    }
+  }
+  void Unlock() const { lock_.clear(std::memory_order_release); }
+  static void CopyLabel(char* dst, const char* src);
+
+  const int64_t origin_ns_;
+  mutable std::atomic_flag lock_ = ATOMIC_FLAG_INIT;
+  TraceSpan spans_[kMaxSpans];
+  uint32_t count_ = 0;
+  std::atomic<uint32_t> dropped_{0};
+  char route_[16] = {0};
+  char tenant_[32] = {0};
+};
+
+}  // namespace cjoin::obs
+
+#endif  // CJOIN_OBS_QUERY_TRACE_H_

@@ -1,0 +1,106 @@
+// Structured CJOIN_DEBUG sink: per-query ordered lifecycle traces.
+//
+// The old diagnostics fprintf'd straight to stderr from whichever
+// pipeline thread hit the event, so concurrent queries interleaved
+// arbitrarily. Events now buffer per query id and flush as one block —
+// `[qid 3] +12.4us [pre] install` ... — when the query's lifecycle ends
+// (CJoinOperator cleanup calls TraceFlushQuery). Bounded everywhere: a
+// fixed event cap per query and a fixed cap on buffered queries, with
+// overflow falling back to direct stderr so nothing is silently lost.
+
+#include <cstdarg>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/trace.h"
+#include "obs/metrics.h"
+
+namespace cjoin {
+
+namespace {
+
+struct TraceEvent {
+  int64_t at_ns = 0;
+  std::string line;  ///< "[subsys] message"
+};
+
+struct SinkState {
+  std::mutex mu;
+  std::map<uint32_t, std::vector<TraceEvent>> events;
+};
+
+constexpr size_t kMaxEventsPerQuery = 64;
+constexpr size_t kMaxBufferedQueries = 4096;
+
+SinkState& Sink() {
+  static SinkState* sink = new SinkState();
+  return *sink;
+}
+
+}  // namespace
+
+void TraceLogf(uint32_t qid, const char* subsys, const char* fmt, ...) {
+  if (!TraceEnabled()) return;
+  char msg[256];
+  va_list ap;
+  va_start(ap, fmt);
+  std::vsnprintf(msg, sizeof(msg), fmt, ap);
+  va_end(ap);
+
+  TraceEvent ev;
+  ev.at_ns = obs::NowNs();
+  ev.line.reserve(std::strlen(subsys) + std::strlen(msg) + 4);
+  ev.line.push_back('[');
+  ev.line.append(subsys);
+  ev.line.append("] ");
+  ev.line.append(msg);
+
+  SinkState& sink = Sink();
+  std::lock_guard<std::mutex> lk(sink.mu);
+  auto it = sink.events.find(qid);
+  if (it == sink.events.end() &&
+      sink.events.size() >= kMaxBufferedQueries) {
+    std::fprintf(stderr, "[qid %u] %s\n", qid, ev.line.c_str());
+    return;
+  }
+  std::vector<TraceEvent>& buf = sink.events[qid];
+  if (buf.size() >= kMaxEventsPerQuery) {
+    std::fprintf(stderr, "[qid %u] %s\n", qid, ev.line.c_str());
+    return;
+  }
+  buf.push_back(std::move(ev));
+}
+
+void TraceFlushQuery(uint32_t qid) {
+  if (!TraceEnabled()) return;
+  std::vector<TraceEvent> events;
+  {
+    SinkState& sink = Sink();
+    std::lock_guard<std::mutex> lk(sink.mu);
+    auto it = sink.events.find(qid);
+    if (it == sink.events.end()) return;
+    events = std::move(it->second);
+    sink.events.erase(it);
+  }
+  if (events.empty()) return;
+  // One stderr write per query keeps blocks atomic-ish even when
+  // several queries flush concurrently.
+  std::string block;
+  char head[64];
+  const int64_t origin = events.front().at_ns;
+  for (const TraceEvent& ev : events) {
+    std::snprintf(head, sizeof(head), "[qid %u] +%.1fus ", qid,
+                  static_cast<double>(ev.at_ns - origin) / 1e3);
+    block.append(head);
+    block.append(ev.line);
+    block.push_back('\n');
+  }
+  std::fwrite(block.data(), 1, block.size(), stderr);
+}
+
+}  // namespace cjoin

@@ -106,6 +106,7 @@ TEST(ProtocolRoundTrip, QueryDoneErrorCancel) {
   EXPECT_EQ(got->tuples_consumed, 123456u);
   EXPECT_EQ(got->snapshot, 9u);
   EXPECT_EQ(got->response_seconds, 0.125);
+  EXPECT_TRUE(got->trace_json.empty());  // v1-shaped frame: no tail
 
   ErrorFrame e;
   e.id = 4;
@@ -152,6 +153,43 @@ TEST(ProtocolRoundTrip, IngestAndStats) {
   auto got4 = DecodeStatsReply(Payload(EncodeStatsReply(sp), FrameType::kStats));
   ASSERT_TRUE(got4.ok());
   EXPECT_EQ(got4->json, "{\"snapshot\":1}");
+}
+
+TEST(ProtocolRoundTrip, QueryDoneTraceTail) {
+  // v2 optional tail: present round-trips intact...
+  QueryDoneFrame d;
+  d.id = 21;
+  d.total_rows = 4;
+  d.response_seconds = 0.5;
+  d.trace_json =
+      "{\"route\":\"cjoin\",\"spans\":[{\"kind\":\"stage\","
+      "\"label\":\"pre\"}]}";
+  auto got =
+      DecodeQueryDone(Payload(EncodeQueryDone(d), FrameType::kQueryDone));
+  ASSERT_TRUE(got.ok()) << got.status().ToString();
+  EXPECT_EQ(got->id, 21u);
+  EXPECT_EQ(got->trace_json, d.trace_json);
+
+  // ...absent leaves the field empty and costs no bytes.
+  QueryDoneFrame bare;
+  bare.id = 22;
+  auto got2 =
+      DecodeQueryDone(Payload(EncodeQueryDone(bare), FrameType::kQueryDone));
+  ASSERT_TRUE(got2.ok());
+  EXPECT_TRUE(got2->trace_json.empty());
+  EXPECT_LT(EncodeQueryDone(bare).size(), EncodeQueryDone(d).size());
+
+  // Trailing garbage after the fixed fields must still fail the tail
+  // string's own bounds check, not decode as a trace.
+  std::vector<uint8_t> payload =
+      Payload(EncodeQueryDone(bare), FrameType::kQueryDone);
+  payload.push_back(0xFF);  // truncated length word
+  EXPECT_FALSE(DecodeQueryDone(payload).ok());
+  // A hostile length word claiming more bytes than present also fails.
+  std::vector<uint8_t> hostile =
+      Payload(EncodeQueryDone(bare), FrameType::kQueryDone);
+  for (uint8_t b : {0xFF, 0xFF, 0xFF, 0x7F}) hostile.push_back(b);
+  EXPECT_FALSE(DecodeQueryDone(hostile).ok());
 }
 
 // ----------------------------- Result batching ------------------------------

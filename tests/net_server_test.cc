@@ -23,6 +23,7 @@
 #include "engine/query_engine.h"
 #include "net/client.h"
 #include "net/server.h"
+#include "obs/metrics.h"
 #include "storage/sim_disk.h"
 #include "tests/test_util.h"
 
@@ -331,6 +332,42 @@ TEST(NetServerTest, StatsReportsCounters) {
   ASSERT_TRUE(js.ok()) << js.status().ToString();
   EXPECT_NE(js->find("\"queries_ok\":1"), std::string::npos) << *js;
   EXPECT_NE(js->find("\"connections_active\":1"), std::string::npos) << *js;
+}
+
+TEST(NetServerTest, StatsEmbedsMetricsRegistry) {
+  obs::SetMetricsEnabled(true);
+  Loopback lb;
+  CjoinClient client(lb.ClientOpts());
+  ASSERT_TRUE(client.Connect().ok());
+  ASSERT_TRUE(client.Query("tiny", kCountSql).ok());
+
+  // v2: the legacy flat keys stay, and the full registry snapshot rides
+  // along under "metrics" (per-route counters + latency histograms).
+  auto js = client.Stats();
+  ASSERT_TRUE(js.ok()) << js.status().ToString();
+  EXPECT_NE(js->find("\"snapshot\":"), std::string::npos) << *js;
+  EXPECT_NE(js->find("\"metrics\":{"), std::string::npos) << *js;
+  EXPECT_NE(js->find("queries_total"), std::string::npos) << *js;
+  EXPECT_NE(js->find("query_latency_ns"), std::string::npos) << *js;
+}
+
+TEST(NetServerTest, QueryDoneCarriesSpanTrace) {
+  obs::SetMetricsEnabled(true);
+  Loopback lb;
+  CjoinClient client(lb.ClientOpts());
+  ASSERT_TRUE(client.Connect().ok());
+
+  auto qr = client.Query("tiny", kCountSql);
+  ASSERT_TRUE(qr.ok()) << qr.status().ToString();
+  // The wire trace must cover the query end to end: admission, the
+  // pipeline stages, and the server's own streaming span.
+  EXPECT_NE(qr->trace_json.find("\"spans\":["), std::string::npos)
+      << qr->trace_json;
+  EXPECT_NE(qr->trace_json.find("admission"), std::string::npos)
+      << qr->trace_json;
+  EXPECT_NE(qr->trace_json.find("net_stream"), std::string::npos)
+      << qr->trace_json;
+  EXPECT_EQ(client.last_trace(), qr->trace_json);
 }
 
 /// Bare TCP socket for hostile-peer tests (no handshake, no protocol).

@@ -1,0 +1,341 @@
+// Tests for the observability subsystem: log-bucketed histogram bucket
+// math and quantile error bounds, sharded counter exactness under
+// concurrent writers (the TSan job runs this binary), registry rendering
+// and label-cardinality capping, and end-to-end per-query span traces on
+// both routes at 1 and 4 shards.
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "engine/query_engine.h"
+#include "obs/metrics.h"
+#include "obs/query_trace.h"
+#include "tests/test_util.h"
+
+namespace cjoin {
+namespace {
+
+using obs::LatencyHistogram;
+using obs::LatencySnapshot;
+using obs::QueryTrace;
+using obs::SpanKind;
+using obs::TraceSpan;
+using testing::MakeTinyStar;
+
+// ------------------------------ Histogram ------------------------------------
+
+TEST(HistogramTest, BucketRoundTrip) {
+  // Every probe value must land inside its own bucket's [lo, hi] range,
+  // and bucket indices must be monotone in the value.
+  const uint64_t probes[] = {0,    1,    7,     8,     9,       100,
+                             1023, 1024, 65537, 1u << 30, ~uint64_t{0}};
+  uint32_t prev_idx = 0;
+  for (uint64_t v : probes) {
+    const uint32_t idx = LatencyHistogram::BucketIndex(v);
+    ASSERT_LT(idx, LatencyHistogram::kBuckets);
+    EXPECT_LE(LatencyHistogram::BucketLowerBound(idx), v) << v;
+    EXPECT_GE(LatencyHistogram::BucketUpperBound(idx), v) << v;
+    EXPECT_GE(idx, prev_idx) << v;
+    prev_idx = idx;
+  }
+}
+
+TEST(HistogramTest, BucketWidthBounded) {
+  // Log-bucket guarantee: relative width <= 1/8 = 12.5% past the exact
+  // low range.
+  for (uint32_t idx = LatencyHistogram::kSubCount;
+       idx + 1 < LatencyHistogram::kBuckets; ++idx) {
+    const uint64_t lo = LatencyHistogram::BucketLowerBound(idx);
+    const uint64_t hi = LatencyHistogram::BucketUpperBound(idx);
+    ASSERT_GT(hi, 0u);
+    ASSERT_GE(hi, lo);
+    EXPECT_LE(hi - lo + 1, lo / 8 + (lo % 8 != 0 ? 1 : 0))
+        << "bucket " << idx << " [" << lo << "," << hi << "]";
+  }
+}
+
+TEST(HistogramTest, QuantilesWithinBucketError) {
+  obs::SetMetricsEnabled(true);
+  auto hist = std::make_unique<LatencyHistogram>();
+  for (uint64_t v = 1; v <= 1000; ++v) hist->Record(v);
+
+  const LatencySnapshot snap = hist->Snapshot();
+  EXPECT_EQ(snap.count, 1000u);
+  EXPECT_EQ(snap.sum_ns, 500500u);
+  EXPECT_EQ(snap.min_ns, 1u);
+  // Each quantile is the upper edge of its bucket: overshoot <= 12.5%.
+  EXPECT_GE(snap.p50_ns, 500u);
+  EXPECT_LE(snap.p50_ns, 563u);
+  EXPECT_GE(snap.p90_ns, 900u);
+  EXPECT_LE(snap.p90_ns, 1013u);
+  EXPECT_GE(snap.p99_ns, 990u);
+  EXPECT_LE(snap.p99_ns, 1114u);
+  EXPECT_GE(snap.max_ns, 1000u);
+  EXPECT_LE(snap.max_ns, 1125u);
+}
+
+TEST(HistogramTest, EmptyAndZeroRecords) {
+  auto hist = std::make_unique<LatencyHistogram>();
+  const LatencySnapshot empty = hist->Snapshot();
+  EXPECT_EQ(empty.count, 0u);
+  EXPECT_EQ(empty.p50_ns, 0u);
+  EXPECT_EQ(empty.mean_ns(), 0.0);
+
+  hist->RecordSeconds(0.0);
+  hist->RecordSeconds(-1.0);  // clamps to 0, never underflows
+  EXPECT_EQ(hist->Count(), 2u);
+  EXPECT_EQ(hist->Snapshot().p50_ns, 0u);
+}
+
+// ------------------------------- Counter -------------------------------------
+
+TEST(CounterTest, ConcurrentIncrementsAreExact) {
+  obs::SetMetricsEnabled(true);
+  obs::Counter counter;
+  constexpr size_t kThreads = 8;
+  constexpr uint64_t kPerThread = 50000;
+  std::vector<std::thread> threads;
+  for (size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&counter] {
+      for (uint64_t i = 0; i < kPerThread; ++i) counter.Add();
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(counter.Value(), kThreads * kPerThread);
+}
+
+TEST(CounterTest, DisabledRecordingIsNoOp) {
+  obs::Counter counter;
+  obs::Gauge gauge;
+  auto hist = std::make_unique<LatencyHistogram>();
+  obs::SetMetricsEnabled(false);
+  counter.Add(7);
+  gauge.Set(7);
+  hist->Record(7);
+  obs::SetMetricsEnabled(true);
+  EXPECT_EQ(counter.Value(), 0u);
+  EXPECT_EQ(gauge.Value(), 0);
+  EXPECT_EQ(hist->Count(), 0u);
+}
+
+// ------------------------------- Registry ------------------------------------
+
+TEST(RegistryTest, StablePointersPerLabelSet) {
+  obs::MetricsRegistry reg;
+  obs::Counter* a = reg.GetCounter("reqs", "help", "route=\"x\"");
+  obs::Counter* b = reg.GetCounter("reqs", "help", "route=\"x\"");
+  obs::Counter* c = reg.GetCounter("reqs", "help", "route=\"y\"");
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+}
+
+TEST(RegistryTest, RenderingContainsFamilies) {
+  obs::SetMetricsEnabled(true);
+  obs::MetricsRegistry reg;
+  reg.GetCounter("widgets_total", "widgets", obs::LabelPair("kind", "a"))
+      ->Add(3);
+  reg.GetGauge("depth", "queue depth")->Set(5);
+  reg.GetHistogram("lat_ns", "latency")->Record(1000);
+
+  const std::string json = reg.RenderJson();
+  EXPECT_NE(json.find("widgets_total"), std::string::npos);
+  EXPECT_NE(json.find("depth"), std::string::npos);
+  EXPECT_NE(json.find("lat_ns"), std::string::npos);
+  EXPECT_NE(json.find("p99"), std::string::npos);
+
+  const std::string prom = reg.RenderPrometheus();
+  EXPECT_NE(prom.find("# TYPE widgets_total counter"), std::string::npos);
+  EXPECT_NE(prom.find("kind=\"a\""), std::string::npos);
+  EXPECT_NE(prom.find("# TYPE depth gauge"), std::string::npos);
+  EXPECT_NE(prom.find("# TYPE lat_ns summary"), std::string::npos);
+  EXPECT_NE(prom.find("quantile=\"0.99\""), std::string::npos);
+}
+
+TEST(RegistryTest, LabelCardinalityCapped) {
+  obs::SetMetricsEnabled(true);
+  obs::MetricsRegistry reg;
+  // Register far past the cap; the registry must stop growing and
+  // collapse the excess into one overflow child.
+  obs::Counter* first =
+      reg.GetCounter("t_total", "h", obs::LabelPair("tenant", "t0"));
+  obs::Counter* overflow1 = nullptr;
+  obs::Counter* overflow2 = nullptr;
+  for (size_t i = 1; i < obs::MetricsRegistry::kMaxChildrenPerFamily + 40;
+       ++i) {
+    obs::Counter* c = reg.GetCounter(
+        "t_total", "h", obs::LabelPair("tenant", "t" + std::to_string(i)));
+    if (i == obs::MetricsRegistry::kMaxChildrenPerFamily + 10) overflow1 = c;
+    if (i == obs::MetricsRegistry::kMaxChildrenPerFamily + 20) overflow2 = c;
+  }
+  ASSERT_NE(overflow1, nullptr);
+  EXPECT_EQ(overflow1, overflow2);  // everything past the cap collapses
+  EXPECT_NE(first, overflow1);
+}
+
+// ------------------------------ QueryTrace -----------------------------------
+
+TEST(QueryTraceTest, SpansRenderAndOverflowCounts) {
+  QueryTrace trace;
+  trace.set_route("cjoin");
+  trace.set_tenant("acme");
+  const int64_t t0 = obs::NowNs();
+  trace.AddSpan(SpanKind::kAdmission, "admitted", t0, t0 + 1000);
+  trace.BeginSpan(SpanKind::kStage, "pre", t0 + 1000);
+  trace.EndSpan(SpanKind::kStage, "pre", t0 + 5000);
+  trace.Annotate("note", t0 + 6000);
+
+  const std::vector<TraceSpan> spans = trace.Spans();
+  ASSERT_EQ(spans.size(), 3u);
+  EXPECT_EQ(spans[0].kind, SpanKind::kAdmission);
+  EXPECT_EQ(spans[1].end_ns, t0 + 5000);
+
+  const std::string text = trace.Render();
+  EXPECT_NE(text.find("admission"), std::string::npos);
+  EXPECT_NE(text.find("pre"), std::string::npos);
+  const std::string json = trace.ToJson();
+  EXPECT_NE(json.find("\"route\":\"cjoin\""), std::string::npos);
+  EXPECT_NE(json.find("\"tenant\":\"acme\""), std::string::npos);
+  EXPECT_NE(json.find("\"spans\":["), std::string::npos);
+
+  // Overflow: the cap holds, extra spans count instead of growing.
+  for (size_t i = 0; i < QueryTrace::kMaxSpans + 10; ++i) {
+    trace.Annotate("spam", t0);
+  }
+  EXPECT_EQ(trace.Spans().size(), QueryTrace::kMaxSpans);
+  EXPECT_GT(trace.dropped(), 0u);
+}
+
+// Spans recorded by a full engine query, by kind.
+bool HasKind(const std::vector<TraceSpan>& spans, SpanKind kind) {
+  for (const TraceSpan& s : spans) {
+    if (s.kind == kind) return true;
+  }
+  return false;
+}
+
+bool HasStage(const std::vector<TraceSpan>& spans, const std::string& label) {
+  for (const TraceSpan& s : spans) {
+    if (s.kind == SpanKind::kStage && label == s.label) return true;
+  }
+  return false;
+}
+
+TEST(QueryTraceTest, CJoinRouteTraceCompleteSingleShard) {
+  obs::SetMetricsEnabled(true);
+  auto ts = MakeTinyStar(2000);
+  QueryEngine engine;
+  ASSERT_TRUE(engine.RegisterStar("tiny", *ts->star).ok());
+
+  QueryRequest req =
+      QueryRequest::Sql("tiny", "SELECT COUNT(*) AS n FROM sales");
+  req.policy = RoutePolicy::kCJoin;
+  auto ticket = engine.Execute(std::move(req));
+  ASSERT_TRUE(ticket.ok()) << ticket.status().ToString();
+  ASSERT_TRUE((*ticket)->Wait().ok());
+
+  const auto trace = (*ticket)->trace();
+  ASSERT_NE(trace, nullptr);
+  EXPECT_STREQ(trace->route(), "cjoin");
+  const std::vector<TraceSpan> spans = trace->Spans();
+  EXPECT_TRUE(HasKind(spans, SpanKind::kAdmission));
+  // The query's own control tuples bound per-stage residency:
+  // preprocessor and distributor at minimum.
+  EXPECT_TRUE(HasStage(spans, "pre"));
+  EXPECT_TRUE(HasStage(spans, "dist"));
+  // Closed spans only: every recorded span must have an end.
+  for (const TraceSpan& s : spans) {
+    EXPECT_GE(s.end_ns, s.start_ns) << s.label;
+  }
+}
+
+TEST(QueryTraceTest, CJoinRouteTraceCompleteShardedWithMerge) {
+  obs::SetMetricsEnabled(true);
+  auto ts = MakeTinyStar(4000);
+  QueryEngine::Options eopts;
+  eopts.cjoin_shards = 4;
+  QueryEngine engine(eopts);
+  ASSERT_TRUE(engine.RegisterStar("tiny", *ts->star).ok());
+
+  QueryRequest req =
+      QueryRequest::Sql("tiny", "SELECT COUNT(*) AS n FROM sales");
+  req.policy = RoutePolicy::kCJoin;
+  auto ticket = engine.Execute(std::move(req));
+  ASSERT_TRUE(ticket.ok()) << ticket.status().ToString();
+  auto rs = (*ticket)->Wait();
+  ASSERT_TRUE(rs.ok()) << rs.status().ToString();
+
+  const auto trace = (*ticket)->trace();
+  ASSERT_NE(trace, nullptr);
+  const std::vector<TraceSpan> spans = trace->Spans();
+  EXPECT_TRUE(HasKind(spans, SpanKind::kShard));
+  EXPECT_TRUE(HasKind(spans, SpanKind::kMerge));
+}
+
+TEST(QueryTraceTest, BaselineRouteTraceComplete) {
+  obs::SetMetricsEnabled(true);
+  auto ts = MakeTinyStar(1000);
+  QueryEngine engine;
+  ASSERT_TRUE(engine.RegisterStar("tiny", *ts->star).ok());
+
+  QueryRequest req =
+      QueryRequest::Sql("tiny", "SELECT COUNT(*) AS n FROM sales");
+  req.policy = RoutePolicy::kBaseline;
+  auto ticket = engine.Execute(std::move(req));
+  ASSERT_TRUE(ticket.ok()) << ticket.status().ToString();
+  ASSERT_TRUE((*ticket)->Wait().ok());
+
+  const auto trace = (*ticket)->trace();
+  ASSERT_NE(trace, nullptr);
+  EXPECT_STREQ(trace->route(), "baseline");
+  const std::vector<TraceSpan> spans = trace->Spans();
+  EXPECT_TRUE(HasKind(spans, SpanKind::kAdmission));
+  EXPECT_TRUE(HasKind(spans, SpanKind::kBaselineQueue));
+  EXPECT_TRUE(HasKind(spans, SpanKind::kBaselineRun));
+}
+
+TEST(QueryTraceTest, NoTraceWhenMetricsDisabled) {
+  auto ts = MakeTinyStar(500);
+  QueryEngine engine;
+  ASSERT_TRUE(engine.RegisterStar("tiny", *ts->star).ok());
+
+  obs::SetMetricsEnabled(false);
+  QueryRequest req =
+      QueryRequest::Sql("tiny", "SELECT COUNT(*) AS n FROM sales");
+  auto ticket = engine.Execute(std::move(req));
+  obs::SetMetricsEnabled(true);
+  ASSERT_TRUE(ticket.ok()) << ticket.status().ToString();
+  ASSERT_TRUE((*ticket)->Wait().ok());
+  EXPECT_EQ((*ticket)->trace(), nullptr);
+}
+
+// Engine completions must feed the per-route latency histograms the
+// acceptance criteria expose via STATS / \metrics.
+TEST(RegistryTest, EngineRecordsPerRouteLatency) {
+  obs::SetMetricsEnabled(true);
+  auto ts = MakeTinyStar(1000);
+  QueryEngine engine;
+  ASSERT_TRUE(engine.RegisterStar("tiny", *ts->star).ok());
+
+  obs::LatencyHistogram* cjoin_lat =
+      obs::MetricsRegistry::Global().GetHistogram(
+          "query_latency_ns", "Query latency by route",
+          obs::LabelPair("route", "cjoin"));
+  const uint64_t before = cjoin_lat->Count();
+
+  QueryRequest req =
+      QueryRequest::Sql("tiny", "SELECT COUNT(*) AS n FROM sales");
+  req.policy = RoutePolicy::kCJoin;
+  auto ticket = engine.Execute(std::move(req));
+  ASSERT_TRUE(ticket.ok());
+  ASSERT_TRUE((*ticket)->Wait().ok());
+
+  EXPECT_GT(cjoin_lat->Count(), before);
+}
+
+}  // namespace
+}  // namespace cjoin

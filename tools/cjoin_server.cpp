@@ -26,6 +26,7 @@
 
 #include "engine/query_engine.h"
 #include "net/server.h"
+#include "obs/metrics.h"
 #include "ssb/generator.h"
 #include "storage/table_file.h"
 
@@ -78,7 +79,8 @@ Result<StarSchema> WireStar(const LoadedDb& db) {
 int Usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--sf F | --data DIR] [--host H] [--port P] "
-               "[--shards N] [--workers N] [--drain-ms MS]\n",
+               "[--shards N] [--workers N] [--drain-ms MS] "
+               "[--metrics-dump PATH|-]\n",
                argv0);
   return 2;
 }
@@ -91,6 +93,7 @@ int main(int argc, char** argv) {
   net::CjoinServer::Options sopts;
   size_t shards = 1;
   int drain_ms = 10000;
+  std::string metrics_dump;  // "-" = stdout
 
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--sf") == 0 && i + 1 < argc) {
@@ -107,6 +110,8 @@ int main(int argc, char** argv) {
       sopts.workers = static_cast<size_t>(std::atoi(argv[++i]));
     } else if (std::strcmp(argv[i], "--drain-ms") == 0 && i + 1 < argc) {
       drain_ms = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--metrics-dump") == 0 && i + 1 < argc) {
+      metrics_dump = argv[++i];
     } else {
       return Usage(argv[0]);
     }
@@ -186,5 +191,24 @@ int main(int argc, char** argv) {
       static_cast<unsigned long long>(stats.queries_error),
       static_cast<unsigned long long>(stats.rows_streamed),
       static_cast<unsigned long long>(stats.rows_ingested));
+
+  // Final Prometheus exposition of the whole run ("-" = stdout). Written
+  // after the drain so the dump reflects every completed query.
+  if (!metrics_dump.empty()) {
+    const std::string text = engine.metrics().RenderPrometheus();
+    if (metrics_dump == "-") {
+      std::fputs(text.c_str(), stdout);
+    } else {
+      std::FILE* f = std::fopen(metrics_dump.c_str(), "w");
+      if (f == nullptr) {
+        std::fprintf(stderr, "metrics-dump: cannot open %s\n",
+                     metrics_dump.c_str());
+        return 1;
+      }
+      std::fputs(text.c_str(), f);
+      std::fclose(f);
+      std::printf("metrics written to %s\n", metrics_dump.c_str());
+    }
+  }
   return 0;
 }

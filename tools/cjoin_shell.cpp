@@ -29,6 +29,8 @@
 
 #include "common/clock.h"
 #include "engine/query_engine.h"
+#include "obs/metrics.h"
+#include "obs/query_trace.h"
 #include "ssb/generator.h"
 #include "storage/table_file.h"
 
@@ -242,9 +244,12 @@ int main(int argc, char** argv) {
       "feedback loop's fitted per-route cost models, EXPLAIN ROUTE <sql> "
       "shows the optimizer choice (shard-, backlog-, and admission-aware, "
       "with static AND calibrated costs), \\stats shows per-shard "
-      "pipeline stats, \\q quits.\n");
+      "pipeline stats, \\metrics dumps the engine metrics registry "
+      "(Prometheus text), \\trace shows the last query's span trace, "
+      "\\q quits.\n");
   RoutePolicy policy = RoutePolicy::kAuto;
   std::string tenant;  // empty = the "default" tenant
+  std::shared_ptr<obs::QueryTrace> last_trace;  // for \trace
   std::string buffer;
   std::string line;
   while (true) {
@@ -377,6 +382,22 @@ int main(int argc, char** argv) {
         }
         continue;
       }
+      if (line == "\\metrics") {
+        std::fputs(obs::MetricsRegistry::Global().RenderPrometheus().c_str(),
+                   stdout);
+        continue;
+      }
+      if (line == "\\trace") {
+        if (last_trace == nullptr) {
+          std::printf("no trace recorded yet%s\n",
+                      obs::MetricsEnabled()
+                          ? " (run a query first)"
+                          : " (metrics are disabled in this build)");
+        } else {
+          std::fputs(last_trace->Render().c_str(), stdout);
+        }
+        continue;
+      }
       std::printf("unknown meta command: %s\n", line.c_str());
       continue;
     }
@@ -408,6 +429,7 @@ int main(int argc, char** argv) {
     Result<ResultSet> rs = [&]() -> Result<ResultSet> {
       CJOIN_ASSIGN_OR_RETURN(auto ticket, engine.Execute(std::move(req)));
       Result<ResultSet> result = ticket->Wait();
+      last_trace = ticket->trace();
       if (result.ok()) {
         std::printf("[%s]\n", RouteChoiceName(ticket->route()));
       } else if (!ticket->decision().admission.empty() &&
