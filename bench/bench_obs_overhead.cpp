@@ -7,7 +7,11 @@
 // when the measured delta exceeds the threshold so CI can gate on it.
 //
 //   $ bench_obs_overhead [--sf F] [--queries N] [--concurrency C]
-//                        [--trials T] [--threshold PCT]
+//                        [--trials T] [--threshold PCT] [--trace-out PATH]
+//
+// --trace-out dumps the flight recorder after the timed arms (the
+// bench itself is a dense multi-thread workload, so the dump doubles
+// as a Perfetto demo input).
 //
 // Emits one JSON line:
 //   {"bench":"obs_overhead","on_s":..,"off_s":..,"overhead_pct":..,
@@ -18,11 +22,13 @@
 #include <cstdlib>
 #include <cstring>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "bench/harness.h"
 #include "common/clock.h"
 #include "engine/query_engine.h"
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
 #include "ssb/generator.h"
 
@@ -82,6 +88,7 @@ int main(int argc, char** argv) {
   size_t concurrency = 8;
   size_t trials = 3;
   double threshold_pct = 2.0;
+  std::string trace_out;
 
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--sf") == 0 && i + 1 < argc) {
@@ -94,10 +101,12 @@ int main(int argc, char** argv) {
       trials = static_cast<size_t>(std::atoi(argv[++i]));
     } else if (std::strcmp(argv[i], "--threshold") == 0 && i + 1 < argc) {
       threshold_pct = std::atof(argv[++i]);
+    } else if (std::strcmp(argv[i], "--trace-out") == 0 && i + 1 < argc) {
+      trace_out = argv[++i];
     } else {
       std::fprintf(stderr,
                    "usage: %s [--sf F] [--queries N] [--concurrency C] "
-                   "[--trials T] [--threshold PCT]\n",
+                   "[--trials T] [--threshold PCT] [--trace-out PATH]\n",
                    argv[0]);
       return 2;
     }
@@ -151,6 +160,15 @@ int main(int argc, char** argv) {
   }
   obs::SetMetricsEnabled(true);
   engine.Shutdown();
+
+  if (!trace_out.empty()) {
+    std::string err;
+    if (obs::FlightRecorder::Global().DumpToFile(trace_out, &err)) {
+      std::fprintf(stderr, "trace written to %s\n", trace_out.c_str());
+    } else {
+      std::fprintf(stderr, "trace-out: %s\n", err.c_str());
+    }
+  }
 
   const double overhead_pct =
       best_off > 0 ? (best_on - best_off) / best_off * 100.0 : 0.0;

@@ -7,6 +7,7 @@
 
 #include "common/bitvector.h"
 #include "common/trace.h"
+#include "obs/flight_recorder.h"
 
 namespace cjoin {
 
@@ -55,6 +56,7 @@ CJoinOperator::CJoinOperator(const StarSchema& star, Options options)
   qopts.capacity = opts_.queue_capacity;
   qopts.consumer_wake_depth = opts_.queue_wake_depth;
   for (size_t q = 0; q < num_stages + 1; ++q) {
+    qopts.name = opts_.name_prefix + "q" + std::to_string(q);
     queues_.push_back(std::make_unique<BatchQueue>(qopts));
   }
 
@@ -70,6 +72,8 @@ CJoinOperator::CJoinOperator(const StarSchema& star, Options options)
         "stage" + std::to_string(s), &star_.fact().schema(), num_dims_,
         width_, std::move(order), queues_[s].get(), queues_[s + 1].get(),
         /*owns_output=*/true, pool_.get(), epochs_.get()));
+    stages_.back()->set_thread_label(opts_.name_prefix + "stage" +
+                                     std::to_string(s));
   }
 
   Preprocessor::Options popts;
@@ -78,6 +82,7 @@ CJoinOperator::CJoinOperator(const StarSchema& star, Options options)
   popts.disk = opts_.disk;
   popts.reader_id = opts_.disk_reader_id;
   popts.snapshot_probe = opts_.snapshot_probe;
+  popts.flight_label = opts_.name_prefix + "scan";
   preprocessor_ = std::make_unique<Preprocessor>(
       star_, width_, pool_.get(), epochs_.get(), queues_.front().get(),
       popts);
@@ -93,8 +98,10 @@ Status CJoinOperator::Start() {
   if (started_) return Status::FailedPrecondition("already started");
   started_ = true;
 
-  preprocessor_thread_ =
-      std::thread([this] { preprocessor_->Run(stop_); });
+  preprocessor_thread_ = std::thread([this] {
+    obs::RegisterThread(opts_.name_prefix + "pre");
+    preprocessor_->Run(stop_);
+  });
 
   // Distribute worker threads over stages (vertical: at least one each;
   // any surplus goes to the first stages, following §6.2.1).
@@ -115,8 +122,14 @@ Status CJoinOperator::Start() {
     stages_[s]->Start(threads_per_stage[s]);
   }
 
-  distributor_thread_ = std::thread([this] { distributor_->Run(); });
-  manager_thread_ = std::thread([this] { ManagerLoop(); });
+  distributor_thread_ = std::thread([this] {
+    obs::RegisterThread(opts_.name_prefix + "dist");
+    distributor_->Run();
+  });
+  manager_thread_ = std::thread([this] {
+    obs::RegisterThread(opts_.name_prefix + "mgr");
+    ManagerLoop();
+  });
   return Status::OK();
 }
 
@@ -429,6 +442,27 @@ CJoinOperator::Stats CJoinOperator::GetStats() const {
   s.submissions_pending = submissions_.size();
   s.admissions_pending = preprocessor_->admissions_pending();
   s.cleanups_pending = cleanup_queue_->size();
+  s.queue_capacity = opts_.queue_capacity;
+  auto& reg = obs::MetricsRegistry::Global();
+  for (const auto& q : queues_) {
+    const size_t depth = q->size();
+    const size_t hwm = q->HighWatermark();
+    s.queue_depths.push_back(depth);
+    s.queue_high_watermarks.push_back(hwm);
+    // Gauge family keyed by the queue's flight-recorder name, so
+    // saturation is scrapeable without a trace dump.
+    const std::string label = obs::LabelPair("queue", q->name());
+    reg.GetGauge("cjoin_queue_depth",
+                 "Inter-stage queue depth at last stats scrape", label)
+        ->Set(static_cast<int64_t>(depth));
+    reg.GetGauge("cjoin_queue_depth_hwm",
+                 "Peak inter-stage queue depth since the previous scrape",
+                 label)
+        ->Set(static_cast<int64_t>(hwm));
+  }
+  for (const auto& stage : stages_) {
+    s.stage_batches.push_back(stage->batches_processed());
+  }
   if (!stages_.empty()) {
     auto order = stages_[0]->filter_order();
     for (const Filter* f : *order) s.filter_order.push_back(f->dim_index);

@@ -89,6 +89,11 @@ class CJoinOperator {
     /// Optional probe of the engine's current snapshot, used to bound
     /// append-visibility staleness (see Preprocessor::covered_snapshot).
     std::function<SnapshotId()> snapshot_probe;
+
+    /// Flight-recorder identity prefix for this pipeline's threads and
+    /// queues ("s2/" on shard 2 of a sharded pool). Purely cosmetic:
+    /// metric labels and trace spans are unaffected.
+    std::string name_prefix;
   };
 
   CJoinOperator(const StarSchema& star, Options options);
@@ -171,6 +176,15 @@ class CJoinOperator {
     size_t submissions_pending = 0;
     size_t admissions_pending = 0;
     size_t cleanups_pending = 0;
+    /// Inter-stage queue telemetry: queue i feeds stage i, the last
+    /// queue feeds the Distributor. Depths are point samples; high
+    /// watermarks are since the previous GetStats (reset-on-read).
+    std::vector<size_t> queue_depths;
+    std::vector<size_t> queue_high_watermarks;
+    size_t queue_capacity = 0;
+    /// Batches processed per stage (monotonic progress counters — the
+    /// watchdog's stall signal).
+    std::vector<uint64_t> stage_batches;
   };
   Stats GetStats() const;
 

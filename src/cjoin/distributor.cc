@@ -3,6 +3,7 @@
 #include <cassert>
 
 #include "common/bitvector.h"
+#include "obs/flight_recorder.h"
 
 namespace cjoin {
 
@@ -64,6 +65,8 @@ void Distributor::ProcessControl(TupleSlot* slot) {
     live_[rt->query_id] = nullptr;
     const int64_t done = QueryRuntime::NowNs();
     rt->completed_ns.store(done);
+    obs::RecordEvent(obs::EventKind::kQueryDone,
+                     (rt->trace_prefix + "dist").c_str(), rt->query_id);
     if (rt->trace != nullptr) {
       rt->trace->EndSpan(obs::SpanKind::kStage,
                          (rt->trace_prefix + "dist").c_str(), done);

@@ -10,6 +10,7 @@
 
 #include "common/bitvector.h"
 #include "common/trace.h"
+#include "obs/flight_recorder.h"
 
 namespace cjoin {
 
@@ -162,15 +163,19 @@ void Preprocessor::FinalizeQuery(uint32_t qid) {
   TraceLogf(qid, "pre", "finalize");
   ActiveQuery* aq = active_[qid].get();
   assert(aq != nullptr);
-  // The end-of-query control tuple precedes the wrap-around tuple
-  // (§3.3.2), so it is emitted at the current stream position, before
-  // clearing the query's bookkeeping.
-  EmitControl(SlotKind::kQueryEnd, aq->runtime.get());
+  // Close the "pre" span before the end-of-query control leaves this
+  // thread: once emitted, the control can race through the pipeline and
+  // deliver the query while an after-the-fact EndSpan is still pending,
+  // leaving an open span in the completed trace.
   if (aq->runtime->trace != nullptr) {
     aq->runtime->trace->EndSpan(
         obs::SpanKind::kStage, (aq->runtime->trace_prefix + "pre").c_str(),
         QueryRuntime::NowNs());
   }
+  // The end-of-query control tuple precedes the wrap-around tuple
+  // (§3.3.2), so it is emitted at the current stream position, before
+  // clearing the query's bookkeeping.
+  EmitControl(SlotKind::kQueryEnd, aq->runtime.get());
   obs_active_->Sub();
 
   bitops::ClearBit(active_mask_, qid);
@@ -408,7 +413,14 @@ void Preprocessor::Run(const std::atomic<bool>& stop) {
       case ScanEvent::Kind::kPassStart:
         break;
     }
-    laps_done_.store(scan_.table_laps(), std::memory_order_relaxed);
+    const uint64_t laps_now = scan_.table_laps();
+    if (laps_now != laps_before) {
+      // Lap boundary: every in-flight query's completion checkpoint is one
+      // of these; they anchor the timeline's coarse rhythm.
+      obs::RecordEvent(obs::EventKind::kLap, opts_.flight_label.c_str(),
+                       static_cast<uint32_t>(laps_now));
+    }
+    laps_done_.store(laps_now, std::memory_order_relaxed);
   }
 
   // Shutdown: flush what we have and close downstream. Unfinished

@@ -51,6 +51,9 @@ class Preprocessor {
     /// before each lap freeze so covered_snapshot() names the newest
     /// snapshot whose rows are guaranteed inside the frozen scan ranges.
     std::function<SnapshotId()> snapshot_probe;
+    /// Flight-recorder label for the scan thread's lap-boundary events
+    /// ("s2/scan" on shard 2 of a sharded pool).
+    std::string flight_label = "scan";
   };
 
   Preprocessor(const StarSchema& star, size_t width_words, TuplePool* pool,

@@ -173,6 +173,7 @@ ShardedCJoinOperator::ShardedCJoinOperator(
   for (size_t s = 0; s < stars_.size(); ++s) {
     CJoinOperator::Options op_opts = opts_.op;
     op_opts.disk_reader_id = opts_.op.disk_reader_id + s;
+    op_opts.name_prefix = "s" + std::to_string(s) + "/";
     if (!opts_.shard_disks.empty()) {
       op_opts.disk = opts_.shard_disks[s % opts_.shard_disks.size()];
     }
@@ -335,6 +336,19 @@ CJoinOperator::Stats ShardedCJoinOperator::GetStats() const {
          ++f) {
       total.filter_tuples_in[f] += st.filter_tuples_in[f];
       total.filter_tuples_dropped[f] += st.filter_tuples_dropped[f];
+    }
+    // Queue telemetry: element-wise worst case across shards (depths are
+    // point samples, not additive loads); progress counters sum.
+    for (size_t q = 0;
+         q < total.queue_depths.size() && q < st.queue_depths.size(); ++q) {
+      total.queue_depths[q] = std::max(total.queue_depths[q],
+                                       st.queue_depths[q]);
+      total.queue_high_watermarks[q] = std::max(
+          total.queue_high_watermarks[q], st.queue_high_watermarks[q]);
+    }
+    for (size_t b = 0;
+         b < total.stage_batches.size() && b < st.stage_batches.size(); ++b) {
+      total.stage_batches[b] += st.stage_batches[b];
     }
   }
   return total;

@@ -4,6 +4,7 @@
 
 #include "cjoin/query_runtime.h"
 #include "common/bitvector.h"
+#include "obs/flight_recorder.h"
 
 namespace cjoin {
 
@@ -35,7 +36,12 @@ void Stage::Start(size_t num_threads) {
   live_workers_.store(num_threads);
   threads_.reserve(num_threads);
   for (size_t i = 0; i < num_threads; ++i) {
-    threads_.emplace_back([this] { WorkerLoop(); });
+    // The worker's flight-recorder track name; fixed here so the loop
+    // never touches threads_ concurrently with this emplacing loop.
+    std::string track = thread_label_.empty() ? name_ : thread_label_;
+    if (num_threads > 1) track += "." + std::to_string(i);
+    threads_.emplace_back(
+        [this, track = std::move(track)] { WorkerLoop(track); });
   }
 }
 
@@ -105,11 +111,17 @@ size_t Stage::FilterBatch(TupleBatch* batch, const FilterOrder& filters) {
   return dropped;
 }
 
-void Stage::WorkerLoop() {
+void Stage::WorkerLoop(const std::string& track) {
+  obs::RegisterThread(track);
   for (;;) {
+    // Sleep/wake events bracket the blocking pop: the dump pairs each
+    // wake with the following sleep into a "busy" timeline slice.
+    obs::RecordEvent(obs::EventKind::kStageSleep, track.c_str());
     std::optional<TupleBatch> popped = in_->Pop();
     if (!popped.has_value()) break;  // closed and drained
     TupleBatch batch = std::move(*popped);
+    obs::RecordEvent(obs::EventKind::kStageWake, track.c_str(),
+                     static_cast<uint32_t>(batch.slots.size()));
     batches_.fetch_add(1, std::memory_order_relaxed);
 
     if (batch.control) {

@@ -51,6 +51,13 @@ class Stage {
     return order_.Acquire();
   }
 
+  /// Flight-recorder / OS thread-track label for this stage's workers
+  /// (e.g. "s2/stage0"). Defaults to the stage name; the operator sets
+  /// a shard-qualified label before Start().
+  void set_thread_label(std::string label) {
+    thread_label_ = std::move(label);
+  }
+
   void Start(size_t num_threads);
   void Join();
 
@@ -62,12 +69,13 @@ class Stage {
   const std::string& name() const { return name_; }
 
  private:
-  void WorkerLoop();
+  void WorkerLoop(const std::string& track);
   /// Filters `batch` in place; returns the number of dropped slots.
   size_t FilterBatch(TupleBatch* batch,
                      const FilterOrder& filters);
 
   std::string name_;
+  std::string thread_label_;
   const Schema* fact_schema_;
   size_t num_dims_;
   size_t width_;

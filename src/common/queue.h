@@ -25,7 +25,10 @@
 #include <deque>
 #include <mutex>
 #include <optional>
+#include <string>
 #include <vector>
+
+#include "obs/flight_recorder.h"
 
 namespace cjoin {
 
@@ -45,6 +48,10 @@ class BoundedQueue {
     /// Upper bound on a single sleep; waiters re-check after this long even
     /// without a signal so watermarks cannot strand the last items.
     std::chrono::microseconds wait_slice = std::chrono::microseconds(500);
+    /// Flight-recorder identity. When non-empty, every push/pop records
+    /// a timeline event carrying the observed depth (one event per
+    /// batch call); empty queues stay invisible to the recorder.
+    std::string name;
   };
 
   BoundedQueue() : BoundedQueue(Options{}) {}
@@ -68,6 +75,7 @@ class BoundedQueue {
     }
     if (closed_) return false;
     items_.push_back(std::move(item));
+    NotePush();
     MaybeWakeConsumer(lk);
     return true;
   }
@@ -87,6 +95,7 @@ class BoundedQueue {
         items_.push_back(std::move(batch[pushed]));
         ++pushed;
       }
+      NotePush();
       MaybeWakeConsumer(lk);
     }
     return pushed;
@@ -102,6 +111,7 @@ class BoundedQueue {
     if (items_.empty()) return std::nullopt;
     T out = std::move(items_.front());
     items_.pop_front();
+    NotePop();
     MaybeWakeProducer(lk);
     return out;
   }
@@ -120,7 +130,10 @@ class BoundedQueue {
       items_.pop_front();
       ++n;
     }
-    if (n > 0) MaybeWakeProducer(lk);
+    if (n > 0) {
+      NotePop();
+      MaybeWakeProducer(lk);
+    }
     return n;
   }
 
@@ -139,6 +152,7 @@ class BoundedQueue {
     if (items_.empty()) return std::nullopt;
     T out = std::move(items_.front());
     items_.pop_front();
+    NotePop();
     MaybeWakeProducer(lk);
     return out;
   }
@@ -149,6 +163,7 @@ class BoundedQueue {
     if (items_.empty()) return std::nullopt;
     T out = std::move(items_.front());
     items_.pop_front();
+    NotePop();
     MaybeWakeProducer(lk);
     return out;
   }
@@ -182,7 +197,35 @@ class BoundedQueue {
 
   bool empty() const { return size() == 0; }
 
+  size_t capacity() const { return opts_.capacity; }
+  const std::string& name() const { return opts_.name; }
+
+  /// Highest depth observed since the last call; reading re-arms the
+  /// mark at the current depth (reset-on-read), so each scrape reports
+  /// the peak within its own interval.
+  size_t HighWatermark() {
+    std::lock_guard<std::mutex> lk(mu_);
+    const size_t hw = high_watermark_;
+    high_watermark_ = items_.size();
+    return hw;
+  }
+
  private:
+  /// Both hooks run with mu_ held, right after the deque changed.
+  void NotePush() {
+    if (items_.size() > high_watermark_) high_watermark_ = items_.size();
+    if (!opts_.name.empty()) {
+      obs::RecordEvent(obs::EventKind::kQueuePush, opts_.name.c_str(),
+                       static_cast<uint32_t>(items_.size()));
+    }
+  }
+  void NotePop() {
+    if (!opts_.name.empty()) {
+      obs::RecordEvent(obs::EventKind::kQueuePop, opts_.name.c_str(),
+                       static_cast<uint32_t>(items_.size()));
+    }
+  }
+
   void MaybeWakeConsumer(std::unique_lock<std::mutex>&) {
     if (items_.size() >= opts_.consumer_wake_depth ||
         items_.size() >= opts_.capacity) {
@@ -202,6 +245,7 @@ class BoundedQueue {
   std::condition_variable not_full_;
   std::deque<T> items_;
   bool closed_ = false;
+  size_t high_watermark_ = 0;  ///< guarded by mu_; reset on read
 };
 
 }  // namespace cjoin

@@ -4,8 +4,28 @@
 #include <chrono>
 
 #include "cjoin/query_runtime.h"
+#include "obs/flight_recorder.h"
 
 namespace cjoin {
+
+namespace {
+
+/// One flight-recorder instant per gate verdict, labelled by tenant.
+void RecordVerdict(AdmissionOutcome outcome, const std::string& tenant) {
+  switch (outcome) {
+    case AdmissionOutcome::kAdmitted:
+      obs::RecordEvent(obs::EventKind::kAdmitGrant, tenant.c_str());
+      break;
+    case AdmissionOutcome::kQueued:
+      obs::RecordEvent(obs::EventKind::kAdmitQueue, tenant.c_str());
+      break;
+    case AdmissionOutcome::kShed:
+      obs::RecordEvent(obs::EventKind::kAdmitShed, tenant.c_str());
+      break;
+  }
+}
+
+}  // namespace
 
 const char* AdmissionOutcomeName(AdmissionOutcome outcome) {
   switch (outcome) {
@@ -128,6 +148,7 @@ AdmissionDecision AdmissionController::TryAdmit(const std::string& tenant,
     d.outcome = AdmissionOutcome::kShed;
     d.status = Status::FailedPrecondition("engine shut down");
     d.reason = "engine shut down";
+    RecordVerdict(d.outcome, tenant);
     return d;
   }
   TenantState& state = StateFor(tenant);
@@ -140,6 +161,7 @@ AdmissionDecision AdmissionController::TryAdmit(const std::string& tenant,
     d.status = Status::ResourceExhausted(
         "tenant '" + tenant + "' over its admission rate (" +
         std::to_string(state.quota.rate_per_sec) + "/s)");
+    RecordVerdict(d.outcome, tenant);
     return d;
   }
 
@@ -153,6 +175,7 @@ AdmissionDecision AdmissionController::TryAdmit(const std::string& tenant,
       d.status = Status::ResourceExhausted(
           "engine-wide baseline queue limit (" +
           std::to_string(opts_.max_total_baseline) + ") reached");
+      RecordVerdict(d.outcome, tenant);
       return d;
     }
     const size_t cap = state.quota.max_queued_baseline;
@@ -166,6 +189,7 @@ AdmissionDecision AdmissionController::TryAdmit(const std::string& tenant,
           std::to_string(state.baseline_in_system) +
           " baseline jobs in the system (limit " + std::to_string(cap) +
           ")");
+      RecordVerdict(d.outcome, tenant);
       return d;
     }
     if (state.quota.rate_per_sec > 0.0) state.tokens -= 1.0;
@@ -175,6 +199,7 @@ AdmissionDecision AdmissionController::TryAdmit(const std::string& tenant,
     obs_admitted_->Add();
     d.outcome = AdmissionOutcome::kAdmitted;
     d.reason = "within quota";
+    RecordVerdict(d.outcome, tenant);
     return d;
   }
 
@@ -187,6 +212,7 @@ AdmissionDecision AdmissionController::TryAdmit(const std::string& tenant,
     obs_admitted_->Add();
     d.outcome = AdmissionOutcome::kAdmitted;
     d.reason = "within quota";
+    RecordVerdict(d.outcome, tenant);
     return d;
   }
 
@@ -223,6 +249,7 @@ AdmissionDecision AdmissionController::TryAdmit(const std::string& tenant,
     d.reason = std::string(bound) + " full: parked in wait queue";
     d.waiter_id = wait_queue_.back().id;
     service_cv_.notify_all();  // re-arm the expiry timer
+    RecordVerdict(d.outcome, tenant);
     return d;
   }
 
@@ -238,6 +265,7 @@ AdmissionDecision AdmissionController::TryAdmit(const std::string& tenant,
                 std::to_string(state.inflight_cjoin) +
                 " CJOIN slots (limit " +
                 std::to_string(state.quota.max_inflight_cjoin) + ")");
+  RecordVerdict(d.outcome, tenant);
   return d;
 }
 
@@ -311,6 +339,7 @@ void AdmissionController::CollectGrantsLocked(
       state.waiting--;
       state.shed++;
       obs_shed_->Add();
+      RecordVerdict(AdmissionOutcome::kShed, it->tenant);
       GrantAction action;
       action.grant = std::move(it->grant);
       action.status =
@@ -330,6 +359,7 @@ void AdmissionController::CollectGrantsLocked(
       total_cjoin_++;
       state.admitted++;
       obs_admitted_->Add();
+      RecordVerdict(AdmissionOutcome::kAdmitted, it->tenant);
       GrantAction action;
       action.grant = std::move(it->grant);
       action.status = Status::OK();
@@ -419,6 +449,7 @@ void AdmissionController::CancelWaiter(uint64_t waiter_id) {
 }
 
 void AdmissionController::ServiceLoop() {
+  obs::RegisterThread("adm");
   std::unique_lock<std::mutex> lk(mu_);
   while (!shutdown_) {
     if (!grants_pending_) {
@@ -576,6 +607,13 @@ AdmissionController::Stats AdmissionController::GetStats() const {
   s.total_cjoin_inflight = total_cjoin_;
   s.total_baseline_in_system = total_baseline_;
   s.total_waiting = wait_queue_.size();
+  for (const Waiter& w : wait_queue_) {
+    if (w.expire_is_deadline && w.expire_ns != 0 &&
+        (s.earliest_waiter_deadline_ns == 0 ||
+         w.expire_ns < s.earliest_waiter_deadline_ns)) {
+      s.earliest_waiter_deadline_ns = w.expire_ns;
+    }
+  }
   for (const auto& [name, state] : tenants_) {
     TenantStats ts;
     ts.tenant = name;

@@ -205,6 +205,10 @@ class AdmissionController {
     size_t total_cjoin_inflight = 0;
     size_t total_baseline_in_system = 0;
     size_t total_waiting = 0;
+    /// Earliest expiry (steady-clock nanos) among parked waiters whose
+    /// bound is the query's own deadline; 0 when none. The watchdog's
+    /// deadline-risk signal.
+    int64_t earliest_waiter_deadline_ns = 0;
     std::vector<TenantStats> tenants;  ///< sorted by tenant name
   };
   Stats GetStats() const;

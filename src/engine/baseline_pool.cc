@@ -5,6 +5,7 @@
 #include <set>
 
 #include "cjoin/query_runtime.h"
+#include "obs/flight_recorder.h"
 
 namespace cjoin {
 
@@ -56,9 +57,15 @@ BaselinePool::BaselinePool(size_t workers, size_t max_queued)
   const size_t n = std::max<size_t>(1, workers);
   threads_.reserve(n);
   for (size_t i = 0; i < n; ++i) {
-    threads_.emplace_back([this] { WorkerLoop(); });
+    threads_.emplace_back([this, i] {
+      obs::RegisterThread("base" + std::to_string(i));
+      WorkerLoop();
+    });
   }
-  sweeper_ = std::thread([this] { SweeperLoop(); });
+  sweeper_ = std::thread([this] {
+    obs::RegisterThread("sweep");
+    SweeperLoop();
+  });
 }
 
 BaselinePool::~BaselinePool() { Shutdown(); }

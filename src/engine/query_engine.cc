@@ -7,6 +7,7 @@
 #include <thread>
 
 #include "exec/group_table.h"
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
 #include "obs/query_trace.h"
 
@@ -138,10 +139,22 @@ const char* RouteLabel(RouteChoice route) {
 /// outcome counter; only successful kAuto-routed queries carry
 /// calibration evidence (work_units > 0). [submit_ns, queue_end_ns) is
 /// attributed to queueing, [queue_end_ns, done_ns) to service.
-void ObserveCompletion(RouteCalibrator* cal, RouteChoice route,
-                       const std::string& tenant, double work_units,
-                       const Result<ResultSet>& result, int64_t submit_ns,
-                       int64_t queue_end_ns, int64_t done_ns) {
+void ObserveCompletion(RouteCalibrator* cal, QueryEngine* engine,
+                       const std::shared_ptr<obs::QueryTrace>& trace,
+                       RouteChoice route, const std::string& tenant,
+                       double work_units, const Result<ResultSet>& result,
+                       int64_t submit_ns, int64_t queue_end_ns,
+                       int64_t done_ns) {
+  if (trace != nullptr && obs::MetricsEnabled()) {
+    // Retain the span trace for the flight recorder's Perfetto dump
+    // (re-emitted as async "query" events) and, past the threshold, for
+    // the slow-query log.
+    obs::FlightRecorder::Global().NoteQueryTrace(trace);
+    const int64_t threshold = engine->slow_query_threshold().count();
+    if (threshold > 0 && done_ns - submit_ns >= threshold) {
+      engine->slow_query_log().Record(done_ns - submit_ns, *trace);
+    }
+  }
   if (obs::MetricsEnabled()) {
     auto& reg = obs::MetricsRegistry::Global();
     reg.GetCounter("queries_total",
@@ -181,8 +194,11 @@ void ObserveCompletion(RouteCalibrator* cal, RouteChoice route,
 QueryEngine::QueryEngine(Options options)
     : opts_(std::move(options)),
       calibrator_(opts_.router.calibration),
-      router_(opts_.router) {
+      router_(opts_.router),
+      slow_log_(opts_.slow_query_log_capacity) {
   router_.set_calibrator(&calibrator_);
+  slow_threshold_ns_.store(opts_.slow_query_threshold.count(),
+                           std::memory_order_relaxed);
   AdmissionController::Options aopts = opts_.admission;
   if (aopts.max_total_cjoin == 0) {
     // Bound engine-wide CJOIN registrations by the operator capacity, so
@@ -193,6 +209,15 @@ QueryEngine::QueryEngine(Options options)
   admission_ = std::make_shared<AdmissionController>(aopts);
   baseline_pool_ = std::make_unique<BaselinePool>(opts_.baseline_workers,
                                                   opts_.baseline_max_queued);
+  if (opts_.watchdog_enabled) {
+    watchdog_ = std::make_unique<obs::Watchdog>(opts_.watchdog);
+    watchdog_->AddSampler(
+        [this](std::vector<obs::Watchdog::StageSample>& stages,
+               std::vector<obs::Watchdog::QueueSample>& queues) {
+          SampleForWatchdog(stages, queues);
+        });
+    watchdog_->Start();
+  }
 }
 
 QueryEngine::~QueryEngine() { Shutdown(); }
@@ -204,6 +229,9 @@ void QueryEngine::Shutdown() {
     std::lock_guard<std::mutex> ulk(update_mu_);
     if (shut_down_.exchange(true, std::memory_order_acq_rel)) return;
   }
+  // The watchdog samples the pools and the admission controller; stop it
+  // before tearing either down.
+  if (watchdog_ != nullptr) watchdog_->Stop();
   // Fail parked admission waiters first: their grants would otherwise
   // submit into pools that are about to stop.
   admission_->Shutdown();
@@ -497,6 +525,7 @@ Result<std::unique_ptr<QueryTicket>> QueryEngine::Execute(
   }
   decision.tenant = tenant;
   if (trace != nullptr) trace->set_route(RouteLabel(decision.choice));
+  obs::RecordEvent(obs::EventKind::kRoute, RouteLabel(decision.choice));
 
   // Uniform-ticket contract: an already-expired deadline resolves through
   // the ticket (kDeadlineExceeded from Wait()) on BOTH routes — Execute()
@@ -603,14 +632,16 @@ Result<std::unique_ptr<QueryTicket>> QueryEngine::Execute(
   // kAuto-routed completions also feed the route calibrator. The raw
   // BaselineJob pointer is safe: the hook only runs while the job is
   // being resolved (a shared_ptr capture would be a reference cycle).
-  job->on_finished = [ctrl = admission_.get(), tenant, cal = &calibrator_,
+  job->on_finished = [ctrl = admission_.get(), eng = this, tenant,
+                      cal = &calibrator_,
                       work = decision.forced ? 0.0
                                              : decision.baseline_work_units,
                       j = job.get()](const Result<ResultSet>& result) {
     ctrl->Release(tenant, RouteChoice::kBaseline);
     // Pool-queue residence (submit -> worker start) is waiting, not
     // work: it is attributed out of the fitted service time.
-    ObserveCompletion(cal, RouteChoice::kBaseline, tenant, work, result,
+    ObserveCompletion(cal, eng, j->trace, RouteChoice::kBaseline, tenant,
+                      work, result,
                       j->submit_ns.load(std::memory_order_relaxed),
                       j->start_ns.load(std::memory_order_relaxed),
                       j->completed_ns.load(std::memory_order_relaxed));
@@ -650,15 +681,15 @@ Result<std::unique_ptr<QueryTicket>> QueryEngine::SubmitAdmittedCJoin(
   // Quota release first, then the calibrator observation (successful
   // kAuto completions only — an immediately-admitted CJOIN query never
   // waited, so its whole wall clock is service).
-  so.completion_observer = [ctrl = admission_.get(), tenant,
-                            cal = &calibrator_,
+  so.completion_observer = [ctrl = admission_.get(), eng = this, trace,
+                            tenant, cal = &calibrator_,
                             work = decision.forced ? 0.0
                                                    : decision.cjoin_work_units,
                             submitted = QueryRuntime::NowNs()](
                                const Result<ResultSet>& result) {
     ctrl->Release(tenant, RouteChoice::kCJoin);
-    ObserveCompletion(cal, RouteChoice::kCJoin, tenant, work, result,
-                      submitted, submitted, QueryRuntime::NowNs());
+    ObserveCompletion(cal, eng, trace, RouteChoice::kCJoin, tenant, work,
+                      result, submitted, submitted, QueryRuntime::NowNs());
   };
   const std::string label = request.spec.label;
   const SnapshotId snap = request.spec.snapshot;
@@ -755,11 +786,12 @@ AdmissionController::GrantFn QueryEngine::MakeDeferredGrant(
     // successful kAuto completion feeds the calibrator: the wait-queue
     // residence (submit -> grant) is attributed to queueing, the rest
     // is CJOIN service.
-    so.completion_observer = [ctrl = admission_.get(), deferred, tenant,
-                              cal = &calibrator_,
+    so.completion_observer = [ctrl = admission_.get(), eng = this, deferred,
+                              tenant, cal = &calibrator_,
                               work_units](const Result<ResultSet>& result) {
       ctrl->Release(tenant, RouteChoice::kCJoin);
-      ObserveCompletion(cal, RouteChoice::kCJoin, tenant, work_units, result,
+      ObserveCompletion(cal, eng, deferred->trace, RouteChoice::kCJoin,
+                        tenant, work_units, result,
                         deferred->submit_ns.load(std::memory_order_relaxed),
                         deferred->granted_ns.load(std::memory_order_relaxed),
                         QueryRuntime::NowNs());
@@ -843,6 +875,57 @@ TenantQuota QueryEngine::GetTenantQuota(std::string_view tenant) const {
 
 AdmissionController::Stats QueryEngine::AdmissionStats() const {
   return admission_->GetStats();
+}
+
+void QueryEngine::SampleForWatchdog(
+    std::vector<obs::Watchdog::StageSample>& stages,
+    std::vector<obs::Watchdog::QueueSample>& queues) {
+  if (shut_down_.load(std::memory_order_acquire)) return;
+  std::vector<std::pair<std::string, std::shared_ptr<ExecPool>>> pools;
+  {
+    std::shared_lock<std::shared_mutex> lk(ops_mu_);
+    for (const auto& entry : stars_) {
+      pools.emplace_back(entry->name, entry->pool);
+    }
+  }
+  for (const auto& [star, pool] : pools) {
+    if (pool == nullptr || pool->op == nullptr) continue;
+    const std::vector<CJoinOperator::Stats> shards = pool->op->PerShardStats();
+    for (size_t s = 0; s < shards.size(); ++s) {
+      const CJoinOperator::Stats& st = shards[s];
+      const std::string prefix = star + "/s" + std::to_string(s) + "/";
+      // The continuous scan must advance whenever queries are registered;
+      // rows_scanned frozen with active queries is the canonical stall.
+      obs::Watchdog::StageSample scan;
+      scan.name = prefix + "scan";
+      scan.progress = st.rows_scanned;
+      scan.backlog = st.active_queries;
+      stages.push_back(std::move(scan));
+      for (size_t i = 0; i < st.stage_batches.size(); ++i) {
+        obs::Watchdog::StageSample stage;
+        stage.name = prefix + "stage" + std::to_string(i);
+        stage.progress = st.stage_batches[i];
+        stage.backlog = i < st.queue_depths.size() ? st.queue_depths[i] : 0;
+        stages.push_back(std::move(stage));
+      }
+      for (size_t q = 0; q < st.queue_depths.size(); ++q) {
+        obs::Watchdog::QueueSample qs;
+        qs.name = prefix + "q" + std::to_string(q);
+        qs.depth = st.queue_depths[q];
+        qs.capacity = st.queue_capacity;
+        queues.push_back(std::move(qs));
+      }
+    }
+  }
+  const AdmissionController::Stats adm = admission_->GetStats();
+  obs::Watchdog::StageSample gate;
+  gate.name = "admission";
+  uint64_t granted = 0;
+  for (const auto& t : adm.tenants) granted += t.admitted;
+  gate.progress = granted;
+  gate.backlog = adm.total_waiting;
+  gate.min_deadline_ns = adm.earliest_waiter_deadline_ns;
+  stages.push_back(std::move(gate));
 }
 
 Result<ResultSet> QueryEngine::ExecuteGalaxyJoin(const GalaxyJoinSpec& spec) {

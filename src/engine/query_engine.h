@@ -38,6 +38,8 @@
 #include "engine/sql_parser.h"
 #include "obs/metrics.h"
 #include "obs/query_trace.h"
+#include "obs/slow_query_log.h"
+#include "obs/watchdog.h"
 
 namespace cjoin {
 
@@ -66,6 +68,19 @@ class QueryEngine {
     /// cjoin.max_concurrent_queries, so the bit-vector id freelist can
     /// never block a submitter.
     AdmissionController::Options admission;
+    /// Completed queries at or above this end-to-end latency have their
+    /// span trace captured into the slow-query log (0 disables capture).
+    /// Runtime-adjustable via set_slow_query_threshold (the shell's
+    /// `\slowlog <ms>`).
+    std::chrono::nanoseconds slow_query_threshold{0};
+    /// Retained slow-query entries; older entries are evicted.
+    size_t slow_query_log_capacity = 32;
+    /// Run the stall watchdog over the engine's progress counters, queue
+    /// depths, and admission wait queue (off by default; the server
+    /// enables it). watchdog.dump_path makes every trip auto-dump the
+    /// flight recorder.
+    bool watchdog_enabled = false;
+    obs::Watchdog::Options watchdog;
   };
 
   explicit QueryEngine(Options options);
@@ -124,6 +139,24 @@ class QueryEngine {
   obs::MetricsRegistry& metrics() const {
     return obs::MetricsRegistry::Global();
   }
+
+  /// The engine's slow-query log. Entries accrue only while the
+  /// threshold is nonzero; the log itself is always safe to read.
+  obs::SlowQueryLog& slow_query_log() { return slow_log_; }
+  const obs::SlowQueryLog& slow_query_log() const { return slow_log_; }
+
+  /// Runtime slow-query capture threshold (0 = off). Takes effect on
+  /// the next completion; no queries are re-examined retroactively.
+  void set_slow_query_threshold(std::chrono::nanoseconds threshold) {
+    slow_threshold_ns_.store(threshold.count(), std::memory_order_relaxed);
+  }
+  std::chrono::nanoseconds slow_query_threshold() const {
+    return std::chrono::nanoseconds(
+        slow_threshold_ns_.load(std::memory_order_relaxed));
+  }
+
+  /// The stall watchdog (null unless Options::watchdog_enabled).
+  obs::Watchdog* watchdog() { return watchdog_.get(); }
 
   // --- Sharding (runtime elasticity) ----------------------------------------
 
@@ -300,6 +333,12 @@ class QueryEngine {
   /// and defaults its snapshot; returns the owning star entry.
   Result<StarEntry*> ResolveRequest(QueryRequest* request);
 
+  /// The watchdog's sampler: stage progress/backlog per shard pipeline,
+  /// inter-stage queue depths, and the admission wait queue. Runs on the
+  /// watchdog thread against the same stats accessors the shell uses.
+  void SampleForWatchdog(std::vector<obs::Watchdog::StageSample>& stages,
+                         std::vector<obs::Watchdog::QueueSample>& queues);
+
   /// Submits a normalized spec to the star's CJOIN pool with exact
   /// snapshot capping under concurrent appends.
   Result<std::unique_ptr<QueryHandle>> SubmitToCJoin(
@@ -318,6 +357,11 @@ class QueryEngine {
   /// controller.
   std::shared_ptr<AdmissionController> admission_;
   std::unique_ptr<BaselinePool> baseline_pool_;
+  /// Slow-query capture: the threshold is read lock-free on every
+  /// completion; the log's own mutex is touched only on capture.
+  std::atomic<int64_t> slow_threshold_ns_{0};
+  obs::SlowQueryLog slow_log_;
+  std::unique_ptr<obs::Watchdog> watchdog_;
   std::vector<std::unique_ptr<StarEntry>> stars_;
   /// Guards the stars_ vector structure and each entry's pool pointer.
   mutable std::shared_mutex ops_mu_;

@@ -12,6 +12,7 @@
 #include <cerrno>
 #include <cstring>
 
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
 #include "obs/query_trace.h"
 #include "storage/types.h"
@@ -124,11 +125,20 @@ Status CjoinServer::Start() {
     return Errno("epoll_ctl(eventfd)");
   }
 
-  loop_thread_ = std::thread([this] { EventLoop(); });
+  loop_thread_ = std::thread([this] {
+    obs::RegisterThread("net/loop");
+    EventLoop();
+  });
   for (size_t i = 0; i < opts_.workers; ++i) {
-    worker_threads_.emplace_back([this] { WorkerLoop(); });
+    worker_threads_.emplace_back([this, i] {
+      obs::RegisterThread("net/wk" + std::to_string(i));
+      WorkerLoop();
+    });
   }
-  poller_thread_ = std::thread([this] { PollerLoop(); });
+  poller_thread_ = std::thread([this] {
+    obs::RegisterThread("net/poll");
+    PollerLoop();
+  });
   return Status::OK();
 }
 
@@ -281,6 +291,8 @@ void CjoinServer::ReadLoop(const std::shared_ptr<Connection>& conn) {
       Frame f;
       while (conn->assembler.Next(&f)) {
         n_frames_.fetch_add(1, std::memory_order_relaxed);
+        obs::RecordEvent(obs::EventKind::kNetFrameIn, FrameTypeName(f.type),
+                         static_cast<uint32_t>(f.payload.size()));
         std::lock_guard<std::mutex> lk(conn->mu);
         if (conn->closed || conn->close_requested) return;
         conn->pending.push_back(std::move(f));
@@ -662,10 +674,16 @@ std::string CjoinServer::BuildStatsJson() {
   field("queries_error", s.queries_error);
   field("rows_streamed", s.rows_streamed);
   field("rows_ingested", s.rows_ingested);
+  field("slow_queries_captured",
+        engine_->slow_query_log().total_captured());
   // v2: the full engine metrics registry rides along as a nested object,
   // after the flat legacy keys so existing consumers keep working.
   json += ",\"metrics\":";
   json += engine_->metrics().RenderJson();
+  // v3: the slow-query log (JSON array, newest first; empty while the
+  // threshold is unset).
+  json += ",\"slow_queries\":";
+  json += engine_->slow_query_log().ToJson();
   json += "}";
   return json;
 }
@@ -758,6 +776,8 @@ void CjoinServer::ResolvePending(const std::shared_ptr<PendingQuery>& pq) {
 
 void CjoinServer::SendBytes(const std::shared_ptr<Connection>& conn,
                             std::vector<uint8_t> bytes) {
+  obs::RecordEvent(obs::EventKind::kNetFrameOut, "out",
+                   static_cast<uint32_t>(bytes.size()));
   {
     std::lock_guard<std::mutex> lk(conn->mu);
     if (conn->closed || conn->close_requested) return;

@@ -1,0 +1,349 @@
+#include "obs/flight_recorder.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <string_view>
+
+#if defined(__linux__)
+#include <pthread.h>
+#endif
+
+#include "obs/query_trace.h"
+
+namespace cjoin::obs {
+
+namespace {
+
+/// Minimal JSON string escape (labels are engine-chosen identifiers,
+/// but a torn ring slot can hold arbitrary bytes).
+std::string JsonEscape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (unsigned char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      default:
+        if (c < 0x20 || c >= 0x7f) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += static_cast<char>(c);
+        }
+    }
+  }
+  return out;
+}
+
+/// Formats steady-clock ns as Chrome-trace microseconds.
+std::string TsUs(int64_t ns) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.3f", static_cast<double>(ns) / 1e3);
+  return buf;
+}
+
+/// The args key that makes each kind's 32-bit payload self-describing.
+const char* ArgKey(EventKind kind) {
+  switch (kind) {
+    case EventKind::kStageWake:
+      return "rows";
+    case EventKind::kQueuePush:
+    case EventKind::kQueuePop:
+      return "depth";
+    case EventKind::kLap:
+      return "lap";
+    case EventKind::kNetFrameIn:
+    case EventKind::kNetFrameOut:
+      return "bytes";
+    default:
+      return "arg";
+  }
+}
+
+/// One decoded (possibly torn) event copied out of a ring.
+struct DecodedEvent {
+  int64_t ts_ns = 0;
+  EventKind kind = EventKind::kNone;
+  uint32_t arg = 0;
+  std::string label;
+};
+
+/// Race-tolerant snapshot of a ring's retained events, oldest first.
+/// Slots the owner thread is concurrently overwriting may decode to
+/// garbage; DumpChromeTrace drops anything that fails sanity checks.
+std::vector<DecodedEvent> SnapshotRing(const FlightRing& ring) {
+  const uint64_t head = ring.head.load(std::memory_order_acquire);
+  const uint64_t n = head < FlightRing::kCapacity
+                         ? head
+                         : static_cast<uint64_t>(FlightRing::kCapacity);
+  std::vector<DecodedEvent> out;
+  out.reserve(n);
+  for (uint64_t i = head - n; i < head; ++i) {
+    const FlightEvent& e = ring.events[i & (FlightRing::kCapacity - 1)];
+    DecodedEvent d;
+    d.ts_ns = e.ts_ns.load(std::memory_order_relaxed);
+    const uint64_t meta = e.meta.load(std::memory_order_relaxed);
+    d.kind = static_cast<EventKind>(meta & 0xff);
+    d.arg = static_cast<uint32_t>(meta >> 32);
+    char buf[17] = {0};
+    const uint64_t lo = e.label_lo.load(std::memory_order_relaxed);
+    const uint64_t hi = e.label_hi.load(std::memory_order_relaxed);
+    std::memcpy(buf, &lo, 8);
+    std::memcpy(buf + 8, &hi, 8);
+    d.label = buf;
+    out.push_back(std::move(d));
+  }
+  return out;
+}
+
+bool KindValid(EventKind kind) {
+  return kind > EventKind::kNone && kind <= EventKind::kWatchdogTrip;
+}
+
+}  // namespace
+
+const char* EventKindName(EventKind kind) {
+  switch (kind) {
+    case EventKind::kNone:
+      return "none";
+    case EventKind::kStageWake:
+      return "stage_wake";
+    case EventKind::kStageSleep:
+      return "stage_sleep";
+    case EventKind::kQueuePush:
+      return "queue_push";
+    case EventKind::kQueuePop:
+      return "queue_pop";
+    case EventKind::kAdmitGrant:
+      return "admit_grant";
+    case EventKind::kAdmitQueue:
+      return "admit_queue";
+    case EventKind::kAdmitShed:
+      return "admit_shed";
+    case EventKind::kRoute:
+      return "route";
+    case EventKind::kLap:
+      return "scan_lap";
+    case EventKind::kNetFrameIn:
+      return "net_frame_in";
+    case EventKind::kNetFrameOut:
+      return "net_frame_out";
+    case EventKind::kQueryDone:
+      return "query_done";
+    case EventKind::kWatchdogTrip:
+      return "watchdog_trip";
+  }
+  return "unknown";
+}
+
+namespace internal {
+
+FlightRing* AutoRegisterThread() {
+  return FlightRecorder::Global().RegisterCurrentThread("");
+}
+
+}  // namespace internal
+
+FlightRecorder& FlightRecorder::Global() {
+  static FlightRecorder* recorder = new FlightRecorder();
+  return *recorder;
+}
+
+FlightRing* FlightRecorder::RegisterCurrentThread(const std::string& name) {
+  return BindCurrentThread(name, /*set_os_name=*/!name.empty());
+}
+
+FlightRing* FlightRecorder::BindCurrentThread(const std::string& name,
+                                              bool set_os_name) {
+  FlightRing* ring = internal::t_flight_ring;
+  if (ring == nullptr) {
+    auto fresh = std::make_shared<FlightRing>();
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      fresh->tid = next_tid_++;
+      rings_.push_back(fresh);
+    }
+    ring = fresh.get();
+    internal::t_flight_ring = ring;
+  }
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    ring->name = name.empty() ? "thread-" + std::to_string(ring->tid) : name;
+  }
+#if defined(__linux__)
+  if (set_os_name) {
+    // The kernel caps comm at 15 chars + NUL.
+    char os_name[16] = {0};
+    for (size_t i = 0; i + 1 < sizeof(os_name) && i < name.size(); ++i) {
+      os_name[i] = name[i];
+    }
+    pthread_setname_np(pthread_self(), os_name);
+  }
+#else
+  (void)set_os_name;
+#endif
+  return ring;
+}
+
+void FlightRecorder::NoteQueryTrace(
+    std::shared_ptr<const QueryTrace> trace) {
+  if (trace == nullptr) return;
+  std::lock_guard<std::mutex> lk(mu_);
+  ++traces_noted_;
+  if (traces_.size() < kMaxTraces) {
+    traces_.push_back(std::move(trace));
+  } else {
+    traces_[trace_next_] = std::move(trace);
+    trace_next_ = (trace_next_ + 1) % kMaxTraces;
+  }
+}
+
+size_t FlightRecorder::ring_count() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return rings_.size();
+}
+
+std::string FlightRecorder::DumpChromeTrace() const {
+  std::vector<std::shared_ptr<FlightRing>> rings;
+  std::vector<std::shared_ptr<const QueryTrace>> traces;
+  uint64_t query_seq = 0;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    rings = rings_;
+    for (size_t i = 0; i < traces_.size(); ++i) {
+      const auto& t = traces_[(trace_next_ + i) % traces_.size()];
+      if (t != nullptr) traces.push_back(t);
+    }
+    query_seq = traces_noted_;
+  }
+
+  std::string out = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  auto emit = [&](const std::string& ev) {
+    if (!first) out += ',';
+    out += ev;
+    first = false;
+  };
+
+  emit("{\"ph\":\"M\",\"pid\":1,\"tid\":0,\"name\":\"process_name\","
+       "\"args\":{\"name\":\"cjoin\"}}");
+
+  for (const auto& ring : rings) {
+    std::string name;
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      name = ring->name;
+    }
+    const std::string tid = std::to_string(ring->tid);
+    emit("{\"ph\":\"M\",\"pid\":1,\"tid\":" + tid +
+         ",\"name\":\"thread_name\",\"args\":{\"name\":\"" +
+         JsonEscape(name) + "\"}}");
+
+    // Pair each stage wake with the next stage sleep on the same
+    // thread into a complete "X" busy slice; everything else (and any
+    // unpaired wake) renders as a thread-scoped instant.
+    bool have_wake = false;
+    DecodedEvent wake;
+    auto emit_instant = [&](const DecodedEvent& d) {
+      std::string name_field = EventKindName(d.kind);
+      if (!d.label.empty()) name_field += " " + d.label;
+      emit("{\"ph\":\"i\",\"pid\":1,\"tid\":" + tid + ",\"ts\":" +
+           TsUs(d.ts_ns) + ",\"s\":\"t\",\"name\":\"" +
+           JsonEscape(name_field) + "\",\"args\":{\"" + ArgKey(d.kind) +
+           "\":" + std::to_string(d.arg) + "}}");
+    };
+    for (const DecodedEvent& d : SnapshotRing(*ring)) {
+      if (!KindValid(d.kind) || d.ts_ns <= 0) continue;  // torn slot
+      if (d.kind == EventKind::kStageWake) {
+        if (have_wake) emit_instant(wake);
+        wake = d;
+        have_wake = true;
+        continue;
+      }
+      if (d.kind == EventKind::kStageSleep && have_wake &&
+          d.ts_ns >= wake.ts_ns) {
+        emit("{\"ph\":\"X\",\"pid\":1,\"tid\":" + tid + ",\"ts\":" +
+             TsUs(wake.ts_ns) + ",\"dur\":" +
+             TsUs(d.ts_ns - wake.ts_ns) + ",\"name\":\"" +
+             JsonEscape(wake.label.empty() ? "busy" : wake.label) +
+             "\",\"args\":{\"rows\":" + std::to_string(wake.arg) + "}}");
+        have_wake = false;
+        continue;
+      }
+      emit_instant(d);
+    }
+    if (have_wake) emit_instant(wake);
+  }
+
+  // Query lifetimes overlay the thread tracks as async events: one
+  // async track per retained trace (cat "query", unique id), the whole
+  // query as the outer b/e pair and every recorded span nested inside.
+  uint64_t id = query_seq * kMaxTraces;  // unique across dumps
+  for (const auto& trace : traces) {
+    ++id;
+    const std::string idstr = std::to_string(id);
+    const std::vector<TraceSpan> spans = trace->Spans();
+    int64_t end_ns = trace->origin_ns();
+    for (const TraceSpan& s : spans) {
+      end_ns = std::max(end_ns, std::max(s.start_ns, s.end_ns));
+    }
+    std::string qname = "query";
+    if (trace->route()[0] != '\0') {
+      qname += " [" + std::string(trace->route()) + "]";
+    }
+    emit("{\"ph\":\"b\",\"cat\":\"query\",\"id\":" + idstr +
+         ",\"pid\":1,\"tid\":0,\"ts\":" + TsUs(trace->origin_ns()) +
+         ",\"name\":\"" + JsonEscape(qname) + "\"}");
+    for (const TraceSpan& s : spans) {
+      std::string sname = SpanKindName(s.kind);
+      if (s.label[0] != '\0') sname += ":" + std::string(s.label);
+      const int64_t s_end = s.end_ns != 0 ? s.end_ns : s.start_ns;
+      emit("{\"ph\":\"b\",\"cat\":\"query\",\"id\":" + idstr +
+           ",\"pid\":1,\"tid\":0,\"ts\":" + TsUs(s.start_ns) +
+           ",\"name\":\"" + JsonEscape(sname) + "\"}");
+      emit("{\"ph\":\"e\",\"cat\":\"query\",\"id\":" + idstr +
+           ",\"pid\":1,\"tid\":0,\"ts\":" + TsUs(s_end) + ",\"name\":\"" +
+           JsonEscape(sname) + "\"}");
+    }
+    emit("{\"ph\":\"e\",\"cat\":\"query\",\"id\":" + idstr +
+         ",\"pid\":1,\"tid\":0,\"ts\":" + TsUs(end_ns) + ",\"name\":\"" +
+         JsonEscape(qname) + "\"}");
+  }
+
+  out += "]}";
+  return out;
+}
+
+bool FlightRecorder::DumpToFile(const std::string& path,
+                                std::string* error) const {
+  const std::string dump = DumpChromeTrace();
+  const std::string tmp = path + ".tmp";
+  std::FILE* f = std::fopen(tmp.c_str(), "w");
+  if (f == nullptr) {
+    if (error != nullptr) *error = "open " + tmp + " failed";
+    return false;
+  }
+  const bool wrote = std::fwrite(dump.data(), 1, dump.size(), f) ==
+                     dump.size();
+  const bool closed = std::fclose(f) == 0;
+  if (!wrote || !closed) {
+    if (error != nullptr) *error = "write " + tmp + " failed";
+    std::remove(tmp.c_str());
+    return false;
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    if (error != nullptr) *error = "rename to " + path + " failed";
+    std::remove(tmp.c_str());
+    return false;
+  }
+  return true;
+}
+
+}  // namespace cjoin::obs

@@ -1,0 +1,182 @@
+// Engine flight recorder: always-on, bounded-memory event timeline.
+//
+// Aggregate metrics (metrics.h) answer "how slow"; per-query traces
+// (query_trace.h) answer "where did THIS query wait". Neither answers
+// the production question "what was every thread doing in the 200ms
+// before the p999 spike?". The flight recorder does: every engine
+// thread owns a fixed-capacity ring of timestamped events (stage
+// wake/sleep, queue push/pop with observed depth, admission
+// grant/queue/shed, route decisions, per-shard scan lap boundaries,
+// net frames in/out), overwritten in place like an aircraft FDR, and
+// dumpable on demand as Chrome-trace-event JSON that loads directly in
+// Perfetto (ui.perfetto.dev) with named thread tracks.
+//
+// Hot-path contract (the bench_obs_overhead <2% gate covers it):
+// recording is one relaxed kill-switch load, one steady-clock read,
+// and four relaxed stores into a thread-local pre-allocated slot — no
+// locks, no allocation, no syscalls. Every event field is a relaxed
+// std::atomic so the dumper may snapshot rings while their owner
+// threads keep writing: a slot being overwritten mid-read yields one
+// garbled (but well-typed) event, never a data race. Rings of exited
+// threads stay in the registry, so a post-mortem dump still shows
+// their last seconds.
+//
+// Thread identity: RegisterCurrentThread(name) binds the calling
+// thread to a ring, names its track in the dump, and mirrors the name
+// into the OS via pthread_setname_np so external profilers agree with
+// the recorder. Threads that record without registering are
+// auto-registered as "thread-<n>".
+
+#ifndef CJOIN_OBS_FLIGHT_RECORDER_H_
+#define CJOIN_OBS_FLIGHT_RECORDER_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace cjoin::obs {
+
+class QueryTrace;
+
+enum class EventKind : uint8_t {
+  kNone = 0,
+  kStageWake,    ///< stage worker got a batch (arg = batch rows)
+  kStageSleep,   ///< stage worker about to block on its input queue
+  kQueuePush,    ///< arg = observed depth after the push
+  kQueuePop,     ///< arg = observed depth after the pop
+  kAdmitGrant,   ///< admission admitted (label = tenant)
+  kAdmitQueue,   ///< admission parked the query in the wait queue
+  kAdmitShed,    ///< admission shed (label = tenant)
+  kRoute,        ///< router decision (label = chosen route)
+  kLap,          ///< continuous scan wrapped (arg = lap number)
+  kNetFrameIn,   ///< wire frame received (arg = payload bytes)
+  kNetFrameOut,  ///< wire frame queued for send (arg = payload bytes)
+  kQueryDone,    ///< distributor delivered a query's terminal result
+  kWatchdogTrip, ///< watchdog detected a stall/saturation condition
+};
+
+const char* EventKindName(EventKind kind);
+
+/// One 32-byte recorded event. All fields are relaxed atomics so a
+/// concurrent dump is race-free; `meta` packs kind (low 8 bits) and the
+/// 32-bit argument (high 32 bits); the label is 16 raw bytes (shorter
+/// labels are NUL-padded, 16-byte labels carry no terminator).
+struct FlightEvent {
+  std::atomic<int64_t> ts_ns{0};
+  std::atomic<uint64_t> meta{0};
+  std::atomic<uint64_t> label_lo{0};
+  std::atomic<uint64_t> label_hi{0};
+};
+
+/// Per-thread event ring. Owned (via shared_ptr) by the global
+/// registry; referenced lock-free by its owner thread through TLS.
+struct FlightRing {
+  /// Events kept per thread. 4096 * 32B = 128 KiB: at a pathological
+  /// 1M events/s that is still the last ~4ms of history per thread; at
+  /// realistic per-batch rates it is seconds.
+  static constexpr size_t kCapacity = 4096;
+  static_assert((kCapacity & (kCapacity - 1)) == 0, "power of two");
+
+  /// Next write position (monotonic; slot = head % kCapacity). Written
+  /// only by the owner thread, release-published per event.
+  std::atomic<uint64_t> head{0};
+  std::array<FlightEvent, kCapacity> events{};
+  std::string name;   ///< track name in the dump
+  uint32_t tid = 0;   ///< stable virtual tid (registration order)
+};
+
+namespace internal {
+inline thread_local FlightRing* t_flight_ring = nullptr;
+/// Slow path: binds an unregistered recording thread to a fresh ring.
+FlightRing* AutoRegisterThread();
+}  // namespace internal
+
+/// Records one event into the calling thread's ring. Safe from any
+/// thread at any time; a no-op when metrics are disabled.
+inline void RecordEvent(EventKind kind, const char* label,
+                        uint32_t arg = 0) {
+  if (!MetricsEnabled()) return;
+  FlightRing* ring = internal::t_flight_ring;
+  if (ring == nullptr) ring = internal::AutoRegisterThread();
+  const uint64_t h = ring->head.load(std::memory_order_relaxed);
+  FlightEvent& e = ring->events[h & (FlightRing::kCapacity - 1)];
+  e.ts_ns.store(NowNs(), std::memory_order_relaxed);
+  uint64_t lo = 0, hi = 0;
+  if (label != nullptr && label[0] != '\0') {
+    char buf[16] = {0};
+    for (size_t i = 0; i < sizeof(buf) && label[i] != '\0'; ++i) {
+      buf[i] = label[i];
+    }
+    std::memcpy(&lo, buf, 8);
+    std::memcpy(&hi, buf + 8, 8);
+  }
+  e.label_lo.store(lo, std::memory_order_relaxed);
+  e.label_hi.store(hi, std::memory_order_relaxed);
+  e.meta.store(static_cast<uint64_t>(kind) |
+                   (static_cast<uint64_t>(arg) << 32),
+               std::memory_order_relaxed);
+  ring->head.store(h + 1, std::memory_order_release);
+}
+
+/// The process-wide recorder: ring registry + dump machinery.
+class FlightRecorder {
+ public:
+  static FlightRecorder& Global();
+
+  /// Binds the calling thread to a named ring (idempotent: re-binding
+  /// renames the existing ring) and sets the OS thread name. Returns
+  /// the ring for tests.
+  FlightRing* RegisterCurrentThread(const std::string& name);
+
+  /// Retains a completed query's span trace (bounded ring of the most
+  /// recent kMaxTraces) so DumpChromeTrace can overlay query lifetimes
+  /// as async events on the thread timeline.
+  void NoteQueryTrace(std::shared_ptr<const QueryTrace> trace);
+
+  /// Renders every ring + retained query trace as Chrome trace-event
+  /// JSON ({"traceEvents":[...]}), loadable in Perfetto. Consecutive
+  /// kStageWake/kStageSleep pairs on a thread render as complete ("X")
+  /// busy slices; other events render as thread-scoped instants;
+  /// query-trace spans render as async ("b"/"e") events, one async
+  /// track per query.
+  std::string DumpChromeTrace() const;
+
+  /// DumpChromeTrace to `path` via a temp file + atomic rename, so a
+  /// concurrent reader never sees a torn dump. Returns false (with the
+  /// OS error in *error if non-null) on I/O failure.
+  bool DumpToFile(const std::string& path,
+                  std::string* error = nullptr) const;
+
+  /// Number of registered rings (tests / introspection).
+  size_t ring_count() const;
+
+  static constexpr size_t kMaxTraces = 64;
+
+ private:
+  friend FlightRing* internal::AutoRegisterThread();
+
+  FlightRing* BindCurrentThread(const std::string& name, bool set_os_name);
+
+  mutable std::mutex mu_;
+  std::vector<std::shared_ptr<FlightRing>> rings_;
+  uint32_t next_tid_ = 1;
+  std::vector<std::shared_ptr<const QueryTrace>> traces_;  // ring
+  size_t trace_next_ = 0;
+  uint64_t traces_noted_ = 0;
+};
+
+/// Convenience wrapper: FlightRecorder::Global().RegisterCurrentThread.
+inline void RegisterThread(const std::string& name) {
+  FlightRecorder::Global().RegisterCurrentThread(name);
+}
+
+}  // namespace cjoin::obs
+
+#endif  // CJOIN_OBS_FLIGHT_RECORDER_H_

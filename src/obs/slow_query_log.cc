@@ -1,0 +1,62 @@
+#include "obs/slow_query_log.h"
+
+#include <cstdio>
+
+#include "obs/metrics.h"
+#include "obs/query_trace.h"
+
+namespace cjoin::obs {
+
+void SlowQueryLog::Record(int64_t latency_ns, const QueryTrace& trace) {
+  Entry e;
+  e.latency_ns = latency_ns;
+  e.route = trace.route();
+  e.tenant = trace.tenant();
+  e.trace_json = trace.ToJson();
+  e.rendered = trace.Render();
+  MetricsRegistry::Global()
+      .GetCounter("slow_queries_total",
+                  "Completed queries at or above slow_query_threshold")
+      ->Add();
+  std::lock_guard<std::mutex> lk(mu_);
+  ++total_;
+  entries_.push_front(std::move(e));
+  while (entries_.size() > capacity_) entries_.pop_back();
+}
+
+std::vector<SlowQueryLog::Entry> SlowQueryLog::Entries() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return {entries_.begin(), entries_.end()};
+}
+
+std::string SlowQueryLog::ToJson() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  std::string out = "[";
+  bool first = true;
+  for (const Entry& e : entries_) {
+    if (!first) out += ',';
+    first = false;
+    char head[96];
+    std::snprintf(head, sizeof(head), "{\"latency_ms\":%.3f,",
+                  static_cast<double>(e.latency_ns) / 1e6);
+    out += head;
+    // route/tenant are engine-validated identifiers; trace_json is
+    // already a JSON object.
+    out += "\"route\":\"" + e.route + "\",\"tenant\":\"" + e.tenant +
+           "\",\"trace\":" + e.trace_json + "}";
+  }
+  out += "]";
+  return out;
+}
+
+uint64_t SlowQueryLog::total_captured() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return total_;
+}
+
+void SlowQueryLog::Clear() {
+  std::lock_guard<std::mutex> lk(mu_);
+  entries_.clear();
+}
+
+}  // namespace cjoin::obs

@@ -1,0 +1,61 @@
+// Bounded ring of the slowest queries' full span traces.
+//
+// Percentile histograms say p999 regressed; the slow-query log keeps
+// the evidence: any completed query whose end-to-end latency crosses
+// the engine's slow_query_threshold has its QueryTrace captured here —
+// both the JSON form (server STATS, trace dumps) and the human
+// rendering (shell `\slowlog`). The ring is fixed-capacity (oldest
+// entries are evicted), so it is safe to leave enabled in production.
+
+#ifndef CJOIN_OBS_SLOW_QUERY_LOG_H_
+#define CJOIN_OBS_SLOW_QUERY_LOG_H_
+
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace cjoin::obs {
+
+class QueryTrace;
+
+class SlowQueryLog {
+ public:
+  struct Entry {
+    int64_t latency_ns = 0;
+    std::string route;
+    std::string tenant;
+    std::string trace_json;  ///< QueryTrace::ToJson at capture time
+    std::string rendered;    ///< QueryTrace::Render at capture time
+  };
+
+  explicit SlowQueryLog(size_t capacity = 32) : capacity_(capacity) {}
+
+  /// Captures one over-threshold completion. Cheap relative to a slow
+  /// query by definition (renders once, under a mutex the hot path
+  /// never touches), and increments `slow_queries_total`.
+  void Record(int64_t latency_ns, const QueryTrace& trace);
+
+  /// Most recent first.
+  std::vector<Entry> Entries() const;
+
+  /// JSON array of entries (most recent first):
+  ///   [{"latency_ms":12.3,"route":"cjoin","tenant":"t","trace":{...}}]
+  std::string ToJson() const;
+
+  /// Total captures since construction (evictions included).
+  uint64_t total_captured() const;
+
+  void Clear();
+
+ private:
+  const size_t capacity_;
+  mutable std::mutex mu_;
+  std::deque<Entry> entries_;  ///< newest at front
+  uint64_t total_ = 0;
+};
+
+}  // namespace cjoin::obs
+
+#endif  // CJOIN_OBS_SLOW_QUERY_LOG_H_

@@ -1,0 +1,145 @@
+#include "obs/watchdog.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "obs/flight_recorder.h"
+#include "obs/metrics.h"
+
+namespace cjoin::obs {
+
+Watchdog::Watchdog(Options opts) : opts_(std::move(opts)) {}
+
+Watchdog::~Watchdog() { Stop(); }
+
+uint64_t Watchdog::AddSampler(Sampler sampler) {
+  std::lock_guard<std::mutex> lk(mu_);
+  const uint64_t token = next_token_++;
+  samplers_.emplace_back(token, std::move(sampler));
+  return token;
+}
+
+void Watchdog::RemoveSampler(uint64_t token) {
+  std::lock_guard<std::mutex> lk(mu_);
+  for (auto it = samplers_.begin(); it != samplers_.end(); ++it) {
+    if (it->first == token) {
+      samplers_.erase(it);
+      return;
+    }
+  }
+}
+
+void Watchdog::Start() {
+  if (running_.exchange(true)) return;
+  stop_.store(false, std::memory_order_relaxed);
+  thread_ = std::thread([this] { Run(); });
+}
+
+void Watchdog::Stop() {
+  if (!running_.exchange(false)) return;
+  stop_.store(true, std::memory_order_relaxed);
+  if (thread_.joinable()) thread_.join();
+}
+
+void Watchdog::Run() {
+  RegisterThread("watchdog");
+  while (!stop_.load(std::memory_order_relaxed)) {
+    Poll();
+    // Sliced sleep so Stop() is responsive at long intervals.
+    auto remaining = opts_.interval;
+    while (remaining.count() > 0 && !stop_.load(std::memory_order_relaxed)) {
+      const auto slice =
+          std::min(remaining, std::chrono::milliseconds(20));
+      std::this_thread::sleep_for(slice);
+      remaining -= slice;
+    }
+  }
+}
+
+void Watchdog::Trip(const char* reason, const std::string& source) {
+  trips_.fetch_add(1, std::memory_order_relaxed);
+  MetricsRegistry::Global()
+      .GetCounter("watchdog_trips",
+                  "Watchdog detections by reason",
+                  "reason=\"" + std::string(reason) + "\"")
+      ->Add();
+  RecordEvent(EventKind::kWatchdogTrip, source.c_str());
+  std::fprintf(stderr, "[cjoin watchdog] %s: %s\n", reason,
+               source.c_str());
+}
+
+uint64_t Watchdog::Poll() {
+  std::lock_guard<std::mutex> lk(mu_);
+  std::vector<StageSample> stages;
+  std::vector<QueueSample> queues;
+  for (const auto& [token, sampler] : samplers_) {
+    (void)token;
+    sampler(stages, queues);
+  }
+  const int64_t now = NowNs();
+  const int64_t stall_ns =
+      std::chrono::nanoseconds(opts_.stall_after).count();
+  uint64_t new_trips = 0;
+
+  for (const StageSample& s : stages) {
+    StageState& st = stages_[s.name];
+    if (st.last_progress_ns == 0 || s.progress != st.last_progress ||
+        s.backlog == 0) {
+      // Progress moved (or nothing is queued): re-arm.
+      st.last_progress = s.progress;
+      st.last_progress_ns = now;
+      st.stall_tripped = false;
+    } else if (!st.stall_tripped && now - st.last_progress_ns >= stall_ns) {
+      st.stall_tripped = true;
+      Trip("stalled_stage", s.name);
+      ++new_trips;
+    }
+    // Deadline risk: queued work whose earliest deadline lands inside
+    // the stall window will miss unless it drains immediately.
+    if (s.min_deadline_ns != 0 && s.backlog > 0 &&
+        s.min_deadline_ns - now < stall_ns) {
+      if (!st.deadline_tripped) {
+        st.deadline_tripped = true;
+        Trip("deadline_backlog", s.name);
+        ++new_trips;
+      }
+    } else {
+      st.deadline_tripped = false;
+    }
+  }
+
+  for (const QueueSample& q : queues) {
+    QueueState& qs = queues_[q.name];
+    const bool hot =
+        q.capacity > 0 &&
+        static_cast<double>(q.depth) >=
+            opts_.saturation_fraction * static_cast<double>(q.capacity);
+    if (!hot) {
+      qs.hot_samples = 0;
+      qs.tripped = false;
+      continue;
+    }
+    if (++qs.hot_samples >= opts_.saturation_periods && !qs.tripped) {
+      qs.tripped = true;
+      Trip("saturated_queue", q.name);
+      ++new_trips;
+    }
+  }
+
+  if (new_trips > 0 && !opts_.dump_path.empty() &&
+      now - last_dump_ns_ >=
+          std::chrono::nanoseconds(opts_.dump_min_gap).count()) {
+    last_dump_ns_ = now;
+    std::string error;
+    if (!FlightRecorder::Global().DumpToFile(opts_.dump_path, &error)) {
+      std::fprintf(stderr, "[cjoin watchdog] trace dump failed: %s\n",
+                   error.c_str());
+    } else {
+      std::fprintf(stderr, "[cjoin watchdog] flight recorder dumped to %s\n",
+                   opts_.dump_path.c_str());
+    }
+  }
+  return new_trips;
+}
+
+}  // namespace cjoin::obs

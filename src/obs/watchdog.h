@@ -1,0 +1,133 @@
+// Stall watchdog: a background sampler over the pipeline's progress
+// counters and queue depths.
+//
+// The flight recorder answers "what happened" after the fact; the
+// watchdog decides *when* that evidence must be preserved. Every
+// `interval` it runs the registered samplers (closures the engine
+// wires over its operator/admission stats — the watchdog itself knows
+// nothing about CJOIN) and applies three rules:
+//
+//   stalled_stage     — a stage reports outstanding work (backlog > 0)
+//                       but its progress counter has not moved for
+//                       `stall_after`;
+//   saturated_queue   — a queue sits at >= `saturation_fraction` of
+//                       capacity for `saturation_periods` consecutive
+//                       samples;
+//   deadline_backlog  — queued work carries a deadline that expires
+//                       within the stall window (it will miss unless
+//                       something drains right now).
+//
+// Each rule trips at most once per incident (re-arming when the
+// condition clears), increments `watchdog_trips{reason=...}`, records
+// a kWatchdogTrip flight event, and — when a dump path is configured —
+// auto-dumps the flight recorder so the timeline leading into the
+// stall is preserved before the ring overwrites it.
+
+#ifndef CJOIN_OBS_WATCHDOG_H_
+#define CJOIN_OBS_WATCHDOG_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace cjoin::obs {
+
+class Watchdog {
+ public:
+  /// One monitored progress source (a pipeline stage, a scan, an
+  /// admission queue): `progress` must be monotonic while work is
+  /// being done; `backlog` > 0 means work is outstanding, so a frozen
+  /// progress counter is a stall rather than idleness. A nonzero
+  /// `min_deadline_ns` is the earliest deadline among the queued work.
+  struct StageSample {
+    std::string name;
+    uint64_t progress = 0;
+    uint64_t backlog = 0;
+    int64_t min_deadline_ns = 0;
+  };
+
+  struct QueueSample {
+    std::string name;
+    size_t depth = 0;
+    size_t capacity = 0;
+  };
+
+  /// Fills the two vectors with the current samples. Runs on the
+  /// watchdog thread; must not block on pipeline locks held across
+  /// tuple processing (the engine's stats accessors already satisfy
+  /// this).
+  using Sampler = std::function<void(std::vector<StageSample>&,
+                                     std::vector<QueueSample>&)>;
+
+  struct Options {
+    std::chrono::milliseconds interval{100};
+    std::chrono::milliseconds stall_after{2000};
+    double saturation_fraction = 0.95;
+    int saturation_periods = 3;
+    /// Auto-dump target for the flight recorder; empty disables dumps
+    /// (trips still count and record events).
+    std::string dump_path;
+    /// Floor between consecutive auto-dumps, so a flapping condition
+    /// cannot turn the watchdog into an I/O load.
+    std::chrono::milliseconds dump_min_gap{5000};
+  };
+
+  explicit Watchdog(Options opts);
+  ~Watchdog();
+
+  Watchdog(const Watchdog&) = delete;
+  Watchdog& operator=(const Watchdog&) = delete;
+
+  /// Registers a sampler; returns a token for RemoveSampler.
+  uint64_t AddSampler(Sampler sampler);
+  void RemoveSampler(uint64_t token);
+
+  void Start();
+  void Stop();
+
+  /// Runs one sampling pass synchronously and returns the number of
+  /// NEW trips it raised. The background thread calls exactly this;
+  /// tests call it directly for determinism.
+  uint64_t Poll();
+
+  uint64_t trips() const { return trips_.load(std::memory_order_relaxed); }
+
+ private:
+  void Run();
+  void Trip(const char* reason, const std::string& source);
+
+  /// Per-source stall bookkeeping.
+  struct StageState {
+    uint64_t last_progress = 0;
+    int64_t last_progress_ns = 0;
+    bool stall_tripped = false;
+    bool deadline_tripped = false;
+  };
+  struct QueueState {
+    int hot_samples = 0;
+    bool tripped = false;
+  };
+
+  const Options opts_;
+  std::atomic<uint64_t> trips_{0};
+  std::atomic<bool> stop_{false};
+  std::atomic<bool> running_{false};
+  std::thread thread_;
+
+  std::mutex mu_;  ///< samplers + rule state (Poll is serialized)
+  std::vector<std::pair<uint64_t, Sampler>> samplers_;
+  uint64_t next_token_ = 1;
+  std::map<std::string, StageState> stages_;
+  std::map<std::string, QueueState> queues_;
+  int64_t last_dump_ns_ = 0;
+};
+
+}  // namespace cjoin::obs
+
+#endif  // CJOIN_OBS_WATCHDOG_H_

@@ -13,8 +13,11 @@
 #include <gtest/gtest.h>
 
 #include "engine/query_engine.h"
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
 #include "obs/query_trace.h"
+#include "obs/slow_query_log.h"
+#include "obs/watchdog.h"
 #include "tests/test_util.h"
 
 namespace cjoin {
@@ -335,6 +338,271 @@ TEST(RegistryTest, EngineRecordsPerRouteLatency) {
   ASSERT_TRUE((*ticket)->Wait().ok());
 
   EXPECT_GT(cjoin_lat->Count(), before);
+}
+
+// --------------------------- Flight recorder ---------------------------------
+
+// Structural JSON check (no parser dependency): every brace/bracket
+// balances outside of strings and strings terminate. A Chrome trace
+// that passes this loads in Perfetto barring semantic issues the
+// substring assertions cover.
+bool JsonBalanced(const std::string& text) {
+  std::vector<char> stack;
+  bool in_string = false;
+  for (size_t i = 0; i < text.size(); ++i) {
+    const char c = text[i];
+    if (in_string) {
+      if (c == '\\') {
+        ++i;  // skip the escaped char
+      } else if (c == '"') {
+        in_string = false;
+      }
+      continue;
+    }
+    switch (c) {
+      case '"':
+        in_string = true;
+        break;
+      case '{':
+      case '[':
+        stack.push_back(c);
+        break;
+      case '}':
+        if (stack.empty() || stack.back() != '{') return false;
+        stack.pop_back();
+        break;
+      case ']':
+        if (stack.empty() || stack.back() != '[') return false;
+        stack.pop_back();
+        break;
+      default:
+        break;
+    }
+  }
+  return !in_string && stack.empty();
+}
+
+TEST(FlightRecorderTest, RingWrapsWithoutGrowing) {
+  obs::SetMetricsEnabled(true);
+  obs::FlightRing* ring =
+      obs::FlightRecorder::Global().RegisterCurrentThread("wrap-test");
+  ASSERT_NE(ring, nullptr);
+  const uint64_t start = ring->head.load();
+
+  const size_t n = obs::FlightRing::kCapacity + 257;
+  for (size_t i = 0; i < n; ++i) {
+    obs::RecordEvent(obs::EventKind::kLap, "wrap",
+                     static_cast<uint32_t>(i));
+  }
+  // Head is monotonic past capacity; storage stays the fixed array.
+  EXPECT_EQ(ring->head.load(), start + n);
+
+  // Every live slot was overwritten by this loop: args must all be from
+  // the final kCapacity writes.
+  for (const obs::FlightEvent& e : ring->events) {
+    const uint64_t meta = e.meta.load();
+    ASSERT_EQ(static_cast<obs::EventKind>(meta & 0xff),
+              obs::EventKind::kLap);
+    EXPECT_GE(meta >> 32, n - obs::FlightRing::kCapacity);
+  }
+}
+
+TEST(FlightRecorderTest, MultithreadedEventsStayOrderedPerThread) {
+  obs::SetMetricsEnabled(true);
+  constexpr int kThreads = 4;
+  constexpr uint32_t kEvents = 1000;
+  std::vector<obs::FlightRing*> rings(kThreads, nullptr);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([t, &rings] {
+      rings[t] = obs::FlightRecorder::Global().RegisterCurrentThread(
+          "mt" + std::to_string(t));
+      for (uint32_t i = 0; i < kEvents; ++i) {
+        obs::RecordEvent(obs::EventKind::kQueuePush, "mt", i);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+
+  // Each thread got its own ring; within a ring the slots written by
+  // the loop are in program order: args increase, timestamps never go
+  // backwards.
+  for (int t = 0; t < kThreads; ++t) {
+    ASSERT_NE(rings[t], nullptr);
+    ASSERT_EQ(rings[t]->head.load(), kEvents);
+    int64_t prev_ts = 0;
+    for (uint32_t i = 0; i < kEvents; ++i) {
+      const obs::FlightEvent& e = rings[t]->events[i];
+      EXPECT_EQ(e.meta.load() >> 32, i);
+      EXPECT_GE(e.ts_ns.load(), prev_ts);
+      prev_ts = e.ts_ns.load();
+    }
+    for (int u = t + 1; u < kThreads; ++u) {
+      EXPECT_NE(rings[t], rings[u]);
+    }
+  }
+
+  // The dump names every thread's track.
+  const std::string json = obs::FlightRecorder::Global().DumpChromeTrace();
+  for (int t = 0; t < kThreads; ++t) {
+    EXPECT_NE(json.find("mt" + std::to_string(t)), std::string::npos);
+  }
+}
+
+TEST(FlightRecorderTest, DumpIsValidChromeTraceJson) {
+  obs::SetMetricsEnabled(true);
+  obs::FlightRecorder::Global().RegisterCurrentThread("dump-test");
+  // A wake/sleep pair (renders as one complete "X" slice), an instant,
+  // and a retained query trace (renders as async "b"/"e" events).
+  const int64_t t0 = obs::NowNs();
+  obs::RecordEvent(obs::EventKind::kStageWake, "stage0", 128);
+  obs::RecordEvent(obs::EventKind::kStageSleep, "stage0");
+  obs::RecordEvent(obs::EventKind::kRoute, "cjoin");
+  auto trace = std::make_shared<obs::QueryTrace>();
+  trace->set_route("cjoin");
+  trace->AddSpan(SpanKind::kStage, "pre", t0, t0 + 1000000);
+  obs::FlightRecorder::Global().NoteQueryTrace(trace);
+
+  const std::string json = obs::FlightRecorder::Global().DumpChromeTrace();
+  EXPECT_TRUE(JsonBalanced(json)) << json.substr(0, 400);
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"thread_name\""), std::string::npos);
+  EXPECT_NE(json.find("dump-test"), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);  // busy slice
+  EXPECT_NE(json.find("\"ph\":\"i\""), std::string::npos);  // instant
+  // Async query spans come in balanced begin/end pairs.
+  size_t begins = 0, ends = 0, pos = 0;
+  while ((pos = json.find("\"ph\":\"b\"", pos)) != std::string::npos) {
+    ++begins;
+    pos += 8;
+  }
+  pos = 0;
+  while ((pos = json.find("\"ph\":\"e\"", pos)) != std::string::npos) {
+    ++ends;
+    pos += 8;
+  }
+  EXPECT_GT(begins, 0u);
+  EXPECT_EQ(begins, ends);
+}
+
+// ------------------------------ Watchdog -------------------------------------
+
+TEST(WatchdogTest, TripsOnStalledStageAndRearms) {
+  obs::Watchdog::Options opts;
+  opts.stall_after = std::chrono::milliseconds(0);
+  obs::Watchdog dog(opts);
+  uint64_t progress = 10;
+  uint64_t backlog = 1;
+  dog.AddSampler([&](std::vector<obs::Watchdog::StageSample>& stages,
+                     std::vector<obs::Watchdog::QueueSample>&) {
+    stages.push_back({"teststage", progress, backlog, 0});
+  });
+
+  EXPECT_EQ(dog.Poll(), 0u);  // first sighting arms the timer
+  EXPECT_EQ(dog.Poll(), 1u);  // frozen progress + backlog => stall
+  EXPECT_EQ(dog.Poll(), 0u);  // one trip per incident
+  EXPECT_EQ(dog.trips(), 1u);
+
+  progress += 5;              // progress resumes: re-arm
+  EXPECT_EQ(dog.Poll(), 0u);
+  EXPECT_EQ(dog.Poll(), 1u);  // frozen again => second incident
+  EXPECT_EQ(dog.trips(), 2u);
+
+  backlog = 0;                // idle, not stalled: never trips
+  EXPECT_EQ(dog.Poll(), 0u);
+  EXPECT_EQ(dog.Poll(), 0u);
+}
+
+TEST(WatchdogTest, TripsOnSaturatedQueueAfterConsecutiveSamples) {
+  obs::Watchdog::Options opts;
+  opts.saturation_fraction = 0.9;
+  opts.saturation_periods = 3;
+  obs::Watchdog dog(opts);
+  size_t depth = 16;
+  dog.AddSampler([&](std::vector<obs::Watchdog::StageSample>&,
+                     std::vector<obs::Watchdog::QueueSample>& queues) {
+    queues.push_back({"testq", depth, 16});
+  });
+
+  EXPECT_EQ(dog.Poll(), 0u);
+  EXPECT_EQ(dog.Poll(), 0u);
+  EXPECT_EQ(dog.Poll(), 1u);  // third consecutive hot sample
+  EXPECT_EQ(dog.Poll(), 0u);  // still hot: already tripped
+
+  depth = 1;                  // drains: re-arm
+  EXPECT_EQ(dog.Poll(), 0u);
+  depth = 16;
+  EXPECT_EQ(dog.Poll(), 0u);  // hot streak restarts from 1
+  EXPECT_EQ(dog.Poll(), 0u);
+  EXPECT_EQ(dog.Poll(), 1u);
+}
+
+TEST(WatchdogTest, TripsOnImminentDeadline) {
+  obs::Watchdog::Options opts;
+  opts.stall_after = std::chrono::milliseconds(60000);
+  obs::Watchdog dog(opts);
+  uint64_t poll_count = 0;
+  dog.AddSampler([&](std::vector<obs::Watchdog::StageSample>& stages,
+                     std::vector<obs::Watchdog::QueueSample>&) {
+    // Progress advances every poll (no stall); the earliest queued
+    // deadline sits well inside the 60s stall window.
+    stages.push_back(
+        {"admq", ++poll_count, 3, obs::NowNs() + 1000000});
+  });
+  EXPECT_EQ(dog.Poll(), 1u);  // deadline_backlog
+  EXPECT_EQ(dog.Poll(), 0u);  // once per incident
+}
+
+// ----------------------------- Slow-query log --------------------------------
+
+TEST(SlowQueryLogTest, CapturesAboveThresholdOnly) {
+  obs::SetMetricsEnabled(true);
+  auto ts = MakeTinyStar(500);
+  QueryEngine::Options eopts;
+  eopts.slow_query_threshold = std::chrono::hours(1);  // nothing qualifies
+  QueryEngine engine(eopts);
+  ASSERT_TRUE(engine.RegisterStar("tiny", *ts->star).ok());
+
+  QueryRequest req =
+      QueryRequest::Sql("tiny", "SELECT COUNT(*) AS n FROM sales");
+  auto ticket = engine.Execute(std::move(req));
+  ASSERT_TRUE(ticket.ok());
+  ASSERT_TRUE((*ticket)->Wait().ok());
+  EXPECT_EQ(engine.slow_query_log().total_captured(), 0u);
+
+  // Lower the bar at runtime: every completion is now "slow".
+  engine.set_slow_query_threshold(std::chrono::nanoseconds(1));
+  QueryRequest req2 =
+      QueryRequest::Sql("tiny", "SELECT COUNT(*) AS n FROM sales");
+  auto ticket2 = engine.Execute(std::move(req2));
+  ASSERT_TRUE(ticket2.ok());
+  ASSERT_TRUE((*ticket2)->Wait().ok());
+
+  ASSERT_GE(engine.slow_query_log().total_captured(), 1u);
+  const auto entries = engine.slow_query_log().Entries();
+  ASSERT_FALSE(entries.empty());
+  EXPECT_GT(entries[0].latency_ns, 0);
+  EXPECT_FALSE(entries[0].route.empty());
+  EXPECT_FALSE(entries[0].trace_json.empty());
+  EXPECT_FALSE(entries[0].rendered.empty());
+  EXPECT_TRUE(JsonBalanced(engine.slow_query_log().ToJson()));
+}
+
+TEST(SlowQueryLogTest, BoundedEvictionNewestFirst) {
+  obs::SlowQueryLog log(2);
+  for (int i = 1; i <= 5; ++i) {
+    obs::QueryTrace trace;
+    trace.set_route("cjoin");
+    log.Record(i * 1000, trace);
+  }
+  EXPECT_EQ(log.total_captured(), 5u);
+  const auto entries = log.Entries();
+  ASSERT_EQ(entries.size(), 2u);  // capacity caps retention
+  EXPECT_EQ(entries[0].latency_ns, 5000);  // newest first
+  EXPECT_EQ(entries[1].latency_ns, 4000);
+  log.Clear();
+  EXPECT_TRUE(log.Entries().empty());
+  EXPECT_EQ(log.total_captured(), 5u);  // lifetime count survives Clear
 }
 
 }  // namespace

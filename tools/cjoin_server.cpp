@@ -17,6 +17,9 @@
 // With --port 0 the kernel picks an ephemeral port; the chosen port is
 // printed as "listening on HOST:PORT" (scripts and CI parse this line).
 
+#include <algorithm>
+#include <atomic>
+#include <chrono>
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
@@ -26,6 +29,7 @@
 
 #include "engine/query_engine.h"
 #include "net/server.h"
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
 #include "ssb/generator.h"
 #include "storage/table_file.h"
@@ -80,9 +84,25 @@ int Usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--sf F | --data DIR] [--host H] [--port P] "
                "[--shards N] [--workers N] [--drain-ms MS] "
-               "[--metrics-dump PATH|-]\n",
+               "[--metrics-dump PATH|-] [--metrics-interval SEC] "
+               "[--trace-out PATH] [--slow-ms MS]\n",
                argv0);
   return 2;
+}
+
+/// One Prometheus scrape to `path`, written atomically (tmp + rename) so
+/// a concurrent reader never sees a torn file.
+bool WriteMetricsFile(QueryEngine& engine, const std::string& path) {
+  const std::string text = engine.metrics().RenderPrometheus();
+  const std::string tmp = path + ".tmp";
+  std::FILE* f = std::fopen(tmp.c_str(), "w");
+  if (f == nullptr) return false;
+  const bool ok = std::fwrite(text.data(), 1, text.size(), f) == text.size();
+  if (std::fclose(f) != 0 || !ok || std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return false;
+  }
+  return true;
 }
 
 }  // namespace
@@ -94,6 +114,9 @@ int main(int argc, char** argv) {
   size_t shards = 1;
   int drain_ms = 10000;
   std::string metrics_dump;  // "-" = stdout
+  int metrics_interval_sec = 0;  // 0 = final dump only
+  std::string trace_out;
+  int slow_ms = 0;  // 0 = slow-query log off
 
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--sf") == 0 && i + 1 < argc) {
@@ -112,6 +135,13 @@ int main(int argc, char** argv) {
       drain_ms = std::atoi(argv[++i]);
     } else if (std::strcmp(argv[i], "--metrics-dump") == 0 && i + 1 < argc) {
       metrics_dump = argv[++i];
+    } else if (std::strcmp(argv[i], "--metrics-interval") == 0 &&
+               i + 1 < argc) {
+      metrics_interval_sec = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--trace-out") == 0 && i + 1 < argc) {
+      trace_out = argv[++i];
+    } else if (std::strcmp(argv[i], "--slow-ms") == 0 && i + 1 < argc) {
+      slow_ms = std::atoi(argv[++i]);
     } else {
       return Usage(argv[0]);
     }
@@ -149,6 +179,14 @@ int main(int argc, char** argv) {
 
   QueryEngine::Options eopts;
   eopts.cjoin_shards = shards;
+  if (slow_ms > 0) {
+    eopts.slow_query_threshold = std::chrono::milliseconds(slow_ms);
+  }
+  // The serving front-end always runs the stall watchdog; with a trace
+  // path configured, a trip auto-dumps the timeline before the ring
+  // overwrites the evidence.
+  eopts.watchdog_enabled = true;
+  if (!trace_out.empty()) eopts.watchdog.dump_path = trace_out;
   QueryEngine engine(eopts);
   if (Status st = engine.RegisterStar("ssb", std::move(*star)); !st.ok()) {
     std::fprintf(stderr, "%s\n", st.ToString().c_str());
@@ -168,8 +206,18 @@ int main(int argc, char** argv) {
   ::sigaction(SIGINT, &sa, nullptr);
   ::sigaction(SIGTERM, &sa, nullptr);
 
+  // Periodic Prometheus scrapes while serving (--metrics-interval, to the
+  // --metrics-dump path). The final post-drain dump still runs below.
+  const bool periodic_metrics = metrics_interval_sec > 0 &&
+                                !metrics_dump.empty() && metrics_dump != "-";
+  auto next_scrape = std::chrono::steady_clock::now() +
+                     std::chrono::seconds(std::max(metrics_interval_sec, 1));
   while (g_signal.load() == 0) {
     std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    if (periodic_metrics && std::chrono::steady_clock::now() >= next_scrape) {
+      WriteMetricsFile(engine, metrics_dump);
+      next_scrape += std::chrono::seconds(metrics_interval_sec);
+    }
   }
 
   // Graceful drain: shed new submissions, let in-flight queries complete
@@ -195,20 +243,26 @@ int main(int argc, char** argv) {
   // Final Prometheus exposition of the whole run ("-" = stdout). Written
   // after the drain so the dump reflects every completed query.
   if (!metrics_dump.empty()) {
-    const std::string text = engine.metrics().RenderPrometheus();
     if (metrics_dump == "-") {
-      std::fputs(text.c_str(), stdout);
+      std::fputs(engine.metrics().RenderPrometheus().c_str(), stdout);
+    } else if (!WriteMetricsFile(engine, metrics_dump)) {
+      std::fprintf(stderr, "metrics-dump: cannot write %s\n",
+                   metrics_dump.c_str());
+      return 1;
     } else {
-      std::FILE* f = std::fopen(metrics_dump.c_str(), "w");
-      if (f == nullptr) {
-        std::fprintf(stderr, "metrics-dump: cannot open %s\n",
-                     metrics_dump.c_str());
-        return 1;
-      }
-      std::fputs(text.c_str(), f);
-      std::fclose(f);
       std::printf("metrics written to %s\n", metrics_dump.c_str());
     }
+  }
+
+  // Flight-recorder dump of the whole run: thread timelines plus the
+  // retained query traces, loadable in Perfetto / chrome://tracing.
+  if (!trace_out.empty()) {
+    std::string err;
+    if (!obs::FlightRecorder::Global().DumpToFile(trace_out, &err)) {
+      std::fprintf(stderr, "trace-out: %s\n", err.c_str());
+      return 1;
+    }
+    std::printf("trace written to %s\n", trace_out.c_str());
   }
   return 0;
 }

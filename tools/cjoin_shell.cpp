@@ -246,7 +246,8 @@ int main(int argc, char** argv) {
       "with static AND calibrated costs), \\stats shows per-shard "
       "pipeline stats, \\metrics dumps the engine metrics registry "
       "(Prometheus text), \\trace shows the last query's span trace, "
-      "\\q quits.\n");
+      "\\slowlog [MS] shows the slow-query log or sets its capture "
+      "threshold, \\q quits.\n");
   RoutePolicy policy = RoutePolicy::kAuto;
   std::string tenant;  // empty = the "default" tenant
   std::shared_ptr<obs::QueryTrace> last_trace;  // for \trace
@@ -385,6 +386,42 @@ int main(int argc, char** argv) {
       if (line == "\\metrics") {
         std::fputs(obs::MetricsRegistry::Global().RenderPrometheus().c_str(),
                    stdout);
+        continue;
+      }
+      if (const char* arg = MatchPrefix(line, "\\SLOWLOG")) {
+        if (*arg != '\0') {
+          // \slowlog <ms>: (re)arm the threshold; 0 disables capture.
+          char* end = nullptr;
+          const double ms = std::strtod(arg, &end);
+          if (end == arg || *end != '\0' || ms < 0) {
+            std::printf("usage: \\slowlog [THRESHOLD_MS]\n");
+            continue;
+          }
+          engine.set_slow_query_threshold(
+              std::chrono::nanoseconds(static_cast<int64_t>(ms * 1e6)));
+          std::printf("slow-query threshold: %g ms%s\n", ms,
+                      ms == 0 ? " (capture disabled)" : "");
+          continue;
+        }
+        const int64_t thresh = engine.slow_query_threshold().count();
+        const auto entries = engine.slow_query_log().Entries();
+        std::printf("slow-query log: threshold %g ms | %llu captured | "
+                    "%zu retained\n",
+                    static_cast<double>(thresh) * 1e-6,
+                    static_cast<unsigned long long>(
+                        engine.slow_query_log().total_captured()),
+                    entries.size());
+        if (thresh == 0) {
+          std::printf("(capture disabled — set with \\slowlog <ms>)\n");
+        }
+        for (size_t i = 0; i < entries.size(); ++i) {
+          const auto& e = entries[i];
+          std::printf("#%zu  %.1f ms  route=%s  tenant=%s\n%s", i,
+                      static_cast<double>(e.latency_ns) * 1e-6,
+                      e.route.c_str(),
+                      e.tenant.empty() ? "default" : e.tenant.c_str(),
+                      e.rendered.c_str());
+        }
         continue;
       }
       if (line == "\\trace") {

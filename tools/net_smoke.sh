@@ -15,6 +15,7 @@ BUILD="${1:-build}"
 SERVER="$BUILD/cjoin_server"
 CLIENT="$BUILD/cjoin_client"
 LOG="$(mktemp -t cjoin_server.XXXXXX.log)"
+TRACE="${TRACE_OUT:-$BUILD/trace.json}"
 
 fail() {
   echo "SMOKE FAIL: $*" >&2
@@ -26,7 +27,8 @@ fail() {
 [ -x "$SERVER" ] || fail "$SERVER not built"
 [ -x "$CLIENT" ] || fail "$CLIENT not built"
 
-"$SERVER" --sf 0.005 --port 0 >"$LOG" 2>&1 &
+rm -f "$TRACE"
+"$SERVER" --sf 0.005 --port 0 --trace-out "$TRACE" --slow-ms 0 >"$LOG" 2>&1 &
 SERVER_PID=$!
 trap 'kill "$SERVER_PID" 2>/dev/null; wait "$SERVER_PID" 2>/dev/null' EXIT
 
@@ -80,5 +82,12 @@ wait "$SERVER_PID"
 RC=$?
 trap - EXIT
 [ "$RC" -eq 0 ] || fail "server exited with status $RC"
+
+# The drain path writes the flight-recorder timeline; it must be valid
+# JSON (loadable in Perfetto / chrome://tracing).
+[ -s "$TRACE" ] || fail "server did not write trace to $TRACE"
+python3 -m json.tool "$TRACE" >/dev/null 2>&1 || fail "trace $TRACE is not valid JSON"
+grep -q '"traceEvents"' "$TRACE" || fail "trace $TRACE missing traceEvents"
+echo "trace OK: $TRACE ($(wc -c <"$TRACE") bytes)"
 
 echo "SMOKE OK: $BEFORE -> $AFTER rows, clean drain"
