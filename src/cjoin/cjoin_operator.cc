@@ -74,6 +74,7 @@ CJoinOperator::CJoinOperator(const StarSchema& star, Options options)
         /*owns_output=*/true, pool_.get(), epochs_.get()));
     stages_.back()->set_thread_label(opts_.name_prefix + "stage" +
                                      std::to_string(s));
+    stages_.back()->set_probe_batch_size(opts_.probe_batch_size);
   }
 
   Preprocessor::Options popts;
@@ -304,23 +305,40 @@ void CJoinOperator::AdmitQuery(const std::shared_ptr<QueryRuntime>& rt) {
     f.table->SetBitForAllEntries(qid, !referenced[d]);
   }
 
-  // Algorithm 1 lines 11-16: load selected dimension tuples.
+  // Algorithm 1 lines 11-16: load selected dimension tuples. Rows that
+  // pass the predicate are staged and inserted through InsertBatch — one
+  // exclusive-lock acquisition and a prefetched bucket schedule per
+  // batch, instead of a lock round-trip and a cold bucket per row.
   for (const DimensionPredicate& dp : spec.dim_predicates) {
     const DimensionDef& def = star_.dimension(dp.dim_index);
     const Table& dim = *def.table;
     const Schema& dschema = dim.schema();
     DimensionHashTable& ht = *filters_[dp.dim_index]->table;
+
+    int64_t keys[DimensionHashTable::kMaxBatch];
+    const uint8_t* rows[DimensionHashTable::kMaxBatch];
+    DimensionHashTable::Entry* ents[DimensionHashTable::kMaxBatch];
+    size_t m = 0;
+    const auto flush = [&] {
+      ht.InsertBatch(keys, rows, ents, m);
+      for (size_t j = 0; j < m; ++j) {
+        DimensionHashTable::SetEntryBit(ents[j], qid, true);
+      }
+      m = 0;
+    };
+
     for (uint32_t p = 0; p < dim.num_partitions(); ++p) {
       for (uint64_t i = 0; i < dim.PartitionRows(p); ++i) {
         const RowId id{p, i};
         if (!dim.Header(id)->VisibleAt(spec.snapshot)) continue;
         const uint8_t* row = dim.RowPayload(id);
         if (!dp.predicate->EvalBool(dschema, row)) continue;
-        DimensionHashTable::Entry* e =
-            ht.InsertOrGet(dschema.GetIntAny(row, def.dim_pk_col), row);
-        DimensionHashTable::SetEntryBit(e, qid, true);
+        keys[m] = dschema.GetIntAny(row, def.dim_pk_col);
+        rows[m] = row;
+        if (++m == DimensionHashTable::kMaxBatch) flush();
       }
     }
+    if (m > 0) flush();
   }
 
   rt->aggregator = rt->custom_aggregator_factory

@@ -63,6 +63,11 @@ class CJoinOperator {
 
     /// Data tuples per batch (queue transfer unit, §4).
     size_t batch_size = 256;
+    /// Dimension probes gathered per batched-probe round in the filter
+    /// stages (gather→prefetch→resolve; see dim_hash_table.h). Values
+    /// <=1 select the scalar per-tuple probe loop; values above
+    /// Stage::kGatherCap are clamped.
+    size_t probe_batch_size = 128;
     /// Batches per inter-component queue.
     size_t queue_capacity = 64;
     /// Wakeup hysteresis for the queues (1 = always wake; §4).

@@ -7,6 +7,26 @@
 // iff query i does not reference D_j) — the filtering vector of any tuple
 // NOT present in the table.
 //
+// Layout (cache-line conscious, after DRAMHiT's simple_kht): the probe
+// path never touches the wide Entry records until a likely hit is found.
+// Occupancy and key identity live in a dense out-of-line *tag* array —
+// one 64-bit tag per slot, 8 tags per 64-byte-aligned cache line (the
+// "slot group") — so one prefetched line resolves up to 8 linear-probe
+// steps. A tag is the slot key's full Mix64 hash with bit 0 forced on
+// (0 = empty slot), so tag equality is a near-certain key match and a
+// miss never loads an Entry at all. Entries are 64-byte aligned — one
+// per cache line — with the bit-vector words stored inline in the same
+// line when the width fits (<= 4 words = 256 concurrent queries, the
+// engine default), so a hit costs exactly one data line: key, row
+// pointer, and filter vector arrive together. Wider tables fall back to
+// an out-of-line words arena, indexed by slot.
+//
+// Probing is batched: ProbeBatchLocked() hashes a whole batch of keys
+// first, issues a software prefetch for every target tag line, then
+// resolves, keeping up to kMaxBatch independent DRAM loads in flight
+// instead of serializing one full miss latency per fact tuple. Admission
+// inserts batch the same way through InsertBatch().
+//
 // Concurrency model (paper §3.3.1: registration proceeds in the Pipeline
 // Manager thread "in parallel with the processing of fact tuples"):
 //   * Filter workers take the shared lock for the duration of a probe
@@ -23,6 +43,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <cstdlib>
 #include <memory>
 #include <shared_mutex>
 #include <vector>
@@ -34,16 +55,30 @@ namespace cjoin {
 /// Hash table from dimension primary key to (row pointer, bit-vector).
 class DimensionHashTable {
  public:
-  /// An entry; `bits` has the table's word width. Pointers to entries are
-  /// invalidated by structural changes — callers only hold them while
-  /// holding at least the shared lock.
-  struct Entry {
+  /// Largest batch the batched probe/insert paths resolve per internal
+  /// round (bounds the stack scratch; callers may pass any n).
+  static constexpr size_t kMaxBatch = 64;
+
+  /// Bit-vector words stored inside the Entry itself when the width
+  /// allows (<= 256 concurrent queries — the engine default): a probe hit
+  /// then touches exactly one entry cache line, key, row, and filter
+  /// vector together.
+  static constexpr size_t kInlineWords = 4;
+
+  /// An entry; `bits` has the table's word width and points either at the
+  /// entry's own inline words or into the out-of-line arena (wider
+  /// tables). Pointers to entries are invalidated by structural changes —
+  /// callers only hold them while holding at least the shared lock.
+  /// 64-byte aligned: one entry, one cache line.
+  struct alignas(64) Entry {
     int64_t key = 0;
     const uint8_t* row = nullptr;
     bool used = false;
-    /// Bit-vector words follow out-of-line in the words arena.
+    /// The filter bit-vector (b_delta). Always read through this pointer.
     uint64_t* bits = nullptr;
+    uint64_t inline_words[kInlineWords] = {};
   };
+  static_assert(sizeof(Entry) == 64, "one entry per cache line");
 
   /// `width_words`: bit-vector width (ceil(maxConc/64)).
   DimensionHashTable(size_t width_words, size_t expected_entries = 64);
@@ -70,6 +105,15 @@ class DimensionHashTable {
   /// while the shared lock is held.
   const Entry* ProbeLocked(int64_t key) const;
 
+  /// Batched probe: resolves `keys[0..n)` into `out[0..n)` (entry pointer
+  /// or nullptr, same contract as ProbeLocked). Hashes every key first and
+  /// software-prefetches each target tag line before resolving, so up to
+  /// kMaxBatch probe misses overlap in the memory system instead of
+  /// costing one serialized DRAM latency each. Result is element-wise
+  /// identical to n ProbeLocked calls.
+  void ProbeBatchLocked(const int64_t* keys, const Entry** out,
+                        size_t n) const;
+
   // --- Admission / cleanup path (Pipeline Manager thread) -----------------
 
   /// Inserts `key` if absent, initializing the new entry's bits to the
@@ -78,6 +122,15 @@ class DimensionHashTable {
   /// queries that don't — exactly b_Dj, paper §3.3.1). Takes the
   /// exclusive lock internally. Returns the entry (existing or new).
   Entry* InsertOrGet(int64_t key, const uint8_t* row);
+
+  /// Batched InsertOrGet: one exclusive-lock acquisition for the whole
+  /// batch, with the same hash-then-prefetch-then-resolve schedule as
+  /// ProbeBatchLocked. `out[i]` receives the entry for `keys[i]`
+  /// (existing or new, rows[i] attached on first insert). Capacity for
+  /// all n keys is reserved before any insert, so every returned pointer
+  /// stays valid until the next structural change after the call.
+  void InsertBatch(const int64_t* keys, const uint8_t* const* rows,
+                   Entry** out, size_t n);
 
   /// Atomically sets/clears bit `query_id` of the entry's bit-vector
   /// (caller holds shared or exclusive lock).
@@ -95,32 +148,78 @@ class DimensionHashTable {
   /// An entry is dead iff (bits & active_mask) == (complement &
   /// active_mask): its vector carries no information beyond b_Dj, so a
   /// probe miss yields the same filtering vector (Algorithm 2's garbage
-  /// collection, generalized).
+  /// collection, generalized). Survivors are staged in table-owned
+  /// scratch buffers, so periodic GC passes stop allocating once the
+  /// scratch has grown to the table's working size.
   size_t RemoveDeadEntries(const uint64_t* active_mask);
 
   /// Visits every entry under the shared lock: fn(const Entry&).
   template <typename Fn>
   void ForEachEntry(Fn&& fn) const {
     std::shared_lock<std::shared_mutex> lk(mu_);
-    for (const Entry& e : slots_) {
-      if (e.used) fn(e);
+    for (size_t i = 0; i < cap_; ++i) {
+      if (slots_[i].used) fn(slots_[i]);
     }
   }
 
  private:
-  size_t Mask() const { return slots_.size() - 1; }
+  /// Tag for an occupied slot holding `hash`: full hash with bit 0 forced
+  /// on so no occupied tag is ever 0 (the empty marker). Bit 0 does not
+  /// feed the slot index beyond the hash's own low bit, and key identity
+  /// is always confirmed against Entry::key on a tag match.
+  static uint64_t TagFor(uint64_t hash) { return hash | 1; }
+
+  size_t Mask() const { return cap_ - 1; }
   void RehashLocked();
-  Entry* FindSlotLocked(int64_t key);
+  /// Scalar insert body (caller holds the exclusive lock, capacity
+  /// already ensured).
+  Entry* InsertOneLocked(int64_t key, const uint8_t* row);
+  /// Continues a probe chain at `idx` looking for (tag, key); used by the
+  /// batched probe to resolve the rare full-64-bit tag collision.
+  const Entry* ProbeChainFrom(size_t idx, uint64_t want, int64_t key) const;
+  /// Grows until `extra` more entries fit under the load-factor bound.
+  void ReserveLocked(size_t extra);
+
+  struct FreeDeleter {
+    void operator()(void* p) const { std::free(p); }
+  };
+  /// 64-byte-aligned uint64_t array (the tag slot groups). Large arrays
+  /// are 2MB-aligned and hugepage-advised: software prefetches are
+  /// silently dropped on a TLB miss, so without huge pages a big table's
+  /// prefetch schedule does nothing (DRAMHiT §4 makes the same point).
+  using AlignedWordArray = std::unique_ptr<uint64_t[], FreeDeleter>;
+  static AlignedWordArray AllocTags(size_t n);
+  using SlotArray = std::unique_ptr<Entry[], FreeDeleter>;
+  static SlotArray AllocSlots(size_t n);
+
+  /// True when width_ <= kInlineWords: bit words live inside the Entry
+  /// line and the words arena is not allocated.
+  bool InlineBits() const { return width_ <= kInlineWords; }
+  /// Points entry i's `bits` at its storage (inline or arena slot i).
+  void BindBits(size_t i) {
+    slots_[i].bits =
+        InlineBits() ? slots_[i].inline_words : &words_[i * width_];
+  }
 
   size_t width_;
   mutable std::shared_mutex mu_;
-  std::vector<Entry> slots_;
-  /// Bit-vector arena: one `width_` word block per slot, same index as
-  /// slots_ (keeps Entry small and allocation-free on rehash).
+  /// Slot capacity (power of two); slots_/tags_/words_ all have cap_
+  /// elements (x width_ for words_).
+  size_t cap_ = 0;
+  SlotArray slots_;
+  /// Probe-path occupancy/identity tags: tags_[i] == 0 iff slot i is
+  /// empty, else TagFor(Mix64(slots_[i].key)). 8 tags per 64B line.
+  AlignedWordArray tags_;
+  /// Bit-vector arena for widths beyond kInlineWords: one `width_` word
+  /// block per slot, same index as slots_. Null when bits are inline.
   std::unique_ptr<uint64_t[]> words_;
   std::unique_ptr<uint64_t[]> complement_;
   /// Mutated under the exclusive lock; read lock-free by size().
   std::atomic<size_t> size_{0};
+  /// GC scratch (RemoveDeadEntries staging); retained across passes so
+  /// the Pipeline Manager's periodic GC stops heap-allocating.
+  std::vector<Entry> gc_survivors_;
+  std::vector<uint64_t> gc_survivor_bits_;
 };
 
 }  // namespace cjoin

@@ -35,6 +35,9 @@ Preprocessor::Preprocessor(const StarSchema& star, size_t width_words,
                                   "Queries installed into the pipeline");
   obs_active_ = reg.GetGauge("cjoin_active_queries",
                              "Currently registered pipeline queries");
+  obs_ck_misses_ = reg.GetCounter(
+      "cjoin_checkpoint_misses_total",
+      "Completion checkpoints that fired past their exact stream position");
   assert(width_ <= kMaxWidthWords);
   active_.resize(width_ * bitops::kBitsPerWord);
   partition_mask_.resize(star.fact().num_partitions());
@@ -320,7 +323,18 @@ void Preprocessor::ProcessRows(const ScanEvent& ev) {
     }
     if (aq->ck_partition != ev.partition || aq->ck_lap != ev.lap) continue;
     if (aq->ck_index < ev.first_index) {
-      fires.emplace_back(0, qid);  // defensive: missed exact position
+      // Defensive: the exact completion position was already passed (a
+      // skipped or re-split run). Finishing at offset 0 is still correct
+      // — every row of the query's lap has been seen — but the engine
+      // should never get here silently: count and log it.
+      obs_ck_misses_->Add(1);
+      TraceLogf(qid, "pre",
+                "checkpoint miss: ck_index=%llu < run first_index=%llu "
+                "(partition=%u lap=%llu); finishing at run start",
+                static_cast<unsigned long long>(aq->ck_index),
+                static_cast<unsigned long long>(ev.first_index),
+                ev.partition, static_cast<unsigned long long>(ev.lap));
+      fires.emplace_back(0, qid);
     } else if (aq->ck_index < ev.first_index + ev.count) {
       fires.emplace_back(static_cast<size_t>(aq->ck_index - ev.first_index),
                          qid);

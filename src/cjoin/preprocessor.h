@@ -169,6 +169,9 @@ class Preprocessor {
   obs::Counter* obs_rows_scanned_ = nullptr;
   obs::Counter* obs_installed_ = nullptr;
   obs::Gauge* obs_active_ = nullptr;
+  /// Fires when a completion checkpoint is discovered past its exact
+  /// stream position (the defensive branch in ProcessRows).
+  obs::Counter* obs_ck_misses_ = nullptr;
 };
 
 }  // namespace cjoin

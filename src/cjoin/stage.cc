@@ -1,5 +1,7 @@
 #include "cjoin/stage.h"
 
+#include <algorithm>
+#include <cstring>
 #include <shared_mutex>
 
 #include "cjoin/query_runtime.h"
@@ -52,55 +54,133 @@ void Stage::Join() {
   threads_.clear();
 }
 
+namespace {
+
+/// Hoisted foreign-key load: the column's offset and physical width are
+/// resolved once per filter, not per tuple (what Schema::GetIntAny would
+/// redo for every probe).
+inline int64_t LoadFkKey(const uint8_t* row, uint32_t offset, bool is_i32) {
+  if (is_i32) {
+    int32_t v;
+    std::memcpy(&v, row + offset, sizeof(v));
+    return static_cast<int64_t>(v);
+  }
+  int64_t v;
+  std::memcpy(&v, row + offset, sizeof(v));
+  return v;
+}
+
+}  // namespace
+
 size_t Stage::FilterBatch(TupleBatch* batch, const FilterOrder& filters) {
   size_t live = batch->slots.size();
   TupleSlot** slots = batch->slots.data();
+  const size_t probe_batch = std::min(probe_batch_, kGatherCap);
 
   for (Filter* f : filters) {
     if (live == 0) break;
     const size_t in_before = live;
     DimensionHashTable* table = f->table.get();
     const uint64_t* comp = table->complement();
-    const size_t fk_col = f->fact_fk_col;
     const size_t dim_index = f->dim_index;
+    const Column& fk = fact_schema_->column(f->fact_fk_col);
+    const uint32_t fk_offset = fk.offset;
+    const bool fk_is_i32 = fk.type == DataType::kInt32;
 
     // Hold the shared lock for the whole batch: entry pointers stay valid
     // and the per-probe cost is one uncontended atomic in the common case.
     std::shared_lock<std::shared_mutex> lk(table->mutex());
-    size_t i = 0;
-    while (i < live) {
-      TupleSlot* slot = slots[i];
-      uint64_t* bits = slot->bits(num_dims_);
 
-      // Probe-skipping optimization (§3.2.2): if every query this tuple is
-      // still relevant to ignores D_j, the filtering vector is all-ones on
-      // those bits — skip the probe.
-      uint64_t relevant = 0;
-      for (size_t w = 0; w < width_; ++w) {
-        relevant |= bits[w] & ~bitops::AtomicLoadWord(comp, w);
-      }
-      if (relevant == 0) {
-        ++i;
-        continue;
-      }
+    if (probe_batch <= 1) {
+      // Scalar arm (probe_batch_size=1): one table probe per tuple, each
+      // eating its full memory latency. Kept as the A/B reference for
+      // bench_dim_probe and the byte-identity tests.
+      size_t i = 0;
+      while (i < live) {
+        TupleSlot* slot = slots[i];
+        uint64_t* bits = slot->bits(num_dims_);
 
-      const int64_t key = fact_schema_->GetIntAny(slot->fact_row, fk_col);
-      const DimensionHashTable::Entry* entry = table->ProbeLocked(key);
-      const uint64_t* filter_vec = entry != nullptr ? entry->bits : comp;
-      const bool alive =
-          bitops::AndIntoAtomicSrc(bits, filter_vec, width_);
-      if (entry != nullptr) {
-        slot->dim_rows()[dim_index] = entry->row;
+        // Probe-skipping optimization (§3.2.2): if every query this tuple
+        // is still relevant to ignores D_j, the filtering vector is
+        // all-ones on those bits — skip the probe.
+        uint64_t relevant = 0;
+        for (size_t w = 0; w < width_; ++w) {
+          relevant |= bits[w] & ~bitops::AtomicLoadWord(comp, w);
+        }
+        if (relevant == 0) {
+          ++i;
+          continue;
+        }
+
+        const int64_t key = LoadFkKey(slot->fact_row, fk_offset, fk_is_i32);
+        const DimensionHashTable::Entry* entry = table->ProbeLocked(key);
+        const uint64_t* filter_vec = entry != nullptr ? entry->bits : comp;
+        const bool alive =
+            bitops::AndIntoAtomicSrc(bits, filter_vec, width_);
+        if (entry != nullptr) {
+          slot->dim_rows()[dim_index] = entry->row;
+        }
+        if (alive) {
+          ++i;
+        } else {
+          // Dead tuple: release and compact.
+          pool_->Release(slot);
+          slots[i] = slots[live - 1];
+          --live;
+        }
       }
-      if (alive) {
-        ++i;
-      } else {
-        // Dead tuple: release and compact.
-        pool_->Release(slot);
-        slots[i] = slots[live - 1];
-        --live;
+    } else {
+      // Batched arm: gather -> batch-probe -> resolve. The gather pass
+      // applies the §3.2.2 probe-skip test and collects the keys of the
+      // tuples that do need a probe; ProbeBatchLocked then overlaps all
+      // their bucket fetches via software prefetch; the resolve pass ANDs
+      // filtering vectors and compacts. Survivor multiset (and therefore
+      // every query result) is identical to the scalar arm — only the
+      // within-batch order of survivors differs, which aggregation is
+      // insensitive to.
+      TupleSlot* cand[kGatherCap];
+      int64_t keys[kGatherCap];
+      const DimensionHashTable::Entry* ents[kGatherCap];
+      size_t out = 0;  // surviving-slot write cursor (always <= read pos)
+      size_t r = 0;
+      while (r < live) {
+        size_t m = 0;
+        while (r < live && m < probe_batch) {
+          TupleSlot* slot = slots[r++];
+          uint64_t* bits = slot->bits(num_dims_);
+          uint64_t relevant = 0;
+          for (size_t w = 0; w < width_; ++w) {
+            relevant |= bits[w] & ~bitops::AtomicLoadWord(comp, w);
+          }
+          if (relevant == 0) {
+            // Probe skipped: the tuple survives this filter unchanged.
+            slots[out++] = slot;
+            continue;
+          }
+          keys[m] = LoadFkKey(slot->fact_row, fk_offset, fk_is_i32);
+          cand[m++] = slot;
+        }
+        table->ProbeBatchLocked(keys, ents, m);
+        for (size_t j = 0; j < m; ++j) {
+          TupleSlot* slot = cand[j];
+          uint64_t* bits = slot->bits(num_dims_);
+          const DimensionHashTable::Entry* entry = ents[j];
+          const uint64_t* filter_vec = entry != nullptr ? entry->bits : comp;
+          const bool alive =
+              bitops::AndIntoAtomicSrc(bits, filter_vec, width_);
+          if (entry != nullptr) {
+            slot->dim_rows()[dim_index] = entry->row;
+          }
+          if (alive) {
+            slots[out++] = slot;
+          } else {
+            pool_->Release(slot);
+          }
+        }
       }
+      live = out;
     }
+
     f->tuples_in.fetch_add(in_before, std::memory_order_relaxed);
     f->tuples_dropped.fetch_add(in_before - live,
                                 std::memory_order_relaxed);
@@ -141,7 +221,17 @@ void Stage::WorkerLoop(const std::string& track) {
           }
         }
       }
-      if (!out_->Push(std::move(batch))) break;
+      // Push destroys the moved-from batch on a closed queue, so capture
+      // the slot pointers first and return them to the pool on failure.
+      // Control slots are not epoch-counted (EmitControl closes the epoch
+      // before the control tuple enters the pipeline), so unlike the
+      // data path below there is no AddRetired to balance here.
+      TupleSlot* const ctrl_slot =
+          batch.slots.empty() ? nullptr : batch.slots[0];
+      if (!out_->Push(std::move(batch))) {
+        if (ctrl_slot != nullptr) pool_->Release(ctrl_slot);
+        break;
+      }
       continue;
     }
 

@@ -58,6 +58,15 @@ class Stage {
     thread_label_ = std::move(label);
   }
 
+  /// Upper bound on FilterBatch's candidate gather (stack scratch size);
+  /// ProbeBatchLocked pipelines internally in kMaxBatch chunks.
+  static constexpr size_t kGatherCap = 128;
+
+  /// Probe batch width for FilterBatch's gather→prefetch→resolve
+  /// pipeline. <=1 selects the scalar probe loop; values above
+  /// kGatherCap are clamped. Set before Start().
+  void set_probe_batch_size(size_t n) { probe_batch_ = n; }
+
   void Start(size_t num_threads);
   void Join();
 
@@ -85,6 +94,7 @@ class Stage {
   bool owns_output_;
   TuplePool* pool_;
   EpochTracker* epochs_;
+  size_t probe_batch_ = 128;
 
   std::vector<std::thread> threads_;
   std::atomic<size_t> live_workers_{0};

@@ -141,6 +141,186 @@ TEST_F(DimHashTableTest, ConcurrentProbesDuringBitUpdates) {
   EXPECT_EQ(ht_.size(), 512u);
 }
 
+TEST_F(DimHashTableTest, ProbeBatchMatchesScalarProbe) {
+  // Element-wise identity with ProbeLocked on an interleaved hit/miss
+  // mix, at a size spanning several internal kMaxBatch rounds.
+  for (int64_t k = 0; k < 1000; k += 2) ht_.InsertOrGet(k, &rows_[0]);
+
+  std::vector<int64_t> keys;
+  for (int64_t k = 0; k < 1000; ++k) keys.push_back(k);  // 50% misses
+  std::vector<const DimensionHashTable::Entry*> got(keys.size());
+
+  std::shared_lock<std::shared_mutex> lk(ht_.mutex());
+  ht_.ProbeBatchLocked(keys.data(), got.data(), keys.size());
+  for (size_t i = 0; i < keys.size(); ++i) {
+    EXPECT_EQ(got[i], ht_.ProbeLocked(keys[i])) << "key " << keys[i];
+  }
+}
+
+TEST_F(DimHashTableTest, ProbeBatchHandlesDuplicatesAndShortBatches) {
+  ht_.InsertOrGet(5, &rows_[0]);
+  const int64_t keys[] = {5, -5, 5, 5};
+  const DimensionHashTable::Entry* got[4];
+  std::shared_lock<std::shared_mutex> lk(ht_.mutex());
+  ht_.ProbeBatchLocked(keys, got, 4);
+  EXPECT_NE(got[0], nullptr);
+  EXPECT_EQ(got[1], nullptr);
+  EXPECT_EQ(got[0], got[2]);
+  EXPECT_EQ(got[0], got[3]);
+  ht_.ProbeBatchLocked(keys, got, 0);  // n=0 is a no-op
+}
+
+TEST_F(DimHashTableTest, InsertBatchMatchesInsertOrGet) {
+  ht_.SetComplementBit(11, true);
+  // Pre-seed some keys scalar-ly; the batch must return the existing
+  // entries for them and create the rest, across a growth boundary.
+  for (int64_t k = 0; k < 100; k += 3) ht_.InsertOrGet(k, &rows_[0]);
+  const size_t pre = ht_.size();
+
+  std::vector<int64_t> keys;
+  std::vector<const uint8_t*> rows;
+  for (int64_t k = 0; k < 300; ++k) {
+    keys.push_back(k);
+    rows.push_back(&rows_[k % 64]);
+  }
+  // Duplicate inside the batch itself.
+  keys.push_back(7);
+  rows.push_back(&rows_[63]);
+  std::vector<DimensionHashTable::Entry*> ents(keys.size());
+  ht_.InsertBatch(keys.data(), rows.data(), ents.data(), keys.size());
+
+  EXPECT_EQ(ht_.size(), 300u);
+  EXPECT_GT(ht_.size(), pre);
+  std::shared_lock<std::shared_mutex> lk(ht_.mutex());
+  for (size_t i = 0; i < keys.size(); ++i) {
+    ASSERT_NE(ents[i], nullptr) << i;
+    EXPECT_EQ(ents[i], ht_.ProbeLocked(keys[i])) << keys[i];
+    EXPECT_EQ(ents[i]->key, keys[i]);
+    EXPECT_TRUE(bitops::TestBit(ents[i]->bits, 11))
+        << "new entries inherit the complement";
+  }
+  // In-batch duplicate resolved to one entry.
+  EXPECT_EQ(ents.back(), ents[7]);
+  EXPECT_EQ(ents[7]->row, &rows_[7 % 64]) << "first row wins";
+}
+
+TEST_F(DimHashTableTest, RemoveDeadEntriesRepairsCollisionChains) {
+  // Regression for open-addressed deletion: fill the table close to its
+  // load-factor bound so linear-probe chains are long, remove an
+  // interleaved half, and verify every survivor — including ones that
+  // were displaced PAST removed keys — is still reachable, both via
+  // scalar and batched probes.
+  ht_.SetComplementBit(1, false);
+  const int64_t kN = 350;  // ~68% of the 512-slot table after growth
+  for (int64_t k = 0; k < kN; ++k) {
+    auto* e = ht_.InsertOrGet(k * 1024, &rows_[0]);  // clustered keys
+    if (k % 2 == 0) DimensionHashTable::SetEntryBit(e, 1, true);
+  }
+  uint64_t active[2] = {};
+  bitops::SetBit(active, 1);
+  const size_t removed = ht_.RemoveDeadEntries(active);
+  EXPECT_EQ(removed, static_cast<size_t>(kN / 2));
+
+  std::vector<int64_t> keys;
+  for (int64_t k = 0; k < kN; ++k) keys.push_back(k * 1024);
+  std::vector<const DimensionHashTable::Entry*> got(keys.size());
+  std::shared_lock<std::shared_mutex> lk(ht_.mutex());
+  ht_.ProbeBatchLocked(keys.data(), got.data(), keys.size());
+  for (int64_t k = 0; k < kN; ++k) {
+    const auto* e = ht_.ProbeLocked(k * 1024);
+    EXPECT_EQ(got[static_cast<size_t>(k)], e) << k;
+    if (k % 2 == 0) {
+      ASSERT_NE(e, nullptr) << "survivor lost at key " << k * 1024;
+      EXPECT_EQ(e->key, k * 1024);
+    } else {
+      EXPECT_EQ(e, nullptr) << "removed key still present: " << k * 1024;
+    }
+  }
+  // A second GC pass (reusing the table-owned scratch) removes nothing.
+  lk.unlock();
+  EXPECT_EQ(ht_.RemoveDeadEntries(active), 0u);
+}
+
+TEST_F(DimHashTableTest, RehashPreservesCollisionChains) {
+  // Grow across several rehashes with adversarially clustered keys and
+  // verify batched and scalar probes agree on every key afterwards.
+  ht_.SetComplementBit(0, false);
+  std::vector<int64_t> keys;
+  for (int64_t k = 0; k < 2000; ++k) {
+    const int64_t key = (k % 2 == 0) ? k : k * (1 << 20);
+    keys.push_back(key);
+    auto* e = ht_.InsertOrGet(key, &rows_[0]);
+    DimensionHashTable::SetEntryBit(e, static_cast<size_t>(k % 128), true);
+  }
+  EXPECT_EQ(ht_.size(), 2000u);
+  std::vector<const DimensionHashTable::Entry*> got(keys.size());
+  std::shared_lock<std::shared_mutex> lk(ht_.mutex());
+  ht_.ProbeBatchLocked(keys.data(), got.data(), keys.size());
+  for (size_t i = 0; i < keys.size(); ++i) {
+    ASSERT_NE(got[i], nullptr) << keys[i];
+    EXPECT_EQ(got[i], ht_.ProbeLocked(keys[i]));
+    EXPECT_TRUE(bitops::TestBit(got[i]->bits, i % 128));
+  }
+}
+
+TEST_F(DimHashTableTest, ConcurrentBatchProbesDuringInsertAndGc) {
+  // TSan-covered stress of the full concurrency contract: filter-side
+  // batched probes under the shared lock, racing the Pipeline Manager's
+  // bit flips (shared lock + atomics) and structural changes — batched
+  // inserts, rehashes, and GC passes (exclusive lock).
+  ht_.SetComplementBit(3, false);
+  for (int64_t k = 0; k < 128; ++k) {
+    auto* e = ht_.InsertOrGet(k, &rows_[0]);
+    DimensionHashTable::SetEntryBit(e, 3, true);  // keys 0..127 stay live
+  }
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> probers;
+  for (int t = 0; t < 3; ++t) {
+    probers.emplace_back([&] {
+      int64_t keys[DimensionHashTable::kMaxBatch];
+      const DimensionHashTable::Entry* out[DimensionHashTable::kMaxBatch];
+      uint64_t acc[kWidth];
+      int64_t base = 0;
+      while (!stop.load()) {
+        for (size_t i = 0; i < DimensionHashTable::kMaxBatch; ++i) {
+          keys[i] = (base + static_cast<int64_t>(i) * 3) % 4096;
+        }
+        base += 17;
+        std::shared_lock<std::shared_mutex> lk(ht_.mutex());
+        ht_.ProbeBatchLocked(keys, out, DimensionHashTable::kMaxBatch);
+        for (size_t i = 0; i < DimensionHashTable::kMaxBatch; ++i) {
+          if (keys[i] < 128) ASSERT_NE(out[i], nullptr) << keys[i];
+          if (out[i] != nullptr) {
+            bitops::Fill(acc, kWidth, ~uint64_t{0});
+            bitops::AndIntoAtomicSrc(acc, out[i]->bits, kWidth);
+          }
+        }
+      }
+    });
+  }
+  uint64_t active[kWidth] = {};
+  bitops::SetBit(active, 3);
+  int64_t next = 128;
+  for (int round = 0; round < 60; ++round) {
+    // Batched inserts of transient keys (bit 3 left clear => GC bait).
+    int64_t keys[DimensionHashTable::kMaxBatch];
+    const uint8_t* rows[DimensionHashTable::kMaxBatch];
+    DimensionHashTable::Entry* ents[DimensionHashTable::kMaxBatch];
+    for (size_t i = 0; i < DimensionHashTable::kMaxBatch; ++i) {
+      keys[i] = next++ % 4096;
+      rows[i] = &rows_[0];
+    }
+    ht_.InsertBatch(keys, rows, ents, DimensionHashTable::kMaxBatch);
+    const size_t qid = static_cast<size_t>(round % 128);
+    if (qid != 3) ht_.SetBitForAllEntries(qid, round % 2 == 0);
+    if (round % 10 == 9) ht_.RemoveDeadEntries(active);
+  }
+  ht_.RemoveDeadEntries(active);
+  stop.store(true);
+  for (auto& t : probers) t.join();
+  EXPECT_EQ(ht_.size(), 128u) << "only the bit-3 keys survive GC";
+}
+
 // ------------------------------ EpochTracker ---------------------------------
 
 TEST(EpochTrackerTest, CompleteRequiresCloseAndBalance) {

@@ -191,6 +191,46 @@ TEST(ShardedEquivalenceTest, SsbQueriesAgreeAcrossShardCounts) {
   }
 }
 
+TEST(ShardedEquivalenceTest, BatchedProbeByteIdenticalToScalarOnSsb) {
+  // The batched gather→prefetch→resolve probe path (probe_batch_size=32)
+  // must be byte-identical to the scalar per-tuple loop
+  // (probe_batch_size=1) on every SSB query, at 1 shard and 4 shards.
+  ssb::GenOptions gopts;
+  gopts.scale_factor = 0.003;
+  auto db = ssb::Generate(gopts).value();
+  ssb::SsbQueries queries(*db);
+
+  for (size_t shards : {size_t{1}, size_t{4}}) {
+    std::vector<std::string> outputs[2];  // [0]=scalar, [1]=batched
+    for (int arm = 0; arm < 2; ++arm) {
+      QueryEngine::Options opts = EngineOptions(shards);
+      opts.cjoin.probe_batch_size = arm == 0 ? 1 : 32;
+      QueryEngine engine(opts);
+      ASSERT_TRUE(engine.RegisterStar("ssb", *db->star).ok());
+      for (const std::string& name : ssb::SsbQueries::AllNames()) {
+        StarQuerySpec spec = queries.Canonical(name).value();
+        const ResultSet ref = ReferenceEvaluate(spec);
+        auto rs = RunCJoin(engine, spec);
+        ASSERT_TRUE(rs.ok()) << name << " shards=" << shards
+                             << " arm=" << arm << ": "
+                             << rs.status().ToString();
+        EXPECT_TRUE(rs->SameContents(ref))
+            << name << " shards=" << shards << " arm=" << arm;
+        rs->SortRows();
+        outputs[arm].push_back(rs->ToString());
+      }
+      engine.Shutdown();
+    }
+    ASSERT_EQ(outputs[0].size(), outputs[1].size());
+    const auto names = ssb::SsbQueries::AllNames();
+    for (size_t i = 0; i < outputs[0].size(); ++i) {
+      EXPECT_EQ(outputs[0][i], outputs[1][i])
+          << names[i] << " shards=" << shards
+          << ": batched arm diverged from scalar arm";
+    }
+  }
+}
+
 // --------------------------- Cancellation -----------------------------------
 
 TEST(ShardedCancelTest, CancelMidLapOnOneShardTerminatesTheQuery) {
