@@ -25,7 +25,6 @@
 #include <cstdio>
 #include <cstdlib>
 #include <memory>
-#include <shared_mutex>
 #include <vector>
 
 #include "bench/harness.h"
@@ -90,8 +89,7 @@ uint64_t FoldProbe(uint64_t acc, const DimensionHashTable::Entry* e) {
 
 double RunScalar(const DimensionHashTable& ht, const Stream& s,
                  uint64_t* checksum) {
-  std::shared_lock<std::shared_mutex> lk(
-      const_cast<DimensionHashTable&>(ht).mutex());
+  ReaderMutexLock lk(&const_cast<DimensionHashTable&>(ht).mutex());
   uint64_t acc = 0xcbf29ce484222325ull;
   Stopwatch sw;
   for (size_t i = 0; i < s.keys.size(); ++i) {
@@ -105,8 +103,7 @@ double RunScalar(const DimensionHashTable& ht, const Stream& s,
 
 double RunBatched(const DimensionHashTable& ht, const Stream& s,
                   size_t batch, uint64_t* checksum) {
-  std::shared_lock<std::shared_mutex> lk(
-      const_cast<DimensionHashTable&>(ht).mutex());
+  ReaderMutexLock lk(&const_cast<DimensionHashTable&>(ht).mutex());
   uint64_t acc = 0xcbf29ce484222325ull;
   std::vector<int64_t> keys_buf(batch);
   std::vector<const DimensionHashTable::Entry*> out_buf(batch);

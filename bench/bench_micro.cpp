@@ -99,7 +99,7 @@ void BM_DimHashTableProbe(benchmark::State& state) {
     ht.InsertOrGet(static_cast<int64_t>(i * 3), &rows[i]);
   }
   Rng rng(2);
-  std::shared_lock<std::shared_mutex> lk(ht.mutex());
+  ReaderMutexLock lk(&ht.mutex());
   for (auto _ : state) {
     const int64_t key = rng.UniformInt(0, static_cast<int64_t>(entries) * 3);
     benchmark::DoNotOptimize(ht.ProbeLocked(key));

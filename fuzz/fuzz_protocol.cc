@@ -1,0 +1,63 @@
+// Fuzzes the wire-protocol decode path: arbitrary bytes through
+// FrameAssembler (framing: length words, type bytes, buffering across
+// feeds) and every typed decoder reachable from a framed payload. The
+// server calls exactly this code on bytes straight off a TCP socket, so
+// nothing here may crash, overflow, or allocate proportionally to a
+// hostile length word — errors must come back as Status.
+//
+// Build modes (see CMakeLists.txt):
+//   clang: real libFuzzer binary (-fsanitize=fuzzer,address)
+//   other: standalone driver replaying argv files (fuzz/corpus/protocol)
+
+#include <cstddef>
+#include <cstdint>
+
+#include "net/protocol.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  using namespace cjoin::net;
+
+  FrameAssembler assembler;
+  // Split the input into two feeds so partial-frame buffering is
+  // exercised; the split point comes from the input itself.
+  const size_t split = size > 0 ? data[0] % (size + 1) : 0;
+  if (!assembler.Feed(data, split).ok()) return 0;
+  if (!assembler.Feed(data + split, size - split).ok()) return 0;
+
+  Frame frame;
+  while (assembler.Next(&frame)) {
+    // Route the payload through every decoder whose frame type matches —
+    // both directions where the type is shared, since a malicious server
+    // is the client's untrusted peer too.
+    switch (frame.type) {
+      case FrameType::kHello:
+        (void)DecodeHelloRequest(frame.payload);
+        (void)DecodeHelloReply(frame.payload);
+        break;
+      case FrameType::kQuery:
+        (void)DecodeQuery(frame.payload);
+        break;
+      case FrameType::kRowBatch:
+        (void)DecodeRowBatch(frame.payload);
+        break;
+      case FrameType::kQueryDone:
+        (void)DecodeQueryDone(frame.payload);
+        break;
+      case FrameType::kError:
+        (void)DecodeError(frame.payload);
+        break;
+      case FrameType::kCancel:
+        (void)DecodeCancel(frame.payload);
+        break;
+      case FrameType::kIngest:
+        (void)DecodeIngest(frame.payload);
+        (void)DecodeIngestReply(frame.payload);
+        break;
+      case FrameType::kStats:
+        (void)DecodeStatsRequest(frame.payload);
+        (void)DecodeStatsReply(frame.payload);
+        break;
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,66 @@
+// Fuzzes the SQL-subset parser: arbitrary bytes as statement text against
+// a small star schema. The serving front-end hands the parser query text
+// straight out of a QUERY frame, so hostile statements must come back as
+// kInvalidArgument — never an assert, throw, crash, out-of-bounds read,
+// or unbounded recursion.
+//
+// Build modes (see CMakeLists.txt):
+//   clang: real libFuzzer binary (-fsanitize=fuzzer,address)
+//   other: standalone driver replaying argv files (fuzz/corpus/sql)
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string_view>
+
+#include "catalog/star_schema.h"
+#include "engine/sql_parser.h"
+#include "storage/table.h"
+
+namespace {
+
+/// A minimal two-dimension star (mirroring tests/test_util.cc's TinyStar
+/// shape without the GoogleTest dependency). Built once; the parser only
+/// reads schemas, never rows.
+struct FuzzStar {
+  std::unique_ptr<cjoin::Table> product;
+  std::unique_ptr<cjoin::Table> store;
+  std::unique_ptr<cjoin::Table> sales;
+  std::unique_ptr<cjoin::StarSchema> star;
+};
+
+const FuzzStar& Star() {
+  static const FuzzStar* fs = [] {
+    auto* s = new FuzzStar();
+    cjoin::Schema pschema;
+    pschema.AddInt32("p_id").AddChar("p_cat", 8).AddInt32("p_price");
+    s->product = std::make_unique<cjoin::Table>("product", pschema);
+
+    cjoin::Schema sschema;
+    sschema.AddInt32("s_id").AddChar("s_region", 8);
+    s->store = std::make_unique<cjoin::Table>("store", sschema);
+
+    cjoin::Schema fschema;
+    fschema.AddInt32("f_pid").AddInt32("f_sid").AddInt32("f_qty").AddInt32(
+        "f_amount");
+    s->sales = std::make_unique<cjoin::Table>("sales", fschema);
+
+    auto star = cjoin::StarSchema::Make(
+        s->sales.get(),
+        std::vector<cjoin::StarSchema::DimensionByName>{
+            {s->product.get(), "f_pid", "p_id"},
+            {s->store.get(), "f_sid", "s_id"},
+        });
+    s->star = std::make_unique<cjoin::StarSchema>(std::move(star).value());
+    return s;
+  }();
+  return *fs;
+}
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  const std::string_view sql(reinterpret_cast<const char*>(data), size);
+  (void)cjoin::ParseStarQuery(*Star().star, sql);
+  return 0;
+}

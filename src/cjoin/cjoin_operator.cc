@@ -141,8 +141,8 @@ void CJoinOperator::Stop() {
   submissions_.Close();
   {
     // Wake Submit() callers blocked on the id freelist.
-    std::lock_guard<std::mutex> lk(id_mu_);
-    id_available_.notify_all();
+    MutexLock lk(&id_mu_);
+    id_available_.NotifyAll();
   }
 
   if (preprocessor_thread_.joinable()) preprocessor_thread_.join();
@@ -153,7 +153,7 @@ void CJoinOperator::Stop() {
   if (manager_thread_.joinable()) manager_thread_.join();
 
   // Abort every query that did not complete.
-  std::lock_guard<std::mutex> lk(registry_mu_);
+  MutexLock lk(&registry_mu_);
   for (auto& rt : registry_) {
     if (rt == nullptr) continue;
     QueryPhase phase = rt->phase.load();
@@ -168,10 +168,13 @@ void CJoinOperator::Stop() {
 }
 
 uint32_t CJoinOperator::AcquireQueryId() {
-  std::unique_lock<std::mutex> lk(id_mu_);
-  id_available_.wait(lk, [this] {
-    return !free_ids_.empty() || stop_.load();
-  });
+  MutexLock lk(&id_mu_);
+  // Explicit wait loop (not the predicate overload): the analysis treats
+  // a predicate lambda as a separate, unlocked function, so guarded
+  // reads belong in the loop body.
+  while (free_ids_.empty() && !stop_.load()) {
+    id_available_.Wait(id_mu_);
+  }
   if (free_ids_.empty()) return UINT32_MAX;
   const uint32_t id = free_ids_.back();
   free_ids_.pop_back();
@@ -179,11 +182,16 @@ uint32_t CJoinOperator::AcquireQueryId() {
 }
 
 uint32_t CJoinOperator::TryAcquireQueryId(int64_t grace_ns) {
-  std::unique_lock<std::mutex> lk(id_mu_);
+  MutexLock lk(&id_mu_);
   if (free_ids_.empty() && grace_ns > 0) {
-    id_available_.wait_for(lk, std::chrono::nanoseconds(grace_ns), [this] {
-      return !free_ids_.empty() || stop_.load();
-    });
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::nanoseconds(grace_ns);
+    while (free_ids_.empty() && !stop_.load()) {
+      if (id_available_.WaitUntil(id_mu_, deadline) ==
+          std::cv_status::timeout) {
+        break;
+      }
+    }
   }
   if (free_ids_.empty() || stop_.load()) return UINT32_MAX;
   const uint32_t id = free_ids_.back();
@@ -192,13 +200,13 @@ uint32_t CJoinOperator::TryAcquireQueryId(int64_t grace_ns) {
 }
 
 void CJoinOperator::ReleaseQueryId(uint32_t qid) {
-  std::lock_guard<std::mutex> lk(id_mu_);
+  MutexLock lk(&id_mu_);
   free_ids_.push_back(qid);
   // Reuse the smallest id first (paper §3.3); keep the freelist sorted
   // descending so back() is the minimum.
   std::sort(free_ids_.begin(), free_ids_.end(),
             std::greater<uint32_t>());
-  id_available_.notify_one();
+  id_available_.NotifyOne();
 }
 
 Result<std::unique_ptr<QueryHandle>> CJoinOperator::Submit(
@@ -242,14 +250,14 @@ Result<std::unique_ptr<QueryHandle>> CJoinOperator::Submit(
   rt->submit_ns.store(QueryRuntime::NowNs());
   std::future<Result<ResultSet>> fut = rt->promise.get_future();
   {
-    std::lock_guard<std::mutex> lk(registry_mu_);
+    MutexLock lk(&registry_mu_);
     registry_[qid] = rt;
   }
   auto handle = std::make_unique<QueryHandle>(rt, std::move(fut));
   inflight_.fetch_add(1, std::memory_order_relaxed);
   if (!submissions_.Push(rt)) {
     inflight_.fetch_sub(1, std::memory_order_relaxed);
-    std::lock_guard<std::mutex> lk(registry_mu_);
+    MutexLock lk(&registry_mu_);
     registry_[qid].reset();
     ReleaseQueryId(qid);
     return Status::Aborted("operator stopped");
@@ -276,7 +284,7 @@ void CJoinOperator::AdmitQuery(const std::shared_ptr<QueryRuntime>& rt) {
             : Status::Cancelled("query cancelled before admission"));
     const uint32_t qid = rt->query_id;
     {
-      std::lock_guard<std::mutex> lk(registry_mu_);
+      MutexLock lk(&registry_mu_);
       registry_[qid].reset();
     }
     ReleaseQueryId(qid);
@@ -356,7 +364,7 @@ void CJoinOperator::CleanupQuery(uint32_t qid) {
   TraceLogf(qid, "mgr", "cleanup");
   std::shared_ptr<QueryRuntime> rt;
   {
-    std::lock_guard<std::mutex> lk(registry_mu_);
+    MutexLock lk(&registry_mu_);
     rt = registry_[qid];
   }
   if (rt == nullptr) return;
@@ -381,7 +389,7 @@ void CJoinOperator::CleanupQuery(uint32_t qid) {
   }
 
   {
-    std::lock_guard<std::mutex> lk(registry_mu_);
+    MutexLock lk(&registry_mu_);
     registry_[qid].reset();
   }
   ReleaseQueryId(qid);

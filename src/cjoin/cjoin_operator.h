@@ -25,14 +25,13 @@
 
 #include <atomic>
 #include <chrono>
-#include <condition_variable>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
 
 #include "catalog/query_spec.h"
+#include "common/mutex.h"
 #include "cjoin/distributor.h"
 #include "cjoin/filter.h"
 #include "cjoin/preprocessor.h"
@@ -219,11 +218,11 @@ class CJoinOperator {
   void MaybeReorderFilters();
 
   /// Blocking acquisition (legacy Submit contract); UINT32_MAX on stop.
-  uint32_t AcquireQueryId();
+  uint32_t AcquireQueryId() EXCLUDES(id_mu_);
   /// Bounded acquisition: waits at most `grace_ns` (0 = not at all);
   /// UINT32_MAX when none freed in time or the operator stopped.
-  uint32_t TryAcquireQueryId(int64_t grace_ns = 0);
-  void ReleaseQueryId(uint32_t qid);
+  uint32_t TryAcquireQueryId(int64_t grace_ns = 0) EXCLUDES(id_mu_);
+  void ReleaseQueryId(uint32_t qid) EXCLUDES(id_mu_);
 
   const StarSchema& star_;
   Options opts_;
@@ -251,13 +250,14 @@ class CJoinOperator {
   std::atomic<uint64_t> manager_iterations_{0};
 
   // Query id freelist.
-  std::mutex id_mu_;
-  std::condition_variable id_available_;
-  std::vector<uint32_t> free_ids_;
+  Mutex id_mu_;
+  CondVar id_available_;
+  std::vector<uint32_t> free_ids_ GUARDED_BY(id_mu_);
 
   /// Keeps runtimes alive while raw pointers travel through the pipeline.
-  std::vector<std::shared_ptr<QueryRuntime>> registry_;
-  std::mutex registry_mu_;
+  Mutex registry_mu_;
+  std::vector<std::shared_ptr<QueryRuntime>> registry_
+      GUARDED_BY(registry_mu_);
 
   std::thread preprocessor_thread_;
   std::thread distributor_thread_;

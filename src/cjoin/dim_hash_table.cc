@@ -3,7 +3,6 @@
 #include <algorithm>
 #include <cassert>
 #include <cstring>
-#include <mutex>
 
 #ifdef __linux__
 #include <sys/mman.h>
@@ -67,6 +66,9 @@ DimensionHashTable::DimensionHashTable(size_t width_words,
                                        size_t expected_entries)
     : width_(width_words) {
   assert(width_ > 0);
+  // No other thread can reference the table yet; the lock is taken only
+  // so the BindBits() REQUIRES(mu_) contract holds in the analysis.
+  WriterMutexLock lk(&mu_);
   cap_ = NextPow2(expected_entries * 2);
   slots_ = AllocSlots(cap_);
   tags_ = AllocTags(cap_);
@@ -113,6 +115,11 @@ void DimensionHashTable::ProbeBatchLocked(const int64_t* keys,
                                           size_t n) const {
   const size_t mask = Mask();
   const bool inline_bits = InlineBits();
+  // Hoisted raw pointer: the lambda below is analyzed as a separate
+  // function by -Wthread-safety, so it reads through this local instead
+  // of the GUARDED_BY(mu_) member (the caller holds the shared lock for
+  // the whole call).
+  const uint64_t* tags = tags_.get();
 
   // Pass 1: hash every key of a chunk and prefetch its target tag line,
   // so the DRAM misses of the whole chunk overlap.
@@ -122,7 +129,7 @@ void DimensionHashTable::ProbeBatchLocked(const int64_t* keys,
       const uint64_t h = Mix64(static_cast<uint64_t>(k[i]));
       idx[i] = h & mask;
       want[i] = TagFor(h);
-      __builtin_prefetch(&tags_[idx[i]], /*rw=*/0, /*locality=*/3);
+      __builtin_prefetch(&tags[idx[i]], /*rw=*/0, /*locality=*/3);
     }
   };
 
@@ -252,7 +259,7 @@ void DimensionHashTable::RehashLocked() {
 
 DimensionHashTable::Entry* DimensionHashTable::InsertOrGet(
     int64_t key, const uint8_t* row) {
-  std::unique_lock<std::shared_mutex> lk(mu_);
+  WriterMutexLock lk(&mu_);
   ReserveLocked(1);
   return InsertOneLocked(key, row);
 }
@@ -260,7 +267,7 @@ DimensionHashTable::Entry* DimensionHashTable::InsertOrGet(
 void DimensionHashTable::InsertBatch(const int64_t* keys,
                                      const uint8_t* const* rows, Entry** out,
                                      size_t n) {
-  std::unique_lock<std::shared_mutex> lk(mu_);
+  WriterMutexLock lk(&mu_);
   // Worst case every key is new; ensure the whole call fits up front so
   // no mid-call rehash invalidates entry pointers already written to
   // `out` by earlier chunks.
@@ -292,7 +299,7 @@ void DimensionHashTable::SetEntryBit(Entry* entry, size_t query_id,
 }
 
 void DimensionHashTable::SetBitForAllEntries(size_t query_id, bool value) {
-  std::shared_lock<std::shared_mutex> lk(mu_);
+  ReaderMutexLock lk(&mu_);
   for (size_t i = 0; i < cap_; ++i) {
     Entry& e = slots_[i];
     if (!e.used) continue;
@@ -305,7 +312,7 @@ void DimensionHashTable::SetBitForAllEntries(size_t query_id, bool value) {
 }
 
 size_t DimensionHashTable::RemoveDeadEntries(const uint64_t* active_mask) {
-  std::unique_lock<std::shared_mutex> lk(mu_);
+  WriterMutexLock lk(&mu_);
   size_t removed = 0;
   // Collect surviving entries, then rebuild in place (linear probing does
   // not support in-place deletion without tombstones). The staging

@@ -45,10 +45,10 @@
 #include <cstdint>
 #include <cstdlib>
 #include <memory>
-#include <shared_mutex>
 #include <vector>
 
 #include "common/bitvector.h"
+#include "common/mutex.h"
 
 namespace cjoin {
 
@@ -89,8 +89,11 @@ class DimensionHashTable {
   size_t size() const { return size_.load(std::memory_order_relaxed); }
 
   /// Lock taken shared by probing filters, exclusive by structure-changing
-  /// admission steps.
-  std::shared_mutex& mutex() { return mu_; }
+  /// admission steps. RETURN_CAPABILITY lets the analysis unify a caller's
+  /// `ReaderMutexLock lk(&table->mutex())` with this table's mu_, so the
+  /// ProbeLocked/ProbeBatchLocked REQUIRES_SHARED contracts check across
+  /// translation units.
+  SharedMutex& mutex() RETURN_CAPABILITY(mu_) { return mu_; }
 
   /// Complementary bitmap b_Dj words; read with bitops::AtomicLoadWord,
   /// written via SetComplementBit.
@@ -103,7 +106,7 @@ class DimensionHashTable {
 
   /// Returns the entry for `key` or nullptr. The returned pointer is valid
   /// while the shared lock is held.
-  const Entry* ProbeLocked(int64_t key) const;
+  const Entry* ProbeLocked(int64_t key) const REQUIRES_SHARED(mu_);
 
   /// Batched probe: resolves `keys[0..n)` into `out[0..n)` (entry pointer
   /// or nullptr, same contract as ProbeLocked). Hashes every key first and
@@ -111,8 +114,8 @@ class DimensionHashTable {
   /// kMaxBatch probe misses overlap in the memory system instead of
   /// costing one serialized DRAM latency each. Result is element-wise
   /// identical to n ProbeLocked calls.
-  void ProbeBatchLocked(const int64_t* keys, const Entry** out,
-                        size_t n) const;
+  void ProbeBatchLocked(const int64_t* keys, const Entry** out, size_t n) const
+      REQUIRES_SHARED(mu_);
 
   // --- Admission / cleanup path (Pipeline Manager thread) -----------------
 
@@ -121,7 +124,7 @@ class DimensionHashTable {
   /// "not selected" for queries that reference D_j and "selected" for
   /// queries that don't — exactly b_Dj, paper §3.3.1). Takes the
   /// exclusive lock internally. Returns the entry (existing or new).
-  Entry* InsertOrGet(int64_t key, const uint8_t* row);
+  Entry* InsertOrGet(int64_t key, const uint8_t* row) EXCLUDES(mu_);
 
   /// Batched InsertOrGet: one exclusive-lock acquisition for the whole
   /// batch, with the same hash-then-prefetch-then-resolve schedule as
@@ -130,7 +133,7 @@ class DimensionHashTable {
   /// all n keys is reserved before any insert, so every returned pointer
   /// stays valid until the next structural change after the call.
   void InsertBatch(const int64_t* keys, const uint8_t* const* rows,
-                   Entry** out, size_t n);
+                   Entry** out, size_t n) EXCLUDES(mu_);
 
   /// Atomically sets/clears bit `query_id` of the entry's bit-vector
   /// (caller holds shared or exclusive lock).
@@ -139,7 +142,7 @@ class DimensionHashTable {
   /// Sets or clears bit `query_id` across all stored entries (shared lock
   /// taken internally; atomic per word). Used to restore the bit-vector
   /// invariant when a query id is (re)assigned — see DESIGN.md §5.
-  void SetBitForAllEntries(size_t query_id, bool value);
+  void SetBitForAllEntries(size_t query_id, bool value) EXCLUDES(mu_);
 
   /// Removes entries whose bit-vectors are all-zero across `active_words`
   /// mask (i.e. selected by no live query and irrelevant to all).
@@ -151,12 +154,12 @@ class DimensionHashTable {
   /// collection, generalized). Survivors are staged in table-owned
   /// scratch buffers, so periodic GC passes stop allocating once the
   /// scratch has grown to the table's working size.
-  size_t RemoveDeadEntries(const uint64_t* active_mask);
+  size_t RemoveDeadEntries(const uint64_t* active_mask) EXCLUDES(mu_);
 
   /// Visits every entry under the shared lock: fn(const Entry&).
   template <typename Fn>
-  void ForEachEntry(Fn&& fn) const {
-    std::shared_lock<std::shared_mutex> lk(mu_);
+  void ForEachEntry(Fn&& fn) const EXCLUDES(mu_) {
+    ReaderMutexLock lk(&mu_);
     for (size_t i = 0; i < cap_; ++i) {
       if (slots_[i].used) fn(slots_[i]);
     }
@@ -169,16 +172,17 @@ class DimensionHashTable {
   /// is always confirmed against Entry::key on a tag match.
   static uint64_t TagFor(uint64_t hash) { return hash | 1; }
 
-  size_t Mask() const { return cap_ - 1; }
-  void RehashLocked();
+  size_t Mask() const REQUIRES_SHARED(mu_) { return cap_ - 1; }
+  void RehashLocked() REQUIRES(mu_);
   /// Scalar insert body (caller holds the exclusive lock, capacity
   /// already ensured).
-  Entry* InsertOneLocked(int64_t key, const uint8_t* row);
+  Entry* InsertOneLocked(int64_t key, const uint8_t* row) REQUIRES(mu_);
   /// Continues a probe chain at `idx` looking for (tag, key); used by the
   /// batched probe to resolve the rare full-64-bit tag collision.
-  const Entry* ProbeChainFrom(size_t idx, uint64_t want, int64_t key) const;
+  const Entry* ProbeChainFrom(size_t idx, uint64_t want, int64_t key) const
+      REQUIRES_SHARED(mu_);
   /// Grows until `extra` more entries fit under the load-factor bound.
-  void ReserveLocked(size_t extra);
+  void ReserveLocked(size_t extra) REQUIRES(mu_);
 
   struct FreeDeleter {
     void operator()(void* p) const { std::free(p); }
@@ -196,30 +200,31 @@ class DimensionHashTable {
   /// line and the words arena is not allocated.
   bool InlineBits() const { return width_ <= kInlineWords; }
   /// Points entry i's `bits` at its storage (inline or arena slot i).
-  void BindBits(size_t i) {
+  void BindBits(size_t i) REQUIRES(mu_) {
     slots_[i].bits =
         InlineBits() ? slots_[i].inline_words : &words_[i * width_];
   }
 
   size_t width_;
-  mutable std::shared_mutex mu_;
+  mutable SharedMutex mu_;
   /// Slot capacity (power of two); slots_/tags_/words_ all have cap_
   /// elements (x width_ for words_).
-  size_t cap_ = 0;
-  SlotArray slots_;
+  size_t cap_ GUARDED_BY(mu_) = 0;
+  SlotArray slots_ GUARDED_BY(mu_);
   /// Probe-path occupancy/identity tags: tags_[i] == 0 iff slot i is
   /// empty, else TagFor(Mix64(slots_[i].key)). 8 tags per 64B line.
-  AlignedWordArray tags_;
+  AlignedWordArray tags_ GUARDED_BY(mu_);
   /// Bit-vector arena for widths beyond kInlineWords: one `width_` word
   /// block per slot, same index as slots_. Null when bits are inline.
-  std::unique_ptr<uint64_t[]> words_;
+  std::unique_ptr<uint64_t[]> words_ GUARDED_BY(mu_);
+  /// Not guarded: read/written with atomic word ops at any lock level.
   std::unique_ptr<uint64_t[]> complement_;
   /// Mutated under the exclusive lock; read lock-free by size().
   std::atomic<size_t> size_{0};
   /// GC scratch (RemoveDeadEntries staging); retained across passes so
   /// the Pipeline Manager's periodic GC stops heap-allocating.
-  std::vector<Entry> gc_survivors_;
-  std::vector<uint64_t> gc_survivor_bits_;
+  std::vector<Entry> gc_survivors_ GUARDED_BY(mu_);
+  std::vector<uint64_t> gc_survivor_bits_ GUARDED_BY(mu_);
 };
 
 }  // namespace cjoin

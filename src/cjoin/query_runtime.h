@@ -74,8 +74,20 @@ struct QueryRuntime {
   /// first so any cross-query bookkeeping is recorded before a waiter can
   /// observe the result. Each runtime is delivered exactly once (callers
   /// coordinate via phase, as before).
+  ///
+  /// The observer is moved out and destroyed after its single invocation:
+  /// engine-level observers capture owning references back to the caller's
+  /// ticket state (e.g. the deferred-admission ticket, whose handle owns
+  /// this runtime), so a retained observer would close a shared_ptr cycle
+  /// and leak every deferred query. cancel_hook is deliberately NOT
+  /// cleared here: QueryHandle::Cancel() may read it concurrently with
+  /// delivery, and it only ever captures downstream (shard-side) state.
   void Deliver(Result<ResultSet> result) {
-    if (completion_observer) completion_observer(result);
+    if (completion_observer) {
+      auto observer = std::move(completion_observer);
+      completion_observer = nullptr;
+      observer(result);
+    }
     promise.set_value(std::move(result));
   }
 

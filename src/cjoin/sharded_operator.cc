@@ -3,8 +3,8 @@
 #include <algorithm>
 #include <cassert>
 #include <cstdio>
-#include <mutex>
 
+#include "common/mutex.h"
 #include "exec/aggregation.h"
 #include "exec/group_table.h"
 #include "obs/metrics.h"
@@ -19,13 +19,13 @@ namespace {
 /// cleanup) and by the MergeState; holds no back-references, so the
 /// factory -> box edge cannot form an ownership cycle with the runtimes.
 struct ResultBox {
-  std::mutex mu;
+  Mutex mu;
   /// Default path: per-shard partial group tables, by shard index.
-  std::vector<std::optional<GroupTable>> by_shard;
-  uint64_t consumed = 0;
+  std::vector<std::optional<GroupTable>> by_shard GUARDED_BY(mu);
+  uint64_t consumed GUARDED_BY(mu) = 0;
   /// Custom-aggregator path (e.g. the galaxy join's collector): the single
   /// caller-provided aggregator, shared by every shard under `mu`.
-  std::unique_ptr<StarAggregator> shared_agg;
+  std::unique_ptr<StarAggregator> shared_agg GUARDED_BY(mu);
 };
 
 /// Serializing proxy for the custom-aggregator path: every shard's
@@ -39,7 +39,7 @@ class LockedProxyAggregator final : public StarAggregator {
   void Consume(const uint8_t* fact_row,
                const uint8_t* const* dim_rows) override {
     ++consumed_;
-    std::lock_guard<std::mutex> lk(box_->mu);
+    MutexLock lk(&box_->mu);
     box_->shared_agg->Consume(fact_row, dim_rows);
   }
 
@@ -68,10 +68,13 @@ class LockedProxyAggregator final : public StarAggregator {
 /// caller drops the merged handle early, the whole collector unwinds while
 /// the shard queries run to their natural end inside their operators.
 struct MergeState {
-  std::mutex mu;
-  size_t remaining = 0;
-  Status failure = Status::OK();
-  std::vector<std::unique_ptr<QueryHandle>> shard_handles;
+  Mutex mu;
+  size_t remaining GUARDED_BY(mu) = 0;
+  Status failure GUARDED_BY(mu) = Status::OK();
+  std::vector<std::unique_ptr<QueryHandle>> shard_handles GUARDED_BY(mu);
+  // The fields below are written once by Submit() before the state is
+  // published to the shard completion observers, then only read — no
+  // guard needed.
   std::weak_ptr<QueryRuntime> merge_rt;
   std::shared_ptr<ResultBox> box;
   /// The logical query's span trace (may be null): shard completions and
@@ -83,8 +86,9 @@ struct MergeState {
   std::vector<std::string> columns;
   bool global_row_when_empty = false;
 
-  void OnShardDone(size_t shard, const Result<ResultSet>& result) {
-    std::lock_guard<std::mutex> lk(mu);
+  void OnShardDone(size_t shard, const Result<ResultSet>& result)
+      EXCLUDES(mu) {
+    MutexLock lk(&mu);
     if (trace != nullptr) {
       // Span start reconstructed from the shard's own response time, so
       // the trace shows each shard's submit -> deliver window.
@@ -104,7 +108,8 @@ struct MergeState {
   }
 
  private:
-  void FinishMerge() {  // mu held; runs on the last shard's resolver thread
+  // Runs on the last shard's resolver thread.
+  void FinishMerge() REQUIRES(mu) {
     std::shared_ptr<QueryRuntime> rt = merge_rt.lock();
     if (rt == nullptr) return;  // caller dropped the merged handle
 
@@ -135,7 +140,7 @@ struct MergeState {
     const int64_t merge_start = QueryRuntime::NowNs();
     ResultSet rs;
     {
-      std::lock_guard<std::mutex> lk(box->mu);
+      MutexLock lk(&box->mu);
       if (box->shared_agg != nullptr) {
         rs = box->shared_agg->Finish();
       } else {
@@ -228,10 +233,18 @@ Result<std::unique_ptr<QueryHandle>> ShardedCJoinOperator::Submit(
 
   auto state = std::make_shared<MergeState>();
   auto box = std::make_shared<ResultBox>();
-  box->by_shard.resize(shards_.size());
+  {
+    // Nothing else can reference the fresh state/box yet; the locks only
+    // satisfy the GUARDED_BY contracts on their fields.
+    MutexLock box_lk(&box->mu);
+    box->by_shard.resize(shards_.size());
+  }
   state->box = box;
-  state->remaining = shards_.size();
-  state->shard_handles.resize(shards_.size());
+  {
+    MutexLock state_lk(&state->mu);
+    state->remaining = shards_.size();
+    state->shard_handles.resize(shards_.size());
+  }
   for (const AggregateSpec& a : spec.aggregates) state->fns.push_back(a.fn);
   state->columns = spec.group_by_labels;
   for (const AggregateSpec& a : spec.aggregates) {
@@ -249,8 +262,11 @@ Result<std::unique_ptr<QueryHandle>> ShardedCJoinOperator::Submit(
   state->merge_rt = merge_rt;
   std::future<Result<ResultSet>> fut = merge_rt->promise.get_future();
 
+  bool use_shared_agg = false;
   if (options.aggregator_factory != nullptr) {
+    MutexLock box_lk(&box->mu);
     box->shared_agg = options.aggregator_factory(merge_rt->spec);
+    use_shared_agg = box->shared_agg != nullptr;
   }
 
   for (size_t s = 0; s < shards_.size(); ++s) {
@@ -266,7 +282,7 @@ Result<std::unique_ptr<QueryHandle>> ShardedCJoinOperator::Submit(
     // are disambiguated by a per-shard label prefix ("s2/pre").
     so.trace = options.trace;
     so.trace_prefix = "s" + std::to_string(s) + "/";
-    if (box->shared_agg != nullptr) {
+    if (use_shared_agg) {
       so.aggregator_factory = [box](const StarQuerySpec&) {
         return std::make_unique<LockedProxyAggregator>(box);
       };
@@ -274,7 +290,7 @@ Result<std::unique_ptr<QueryHandle>> ShardedCJoinOperator::Submit(
       so.aggregator_factory = [box, s](const StarQuerySpec& qs) {
         return MakePartialHashAggregator(
             qs, [box, s](GroupTable&& partial, uint64_t consumed) {
-              std::lock_guard<std::mutex> lk(box->mu);
+              MutexLock lk(&box->mu);
               box->by_shard[s] = std::move(partial);
               box->consumed += consumed;
             });
@@ -294,25 +310,25 @@ Result<std::unique_ptr<QueryHandle>> ShardedCJoinOperator::Submit(
     if (!handle.ok()) {
       // Unwind the shards already registered; their early termination is
       // observed only by the (now dying) weak state.
-      std::lock_guard<std::mutex> lk(state->mu);
+      MutexLock lk(&state->mu);
       for (auto& h : state->shard_handles) {
         if (h != nullptr) h->Cancel();
       }
       return handle.status();
     }
-    std::lock_guard<std::mutex> lk(state->mu);
+    MutexLock lk(&state->mu);
     state->shard_handles[s] = std::move(*handle);
   }
 
   {
-    std::lock_guard<std::mutex> lk(state->mu);
+    MutexLock lk(&state->mu);
     merge_rt->query_id = state->shard_handles[0]->query_id();
   }
   // The merged handle's Cancel() fans out to every shard (each shard then
   // deregisters the query mid-lap and reclaims its bit-vector slot). The
   // hook also anchors the MergeState's lifetime to the merged runtime.
   merge_rt->cancel_hook = [state] {
-    std::lock_guard<std::mutex> lk(state->mu);
+    MutexLock lk(&state->mu);
     for (auto& h : state->shard_handles) {
       if (h != nullptr) h->Cancel();
     }

@@ -2,10 +2,10 @@
 
 #include <algorithm>
 #include <cstring>
-#include <shared_mutex>
 
 #include "cjoin/query_runtime.h"
 #include "common/bitvector.h"
+#include "common/mutex.h"
 #include "obs/flight_recorder.h"
 
 namespace cjoin {
@@ -89,7 +89,7 @@ size_t Stage::FilterBatch(TupleBatch* batch, const FilterOrder& filters) {
 
     // Hold the shared lock for the whole batch: entry pointers stay valid
     // and the per-probe cost is one uncontended atomic in the common case.
-    std::shared_lock<std::shared_mutex> lk(table->mutex());
+    ReaderMutexLock lk(&table->mutex());
 
     if (probe_batch <= 1) {
       // Scalar arm (probe_batch_size=1): one table probe per tuple, each

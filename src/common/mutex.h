@@ -1,0 +1,216 @@
+// Annotated mutex shim over <mutex>/<shared_mutex>/<condition_variable>.
+//
+// libstdc++'s std::mutex carries no thread-safety capability attributes,
+// so Clang's -Wthread-safety analysis cannot track it. cjoin::Mutex /
+// cjoin::SharedMutex are zero-overhead wrappers (every method is an
+// inline forward) that carry the CAPABILITY annotations, and the RAII
+// guards below carry the SCOPED_CAPABILITY acquire/release contracts.
+// On GCC the annotations compile away and these are exactly std::mutex
+// semantics and codegen.
+//
+// cjoin::CondVar keeps std::condition_variable underneath (NOT
+// condition_variable_any, which would add an extra mutex hop): its wait
+// methods take the annotated Mutex directly, adopt the already-held
+// native handle into a std::unique_lock for the wait, and release the
+// adoption before returning — so the REQUIRES(mu) contract is preserved
+// across the call from the caller's point of view.
+//
+// Conventions (README "Correctness tooling"):
+//   MutexLock lk(&mu);            // plain scope lock
+//   UniqueLock lk(&mu);           // when you need Unlock()/Lock() middles
+//   ReaderMutexLock lk(&smu);     // shared_mutex, shared mode
+//   WriterMutexLock lk(&smu);     // shared_mutex, exclusive mode
+//   cv.Wait(mu);                  // inside a REQUIRES(mu) while-loop;
+//                                 // predicate lambdas are NOT used with
+//                                 // guarded state (the analysis treats a
+//                                 // lambda as a separate function)
+
+#ifndef CJOIN_COMMON_MUTEX_H_
+#define CJOIN_COMMON_MUTEX_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <shared_mutex>
+
+#include "common/thread_annotations.h"
+
+namespace cjoin {
+
+/// std::mutex with thread-safety capability annotations.
+class CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() ACQUIRE() { mu_.lock(); }
+  void Unlock() RELEASE() { mu_.unlock(); }
+  bool TryLock() TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+  /// The wrapped handle, for condition-variable interop (CondVar) only.
+  std::mutex& native() { return mu_; }
+
+ private:
+  std::mutex mu_;
+};
+
+/// std::shared_mutex with thread-safety capability annotations.
+class CAPABILITY("shared_mutex") SharedMutex {
+ public:
+  SharedMutex() = default;
+  SharedMutex(const SharedMutex&) = delete;
+  SharedMutex& operator=(const SharedMutex&) = delete;
+
+  void Lock() ACQUIRE() { mu_.lock(); }
+  void Unlock() RELEASE() { mu_.unlock(); }
+  bool TryLock() TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+  void LockShared() ACQUIRE_SHARED() { mu_.lock_shared(); }
+  void UnlockShared() RELEASE_SHARED() { mu_.unlock_shared(); }
+  bool TryLockShared() TRY_ACQUIRE_SHARED(true) {
+    return mu_.try_lock_shared();
+  }
+
+  std::shared_mutex& native() { return mu_; }
+
+ private:
+  std::shared_mutex mu_;
+};
+
+/// RAII scope lock (std::lock_guard equivalent).
+class SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex* mu) ACQUIRE(mu) : mu_(mu) { mu_->Lock(); }
+  ~MutexLock() RELEASE() { mu_->Unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex* const mu_;
+};
+
+/// Relockable RAII lock (std::unique_lock equivalent): for scopes that
+/// drop the lock in the middle (run callbacks, block on I/O) and
+/// re-take it. Follows the relockable-guard pattern from the Clang
+/// thread-safety docs: the analysis tracks the underlying mutex through
+/// the guard's ACQUIRE/RELEASE methods.
+class SCOPED_CAPABILITY UniqueLock {
+ public:
+  explicit UniqueLock(Mutex* mu) ACQUIRE(mu) : mu_(mu), held_(true) {
+    mu_->Lock();
+  }
+  ~UniqueLock() RELEASE() {
+    if (held_) mu_->Unlock();
+  }
+
+  UniqueLock(const UniqueLock&) = delete;
+  UniqueLock& operator=(const UniqueLock&) = delete;
+
+  void Lock() ACQUIRE() {
+    mu_->Lock();
+    held_ = true;
+  }
+  void Unlock() RELEASE() {
+    held_ = false;
+    mu_->Unlock();
+  }
+  bool held() const { return held_; }
+
+ private:
+  Mutex* const mu_;
+  bool held_;
+};
+
+/// RAII shared (reader) lock on a SharedMutex.
+class SCOPED_CAPABILITY ReaderMutexLock {
+ public:
+  explicit ReaderMutexLock(SharedMutex* mu) ACQUIRE_SHARED(mu) : mu_(mu) {
+    mu_->LockShared();
+  }
+  /// release_generic: a scoped guard's destructor releases whatever mode
+  /// its constructor acquired; the analysis models shared release this way.
+  ~ReaderMutexLock() RELEASE_GENERIC() { mu_->UnlockShared(); }
+
+  ReaderMutexLock(const ReaderMutexLock&) = delete;
+  ReaderMutexLock& operator=(const ReaderMutexLock&) = delete;
+
+ private:
+  SharedMutex* const mu_;
+};
+
+/// RAII exclusive (writer) lock on a SharedMutex.
+class SCOPED_CAPABILITY WriterMutexLock {
+ public:
+  explicit WriterMutexLock(SharedMutex* mu) ACQUIRE(mu) : mu_(mu) {
+    mu_->Lock();
+  }
+  ~WriterMutexLock() RELEASE() { mu_->Unlock(); }
+
+  WriterMutexLock(const WriterMutexLock&) = delete;
+  WriterMutexLock& operator=(const WriterMutexLock&) = delete;
+
+ private:
+  SharedMutex* const mu_;
+};
+
+/// Condition variable over cjoin::Mutex. Still std::condition_variable
+/// underneath (no condition_variable_any overhead): each wait adopts the
+/// caller's already-held native handle, waits, and un-adopts.
+///
+/// Waits REQUIRE the mutex and are used in explicit while-loops over the
+/// guarded predicate — never with predicate lambdas, which the analysis
+/// treats as separate (unlocked) functions.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  void NotifyOne() { cv_.notify_one(); }
+  void NotifyAll() { cv_.notify_all(); }
+
+  /// Atomically releases `mu`, waits, and re-acquires before returning.
+  /// NO_THREAD_SAFETY_ANALYSIS (allowlisted: condvar wait internal) — the
+  /// body releases and re-acquires the REQUIRES'd mutex through the
+  /// adopted std::unique_lock, which the analysis cannot follow; the
+  /// external contract (held on entry, held on return) is exactly
+  /// REQUIRES(mu).
+  void Wait(Mutex& mu) REQUIRES(mu) NO_THREAD_SAFETY_ANALYSIS {
+    std::unique_lock<std::mutex> lk(mu.native(), std::adopt_lock);
+    cv_.wait(lk);
+    lk.release();
+  }
+
+  /// Timed wait; returns std::cv_status::timeout on expiry. Same
+  /// allowlisted NO_THREAD_SAFETY_ANALYSIS rationale as Wait().
+  template <typename Rep, typename Period>
+  std::cv_status WaitFor(Mutex& mu,
+                         const std::chrono::duration<Rep, Period>& d)
+      REQUIRES(mu) NO_THREAD_SAFETY_ANALYSIS {
+    std::unique_lock<std::mutex> lk(mu.native(), std::adopt_lock);
+    std::cv_status st = cv_.wait_for(lk, d);
+    lk.release();
+    return st;
+  }
+
+  /// Deadline wait; returns std::cv_status::timeout on expiry. Same
+  /// allowlisted NO_THREAD_SAFETY_ANALYSIS rationale as Wait().
+  template <typename Clock, typename Duration>
+  std::cv_status WaitUntil(
+      Mutex& mu, const std::chrono::time_point<Clock, Duration>& tp)
+      REQUIRES(mu) NO_THREAD_SAFETY_ANALYSIS {
+    std::unique_lock<std::mutex> lk(mu.native(), std::adopt_lock);
+    std::cv_status st = cv_.wait_until(lk, tp);
+    lk.release();
+    return st;
+  }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace cjoin
+
+#endif  // CJOIN_COMMON_MUTEX_H_

@@ -20,14 +20,13 @@
 #define CJOIN_COMMON_QUEUE_H_
 
 #include <chrono>
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
 
+#include "common/mutex.h"
 #include "obs/flight_recorder.h"
 
 namespace cjoin {
@@ -54,41 +53,46 @@ class BoundedQueue {
     std::string name;
   };
 
+  static Options WithCapacity(size_t capacity) {
+    Options o;
+    o.capacity = capacity;
+    return o;
+  }
+
   BoundedQueue() : BoundedQueue(Options{}) {}
   explicit BoundedQueue(Options opts) : opts_(opts) {
     if (opts_.capacity == 0) opts_.capacity = 1;
     if (opts_.consumer_wake_depth == 0) opts_.consumer_wake_depth = 1;
     if (opts_.producer_wake_space == 0) opts_.producer_wake_space = 1;
   }
-  explicit BoundedQueue(size_t capacity)
-      : BoundedQueue(Options{.capacity = capacity}) {}
+  explicit BoundedQueue(size_t capacity) : BoundedQueue(WithCapacity(capacity)) {}
 
   BoundedQueue(const BoundedQueue&) = delete;
   BoundedQueue& operator=(const BoundedQueue&) = delete;
 
   /// Blocks until there is space, then enqueues. Returns false iff the
   /// queue was closed (the item is dropped).
-  bool Push(T item) {
-    std::unique_lock<std::mutex> lk(mu_);
+  bool Push(T item) EXCLUDES(mu_) {
+    MutexLock lk(&mu_);
     while (items_.size() >= opts_.capacity && !closed_) {
-      not_full_.wait_for(lk, opts_.wait_slice);
+      not_full_.WaitFor(mu_, opts_.wait_slice);
     }
     if (closed_) return false;
     items_.push_back(std::move(item));
     NotePush();
-    MaybeWakeConsumer(lk);
+    MaybeWakeConsumer();
     return true;
   }
 
   /// Enqueues all of `batch` (blocking as needed, possibly in chunks).
   /// Returns the number of items accepted; fewer than batch.size() only if
   /// the queue was closed mid-way.
-  size_t PushBatch(std::vector<T>& batch) {
+  size_t PushBatch(std::vector<T>& batch) EXCLUDES(mu_) {
     size_t pushed = 0;
-    std::unique_lock<std::mutex> lk(mu_);
+    MutexLock lk(&mu_);
     while (pushed < batch.size()) {
       while (items_.size() >= opts_.capacity && !closed_) {
-        not_full_.wait_for(lk, opts_.wait_slice);
+        not_full_.WaitFor(mu_, opts_.wait_slice);
       }
       if (closed_) break;
       while (pushed < batch.size() && items_.size() < opts_.capacity) {
@@ -96,33 +100,33 @@ class BoundedQueue {
         ++pushed;
       }
       NotePush();
-      MaybeWakeConsumer(lk);
+      MaybeWakeConsumer();
     }
     return pushed;
   }
 
   /// Blocks until an item is available or the queue is closed-and-drained.
   /// Returns nullopt in the latter case.
-  std::optional<T> Pop() {
-    std::unique_lock<std::mutex> lk(mu_);
+  std::optional<T> Pop() EXCLUDES(mu_) {
+    MutexLock lk(&mu_);
     while (items_.empty() && !closed_) {
-      not_empty_.wait_for(lk, opts_.wait_slice);
+      not_empty_.WaitFor(mu_, opts_.wait_slice);
     }
     if (items_.empty()) return std::nullopt;
     T out = std::move(items_.front());
     items_.pop_front();
     NotePop();
-    MaybeWakeProducer(lk);
+    MaybeWakeProducer();
     return out;
   }
 
   /// Pops up to `max_items` items into `out` (appending). Blocks until at
   /// least one item is available or the queue is closed-and-drained.
   /// Returns the number of items popped (0 means closed and empty).
-  size_t PopBatch(std::vector<T>& out, size_t max_items) {
-    std::unique_lock<std::mutex> lk(mu_);
+  size_t PopBatch(std::vector<T>& out, size_t max_items) EXCLUDES(mu_) {
+    MutexLock lk(&mu_);
     while (items_.empty() && !closed_) {
-      not_empty_.wait_for(lk, opts_.wait_slice);
+      not_empty_.WaitFor(mu_, opts_.wait_slice);
     }
     size_t n = 0;
     while (n < max_items && !items_.empty()) {
@@ -132,7 +136,7 @@ class BoundedQueue {
     }
     if (n > 0) {
       NotePop();
-      MaybeWakeProducer(lk);
+      MaybeWakeProducer();
     }
     return n;
   }
@@ -140,11 +144,12 @@ class BoundedQueue {
   /// Pop that waits at most `timeout`; nullopt on timeout, close, or
   /// empty-after-timeout.
   template <typename Rep, typename Period>
-  std::optional<T> PopWithTimeout(std::chrono::duration<Rep, Period> timeout) {
+  std::optional<T> PopWithTimeout(std::chrono::duration<Rep, Period> timeout)
+      EXCLUDES(mu_) {
     const auto deadline = std::chrono::steady_clock::now() + timeout;
-    std::unique_lock<std::mutex> lk(mu_);
+    MutexLock lk(&mu_);
     while (items_.empty() && !closed_) {
-      if (not_empty_.wait_until(lk, deadline) == std::cv_status::timeout &&
+      if (not_empty_.WaitUntil(mu_, deadline) == std::cv_status::timeout &&
           items_.empty()) {
         return std::nullopt;
       }
@@ -153,45 +158,45 @@ class BoundedQueue {
     T out = std::move(items_.front());
     items_.pop_front();
     NotePop();
-    MaybeWakeProducer(lk);
+    MaybeWakeProducer();
     return out;
   }
 
   /// Non-blocking pop; nullopt if empty (even when open).
-  std::optional<T> TryPop() {
-    std::unique_lock<std::mutex> lk(mu_);
+  std::optional<T> TryPop() EXCLUDES(mu_) {
+    MutexLock lk(&mu_);
     if (items_.empty()) return std::nullopt;
     T out = std::move(items_.front());
     items_.pop_front();
     NotePop();
-    MaybeWakeProducer(lk);
+    MaybeWakeProducer();
     return out;
   }
 
   /// Wakes all waiters regardless of watermarks. Producers call this after
   /// their final Push when running with hysteresis enabled.
-  void Flush() {
-    std::lock_guard<std::mutex> lk(mu_);
-    not_empty_.notify_all();
-    not_full_.notify_all();
+  void Flush() EXCLUDES(mu_) {
+    MutexLock lk(&mu_);
+    not_empty_.NotifyAll();
+    not_full_.NotifyAll();
   }
 
   /// Closes the queue: subsequent pushes fail, pops drain remaining items
   /// then return empty. Idempotent.
-  void Close() {
-    std::lock_guard<std::mutex> lk(mu_);
+  void Close() EXCLUDES(mu_) {
+    MutexLock lk(&mu_);
     closed_ = true;
-    not_empty_.notify_all();
-    not_full_.notify_all();
+    not_empty_.NotifyAll();
+    not_full_.NotifyAll();
   }
 
-  bool closed() const {
-    std::lock_guard<std::mutex> lk(mu_);
+  bool closed() const EXCLUDES(mu_) {
+    MutexLock lk(&mu_);
     return closed_;
   }
 
-  size_t size() const {
-    std::lock_guard<std::mutex> lk(mu_);
+  size_t size() const EXCLUDES(mu_) {
+    MutexLock lk(&mu_);
     return items_.size();
   }
 
@@ -203,8 +208,8 @@ class BoundedQueue {
   /// Highest depth observed since the last call; reading re-arms the
   /// mark at the current depth (reset-on-read), so each scrape reports
   /// the peak within its own interval.
-  size_t HighWatermark() {
-    std::lock_guard<std::mutex> lk(mu_);
+  size_t HighWatermark() EXCLUDES(mu_) {
+    MutexLock lk(&mu_);
     const size_t hw = high_watermark_;
     high_watermark_ = items_.size();
     return hw;
@@ -212,40 +217,40 @@ class BoundedQueue {
 
  private:
   /// Both hooks run with mu_ held, right after the deque changed.
-  void NotePush() {
+  void NotePush() REQUIRES(mu_) {
     if (items_.size() > high_watermark_) high_watermark_ = items_.size();
     if (!opts_.name.empty()) {
       obs::RecordEvent(obs::EventKind::kQueuePush, opts_.name.c_str(),
                        static_cast<uint32_t>(items_.size()));
     }
   }
-  void NotePop() {
+  void NotePop() REQUIRES(mu_) {
     if (!opts_.name.empty()) {
       obs::RecordEvent(obs::EventKind::kQueuePop, opts_.name.c_str(),
                        static_cast<uint32_t>(items_.size()));
     }
   }
 
-  void MaybeWakeConsumer(std::unique_lock<std::mutex>&) {
+  void MaybeWakeConsumer() REQUIRES(mu_) {
     if (items_.size() >= opts_.consumer_wake_depth ||
         items_.size() >= opts_.capacity) {
-      not_empty_.notify_all();
+      not_empty_.NotifyAll();
     }
   }
-  void MaybeWakeProducer(std::unique_lock<std::mutex>&) {
+  void MaybeWakeProducer() REQUIRES(mu_) {
     const size_t space = opts_.capacity - items_.size();
     if (space >= opts_.producer_wake_space || items_.empty()) {
-      not_full_.notify_all();
+      not_full_.NotifyAll();
     }
   }
 
   Options opts_;
-  mutable std::mutex mu_;
-  std::condition_variable not_empty_;
-  std::condition_variable not_full_;
-  std::deque<T> items_;
-  bool closed_ = false;
-  size_t high_watermark_ = 0;  ///< guarded by mu_; reset on read
+  mutable Mutex mu_;
+  CondVar not_empty_;
+  CondVar not_full_;
+  std::deque<T> items_ GUARDED_BY(mu_);
+  bool closed_ GUARDED_BY(mu_) = false;
+  size_t high_watermark_ GUARDED_BY(mu_) = 0;  ///< reset on read
 };
 
 }  // namespace cjoin

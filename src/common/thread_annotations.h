@@ -1,0 +1,128 @@
+// Portable Clang thread-safety-analysis annotations (tentpole of the
+// lock-discipline PR).
+//
+// CJOIN's value proposition is predictable behavior under hundreds of
+// concurrent queries, and the engine is deeply concurrent: pipeline
+// stages, the admission controller, the sharded operator pool, dimension
+// hash tables, the net server, and the metrics registry all hold
+// mutex-protected state. The TSan CI job is a *dynamic* checker — it can
+// only catch races the tests happen to execute. These macros add the
+// *static* layer: Clang's `-Wthread-safety` analysis proves, at compile
+// time and for every code path, that each GUARDED_BY member is only
+// touched with its mutex held and that each REQUIRES method is only
+// called under the right lock (the approach Abseil-based production
+// engines use).
+//
+// The macros expand to Clang attributes under Clang and to nothing
+// elsewhere (GCC builds are unaffected). They annotate the cjoin::Mutex
+// family in common/mutex.h — std::mutex itself carries no capability
+// attributes in libstdc++, which is why the engine locks through the
+// annotated shim.
+//
+// Conventions for new code (see README "Correctness tooling"):
+//   * every member protected by a mutex is GUARDED_BY(mu_);
+//   * every private method that assumes the lock is held is
+//     REQUIRES(mu_) — and named *Locked() by existing convention;
+//   * methods that take a lock internally and must not be called with it
+//     held are EXCLUDES(mu_) where a caller could plausibly hold it;
+//   * NO_THREAD_SAFETY_ANALYSIS is reserved for condition-variable wait
+//     internals and lock-free seqlock paths, each with a comment saying
+//     why the analysis cannot see the invariant.
+//
+// Gate: configure with -DCJOIN_WERROR_THREAD_SAFETY=ON under Clang to
+// build with -Wthread-safety -Werror=thread-safety-analysis (the CI
+// `thread-safety` job does). tests/annotations_negative.cc proves the
+// gate actually rejects ill-locked code.
+
+#ifndef CJOIN_COMMON_THREAD_ANNOTATIONS_H_
+#define CJOIN_COMMON_THREAD_ANNOTATIONS_H_
+
+#if defined(__clang__)
+#define CJOIN_THREAD_ANNOTATION__(x) __attribute__((x))
+#else
+#define CJOIN_THREAD_ANNOTATION__(x)  // no-op outside Clang
+#endif
+
+/// Marks a class as a lockable capability ("mutex", "shared_mutex").
+#define CAPABILITY(x) CJOIN_THREAD_ANNOTATION__(capability(x))
+
+/// Marks an RAII class whose constructor acquires and destructor
+/// releases a capability.
+#define SCOPED_CAPABILITY CJOIN_THREAD_ANNOTATION__(scoped_lockable)
+
+/// Data member readable/writable only with `x` held.
+#define GUARDED_BY(x) CJOIN_THREAD_ANNOTATION__(guarded_by(x))
+
+/// Pointer member whose *pointee* is protected by `x` (the pointer
+/// itself may be read freely).
+#define PT_GUARDED_BY(x) CJOIN_THREAD_ANNOTATION__(pt_guarded_by(x))
+
+/// Function callable only with the listed capabilities held exclusively.
+#define REQUIRES(...) \
+  CJOIN_THREAD_ANNOTATION__(requires_capability(__VA_ARGS__))
+
+/// Function callable only with the listed capabilities held shared (or
+/// exclusively).
+#define REQUIRES_SHARED(...) \
+  CJOIN_THREAD_ANNOTATION__(requires_shared_capability(__VA_ARGS__))
+
+/// Function that acquires the capability exclusively (and does not
+/// release it before returning).
+#define ACQUIRE(...) \
+  CJOIN_THREAD_ANNOTATION__(acquire_capability(__VA_ARGS__))
+
+/// Function that acquires the capability in shared mode.
+#define ACQUIRE_SHARED(...) \
+  CJOIN_THREAD_ANNOTATION__(acquire_shared_capability(__VA_ARGS__))
+
+/// Function that releases an exclusively-held capability.
+#define RELEASE(...) \
+  CJOIN_THREAD_ANNOTATION__(release_capability(__VA_ARGS__))
+
+/// Function that releases a shared-held capability.
+#define RELEASE_SHARED(...) \
+  CJOIN_THREAD_ANNOTATION__(release_shared_capability(__VA_ARGS__))
+
+/// Function that releases a capability whatever mode it was acquired in
+/// (scoped-lock destructors that may hold either mode).
+#define RELEASE_GENERIC(...) \
+  CJOIN_THREAD_ANNOTATION__(release_generic_capability(__VA_ARGS__))
+
+/// Function that acquires the capability iff it returns `b`.
+#define TRY_ACQUIRE(...) \
+  CJOIN_THREAD_ANNOTATION__(try_acquire_capability(__VA_ARGS__))
+
+#define TRY_ACQUIRE_SHARED(...) \
+  CJOIN_THREAD_ANNOTATION__(try_acquire_shared_capability(__VA_ARGS__))
+
+/// Function that must NOT be called with the listed capabilities held
+/// (it acquires them internally; holding them would deadlock).
+#define EXCLUDES(...) CJOIN_THREAD_ANNOTATION__(locks_excluded(__VA_ARGS__))
+
+/// Declares that this function returns a reference to the capability
+/// `x` (accessor methods like DimensionHashTable::mutex(); lets the
+/// analysis unify `table->mutex()` with the table's private `mu_`).
+#define RETURN_CAPABILITY(x) CJOIN_THREAD_ANNOTATION__(lock_returned(x))
+
+/// Documents lock acquisition order between two mutexes (deadlock
+/// prevention; checked when both orders are annotated).
+#define ACQUIRED_BEFORE(...) \
+  CJOIN_THREAD_ANNOTATION__(acquired_before(__VA_ARGS__))
+#define ACQUIRED_AFTER(...) \
+  CJOIN_THREAD_ANNOTATION__(acquired_after(__VA_ARGS__))
+
+/// Runtime assertion that the capability is held (condvar wait helpers).
+#define ASSERT_CAPABILITY(x) \
+  CJOIN_THREAD_ANNOTATION__(assert_capability(x))
+#define ASSERT_SHARED_CAPABILITY(x) \
+  CJOIN_THREAD_ANNOTATION__(assert_shared_capability(x))
+
+/// Escape hatch: the function's locking cannot be expressed to the
+/// analysis. ALLOWLISTED USES ONLY — condition-variable wait internals
+/// (which release and re-acquire the mutex inside a REQUIRES scope) and
+/// lock-free seqlock read paths. Every use carries a justifying comment;
+/// the CI thread-safety job greps for undocumented uses.
+#define NO_THREAD_SAFETY_ANALYSIS \
+  CJOIN_THREAD_ANNOTATION__(no_thread_safety_analysis)
+
+#endif  // CJOIN_COMMON_THREAD_ANNOTATIONS_H_

@@ -56,11 +56,11 @@ void* TuplePool::TryAcquire() {
 void* TuplePool::Acquire() {
   void* slot = TryAcquire();
   if (slot != nullptr) return slot;
-  std::unique_lock<std::mutex> lk(mu_);
+  MutexLock lk(&mu_);
   for (;;) {
     slot = TryAcquire();
     if (slot != nullptr) return slot;
-    freed_.wait_for(lk, std::chrono::microseconds(200));
+    freed_.WaitFor(mu_, std::chrono::microseconds(200));
   }
 }
 
@@ -78,8 +78,8 @@ void TuplePool::Release(void* slot) {
   const size_t prior = free_count_.fetch_add(1, std::memory_order_relaxed);
   if (prior == 0) {
     // Pool was exhausted; there may be blocked acquirers.
-    std::lock_guard<std::mutex> lk(mu_);
-    freed_.notify_all();
+    MutexLock lk(&mu_);
+    freed_.NotifyAll();
   }
 }
 

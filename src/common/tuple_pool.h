@@ -17,11 +17,11 @@
 
 #include <atomic>
 #include <bit>
-#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
 #include <memory>
-#include <mutex>
+
+#include "common/mutex.h"
 
 namespace cjoin {
 
@@ -38,13 +38,13 @@ class TuplePool {
 
   /// Reserves a slot, blocking while the pool is exhausted. Never returns
   /// nullptr.
-  void* Acquire();
+  void* Acquire() EXCLUDES(mu_);
 
   /// Reserves a slot if one is free; nullptr otherwise (never blocks).
   void* TryAcquire();
 
   /// Returns a slot obtained from Acquire/TryAcquire to the pool.
-  void Release(void* slot);
+  void Release(void* slot) EXCLUDES(mu_);
 
   size_t capacity() const { return capacity_; }
   size_t stride() const { return stride_; }
@@ -68,9 +68,12 @@ class TuplePool {
   std::atomic<size_t> free_count_;
   std::atomic<size_t> search_hint_{0};
 
-  // Slow path for exhaustion.
-  std::mutex mu_;
-  std::condition_variable freed_;
+  // Slow path for exhaustion. mu_ guards no data — it only serializes
+  // the exhausted-pool sleep against Release's wakeup (the bitmap itself
+  // is lock-free); freed_ waits are re-checked in a loop, so a missed
+  // notify costs at most one 200us wait slice.
+  Mutex mu_;
+  CondVar freed_;
 };
 
 }  // namespace cjoin

@@ -62,7 +62,7 @@ AdmissionController::~AdmissionController() { Shutdown(); }
 void AdmissionController::Shutdown() {
   std::vector<GrantAction> failed;
   {
-    std::lock_guard<std::mutex> lk(mu_);
+    MutexLock lk(&mu_);
     if (shutdown_) return;
     shutdown_ = true;
     for (Waiter& w : wait_queue_) {
@@ -75,7 +75,7 @@ void AdmissionController::Shutdown() {
     wait_queue_.clear();
     obs_wait_depth_->Set(0);
   }
-  service_cv_.notify_all();
+  service_cv_.NotifyAll();
   for (GrantAction& a : failed) a.grant(a.status);
   if (service_thread_.joinable()) service_thread_.join();
 }
@@ -142,7 +142,7 @@ AdmissionDecision AdmissionController::TryAdmit(const std::string& tenant,
                                                 GrantFactory make_grant) {
   const int64_t now = QueryRuntime::NowNs();
   AdmissionDecision d;
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(&mu_);
   if (shutdown_) {
     obs_shed_->Add();
     d.outcome = AdmissionOutcome::kShed;
@@ -248,7 +248,7 @@ AdmissionDecision AdmissionController::TryAdmit(const std::string& tenant,
     d.outcome = AdmissionOutcome::kQueued;
     d.reason = std::string(bound) + " full: parked in wait queue";
     d.waiter_id = wait_queue_.back().id;
-    service_cv_.notify_all();  // re-arm the expiry timer
+    service_cv_.NotifyAll();  // re-arm the expiry timer
     RecordVerdict(d.outcome, tenant);
     return d;
   }
@@ -271,7 +271,7 @@ AdmissionDecision AdmissionController::TryAdmit(const std::string& tenant,
 
 AdmissionDecision AdmissionController::Probe(const std::string& tenant,
                                              RouteChoice route) const {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(&mu_);
   return ProbeLocked(tenant, route, QueryRuntime::NowNs());
 }
 
@@ -380,7 +380,7 @@ void AdmissionController::Release(const std::string& tenant,
                                   RouteChoice route) {
   bool notify = false;
   {
-    std::lock_guard<std::mutex> lk(mu_);
+    MutexLock lk(&mu_);
     auto it = tenants_.find(tenant);
     if (it == tenants_.end()) return;
     TenantState& state = it->second;
@@ -408,13 +408,13 @@ void AdmissionController::Release(const std::string& tenant,
       notify = true;
     }
   }
-  if (notify) service_cv_.notify_all();
+  if (notify) service_cv_.NotifyAll();
 }
 
 void AdmissionController::ReleaseAsShed(const std::string& tenant,
                                         RouteChoice route) {
   Release(tenant, route);
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(&mu_);
   auto it = tenants_.find(tenant);
   if (it == tenants_.end()) return;
   // Rewrite the admitted+released round trip into the shed the caller
@@ -432,7 +432,7 @@ void AdmissionController::ReleaseAsShed(const std::string& tenant,
 void AdmissionController::CancelWaiter(uint64_t waiter_id) {
   GrantFn grant;
   {
-    std::lock_guard<std::mutex> lk(mu_);
+    MutexLock lk(&mu_);
     for (auto it = wait_queue_.begin(); it != wait_queue_.end(); ++it) {
       if (it->id == waiter_id) {
         tenants_[it->tenant].waiting--;
@@ -450,7 +450,7 @@ void AdmissionController::CancelWaiter(uint64_t waiter_id) {
 
 void AdmissionController::ServiceLoop() {
   obs::RegisterThread("adm");
-  std::unique_lock<std::mutex> lk(mu_);
+  UniqueLock lk(&mu_);
   while (!shutdown_) {
     if (!grants_pending_) {
       int64_t nearest = 0;
@@ -461,20 +461,30 @@ void AdmissionController::ServiceLoop() {
       }
       // Wake on shutdown, pending grants, or ANY wait-queue change — a
       // newly parked waiter may expire earlier than `nearest`, so the
-      // timer must be re-armed, not slept through.
+      // timer must be re-armed, not slept through. Explicit wait loops
+      // (not the predicate overload): a predicate lambda is analyzed as
+      // a separate, unlocked function, so the guarded reads live here.
       const uint64_t epoch = waiters_epoch_;
-      const auto woken = [this, epoch] {
-        return shutdown_ || grants_pending_ || waiters_epoch_ != epoch;
-      };
       if (nearest == 0) {
-        service_cv_.wait(lk, woken);
+        while (!shutdown_ && !grants_pending_ && waiters_epoch_ == epoch) {
+          service_cv_.Wait(mu_);
+        }
         continue;  // recompute the nearest expiry (or drain grants)
       }
       const int64_t now = QueryRuntime::NowNs();
       if (nearest > now) {
-        if (service_cv_.wait_for(
-                lk, std::chrono::nanoseconds(nearest - now), woken) &&
-            waiters_epoch_ != epoch && !grants_pending_ && !shutdown_) {
+        const auto wake_at = std::chrono::steady_clock::now() +
+                             std::chrono::nanoseconds(nearest - now);
+        bool timed_out = false;
+        while (!shutdown_ && !grants_pending_ && waiters_epoch_ == epoch) {
+          if (service_cv_.WaitUntil(mu_, wake_at) ==
+              std::cv_status::timeout) {
+            timed_out = true;
+            break;
+          }
+        }
+        if (!timed_out && waiters_epoch_ != epoch && !grants_pending_ &&
+            !shutdown_) {
           continue;  // woken only to re-arm: nothing due yet
         }
       }
@@ -486,7 +496,7 @@ void AdmissionController::ServiceLoop() {
     std::vector<GrantAction> actions;
     CollectGrantsLocked(QueryRuntime::NowNs(), &actions);
     if (!actions.empty()) {
-      lk.unlock();
+      lk.Unlock();
       // OK grants perform the deferred pipeline submission here, on the
       // service thread — never on a Release() caller.
       for (GrantAction& a : actions) {
@@ -509,7 +519,7 @@ void AdmissionController::ServiceLoop() {
         }
         a.grant(a.status);
       }
-      lk.lock();
+      lk.Lock();
     }
   }
 }
@@ -524,7 +534,7 @@ Status AdmissionController::SetTenantQuota(const std::string& tenant,
     return Status::InvalidArgument("tenant quota values must be >= 0");
   }
   {
-    std::lock_guard<std::mutex> lk(mu_);
+    MutexLock lk(&mu_);
     TenantState& state = StateFor(tenant);
     state.quota = quota;
     state.explicit_quota = true;
@@ -537,19 +547,19 @@ Status AdmissionController::SetTenantQuota(const std::string& tenant,
     // thread delivers those grants.
     if (!wait_queue_.empty()) grants_pending_ = true;
   }
-  service_cv_.notify_all();
+  service_cv_.NotifyAll();
   return Status::OK();
 }
 
 TenantQuota AdmissionController::GetTenantQuota(
     const std::string& tenant) const {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(&mu_);
   auto it = tenants_.find(tenant);
   return it == tenants_.end() ? opts_.default_quota : it->second.quota;
 }
 
 double AdmissionController::PoolShare(const std::string& tenant) const {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(&mu_);
   return PoolShareLocked(tenant);
 }
 
@@ -573,7 +583,7 @@ double AdmissionController::PoolShareLocked(const std::string& tenant) const {
 void AdmissionController::SampleForRouting(
     const std::string& tenant, RouteInputs* inputs,
     AdmissionDecision* probe_cjoin, AdmissionDecision* probe_baseline) const {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(&mu_);
   auto it = tenants_.find(tenant);
   const TenantQuota& q =
       it == tenants_.end() ? opts_.default_quota : it->second.quota;
@@ -602,7 +612,7 @@ void AdmissionController::SampleForRouting(
 }
 
 AdmissionController::Stats AdmissionController::GetStats() const {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(&mu_);
   Stats s;
   s.total_cjoin_inflight = total_cjoin_;
   s.total_baseline_in_system = total_baseline_;

@@ -30,16 +30,15 @@
 #ifndef CJOIN_ENGINE_ADMISSION_H_
 #define CJOIN_ENGINE_ADMISSION_H_
 
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <functional>
 #include <map>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/status.h"
 #include "engine/router.h"
 #include "obs/metrics.h"
@@ -144,12 +143,13 @@ class AdmissionController {
   /// quota's max_wait_ns. Never blocks.
   AdmissionDecision TryAdmit(const std::string& tenant, RouteChoice route,
                              int64_t deadline_ns = 0,
-                             GrantFactory make_grant = nullptr);
+                             GrantFactory make_grant = nullptr)
+      EXCLUDES(mu_);
 
   /// The verdict TryAdmit would render right now, without consuming
   /// tokens or slots and without queueing (EXPLAIN ROUTE).
-  AdmissionDecision Probe(const std::string& tenant,
-                          RouteChoice route) const;
+  AdmissionDecision Probe(const std::string& tenant, RouteChoice route) const
+      EXCLUDES(mu_);
 
   /// One consistent sample for the Router: fills `inputs` with the
   /// tenant's admission state AND probes both routes' would-be verdicts
@@ -159,35 +159,37 @@ class AdmissionController {
   /// may be nullptr when not needed.
   void SampleForRouting(const std::string& tenant, RouteInputs* inputs,
                         AdmissionDecision* probe_cjoin,
-                        AdmissionDecision* probe_baseline) const;
+                        AdmissionDecision* probe_baseline) const EXCLUDES(mu_);
 
   /// Returns the slots of a terminal query. Must be called exactly once
   /// per kAdmitted decision (and per OK grant). A CJOIN release wakes
   /// the service thread, which grants parked waiters FIFO (skipping
   /// tenants still over budget) — off the releasing thread, which is
   /// typically a pipeline thread mid-delivery.
-  void Release(const std::string& tenant, RouteChoice route);
+  void Release(const std::string& tenant, RouteChoice route) EXCLUDES(mu_);
 
   /// Removes a parked waiter; its grant fires with kCancelled (no-op if
   /// it was already granted or timed out).
-  void CancelWaiter(uint64_t waiter_id);
+  void CancelWaiter(uint64_t waiter_id) EXCLUDES(mu_);
 
   /// Like Release(), but for an admission that never actually entered
   /// the system (e.g. the baseline pool's own queue cap rejected the
   /// job): the slot returns AND the stats record a shed, not an
   /// admitted+released round trip.
-  void ReleaseAsShed(const std::string& tenant, RouteChoice route);
+  void ReleaseAsShed(const std::string& tenant, RouteChoice route)
+      EXCLUDES(mu_);
 
   /// Installs / replaces a tenant's quota on the live engine. Existing
   /// in-flight work is unaffected; the next admission sees the new
   /// limits. The token bucket refills under the new rate from now.
-  Status SetTenantQuota(const std::string& tenant, TenantQuota quota);
-  TenantQuota GetTenantQuota(const std::string& tenant) const;
+  Status SetTenantQuota(const std::string& tenant, TenantQuota quota)
+      EXCLUDES(mu_);
+  TenantQuota GetTenantQuota(const std::string& tenant) const EXCLUDES(mu_);
 
   /// This tenant's fraction of the baseline pool: weight over the total
   /// weight of tenants currently holding baseline work (including this
   /// one). 1.0 when it would have the pool to itself.
-  double PoolShare(const std::string& tenant) const;
+  double PoolShare(const std::string& tenant) const EXCLUDES(mu_);
 
   struct TenantStats {
     std::string tenant;
@@ -211,11 +213,11 @@ class AdmissionController {
     int64_t earliest_waiter_deadline_ns = 0;
     std::vector<TenantStats> tenants;  ///< sorted by tenant name
   };
-  Stats GetStats() const;
+  Stats GetStats() const EXCLUDES(mu_);
 
   /// Fails every parked waiter with kAborted and stops the expiry
   /// thread. Idempotent. Admissions after shutdown are shed.
-  void Shutdown();
+  void Shutdown() EXCLUDES(mu_);
 
  private:
   struct TenantState {
@@ -240,25 +242,24 @@ class AdmissionController {
     GrantFn grant;
   };
 
-  TenantState& StateFor(const std::string& tenant);
+  TenantState& StateFor(const std::string& tenant) REQUIRES(mu_);
   /// Drops idle implicit tenant states (no in-flight work, no explicit
   /// quota) once the map outgrows a bound — unique tenant strings from a
   /// hostile client must not grow controller memory without limit.
-  /// Caller holds mu_.
-  void PruneIdleTenantsLocked();
+  void PruneIdleTenantsLocked() REQUIRES(mu_);
   /// Refills `state`'s bucket to `now_ns` and returns whether one token
   /// is available (always true when unlimited).
   static bool RefillAndCheck(TenantState& state, int64_t now_ns);
-  /// True when `tenant` may take one more CJOIN slot. Caller holds mu_.
-  bool CJoinSlotAvailableLocked(const TenantState& state) const;
-  /// The probe logic shared by Probe() and SampleForRouting(). Caller
-  /// holds mu_.
+  /// True when `tenant` may take one more CJOIN slot.
+  bool CJoinSlotAvailableLocked(const TenantState& state) const
+      REQUIRES(mu_);
+  /// The probe logic shared by Probe() and SampleForRouting().
   AdmissionDecision ProbeLocked(const std::string& tenant, RouteChoice route,
-                                int64_t now_ns) const;
-  /// PoolShare() body. Caller holds mu_.
-  double PoolShareLocked(const std::string& tenant) const;
-  /// Pops every currently grantable / expired waiter. Caller holds mu_;
-  /// the returned actions run off the lock (on the service thread).
+                                int64_t now_ns) const REQUIRES(mu_);
+  /// PoolShare() body.
+  double PoolShareLocked(const std::string& tenant) const REQUIRES(mu_);
+  /// Pops every currently grantable / expired waiter. The returned
+  /// actions run off the lock (on the service thread).
   struct GrantAction {
     GrantFn grant;
     Status status;
@@ -272,27 +273,28 @@ class AdmissionController {
     bool expire_is_deadline = false;
     bool slot_consumed = false;
   };
-  void CollectGrantsLocked(int64_t now_ns, std::vector<GrantAction>* out);
+  void CollectGrantsLocked(int64_t now_ns, std::vector<GrantAction>* out)
+      REQUIRES(mu_);
   /// The service thread: expires bounded waiters and delivers grants
   /// signalled by Release() / SetTenantQuota().
-  void ServiceLoop();
+  void ServiceLoop() EXCLUDES(mu_);
 
   Options opts_;
-  mutable std::mutex mu_;
-  std::map<std::string, TenantState> tenants_;
-  std::deque<Waiter> wait_queue_;
-  size_t total_cjoin_ = 0;
-  size_t total_baseline_ = 0;
-  uint64_t next_waiter_id_ = 1;
+  mutable Mutex mu_;
+  std::map<std::string, TenantState> tenants_ GUARDED_BY(mu_);
+  std::deque<Waiter> wait_queue_ GUARDED_BY(mu_);
+  size_t total_cjoin_ GUARDED_BY(mu_) = 0;
+  size_t total_baseline_ GUARDED_BY(mu_) = 0;
+  uint64_t next_waiter_id_ GUARDED_BY(mu_) = 1;
   /// Bumped whenever wait_queue_ changes, so the service thread re-arms
   /// its expiry timer (a newly parked waiter may expire earlier than the
   /// one it is currently sleeping towards).
-  uint64_t waiters_epoch_ = 0;
+  uint64_t waiters_epoch_ GUARDED_BY(mu_) = 0;
   /// Set by Release()/SetTenantQuota() when freed budget may unblock a
   /// parked waiter; consumed by the service thread.
-  bool grants_pending_ = false;
-  bool shutdown_ = false;
-  std::condition_variable service_cv_;
+  bool grants_pending_ GUARDED_BY(mu_) = false;
+  bool shutdown_ GUARDED_BY(mu_) = false;
+  CondVar service_cv_;
   std::thread service_thread_;
 
   /// Registry mirrors of the aggregate outcome counters (per-tenant

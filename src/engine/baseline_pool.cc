@@ -73,7 +73,7 @@ BaselinePool::~BaselinePool() { Shutdown(); }
 Status BaselinePool::Enqueue(std::shared_ptr<BaselineJob> job) {
   job->submit_ns.store(QueryRuntime::NowNs(), std::memory_order_relaxed);
   {
-    std::lock_guard<std::mutex> lk(mu_);
+    MutexLock lk(&mu_);
     if (shutdown_) {
       job->TryResolve(Status::Aborted("baseline pool shut down"));
       return Status::Aborted("baseline pool shut down");
@@ -91,7 +91,7 @@ Status BaselinePool::Enqueue(std::shared_ptr<BaselineJob> job) {
         .GetGauge("baseline_pool_queue_depth", "Jobs waiting in the pool")
         ->Set(static_cast<int64_t>(queue_.size()));
   }
-  cv_.notify_all();
+  cv_.NotifyAll();
   return Status::OK();
 }
 
@@ -102,13 +102,13 @@ void BaselinePool::Shutdown() {
   // prompt (mirroring CJoinOperator::Stop()).
   std::vector<std::shared_ptr<BaselineJob>> unresolved;
   {
-    std::lock_guard<std::mutex> lk(mu_);
+    MutexLock lk(&mu_);
     if (shutdown_) return;
     shutdown_ = true;
     queue_.clear();
     unresolved.swap(watched_);
   }
-  cv_.notify_all();
+  cv_.NotifyAll();
   for (auto& job : unresolved) {
     job->cancel.store(true, std::memory_order_release);
     job->TryResolve(Status::Aborted("baseline pool shut down"));
@@ -120,7 +120,7 @@ void BaselinePool::Shutdown() {
 }
 
 size_t BaselinePool::queued() const {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(&mu_);
   return queue_.size();
 }
 
@@ -187,8 +187,10 @@ void BaselinePool::WorkerLoop() {
   for (;;) {
     std::shared_ptr<BaselineJob> job;
     {
-      std::unique_lock<std::mutex> lk(mu_);
-      cv_.wait(lk, [this] { return shutdown_ || !queue_.empty(); });
+      MutexLock lk(&mu_);
+      while (!shutdown_ && queue_.empty()) {
+        cv_.Wait(mu_);
+      }
       if (shutdown_) return;
       job = PopBestLocked();
       if (job == nullptr) continue;
@@ -223,10 +225,14 @@ void BaselinePool::SweeperLoop() {
   // are still queued behind busy workers — at a cadence matching the
   // CJOIN path's per-scan-run interrupt granularity.
   constexpr auto kSweepInterval = std::chrono::milliseconds(5);
-  std::unique_lock<std::mutex> lk(mu_);
+  MutexLock lk(&mu_);
   while (!shutdown_) {
-    cv_.wait_for(lk, kSweepInterval,
-                 [this] { return shutdown_; });
+    // One sweep interval per iteration; a shutdown notification cuts the
+    // nap short (spurious wakeups just sweep early — harmless).
+    const auto deadline = std::chrono::steady_clock::now() + kSweepInterval;
+    while (!shutdown_ &&
+           cv_.WaitUntil(mu_, deadline) != std::cv_status::timeout) {
+    }
     if (shutdown_) break;
     const int64_t now = QueryRuntime::NowNs();
     for (size_t i = 0; i < watched_.size();) {

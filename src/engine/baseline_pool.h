@@ -20,18 +20,17 @@
 #define CJOIN_ENGINE_BASELINE_POOL_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <functional>
 #include <future>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "baseline/qat_engine.h"
 #include "catalog/query_spec.h"
+#include "common/mutex.h"
 #include "common/status.h"
 #include "exec/result_set.h"
 #include "obs/metrics.h"
@@ -96,38 +95,37 @@ class BaselinePool {
   /// still queued), or with kAborted on pool shutdown. Returns
   /// kResourceExhausted — without resolving the job's promise — when the
   /// queue is at its cap, and kAborted after shutdown (promise resolved).
-  Status Enqueue(std::shared_ptr<BaselineJob> job);
+  Status Enqueue(std::shared_ptr<BaselineJob> job) EXCLUDES(mu_);
 
   /// Stops workers and sweeper; unresolved jobs resolve with kAborted.
   /// Idempotent.
-  void Shutdown();
+  void Shutdown() EXCLUDES(mu_);
 
-  size_t queued() const;
+  size_t queued() const EXCLUDES(mu_);
   size_t workers() const { return threads_.size(); }
 
  private:
-  void WorkerLoop();
-  void SweeperLoop();
+  void WorkerLoop() EXCLUDES(mu_);
+  void SweeperLoop() EXCLUDES(mu_);
   /// Removes and returns the next job under weighted-fair order: the
   /// queued tenant with the smallest virtual time goes first; within the
   /// tenant, (max priority, then lowest seq). Advances the tenant's
-  /// virtual clock by 1/weight. nullptr if the queue is empty. Caller
-  /// holds mu_.
-  std::shared_ptr<BaselineJob> PopBestLocked();
+  /// virtual clock by 1/weight. nullptr if the queue is empty.
+  std::shared_ptr<BaselineJob> PopBestLocked() REQUIRES(mu_);
 
-  mutable std::mutex mu_;
-  std::condition_variable cv_;
+  mutable Mutex mu_;
+  CondVar cv_;
   /// Waiting jobs (workers pick the best; small, linear scan).
-  std::vector<std::shared_ptr<BaselineJob>> queue_;
+  std::vector<std::shared_ptr<BaselineJob>> queue_ GUARDED_BY(mu_);
   /// All unresolved jobs — queued and running — watched by the sweeper.
-  std::vector<std::shared_ptr<BaselineJob>> watched_;
+  std::vector<std::shared_ptr<BaselineJob>> watched_ GUARDED_BY(mu_);
   /// Weighted-fair virtual clocks. A tenant's entry is lazily created at
   /// max(vclock floor) so an idle tenant cannot bank unbounded credit.
-  std::map<std::string, double> vtimes_;
-  double vclock_floor_ = 0.0;
-  uint64_t next_seq_ = 0;
-  size_t max_queued_ = 0;
-  bool shutdown_ = false;
+  std::map<std::string, double> vtimes_ GUARDED_BY(mu_);
+  double vclock_floor_ GUARDED_BY(mu_) = 0.0;
+  uint64_t next_seq_ GUARDED_BY(mu_) = 0;
+  const size_t max_queued_;  ///< set once in the constructor
+  bool shutdown_ GUARDED_BY(mu_) = false;
   std::vector<std::thread> threads_;
   std::thread sweeper_;
 };

@@ -72,7 +72,7 @@ void QueryTicket::Cancel() {
     QueryHandle* handle = nullptr;
     std::function<void()> cancel_waiter;
     {
-      std::lock_guard<std::mutex> lk(deferred_->mu);
+      MutexLock lk(&deferred_->mu);
       deferred_->cancelled = true;
       if (deferred_->handle != nullptr) {
         handle = deferred_->handle.get();
@@ -111,7 +111,7 @@ double QueryTicket::SubmissionSeconds() const {
 uint32_t QueryTicket::query_id() const {
   if (cjoin_ != nullptr) return cjoin_->query_id();
   if (deferred_ != nullptr) {
-    std::lock_guard<std::mutex> lk(deferred_->mu);
+    MutexLock lk(&deferred_->mu);
     if (deferred_->handle != nullptr) return deferred_->handle->query_id();
   }
   return UINT32_MAX;

@@ -21,13 +21,13 @@
 #include <functional>
 #include <future>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
 
 #include "baseline/qat_engine.h"
 #include "catalog/query_spec.h"
 #include "cjoin/query_runtime.h"
+#include "common/mutex.h"
 #include "engine/baseline_pool.h"
 #include "engine/router.h"
 #include "obs/query_trace.h"
@@ -92,21 +92,20 @@ struct QueryRequest {
 /// the real pipeline handle once the admission controller grants a slot
 /// (or resolves the promise directly on timeout / cancellation).
 struct DeferredQuery {
-  std::mutex mu;
-  /// Set at grant time; guarded by mu. The completion observer installed
-  /// at the deferred submission forwards the query's terminal result into
+  Mutex mu;
+  /// Set at grant time. The completion observer installed at the
+  /// deferred submission forwards the query's terminal result into
   /// `promise`, so the handle's own future is never consumed.
-  std::unique_ptr<QueryHandle> handle;
-  bool cancelled = false;  ///< guarded by mu
+  std::unique_ptr<QueryHandle> handle GUARDED_BY(mu);
+  bool cancelled GUARDED_BY(mu) = false;
   /// True once the controller's grant fired (with either outcome): the
   /// waiter no longer exists, so cancel_waiter must stay unset — the
   /// hook references the controller, which the ticket may outlive.
-  /// Guarded by mu.
-  bool waiter_done = false;
-  /// Removes the parked waiter (engine-installed); guarded by mu. Must be
-  /// invoked *after* releasing mu (the controller calls back into this
-  /// state from its grant path).
-  std::function<void()> cancel_waiter;
+  bool waiter_done GUARDED_BY(mu) = false;
+  /// Removes the parked waiter (engine-installed). Must be invoked
+  /// *after* releasing mu (the controller calls back into this state
+  /// from its grant path).
+  std::function<void()> cancel_waiter GUARDED_BY(mu);
 
   std::promise<Result<ResultSet>> promise;
   std::string label;

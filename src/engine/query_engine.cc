@@ -226,7 +226,7 @@ void QueryEngine::Shutdown() {
   {
     // Serialized with SetShardCount (which holds update_mu_ end to end):
     // once the flag is up, no new pool can be built and swapped in.
-    std::lock_guard<std::mutex> ulk(update_mu_);
+    MutexLock ulk(&update_mu_);
     if (shut_down_.exchange(true, std::memory_order_acq_rel)) return;
   }
   // The watchdog samples the pools and the admission controller; stop it
@@ -238,7 +238,7 @@ void QueryEngine::Shutdown() {
   baseline_pool_->Shutdown();
   std::vector<std::shared_ptr<ExecPool>> pools;
   {
-    std::shared_lock<std::shared_mutex> lk(ops_mu_);
+    ReaderMutexLock lk(&ops_mu_);
     for (auto& entry : stars_) pools.push_back(entry->pool);
   }
   for (auto& pool : pools) {
@@ -291,7 +291,7 @@ Status QueryEngine::RegisterStar(std::string name, StarSchema star) {
   entry->star = std::make_unique<StarSchema>(std::move(star));
   // Duplicate check and insert under one exclusive section, so two
   // concurrent registrations of the same name cannot both succeed.
-  std::unique_lock<std::shared_mutex> lk(ops_mu_);
+  WriterMutexLock lk(&ops_mu_);
   for (const auto& existing : stars_) {
     if (existing->name == entry->name) {
       return Status::AlreadyExists("star '" + entry->name +
@@ -318,7 +318,7 @@ Result<const StarSchema*> QueryEngine::FindStar(
 
 const QueryEngine::StarEntry* QueryEngine::EntryByNameConst(
     std::string_view name) const {
-  std::shared_lock<std::shared_mutex> lk(ops_mu_);
+  ReaderMutexLock lk(&ops_mu_);
   for (const auto& entry : stars_) {
     if (entry->name == name) return entry.get();
   }
@@ -327,7 +327,7 @@ const QueryEngine::StarEntry* QueryEngine::EntryByNameConst(
 
 Result<QueryEngine::StarEntry*> QueryEngine::EntryByName(
     std::string_view name) {
-  std::shared_lock<std::shared_mutex> lk(ops_mu_);
+  ReaderMutexLock lk(&ops_mu_);
   for (auto& entry : stars_) {
     if (entry->name == name) return entry.get();
   }
@@ -336,7 +336,7 @@ Result<QueryEngine::StarEntry*> QueryEngine::EntryByName(
 
 Result<QueryEngine::StarEntry*> QueryEngine::EntryFor(
     const StarSchema* schema) {
-  std::shared_lock<std::shared_mutex> lk(ops_mu_);
+  ReaderMutexLock lk(&ops_mu_);
   for (auto& entry : stars_) {
     if (entry->star.get() == schema) return entry.get();
   }
@@ -355,7 +355,7 @@ Result<QueryEngine::StarEntry*> QueryEngine::EntryFor(
 
 std::shared_ptr<QueryEngine::ExecPool> QueryEngine::PoolFor(
     StarEntry* entry) const {
-  std::shared_lock<std::shared_mutex> lk(ops_mu_);
+  ReaderMutexLock lk(&ops_mu_);
   return entry->pool;
 }
 
@@ -387,14 +387,14 @@ Status QueryEngine::SetShardCount(std::string_view star_name,
   // state, and mirrored updates must never straddle two shard sets. The
   // shutdown check lives under the same lock, so a pool can never be
   // built and started after Shutdown swept the existing ones.
-  std::lock_guard<std::mutex> ulk(update_mu_);
+  MutexLock ulk(&update_mu_);
   if (shut_down_.load(std::memory_order_acquire)) {
     return Status::FailedPrecondition("engine shut down");
   }
   CJOIN_ASSIGN_OR_RETURN(StarEntry * entry, EntryByName(star_name));
   uint64_t reader_base = 0;
   {
-    std::shared_lock<std::shared_mutex> lk(ops_mu_);
+    ReaderMutexLock lk(&ops_mu_);
     for (size_t i = 0; i < stars_.size(); ++i) {
       if (stars_[i].get() == entry) reader_base = i * kReaderIdStride;
     }
@@ -407,7 +407,7 @@ Status QueryEngine::SetShardCount(std::string_view star_name,
                          MakePool(*entry->star, shards, reader_base));
   std::shared_ptr<ExecPool> old;
   {
-    std::unique_lock<std::shared_mutex> lk(ops_mu_);
+    WriterMutexLock lk(&ops_mu_);
     old = std::move(entry->pool);
     entry->pool = std::move(fresh);
   }
@@ -574,7 +574,7 @@ Result<std::unique_ptr<QueryTicket>> QueryEngine::Execute(
       case AdmissionOutcome::kQueued: {
         std::future<Result<ResultSet>> fut = deferred->promise.get_future();
         {
-          std::lock_guard<std::mutex> lk(deferred->mu);
+          MutexLock lk(&deferred->mu);
           // The grant may already have fired (and with it the waiter's
           // lifetime). The weak capture covers the remaining race: a
           // copy of this hook taken by Cancel() can run after the
@@ -729,7 +729,7 @@ AdmissionController::GrantFn QueryEngine::MakeDeferredGrant(
     // cannot call back into a destroyed controller.
     bool cancelled;
     {
-      std::lock_guard<std::mutex> lk(deferred->mu);
+      MutexLock lk(&deferred->mu);
       deferred->waiter_done = true;
       deferred->cancel_waiter = nullptr;
       cancelled = deferred->cancelled;
@@ -806,14 +806,14 @@ AdmissionController::GrantFn QueryEngine::MakeDeferredGrant(
     }
     bool cancel_now;
     {
-      std::lock_guard<std::mutex> lk(deferred->mu);
+      MutexLock lk(&deferred->mu);
       deferred->handle = std::move(*handle);
       cancel_now = deferred->cancelled;
     }
     // A cancel that raced the bind found no handle and no waiter; honor
     // it now (QueryHandle::Cancel is thread-safe and idempotent).
     if (cancel_now) {
-      std::lock_guard<std::mutex> lk(deferred->mu);
+      MutexLock lk(&deferred->mu);
       if (deferred->handle != nullptr) deferred->handle->Cancel();
     }
   };
@@ -883,7 +883,7 @@ void QueryEngine::SampleForWatchdog(
   if (shut_down_.load(std::memory_order_acquire)) return;
   std::vector<std::pair<std::string, std::shared_ptr<ExecPool>>> pools;
   {
-    std::shared_lock<std::shared_mutex> lk(ops_mu_);
+    ReaderMutexLock lk(&ops_mu_);
     for (const auto& entry : stars_) {
       pools.emplace_back(entry->name, entry->pool);
     }
@@ -1063,7 +1063,7 @@ Result<SnapshotId> QueryEngine::AppendFacts(
     uint32_t partition) {
   CJOIN_ASSIGN_OR_RETURN(StarEntry * entry, EntryByName(star_name));
   Table& fact = *const_cast<Table*>(&entry->star->fact());
-  std::lock_guard<std::mutex> lk(update_mu_);
+  MutexLock lk(&update_mu_);
   std::shared_ptr<ExecPool> pool = PoolFor(entry);
   const SnapshotId commit = snapshot_.load(std::memory_order_relaxed) + 1;
   if (partition >= fact.num_partitions()) {
@@ -1091,7 +1091,7 @@ Result<SnapshotId> QueryEngine::DeleteFacts(std::string_view star_name,
   CJOIN_ASSIGN_OR_RETURN(StarEntry * entry, EntryByName(star_name));
   Table& fact = *const_cast<Table*>(&entry->star->fact());
   const Schema& fs = fact.schema();
-  std::lock_guard<std::mutex> lk(update_mu_);
+  MutexLock lk(&update_mu_);
   std::shared_ptr<ExecPool> pool = PoolFor(entry);
   const SnapshotId commit = snapshot_.load(std::memory_order_relaxed) + 1;
   for (uint32_t p = 0; p < fact.num_partitions(); ++p) {

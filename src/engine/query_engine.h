@@ -20,8 +20,6 @@
 #include <atomic>
 #include <map>
 #include <memory>
-#include <mutex>
-#include <shared_mutex>
 #include <string>
 #include <vector>
 
@@ -29,6 +27,7 @@
 #include "catalog/star_schema.h"
 #include "cjoin/cjoin_operator.h"
 #include "cjoin/sharded_operator.h"
+#include "common/mutex.h"
 #include "engine/admission.h"
 #include "engine/baseline_pool.h"
 #include "engine/query_api.h"
@@ -269,19 +268,25 @@ class QueryEngine {
   struct StarEntry {
     std::string name;
     std::unique_ptr<StarSchema> star;
-    std::shared_ptr<ExecPool> pool;  // guarded by ops_mu_
+    /// Guarded by the engine's ops_mu_ (thread-safety annotations cannot
+    /// name an enclosing object's mutex from a nested struct, so the
+    /// contract is documented here and enforced at the access sites:
+    /// PoolFor / SetShardCount).
+    std::shared_ptr<ExecPool> pool;
     /// Snapshot of the newest committed append to this star's fact table.
     /// Queries are snapshot-capped only while appends beyond the scan's
     /// covered bound exist (deletes are always within scanned ranges).
     std::atomic<SnapshotId> last_append_snapshot{0};
   };
 
-  Result<StarEntry*> EntryFor(const StarSchema* schema);
-  Result<StarEntry*> EntryByName(std::string_view name);
-  const StarEntry* EntryByNameConst(std::string_view name) const;
+  Result<StarEntry*> EntryFor(const StarSchema* schema) EXCLUDES(ops_mu_);
+  Result<StarEntry*> EntryByName(std::string_view name) EXCLUDES(ops_mu_);
+  const StarEntry* EntryByNameConst(std::string_view name) const
+      EXCLUDES(ops_mu_);
 
   /// Snapshot of the star's current pool (safe against SetShardCount).
-  std::shared_ptr<ExecPool> PoolFor(StarEntry* entry) const;
+  std::shared_ptr<ExecPool> PoolFor(StarEntry* entry) const
+      EXCLUDES(ops_mu_);
 
   /// Load inputs the Router prices: one sampling point shared by
   /// Execute() and ExplainRoute(), so their verdicts cannot diverge.
@@ -362,11 +367,11 @@ class QueryEngine {
   std::atomic<int64_t> slow_threshold_ns_{0};
   obs::SlowQueryLog slow_log_;
   std::unique_ptr<obs::Watchdog> watchdog_;
-  std::vector<std::unique_ptr<StarEntry>> stars_;
   /// Guards the stars_ vector structure and each entry's pool pointer.
-  mutable std::shared_mutex ops_mu_;
+  mutable SharedMutex ops_mu_;
+  std::vector<std::unique_ptr<StarEntry>> stars_ GUARDED_BY(ops_mu_);
   std::atomic<SnapshotId> snapshot_{1};
-  std::mutex update_mu_;  // serializes writers (single-writer storage)
+  Mutex update_mu_;  // serializes writers (single-writer storage)
   /// Set under update_mu_ (so SetShardCount, which holds update_mu_ for
   /// its whole body, cannot start a fresh pool after Shutdown swept the
   /// existing ones); read lock-free on the query paths.

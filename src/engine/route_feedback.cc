@@ -136,7 +136,7 @@ void RouteCalibrator::Observe(const RouteObservation& obs) {
                                                 : "baseline"))
         ->Add();
   }
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(&mu_);
   LsqState& s = models_[RouteIndex(obs.route)];
 
   // Honest prediction error: score the *pre-update* fit against this
@@ -197,7 +197,7 @@ RouterStats RouteCalibrator::Stats() const {
 
 void RouteCalibrator::Decay() {
   if (!opts_.enabled) return;
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(&mu_);
   for (LsqState& s : models_) {
     const double d = opts_.stale_decay;
     s.n *= d;

@@ -39,9 +39,9 @@
 
 #include <atomic>
 #include <cstdint>
-#include <mutex>
 #include <string>
 
+#include "common/mutex.h"
 #include "engine/router.h"
 
 namespace cjoin {
@@ -127,7 +127,7 @@ class RouteCalibrator {
 
   /// Folds one completed query into the route's fit and republishes the
   /// snapshot. Ignores non-positive work units / service times.
-  void Observe(const RouteObservation& obs);
+  void Observe(const RouteObservation& obs) EXCLUDES(mu_);
 
   /// Lock-free consistent copy of the published state (seqlock read).
   CalibrationSnapshot Snapshot() const;
@@ -141,7 +141,7 @@ class RouteCalibrator {
   /// guaranteed to drop out of `warm` (mass is clamped to the threshold
   /// before the `stale_decay` multiply) until fresh observations
   /// rebuild the mass.
-  void Decay();
+  void Decay() EXCLUDES(mu_);
 
   // --- Decision-path hooks (lock-free; called by Router::Decide) -----------
 
@@ -156,7 +156,7 @@ class RouteCalibrator {
 
  private:
   /// Exponentially-decayed sufficient statistics of least squares of
-  /// service seconds (y) on work units (x). Guarded by mu_.
+  /// service seconds (y) on work units (x).
   struct LsqState {
     double n = 0.0;   ///< EWMA-decayed weight of the fit statistics
     double sx = 0.0, sy = 0.0, sxx = 0.0, sxy = 0.0;
@@ -171,21 +171,24 @@ class RouteCalibrator {
 
   /// Solves the current fit of `state` into `out` (alpha/beta only).
   static void Solve(const LsqState& state, RouteModelSnapshot* out);
-  /// Rebuilds snap_ from models_ and republishes it. Caller holds mu_.
-  void PublishLocked();
+  /// Rebuilds snap_ from models_ and republishes it.
+  void PublishLocked() REQUIRES(mu_);
 
   CalibrationOptions opts_;
 
-  std::mutex mu_;            ///< serializes writers
-  LsqState models_[2];       ///< [kCJoin, kBaseline]; guarded by mu_
-  uint64_t decays_ = 0;      ///< guarded by mu_
+  Mutex mu_;  ///< serializes writers
+  LsqState models_[2] GUARDED_BY(mu_);  ///< [kCJoin, kBaseline]
+  uint64_t decays_ GUARDED_BY(mu_) = 0;
 
   /// Seqlock-published snapshot: odd sequence while a writer mutates,
   /// readers retry until they copy under a stable even sequence. The
   /// payload is an array of relaxed atomic words (doubles bit-cast to
   /// uint64) rather than a plain struct, so the unavoidable read/write
   /// overlap of a seqlock is data-race-free for the memory model (and
-  /// ThreadSanitizer) while readers stay lock-free.
+  /// ThreadSanitizer) while readers stay lock-free. The atomics also
+  /// keep the reader side outside thread-safety analysis's remit: no
+  /// GUARDED_BY member is touched without mu_, so Snapshot() needs no
+  /// NO_THREAD_SAFETY_ANALYSIS escape.
   static constexpr size_t kModelWords = 7;
   static constexpr size_t kSnapWords = 2 * kModelWords + 1;
   mutable std::atomic<uint32_t> seq_{0};

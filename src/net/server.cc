@@ -49,24 +49,25 @@ struct CjoinServer::Connection
 
   FrameAssembler assembler;  ///< event-loop thread only
 
-  std::mutex mu;
-  // --- guarded by mu ---
-  std::string tenant;
-  bool hello_done = false;
+  Mutex mu;
+  std::string tenant GUARDED_BY(mu);
+  bool hello_done GUARDED_BY(mu) = false;
   /// Frames parsed but not yet handled. At most one worker drains a
   /// connection at a time (`dispatching`), preserving frame order.
-  std::deque<Frame> pending;
-  bool dispatching = false;
+  std::deque<Frame> pending GUARDED_BY(mu);
+  bool dispatching GUARDED_BY(mu) = false;
   /// Encoded frames awaiting the socket; head_off is the written prefix
   /// of outbox.front().
-  std::deque<std::vector<uint8_t>> outbox;
-  size_t head_off = 0;
-  size_t outbox_bytes = 0;
-  bool close_requested = false;    ///< close now (cancel + drop output)
-  bool close_after_flush = false;  ///< close once the outbox drains
-  bool closed = false;
+  std::deque<std::vector<uint8_t>> outbox GUARDED_BY(mu);
+  size_t head_off GUARDED_BY(mu) = 0;
+  size_t outbox_bytes GUARDED_BY(mu) = 0;
+  bool close_requested GUARDED_BY(mu) = false;  ///< close now (cancel +
+                                                ///< drop output)
+  bool close_after_flush GUARDED_BY(mu) = false;  ///< close once the
+                                                  ///< outbox drains
+  bool closed GUARDED_BY(mu) = false;
   /// Queries awaiting results, by client request id.
-  std::map<uint64_t, std::shared_ptr<PendingQuery>> inflight;
+  std::map<uint64_t, std::shared_ptr<PendingQuery>> inflight GUARDED_BY(mu);
 };
 
 CjoinServer::CjoinServer(QueryEngine* engine, Options options)
@@ -157,16 +158,16 @@ void CjoinServer::Stop() {
   if (loop_thread_.joinable()) loop_thread_.join();
 
   {
-    std::lock_guard<std::mutex> lk(work_mu_);
+    MutexLock lk(&work_mu_);
     work_closed_ = true;
   }
-  work_cv_.notify_all();
+  work_cv_.NotifyAll();
   for (auto& t : worker_threads_) {
     if (t.joinable()) t.join();
   }
   worker_threads_.clear();
 
-  poll_cv_.notify_all();
+  poll_cv_.NotifyAll();
   if (poller_thread_.joinable()) poller_thread_.join();
 
   // Reap what the poller left: cancel and drop. Dropping a ticket is
@@ -174,7 +175,7 @@ void CjoinServer::Stop() {
   // first so pipeline registrations are released promptly.
   std::vector<std::shared_ptr<PendingQuery>> leftover;
   {
-    std::lock_guard<std::mutex> lk(poll_mu_);
+    MutexLock lk(&poll_mu_);
     leftover.swap(polled_);
   }
   for (auto& pq : leftover) {
@@ -293,7 +294,7 @@ void CjoinServer::ReadLoop(const std::shared_ptr<Connection>& conn) {
         n_frames_.fetch_add(1, std::memory_order_relaxed);
         obs::RecordEvent(obs::EventKind::kNetFrameIn, FrameTypeName(f.type),
                          static_cast<uint32_t>(f.payload.size()));
-        std::lock_guard<std::mutex> lk(conn->mu);
+        MutexLock lk(&conn->mu);
         if (conn->closed || conn->close_requested) return;
         conn->pending.push_back(std::move(f));
         got_frames = true;
@@ -312,7 +313,7 @@ void CjoinServer::ReadLoop(const std::shared_ptr<Connection>& conn) {
   if (got_frames) {
     bool schedule = false;
     {
-      std::lock_guard<std::mutex> lk(conn->mu);
+      MutexLock lk(&conn->mu);
       if (!conn->dispatching && !conn->closed) {
         conn->dispatching = true;
         schedule = true;
@@ -320,10 +321,10 @@ void CjoinServer::ReadLoop(const std::shared_ptr<Connection>& conn) {
     }
     if (schedule) {
       {
-        std::lock_guard<std::mutex> lk(work_mu_);
+        MutexLock lk(&work_mu_);
         work_queue_.push_back(conn);
       }
-      work_cv_.notify_one();
+      work_cv_.NotifyOne();
     }
   }
 }
@@ -331,7 +332,7 @@ void CjoinServer::ReadLoop(const std::shared_ptr<Connection>& conn) {
 void CjoinServer::FlushOutbox(const std::shared_ptr<Connection>& conn) {
   bool close_now = false;
   {
-    std::lock_guard<std::mutex> lk(conn->mu);
+    MutexLock lk(&conn->mu);
     if (conn->closed) return;
     while (!conn->outbox.empty()) {
       const std::vector<uint8_t>& head = conn->outbox.front();
@@ -364,7 +365,7 @@ void CjoinServer::FlushOutbox(const std::shared_ptr<Connection>& conn) {
 void CjoinServer::ProcessWakeups() {
   std::vector<std::weak_ptr<Connection>> dirty;
   {
-    std::lock_guard<std::mutex> lk(dirty_mu_);
+    MutexLock lk(&dirty_mu_);
     dirty.swap(dirty_);
   }
   for (auto& weak : dirty) {
@@ -372,7 +373,7 @@ void CjoinServer::ProcessWakeups() {
     if (conn == nullptr) continue;
     bool close_now = false;
     {
-      std::lock_guard<std::mutex> lk(conn->mu);
+      MutexLock lk(&conn->mu);
       if (conn->closed) continue;
       close_now = conn->close_requested;
     }
@@ -387,7 +388,7 @@ void CjoinServer::ProcessWakeups() {
 void CjoinServer::CloseConnection(const std::shared_ptr<Connection>& conn) {
   std::map<uint64_t, std::shared_ptr<PendingQuery>> inflight;
   {
-    std::lock_guard<std::mutex> lk(conn->mu);
+    MutexLock lk(&conn->mu);
     if (conn->closed) return;
     conn->closed = true;
     conn->pending.clear();
@@ -414,8 +415,10 @@ void CjoinServer::WorkerLoop() {
   while (true) {
     std::shared_ptr<Connection> conn;
     {
-      std::unique_lock<std::mutex> lk(work_mu_);
-      work_cv_.wait(lk, [this] { return work_closed_ || !work_queue_.empty(); });
+      MutexLock lk(&work_mu_);
+      while (!work_closed_ && work_queue_.empty()) {
+        work_cv_.Wait(work_mu_);
+      }
       if (work_queue_.empty()) return;  // closed and drained
       conn = std::move(work_queue_.front());
       work_queue_.pop_front();
@@ -428,7 +431,7 @@ void CjoinServer::HandleFrames(const std::shared_ptr<Connection>& conn) {
   while (true) {
     std::deque<Frame> batch;
     {
-      std::lock_guard<std::mutex> lk(conn->mu);
+      MutexLock lk(&conn->mu);
       if (conn->pending.empty() || conn->closed) {
         conn->dispatching = false;
         return;
@@ -443,7 +446,7 @@ void CjoinServer::HandleFrame(const std::shared_ptr<Connection>& conn,
                               const Frame& f) {
   bool hello_done;
   {
-    std::lock_guard<std::mutex> lk(conn->mu);
+    MutexLock lk(&conn->mu);
     if (conn->closed || conn->close_requested || conn->close_after_flush) {
       return;
     }
@@ -464,7 +467,7 @@ void CjoinServer::HandleFrame(const std::shared_ptr<Connection>& conn,
         return;
       }
       {
-        std::lock_guard<std::mutex> lk(conn->mu);
+        MutexLock lk(&conn->mu);
         conn->tenant = hello->tenant;
         conn->hello_done = true;
       }
@@ -491,7 +494,7 @@ void CjoinServer::HandleFrame(const std::shared_ptr<Connection>& conn,
       n_cancels_.fetch_add(1, std::memory_order_relaxed);
       std::shared_ptr<PendingQuery> pq;
       {
-        std::lock_guard<std::mutex> lk(conn->mu);
+        MutexLock lk(&conn->mu);
         auto it = conn->inflight.find(c->id);
         if (it != conn->inflight.end()) pq = it->second;
       }
@@ -536,7 +539,7 @@ void CjoinServer::HandleQuery(const std::shared_ptr<Connection>& conn,
                               QueryFrame f) {
   std::string tenant;
   {
-    std::lock_guard<std::mutex> lk(conn->mu);
+    MutexLock lk(&conn->mu);
     if (conn->inflight.count(f.id) != 0) {
       SendError(conn, f.id,
                 Status::InvalidArgument("request id already in flight"));
@@ -566,7 +569,7 @@ void CjoinServer::HandleQuery(const std::shared_ptr<Connection>& conn,
   pq->ticket = std::move(*ticket);
   pq->conn = conn;
   {
-    std::lock_guard<std::mutex> lk(conn->mu);
+    MutexLock lk(&conn->mu);
     if (conn->closed) {
       // Raced a disconnect: nobody will read the result.
       pq->ticket->Cancel();
@@ -575,10 +578,10 @@ void CjoinServer::HandleQuery(const std::shared_ptr<Connection>& conn,
     conn->inflight.emplace(f.id, pq);
   }
   {
-    std::lock_guard<std::mutex> lk(poll_mu_);
+    MutexLock lk(&poll_mu_);
     polled_.push_back(std::move(pq));
   }
-  poll_cv_.notify_one();
+  poll_cv_.NotifyOne();
 }
 
 void CjoinServer::HandleIngest(const std::shared_ptr<Connection>& conn,
@@ -694,13 +697,15 @@ void CjoinServer::PollerLoop() {
   std::vector<std::shared_ptr<PendingQuery>> ready;
   while (true) {
     {
-      std::unique_lock<std::mutex> lk(poll_mu_);
+      MutexLock lk(&poll_mu_);
       if (polled_.empty()) {
-        poll_cv_.wait(lk, [this] {
-          return stopping_.load() || !polled_.empty();
-        });
+        while (!stopping_.load() && polled_.empty()) {
+          poll_cv_.Wait(poll_mu_);
+        }
       } else {
-        poll_cv_.wait_for(lk, opts_.poll_interval);
+        // A plain nap between sweeps; an early wakeup (new ticket parked,
+        // stop requested) just sweeps sooner.
+        poll_cv_.WaitFor(poll_mu_, opts_.poll_interval);
       }
       if (stopping_.load()) return;  // Stop() reaps the leftovers
       // Sweep: move finished tickets out, keep the rest parked.
@@ -726,7 +731,7 @@ void CjoinServer::ResolvePending(const std::shared_ptr<PendingQuery>& pq) {
 
   bool conn_open;
   {
-    std::lock_guard<std::mutex> lk(conn->mu);
+    MutexLock lk(&conn->mu);
     conn->inflight.erase(pq->request_id);
     conn_open = !conn->closed;
   }
@@ -779,7 +784,7 @@ void CjoinServer::SendBytes(const std::shared_ptr<Connection>& conn,
   obs::RecordEvent(obs::EventKind::kNetFrameOut, "out",
                    static_cast<uint32_t>(bytes.size()));
   {
-    std::lock_guard<std::mutex> lk(conn->mu);
+    MutexLock lk(&conn->mu);
     if (conn->closed || conn->close_requested) return;
     conn->outbox_bytes += bytes.size();
     conn->outbox.push_back(std::move(bytes));
@@ -810,7 +815,7 @@ void CjoinServer::ProtocolError(const std::shared_ptr<Connection>& conn,
   err.message = message;
   std::vector<uint8_t> bytes = EncodeError(err);
   {
-    std::lock_guard<std::mutex> lk(conn->mu);
+    MutexLock lk(&conn->mu);
     if (conn->closed || conn->close_requested) return;
     conn->outbox_bytes += bytes.size();
     conn->outbox.push_back(std::move(bytes));
@@ -822,7 +827,7 @@ void CjoinServer::ProtocolError(const std::shared_ptr<Connection>& conn,
 
 void CjoinServer::WakeLoop(const std::shared_ptr<Connection>& conn) {
   {
-    std::lock_guard<std::mutex> lk(dirty_mu_);
+    MutexLock lk(&dirty_mu_);
     dirty_.push_back(conn);
   }
   const uint64_t one = 1;

@@ -33,16 +33,15 @@
 #define CJOIN_NET_SERVER_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "common/mutex.h"
 #include "engine/query_engine.h"
 #include "net/protocol.h"
 
@@ -169,20 +168,20 @@ class CjoinServer {
   std::map<int, std::shared_ptr<Connection>> conns_;
 
   /// Connections with pending output or a close request, awaiting the
-  /// event loop (guarded by dirty_mu_).
-  std::mutex dirty_mu_;
-  std::vector<std::weak_ptr<Connection>> dirty_;
+  /// event loop.
+  Mutex dirty_mu_;
+  std::vector<std::weak_ptr<Connection>> dirty_ GUARDED_BY(dirty_mu_);
 
   /// Connections with undispatched frames, awaiting a worker.
-  std::mutex work_mu_;
-  std::condition_variable work_cv_;
-  std::deque<std::shared_ptr<Connection>> work_queue_;
-  bool work_closed_ = false;
+  Mutex work_mu_;
+  CondVar work_cv_;
+  std::deque<std::shared_ptr<Connection>> work_queue_ GUARDED_BY(work_mu_);
+  bool work_closed_ GUARDED_BY(work_mu_) = false;
 
   /// Outstanding tickets, awaiting the completion poller.
-  std::mutex poll_mu_;
-  std::condition_variable poll_cv_;
-  std::vector<std::shared_ptr<PendingQuery>> polled_;
+  Mutex poll_mu_;
+  CondVar poll_cv_;
+  std::vector<std::shared_ptr<PendingQuery>> polled_ GUARDED_BY(poll_mu_);
 
   std::atomic<uint64_t> next_session_id_{1};
 

@@ -166,7 +166,7 @@ FlightRing* FlightRecorder::BindCurrentThread(const std::string& name,
   if (ring == nullptr) {
     auto fresh = std::make_shared<FlightRing>();
     {
-      std::lock_guard<std::mutex> lk(mu_);
+      MutexLock lk(&mu_);
       fresh->tid = next_tid_++;
       rings_.push_back(fresh);
     }
@@ -174,7 +174,7 @@ FlightRing* FlightRecorder::BindCurrentThread(const std::string& name,
     internal::t_flight_ring = ring;
   }
   {
-    std::lock_guard<std::mutex> lk(mu_);
+    MutexLock lk(&mu_);
     ring->name = name.empty() ? "thread-" + std::to_string(ring->tid) : name;
   }
 #if defined(__linux__)
@@ -195,7 +195,7 @@ FlightRing* FlightRecorder::BindCurrentThread(const std::string& name,
 void FlightRecorder::NoteQueryTrace(
     std::shared_ptr<const QueryTrace> trace) {
   if (trace == nullptr) return;
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(&mu_);
   ++traces_noted_;
   if (traces_.size() < kMaxTraces) {
     traces_.push_back(std::move(trace));
@@ -206,7 +206,7 @@ void FlightRecorder::NoteQueryTrace(
 }
 
 size_t FlightRecorder::ring_count() const {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(&mu_);
   return rings_.size();
 }
 
@@ -215,7 +215,7 @@ std::string FlightRecorder::DumpChromeTrace() const {
   std::vector<std::shared_ptr<const QueryTrace>> traces;
   uint64_t query_seq = 0;
   {
-    std::lock_guard<std::mutex> lk(mu_);
+    MutexLock lk(&mu_);
     rings = rings_;
     for (size_t i = 0; i < traces_.size(); ++i) {
       const auto& t = traces_[(trace_next_ + i) % traces_.size()];
@@ -238,7 +238,7 @@ std::string FlightRecorder::DumpChromeTrace() const {
   for (const auto& ring : rings) {
     std::string name;
     {
-      std::lock_guard<std::mutex> lk(mu_);
+      MutexLock lk(&mu_);
       name = ring->name;
     }
     const std::string tid = std::to_string(ring->tid);

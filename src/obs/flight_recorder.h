@@ -35,10 +35,10 @@
 #include <cstdint>
 #include <cstring>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "common/mutex.h"
 #include "obs/metrics.h"
 
 namespace cjoin::obs {
@@ -133,12 +133,12 @@ class FlightRecorder {
   /// Binds the calling thread to a named ring (idempotent: re-binding
   /// renames the existing ring) and sets the OS thread name. Returns
   /// the ring for tests.
-  FlightRing* RegisterCurrentThread(const std::string& name);
+  FlightRing* RegisterCurrentThread(const std::string& name) EXCLUDES(mu_);
 
   /// Retains a completed query's span trace (bounded ring of the most
   /// recent kMaxTraces) so DumpChromeTrace can overlay query lifetimes
   /// as async events on the thread timeline.
-  void NoteQueryTrace(std::shared_ptr<const QueryTrace> trace);
+  void NoteQueryTrace(std::shared_ptr<const QueryTrace> trace) EXCLUDES(mu_);
 
   /// Renders every ring + retained query trace as Chrome trace-event
   /// JSON ({"traceEvents":[...]}), loadable in Perfetto. Consecutive
@@ -146,7 +146,7 @@ class FlightRecorder {
   /// busy slices; other events render as thread-scoped instants;
   /// query-trace spans render as async ("b"/"e") events, one async
   /// track per query.
-  std::string DumpChromeTrace() const;
+  std::string DumpChromeTrace() const EXCLUDES(mu_);
 
   /// DumpChromeTrace to `path` via a temp file + atomic rename, so a
   /// concurrent reader never sees a torn dump. Returns false (with the
@@ -155,21 +155,23 @@ class FlightRecorder {
                   std::string* error = nullptr) const;
 
   /// Number of registered rings (tests / introspection).
-  size_t ring_count() const;
+  size_t ring_count() const EXCLUDES(mu_);
 
   static constexpr size_t kMaxTraces = 64;
 
  private:
   friend FlightRing* internal::AutoRegisterThread();
 
-  FlightRing* BindCurrentThread(const std::string& name, bool set_os_name);
+  FlightRing* BindCurrentThread(const std::string& name, bool set_os_name)
+      EXCLUDES(mu_);
 
-  mutable std::mutex mu_;
-  std::vector<std::shared_ptr<FlightRing>> rings_;
-  uint32_t next_tid_ = 1;
-  std::vector<std::shared_ptr<const QueryTrace>> traces_;  // ring
-  size_t trace_next_ = 0;
-  uint64_t traces_noted_ = 0;
+  mutable Mutex mu_;
+  std::vector<std::shared_ptr<FlightRing>> rings_ GUARDED_BY(mu_);
+  uint32_t next_tid_ GUARDED_BY(mu_) = 1;
+  std::vector<std::shared_ptr<const QueryTrace>> traces_
+      GUARDED_BY(mu_);  // ring
+  size_t trace_next_ GUARDED_BY(mu_) = 0;
+  uint64_t traces_noted_ GUARDED_BY(mu_) = 0;
 };
 
 /// Convenience wrapper: FlightRecorder::Global().RegisterCurrentThread.

@@ -116,7 +116,7 @@ std::string MetricsRegistry::EffectiveLabels(const Family& family,
 Counter* MetricsRegistry::GetCounter(std::string_view name,
                                      std::string_view help,
                                      std::string_view labels) {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(&mu_);
   Family& family = FamilyFor(name, help, Type::kCounter);
   std::string key = EffectiveLabels(family, labels);
   auto it = family.counters.find(key);
@@ -129,7 +129,7 @@ Counter* MetricsRegistry::GetCounter(std::string_view name,
 
 Gauge* MetricsRegistry::GetGauge(std::string_view name, std::string_view help,
                                  std::string_view labels) {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(&mu_);
   Family& family = FamilyFor(name, help, Type::kGauge);
   std::string key = EffectiveLabels(family, labels);
   auto it = family.gauges.find(key);
@@ -143,7 +143,7 @@ Gauge* MetricsRegistry::GetGauge(std::string_view name, std::string_view help,
 LatencyHistogram* MetricsRegistry::GetHistogram(std::string_view name,
                                                 std::string_view help,
                                                 std::string_view labels) {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(&mu_);
   Family& family = FamilyFor(name, help, Type::kHistogram);
   std::string key = EffectiveLabels(family, labels);
   auto it = family.histograms.find(key);
@@ -156,7 +156,7 @@ LatencyHistogram* MetricsRegistry::GetHistogram(std::string_view name,
 }
 
 void MetricsRegistry::Reset() {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(&mu_);
   families_.clear();
 }
 
@@ -218,7 +218,7 @@ std::string SeriesName(std::string_view name, std::string_view labels,
 }  // namespace
 
 std::string MetricsRegistry::RenderJson() const {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(&mu_);
   std::string counters, gauges, histograms;
   for (const auto& [name, family] : families_) {
     for (const auto& [labels, counter] : family.counters) {
@@ -266,7 +266,7 @@ std::string MetricsRegistry::RenderJson() const {
 }
 
 std::string MetricsRegistry::RenderPrometheus() const {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(&mu_);
   std::string out;
   char buf[64];
   for (const auto& [name, family] : families_) {

@@ -33,10 +33,11 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
+
+#include "common/mutex.h"
 
 namespace cjoin::obs {
 
@@ -219,23 +220,23 @@ class MetricsRegistry {
   static constexpr size_t kMaxChildrenPerFamily = 64;
 
   Counter* GetCounter(std::string_view name, std::string_view help,
-                      std::string_view labels = "");
+                      std::string_view labels = "") EXCLUDES(mu_);
   Gauge* GetGauge(std::string_view name, std::string_view help,
-                  std::string_view labels = "");
+                  std::string_view labels = "") EXCLUDES(mu_);
   LatencyHistogram* GetHistogram(std::string_view name, std::string_view help,
-                                 std::string_view labels = "");
+                                 std::string_view labels = "") EXCLUDES(mu_);
 
   /// One consistent snapshot as a JSON object:
   ///   {"counters":{...},"gauges":{...},"histograms":{...}}
-  std::string RenderJson() const;
+  std::string RenderJson() const EXCLUDES(mu_);
 
   /// Prometheus text exposition (counters/gauges verbatim, histograms
   /// as summaries with quantile series in seconds).
-  std::string RenderPrometheus() const;
+  std::string RenderPrometheus() const EXCLUDES(mu_);
 
   /// Drops every registered family (tests; outstanding pointers from
   /// call sites become dangling, so only use between engine lifetimes).
-  void Reset();
+  void Reset() EXCLUDES(mu_);
 
   /// The process-wide registry every subsystem records into.
   static MetricsRegistry& Global();
@@ -251,13 +252,14 @@ class MetricsRegistry {
     std::map<std::string, std::unique_ptr<LatencyHistogram>> histograms;
   };
 
-  Family& FamilyFor(std::string_view name, std::string_view help, Type type);
+  Family& FamilyFor(std::string_view name, std::string_view help, Type type)
+      REQUIRES(mu_);
   /// Clamps `labels` to the overflow child once the family is full.
   static std::string EffectiveLabels(const Family& family,
                                      std::string_view labels);
 
-  mutable std::mutex mu_;
-  std::map<std::string, Family, std::less<>> families_;
+  mutable Mutex mu_;
+  std::map<std::string, Family, std::less<>> families_ GUARDED_BY(mu_);
 };
 
 /// Renders `tenant="<name>"` with quoting safe for both Prometheus

@@ -18,19 +18,19 @@ void SlowQueryLog::Record(int64_t latency_ns, const QueryTrace& trace) {
       .GetCounter("slow_queries_total",
                   "Completed queries at or above slow_query_threshold")
       ->Add();
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(&mu_);
   ++total_;
   entries_.push_front(std::move(e));
   while (entries_.size() > capacity_) entries_.pop_back();
 }
 
 std::vector<SlowQueryLog::Entry> SlowQueryLog::Entries() const {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(&mu_);
   return {entries_.begin(), entries_.end()};
 }
 
 std::string SlowQueryLog::ToJson() const {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(&mu_);
   std::string out = "[";
   bool first = true;
   for (const Entry& e : entries_) {
@@ -50,12 +50,12 @@ std::string SlowQueryLog::ToJson() const {
 }
 
 uint64_t SlowQueryLog::total_captured() const {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(&mu_);
   return total_;
 }
 
 void SlowQueryLog::Clear() {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(&mu_);
   entries_.clear();
 }
 

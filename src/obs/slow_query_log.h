@@ -12,9 +12,10 @@
 
 #include <cstdint>
 #include <deque>
-#include <mutex>
 #include <string>
 #include <vector>
+
+#include "common/mutex.h"
 
 namespace cjoin::obs {
 
@@ -35,25 +36,25 @@ class SlowQueryLog {
   /// Captures one over-threshold completion. Cheap relative to a slow
   /// query by definition (renders once, under a mutex the hot path
   /// never touches), and increments `slow_queries_total`.
-  void Record(int64_t latency_ns, const QueryTrace& trace);
+  void Record(int64_t latency_ns, const QueryTrace& trace) EXCLUDES(mu_);
 
   /// Most recent first.
-  std::vector<Entry> Entries() const;
+  std::vector<Entry> Entries() const EXCLUDES(mu_);
 
   /// JSON array of entries (most recent first):
   ///   [{"latency_ms":12.3,"route":"cjoin","tenant":"t","trace":{...}}]
-  std::string ToJson() const;
+  std::string ToJson() const EXCLUDES(mu_);
 
   /// Total captures since construction (evictions included).
-  uint64_t total_captured() const;
+  uint64_t total_captured() const EXCLUDES(mu_);
 
-  void Clear();
+  void Clear() EXCLUDES(mu_);
 
  private:
   const size_t capacity_;
-  mutable std::mutex mu_;
-  std::deque<Entry> entries_;  ///< newest at front
-  uint64_t total_ = 0;
+  mutable cjoin::Mutex mu_;
+  std::deque<Entry> entries_ GUARDED_BY(mu_);  ///< newest at front
+  uint64_t total_ GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace cjoin::obs

@@ -13,10 +13,10 @@
 #include <cstdio>
 #include <cstring>
 #include <map>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/trace.h"
 #include "obs/metrics.h"
 
@@ -30,8 +30,8 @@ struct TraceEvent {
 };
 
 struct SinkState {
-  std::mutex mu;
-  std::map<uint32_t, std::vector<TraceEvent>> events;
+  Mutex mu;
+  std::map<uint32_t, std::vector<TraceEvent>> events GUARDED_BY(mu);
 };
 
 constexpr size_t kMaxEventsPerQuery = 64;
@@ -61,7 +61,7 @@ void TraceLogf(uint32_t qid, const char* subsys, const char* fmt, ...) {
   ev.line.append(msg);
 
   SinkState& sink = Sink();
-  std::lock_guard<std::mutex> lk(sink.mu);
+  MutexLock lk(&sink.mu);
   auto it = sink.events.find(qid);
   if (it == sink.events.end() &&
       sink.events.size() >= kMaxBufferedQueries) {
@@ -81,7 +81,7 @@ void TraceFlushQuery(uint32_t qid) {
   std::vector<TraceEvent> events;
   {
     SinkState& sink = Sink();
-    std::lock_guard<std::mutex> lk(sink.mu);
+    MutexLock lk(&sink.mu);
     auto it = sink.events.find(qid);
     if (it == sink.events.end()) return;
     events = std::move(it->second);

@@ -13,14 +13,14 @@ Watchdog::Watchdog(Options opts) : opts_(std::move(opts)) {}
 Watchdog::~Watchdog() { Stop(); }
 
 uint64_t Watchdog::AddSampler(Sampler sampler) {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(&mu_);
   const uint64_t token = next_token_++;
   samplers_.emplace_back(token, std::move(sampler));
   return token;
 }
 
 void Watchdog::RemoveSampler(uint64_t token) {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(&mu_);
   for (auto it = samplers_.begin(); it != samplers_.end(); ++it) {
     if (it->first == token) {
       samplers_.erase(it);
@@ -69,7 +69,7 @@ void Watchdog::Trip(const char* reason, const std::string& source) {
 }
 
 uint64_t Watchdog::Poll() {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(&mu_);
   std::vector<StageSample> stages;
   std::vector<QueueSample> queues;
   for (const auto& [token, sampler] : samplers_) {

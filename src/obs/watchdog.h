@@ -31,10 +31,11 @@
 #include <cstdint>
 #include <functional>
 #include <map>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
+
+#include "common/mutex.h"
 
 namespace cjoin::obs {
 
@@ -85,8 +86,8 @@ class Watchdog {
   Watchdog& operator=(const Watchdog&) = delete;
 
   /// Registers a sampler; returns a token for RemoveSampler.
-  uint64_t AddSampler(Sampler sampler);
-  void RemoveSampler(uint64_t token);
+  uint64_t AddSampler(Sampler sampler) EXCLUDES(mu_);
+  void RemoveSampler(uint64_t token) EXCLUDES(mu_);
 
   void Start();
   void Stop();
@@ -94,7 +95,7 @@ class Watchdog {
   /// Runs one sampling pass synchronously and returns the number of
   /// NEW trips it raised. The background thread calls exactly this;
   /// tests call it directly for determinism.
-  uint64_t Poll();
+  uint64_t Poll() EXCLUDES(mu_);
 
   uint64_t trips() const { return trips_.load(std::memory_order_relaxed); }
 
@@ -120,12 +121,12 @@ class Watchdog {
   std::atomic<bool> running_{false};
   std::thread thread_;
 
-  std::mutex mu_;  ///< samplers + rule state (Poll is serialized)
-  std::vector<std::pair<uint64_t, Sampler>> samplers_;
-  uint64_t next_token_ = 1;
-  std::map<std::string, StageState> stages_;
-  std::map<std::string, QueueState> queues_;
-  int64_t last_dump_ns_ = 0;
+  Mutex mu_;  ///< samplers + rule state (Poll is serialized)
+  std::vector<std::pair<uint64_t, Sampler>> samplers_ GUARDED_BY(mu_);
+  uint64_t next_token_ GUARDED_BY(mu_) = 1;
+  std::map<std::string, StageState> stages_ GUARDED_BY(mu_);
+  std::map<std::string, QueueState> queues_ GUARDED_BY(mu_);
+  int64_t last_dump_ns_ GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace cjoin::obs

@@ -9,7 +9,7 @@ void SimDisk::Acquire(uint64_t reader_id, uint64_t bytes) {
   if (!opts_.enabled) return;
   Clock::time_point wake;
   {
-    std::lock_guard<std::mutex> lk(mu_);
+    MutexLock lk(&mu_);
     const Clock::time_point now = Clock::now();
     if (!started_) {
       device_free_ = now;
@@ -34,12 +34,12 @@ void SimDisk::Acquire(uint64_t reader_id, uint64_t bytes) {
 }
 
 double SimDisk::BusySeconds() const {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(&mu_);
   return busy_seconds_;
 }
 
 uint64_t SimDisk::SeekCount() const {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(&mu_);
   return seeks_;
 }
 

@@ -20,7 +20,8 @@
 
 #include <chrono>
 #include <cstdint>
-#include <mutex>
+
+#include "common/mutex.h"
 
 namespace cjoin {
 
@@ -43,13 +44,13 @@ class SimDisk {
   /// Blocks the caller until the simulated device has transferred `bytes`
   /// on behalf of `reader_id`. Distinct readers contend; a reader that has
   /// the device "positioned" (it was the last user) pays no seek.
-  void Acquire(uint64_t reader_id, uint64_t bytes);
+  void Acquire(uint64_t reader_id, uint64_t bytes) EXCLUDES(mu_);
 
   /// Total simulated busy time accumulated, in seconds.
-  double BusySeconds() const;
+  double BusySeconds() const EXCLUDES(mu_);
 
   /// Number of reader switches (seeks) charged so far.
-  uint64_t SeekCount() const;
+  uint64_t SeekCount() const EXCLUDES(mu_);
 
   const Options& options() const { return opts_; }
 
@@ -57,12 +58,13 @@ class SimDisk {
   using Clock = std::chrono::steady_clock;
 
   Options opts_;
-  mutable std::mutex mu_;
-  Clock::time_point device_free_{};  // when the device next becomes idle
-  uint64_t last_reader_ = ~uint64_t{0};
-  uint64_t seeks_ = 0;
-  double busy_seconds_ = 0.0;
-  bool started_ = false;
+  mutable Mutex mu_;
+  /// When the device next becomes idle.
+  Clock::time_point device_free_ GUARDED_BY(mu_){};
+  uint64_t last_reader_ GUARDED_BY(mu_) = ~uint64_t{0};
+  uint64_t seeks_ GUARDED_BY(mu_) = 0;
+  double busy_seconds_ GUARDED_BY(mu_) = 0.0;
+  bool started_ GUARDED_BY(mu_) = false;
 };
 
 }  // namespace cjoin

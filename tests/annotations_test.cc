@@ -1,0 +1,143 @@
+// Runtime behavior of the annotated mutex shim (common/mutex.h): the
+// annotations are compile-time only, but the wrappers must still be
+// correct std primitives underneath — mutual exclusion, shared/exclusive
+// modes, relockable guards, and condvar wakeup/timeout semantics — on
+// every compiler, including ones that compile the annotations away.
+
+#include "common/mutex.h"
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace cjoin {
+namespace {
+
+TEST(MutexTest, TryLockReflectsHeldState) {
+  Mutex mu;
+  ASSERT_TRUE(mu.TryLock());
+  EXPECT_FALSE(mu.TryLock());
+  mu.Unlock();
+  ASSERT_TRUE(mu.TryLock());
+  mu.Unlock();
+}
+
+TEST(MutexTest, MutexLockExcludesConcurrentIncrements) {
+  Mutex mu;
+  int counter = 0;
+  constexpr int kThreads = 4;
+  constexpr int kIters = 20000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < kIters; ++i) {
+        MutexLock lk(&mu);
+        ++counter;
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(counter, kThreads * kIters);
+}
+
+TEST(MutexTest, UniqueLockUnlockRelockRoundTrip) {
+  Mutex mu;
+  UniqueLock lk(&mu);
+  EXPECT_TRUE(lk.held());
+  EXPECT_FALSE(mu.TryLock());
+
+  lk.Unlock();
+  EXPECT_FALSE(lk.held());
+  ASSERT_TRUE(mu.TryLock());
+  mu.Unlock();
+
+  lk.Lock();
+  EXPECT_TRUE(lk.held());
+  EXPECT_FALSE(mu.TryLock());
+  // Destructor releases the re-taken lock; a leak would deadlock the
+  // next test using a fresh mutex only by accident, so verify directly.
+  lk.Unlock();
+  ASSERT_TRUE(mu.TryLock());
+  mu.Unlock();
+}
+
+TEST(SharedMutexTest, ReadersShareWritersExclude) {
+  SharedMutex smu;
+  {
+    ReaderMutexLock r1(&smu);
+    // A second reader must be admitted while the first is held.
+    EXPECT_TRUE(smu.TryLockShared());
+    smu.UnlockShared();
+    // A writer must not.
+    EXPECT_FALSE(smu.TryLock());
+  }
+  {
+    WriterMutexLock w(&smu);
+    EXPECT_FALSE(smu.TryLockShared());
+    EXPECT_FALSE(smu.TryLock());
+  }
+  // Both guards released their mode on destruction.
+  ASSERT_TRUE(smu.TryLock());
+  smu.Unlock();
+}
+
+TEST(CondVarTest, NotifyWakesWaiter) {
+  Mutex mu;
+  CondVar cv;
+  bool ready = false;
+  std::atomic<bool> woke{false};
+
+  std::thread waiter([&] {
+    MutexLock lk(&mu);
+    while (!ready) {
+      cv.Wait(mu);
+    }
+    woke.store(true);
+  });
+
+  {
+    MutexLock lk(&mu);
+    ready = true;
+    cv.NotifyAll();
+  }
+  waiter.join();
+  EXPECT_TRUE(woke.load());
+}
+
+TEST(CondVarTest, WaitForTimesOutWithoutNotify) {
+  Mutex mu;
+  CondVar cv;
+  MutexLock lk(&mu);
+  const auto st = cv.WaitFor(mu, std::chrono::milliseconds(5));
+  EXPECT_EQ(st, std::cv_status::timeout);
+}
+
+TEST(CondVarTest, WaitUntilPastDeadlineReturnsTimeout) {
+  Mutex mu;
+  CondVar cv;
+  MutexLock lk(&mu);
+  const auto st =
+      cv.WaitUntil(mu, std::chrono::steady_clock::now() -
+                           std::chrono::milliseconds(1));
+  EXPECT_EQ(st, std::cv_status::timeout);
+}
+
+TEST(CondVarTest, MutexHeldAgainAfterWaitReturns) {
+  // The adopt/release trick inside Wait must leave the caller owning the
+  // mutex: after WaitFor returns, a TryLock from another thread fails.
+  Mutex mu;
+  CondVar cv;
+  MutexLock lk(&mu);
+  (void)cv.WaitFor(mu, std::chrono::milliseconds(1));
+  std::atomic<bool> acquired{true};
+  std::thread prober([&] { acquired.store(mu.TryLock()); });
+  prober.join();
+  EXPECT_FALSE(acquired.load());
+}
+
+}  // namespace
+}  // namespace cjoin

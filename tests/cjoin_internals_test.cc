@@ -32,7 +32,7 @@ TEST_F(DimHashTableTest, InsertAndProbe) {
   EXPECT_EQ(e->row, &rows_[0]);
   EXPECT_EQ(ht_.size(), 1u);
 
-  std::shared_lock<std::shared_mutex> lk(ht_.mutex());
+  cjoin::ReaderMutexLock lk(&ht_.mutex());
   const auto* found = ht_.ProbeLocked(42);
   ASSERT_NE(found, nullptr);
   EXPECT_EQ(found->row, &rows_[0]);
@@ -66,7 +66,7 @@ TEST_F(DimHashTableTest, GrowsAndKeepsEntries) {
     DimensionHashTable::SetEntryBit(e, static_cast<size_t>(k % 128), true);
   }
   EXPECT_EQ(ht_.size(), 1000u);
-  std::shared_lock<std::shared_mutex> lk(ht_.mutex());
+  cjoin::ReaderMutexLock lk(&ht_.mutex());
   for (int64_t k = 0; k < 1000; ++k) {
     const auto* e = ht_.ProbeLocked(k);
     ASSERT_NE(e, nullptr) << k;
@@ -104,7 +104,7 @@ TEST_F(DimHashTableTest, RemoveDeadEntriesKeepsLiveOnes) {
   const size_t removed = ht_.RemoveDeadEntries(active);
   EXPECT_EQ(removed, 10u);
   EXPECT_EQ(ht_.size(), 10u);
-  std::shared_lock<std::shared_mutex> lk(ht_.mutex());
+  cjoin::ReaderMutexLock lk(&ht_.mutex());
   for (int64_t k = 0; k < 10; ++k) {
     EXPECT_NE(ht_.ProbeLocked(k), nullptr) << k;
   }
@@ -120,7 +120,7 @@ TEST_F(DimHashTableTest, ConcurrentProbesDuringBitUpdates) {
   std::thread prober([&] {
     uint64_t acc[kWidth];
     while (!stop.load()) {
-      std::shared_lock<std::shared_mutex> lk(ht_.mutex());
+      cjoin::ReaderMutexLock lk(&ht_.mutex());
       for (int64_t k = 0; k < 256; k += 7) {
         const auto* e = ht_.ProbeLocked(k);
         ASSERT_NE(e, nullptr);
@@ -150,7 +150,7 @@ TEST_F(DimHashTableTest, ProbeBatchMatchesScalarProbe) {
   for (int64_t k = 0; k < 1000; ++k) keys.push_back(k);  // 50% misses
   std::vector<const DimensionHashTable::Entry*> got(keys.size());
 
-  std::shared_lock<std::shared_mutex> lk(ht_.mutex());
+  cjoin::ReaderMutexLock lk(&ht_.mutex());
   ht_.ProbeBatchLocked(keys.data(), got.data(), keys.size());
   for (size_t i = 0; i < keys.size(); ++i) {
     EXPECT_EQ(got[i], ht_.ProbeLocked(keys[i])) << "key " << keys[i];
@@ -161,7 +161,7 @@ TEST_F(DimHashTableTest, ProbeBatchHandlesDuplicatesAndShortBatches) {
   ht_.InsertOrGet(5, &rows_[0]);
   const int64_t keys[] = {5, -5, 5, 5};
   const DimensionHashTable::Entry* got[4];
-  std::shared_lock<std::shared_mutex> lk(ht_.mutex());
+  cjoin::ReaderMutexLock lk(&ht_.mutex());
   ht_.ProbeBatchLocked(keys, got, 4);
   EXPECT_NE(got[0], nullptr);
   EXPECT_EQ(got[1], nullptr);
@@ -191,7 +191,7 @@ TEST_F(DimHashTableTest, InsertBatchMatchesInsertOrGet) {
 
   EXPECT_EQ(ht_.size(), 300u);
   EXPECT_GT(ht_.size(), pre);
-  std::shared_lock<std::shared_mutex> lk(ht_.mutex());
+  cjoin::ReaderMutexLock lk(&ht_.mutex());
   for (size_t i = 0; i < keys.size(); ++i) {
     ASSERT_NE(ents[i], nullptr) << i;
     EXPECT_EQ(ents[i], ht_.ProbeLocked(keys[i])) << keys[i];
@@ -224,20 +224,21 @@ TEST_F(DimHashTableTest, RemoveDeadEntriesRepairsCollisionChains) {
   std::vector<int64_t> keys;
   for (int64_t k = 0; k < kN; ++k) keys.push_back(k * 1024);
   std::vector<const DimensionHashTable::Entry*> got(keys.size());
-  std::shared_lock<std::shared_mutex> lk(ht_.mutex());
-  ht_.ProbeBatchLocked(keys.data(), got.data(), keys.size());
-  for (int64_t k = 0; k < kN; ++k) {
-    const auto* e = ht_.ProbeLocked(k * 1024);
-    EXPECT_EQ(got[static_cast<size_t>(k)], e) << k;
-    if (k % 2 == 0) {
-      ASSERT_NE(e, nullptr) << "survivor lost at key " << k * 1024;
-      EXPECT_EQ(e->key, k * 1024);
-    } else {
-      EXPECT_EQ(e, nullptr) << "removed key still present: " << k * 1024;
+  {
+    cjoin::ReaderMutexLock lk(&ht_.mutex());
+    ht_.ProbeBatchLocked(keys.data(), got.data(), keys.size());
+    for (int64_t k = 0; k < kN; ++k) {
+      const auto* e = ht_.ProbeLocked(k * 1024);
+      EXPECT_EQ(got[static_cast<size_t>(k)], e) << k;
+      if (k % 2 == 0) {
+        ASSERT_NE(e, nullptr) << "survivor lost at key " << k * 1024;
+        EXPECT_EQ(e->key, k * 1024);
+      } else {
+        EXPECT_EQ(e, nullptr) << "removed key still present: " << k * 1024;
+      }
     }
   }
   // A second GC pass (reusing the table-owned scratch) removes nothing.
-  lk.unlock();
   EXPECT_EQ(ht_.RemoveDeadEntries(active), 0u);
 }
 
@@ -254,7 +255,7 @@ TEST_F(DimHashTableTest, RehashPreservesCollisionChains) {
   }
   EXPECT_EQ(ht_.size(), 2000u);
   std::vector<const DimensionHashTable::Entry*> got(keys.size());
-  std::shared_lock<std::shared_mutex> lk(ht_.mutex());
+  cjoin::ReaderMutexLock lk(&ht_.mutex());
   ht_.ProbeBatchLocked(keys.data(), got.data(), keys.size());
   for (size_t i = 0; i < keys.size(); ++i) {
     ASSERT_NE(got[i], nullptr) << keys[i];
@@ -286,10 +287,12 @@ TEST_F(DimHashTableTest, ConcurrentBatchProbesDuringInsertAndGc) {
           keys[i] = (base + static_cast<int64_t>(i) * 3) % 4096;
         }
         base += 17;
-        std::shared_lock<std::shared_mutex> lk(ht_.mutex());
+        cjoin::ReaderMutexLock lk(&ht_.mutex());
         ht_.ProbeBatchLocked(keys, out, DimensionHashTable::kMaxBatch);
         for (size_t i = 0; i < DimensionHashTable::kMaxBatch; ++i) {
-          if (keys[i] < 128) ASSERT_NE(out[i], nullptr) << keys[i];
+          if (keys[i] < 128) {
+            ASSERT_NE(out[i], nullptr) << keys[i];
+          }
           if (out[i] != nullptr) {
             bitops::Fill(acc, kWidth, ~uint64_t{0});
             bitops::AndIntoAtomicSrc(acc, out[i]->bits, kWidth);

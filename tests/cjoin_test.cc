@@ -73,6 +73,38 @@ TEST(CJoinOperatorTest, SingleQueryMatchesReference) {
   op.Stop();
 }
 
+TEST(CJoinOperatorTest, CompletionObserverReleasedAfterDelivery) {
+  // Regression test (found by the ASan/LeakSanitizer CI job): the
+  // engine's deferred-admission observer captures an owning reference
+  // back to the ticket state whose handle owns this runtime, so a
+  // retained observer closes a shared_ptr cycle
+  // (DeferredQuery -> QueryHandle -> QueryRuntime -> observer ->
+  // DeferredQuery) and leaks every wait-queued CJOIN query. Deliver()
+  // must destroy the observer — and everything it captured — after its
+  // single invocation, even while the handle is still alive.
+  auto ts = MakeTinyStar(500);
+  CJoinOperator op(*ts->star, SmallOptions());
+  ASSERT_TRUE(op.Start().ok());
+
+  auto token = std::make_shared<int>(7);
+  std::weak_ptr<int> observed = token;
+  CJoinOperator::SubmitOptions so;
+  so.completion_observer = [token = std::move(token)](
+                               const Result<ResultSet>& result) {
+    ASSERT_TRUE(result.ok());
+    EXPECT_EQ(*token, 7);
+  };
+  auto handle = op.Submit(CountByRegion(*ts), std::move(so));
+  ASSERT_TRUE(handle.ok()) << handle.status().ToString();
+  ASSERT_TRUE((*handle)->Wait().ok());
+
+  // The observer ran before the promise resolved, so by the time Wait()
+  // returns its captured state must already be gone.
+  EXPECT_TRUE(observed.expired())
+      << "completion_observer (and its captures) retained after delivery";
+  op.Stop();
+}
+
 TEST(CJoinOperatorTest, QueryWithDimensionPredicate) {
   auto ts = MakeTinyStar(3000);
   CJoinOperator op(*ts->star, SmallOptions());

@@ -1,0 +1,56 @@
+// Positive control for the thread-safety gate (ctest
+// `annotations_positive_compile`): the same shape as tsa_violation.cc
+// but correctly locked, compiled with the identical flags
+//   -Wthread-safety -Werror=thread-safety-analysis.
+// It must compile cleanly; if it fails, the gate is rejecting valid
+// code (annotation macros broken, shim types mis-annotated) rather
+// than catching violations, which distinguishes "gate works" from
+// "gate rejects everything".
+
+#include "common/mutex.h"
+
+namespace {
+
+class Counter {
+ public:
+  void Add(int delta) EXCLUDES(mu_) {
+    cjoin::MutexLock lk(&mu_);
+    value_ += delta;
+  }
+
+  int Drain() EXCLUDES(mu_) {
+    cjoin::MutexLock lk(&mu_);
+    return DrainLocked();
+  }
+
+  int SharedPeek() const EXCLUDES(mu_) {
+    cjoin::ReaderMutexLock lk(&shared_mu_);
+    return cached_;
+  }
+
+  void SharedPublish(int v) EXCLUDES(shared_mu_) {
+    cjoin::WriterMutexLock lk(&shared_mu_);
+    cached_ = v;
+  }
+
+ private:
+  int DrainLocked() REQUIRES(mu_) {
+    const int v = value_;
+    value_ = 0;
+    return v;
+  }
+
+  mutable cjoin::Mutex mu_;
+  int value_ GUARDED_BY(mu_) = 0;
+  mutable cjoin::SharedMutex shared_mu_;
+  int cached_ GUARDED_BY(shared_mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Counter c;
+  c.Add(1);
+  c.SharedPublish(2);
+  return c.Drain() + c.SharedPeek() - 3;
+}

@@ -1,0 +1,42 @@
+// Negative control for the thread-safety gate (registered as ctest
+// `annotations_negative_compile` with WILL_FAIL): this snippet touches a
+// GUARDED_BY member without holding its mutex and calls a REQUIRES
+// method unlocked, so it must FAIL to compile under
+//   -Wthread-safety -Werror=thread-safety-analysis.
+// If it ever compiles, the gate is inert (flags dropped, macros compiled
+// away, or the analysis disabled) and the ctest run flags it.
+
+#include "common/mutex.h"
+
+namespace {
+
+class Counter {
+ public:
+  void Add(int delta) EXCLUDES(mu_) {
+    // VIOLATION 1: writing a GUARDED_BY member with mu_ not held.
+    value_ += delta;
+  }
+
+  int Drain() EXCLUDES(mu_) {
+    // VIOLATION 2: calling a REQUIRES(mu_) method with mu_ not held.
+    return DrainLocked();
+  }
+
+ private:
+  int DrainLocked() REQUIRES(mu_) {
+    const int v = value_;
+    value_ = 0;
+    return v;
+  }
+
+  cjoin::Mutex mu_;
+  int value_ GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Counter c;
+  c.Add(1);
+  return c.Drain();
+}

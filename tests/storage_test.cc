@@ -339,7 +339,9 @@ TEST(TableFileTest, SaveLoadRoundtrip) {
     s.SetInt64(row, 1, i * 100);
     s.SetChar(row, 2, "row" + std::to_string(i));
     s.SetDouble(row, 3, i * 0.5);
-    if (i == 4) ASSERT_TRUE(t.MarkDeleted(id, 7).ok());
+    if (i == 4) {
+      ASSERT_TRUE(t.MarkDeleted(id, 7).ok());
+    }
   }
 
   const std::string path = ::testing::TempDir() + "/cjoin_table_test.bin";
